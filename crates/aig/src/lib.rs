@@ -1,0 +1,51 @@
+//! An And-Inverter-Graph (AIG) package.
+//!
+//! This crate reimplements the AIG substrate the HQS paper builds on (the
+//! authors used the C++ library *aigpp*): Boolean functions are represented
+//! as DAGs of two-input AND gates with complemented edges, with
+//!
+//! * structural hashing and one-level simplification rules,
+//! * the Boolean operations `and`, `or`, `xor`, `mux`, `implies`, `iff`,
+//! * cofactors, [`compose`](Aig::compose) (function substitution), and
+//!   single-variable existential/universal quantification,
+//! * the linear-time *syntactic unit/pure detection* of Theorem 6 of the
+//!   paper ([`unit_pure`](Aig::unit_pure)),
+//! * 64-bit parallel random simulation,
+//! * Tseitin conversion to CNF and back, and
+//! * SAT-sweeping functional reduction (FRAIG-style,
+//!   [`fraig`](Aig::fraig)).
+//!
+//! # Examples
+//!
+//! ```
+//! use hqs_aig::Aig;
+//! use hqs_base::Var;
+//!
+//! let mut aig = Aig::new();
+//! let x = aig.input(Var::new(0));
+//! let y = aig.input(Var::new(1));
+//! let f = aig.and(x, y);
+//! // Quantify x away: ∃x. (x ∧ y) ≡ y
+//! let g = aig.exists(f, Var::new(0));
+//! assert_eq!(g, y);
+//! // ∀x. (x ∧ y) ≡ false
+//! let h = aig.forall(f, Var::new(0));
+//! assert_eq!(h, Aig::FALSE);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aiger;
+mod cnf_conv;
+mod dot;
+mod edge;
+mod fraig;
+mod manager;
+mod simulate;
+mod unitpure;
+
+pub use aiger::AigerError;
+pub use edge::AigEdge;
+pub use manager::{Aig, AigNode};
+pub use unitpure::{UnitPureStatus, VarStatus};

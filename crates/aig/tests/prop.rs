@@ -1,0 +1,205 @@
+//! Property-based tests of the AIG operations against truth-table
+//! semantics on random cones.
+
+use hqs_aig::{Aig, AigEdge, VarStatus};
+use hqs_base::Var;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const NUM_VARS: u32 = 4;
+
+/// A recipe for building a random cone: pairs of (operand indices,
+/// complement flags) over a growing node pool.
+#[derive(Clone, Debug)]
+struct Recipe {
+    steps: Vec<(usize, usize, bool, bool)>,
+    complement_root: bool,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (
+        prop::collection::vec(
+            (0usize..64, 0usize..64, any::<bool>(), any::<bool>()),
+            1..14,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(|(steps, complement_root)| Recipe {
+            steps,
+            complement_root,
+        })
+}
+
+fn build(aig: &mut Aig, recipe: &Recipe) -> AigEdge {
+    let mut pool: Vec<AigEdge> = (0..NUM_VARS).map(|i| aig.input(Var::new(i))).collect();
+    for &(i, j, ci, cj) in &recipe.steps {
+        let a = pool[i % pool.len()].xor_complement(ci);
+        let b = pool[j % pool.len()].xor_complement(cj);
+        pool.push(aig.and(a, b));
+    }
+    (*pool.last().unwrap()).xor_complement(recipe.complement_root)
+}
+
+fn truth_table(aig: &Aig, root: AigEdge) -> u16 {
+    let mut table = 0u16;
+    for bits in 0u32..(1 << NUM_VARS) {
+        if aig.eval(root, |v| bits >> v.index() & 1 == 1) {
+            table |= 1 << bits;
+        }
+    }
+    table
+}
+
+fn cofactor_table(table: u16, var: u32, value: bool) -> u16 {
+    let mut out = 0u16;
+    for bits in 0u32..(1 << NUM_VARS) {
+        let mut src = bits;
+        if value {
+            src |= 1 << var;
+        } else {
+            src &= !(1 << var);
+        }
+        if table >> src & 1 == 1 {
+            out |= 1 << bits;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Structural hashing and the simplification rules never change the
+    /// function: two independent builds of the same recipe agree.
+    #[test]
+    fn construction_is_functional(recipe in arb_recipe()) {
+        let mut aig1 = Aig::new();
+        let r1 = build(&mut aig1, &recipe);
+        let mut aig2 = Aig::new();
+        let r2 = build(&mut aig2, &recipe);
+        prop_assert_eq!(truth_table(&aig1, r1), truth_table(&aig2, r2));
+    }
+
+    /// Cofactor semantics match the truth-table cofactor.
+    #[test]
+    fn cofactor_semantics(recipe in arb_recipe(), var in 0..NUM_VARS, value in any::<bool>()) {
+        let mut aig = Aig::new();
+        let root = build(&mut aig, &recipe);
+        let before = truth_table(&aig, root);
+        let cof = aig.cofactor(root, Var::new(var), value);
+        prop_assert_eq!(truth_table(&aig, cof), cofactor_table(before, var, value));
+    }
+
+    /// ∃x.f = f[0/x] ∨ f[1/x] and ∀x.f = f[0/x] ∧ f[1/x], and the
+    /// quantified variable leaves the support.
+    #[test]
+    fn quantification_semantics(recipe in arb_recipe(), var in 0..NUM_VARS) {
+        let mut aig = Aig::new();
+        let root = build(&mut aig, &recipe);
+        let table = truth_table(&aig, root);
+        let t0 = cofactor_table(table, var, false);
+        let t1 = cofactor_table(table, var, true);
+        let ex = aig.exists(root, Var::new(var));
+        let fa = aig.forall(root, Var::new(var));
+        prop_assert_eq!(truth_table(&aig, ex), t0 | t1);
+        prop_assert_eq!(truth_table(&aig, fa), t0 & t1);
+        prop_assert!(!aig.support(ex).contains(Var::new(var)));
+        prop_assert!(!aig.support(fa).contains(Var::new(var)));
+    }
+
+    /// compose(f, x, g) equals the Shannon expansion g∧f[1/x] ∨ ¬g∧f[0/x].
+    #[test]
+    fn compose_is_shannon(f_recipe in arb_recipe(), g_recipe in arb_recipe(), var in 0..NUM_VARS) {
+        let mut aig = Aig::new();
+        let f = build(&mut aig, &f_recipe);
+        let g = build(&mut aig, &g_recipe);
+        let composed = aig.compose(f, Var::new(var), g);
+        let tf = truth_table(&aig, f);
+        let tg = truth_table(&aig, g);
+        let t0 = cofactor_table(tf, var, false);
+        let t1 = cofactor_table(tf, var, true);
+        prop_assert_eq!(truth_table(&aig, composed), (tg & t1) | (!tg & t0));
+    }
+
+    /// compact() preserves the function and never grows the cone.
+    #[test]
+    fn compact_preserves_function(recipe in arb_recipe()) {
+        let mut aig = Aig::new();
+        let root = build(&mut aig, &recipe);
+        let before = truth_table(&aig, root);
+        let size_before = aig.cone_size(root);
+        let remapped = aig.compact(&[root]);
+        prop_assert_eq!(truth_table(&aig, remapped[0]), before);
+        prop_assert!(aig.cone_size(remapped[0]) <= size_before);
+    }
+
+    /// Simulation agrees with eval on every pattern bit.
+    #[test]
+    fn simulation_matches_eval(recipe in arb_recipe(), seed in any::<u64>()) {
+        let mut aig = Aig::new();
+        let root = build(&mut aig, &recipe);
+        let mut patterns: HashMap<Var, u64> = HashMap::new();
+        let mut state = seed;
+        for i in 0..NUM_VARS {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            patterns.insert(Var::new(i), state);
+        }
+        let signature = aig.simulate(root, &patterns);
+        for bit in [0usize, 17, 63] {
+            let expected = aig.eval(root, |v| patterns[&v] >> bit & 1 == 1);
+            prop_assert_eq!(signature >> bit & 1 == 1, expected);
+        }
+    }
+
+    /// The Theorem-6 classification is semantically sound (Definition 5).
+    #[test]
+    fn unit_pure_claims_are_sound(recipe in arb_recipe()) {
+        let mut aig = Aig::new();
+        let root = build(&mut aig, &recipe);
+        let table = truth_table(&aig, root);
+        let status = aig.unit_pure(root);
+        for var in 0..NUM_VARS {
+            let t0 = cofactor_table(table, var, false);
+            let t1 = cofactor_table(table, var, true);
+            match status.status(Var::new(var)) {
+                VarStatus::PositiveUnit => prop_assert_eq!(t0, 0),
+                VarStatus::NegativeUnit => prop_assert_eq!(t1, 0),
+                VarStatus::PositivePure => prop_assert_eq!(t0 & !t1, 0),
+                VarStatus::NegativePure => prop_assert_eq!(t1 & !t0, 0),
+                VarStatus::Unknown => {}
+            }
+        }
+    }
+
+    /// FRAIG sweeping preserves the function.
+    #[test]
+    fn fraig_preserves_function(recipe in arb_recipe(), seed in any::<u64>()) {
+        let mut aig = Aig::new();
+        let root = build(&mut aig, &recipe);
+        let before = truth_table(&aig, root);
+        let reduced = aig.fraig(root, seed, 500);
+        prop_assert_eq!(truth_table(&aig, reduced), before);
+    }
+
+    /// Tseitin conversion: the CNF with the output asserted is
+    /// equisatisfiable with the function per input assignment.
+    #[test]
+    fn tseitin_equisatisfiable(recipe in arb_recipe()) {
+        use hqs_cnf::Clause;
+        use hqs_sat::reference::is_satisfiable;
+        let mut aig = Aig::new();
+        let root = build(&mut aig, &recipe);
+        let (cnf, out) = aig.to_cnf(root, NUM_VARS);
+        for bits in 0u32..(1 << NUM_VARS) {
+            let expected = aig.eval(root, |v| bits >> v.index() & 1 == 1);
+            let mut query = cnf.clone();
+            for i in 0..NUM_VARS {
+                query.add_clause(Clause::unit(
+                    hqs_base::Lit::new(Var::new(i), bits >> i & 1 == 0),
+                ));
+            }
+            query.add_clause(Clause::unit(out));
+            prop_assert_eq!(is_satisfiable(&query), expected);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Partial assignments of variables to truth values.
+
+use crate::{Lit, Var};
+use std::fmt;
+use std::ops::Not;
+
+/// The value of a variable in a partial assignment.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Debug)]
+pub enum TruthValue {
+    /// Assigned `false`.
+    False,
+    /// Assigned `true`.
+    True,
+    /// Not assigned.
+    #[default]
+    Unassigned,
+}
+
+impl TruthValue {
+    /// Converts a `bool` into the corresponding assigned value.
+    #[inline]
+    #[must_use]
+    pub fn from_bool(value: bool) -> Self {
+        if value {
+            TruthValue::True
+        } else {
+            TruthValue::False
+        }
+    }
+
+    /// Returns `Some(bool)` if assigned, `None` otherwise.
+    #[inline]
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            TruthValue::False => Some(false),
+            TruthValue::True => Some(true),
+            TruthValue::Unassigned => None,
+        }
+    }
+
+    /// Returns `true` if this value is assigned (true or false).
+    #[inline]
+    #[must_use]
+    pub fn is_assigned(self) -> bool {
+        self != TruthValue::Unassigned
+    }
+}
+
+impl Not for TruthValue {
+    type Output = TruthValue;
+
+    #[inline]
+    fn not(self) -> TruthValue {
+        match self {
+            TruthValue::False => TruthValue::True,
+            TruthValue::True => TruthValue::False,
+            TruthValue::Unassigned => TruthValue::Unassigned,
+        }
+    }
+}
+
+impl From<bool> for TruthValue {
+    #[inline]
+    fn from(value: bool) -> Self {
+        TruthValue::from_bool(value)
+    }
+}
+
+/// A partial assignment of variables to truth values, stored densely.
+///
+/// # Examples
+///
+/// ```
+/// use hqs_base::{Assignment, Lit, TruthValue, Var};
+///
+/// let mut a = Assignment::new();
+/// a.assign(Var::new(0), true);
+/// assert_eq!(a.value(Var::new(0)), TruthValue::True);
+/// assert_eq!(a.lit_value(Lit::negative(Var::new(0))), TruthValue::False);
+/// assert_eq!(a.value(Var::new(9)), TruthValue::Unassigned);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Assignment {
+    values: Vec<TruthValue>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    #[must_use]
+    pub fn new() -> Self {
+        Assignment { values: Vec::new() }
+    }
+
+    /// Creates an assignment with all of `0..n` unassigned, pre-sized.
+    #[must_use]
+    pub fn with_num_vars(n: u32) -> Self {
+        Assignment {
+            values: vec![TruthValue::Unassigned; n as usize],
+        }
+    }
+
+    /// Returns the value of `var`.
+    #[inline]
+    #[must_use]
+    pub fn value(&self, var: Var) -> TruthValue {
+        self.values
+            .get(var.index() as usize)
+            .copied()
+            .unwrap_or(TruthValue::Unassigned)
+    }
+
+    /// Returns the value of `lit` under this assignment.
+    #[inline]
+    #[must_use]
+    pub fn lit_value(&self, lit: Lit) -> TruthValue {
+        let v = self.value(lit.var());
+        if lit.is_negative() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// Returns `true` if `lit` is assigned and satisfied.
+    #[inline]
+    #[must_use]
+    pub fn satisfies(&self, lit: Lit) -> bool {
+        self.lit_value(lit) == TruthValue::True
+    }
+
+    /// Assigns `var` to `value`.
+    pub fn assign(&mut self, var: Var, value: bool) {
+        let idx = var.index() as usize;
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, TruthValue::Unassigned);
+        }
+        self.values[idx] = TruthValue::from_bool(value);
+    }
+
+    /// Assigns the variable of `lit` so that `lit` becomes true.
+    pub fn assign_lit(&mut self, lit: Lit) {
+        self.assign(lit.var(), lit.is_positive());
+    }
+
+    /// Removes the assignment of `var`.
+    pub fn unassign(&mut self, var: Var) {
+        if let Some(slot) = self.values.get_mut(var.index() as usize) {
+            *slot = TruthValue::Unassigned;
+        }
+    }
+
+    /// Iterates over all assigned `(variable, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
+        self.values.iter().enumerate().filter_map(|(i, v)| {
+            #[allow(clippy::cast_possible_truncation)]
+            v.to_bool().map(|b| (Var::new(i as u32), b))
+        })
+    }
+
+    /// Returns the number of assigned variables.
+    #[must_use]
+    pub fn assigned_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_assigned()).count()
+    }
+}
+
+impl FromIterator<(Var, bool)> for Assignment {
+    fn from_iter<I: IntoIterator<Item = (Var, bool)>>(iter: I) -> Self {
+        let mut a = Assignment::new();
+        for (var, value) in iter {
+            a.assign(var, value);
+        }
+        a
+    }
+}
+
+impl FromIterator<Lit> for Assignment {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Self {
+        let mut a = Assignment::new();
+        for lit in iter {
+            a.assign_lit(lit);
+        }
+        a
+    }
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_value_negation() {
+        assert_eq!(!TruthValue::True, TruthValue::False);
+        assert_eq!(!TruthValue::False, TruthValue::True);
+        assert_eq!(!TruthValue::Unassigned, TruthValue::Unassigned);
+    }
+
+    #[test]
+    fn assign_and_query() {
+        let mut a = Assignment::new();
+        let x = Var::new(2);
+        a.assign(x, false);
+        assert_eq!(a.value(x), TruthValue::False);
+        assert_eq!(a.lit_value(Lit::negative(x)), TruthValue::True);
+        assert!(a.satisfies(Lit::negative(x)));
+        assert!(!a.satisfies(Lit::positive(x)));
+        a.unassign(x);
+        assert_eq!(a.value(x), TruthValue::Unassigned);
+    }
+
+    #[test]
+    fn assign_lit_makes_lit_true() {
+        let mut a = Assignment::new();
+        let lit = Lit::negative(Var::new(4));
+        a.assign_lit(lit);
+        assert!(a.satisfies(lit));
+    }
+
+    #[test]
+    fn from_iterators() {
+        let a: Assignment = [(Var::new(0), true), (Var::new(3), false)]
+            .into_iter()
+            .collect();
+        assert_eq!(a.assigned_count(), 2);
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            vec![(Var::new(0), true), (Var::new(3), false)]
+        );
+        let b: Assignment = [Lit::positive(Var::new(0)), Lit::negative(Var::new(3))]
+            .into_iter()
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_is_unassigned() {
+        let a = Assignment::new();
+        assert_eq!(a.value(Var::new(1000)), TruthValue::Unassigned);
+    }
+}

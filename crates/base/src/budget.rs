@@ -1,0 +1,110 @@
+//! Resource budgets for any-time solvers.
+
+use std::time::{Duration, Instant};
+
+/// A resource budget shared by the QBF/DQBF solvers: a wall-clock deadline
+/// (the paper's 2-hour timeout) and a node-count ceiling (the analogue of
+/// the paper's 8 GB memory limit — AIG nodes are the dominating
+/// allocation).
+///
+/// # Examples
+///
+/// ```
+/// use hqs_base::Budget;
+/// use std::time::Duration;
+///
+/// let budget = Budget::new()
+///     .with_timeout(Duration::from_secs(60))
+///     .with_node_limit(1_000_000);
+/// assert!(!budget.time_exhausted());
+/// assert!(budget.nodes_exhausted(2_000_000));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    node_limit: Option<usize>,
+}
+
+/// Why a solver stopped without an answer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Exhaustion {
+    /// The wall-clock deadline passed (paper: "TO").
+    Timeout,
+    /// The node/memory ceiling was hit (paper: "MO").
+    Memout,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Budget::default()
+    }
+
+    /// Limits wall-clock time, measured from this call.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Limits the number of live AIG nodes.
+    #[must_use]
+    pub fn with_node_limit(mut self, nodes: usize) -> Self {
+        self.node_limit = Some(nodes);
+        self
+    }
+
+    /// Returns `true` if the deadline has passed.
+    #[must_use]
+    pub fn time_exhausted(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Returns `true` if `nodes` exceeds the node ceiling.
+    #[must_use]
+    pub fn nodes_exhausted(&self, nodes: usize) -> bool {
+        self.node_limit.is_some_and(|limit| nodes > limit)
+    }
+
+    /// Convenience check combining both limits.
+    #[must_use]
+    pub fn check(&self, nodes: usize) -> Option<Exhaustion> {
+        if self.time_exhausted() {
+            Some(Exhaustion::Timeout)
+        } else if self.nodes_exhausted(nodes) {
+            Some(Exhaustion::Memout)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = Budget::new();
+        assert!(!b.time_exhausted());
+        assert!(!b.nodes_exhausted(usize::MAX));
+        assert_eq!(b.check(usize::MAX), None);
+    }
+
+    #[test]
+    fn node_limit() {
+        let b = Budget::new().with_node_limit(10);
+        assert!(!b.nodes_exhausted(10));
+        assert!(b.nodes_exhausted(11));
+        assert_eq!(b.check(11), Some(Exhaustion::Memout));
+    }
+
+    #[test]
+    fn elapsed_deadline() {
+        let b = Budget::new().with_timeout(Duration::from_secs(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(b.time_exhausted());
+        assert_eq!(b.check(0), Some(Exhaustion::Timeout));
+    }
+}

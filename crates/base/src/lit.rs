@@ -1,0 +1,308 @@
+//! Variables and literals.
+
+use std::fmt;
+
+/// A Boolean variable, identified by a dense index starting at 0.
+///
+/// Variables are plain indices; meaning (universal/existential, name, …) is
+/// attached by higher layers such as `hqs-cnf` prefixes or `hqs-core`
+/// [DQBF prefixes]. The dense encoding lets solvers index arrays directly by
+/// variable.
+///
+/// # Examples
+///
+/// ```
+/// use hqs_base::Var;
+/// let v = Var::new(7);
+/// assert_eq!(v.index(), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// The maximum representable variable index.
+    pub const MAX_INDEX: u32 = (u32::MAX >> 1) - 1;
+
+    /// Creates a variable from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`Var::MAX_INDEX`].
+    #[inline]
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        assert!(index <= Self::MAX_INDEX, "variable index overflow");
+        Var(index)
+    }
+
+    /// Returns the dense index of this variable.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the positive literal of this variable.
+    #[inline]
+    #[must_use]
+    pub fn positive(self) -> Lit {
+        Lit::positive(self)
+    }
+
+    /// Returns the negative literal of this variable.
+    #[inline]
+    #[must_use]
+    pub fn negative(self) -> Lit {
+        Lit::negative(self)
+    }
+
+    /// Returns the literal of this variable with the given sign
+    /// (`negative == true` means the negated literal).
+    #[inline]
+    #[must_use]
+    pub fn lit(self, negative: bool) -> Lit {
+        Lit::new(self, negative)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a sign.
+///
+/// Encoded as `2 * var + sign` in a single `u32` (sign bit set means the
+/// literal is negated), the classic MiniSat encoding. This makes literal
+/// vectors compact and allows direct indexing of watch lists by
+/// [`Lit::code`].
+///
+/// # Examples
+///
+/// ```
+/// use hqs_base::{Lit, Var};
+/// let x = Var::new(3);
+/// let p = Lit::positive(x);
+/// let n = !p;
+/// assert_eq!(n, Lit::negative(x));
+/// assert_eq!(p.var(), n.var());
+/// assert_ne!(p.code(), n.code());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a sign
+    /// (`negative == true` yields the negated literal).
+    #[inline]
+    #[must_use]
+    pub fn new(var: Var, negative: bool) -> Self {
+        Lit(var.index() << 1 | u32::from(negative))
+    }
+
+    /// Creates the positive literal of `var`.
+    #[inline]
+    #[must_use]
+    pub fn positive(var: Var) -> Self {
+        Lit::new(var, false)
+    }
+
+    /// Creates the negative literal of `var`.
+    #[inline]
+    #[must_use]
+    pub fn negative(var: Var) -> Self {
+        Lit::new(var, true)
+    }
+
+    /// Reconstructs a literal from its [`code`](Lit::code).
+    #[inline]
+    #[must_use]
+    pub fn from_code(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// Returns the variable of this literal.
+    #[inline]
+    #[must_use]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if the literal is negated.
+    #[inline]
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns `true` if the literal is not negated.
+    #[inline]
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        !self.is_negative()
+    }
+
+    /// Returns the dense integer code `2 * var + sign`.
+    ///
+    /// Useful as an index into per-literal arrays (e.g. watch lists).
+    #[inline]
+    #[must_use]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Returns this literal with the given polarity applied on top:
+    /// `lit.xor_sign(true)` flips the literal, `lit.xor_sign(false)` is a
+    /// no-op.
+    #[inline]
+    #[must_use]
+    pub fn xor_sign(self, flip: bool) -> Self {
+        Lit(self.0 ^ u32::from(flip))
+    }
+
+    /// Parses a literal from a DIMACS-style signed integer
+    /// (`1` ⇒ positive literal of variable 0, `-3` ⇒ negative literal of
+    /// variable 2).
+    ///
+    /// Returns `None` for `0` (the DIMACS clause terminator) or an
+    /// out-of-range magnitude.
+    #[must_use]
+    pub fn from_dimacs(value: i64) -> Option<Self> {
+        if value == 0 {
+            return None;
+        }
+        let magnitude = value.unsigned_abs();
+        if magnitude > u64::from(Var::MAX_INDEX) + 1 {
+            return None;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let var = Var::new((magnitude - 1) as u32);
+        Some(Lit::new(var, value < 0))
+    }
+
+    /// Renders this literal as a DIMACS-style signed integer
+    /// (variable index + 1, negated literals negative).
+    #[inline]
+    #[must_use]
+    pub fn to_dimacs(self) -> i64 {
+        let magnitude = i64::from(self.var().index()) + 1;
+        if self.is_negative() {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<Var> for Lit {
+    #[inline]
+    fn from(var: Var) -> Lit {
+        Lit::positive(var)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "!v{}", self.var().index())
+        } else {
+            write!(f, "v{}", self.var().index())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrip() {
+        for i in [0, 1, 17, 100_000] {
+            assert_eq!(Var::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "variable index overflow")]
+    fn var_overflow_panics() {
+        let _ = Var::new(Var::MAX_INDEX + 1);
+    }
+
+    #[test]
+    fn lit_sign_and_var() {
+        let v = Var::new(5);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert!(p.is_positive() && !p.is_negative());
+        assert!(n.is_negative() && !n.is_positive());
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(p.code() ^ 1, n.code());
+    }
+
+    #[test]
+    fn lit_xor_sign() {
+        let p = Lit::positive(Var::new(2));
+        assert_eq!(p.xor_sign(false), p);
+        assert_eq!(p.xor_sign(true), !p);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for value in [1i64, -1, 2, -2, 42, -42] {
+            let lit = Lit::from_dimacs(value).expect("valid literal");
+            assert_eq!(lit.to_dimacs(), value);
+        }
+        assert_eq!(Lit::from_dimacs(0), None);
+    }
+
+    #[test]
+    fn dimacs_mapping() {
+        let lit = Lit::from_dimacs(3).unwrap();
+        assert_eq!(lit.var().index(), 2);
+        assert!(lit.is_positive());
+        let lit = Lit::from_dimacs(-1).unwrap();
+        assert_eq!(lit.var().index(), 0);
+        assert!(lit.is_negative());
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Var::new(4);
+        assert_eq!(v.to_string(), "v4");
+        assert_eq!(Lit::positive(v).to_string(), "v4");
+        assert_eq!(Lit::negative(v).to_string(), "!v4");
+    }
+
+    #[test]
+    fn ordering_groups_by_variable() {
+        let a = Var::new(1).positive();
+        let b = Var::new(1).negative();
+        let c = Var::new(2).positive();
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,349 @@
+//! Dense bitsets over variables.
+
+use crate::Var;
+use std::fmt;
+
+/// A dense bitset of [`Var`]s.
+///
+/// `VarSet` is the workhorse for dependency sets (`D_y` in the paper),
+/// supports of AIG nodes, and elimination sets. It grows automatically on
+/// insertion and keeps no trailing zero blocks, so structural equality
+/// coincides with set equality.
+///
+/// # Examples
+///
+/// ```
+/// use hqs_base::{Var, VarSet};
+///
+/// let a: VarSet = [Var::new(1), Var::new(3)].into_iter().collect();
+/// let b: VarSet = [Var::new(3)].into_iter().collect();
+/// assert!(b.is_subset(&a));
+/// assert!(!a.is_subset(&b));
+/// assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![Var::new(1)]);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct VarSet {
+    blocks: Vec<u64>,
+}
+
+const BITS: usize = 64;
+
+impl VarSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        VarSet { blocks: Vec::new() }
+    }
+
+    /// Creates an empty set with capacity for variables `0..capacity`.
+    #[must_use]
+    pub fn with_capacity(capacity: u32) -> Self {
+        VarSet {
+            blocks: Vec::with_capacity((capacity as usize).div_ceil(BITS)),
+        }
+    }
+
+    /// Creates the set `{0, 1, …, n - 1}` of the first `n` variables.
+    #[must_use]
+    pub fn full(n: u32) -> Self {
+        let n = n as usize;
+        let mut blocks = vec![u64::MAX; n.div_ceil(BITS)];
+        if !n.is_multiple_of(BITS) {
+            if let Some(last) = blocks.last_mut() {
+                *last = (1u64 << (n % BITS)) - 1;
+            }
+        }
+        let mut set = VarSet { blocks };
+        set.trim();
+        set
+    }
+
+    /// Returns `true` if the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Returns the number of variables in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if `var` is in the set.
+    #[must_use]
+    pub fn contains(&self, var: Var) -> bool {
+        let idx = var.index() as usize;
+        self.blocks
+            .get(idx / BITS)
+            .is_some_and(|b| b & (1 << (idx % BITS)) != 0)
+    }
+
+    /// Inserts `var`; returns `true` if it was not already present.
+    pub fn insert(&mut self, var: Var) -> bool {
+        let idx = var.index() as usize;
+        let block = idx / BITS;
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        let mask = 1u64 << (idx % BITS);
+        let fresh = self.blocks[block] & mask == 0;
+        self.blocks[block] |= mask;
+        fresh
+    }
+
+    /// Removes `var`; returns `true` if it was present.
+    pub fn remove(&mut self, var: Var) -> bool {
+        let idx = var.index() as usize;
+        let block = idx / BITS;
+        if block >= self.blocks.len() {
+            return false;
+        }
+        let mask = 1u64 << (idx % BITS);
+        let present = self.blocks[block] & mask != 0;
+        self.blocks[block] &= !mask;
+        if present {
+            self.trim();
+        }
+        present
+    }
+
+    /// Removes all variables.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Returns `true` if `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        if self.blocks.len() > other.blocks.len() {
+            return false;
+        }
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns `true` if the sets share no variable.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &VarSet) -> bool {
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+    }
+
+    /// Returns `self ∪ other`.
+    #[must_use]
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        let (longer, shorter) = if self.blocks.len() >= other.blocks.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut blocks = longer.blocks.clone();
+        for (b, s) in blocks.iter_mut().zip(&shorter.blocks) {
+            *b |= s;
+        }
+        VarSet { blocks }
+    }
+
+    /// Returns `self ∩ other`.
+    #[must_use]
+    pub fn intersection(&self, other: &VarSet) -> VarSet {
+        let mut blocks: Vec<u64> = self
+            .blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| a & b)
+            .collect();
+        while blocks.last() == Some(&0) {
+            blocks.pop();
+        }
+        VarSet { blocks }
+    }
+
+    /// Returns `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &VarSet) -> VarSet {
+        let mut blocks = self.blocks.clone();
+        for (b, o) in blocks.iter_mut().zip(&other.blocks) {
+            *b &= !o;
+        }
+        let mut set = VarSet { blocks };
+        set.trim();
+        set
+    }
+
+    /// Adds all variables of `other` to `self`.
+    pub fn union_with(&mut self, other: &VarSet) {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        for (b, o) in self.blocks.iter_mut().zip(&other.blocks) {
+            *b |= o;
+        }
+    }
+
+    /// Removes all variables of `other` from `self`.
+    pub fn difference_with(&mut self, other: &VarSet) {
+        for (b, o) in self.blocks.iter_mut().zip(&other.blocks) {
+            *b &= !o;
+        }
+        self.trim();
+    }
+
+    /// Keeps only variables also contained in `other`.
+    pub fn intersect_with(&mut self, other: &VarSet) {
+        if self.blocks.len() > other.blocks.len() {
+            self.blocks.truncate(other.blocks.len());
+        }
+        for (b, o) in self.blocks.iter_mut().zip(&other.blocks) {
+            *b &= o;
+        }
+        self.trim();
+    }
+
+    /// Iterates over the variables in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(block_idx, &block)| {
+            BitIter {
+                block,
+                base: (block_idx * BITS) as u32,
+            }
+        })
+    }
+
+    /// Returns the smallest variable in the set, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<Var> {
+        self.iter().next()
+    }
+
+    fn trim(&mut self) {
+        while self.blocks.last() == Some(&0) {
+            self.blocks.pop();
+        }
+    }
+}
+
+struct BitIter {
+    block: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = Var;
+
+    fn next(&mut self) -> Option<Var> {
+        if self.block == 0 {
+            return None;
+        }
+        let bit = self.block.trailing_zeros();
+        self.block &= self.block - 1;
+        Some(Var::new(self.base + bit))
+    }
+}
+
+impl FromIterator<Var> for VarSet {
+    fn from_iter<I: IntoIterator<Item = Var>>(iter: I) -> Self {
+        let mut set = VarSet::new();
+        for var in iter {
+            set.insert(var);
+        }
+        set
+    }
+}
+
+impl Extend<Var> for VarSet {
+    fn extend<I: IntoIterator<Item = Var>>(&mut self, iter: I) {
+        for var in iter {
+            self.insert(var);
+        }
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(vars: &[u32]) -> VarSet {
+        vars.iter().map(|&i| Var::new(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VarSet::new();
+        assert!(s.insert(Var::new(70)));
+        assert!(!s.insert(Var::new(70)));
+        assert!(s.contains(Var::new(70)));
+        assert!(!s.contains(Var::new(7)));
+        assert!(s.remove(Var::new(70)));
+        assert!(!s.remove(Var::new(70)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_trailing_blocks() {
+        let mut a = set(&[1]);
+        a.insert(Var::new(200));
+        a.remove(Var::new(200));
+        assert_eq!(a, set(&[1]));
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = set(&[1, 3, 65]);
+        let b = set(&[3, 65]);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(a.is_subset(&a));
+        assert!(set(&[]).is_subset(&b));
+        assert!(set(&[2, 4]).is_disjoint(&b));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(&[0, 2, 64]);
+        let b = set(&[2, 3]);
+        assert_eq!(a.union(&b), set(&[0, 2, 3, 64]));
+        assert_eq!(a.intersection(&b), set(&[2]));
+        assert_eq!(a.difference(&b), set(&[0, 64]));
+        assert_eq!(b.difference(&a), set(&[3]));
+    }
+
+    #[test]
+    fn in_place_algebra() {
+        let mut a = set(&[0, 2, 64]);
+        a.union_with(&set(&[3]));
+        assert_eq!(a, set(&[0, 2, 3, 64]));
+        a.difference_with(&set(&[0, 64]));
+        assert_eq!(a, set(&[2, 3]));
+        a.intersect_with(&set(&[3, 9]));
+        assert_eq!(a, set(&[3]));
+    }
+
+    #[test]
+    fn full_set() {
+        assert_eq!(VarSet::full(0), VarSet::new());
+        assert_eq!(VarSet::full(3), set(&[0, 1, 2]));
+        assert_eq!(VarSet::full(64).len(), 64);
+        assert_eq!(VarSet::full(65).len(), 65);
+        assert!(VarSet::full(65).contains(Var::new(64)));
+        assert!(!VarSet::full(65).contains(Var::new(65)));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = set(&[129, 4, 0, 64]);
+        let got: Vec<u32> = s.iter().map(Var::index).collect();
+        assert_eq!(got, vec![0, 4, 64, 129]);
+        assert_eq!(s.min(), Some(Var::new(0)));
+        assert_eq!(s.len(), 4);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the foundation types: `VarSet` obeys the set
+//! algebra laws, literals round-trip, assignments behave like maps.
+
+use hqs_base::{Assignment, Lit, Var, VarSet};
+use proptest::prelude::*;
+
+fn arb_varset() -> impl Strategy<Value = VarSet> {
+    prop::collection::vec(0u32..200, 0..16)
+        .prop_map(|ids| ids.into_iter().map(Var::new).collect())
+}
+
+fn members(set: &VarSet) -> Vec<u32> {
+    set.iter().map(Var::index).collect()
+}
+
+proptest! {
+    #[test]
+    fn union_intersection_difference_laws(a in arb_varset(), b in arb_varset()) {
+        let union = a.union(&b);
+        let inter = a.intersection(&b);
+        let diff = a.difference(&b);
+        for v in (0..210).map(Var::new) {
+            prop_assert_eq!(union.contains(v), a.contains(v) || b.contains(v));
+            prop_assert_eq!(inter.contains(v), a.contains(v) && b.contains(v));
+            prop_assert_eq!(diff.contains(v), a.contains(v) && !b.contains(v));
+        }
+        // |A| + |B| = |A∪B| + |A∩B|
+        prop_assert_eq!(a.len() + b.len(), union.len() + inter.len());
+        // A\B and A∩B partition A.
+        prop_assert_eq!(diff.len() + inter.len(), a.len());
+    }
+
+    #[test]
+    fn in_place_matches_functional(a in arb_varset(), b in arb_varset()) {
+        let mut u = a.clone();
+        u.union_with(&b);
+        prop_assert_eq!(u, a.union(&b));
+        let mut d = a.clone();
+        d.difference_with(&b);
+        prop_assert_eq!(d, a.difference(&b));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        prop_assert_eq!(i, a.intersection(&b));
+    }
+
+    #[test]
+    fn subset_is_reflexive_transitive_antisymmetric(
+        a in arb_varset(), b in arb_varset(), c in arb_varset())
+    {
+        prop_assert!(a.is_subset(&a));
+        if a.is_subset(&b) && b.is_subset(&c) {
+            prop_assert!(a.is_subset(&c));
+        }
+        if a.is_subset(&b) && b.is_subset(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        prop_assert_eq!(a.is_disjoint(&b), a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete(a in arb_varset()) {
+        let items = members(&a);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&items, &sorted);
+        prop_assert_eq!(items.len(), a.len());
+        prop_assert_eq!(a.min().map(Var::index), items.first().copied());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(a in arb_varset(), v in 0u32..200) {
+        let var = Var::new(v);
+        let mut s = a.clone();
+        let was_in = s.contains(var);
+        prop_assert_eq!(s.insert(var), !was_in);
+        prop_assert!(s.contains(var));
+        prop_assert!(s.remove(var));
+        prop_assert!(!s.contains(var));
+        if !was_in {
+            prop_assert_eq!(&s, &a);
+        }
+    }
+
+    #[test]
+    fn lit_roundtrips(v in 0u32..1000, neg in any::<bool>()) {
+        let lit = Lit::new(Var::new(v), neg);
+        prop_assert_eq!(Lit::from_code(lit.code()), lit);
+        prop_assert_eq!(Lit::from_dimacs(lit.to_dimacs()), Some(lit));
+        prop_assert_eq!(!!lit, lit);
+        prop_assert_eq!((!lit).var(), lit.var());
+        prop_assert_ne!(!lit, lit);
+    }
+
+    #[test]
+    fn assignment_behaves_like_a_map(pairs in prop::collection::vec((0u32..64, any::<bool>()), 0..32)) {
+        let mut reference = std::collections::HashMap::new();
+        let mut assignment = Assignment::new();
+        for &(v, value) in &pairs {
+            reference.insert(v, value);
+            assignment.assign(Var::new(v), value);
+        }
+        for v in 0..70u32 {
+            let expected = reference.get(&v).copied();
+            prop_assert_eq!(assignment.value(Var::new(v)).to_bool(), expected);
+        }
+        prop_assert_eq!(assignment.assigned_count(), reference.len());
+    }
+}

@@ -1,0 +1,89 @@
+//! End-to-end solver benchmarks per PEC family — the Criterion view of
+//! the Table I comparison: HQS vs the instantiation baseline on one
+//! representative instance per family (sizes kept small enough that the
+//! baseline finishes, so both sides measure actual work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hqs_base::Budget;
+use hqs_core::{HqsConfig, HqsSolver};
+use hqs_idq::InstantiationSolver;
+use std::time::Duration;
+
+fn budget() -> Budget {
+    Budget::new()
+        .with_timeout(Duration::from_secs(5))
+        .with_node_limit(2_000_000)
+}
+
+fn bounded_hqs() -> HqsSolver {
+    HqsSolver::with_config(HqsConfig {
+        budget: budget(),
+        ..HqsConfig::default()
+    })
+}
+use hqs_pec::families::generate;
+use hqs_pec::Family;
+
+fn bench_families_hqs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pec/hqs");
+    group.sample_size(10);
+    let plan = [
+        (Family::Adder, 4u32, 2u32),
+        (Family::Bitcell, 6, 2),
+        (Family::Lookahead, 8, 2),
+        (Family::PecXor, 12, 3),
+        (Family::Z4, 2, 2),
+        (Family::Comp, 4, 2),
+        (Family::C432, 4, 2),
+    ];
+    for (family, size, boxes) in plan {
+        let sat = generate(family, size, boxes, 0, false).dqbf;
+        let unsat = generate(family, size, boxes, 1, true).dqbf;
+        group.bench_with_input(
+            BenchmarkId::new(family.name(), "carved"),
+            &sat,
+            |b, dqbf| b.iter(|| bounded_hqs().solve(dqbf)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(family.name(), "faulted"),
+            &unsat,
+            |b, dqbf| b.iter(|| bounded_hqs().solve(dqbf)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_head_to_head(c: &mut Criterion) {
+    // Small instances where the baseline still terminates: the per-family
+    // gap here is the micro version of Fig. 4.
+    let mut group = c.benchmark_group("pec/head_to_head");
+    group.sample_size(10);
+    let plan = [
+        (Family::Adder, 2u32, 1u32),
+        (Family::PecXor, 6, 2),
+        (Family::Comp, 2, 1),
+    ];
+    for (family, size, boxes) in plan {
+        let dqbf = generate(family, size, boxes, 0, true).dqbf;
+        group.bench_with_input(
+            BenchmarkId::new(family.name(), "hqs"),
+            &dqbf,
+            |b, dqbf| b.iter(|| bounded_hqs().solve(dqbf)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(family.name(), "idq_style"),
+            &dqbf,
+            |b, dqbf| {
+                b.iter(|| {
+                    let mut solver = InstantiationSolver::new();
+                    solver.set_budget(budget());
+                    solver.solve(dqbf)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_families_hqs, bench_head_to_head);
+criterion_main!(benches);

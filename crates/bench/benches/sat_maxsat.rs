@@ -1,0 +1,128 @@
+//! Micro-benchmarks of the SAT and MaxSAT substrates: CDCL on classic
+//! hard/easy instances, and the Eq. (1)/(2)-style elimination-set MaxSAT
+//! problems (the paper reports those always solved in < 0.06 s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hqs_base::{Lit, Var, VarSet};
+use hqs_core::depgraph::DepGraph;
+use hqs_core::elimset::minimal_elimination_set;
+use hqs_sat::Solver;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pigeonhole(pigeons: i64, holes: i64) -> Vec<Vec<i64>> {
+    let var = |p: i64, h: i64| (p - 1) * holes + h;
+    let mut clauses = Vec::new();
+    for p in 1..=pigeons {
+        clauses.push((1..=holes).map(|h| var(p, h)).collect());
+    }
+    for h in 1..=holes {
+        for p1 in 1..=pigeons {
+            for p2 in (p1 + 1)..=pigeons {
+                clauses.push(vec![-var(p1, h), -var(p2, h)]);
+            }
+        }
+    }
+    clauses
+}
+
+fn random_3sat(num_vars: u32, num_clauses: usize, seed: u64) -> Vec<Vec<i64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| {
+                    let v = rng.gen_range(1..=num_vars) as i64;
+                    if rng.gen_bool(0.5) {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn solve(clauses: &[Vec<i64>]) -> hqs_sat::SolveResult {
+    let mut solver = Solver::new();
+    for clause in clauses {
+        solver.add_clause(clause.iter().map(|&v| Lit::from_dimacs(v).unwrap()));
+    }
+    solver.solve()
+}
+
+fn bench_cdcl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/cdcl");
+    group.sample_size(20);
+    let php = pigeonhole(7, 6);
+    group.bench_function("pigeonhole_7_6_unsat", |b| b.iter(|| solve(&php)));
+    // Under-constrained (easy SAT) and near-threshold random 3-SAT.
+    let easy = random_3sat(150, 450, 1);
+    group.bench_function("random3sat_150v_3.0", |b| b.iter(|| solve(&easy)));
+    let threshold = random_3sat(100, 426, 2);
+    group.bench_function("random3sat_100v_4.26", |b| b.iter(|| solve(&threshold)));
+    group.finish();
+}
+
+/// Random dependency structures like the PEC instances produce: many
+/// existentials with overlapping partial views.
+fn elimination_instance(
+    num_universals: u32,
+    num_existentials: u32,
+    seed: u64,
+) -> (Vec<Var>, Vec<(Var, VarSet)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let universals: Vec<Var> = (0..num_universals).map(Var::new).collect();
+    let existentials: Vec<(Var, VarSet)> = (0..num_existentials)
+        .map(|i| {
+            let deps: VarSet = universals
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(0.4))
+                .collect();
+            (Var::new(num_universals + i), deps)
+        })
+        .collect();
+    (universals, existentials)
+}
+
+fn bench_elimination_set_maxsat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxsat/elimination_set");
+    for (nu, ne) in [(10u32, 6u32), (20, 10), (40, 16)] {
+        let (universals, existentials) = elimination_instance(nu, ne, 99);
+        let graph = DepGraph::new(&existentials);
+        let cycles = graph.binary_cycles();
+        group.bench_with_input(
+            BenchmarkId::new("minimal_set", format!("{nu}u_{ne}e")),
+            &cycles,
+            |b, cycles| {
+                b.iter(|| minimal_elimination_set(&universals, cycles, |_| 1));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_totalizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxsat/totalizer");
+    for n in [16u32, 64] {
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut solver = Solver::new();
+                let inputs: Vec<Lit> =
+                    (0..n).map(|_| Lit::positive(solver.new_var())).collect();
+                hqs_maxsat::Totalizer::encode(&mut solver, &inputs)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cdcl,
+    bench_elimination_set_maxsat,
+    bench_totalizer
+);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Ablation study over HQS's design choices (the knobs Section III
+//! introduces): each configuration runs the same PEC instance set and the
+//! table shows what every ingredient buys.
+//!
+//! Configurations:
+//!
+//! * `paper`        — HQS as evaluated in the paper (all optimisations),
+//! * `all-univ` — eliminate *all* universals (\[10\]'s strategy) instead of
+//!   the MaxSAT-minimal set,
+//! * `no-unitpure`  — without Theorem-5/6 elimination in the main loop,
+//! * `no-gates`     — without Tseitin gate detection,
+//! * `no-preproc`   — without any CNF preprocessing,
+//! * `initial-sat`  — plus the extended version's up-front SAT call.
+//!
+//! ```text
+//! cargo run -p hqs-bench --release --bin ablation -- --scale smoke --timeout 5
+//! ```
+
+use hqs_base::Budget;
+use hqs_bench::{parse_args, HQS_NODE_LIMIT};
+use hqs_core::{DqbfResult, ElimStrategy, HqsConfig, HqsSolver};
+use hqs_pec::benchmark_suite;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, timeout, _) = parse_args(&args);
+    let configs: [(&str, HqsConfig); 8] = [
+        ("paper", HqsConfig::default()),
+        (
+            "all-univ",
+            HqsConfig {
+                strategy: ElimStrategy::AllUniversals,
+                ..HqsConfig::default()
+            },
+        ),
+        (
+            "no-unitpure",
+            HqsConfig {
+                unit_pure: false,
+                ..HqsConfig::default()
+            },
+        ),
+        (
+            "no-gates",
+            HqsConfig {
+                gate_detection: false,
+                ..HqsConfig::default()
+            },
+        ),
+        (
+            "no-preproc",
+            HqsConfig {
+                preprocess: false,
+                gate_detection: false,
+                ..HqsConfig::default()
+            },
+        ),
+        (
+            "initial-sat",
+            HqsConfig {
+                initial_sat_check: true,
+                ..HqsConfig::default()
+            },
+        ),
+        (
+            "subsume",
+            HqsConfig {
+                subsumption: true,
+                ..HqsConfig::default()
+            },
+        ),
+        (
+            "dyn-order",
+            HqsConfig {
+                dynamic_order: true,
+                ..HqsConfig::default()
+            },
+        ),
+    ];
+    let instances = benchmark_suite(scale);
+    eprintln!(
+        "ablation over {} instances at {scale:?} scale, {}s timeout",
+        instances.len(),
+        timeout.as_secs()
+    );
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>10} {:>12}",
+        "config", "solved", "SAT", "UNSAT", "unsolved", "time[s]"
+    );
+    println!("{}", "-".repeat(60));
+    let mut verdicts: Vec<Vec<DqbfResult>> = Vec::new();
+    for (name, config) in configs {
+        let mut solved = 0usize;
+        let mut sat = 0usize;
+        let mut unsat = 0usize;
+        let mut total = 0.0f64;
+        let mut row = Vec::with_capacity(instances.len());
+        for instance in &instances {
+            let start = Instant::now();
+            let mut solver = HqsSolver::with_config(HqsConfig {
+                budget: Budget::new()
+                    .with_timeout(timeout)
+                    .with_node_limit(HQS_NODE_LIMIT),
+                ..config
+            });
+            let verdict = solver.solve(&instance.dqbf);
+            total += start.elapsed().as_secs_f64();
+            match verdict {
+                DqbfResult::Sat => {
+                    solved += 1;
+                    sat += 1;
+                }
+                DqbfResult::Unsat => {
+                    solved += 1;
+                    unsat += 1;
+                }
+                DqbfResult::Limit(_) => {}
+            }
+            row.push(verdict);
+        }
+        verdicts.push(row);
+        println!(
+            "{:<12} {:>7} {:>7} {:>7} {:>10} {:>12.2}",
+            name,
+            solved,
+            sat,
+            unsat,
+            instances.len() - solved,
+            total
+        );
+    }
+    // Cross-configuration consistency: no two configs may contradict.
+    for i in 0..instances.len() {
+        let mut decided: Option<DqbfResult> = None;
+        for row in &verdicts {
+            if let v @ (DqbfResult::Sat | DqbfResult::Unsat) = row[i] {
+                match decided {
+                    None => decided = Some(v),
+                    Some(prev) => assert_eq!(prev, v, "disagreement on {}", instances[i].name),
+                }
+            }
+        }
+    }
+    println!("\nall configurations agree on every decided instance ✓");
+}

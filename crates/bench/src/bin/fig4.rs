@@ -1,0 +1,24 @@
+//! Regenerates Fig. 4 of the HQS paper: a log-log scatter of per-instance
+//! runtimes, baseline vs HQS, with TO/MO rails.
+//!
+//! Emits the raw data as CSV on stdout (redirect to a file for plotting)
+//! and an ASCII rendition of the scatter on stderr.
+//!
+//! ```text
+//! cargo run -p hqs-bench --release --bin fig4 -- --scale ci > fig4.csv
+//! ```
+
+use hqs_bench::{parse_args, render_csv, render_scatter, run_suite_with};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, timeout, initial_sat) = parse_args(&args);
+    eprintln!(
+        "running PEC suite at {scale:?} scale, {}s per solver per instance",
+        timeout.as_secs()
+    );
+    let runs = run_suite_with(scale, timeout, true, initial_sat);
+    print!("{}", render_csv(&runs));
+    eprintln!("\nFIG. 4 (regenerated)\n");
+    eprintln!("{}", render_scatter(&runs, timeout));
+}

@@ -1,0 +1,55 @@
+//! Emits the regenerated PEC benchmark suite as DQDIMACS files, so the
+//! instances can be fed to other DQBF solvers (iDQ, DQBDD, …) or archived.
+//!
+//! ```text
+//! cargo run -p hqs-bench --release --bin gen_corpus -- --scale ci --out corpus/
+//! ```
+
+use hqs_cnf::dimacs;
+use hqs_pec::{benchmark_suite, Scale};
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = Scale::Smoke;
+    let mut out_dir = PathBuf::from("corpus");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("smoke") => Scale::Smoke,
+                    Some("ci") => Scale::Ci,
+                    Some("paper") => Scale::Paper,
+                    other => panic!("unknown scale {other:?}"),
+                }
+            }
+            "--out" => out_dir = PathBuf::from(args.next().expect("--out takes a path")),
+            other => panic!("unknown option {other} (--scale, --out)"),
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let instances = benchmark_suite(scale);
+    let mut index = String::from("name,family,size,boxes,fault,universals,existentials,clauses\n");
+    for instance in &instances {
+        let path = out_dir.join(format!("{}.dqdimacs", instance.name));
+        let text = dimacs::write_dqdimacs(&instance.dqbf.to_file());
+        std::fs::write(&path, text).expect("write instance");
+        index.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            instance.name,
+            instance.family,
+            instance.size,
+            instance.num_boxes,
+            instance.fault,
+            instance.dqbf.universals().len(),
+            instance.dqbf.existentials().len(),
+            instance.dqbf.matrix().clauses().len(),
+        ));
+    }
+    std::fs::write(out_dir.join("index.csv"), index).expect("write index");
+    println!(
+        "wrote {} instances to {}",
+        instances.len(),
+        out_dir.display()
+    );
+}

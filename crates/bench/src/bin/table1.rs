@@ -1,0 +1,29 @@
+//! Regenerates Table I of the HQS paper: per-family solved/unsolved counts
+//! and accumulated runtimes for HQS vs the instantiation-based baseline.
+//!
+//! ```text
+//! cargo run -p hqs-bench --release --bin table1 -- --scale ci --timeout 10
+//! ```
+
+use hqs_bench::{parse_args, render_claims, render_table, run_suite_with, tabulate};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, timeout, initial_sat) = parse_args(&args);
+    eprintln!(
+        "running PEC suite at {scale:?} scale, {}s per solver per instance\
+         {}",
+        timeout.as_secs(),
+        if initial_sat { ", with HQS's up-front SAT call" } else { "" }
+    );
+    let start = std::time::Instant::now();
+    let runs = run_suite_with(scale, timeout, true, initial_sat);
+    println!("\nTABLE I (regenerated, scaled-down instances — see DESIGN.md)\n");
+    println!("{}", render_table(&tabulate(&runs)));
+    println!("{}", render_claims(&runs));
+    println!(
+        "suite wall-clock: {:.1}s for {} instances",
+        start.elapsed().as_secs_f64(),
+        runs.len()
+    );
+}

@@ -1,0 +1,256 @@
+//! CNF formulas.
+
+use crate::Clause;
+use hqs_base::{Assignment, Lit, TruthValue, Var, VarSet};
+use std::fmt;
+
+/// A formula in conjunctive normal form together with a variable budget.
+///
+/// `num_vars` is the number of allocated variables `0..num_vars`; clauses
+/// may only mention those. New variables (e.g. Tseitin auxiliaries) are
+/// allocated with [`Cnf::fresh_var`].
+///
+/// # Examples
+///
+/// ```
+/// use hqs_base::{Lit, Var};
+/// use hqs_cnf::{Clause, Cnf};
+///
+/// let mut cnf = Cnf::new(1);
+/// let x = Var::new(0);
+/// let t = cnf.fresh_var();
+/// cnf.add_clause(Clause::binary(Lit::positive(x), Lit::positive(t)));
+/// assert_eq!(cnf.num_vars(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Creates an empty CNF over variables `0..num_vars`.
+    #[must_use]
+    pub fn new(num_vars: u32) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Returns the number of allocated variables.
+    #[must_use]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Allocates and returns a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let var = Var::new(self.num_vars);
+        self.num_vars += 1;
+        var
+    }
+
+    /// Raises the variable budget to at least `n`.
+    pub fn ensure_num_vars(&mut self, n: u32) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Adds a clause. The variable budget is extended if the clause mentions
+    /// variables beyond it.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for var in clause.iter_vars() {
+            self.num_vars = self.num_vars.max(var.index() + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Convenience: adds a clause built from `lits`.
+    pub fn add_lits<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.add_clause(Clause::from_lits(lits));
+    }
+
+    /// Returns the clauses.
+    #[must_use]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Returns a mutable handle on the clause vector.
+    ///
+    /// Callers must not introduce variables beyond
+    /// [`num_vars`](Cnf::num_vars); use [`add_clause`](Cnf::add_clause) for
+    /// that.
+    pub fn clauses_mut(&mut self) -> &mut Vec<Clause> {
+        &mut self.clauses
+    }
+
+    /// Returns `true` if the formula has no clauses (and is thus trivially
+    /// true).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Returns `true` if the formula contains the empty clause (and is thus
+    /// trivially false).
+    #[must_use]
+    pub fn has_empty_clause(&self) -> bool {
+        self.clauses.iter().any(Clause::is_empty)
+    }
+
+    /// Returns the set of variables that actually occur in some clause.
+    #[must_use]
+    pub fn support(&self) -> VarSet {
+        let mut set = VarSet::with_capacity(self.num_vars);
+        for clause in &self.clauses {
+            set.extend(clause.iter_vars());
+        }
+        set
+    }
+
+    /// Evaluates the formula under a partial assignment.
+    #[must_use]
+    pub fn evaluate(&self, assignment: &Assignment) -> TruthValue {
+        let mut all_true = true;
+        for clause in &self.clauses {
+            match clause.evaluate(assignment) {
+                TruthValue::False => return TruthValue::False,
+                TruthValue::True => {}
+                TruthValue::Unassigned => all_true = false,
+            }
+        }
+        if all_true {
+            TruthValue::True
+        } else {
+            TruthValue::Unassigned
+        }
+    }
+
+    /// Removes tautological clauses and duplicate clauses, preserving order
+    /// of first occurrence.
+    pub fn remove_trivial(&mut self) {
+        let mut seen = std::collections::HashSet::new();
+        self.clauses
+            .retain(|c| !c.is_tautology() && seen.insert(c.clone()));
+    }
+
+    /// Applies a partial assignment: satisfied clauses are dropped and
+    /// falsified literals removed from the remaining clauses.
+    pub fn apply_assignment(&mut self, assignment: &Assignment) {
+        let mut new_clauses = Vec::with_capacity(self.clauses.len());
+        for clause in self.clauses.drain(..) {
+            match clause.evaluate(assignment) {
+                TruthValue::True => {}
+                _ => {
+                    let lits = clause
+                        .lits()
+                        .iter()
+                        .copied()
+                        .filter(|&l| assignment.lit_value(l) == TruthValue::Unassigned)
+                        .collect::<Vec<_>>();
+                    new_clauses.push(Clause::from_lits(lits));
+                }
+            }
+        }
+        self.clauses = new_clauses;
+    }
+}
+
+impl FromIterator<Clause> for Cnf {
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> Self {
+        let mut cnf = Cnf::new(0);
+        for clause in iter {
+            cnf.add_clause(clause);
+        }
+        cnf
+    }
+}
+
+impl Extend<Clause> for Cnf {
+    fn extend<I: IntoIterator<Item = Clause>>(&mut self, iter: I) {
+        for clause in iter {
+            self.add_clause(clause);
+        }
+    }
+}
+
+impl fmt::Debug for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Cnf({} vars, {} clauses)", self.num_vars, self.clauses.len())?;
+        for clause in &self.clauses {
+            writeln!(f, "  {clause}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(value: i64) -> Lit {
+        Lit::from_dimacs(value).unwrap()
+    }
+
+    #[test]
+    fn budget_tracks_clauses() {
+        let mut cnf = Cnf::new(0);
+        cnf.add_lits([lit(5)]);
+        assert_eq!(cnf.num_vars(), 5);
+        let v = cnf.fresh_var();
+        assert_eq!(v.index(), 5);
+        assert_eq!(cnf.num_vars(), 6);
+    }
+
+    #[test]
+    fn evaluation_and_empty_clause() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_lits([lit(1), lit(2)]);
+        cnf.add_lits([lit(-1)]);
+        let mut a = Assignment::new();
+        assert_eq!(cnf.evaluate(&a), TruthValue::Unassigned);
+        a.assign(Var::new(0), false);
+        a.assign(Var::new(1), true);
+        assert_eq!(cnf.evaluate(&a), TruthValue::True);
+        a.assign(Var::new(0), true);
+        assert_eq!(cnf.evaluate(&a), TruthValue::False);
+
+        let mut bad = Cnf::new(0);
+        bad.add_clause(Clause::empty());
+        assert!(bad.has_empty_clause());
+        assert_eq!(bad.evaluate(&Assignment::new()), TruthValue::False);
+    }
+
+    #[test]
+    fn remove_trivial_dedups_and_drops_tautologies() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_lits([lit(1), lit(-1)]);
+        cnf.add_lits([lit(1), lit(2)]);
+        cnf.add_lits([lit(2), lit(1)]);
+        cnf.remove_trivial();
+        assert_eq!(cnf.clauses().len(), 1);
+    }
+
+    #[test]
+    fn apply_assignment_simplifies() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_lits([lit(1), lit(2)]);
+        cnf.add_lits([lit(-1), lit(3)]);
+        let mut a = Assignment::new();
+        a.assign(Var::new(0), true);
+        cnf.apply_assignment(&a);
+        assert_eq!(cnf.clauses().len(), 1);
+        assert_eq!(cnf.clauses()[0], Clause::from_lits([lit(3)]));
+    }
+
+    #[test]
+    fn support_ignores_unused_vars() {
+        let mut cnf = Cnf::new(10);
+        cnf.add_lits([lit(2), lit(7)]);
+        let sup = cnf.support();
+        assert_eq!(sup.len(), 2);
+        assert!(sup.contains(Var::new(1)));
+        assert!(sup.contains(Var::new(6)));
+    }
+}

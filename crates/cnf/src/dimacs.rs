@@ -1,0 +1,595 @@
+//! Readers and writers for the DIMACS family of formats.
+//!
+//! Three dialects are supported:
+//!
+//! * **DIMACS CNF** — `p cnf <vars> <clauses>` followed by clauses.
+//! * **QDIMACS** — DIMACS plus a quantifier prefix of `a … 0` / `e … 0`
+//!   lines describing alternating blocks.
+//! * **DQDIMACS** — the DQBF extension used by iDQ and HQS: in addition to
+//!   `a`/`e` lines, a `d y x₁ … xₖ 0` line declares the existential `y`
+//!   with the explicit dependency set `{x₁, …, xₖ}`. An `e` line keeps the
+//!   QDIMACS meaning: its variables depend on all universals declared so
+//!   far.
+//!
+//! # Examples
+//!
+//! ```
+//! use hqs_cnf::dimacs;
+//!
+//! let text = "p cnf 4 2\na 1 2 0\nd 3 1 0\nd 4 2 0\n3 1 0\n-4 2 0\n";
+//! let file = dimacs::parse_dqdimacs(text)?;
+//! assert_eq!(file.universals.len(), 2);
+//! assert_eq!(file.existentials.len(), 2);
+//! assert_eq!(file.matrix.clauses().len(), 2);
+//! # Ok::<(), hqs_cnf::ParseError>(())
+//! ```
+
+use crate::{Clause, Cnf};
+use hqs_base::{Lit, Var, VarSet};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// The kind of a quantifier block in a QBF prefix.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Quantifier {
+    /// Universal quantification (`a` line).
+    Universal,
+    /// Existential quantification (`e` line).
+    Existential,
+}
+
+impl Quantifier {
+    /// Returns the opposite quantifier.
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            Quantifier::Universal => Quantifier::Existential,
+            Quantifier::Existential => Quantifier::Universal,
+        }
+    }
+}
+
+/// One block of equally-quantified variables in a QBF prefix.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QuantBlock {
+    /// The block's quantifier.
+    pub quantifier: Quantifier,
+    /// The variables of the block, in declaration order.
+    pub vars: Vec<Var>,
+}
+
+/// A parsed QDIMACS file.
+#[derive(Clone, Debug)]
+pub struct QdimacsFile {
+    /// Quantifier blocks, outermost first. Adjacent equal quantifiers are
+    /// merged.
+    pub blocks: Vec<QuantBlock>,
+    /// The matrix.
+    pub matrix: Cnf,
+}
+
+/// A parsed DQDIMACS file.
+#[derive(Clone, Debug)]
+pub struct DqdimacsFile {
+    /// Universal variables in declaration order.
+    pub universals: Vec<Var>,
+    /// Existential variables with their dependency sets, in declaration
+    /// order. Variables from `e` lines depend on all universals declared
+    /// before them.
+    pub existentials: Vec<(Var, VarSet)>,
+    /// The matrix.
+    pub matrix: Cnf,
+}
+
+/// Errors produced while parsing DIMACS-family input.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// The `p cnf` header is missing or malformed.
+    BadHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A token could not be parsed as an integer literal.
+    BadToken {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A prefix or clause line is not terminated by `0`.
+    MissingTerminator {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A variable exceeds the header's variable count.
+    VarOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending DIMACS variable number.
+        var: i64,
+    },
+    /// A variable is quantified more than once.
+    DuplicateQuantification {
+        /// 1-based line number.
+        line: usize,
+        /// The offending DIMACS variable number.
+        var: i64,
+    },
+    /// A `d` line references a dependency that is not a declared universal.
+    UnknownDependency {
+        /// 1-based line number.
+        line: usize,
+        /// The offending DIMACS variable number.
+        var: i64,
+    },
+    /// A prefix line appears after the first clause.
+    PrefixAfterClause {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader { line } => {
+                write!(f, "line {line}: missing or malformed `p cnf` header")
+            }
+            ParseError::BadToken { line, token } => {
+                write!(f, "line {line}: cannot parse token `{token}`")
+            }
+            ParseError::MissingTerminator { line } => {
+                write!(f, "line {line}: line not terminated by 0")
+            }
+            ParseError::VarOutOfRange { line, var } => {
+                write!(f, "line {line}: variable {var} exceeds header count")
+            }
+            ParseError::DuplicateQuantification { line, var } => {
+                write!(f, "line {line}: variable {var} quantified twice")
+            }
+            ParseError::UnknownDependency { line, var } => {
+                write!(f, "line {line}: dependency {var} is not a declared universal")
+            }
+            ParseError::PrefixAfterClause { line } => {
+                write!(f, "line {line}: quantifier line after first clause")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Tokens<'a> {
+    line: usize,
+    items: Vec<&'a str>,
+}
+
+/// Parsed header `(num_vars, num_clauses)` plus the remaining token lines.
+type TokenizedInput<'a> = (Option<(u32, usize)>, Vec<Tokens<'a>>);
+
+fn tokenize(text: &str) -> Result<TokenizedInput<'_>, ParseError> {
+    let mut header = None;
+    let mut lines = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") || header.is_some() {
+                return Err(ParseError::BadHeader { line });
+            }
+            let vars: u32 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or(ParseError::BadHeader { line })?;
+            let clauses: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or(ParseError::BadHeader { line })?;
+            if parts.next().is_some() {
+                return Err(ParseError::BadHeader { line });
+            }
+            header = Some((vars, clauses));
+            continue;
+        }
+        lines.push(Tokens {
+            line,
+            items: trimmed.split_whitespace().collect(),
+        });
+    }
+    Ok((header, lines))
+}
+
+fn parse_ints(tokens: &Tokens<'_>, skip: usize) -> Result<Vec<i64>, ParseError> {
+    let mut values = Vec::with_capacity(tokens.items.len().saturating_sub(skip));
+    for token in &tokens.items[skip..] {
+        let value: i64 = token.parse().map_err(|_| ParseError::BadToken {
+            line: tokens.line,
+            token: (*token).to_string(),
+        })?;
+        values.push(value);
+    }
+    if values.last() != Some(&0) {
+        return Err(ParseError::MissingTerminator { line: tokens.line });
+    }
+    values.pop();
+    Ok(values)
+}
+
+fn check_var(value: i64, num_vars: u32, line: usize) -> Result<Var, ParseError> {
+    let magnitude = value.unsigned_abs();
+    if value == 0 || magnitude > u64::from(num_vars) {
+        return Err(ParseError::VarOutOfRange { line, var: value });
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    Ok(Var::new((magnitude - 1) as u32))
+}
+
+/// Parses a plain DIMACS CNF document.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the header is missing, a token is not an
+/// integer, a clause is unterminated, or a variable exceeds the header
+/// count.
+pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseError> {
+    let (header, lines) = tokenize(text)?;
+    let (num_vars, _) = header.ok_or(ParseError::BadHeader { line: 1 })?;
+    let mut cnf = Cnf::new(num_vars);
+    for tokens in &lines {
+        let values = parse_ints(tokens, 0)?;
+        let mut lits = Vec::with_capacity(values.len());
+        for value in values {
+            check_var(value, num_vars, tokens.line)?;
+            lits.push(Lit::from_dimacs(value).expect("nonzero checked"));
+        }
+        cnf.add_clause(Clause::from_lits(lits));
+    }
+    Ok(cnf)
+}
+
+/// Parses a QDIMACS document.
+///
+/// Free variables (mentioned in the matrix but not quantified) are *not*
+/// implicitly bound; callers decide how to treat them (HQS treats them as
+/// outermost existentials).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input; see the variants for the
+/// conditions.
+pub fn parse_qdimacs(text: &str) -> Result<QdimacsFile, ParseError> {
+    let (header, lines) = tokenize(text)?;
+    let (num_vars, _) = header.ok_or(ParseError::BadHeader { line: 1 })?;
+    let mut blocks: Vec<QuantBlock> = Vec::new();
+    let mut matrix = Cnf::new(num_vars);
+    let mut quantified = VarSet::with_capacity(num_vars);
+    let mut in_matrix = false;
+    for tokens in &lines {
+        match tokens.items.first().copied() {
+            Some(kind @ ("a" | "e")) => {
+                if in_matrix {
+                    return Err(ParseError::PrefixAfterClause { line: tokens.line });
+                }
+                let quantifier = if kind == "a" {
+                    Quantifier::Universal
+                } else {
+                    Quantifier::Existential
+                };
+                let values = parse_ints(tokens, 1)?;
+                let mut vars = Vec::with_capacity(values.len());
+                for value in values {
+                    let var = check_var(value, num_vars, tokens.line)?;
+                    if !quantified.insert(var) {
+                        return Err(ParseError::DuplicateQuantification {
+                            line: tokens.line,
+                            var: value,
+                        });
+                    }
+                    vars.push(var);
+                }
+                match blocks.last_mut() {
+                    Some(last) if last.quantifier == quantifier => last.vars.extend(vars),
+                    _ => blocks.push(QuantBlock { quantifier, vars }),
+                }
+            }
+            _ => {
+                in_matrix = true;
+                let values = parse_ints(tokens, 0)?;
+                let mut lits = Vec::with_capacity(values.len());
+                for value in values {
+                    check_var(value, num_vars, tokens.line)?;
+                    lits.push(Lit::from_dimacs(value).expect("nonzero checked"));
+                }
+                matrix.add_clause(Clause::from_lits(lits));
+            }
+        }
+    }
+    Ok(QdimacsFile { blocks, matrix })
+}
+
+/// Parses a DQDIMACS document (`a`/`e`/`d` prefix lines).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input; see the variants for the
+/// conditions.
+pub fn parse_dqdimacs(text: &str) -> Result<DqdimacsFile, ParseError> {
+    let (header, lines) = tokenize(text)?;
+    let (num_vars, _) = header.ok_or(ParseError::BadHeader { line: 1 })?;
+    let mut universals: Vec<Var> = Vec::new();
+    let mut universal_set = VarSet::with_capacity(num_vars);
+    let mut existentials: Vec<(Var, VarSet)> = Vec::new();
+    let mut matrix = Cnf::new(num_vars);
+    let mut quantified = VarSet::with_capacity(num_vars);
+    let mut in_matrix = false;
+    for tokens in &lines {
+        match tokens.items.first().copied() {
+            Some(kind @ ("a" | "e" | "d")) => {
+                if in_matrix {
+                    return Err(ParseError::PrefixAfterClause { line: tokens.line });
+                }
+                let values = parse_ints(tokens, 1)?;
+                match kind {
+                    "a" => {
+                        for value in values {
+                            let var = check_var(value, num_vars, tokens.line)?;
+                            if !quantified.insert(var) {
+                                return Err(ParseError::DuplicateQuantification {
+                                    line: tokens.line,
+                                    var: value,
+                                });
+                            }
+                            universal_set.insert(var);
+                            universals.push(var);
+                        }
+                    }
+                    "e" => {
+                        for value in values {
+                            let var = check_var(value, num_vars, tokens.line)?;
+                            if !quantified.insert(var) {
+                                return Err(ParseError::DuplicateQuantification {
+                                    line: tokens.line,
+                                    var: value,
+                                });
+                            }
+                            existentials.push((var, universal_set.clone()));
+                        }
+                    }
+                    _ => {
+                        let mut iter = values.into_iter();
+                        let head = iter.next().ok_or(ParseError::MissingTerminator {
+                            line: tokens.line,
+                        })?;
+                        let var = check_var(head, num_vars, tokens.line)?;
+                        if !quantified.insert(var) {
+                            return Err(ParseError::DuplicateQuantification {
+                                line: tokens.line,
+                                var: head,
+                            });
+                        }
+                        let mut deps = VarSet::with_capacity(num_vars);
+                        for value in iter {
+                            let dep = check_var(value, num_vars, tokens.line)?;
+                            if !universal_set.contains(dep) {
+                                return Err(ParseError::UnknownDependency {
+                                    line: tokens.line,
+                                    var: value,
+                                });
+                            }
+                            deps.insert(dep);
+                        }
+                        existentials.push((var, deps));
+                    }
+                }
+            }
+            _ => {
+                in_matrix = true;
+                let values = parse_ints(tokens, 0)?;
+                let mut lits = Vec::with_capacity(values.len());
+                for value in values {
+                    check_var(value, num_vars, tokens.line)?;
+                    lits.push(Lit::from_dimacs(value).expect("nonzero checked"));
+                }
+                matrix.add_clause(Clause::from_lits(lits));
+            }
+        }
+    }
+    Ok(DqdimacsFile {
+        universals,
+        existentials,
+        matrix,
+    })
+}
+
+/// Renders a CNF as a DIMACS document.
+#[must_use]
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.clauses().len());
+    write_clauses(&mut out, cnf);
+    out
+}
+
+/// Renders a QDIMACS document.
+#[must_use]
+pub fn write_qdimacs(file: &QdimacsFile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "p cnf {} {}",
+        file.matrix.num_vars(),
+        file.matrix.clauses().len()
+    );
+    for block in &file.blocks {
+        let kind = match block.quantifier {
+            Quantifier::Universal => 'a',
+            Quantifier::Existential => 'e',
+        };
+        let _ = write!(out, "{kind}");
+        for var in &block.vars {
+            let _ = write!(out, " {}", var.index() + 1);
+        }
+        let _ = writeln!(out, " 0");
+    }
+    write_clauses(&mut out, &file.matrix);
+    out
+}
+
+/// Renders a DQDIMACS document. All existentials are written with explicit
+/// `d` lines.
+#[must_use]
+pub fn write_dqdimacs(file: &DqdimacsFile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "p cnf {} {}",
+        file.matrix.num_vars(),
+        file.matrix.clauses().len()
+    );
+    if !file.universals.is_empty() {
+        let _ = write!(out, "a");
+        for var in &file.universals {
+            let _ = write!(out, " {}", var.index() + 1);
+        }
+        let _ = writeln!(out, " 0");
+    }
+    for (var, deps) in &file.existentials {
+        let _ = write!(out, "d {}", var.index() + 1);
+        for dep in deps.iter() {
+            let _ = write!(out, " {}", dep.index() + 1);
+        }
+        let _ = writeln!(out, " 0");
+    }
+    write_clauses(&mut out, &file.matrix);
+    out
+}
+
+fn write_clauses(out: &mut String, cnf: &Cnf) {
+    for clause in cnf.clauses() {
+        for lit in clause.lits() {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_dimacs() {
+        let cnf = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n3 0\n").unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.clauses().len(), 2);
+        assert_eq!(cnf.clauses()[1], Clause::unit(Lit::from_dimacs(3).unwrap()));
+    }
+
+    #[test]
+    fn parse_clause_spanning_missing_zero_fails() {
+        assert_eq!(
+            parse_dimacs("p cnf 2 1\n1 2\n"),
+            Err(ParseError::MissingTerminator { line: 2 })
+        );
+    }
+
+    #[test]
+    fn header_errors() {
+        assert!(matches!(
+            parse_dimacs("1 0\n"),
+            Err(ParseError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            parse_dimacs("p cnf x 1\n"),
+            Err(ParseError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_var() {
+        assert_eq!(
+            parse_dimacs("p cnf 1 1\n2 0\n"),
+            Err(ParseError::VarOutOfRange { line: 2, var: 2 })
+        );
+    }
+
+    #[test]
+    fn parse_qdimacs_blocks_merge() {
+        let f = parse_qdimacs("p cnf 4 1\na 1 0\na 2 0\ne 3 4 0\n1 3 0\n").unwrap();
+        assert_eq!(f.blocks.len(), 2);
+        assert_eq!(f.blocks[0].vars.len(), 2);
+        assert_eq!(f.blocks[0].quantifier, Quantifier::Universal);
+        assert_eq!(f.blocks[1].quantifier, Quantifier::Existential);
+    }
+
+    #[test]
+    fn qdimacs_duplicate_quantification() {
+        assert_eq!(
+            parse_qdimacs("p cnf 2 0\na 1 0\ne 1 0\n").unwrap_err(),
+            ParseError::DuplicateQuantification { line: 3, var: 1 }
+        );
+    }
+
+    #[test]
+    fn qdimacs_prefix_after_clause() {
+        assert_eq!(
+            parse_qdimacs("p cnf 2 1\n1 0\na 2 0\n").unwrap_err(),
+            ParseError::PrefixAfterClause { line: 3 }
+        );
+    }
+
+    #[test]
+    fn parse_dqdimacs_mixed_e_and_d() {
+        let text = "p cnf 5 2\na 1 2 0\ne 3 0\nd 4 1 0\nd 5 0\n3 0\n4 -5 0\n";
+        let f = parse_dqdimacs(text).unwrap();
+        assert_eq!(f.universals.len(), 2);
+        assert_eq!(f.existentials.len(), 3);
+        // e-line var depends on both universals
+        assert_eq!(f.existentials[0].1.len(), 2);
+        // d-line with one dep
+        assert_eq!(f.existentials[1].1.len(), 1);
+        assert!(f.existentials[1].1.contains(Var::new(0)));
+        // d-line with empty deps
+        assert!(f.existentials[2].1.is_empty());
+    }
+
+    #[test]
+    fn dqdimacs_unknown_dependency() {
+        assert_eq!(
+            parse_dqdimacs("p cnf 3 0\na 1 0\nd 2 3 0\n").unwrap_err(),
+            ParseError::UnknownDependency { line: 3, var: 3 }
+        );
+    }
+
+    #[test]
+    fn dqdimacs_roundtrip() {
+        let text = "p cnf 4 2\na 1 2 0\nd 3 1 0\nd 4 2 0\n3 1 0\n-4 2 0\n";
+        let f = parse_dqdimacs(text).unwrap();
+        let rendered = write_dqdimacs(&f);
+        let again = parse_dqdimacs(&rendered).unwrap();
+        assert_eq!(f.universals, again.universals);
+        assert_eq!(f.existentials, again.existentials);
+        assert_eq!(f.matrix.clauses(), again.matrix.clauses());
+    }
+
+    #[test]
+    fn qdimacs_roundtrip() {
+        let text = "p cnf 4 2\na 1 0\ne 2 3 0\na 4 0\n1 -2 0\n3 4 0\n";
+        let f = parse_qdimacs(text).unwrap();
+        let again = parse_qdimacs(&write_qdimacs(&f)).unwrap();
+        assert_eq!(f.blocks, again.blocks);
+        assert_eq!(f.matrix.clauses(), again.matrix.clauses());
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let cnf = parse_dimacs("p cnf 3 2\n1 -2 0\n-3 0\n").unwrap();
+        let again = parse_dimacs(&write_dimacs(&cnf)).unwrap();
+        assert_eq!(cnf.clauses(), again.clauses());
+        assert_eq!(cnf.num_vars(), again.num_vars());
+    }
+}

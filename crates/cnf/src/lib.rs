@@ -1,0 +1,33 @@
+//! CNF formulas and DIMACS-family I/O for the HQS DQBF solver stack.
+//!
+//! The crate provides:
+//!
+//! * [`Clause`] — a normalised disjunction of literals,
+//! * [`Cnf`] — a conjunction of clauses with a variable budget,
+//! * [`dimacs`] — readers and writers for plain DIMACS CNF, QDIMACS (QBF)
+//!   and DQDIMACS (DQBF with `d`-lines, the format used by iDQ and HQS).
+//!
+//! # Examples
+//!
+//! ```
+//! use hqs_base::{Lit, Var};
+//! use hqs_cnf::{Clause, Cnf};
+//!
+//! let x = Var::new(0);
+//! let y = Var::new(1);
+//! let mut cnf = Cnf::new(2);
+//! cnf.add_clause(Clause::from_lits([Lit::positive(x), Lit::negative(y)]));
+//! cnf.add_clause(Clause::from_lits([Lit::positive(y)]));
+//! assert_eq!(cnf.clauses().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clause;
+mod cnf;
+pub mod dimacs;
+
+pub use clause::Clause;
+pub use cnf::Cnf;
+pub use dimacs::{DqdimacsFile, ParseError, QdimacsFile, QuantBlock, Quantifier};

@@ -1,0 +1,124 @@
+//! Property-based tests for clauses, CNF and the DIMACS-family parsers.
+
+use hqs_base::{Assignment, Lit, TruthValue, Var};
+use hqs_cnf::{dimacs, Clause, Cnf};
+use proptest::prelude::*;
+
+fn arb_lit(max_var: u32) -> impl Strategy<Value = Lit> {
+    (0..max_var, any::<bool>()).prop_map(|(v, neg)| Lit::new(Var::new(v), neg))
+}
+
+fn arb_clause(max_var: u32) -> impl Strategy<Value = Clause> {
+    prop::collection::vec(arb_lit(max_var), 0..6).prop_map(Clause::from_lits)
+}
+
+fn arb_cnf(max_var: u32) -> impl Strategy<Value = Cnf> {
+    prop::collection::vec(arb_clause(max_var), 0..12).prop_map(move |clauses| {
+        let mut cnf = Cnf::new(max_var);
+        for clause in clauses {
+            cnf.add_clause(clause);
+        }
+        cnf
+    })
+}
+
+fn arb_assignment(max_var: u32) -> impl Strategy<Value = Assignment> {
+    prop::collection::vec(any::<bool>(), max_var as usize)
+        .prop_map(|bits| bits.into_iter().enumerate().map(|(i, b)| (Var::new(i as u32), b)).collect())
+}
+
+proptest! {
+    /// DIMACS write/parse round-trips exactly.
+    #[test]
+    fn dimacs_roundtrip(cnf in arb_cnf(8)) {
+        let text = dimacs::write_dimacs(&cnf);
+        let parsed = dimacs::parse_dimacs(&text).unwrap();
+        prop_assert_eq!(cnf.clauses(), parsed.clauses());
+        prop_assert_eq!(cnf.num_vars(), parsed.num_vars());
+    }
+
+    /// Clause normalisation is idempotent and order-insensitive.
+    #[test]
+    fn clause_normalisation(mut lits in prop::collection::vec(
+        (0u32..6, any::<bool>()).prop_map(|(v, n)| Lit::new(Var::new(v), n)), 0..8))
+    {
+        let a = Clause::from_lits(lits.clone());
+        lits.reverse();
+        let b = Clause::from_lits(lits);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(Clause::from_lits(a.lits().iter().copied()), b);
+    }
+
+    /// Resolution: the resolvent is implied by its parents (any model of
+    /// both parents satisfies the resolvent).
+    #[test]
+    fn resolution_is_sound(
+        c1 in arb_clause(5),
+        c2 in arb_clause(5),
+        pivot in 0u32..5,
+        assignment in arb_assignment(5),
+    ) {
+        let pivot = Var::new(pivot);
+        if let Some(resolvent) = c1.resolve(&c2, pivot) {
+            let sat = |c: &Clause| c.evaluate(&assignment) == TruthValue::True;
+            if sat(&c1) && sat(&c2) {
+                prop_assert!(sat(&resolvent) || resolvent.is_tautology(),
+                    "resolvent {resolvent:?} falsified; parents {c1:?}, {c2:?}");
+            }
+        }
+    }
+
+    /// Subsumption: if c subsumes d, every model of c satisfies d.
+    #[test]
+    fn subsumption_is_semantic(
+        c in arb_clause(5),
+        d in arb_clause(5),
+        assignment in arb_assignment(5),
+    ) {
+        if c.subsumes(&d) && c.evaluate(&assignment) == TruthValue::True {
+            prop_assert_eq!(d.evaluate(&assignment), TruthValue::True);
+        }
+    }
+
+    /// apply_assignment preserves the formula's value under any extension
+    /// of the applied assignment.
+    #[test]
+    fn apply_assignment_preserves_semantics(
+        cnf in arb_cnf(6),
+        partial_bits in prop::collection::vec(any::<Option<bool>>(), 6),
+        full in arb_assignment(6),
+    ) {
+        let mut partial = Assignment::new();
+        let mut combined = Assignment::new();
+        for (i, value) in partial_bits.iter().enumerate() {
+            let var = Var::new(i as u32);
+            let fallback = full.value(var).to_bool().unwrap_or(false);
+            match value {
+                Some(b) => {
+                    partial.assign(var, *b);
+                    combined.assign(var, *b);
+                }
+                None => combined.assign(var, fallback),
+            }
+        }
+        let mut reduced = cnf.clone();
+        reduced.apply_assignment(&partial);
+        prop_assert_eq!(reduced.evaluate(&combined), cnf.evaluate(&combined));
+    }
+
+    /// QDIMACS round-trip through the writer.
+    #[test]
+    fn qdimacs_roundtrip(cnf in arb_cnf(6), split in 0u32..6) {
+        use hqs_cnf::{QdimacsFile, QuantBlock, Quantifier};
+        let blocks = vec![
+            QuantBlock { quantifier: Quantifier::Universal, vars: (0..split).map(Var::new).collect() },
+            QuantBlock { quantifier: Quantifier::Existential, vars: (split..6).map(Var::new).collect() },
+        ];
+        let blocks: Vec<QuantBlock> = blocks.into_iter().filter(|b| !b.vars.is_empty()).collect();
+        let file = QdimacsFile { blocks, matrix: cnf };
+        let text = dimacs::write_qdimacs(&file);
+        let parsed = dimacs::parse_qdimacs(&text).unwrap();
+        prop_assert_eq!(&file.blocks, &parsed.blocks);
+        prop_assert_eq!(file.matrix.clauses(), parsed.matrix.clauses());
+    }
+}

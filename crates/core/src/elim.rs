@@ -1,0 +1,549 @@
+//! Quantifier elimination on the AIG representation
+//! (Theorems 1, 2 and 5 of the paper).
+//!
+//! [`AigDqbf`] is the solver's working state: the matrix as an AIG cone
+//! plus the DQBF prefix (universals, existentials, dependency sets).
+//! The three elimination rules transform it in place:
+//!
+//! * [`AigDqbf::eliminate_universal`] — Theorem 1:
+//!   `φ ↦ φ[0/x] ∧ φ[1/x][y'/y for y ∈ E_x]`, introducing a fresh copy
+//!   `y'` for every existential depending on `x`.
+//! * [`AigDqbf::eliminate_existential`] — Theorem 2 (requires
+//!   `D_y = V^∀`): `φ ↦ φ[0/y] ∨ φ[1/y]`.
+//! * [`AigDqbf::apply_unit_pure`] — Theorem 5, driven by the syntactic
+//!   Theorem-6 traversal of [`hqs_aig`].
+
+use crate::Dqbf;
+use hqs_aig::{Aig, AigEdge, VarStatus};
+use hqs_base::{Var, VarSet};
+use std::collections::HashMap;
+
+/// The AIG-based working form of a DQBF.
+///
+/// # Examples
+///
+/// ```
+/// use hqs_base::Lit;
+/// use hqs_core::{Dqbf, elim::AigDqbf};
+///
+/// let mut dqbf = Dqbf::new();
+/// let x = dqbf.add_universal();
+/// let y = dqbf.add_existential([x]);
+/// dqbf.add_clause([Lit::positive(x), Lit::positive(y)]);
+/// let mut state = AigDqbf::from_dqbf(&dqbf);
+/// assert_eq!(state.universals().len(), 1);
+/// state.eliminate_universal(x);
+/// assert!(state.universals().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct AigDqbf {
+    /// The AIG manager holding the matrix.
+    pub aig: Aig,
+    /// The matrix cone.
+    pub root: AigEdge,
+    universals: Vec<Var>,
+    universal_set: VarSet,
+    existentials: Vec<Var>,
+    deps: HashMap<Var, VarSet>,
+    next_var: u32,
+}
+
+impl AigDqbf {
+    /// Builds the working state from a CNF-based DQBF (free variables are
+    /// bound as empty-dependency existentials).
+    #[must_use]
+    pub fn from_dqbf(dqbf: &Dqbf) -> Self {
+        let mut dqbf = dqbf.clone();
+        dqbf.bind_free_vars();
+        let mut aig = Aig::new();
+        let root = aig.from_cnf(dqbf.matrix());
+        AigDqbf {
+            aig,
+            root,
+            universals: dqbf.universals().to_vec(),
+            universal_set: dqbf.universals().iter().copied().collect(),
+            existentials: dqbf.existentials().to_vec(),
+            deps: dqbf
+                .existentials()
+                .iter()
+                .map(|&y| (y, dqbf.dependencies(y).expect("existential").clone()))
+                .collect(),
+            next_var: dqbf.num_vars(),
+        }
+    }
+
+    /// Builds the state from pre-assembled parts (used by the solver after
+    /// preprocessing and gate composition).
+    ///
+    /// `next_var` must exceed every allocated variable index.
+    #[must_use]
+    pub fn from_parts(
+        aig: Aig,
+        root: AigEdge,
+        universals: Vec<Var>,
+        existentials: Vec<(Var, VarSet)>,
+        next_var: u32,
+    ) -> Self {
+        let universal_set: VarSet = universals.iter().copied().collect();
+        AigDqbf {
+            aig,
+            root,
+            universals,
+            universal_set,
+            existentials: existentials.iter().map(|&(y, _)| y).collect(),
+            deps: existentials.into_iter().collect(),
+            next_var,
+        }
+    }
+
+    /// The remaining universal variables, in order.
+    #[must_use]
+    pub fn universals(&self) -> &[Var] {
+        &self.universals
+    }
+
+    /// The remaining existential variables, in order (copies appended).
+    #[must_use]
+    pub fn existentials(&self) -> &[Var] {
+        &self.existentials
+    }
+
+    /// The dependency set of `y`.
+    #[must_use]
+    pub fn dependencies(&self, y: Var) -> Option<&VarSet> {
+        self.deps.get(&y)
+    }
+
+    /// Existential/dependency pairs, for dependency-graph construction.
+    #[must_use]
+    pub fn existential_deps(&self) -> Vec<(Var, VarSet)> {
+        self.existentials
+            .iter()
+            .map(|&y| (y, self.deps[&y].clone()))
+            .collect()
+    }
+
+    /// `|E_x|`: how many existential copies eliminating `x` would create.
+    #[must_use]
+    pub fn copies_of(&self, x: Var) -> usize {
+        self.existentials
+            .iter()
+            .filter(|y| self.deps[y].contains(x))
+            .count()
+    }
+
+    /// Eliminates universal `x` by Theorem 1. Copies are created only for
+    /// existentials that actually occur in the positive cofactor's support;
+    /// the others keep their (now `x`-free) dependency sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not a current universal variable.
+    pub fn eliminate_universal(&mut self, x: Var) {
+        assert!(self.universal_set.contains(x), "{x} is not universal");
+        let cof0 = self.aig.cofactor(self.root, x, false);
+        let cof1 = self.aig.cofactor(self.root, x, true);
+        let support1 = self.aig.support(cof1);
+        let mut replacement: HashMap<Var, AigEdge> = HashMap::new();
+        let e_x: Vec<Var> = self
+            .existentials
+            .iter()
+            .copied()
+            .filter(|y| self.deps[y].contains(x))
+            .collect();
+        for y in e_x {
+            self.deps.get_mut(&y).expect("existential").remove(x);
+            if support1.contains(y) {
+                let copy = Var::new(self.next_var);
+                self.next_var += 1;
+                let mut copy_deps = self.deps[&y].clone();
+                copy_deps.remove(x);
+                self.deps.insert(copy, copy_deps);
+                self.existentials.push(copy);
+                let edge = self.aig.input(copy);
+                replacement.insert(y, edge);
+            }
+        }
+        let cof1_renamed = self.aig.compose_many(cof1, &replacement);
+        self.root = self.aig.and(cof0, cof1_renamed);
+        self.universals.retain(|&u| u != x);
+        self.universal_set.remove(x);
+    }
+
+    /// Eliminates existential `y` by Theorem 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` does not depend on all current universals.
+    pub fn eliminate_existential(&mut self, y: Var) {
+        assert_eq!(
+            self.deps.get(&y),
+            Some(&self.universal_set),
+            "Theorem 2 requires D_y = V∀"
+        );
+        self.root = self.aig.exists(self.root, y);
+        self.remove_existential(y);
+    }
+
+    /// Eliminates every existential whose dependency set equals the full
+    /// current universal set (the paper applies Theorem 2 "whenever
+    /// possible"). Returns how many were eliminated.
+    pub fn eliminate_total_existentials(&mut self) -> usize {
+        let mut count = 0;
+        while self.eliminate_one_total_existential() {
+            count += 1;
+        }
+        count
+    }
+
+    /// Eliminates a single total-dependency existential — the cheapest by
+    /// cone-occurrence count — and returns `true`; `false` when none is
+    /// left. Callers that enforce budgets use this to check limits between
+    /// eliminations.
+    pub fn eliminate_one_total_existential(&mut self) -> bool {
+        let support = self.aig.support(self.root);
+        let candidates: Vec<Var> = self
+            .existentials
+            .iter()
+            .copied()
+            .filter(|y| self.deps[y] == self.universal_set && support.contains(*y))
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        // Cheapest first: fewest cone nodes mentioning the variable.
+        let costs = crate::elim::support_occurrences(&self.aig, self.root, &candidates);
+        let (pos, _) = costs
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, c)| *c)
+            .expect("non-empty");
+        let y = candidates[pos];
+        self.root = self.aig.exists(self.root, y);
+        self.remove_existential(y);
+        true
+    }
+
+    /// One round of Theorem-5 elimination driven by the syntactic
+    /// Theorem-6 check. Applies at most one variable (the classification is
+    /// stale after a cofactor); returns
+    ///
+    /// * `Some(false)` — the formula was detected **unsatisfied**
+    ///   (universal unit),
+    /// * `Some(true)` — a variable was eliminated,
+    /// * `None` — nothing applied; the caller can stop iterating.
+    pub fn apply_unit_pure(&mut self) -> Option<bool> {
+        if self.root.is_constant() {
+            return None;
+        }
+        let status = self.aig.unit_pure(self.root);
+        for (var, s) in status.classified() {
+            let is_universal = self.universal_set.contains(var);
+            let is_existential = self.deps.contains_key(&var);
+            if !is_universal && !is_existential {
+                continue;
+            }
+            match s {
+                VarStatus::PositiveUnit | VarStatus::NegativeUnit if is_universal => {
+                    return Some(false);
+                }
+                VarStatus::PositiveUnit | VarStatus::PositivePure if is_existential => {
+                    self.root = self.aig.cofactor(self.root, var, true);
+                    self.remove_existential(var);
+                }
+                VarStatus::NegativeUnit | VarStatus::NegativePure if is_existential => {
+                    self.root = self.aig.cofactor(self.root, var, false);
+                    self.remove_existential(var);
+                }
+                VarStatus::PositivePure => {
+                    self.root = self.aig.cofactor(self.root, var, false);
+                    self.remove_universal(var);
+                }
+                VarStatus::NegativePure => {
+                    self.root = self.aig.cofactor(self.root, var, true);
+                    self.remove_universal(var);
+                }
+                VarStatus::Unknown => continue,
+                _ => continue,
+            }
+            return Some(true);
+        }
+        None
+    }
+
+    /// Per-variable count of cone nodes whose support contains the
+    /// variable (bit-parallel over chunks of 64) — the elimination-cost
+    /// estimate.
+    #[must_use]
+    pub fn occurrence_counts(&self, vars: &[Var]) -> Vec<usize> {
+        support_occurrences(&self.aig, self.root, vars)
+    }
+
+    fn remove_existential(&mut self, y: Var) {
+        self.existentials.retain(|&v| v != y);
+        self.deps.remove(&y);
+    }
+
+    fn remove_universal(&mut self, x: Var) {
+        self.universals.retain(|&v| v != x);
+        self.universal_set.remove(x);
+        for deps in self.deps.values_mut() {
+            deps.remove(x);
+        }
+    }
+
+    /// Drops prefix variables that no longer occur in the matrix support.
+    /// Unused universals are simply removed (their quantification is
+    /// vacuous); unused existentials likewise.
+    pub fn drop_unused(&mut self) {
+        let support = self.aig.support(self.root);
+        self.universals.retain(|&x| {
+            let keep = support.contains(x);
+            if !keep {
+                self.universal_set.remove(x);
+            }
+            keep
+        });
+        // Removed universals must disappear from dependency sets.
+        for deps in self.deps.values_mut() {
+            deps.intersect_with(&self.universal_set);
+        }
+        let deps = &mut self.deps;
+        self.existentials.retain(|&y| {
+            let keep = support.contains(y);
+            if !keep {
+                deps.remove(&y);
+            }
+            keep
+        });
+    }
+
+    /// Garbage-collects the AIG manager, keeping only the live cone.
+    pub fn compact(&mut self) {
+        self.root = self.aig.compact(&[self.root])[0];
+    }
+
+    /// Converts back to a CNF-based [`Dqbf`] by Tseitin encoding; auxiliary
+    /// gate variables become existentials depending on **all** current
+    /// universals (their values are functions of the other variables, hence
+    /// Skolem-representable). Used by the test oracle.
+    #[must_use]
+    pub fn to_dqbf(&self) -> Dqbf {
+        let first_aux = self.next_var;
+        let (cnf, out) = self.aig.to_cnf(self.root, first_aux);
+        let mut dqbf = Dqbf::new();
+        // Recreate prefix in variable order: universals first.
+        let mut mapping: HashMap<Var, Var> = HashMap::new();
+        for &x in &self.universals {
+            mapping.insert(x, dqbf.add_universal());
+        }
+        for &y in &self.existentials {
+            let deps: Vec<Var> = self.deps[&y].iter().map(|d| mapping[&d]).collect();
+            mapping.insert(y, dqbf.add_existential(deps));
+        }
+        // Auxiliary variables: innermost existentials.
+        for aux in first_aux..cnf.num_vars() {
+            mapping.insert(Var::new(aux), dqbf.add_existential_innermost());
+        }
+        // Any other support variable (shouldn't happen) maps identically.
+        for clause in cnf.clauses() {
+            dqbf.add_clause(clause.lits().iter().map(|&l| {
+                let var = *mapping.get(&l.var()).unwrap_or(&l.var());
+                hqs_base::Lit::new(var, l.is_negative())
+            }));
+        }
+        let out_var = *mapping.get(&out.var()).unwrap_or(&out.var());
+        dqbf.add_clause([hqs_base::Lit::new(out_var, out.is_negative())]);
+        dqbf
+    }
+}
+
+/// For each variable, the number of cone nodes of `root` whose support
+/// contains it; used to order eliminations cheapest-first.
+pub(crate) fn support_occurrences(
+    aig: &hqs_aig::Aig,
+    root: AigEdge,
+    vars: &[Var],
+) -> Vec<usize> {
+    aig.occurrence_counts(root, vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::is_satisfiable_by_expansion;
+    use hqs_base::Lit;
+
+    fn example_one() -> (Dqbf, Var, Var, Var, Var) {
+        // ∀x1∀x2 ∃y1(x1) ∃y2(x2) : (y1↔x1) ∧ (y2↔x2)
+        let mut d = Dqbf::new();
+        let x1 = d.add_universal();
+        let x2 = d.add_universal();
+        let y1 = d.add_existential([x1]);
+        let y2 = d.add_existential([x2]);
+        for (x, y) in [(x1, y1), (x2, y2)] {
+            d.add_clause([Lit::positive(x), Lit::negative(y)]);
+            d.add_clause([Lit::negative(x), Lit::positive(y)]);
+        }
+        (d, x1, x2, y1, y2)
+    }
+
+    #[test]
+    fn universal_elimination_creates_copies() {
+        let (d, x1, _, _, _) = example_one();
+        let mut state = AigDqbf::from_dqbf(&d);
+        let before = state.existentials().len();
+        state.eliminate_universal(x1);
+        assert_eq!(state.universals().len(), 1);
+        // y1 depended on x1 and occurs in the positive cofactor: one copy.
+        assert_eq!(state.existentials().len(), before + 1);
+        // All dependency sets no longer mention x1.
+        for &y in state.existentials() {
+            assert!(!state.dependencies(y).unwrap().contains(x1));
+        }
+    }
+
+    #[test]
+    fn elimination_preserves_truth() {
+        let (d, x1, _, _, _) = example_one();
+        assert!(is_satisfiable_by_expansion(&d));
+        let mut state = AigDqbf::from_dqbf(&d);
+        state.eliminate_universal(x1);
+        assert!(is_satisfiable_by_expansion(&state.to_dqbf()));
+        // After both universals: SAT matrix remains.
+        let x2 = state.universals()[0];
+        state.eliminate_universal(x2);
+        assert!(state.universals().is_empty());
+        assert!(is_satisfiable_by_expansion(&state.to_dqbf()));
+    }
+
+    #[test]
+    fn elimination_preserves_falsity() {
+        // ∀x1∀x2 ∃y(x1): y↔x2 — unsatisfiable.
+        let mut d = Dqbf::new();
+        let x1 = d.add_universal();
+        let x2 = d.add_universal();
+        let y = d.add_existential([x1]);
+        d.add_clause([Lit::positive(x2), Lit::negative(y)]);
+        d.add_clause([Lit::negative(x2), Lit::positive(y)]);
+        assert!(!is_satisfiable_by_expansion(&d));
+        let mut state = AigDqbf::from_dqbf(&d);
+        state.eliminate_universal(x1);
+        assert!(!is_satisfiable_by_expansion(&state.to_dqbf()));
+        state.eliminate_universal(x2);
+        assert!(!is_satisfiable_by_expansion(&state.to_dqbf()));
+        // With all universals gone the matrix must be unsatisfiable
+        // propositionally (all remaining vars existential).
+    }
+
+    #[test]
+    fn existential_elimination_requires_total_deps() {
+        let (d, _, _, _, y2) = example_one();
+        let mut state = AigDqbf::from_dqbf(&d);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.eliminate_existential(y2);
+        }));
+        assert!(result.is_err(), "partial dependencies must be rejected");
+    }
+
+    #[test]
+    fn total_existential_elimination() {
+        // ∀x ∃y(x): (y ↔ x) — y depends on all universals, eliminable.
+        let mut d = Dqbf::new();
+        let x = d.add_universal();
+        let y = d.add_existential([x]);
+        d.add_clause([Lit::positive(x), Lit::negative(y)]);
+        d.add_clause([Lit::negative(x), Lit::positive(y)]);
+        let mut state = AigDqbf::from_dqbf(&d);
+        assert_eq!(state.eliminate_total_existentials(), 1);
+        // ∃y. y↔x ≡ TRUE for each x: the AIG collapses.
+        assert_eq!(state.root, Aig::TRUE);
+    }
+
+    #[test]
+    fn unit_pure_universal_unit_detects_unsat() {
+        // ∀x: matrix = x — universal unit.
+        let mut d = Dqbf::new();
+        let x = d.add_universal();
+        d.add_clause([Lit::positive(x)]);
+        let mut state = AigDqbf::from_dqbf(&d);
+        assert_eq!(state.apply_unit_pure(), Some(false));
+    }
+
+    #[test]
+    fn unit_pure_eliminates_pure_existential() {
+        // ∃y (free-style): matrix = (y ∨ x) ∧ (y ∨ ¬x), y positive pure.
+        let mut d = Dqbf::new();
+        let x = d.add_universal();
+        let y = d.add_existential([]);
+        d.add_clause([Lit::positive(y), Lit::positive(x)]);
+        d.add_clause([Lit::positive(y), Lit::negative(x)]);
+        let mut state = AigDqbf::from_dqbf(&d);
+        // Repeated application ends in constant TRUE.
+        while let Some(step) = state.apply_unit_pure() {
+            assert!(step, "no unsat verdict expected");
+        }
+        assert_eq!(state.root, Aig::TRUE);
+    }
+
+    #[test]
+    fn drop_unused_cleans_prefix() {
+        let mut d = Dqbf::new();
+        let _x = d.add_universal();
+        let y = d.add_existential([]);
+        d.add_clause([Lit::positive(y)]);
+        let mut state = AigDqbf::from_dqbf(&d);
+        state.drop_unused();
+        assert!(state.universals().is_empty());
+        assert_eq!(state.existentials(), &[y]);
+    }
+
+    /// Randomised soundness: a random sequence of Theorem-1/2 eliminations
+    /// never changes the truth value (checked against the expansion
+    /// oracle).
+    #[test]
+    fn random_elimination_sequences_preserve_truth() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        for round in 0..60 {
+            let mut d = Dqbf::new();
+            let nu = rng.gen_range(1..=3u32);
+            let ne = rng.gen_range(1..=3u32);
+            let xs: Vec<Var> = (0..nu).map(|_| d.add_universal()).collect();
+            let mut ys = Vec::new();
+            for _ in 0..ne {
+                let deps: Vec<Var> = xs
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(0.6))
+                    .collect();
+                ys.push(d.add_existential(deps));
+            }
+            let all_vars: Vec<Var> = xs.iter().chain(ys.iter()).copied().collect();
+            for _ in 0..rng.gen_range(1..=6usize) {
+                let len = rng.gen_range(1..=3usize);
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = all_vars[rng.gen_range(0..all_vars.len())];
+                        Lit::new(v, rng.gen_bool(0.5))
+                    })
+                    .collect();
+                d.add_clause(lits);
+            }
+            let expected = is_satisfiable_by_expansion(&d);
+            let mut state = AigDqbf::from_dqbf(&d);
+            // Eliminate universals in random order, existentials whenever
+            // total.
+            let mut remaining = xs.clone();
+            while !remaining.is_empty() {
+                state.eliminate_total_existentials();
+                let pick = rng.gen_range(0..remaining.len());
+                let x = remaining.swap_remove(pick);
+                state.eliminate_universal(x);
+                let now = is_satisfiable_by_expansion(&state.to_dqbf());
+                assert_eq!(now, expected, "round {round} after eliminating {x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Universal expansion of a DQBF into propositional SAT.
+//!
+//! A DQBF is satisfied iff its *full universal expansion* is: for every
+//! assignment `ω` of the universal variables, instantiate the matrix with
+//! `ω` and replace each existential `y` by an instance variable keyed by
+//! `(y, ω|D_y)` — the restriction of `ω` to `y`'s dependency set. Two
+//! instances agree exactly when the Skolem function `s_y` must produce the
+//! same value, so the expansion is satisfiable iff Skolem functions exist.
+//!
+//! The expansion is exponential in the number of universals; it serves as
+//! the exact reference oracle for the solver tests and as the conceptual
+//! basis of the instantiation-based iDQ baseline (which builds it lazily).
+
+use crate::Dqbf;
+use hqs_base::{Lit, Var};
+use hqs_cnf::{Clause, Cnf};
+use std::collections::HashMap;
+
+/// Hard cap on the number of universal variables accepted by
+/// [`expand_to_cnf`]; beyond this the expansion would not fit in memory
+/// anyway.
+pub const MAX_EXPANSION_UNIVERSALS: usize = 24;
+
+/// Builds the full universal expansion of `dqbf` as a propositional CNF.
+///
+/// Returns the CNF together with the mapping from `(existential, packed
+/// restriction)` to instance variable, which callers can use to read back
+/// Skolem function tables from a model.
+///
+/// # Panics
+///
+/// Panics if the formula has more than [`MAX_EXPANSION_UNIVERSALS`]
+/// universal variables, or an existential with more than 64 dependencies.
+#[must_use]
+pub fn expand_to_cnf(dqbf: &Dqbf) -> (Cnf, HashMap<(Var, u64), Var>) {
+    let universals = dqbf.universals();
+    assert!(
+        universals.len() <= MAX_EXPANSION_UNIVERSALS,
+        "expansion limited to {MAX_EXPANSION_UNIVERSALS} universals"
+    );
+    let mut cnf = Cnf::new(0);
+    let mut instances: HashMap<(Var, u64), Var> = HashMap::new();
+    let position: HashMap<Var, usize> = universals
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (x, i))
+        .collect();
+
+    // Treat free variables as empty-dependency existentials on the fly.
+    let mut scratch = dqbf.clone();
+    scratch.bind_free_vars();
+
+    for omega in 0u64..(1u64 << universals.len()) {
+        'clauses: for clause in scratch.matrix().clauses() {
+            let mut lits: Vec<Lit> = Vec::with_capacity(clause.len());
+            for &lit in clause.lits() {
+                let var = lit.var();
+                if let Some(&pos) = position.get(&var) {
+                    let value = omega >> pos & 1 == 1;
+                    if value != lit.is_negative() {
+                        continue 'clauses; // satisfied under ω
+                    }
+                    // falsified literal: drop
+                } else {
+                    let deps = scratch
+                        .dependencies(var)
+                        .expect("free vars were bound");
+                    assert!(deps.len() <= 64, "dependency sets limited to 64");
+                    let mut key = 0u64;
+                    for (i, dep) in deps.iter().enumerate() {
+                        if omega >> position[&dep] & 1 == 1 {
+                            key |= 1 << i;
+                        }
+                    }
+                    let next_index = instances.len() as u32;
+                    let instance = *instances
+                        .entry((var, key))
+                        .or_insert_with(|| Var::new(next_index));
+                    lits.push(Lit::new(instance, lit.is_negative()));
+                }
+            }
+            cnf.add_clause(Clause::from_lits(lits));
+        }
+    }
+    cnf.ensure_num_vars(instances.len() as u32);
+    (cnf, instances)
+}
+
+/// Decides `dqbf` exactly by full expansion plus one CDCL call.
+///
+/// The exact reference oracle used throughout the test suite. Exponential
+/// in the universal count; see [`MAX_EXPANSION_UNIVERSALS`].
+#[must_use]
+pub fn is_satisfiable_by_expansion(dqbf: &Dqbf) -> bool {
+    let (cnf, _) = expand_to_cnf(dqbf);
+    if cnf.has_empty_clause() {
+        return false;
+    }
+    let mut solver = hqs_sat::Solver::new();
+    solver.add_cnf(&cnf);
+    solver.solve() == hqs_sat::SolveResult::Sat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 1-style instance: ∀x₁∀x₂ ∃y₁(x₁) ∃y₂(x₂) with matrix
+    /// (y₁↔x₁) ∧ (y₂↔x₂): satisfiable.
+    #[test]
+    fn copy_functions_are_satisfiable() {
+        let mut d = Dqbf::new();
+        let x1 = d.add_universal();
+        let x2 = d.add_universal();
+        let y1 = d.add_existential([x1]);
+        let y2 = d.add_existential([x2]);
+        for (x, y) in [(x1, y1), (x2, y2)] {
+            d.add_clause([Lit::positive(x), Lit::negative(y)]);
+            d.add_clause([Lit::negative(x), Lit::positive(y)]);
+        }
+        assert!(is_satisfiable_by_expansion(&d));
+    }
+
+    /// ∀x₁∀x₂ ∃y(x₁) with matrix y↔x₂: y cannot see x₂, unsatisfiable.
+    #[test]
+    fn wrong_dependency_is_unsatisfiable() {
+        let mut d = Dqbf::new();
+        let x1 = d.add_universal();
+        let x2 = d.add_universal();
+        let y = d.add_existential([x1]);
+        d.add_clause([Lit::positive(x2), Lit::negative(y)]);
+        d.add_clause([Lit::negative(x2), Lit::positive(y)]);
+        assert!(!is_satisfiable_by_expansion(&d));
+        // The same matrix with the right dependency is satisfiable.
+        let mut d2 = Dqbf::new();
+        let _x1 = d2.add_universal();
+        let x2 = d2.add_universal();
+        let y = d2.add_existential([x2]);
+        d2.add_clause([Lit::positive(x2), Lit::negative(y)]);
+        d2.add_clause([Lit::negative(x2), Lit::positive(y)]);
+        assert!(is_satisfiable_by_expansion(&d2));
+    }
+
+    /// Instance variables are shared between expansion rows that agree on
+    /// the dependency set — the defining difference from plain QBF
+    /// expansion.
+    #[test]
+    fn instances_are_shared_across_rows() {
+        let mut d = Dqbf::new();
+        let x1 = d.add_universal();
+        let _x2 = d.add_universal();
+        let y = d.add_existential([x1]);
+        d.add_clause([Lit::positive(y)]);
+        let (_, instances) = expand_to_cnf(&d);
+        // y has 1 dependency ⇒ exactly 2 instances despite 4 rows.
+        assert_eq!(instances.len(), 2);
+    }
+
+    #[test]
+    fn no_universals_reduces_to_sat() {
+        let mut d = Dqbf::new();
+        let y = d.add_existential([]);
+        d.add_clause([Lit::positive(y)]);
+        assert!(is_satisfiable_by_expansion(&d));
+        d.add_clause([Lit::negative(y)]);
+        assert!(!is_satisfiable_by_expansion(&d));
+    }
+
+    #[test]
+    fn free_variables_act_as_existentials() {
+        let mut d = Dqbf::new();
+        let x = d.add_universal();
+        // Free variable v2 (index 1 never allocated as quantified).
+        d.add_clause([
+            Lit::positive(Var::new(1)),
+            Lit::positive(x),
+        ]);
+        // Needs v1 = true when x = 0; free var has empty deps but constant
+        // true works.
+        assert!(is_satisfiable_by_expansion(&d));
+    }
+
+    /// Universal unit clause makes the formula unsatisfied.
+    #[test]
+    fn universal_unit_clause_unsat() {
+        let mut d = Dqbf::new();
+        let x = d.add_universal();
+        d.add_clause([Lit::positive(x)]);
+        assert!(!is_satisfiable_by_expansion(&d));
+    }
+}

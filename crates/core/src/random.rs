@@ -1,0 +1,139 @@
+//! Random DQBF generation for fuzzing and benchmarking.
+//!
+//! The test suites cross-check the solvers against the expansion oracle on
+//! random formulas; this module makes the generator part of the public API
+//! so external fuzzing (see the `fuzz_dqbf` binary of `hqs-bench`) and
+//! downstream test suites can reuse it. Generation is fully deterministic
+//! in the seed.
+
+use crate::Dqbf;
+use hqs_base::{Lit, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random-formula distribution.
+///
+/// # Examples
+///
+/// ```
+/// use hqs_core::random::RandomDqbf;
+///
+/// let dqbf = RandomDqbf::default().generate(42);
+/// assert!(!dqbf.universals().is_empty());
+/// let again = RandomDqbf::default().generate(42);
+/// assert_eq!(dqbf.matrix().clauses(), again.matrix().clauses());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RandomDqbf {
+    /// Number of universal variables.
+    pub num_universals: u32,
+    /// Number of existential variables.
+    pub num_existentials: u32,
+    /// Probability that an existential depends on each universal.
+    pub dependency_density: f64,
+    /// Number of clauses.
+    pub num_clauses: usize,
+    /// Maximum clause length (lengths are uniform in `1..=max`).
+    pub max_clause_len: usize,
+}
+
+impl Default for RandomDqbf {
+    fn default() -> Self {
+        RandomDqbf {
+            num_universals: 4,
+            num_existentials: 4,
+            dependency_density: 0.5,
+            num_clauses: 12,
+            max_clause_len: 3,
+        }
+    }
+}
+
+impl RandomDqbf {
+    /// Generates the formula for `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_clause_len` is 0 or there are no variables at all.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Dqbf {
+        assert!(self.max_clause_len > 0, "clauses need at least one literal");
+        assert!(
+            self.num_universals + self.num_existentials > 0,
+            "at least one variable required"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dqbf = Dqbf::new();
+        let universals: Vec<Var> = (0..self.num_universals)
+            .map(|_| dqbf.add_universal())
+            .collect();
+        let mut all = universals.clone();
+        for _ in 0..self.num_existentials {
+            let deps: Vec<Var> = universals
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(self.dependency_density))
+                .collect();
+            all.push(dqbf.add_existential(deps));
+        }
+        for _ in 0..self.num_clauses {
+            let len = rng.gen_range(1..=self.max_clause_len);
+            let lits: Vec<Lit> = (0..len)
+                .map(|_| Lit::new(all[rng.gen_range(0..all.len())], rng.gen_bool(0.5)))
+                .collect();
+            dqbf.add_clause(lits);
+        }
+        dqbf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let config = RandomDqbf::default();
+        let a = config.generate(7);
+        let b = config.generate(7);
+        assert_eq!(a.matrix().clauses(), b.matrix().clauses());
+        assert_eq!(a.universals(), b.universals());
+        let c = config.generate(8);
+        assert!(
+            a.matrix().clauses() != c.matrix().clauses()
+                || a.existentials()
+                    .iter()
+                    .any(|&y| a.dependencies(y) != c.dependencies(y)),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn respects_parameters() {
+        let config = RandomDqbf {
+            num_universals: 3,
+            num_existentials: 5,
+            dependency_density: 1.0,
+            num_clauses: 7,
+            max_clause_len: 2,
+        };
+        let d = config.generate(0);
+        assert_eq!(d.universals().len(), 3);
+        assert_eq!(d.existentials().len(), 5);
+        assert_eq!(d.matrix().clauses().len(), 7);
+        assert!(d.matrix().clauses().iter().all(|c| c.len() <= 2));
+        assert!(d.has_total_dependencies());
+    }
+
+    #[test]
+    fn zero_density_yields_free_style_existentials() {
+        let config = RandomDqbf {
+            dependency_density: 0.0,
+            ..RandomDqbf::default()
+        };
+        let d = config.generate(1);
+        for &y in d.existentials() {
+            assert!(d.dependencies(y).unwrap().is_empty());
+        }
+    }
+}

@@ -1,0 +1,560 @@
+//! The HQS main loop (Fig. 3 of the paper).
+
+use crate::build::build_aig;
+use crate::depgraph::{linearise, DepGraph};
+use crate::elim::AigDqbf;
+use crate::elimset::minimal_elimination_set;
+use crate::preprocess::{preprocess_full, PreprocessResult, PreprocessStats};
+use crate::Dqbf;
+use hqs_base::{Budget, Exhaustion, Var};
+use hqs_cnf::DqdimacsFile;
+use hqs_qbf::{QbfResult, QbfSolver, QbfStats};
+
+/// Result of a DQBF solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DqbfResult {
+    /// The formula is satisfied (Skolem functions exist).
+    Sat,
+    /// The formula is unsatisfied.
+    Unsat,
+    /// A resource limit was hit first (paper: TO/MO).
+    Limit(Exhaustion),
+}
+
+impl DqbfResult {
+    /// Converts a QBF backend verdict.
+    #[must_use]
+    pub fn from_qbf(result: QbfResult) -> Self {
+        match result {
+            QbfResult::Sat => DqbfResult::Sat,
+            QbfResult::Unsat => DqbfResult::Unsat,
+            QbfResult::Limit(e) => DqbfResult::Limit(e),
+        }
+    }
+}
+
+/// Which QBF decision procedure receives the linearised remainder —
+/// the paper's abstract promises the produced QBF "can be decided using
+/// any standard QBF solver".
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum QbfBackend {
+    /// The AIG-based elimination solver (the AIGSOLVE role; HQS feeds it
+    /// the AIG directly).
+    #[default]
+    Elimination,
+    /// The search-based (QDPLL-style) solver of [`hqs_qbf::search`]; the
+    /// AIG is Tseitin-converted back to CNF first.
+    Search,
+}
+
+/// Which universal variables the main loop eliminates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ElimStrategy {
+    /// HQS: the MaxSAT-minimal set that linearises the prefix (Eq. 1–2),
+    /// ordered by the number of existential copies each elimination
+    /// introduces. Once the dependency graph is acyclic, the remaining QBF
+    /// goes to the QBF backend.
+    #[default]
+    MaxSatMinimal,
+    /// The baseline of Gitina et al. 2013 (\[10\]): eliminate *all* universal
+    /// variables (cheapest first) until a plain SAT instance remains —
+    /// no QBF backend, no MaxSAT selection.
+    AllUniversals,
+}
+
+/// Configuration of [`HqsSolver`].
+#[derive(Clone, Copy, Debug)]
+pub struct HqsConfig {
+    /// Resource budget (wall clock + AIG nodes).
+    pub budget: Budget,
+    /// Run the CNF preprocessing pipeline (§III-C).
+    pub preprocess: bool,
+    /// Detect and compose Tseitin gates (requires `preprocess`).
+    pub gate_detection: bool,
+    /// Issue one plain SAT call on the original matrix up front — the
+    /// extended-version optimisation that cheapens instances whose matrix
+    /// is propositionally unsatisfiable.
+    pub initial_sat_check: bool,
+    /// Apply Theorem 5/6 unit-pure elimination in the main loop.
+    pub unit_pure: bool,
+    /// Universal-elimination strategy.
+    pub strategy: ElimStrategy,
+    /// SAT-sweep (FRAIG) cones larger than this many AND nodes; 0 off.
+    pub fraig_threshold: usize,
+    /// Subsumption/self-subsumption in preprocessing (extension beyond the
+    /// paper's pipeline; its conclusion's "more sophisticated
+    /// preprocessing").
+    pub subsumption: bool,
+    /// Recompute the elimination set and its cost order after every
+    /// elimination instead of once up front (the conclusion's
+    /// "improvements on the choice and order of variables").
+    pub dynamic_order: bool,
+    /// Which QBF solver finishes the linearised remainder.
+    pub qbf_backend: QbfBackend,
+}
+
+impl Default for HqsConfig {
+    fn default() -> Self {
+        HqsConfig {
+            budget: Budget::new(),
+            preprocess: true,
+            gate_detection: true,
+            initial_sat_check: false,
+            unit_pure: true,
+            strategy: ElimStrategy::MaxSatMinimal,
+            fraig_threshold: 0,
+            subsumption: false,
+            dynamic_order: false,
+            qbf_backend: QbfBackend::default(),
+        }
+    }
+}
+
+/// Counters describing one [`HqsSolver::solve`] call.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct HqsStats {
+    /// Preprocessing counters.
+    pub preprocess: PreprocessStats,
+    /// `true` when preprocessing alone decided the instance.
+    pub decided_by_preprocessing: bool,
+    /// `true` when the up-front SAT call decided the instance.
+    pub decided_by_initial_sat: bool,
+    /// Size of the first MaxSAT-minimal elimination set.
+    pub elimination_set_size: usize,
+    /// Universal variables eliminated by Theorem 1.
+    pub universal_elims: u64,
+    /// Existential variables eliminated by Theorem 2.
+    pub existential_elims: u64,
+    /// Variables removed by Theorem 5/6 in the main loop.
+    pub unit_pure_elims: u64,
+    /// Largest AIG seen in the DQBF phase.
+    pub peak_nodes: usize,
+    /// Statistics of the QBF backend run (zero if never reached).
+    pub qbf: QbfStats,
+    /// `true` when the instance was handed to the QBF backend.
+    pub reached_qbf: bool,
+}
+
+/// The HQS DQBF solver.
+///
+/// See the [crate docs](crate) for the algorithm; construct with
+/// [`HqsSolver::new`] (paper defaults) or [`HqsSolver::with_config`] for
+/// ablations, then call [`solve`](HqsSolver::solve).
+#[derive(Debug, Default)]
+pub struct HqsSolver {
+    config: HqsConfig,
+    stats: HqsStats,
+}
+
+impl HqsSolver {
+    /// A solver with the paper's default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        HqsSolver::default()
+    }
+
+    /// A solver with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: HqsConfig) -> Self {
+        HqsSolver {
+            config,
+            stats: HqsStats::default(),
+        }
+    }
+
+    /// Statistics of the most recent [`solve`](HqsSolver::solve) call.
+    #[must_use]
+    pub fn stats(&self) -> HqsStats {
+        self.stats
+    }
+
+    /// Solves a parsed DQDIMACS file.
+    pub fn solve_file(&mut self, file: &DqdimacsFile) -> DqbfResult {
+        self.solve(&Dqbf::from_file(file))
+    }
+
+    /// Decides `dqbf`.
+    pub fn solve(&mut self, dqbf: &Dqbf) -> DqbfResult {
+        self.stats = HqsStats::default();
+
+        if self.config.initial_sat_check {
+            let mut sat = hqs_sat::Solver::new();
+            sat.add_cnf(dqbf.matrix());
+            if sat.solve() == hqs_sat::SolveResult::Unsat {
+                self.stats.decided_by_initial_sat = true;
+                return DqbfResult::Unsat;
+            }
+        }
+
+        let (reduced, gates) = if self.config.preprocess {
+            match preprocess_full(dqbf, self.config.gate_detection, self.config.subsumption) {
+                PreprocessResult::Decided { value, stats } => {
+                    self.stats.preprocess = stats;
+                    self.stats.decided_by_preprocessing = true;
+                    return if value { DqbfResult::Sat } else { DqbfResult::Unsat };
+                }
+                PreprocessResult::Reduced { dqbf, gates, stats } => {
+                    self.stats.preprocess = stats;
+                    (dqbf, gates)
+                }
+            }
+        } else {
+            let mut bound = dqbf.clone();
+            bound.bind_free_vars();
+            (bound, Vec::new())
+        };
+
+        let (aig, root) = build_aig(&reduced, &gates);
+        let existentials: Vec<(Var, hqs_base::VarSet)> = reduced
+            .existentials()
+            .iter()
+            .filter(|&&y| !gates.iter().any(|g| g.output.var() == y))
+            .map(|&y| (y, reduced.dependencies(y).expect("existential").clone()))
+            .collect();
+        let state = AigDqbf::from_parts(
+            aig,
+            root,
+            reduced.universals().to_vec(),
+            existentials,
+            reduced.num_vars(),
+        );
+        self.main_loop(state)
+    }
+
+    fn main_loop(&mut self, mut state: AigDqbf) -> DqbfResult {
+        // Queue of universals to eliminate, cheapest first; recomputed when
+        // it runs dry while the graph is still cyclic.
+        let mut queue: Vec<Var> = Vec::new();
+        let mut queue_initialised = false;
+        loop {
+            self.stats.peak_nodes = self.stats.peak_nodes.max(state.aig.num_nodes());
+            if state.root == hqs_aig::Aig::TRUE {
+                return DqbfResult::Sat;
+            }
+            if state.root == hqs_aig::Aig::FALSE {
+                return DqbfResult::Unsat;
+            }
+            if let Some(e) = self.config.budget.check(state.aig.num_nodes()) {
+                return DqbfResult::Limit(e);
+            }
+            if self.config.unit_pure {
+                match state.apply_unit_pure() {
+                    Some(false) => return DqbfResult::Unsat,
+                    Some(true) => {
+                        self.stats.unit_pure_elims += 1;
+                        continue;
+                    }
+                    None => {}
+                }
+            }
+            state.drop_unused();
+            // One Theorem-2 elimination at a time so the budget check at
+            // the top of the loop can interrupt runaway growth (a PEC
+            // instance without gate extraction carries hundreds of
+            // total-dependency Tseitin auxiliaries).
+            if state.eliminate_one_total_existential() {
+                self.stats.existential_elims += 1;
+                self.reduce(&mut state);
+                continue;
+            }
+
+            let hand_off = match self.config.strategy {
+                ElimStrategy::MaxSatMinimal => {
+                    !DepGraph::new(&state.existential_deps()).is_cyclic()
+                }
+                ElimStrategy::AllUniversals => state.universals().is_empty(),
+            };
+            if hand_off {
+                self.stats.reached_qbf = true;
+                let prefix = linearise(state.universals(), &state.existential_deps())
+                    .expect("acyclic graph linearises");
+                match self.config.qbf_backend {
+                    QbfBackend::Elimination => {
+                        let mut qbf = QbfSolver::new();
+                        qbf.set_budget(self.config.budget);
+                        qbf.set_fraig_threshold(self.config.fraig_threshold);
+                        let result = qbf.solve(&mut state.aig, state.root, prefix);
+                        self.stats.qbf = qbf.stats();
+                        return DqbfResult::from_qbf(result);
+                    }
+                    QbfBackend::Search => {
+                        return self.finish_with_search(&mut state, prefix);
+                    }
+                }
+            }
+
+            // Pick the next universal to eliminate.
+            let next = loop {
+                match queue.pop() {
+                    Some(x) if state.universals().contains(&x) => break Some(x),
+                    Some(_) => continue, // removed meanwhile (unit/pure)
+                    None => break None,
+                }
+            };
+            let x = match next {
+                Some(x) => x,
+                None => {
+                    // (Re)compute the elimination queue.
+                    let vars = match self.config.strategy {
+                        ElimStrategy::MaxSatMinimal => {
+                            let graph = DepGraph::new(&state.existential_deps());
+                            let cycles = graph.binary_cycles();
+                            minimal_elimination_set(state.universals(), &cycles, |x| {
+                                state.copies_of(x)
+                            })
+                        }
+                        ElimStrategy::AllUniversals => {
+                            let mut all = state.universals().to_vec();
+                            all.sort_by_key(|&x| state.copies_of(x));
+                            all
+                        }
+                    };
+                    if !queue_initialised {
+                        self.stats.elimination_set_size = vars.len();
+                        queue_initialised = true;
+                    }
+                    // Pop from the back ⇒ store most expensive first.
+                    queue = vars.into_iter().rev().collect();
+                    match queue.pop() {
+                        Some(x) => x,
+                        None => continue, // became acyclic; loop to hand off
+                    }
+                }
+            };
+            state.eliminate_universal(x);
+            self.stats.universal_elims += 1;
+            if self.config.dynamic_order {
+                // Re-derive the elimination set and cost order from the
+                // updated prefix before the next pick.
+                queue.clear();
+            }
+            self.reduce(&mut state);
+        }
+    }
+
+    /// Tseitin-converts the remaining AIG back to CNF (auxiliary variables
+    /// become an innermost existential block) and hands it to the
+    /// search-based QBF solver.
+    fn finish_with_search(
+        &mut self,
+        state: &mut AigDqbf,
+        prefix: hqs_qbf::Prefix,
+    ) -> DqbfResult {
+        if state.root == hqs_aig::Aig::TRUE {
+            return DqbfResult::Sat;
+        }
+        if state.root == hqs_aig::Aig::FALSE {
+            return DqbfResult::Unsat;
+        }
+        let first_aux = state
+            .aig
+            .support(state.root)
+            .iter()
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let (mut cnf, out) = state.aig.to_cnf(state.root, first_aux);
+        cnf.add_lits([out]);
+        let mut full_prefix = prefix;
+        let aux: Vec<Var> = (first_aux..cnf.num_vars()).map(Var::new).collect();
+        full_prefix.push_block(hqs_cnf::Quantifier::Existential, aux);
+        let mut search = hqs_qbf::search::SearchSolver::new();
+        match search.solve_budgeted(&full_prefix, &cnf, self.config.budget) {
+            Some(true) => DqbfResult::Sat,
+            Some(false) => DqbfResult::Unsat,
+            None => DqbfResult::Limit(Exhaustion::Timeout),
+        }
+    }
+
+    fn reduce(&mut self, state: &mut AigDqbf) {
+        if self.config.fraig_threshold > 0
+            && state.aig.cone_size(state.root) > self.config.fraig_threshold
+        {
+            state.root = state.aig.fraig(state.root, 0x5EED, 200);
+        }
+        let live = state.aig.cone_size(state.root);
+        if state.aig.num_nodes() > 256 && state.aig.num_nodes() > 4 * live {
+            state.compact();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::is_satisfiable_by_expansion;
+    use hqs_base::Lit;
+
+    fn example_one(matching: bool) -> Dqbf {
+        // ∀x1∀x2 ∃y1(x1) ∃y2(x2):
+        //   matching: (y1↔x1) ∧ (y2↔x2) — SAT.
+        //   else:     (y1↔x2) ∧ (y2↔x1) — UNSAT (wrong dependencies).
+        let mut d = Dqbf::new();
+        let x1 = d.add_universal();
+        let x2 = d.add_universal();
+        let y1 = d.add_existential([x1]);
+        let y2 = d.add_existential([x2]);
+        let pairs = if matching {
+            [(x1, y1), (x2, y2)]
+        } else {
+            [(x2, y1), (x1, y2)]
+        };
+        for (x, y) in pairs {
+            d.add_clause([Lit::positive(x), Lit::negative(y)]);
+            d.add_clause([Lit::negative(x), Lit::positive(y)]);
+        }
+        d
+    }
+
+    #[test]
+    fn example_one_sat() {
+        assert_eq!(HqsSolver::new().solve(&example_one(true)), DqbfResult::Sat);
+    }
+
+    #[test]
+    fn example_one_unsat() {
+        assert_eq!(
+            HqsSolver::new().solve(&example_one(false)),
+            DqbfResult::Unsat
+        );
+    }
+
+    #[test]
+    fn all_configurations_agree_on_example_one() {
+        for preprocess in [false, true] {
+            for unit_pure in [false, true] {
+                for strategy in [ElimStrategy::MaxSatMinimal, ElimStrategy::AllUniversals] {
+                    for initial_sat in [false, true] {
+                        let config = HqsConfig {
+                            preprocess,
+                            gate_detection: preprocess,
+                            unit_pure,
+                            strategy,
+                            initial_sat_check: initial_sat,
+                            ..HqsConfig::default()
+                        };
+                        let mut solver = HqsSolver::with_config(config);
+                        assert_eq!(solver.solve(&example_one(true)), DqbfResult::Sat);
+                        assert_eq!(solver.solve(&example_one(false)), DqbfResult::Unsat);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_formulas() {
+        let empty = Dqbf::new();
+        assert_eq!(HqsSolver::new().solve(&empty), DqbfResult::Sat);
+        let mut contradiction = Dqbf::new();
+        let y = contradiction.add_existential([]);
+        contradiction.add_clause([Lit::positive(y)]);
+        contradiction.add_clause([Lit::negative(y)]);
+        assert_eq!(HqsSolver::new().solve(&contradiction), DqbfResult::Unsat);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let d = example_one(true);
+        let config = HqsConfig {
+            budget: Budget::new().with_node_limit(1),
+            preprocess: false,
+            ..HqsConfig::default()
+        };
+        assert_eq!(
+            HqsSolver::with_config(config).solve(&d),
+            DqbfResult::Limit(Exhaustion::Memout)
+        );
+    }
+
+    /// The central correctness test: on random small DQBFs, every solver
+    /// configuration agrees with the expansion oracle.
+    #[test]
+    fn agrees_with_expansion_oracle_on_random_dqbfs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(20150309);
+        let configs = [
+            HqsConfig::default(),
+            HqsConfig {
+                preprocess: false,
+                gate_detection: false,
+                ..HqsConfig::default()
+            },
+            HqsConfig {
+                unit_pure: false,
+                ..HqsConfig::default()
+            },
+            HqsConfig {
+                strategy: ElimStrategy::AllUniversals,
+                ..HqsConfig::default()
+            },
+            HqsConfig {
+                initial_sat_check: true,
+                ..HqsConfig::default()
+            },
+            HqsConfig {
+                subsumption: true,
+                ..HqsConfig::default()
+            },
+            HqsConfig {
+                dynamic_order: true,
+                ..HqsConfig::default()
+            },
+            HqsConfig {
+                qbf_backend: QbfBackend::Search,
+                ..HqsConfig::default()
+            },
+        ];
+        for round in 0..80 {
+            let mut d = Dqbf::new();
+            let nu = rng.gen_range(1..=4u32);
+            let ne = rng.gen_range(1..=4u32);
+            let xs: Vec<Var> = (0..nu).map(|_| d.add_universal()).collect();
+            let mut all: Vec<Var> = xs.clone();
+            for _ in 0..ne {
+                let deps: Vec<Var> =
+                    xs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+                all.push(d.add_existential(deps));
+            }
+            for _ in 0..rng.gen_range(2..=9usize) {
+                let len = rng.gen_range(1..=3usize);
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| Lit::new(all[rng.gen_range(0..all.len())], rng.gen_bool(0.5)))
+                    .collect();
+                d.add_clause(lits);
+            }
+            let expected = if is_satisfiable_by_expansion(&d) {
+                DqbfResult::Sat
+            } else {
+                DqbfResult::Unsat
+            };
+            for (ci, config) in configs.iter().enumerate() {
+                let mut solver = HqsSolver::with_config(*config);
+                assert_eq!(
+                    solver.solve(&d),
+                    expected,
+                    "round {round}, config {ci}: {d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_the_pipeline() {
+        let d = example_one(true);
+        let mut solver = HqsSolver::with_config(HqsConfig {
+            preprocess: false,
+            gate_detection: false,
+            unit_pure: false,
+            ..HqsConfig::default()
+        });
+        let result = solver.solve(&d);
+        assert_eq!(result, DqbfResult::Sat);
+        let stats = solver.stats();
+        // The 2-cycle requires eliminating at least one universal.
+        assert!(stats.universal_elims >= 1);
+        assert_eq!(stats.elimination_set_size, 1);
+        assert!(stats.peak_nodes > 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the DQBF layer: solver-vs-oracle agreement,
+//! elimination soundness, preprocessing soundness and monotonicity laws.
+
+use hqs_base::{Lit, Var, VarSet};
+use hqs_core::elim::AigDqbf;
+use hqs_core::expand::is_satisfiable_by_expansion;
+use hqs_core::{Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver};
+use proptest::prelude::*;
+
+const MAX_UNIVERSALS: u32 = 4;
+const MAX_EXISTENTIALS: u32 = 3;
+
+#[derive(Clone, Debug)]
+struct RandomDqbf {
+    dep_masks: Vec<u8>,
+    clauses: Vec<Vec<(u8, bool)>>,
+}
+
+fn arb_dqbf() -> impl Strategy<Value = RandomDqbf> {
+    (
+        prop::collection::vec(any::<u8>(), 1..=MAX_EXISTENTIALS as usize),
+        prop::collection::vec(
+            prop::collection::vec((any::<u8>(), any::<bool>()), 1..4),
+            1..10,
+        ),
+    )
+        .prop_map(|(dep_masks, clauses)| RandomDqbf { dep_masks, clauses })
+}
+
+fn build(spec: &RandomDqbf) -> Dqbf {
+    let mut d = Dqbf::new();
+    let xs: Vec<Var> = (0..MAX_UNIVERSALS).map(|_| d.add_universal()).collect();
+    let mut all = xs.clone();
+    for &mask in &spec.dep_masks {
+        let deps: Vec<Var> = xs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &x)| x)
+            .collect();
+        all.push(d.add_existential(deps));
+    }
+    for clause in &spec.clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&(pick, neg)| Lit::new(all[pick as usize % all.len()], neg))
+            .collect();
+        d.add_clause(lits);
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// HQS agrees with the expansion oracle in every configuration.
+    #[test]
+    fn hqs_matches_oracle(spec in arb_dqbf()) {
+        let d = build(&spec);
+        let expected = if is_satisfiable_by_expansion(&d) {
+            DqbfResult::Sat
+        } else {
+            DqbfResult::Unsat
+        };
+        prop_assert_eq!(HqsSolver::new().solve(&d), expected);
+        let no_opt = HqsConfig {
+            preprocess: false,
+            gate_detection: false,
+            unit_pure: false,
+            strategy: ElimStrategy::AllUniversals,
+            ..HqsConfig::default()
+        };
+        prop_assert_eq!(HqsSolver::with_config(no_opt).solve(&d), expected);
+    }
+
+    /// Theorem 1 (universal elimination) preserves the truth value.
+    #[test]
+    fn universal_elimination_is_sound(spec in arb_dqbf(), pick in 0..MAX_UNIVERSALS) {
+        let d = build(&spec);
+        let expected = is_satisfiable_by_expansion(&d);
+        let mut state = AigDqbf::from_dqbf(&d);
+        let x = state.universals()[pick as usize];
+        state.eliminate_universal(x);
+        prop_assert_eq!(is_satisfiable_by_expansion(&state.to_dqbf()), expected);
+    }
+
+    /// Theorem 2 (existential elimination of total-dependency variables)
+    /// preserves the truth value.
+    #[test]
+    fn existential_elimination_is_sound(spec in arb_dqbf()) {
+        let d = build(&spec);
+        let expected = is_satisfiable_by_expansion(&d);
+        let mut state = AigDqbf::from_dqbf(&d);
+        state.eliminate_total_existentials();
+        prop_assert_eq!(is_satisfiable_by_expansion(&state.to_dqbf()), expected);
+    }
+
+    /// Unit/pure rounds (Theorems 5/6) preserve the truth value; an
+    /// `Unsat` verdict is always confirmed by the oracle.
+    #[test]
+    fn unit_pure_is_sound(spec in arb_dqbf()) {
+        let d = build(&spec);
+        let expected = is_satisfiable_by_expansion(&d);
+        let mut state = AigDqbf::from_dqbf(&d);
+        loop {
+            match state.apply_unit_pure() {
+                Some(false) => {
+                    prop_assert!(!expected, "unit/pure declared Unsat wrongly");
+                    return Ok(());
+                }
+                Some(true) => {}
+                None => break,
+            }
+        }
+        prop_assert_eq!(is_satisfiable_by_expansion(&state.to_dqbf()), expected);
+    }
+
+    /// Growing a dependency set is monotone: if ψ is satisfiable, letting
+    /// an existential observe more universals keeps it satisfiable.
+    #[test]
+    fn dependency_growth_is_monotone(spec in arb_dqbf(), which in 0..MAX_EXISTENTIALS) {
+        let d = build(&spec);
+        if !is_satisfiable_by_expansion(&d) {
+            return Ok(());
+        }
+        let mut widened = spec.clone();
+        let idx = which as usize % widened.dep_masks.len();
+        widened.dep_masks[idx] = 0xFF; // depend on everything
+        let w = build(&widened);
+        prop_assert!(is_satisfiable_by_expansion(&w),
+            "widening dependencies lost satisfiability");
+        prop_assert_eq!(HqsSolver::new().solve(&w), DqbfResult::Sat);
+    }
+
+    /// Preprocessing preserves the truth value even with gate re-encoding
+    /// (gates are only extracted when dependency-safe, so composing them
+    /// back with full dependencies is equivalent).
+    #[test]
+    fn skolem_certificates_verify(spec in arb_dqbf()) {
+        use hqs_core::skolem::extract_skolem;
+        let d = build(&spec);
+        match extract_skolem(&d) {
+            Some(cert) => {
+                prop_assert!(cert.verify(&d));
+                prop_assert_eq!(HqsSolver::new().solve(&d), DqbfResult::Sat);
+            }
+            None => {
+                prop_assert_eq!(HqsSolver::new().solve(&d), DqbfResult::Unsat);
+            }
+        }
+    }
+
+    /// The dependency graph APIs are mutually consistent: cyclic ⇔ some
+    /// binary cycle ⇔ linearise fails.
+    #[test]
+    fn depgraph_consistency(spec in arb_dqbf()) {
+        use hqs_core::depgraph::{linearise, DepGraph};
+        let d = build(&spec);
+        let deps: Vec<(Var, VarSet)> = d
+            .existentials()
+            .iter()
+            .map(|&y| (y, d.dependencies(y).unwrap().clone()))
+            .collect();
+        let graph = DepGraph::new(&deps);
+        let cyclic = graph.is_cyclic();
+        prop_assert_eq!(cyclic, !graph.binary_cycles().is_empty());
+        prop_assert_eq!(cyclic, linearise(d.universals(), &deps).is_none());
+    }
+}

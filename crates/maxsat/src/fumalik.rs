@@ -1,0 +1,261 @@
+//! The Fu–Malik core-guided MaxSAT algorithm.
+//!
+//! An alternative to the linear-search engine in the crate root: instead
+//! of tightening an upper bound, Fu–Malik climbs from below. Soft clauses
+//! carry *blocking* assumption literals; every UNSAT answer returns a core
+//! of softs, each core member gets a fresh relaxation variable (with an
+//! at-most-one constraint across the core), and the optimum is the number
+//! of cores extracted. Core-guided search is how antom — the paper's
+//! MaxSAT backend — operates; both engines are exposed so the tests can
+//! cross-check them.
+
+use hqs_base::{Lit, Var};
+use hqs_sat::{SolveResult, Solver};
+use std::collections::HashMap;
+
+use crate::MaxSatResult;
+
+/// An unweighted partial MaxSAT solver using the Fu–Malik algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use hqs_base::{Lit, Var};
+/// use hqs_maxsat::{FuMalikSolver, MaxSatResult};
+///
+/// let mut solver = FuMalikSolver::new();
+/// let a = solver.new_var();
+/// solver.add_hard([Lit::positive(a)]);
+/// solver.add_soft([Lit::negative(a)]);
+/// solver.add_soft([Lit::positive(a)]);
+/// match solver.solve() {
+///     MaxSatResult::Optimum { cost, .. } => assert_eq!(cost, 1),
+///     MaxSatResult::Unsatisfiable => unreachable!(),
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct FuMalikSolver {
+    sat: Solver,
+    /// Per soft clause: its current literals (including relaxers added in
+    /// earlier rounds) and its current blocking literal.
+    softs: Vec<SoftClause>,
+}
+
+#[derive(Debug, Clone)]
+struct SoftClause {
+    lits: Vec<Lit>,
+    blocker: Lit,
+}
+
+impl FuMalikSolver {
+    /// Creates an empty instance.
+    #[must_use]
+    pub fn new() -> Self {
+        FuMalikSolver::default()
+    }
+
+    /// Allocates a fresh problem variable.
+    pub fn new_var(&mut self) -> Var {
+        self.sat.new_var()
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn ensure_vars(&mut self, n: u32) {
+        self.sat.ensure_vars(n);
+    }
+
+    /// Adds a hard clause.
+    pub fn add_hard<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.sat.add_clause(lits);
+    }
+
+    /// Adds a weight-1 soft clause.
+    pub fn add_soft<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        let lits: Vec<Lit> = lits.into_iter().collect();
+        for &l in &lits {
+            self.sat.ensure_vars(l.var().index() + 1);
+        }
+        let blocker = Lit::positive(self.sat.new_var());
+        let mut clause = lits.clone();
+        clause.push(blocker);
+        self.sat.add_clause(clause);
+        self.softs.push(SoftClause { lits, blocker });
+    }
+
+    /// Returns the number of soft clauses.
+    #[must_use]
+    pub fn num_soft(&self) -> usize {
+        self.softs.len()
+    }
+
+    /// Computes the exact optimum by iterated core relaxation.
+    pub fn solve(&mut self) -> MaxSatResult {
+        let mut cost = 0usize;
+        loop {
+            let assumptions: Vec<Lit> = self.softs.iter().map(|s| !s.blocker).collect();
+            match self.sat.solve_with_assumptions(&assumptions) {
+                SolveResult::Sat => {
+                    let model = self.sat.model();
+                    return MaxSatResult::Optimum { cost, model };
+                }
+                SolveResult::Unsat => {
+                    let failed: Vec<Lit> = self.sat.failed_assumptions().to_vec();
+                    if failed.is_empty() {
+                        // The hard clauses alone are unsatisfiable.
+                        return MaxSatResult::Unsatisfiable;
+                    }
+                    let core: Vec<usize> = {
+                        let by_blocker: HashMap<Lit, usize> = self
+                            .softs
+                            .iter()
+                            .enumerate()
+                            .map(|(i, s)| (!s.blocker, i))
+                            .collect();
+                        failed
+                            .iter()
+                            .filter_map(|l| by_blocker.get(l).copied())
+                            .collect()
+                    };
+                    if core.is_empty() {
+                        // UNSAT without any soft involved ⇒ hard conflict.
+                        return MaxSatResult::Unsatisfiable;
+                    }
+                    self.relax_core(&core);
+                    cost += 1;
+                }
+                SolveResult::Unknown => unreachable!("no conflict budget set"),
+            }
+        }
+    }
+
+    /// Adds one fresh relaxer per core member, re-posts the soft clauses
+    /// with new blockers, retires the old copies, and constrains the new
+    /// relaxers pairwise to at-most-one.
+    fn relax_core(&mut self, core: &[usize]) {
+        let mut relaxers = Vec::with_capacity(core.len());
+        for &index in core {
+            let relaxer = Lit::positive(self.sat.new_var());
+            let new_blocker = Lit::positive(self.sat.new_var());
+            // Retire the old copy: its blocker becomes permanently true.
+            let old_blocker = self.softs[index].blocker;
+            self.sat.add_clause([old_blocker]);
+            // New copy with the relaxer folded in.
+            self.softs[index].lits.push(relaxer);
+            let mut clause = self.softs[index].lits.clone();
+            clause.push(new_blocker);
+            self.sat.add_clause(clause);
+            self.softs[index].blocker = new_blocker;
+            relaxers.push(relaxer);
+        }
+        // At most one relaxer of this round may fire (pairwise encoding —
+        // cores are small in our workloads).
+        for i in 0..relaxers.len() {
+            for j in (i + 1)..relaxers.len() {
+                self.sat.add_clause([!relaxers[i], !relaxers[j]]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force_optimum;
+
+    fn lit(value: i64) -> Lit {
+        Lit::from_dimacs(value).unwrap()
+    }
+
+    #[test]
+    fn hard_only_is_sat_with_zero_cost() {
+        let mut s = FuMalikSolver::new();
+        s.add_hard([lit(1), lit(2)]);
+        match s.solve() {
+            MaxSatResult::Optimum { cost, .. } => assert_eq!(cost, 0),
+            MaxSatResult::Unsatisfiable => panic!(),
+        }
+    }
+
+    #[test]
+    fn hard_conflict_is_unsatisfiable() {
+        let mut s = FuMalikSolver::new();
+        s.add_hard([lit(1)]);
+        s.add_hard([lit(-1)]);
+        s.add_soft([lit(2)]);
+        assert!(matches!(s.solve(), MaxSatResult::Unsatisfiable));
+    }
+
+    #[test]
+    fn conflicting_softs_cost_one() {
+        let mut s = FuMalikSolver::new();
+        s.add_soft([lit(1)]);
+        s.add_soft([lit(-1)]);
+        match s.solve() {
+            MaxSatResult::Optimum { cost, .. } => assert_eq!(cost, 1),
+            MaxSatResult::Unsatisfiable => panic!(),
+        }
+    }
+
+    #[test]
+    fn vertex_cover_instance() {
+        let mut s = FuMalikSolver::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            s.add_hard([lit(a), lit(b)]);
+        }
+        for v in 1..=4 {
+            s.add_soft([lit(-v)]);
+        }
+        match s.solve() {
+            MaxSatResult::Optimum { cost, model } => {
+                assert_eq!(cost, 2);
+                for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+                    assert!(model.satisfies(lit(a)) || model.satisfies(lit(b)));
+                }
+            }
+            MaxSatResult::Unsatisfiable => panic!(),
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1717);
+        for _ in 0..60 {
+            let num_vars = rng.gen_range(2..=5u32);
+            let gen_clauses = |rng: &mut StdRng, count: usize| -> Vec<Vec<Lit>> {
+                (0..count)
+                    .map(|_| {
+                        (0..rng.gen_range(1..=3usize))
+                            .map(|_| {
+                                Lit::new(
+                                    Var::new(rng.gen_range(0..num_vars)),
+                                    rng.gen_bool(0.5),
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect()
+            };
+            let hard_count = rng.gen_range(0..=5);
+            let hard = gen_clauses(&mut rng, hard_count);
+            let soft_count = rng.gen_range(1..=6);
+            let soft = gen_clauses(&mut rng, soft_count);
+            let expected = brute_force_optimum(num_vars, &hard, &soft);
+            let mut s = FuMalikSolver::new();
+            s.ensure_vars(num_vars);
+            for c in &hard {
+                s.add_hard(c.iter().copied());
+            }
+            for c in &soft {
+                s.add_soft(c.iter().copied());
+            }
+            match s.solve() {
+                MaxSatResult::Optimum { cost, .. } => {
+                    assert_eq!(Some(cost), expected, "hard {hard:?}, soft {soft:?}");
+                }
+                MaxSatResult::Unsatisfiable => assert_eq!(expected, None),
+            }
+        }
+    }
+}

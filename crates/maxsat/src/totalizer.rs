@@ -1,0 +1,174 @@
+//! The totalizer cardinality encoding (Bailleux & Boufkhad).
+
+use hqs_base::Lit;
+use hqs_sat::Solver;
+
+/// A totalizer over a set of input literals.
+///
+/// The encoding introduces, for `m` inputs, output literals `o_1 … o_m`
+/// such that whenever at least `k` inputs are true, `o_k` is forced true.
+/// Assuming `¬o_k` therefore enforces "at most `k - 1` inputs true", which
+/// is exactly what the linear-search MaxSAT loop needs.
+///
+/// Only the input→output direction is encoded; it is sufficient for
+/// upper-bound tightening and keeps the clause count at `O(m²)`.
+#[derive(Clone, Debug)]
+pub struct Totalizer {
+    outputs: Vec<Lit>,
+}
+
+impl Totalizer {
+    /// Builds the encoding for `inputs` inside `solver` and returns the
+    /// output interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    #[must_use]
+    pub fn encode(solver: &mut Solver, inputs: &[Lit]) -> Self {
+        assert!(!inputs.is_empty(), "totalizer needs at least one input");
+        let outputs = build(solver, inputs);
+        Totalizer { outputs }
+    }
+
+    /// Returns the number of inputs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Returns `true` if the totalizer has no inputs (never happens for an
+    /// encoded totalizer; present for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// The literal that is forced true whenever at least `k` inputs are
+    /// true, for `1 <= k <= len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn at_least(&self, k: usize) -> Lit {
+        assert!(k >= 1 && k <= self.outputs.len(), "bound out of range");
+        self.outputs[k - 1]
+    }
+}
+
+/// Recursively builds the totalizer tree over `lits`, returning the sorted
+/// output literals of the root.
+fn build(solver: &mut Solver, lits: &[Lit]) -> Vec<Lit> {
+    if lits.len() == 1 {
+        return vec![lits[0]];
+    }
+    let mid = lits.len() / 2;
+    let left = build(solver, &lits[..mid]);
+    let right = build(solver, &lits[mid..]);
+    merge(solver, &left, &right)
+}
+
+/// Merges two sorted counter interfaces into a fresh one.
+fn merge(solver: &mut Solver, left: &[Lit], right: &[Lit]) -> Vec<Lit> {
+    let total = left.len() + right.len();
+    let outputs: Vec<Lit> = (0..total)
+        .map(|_| Lit::positive(solver.new_var()))
+        .collect();
+    // i of the left true and j of the right true imply o_{i+j} true.
+    for i in 0..=left.len() {
+        for j in 0..=right.len() {
+            if i + j == 0 {
+                continue;
+            }
+            let mut clause = Vec::with_capacity(3);
+            if i > 0 {
+                clause.push(!left[i - 1]);
+            }
+            if j > 0 {
+                clause.push(!right[j - 1]);
+            }
+            clause.push(outputs[i + j - 1]);
+            solver.add_clause(clause);
+        }
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqs_base::Var;
+    use hqs_sat::SolveResult;
+
+    /// Exhaustively verifies that assuming ¬o_k forbids ≥ k true inputs and
+    /// allows every pattern with < k true inputs.
+    #[test]
+    fn bounds_are_exact_for_5_inputs() {
+        let n = 5u32;
+        for bound in 1..=n as usize {
+            let mut solver = Solver::new();
+            let inputs: Vec<Lit> = (0..n).map(|_| Lit::positive(solver.new_var())).collect();
+            let tot = Totalizer::encode(&mut solver, &inputs);
+            let cap = !tot.at_least(bound);
+            for pattern in 0u32..(1 << n) {
+                let mut assumptions = vec![cap];
+                for (i, &input) in inputs.iter().enumerate() {
+                    assumptions.push(input.xor_sign(pattern >> i & 1 == 0));
+                }
+                let expected = if (pattern.count_ones() as usize) < bound {
+                    SolveResult::Sat
+                } else {
+                    SolveResult::Unsat
+                };
+                assert_eq!(
+                    solver.solve_with_assumptions(&assumptions),
+                    expected,
+                    "bound {bound}, pattern {pattern:05b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_negative_literal_inputs() {
+        let mut solver = Solver::new();
+        let a = solver.new_var();
+        let b = solver.new_var();
+        let inputs = [Lit::negative(a), Lit::negative(b)];
+        let tot = Totalizer::encode(&mut solver, &inputs);
+        // Forbid 2 false: at most one of a, b may be false.
+        let result = solver.solve_with_assumptions(&[
+            !tot.at_least(2),
+            Lit::negative(a),
+            Lit::negative(b),
+        ]);
+        assert_eq!(result, SolveResult::Unsat);
+        let result = solver.solve_with_assumptions(&[!tot.at_least(2), Lit::negative(a)]);
+        assert_eq!(result, SolveResult::Sat);
+        assert_eq!(solver.model_value(b), Some(true));
+    }
+
+    #[test]
+    fn single_input_passthrough() {
+        let mut solver = Solver::new();
+        let a = Lit::positive(solver.new_var());
+        let tot = Totalizer::encode(&mut solver, &[a]);
+        assert_eq!(tot.len(), 1);
+        assert_eq!(tot.at_least(1), a);
+        assert_eq!(
+            solver.solve_with_assumptions(&[!tot.at_least(1), a]),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bound out of range")]
+    fn out_of_range_bound_panics() {
+        let mut solver = Solver::new();
+        let a = Lit::positive(Var::new(0));
+        solver.ensure_vars(1);
+        let tot = Totalizer::encode(&mut solver, &[a]);
+        let _ = tot.at_least(2);
+    }
+}

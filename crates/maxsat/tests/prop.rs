@@ -1,0 +1,121 @@
+//! Property-based tests: the MaxSAT solver against the brute-force
+//! optimum on random partial instances.
+
+use hqs_base::{Lit, Var};
+use hqs_maxsat::{brute_force_optimum, MaxSatResult, MaxSatSolver};
+use proptest::prelude::*;
+
+const MAX_VARS: u32 = 6;
+
+fn arb_clauses(max_clauses: usize) -> impl Strategy<Value = Vec<Vec<Lit>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (0..MAX_VARS, any::<bool>()).prop_map(|(v, n)| Lit::new(Var::new(v), n)),
+            1..4,
+        ),
+        0..max_clauses,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The solver's optimum equals the brute-force optimum, and the
+    /// returned model attains it.
+    #[test]
+    fn optimum_is_exact(hard in arb_clauses(8), soft in arb_clauses(8)) {
+        let expected = brute_force_optimum(MAX_VARS, &hard, &soft);
+        let mut solver = MaxSatSolver::new();
+        solver.ensure_vars(MAX_VARS);
+        for clause in &hard {
+            solver.add_hard(clause.iter().copied());
+        }
+        for clause in &soft {
+            solver.add_soft(clause.iter().copied());
+        }
+        match solver.solve() {
+            MaxSatResult::Optimum { cost, model } => {
+                prop_assert_eq!(Some(cost), expected);
+                // The model satisfies all hard clauses and violates exactly
+                // `cost`-or-fewer soft clauses (it could be better than the
+                // recomputed count only if counting were wrong).
+                for clause in &hard {
+                    prop_assert!(clause.iter().any(|&l| model.satisfies(l)));
+                }
+                let violated = soft
+                    .iter()
+                    .filter(|c| !c.iter().any(|&l| model.satisfies(l)))
+                    .count();
+                prop_assert_eq!(violated, cost);
+            }
+            MaxSatResult::Unsatisfiable => prop_assert_eq!(expected, None),
+        }
+    }
+
+    /// Adding a soft clause can increase the optimum by at most one.
+    #[test]
+    fn soft_clause_monotonicity(hard in arb_clauses(6), soft in arb_clauses(6),
+                                extra in prop::collection::vec(
+                                    (0..MAX_VARS, any::<bool>())
+                                        .prop_map(|(v, n)| Lit::new(Var::new(v), n)),
+                                    1..3))
+    {
+        let solve = |softs: &[Vec<Lit>]| -> Option<usize> {
+            let mut solver = MaxSatSolver::new();
+            solver.ensure_vars(MAX_VARS);
+            for clause in &hard {
+                solver.add_hard(clause.iter().copied());
+            }
+            for clause in softs {
+                solver.add_soft(clause.iter().copied());
+            }
+            match solver.solve() {
+                MaxSatResult::Optimum { cost, .. } => Some(cost),
+                MaxSatResult::Unsatisfiable => None,
+            }
+        };
+        let base = solve(&soft);
+        let mut extended = soft.clone();
+        extended.push(extra);
+        let more = solve(&extended);
+        match (base, more) {
+            (Some(b), Some(m)) => {
+                prop_assert!(m >= b && m <= b + 1, "base {b}, extended {m}");
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "hard clauses unchanged, feasibility must match"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The two engines — linear search with totalizer, and core-guided
+    /// Fu–Malik — compute the same optimum.
+    #[test]
+    fn engines_agree(hard in arb_clauses(7), soft in arb_clauses(7)) {
+        use hqs_maxsat::FuMalikSolver;
+        let mut linear = MaxSatSolver::new();
+        let mut core_guided = FuMalikSolver::new();
+        linear.ensure_vars(MAX_VARS);
+        core_guided.ensure_vars(MAX_VARS);
+        for clause in &hard {
+            linear.add_hard(clause.iter().copied());
+            core_guided.add_hard(clause.iter().copied());
+        }
+        for clause in &soft {
+            linear.add_soft(clause.iter().copied());
+            core_guided.add_soft(clause.iter().copied());
+        }
+        let a = match linear.solve() {
+            MaxSatResult::Optimum { cost, .. } => Some(cost),
+            MaxSatResult::Unsatisfiable => None,
+        };
+        let b = match core_guided.solve() {
+            MaxSatResult::Optimum { cost, .. } => Some(cost),
+            MaxSatResult::Unsatisfiable => None,
+        };
+        prop_assert_eq!(a, b);
+    }
+}

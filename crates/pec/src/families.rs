@@ -1,0 +1,631 @@
+//! The seven PEC benchmark circuit families of the HQS evaluation.
+//!
+//! Each generator builds a *complete* reference circuit, carves a number
+//! of cells out as black boxes for the implementation, and uses either the
+//! intact circuit (realizable instances) or a fault-injected variant
+//! (typically unrealizable) as the specification — mirroring how the
+//! original benchmark set mixes SAT and UNSAT PEC problems.
+
+use crate::encode::encode_pec;
+use crate::netlist::Netlist;
+use hqs_core::Dqbf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The benchmark families of Table I.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Family {
+    /// Ripple-carry adders with black-boxed full-adder cells.
+    Adder,
+    /// Iterative arbiter bit-cell chain (Dally & Harting \[31\]).
+    Bitcell,
+    /// Tree-structured ("lookahead") arbiter \[31\].
+    Lookahead,
+    /// XOR chains (Finkbeiner & Tentrup \[15\]).
+    PecXor,
+    /// Small multiply-accumulate circuit (ISCAS-style `Z4`).
+    Z4,
+    /// Magnitude comparator (ISCAS-style `comp`).
+    Comp,
+    /// 27-channel interrupt-controller-style priority logic (`C432`).
+    C432,
+}
+
+impl Family {
+    /// All families in Table I order.
+    pub const ALL: [Family; 7] = [
+        Family::Adder,
+        Family::Bitcell,
+        Family::Lookahead,
+        Family::PecXor,
+        Family::Z4,
+        Family::Comp,
+        Family::C432,
+    ];
+
+    /// The family name as used in the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Adder => "adder",
+            Family::Bitcell => "bitcell",
+            Family::Lookahead => "lookahead",
+            Family::PecXor => "pec_xor",
+            Family::Z4 => "z4",
+            Family::Comp => "comp",
+            Family::C432 => "C432",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One generated PEC benchmark instance.
+#[derive(Clone, Debug)]
+pub struct PecInstance {
+    /// Instance name, e.g. `adder_n4_b2_s7_fault`.
+    pub name: String,
+    /// The family.
+    pub family: Family,
+    /// The size parameter (bits / cells / channels).
+    pub size: u32,
+    /// Number of black boxes.
+    pub num_boxes: u32,
+    /// Whether the specification carries an injected fault.
+    pub fault: bool,
+    /// The encoded realizability DQBF.
+    pub dqbf: Dqbf,
+}
+
+/// How large a benchmark run to generate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// A handful of instances per family — smoke tests.
+    Smoke,
+    /// ~10% of the paper's 1820 instances — CI/laptop runs (default for
+    /// the `table1`/`fig4` binaries).
+    Ci,
+    /// The paper's instance counts (300/300/300/200/240/240/240).
+    Paper,
+}
+
+impl Scale {
+    fn count(self, paper_count: usize) -> usize {
+        match self {
+            Scale::Smoke => (paper_count / 60).max(4),
+            Scale::Ci => paper_count / 10,
+            Scale::Paper => paper_count,
+        }
+    }
+}
+
+/// Generates one instance of `family` with the given size, box count and
+/// seed; `fault` selects an (almost always unrealizable) mutated
+/// specification.
+#[must_use]
+pub fn generate(family: Family, size: u32, num_boxes: u32, seed: u64, fault: bool) -> PecInstance {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let size = size.max(2);
+    let builder: fn(u32, &HashSet<u32>) -> Netlist = match family {
+        Family::Adder => adder,
+        Family::Bitcell => bitcell,
+        Family::Lookahead => lookahead,
+        Family::PecXor => pec_xor,
+        Family::Z4 => z4,
+        Family::Comp => comp,
+        Family::C432 => c432,
+    };
+    let cells = cell_count(family, size);
+    let num_boxes = num_boxes.clamp(1, cells);
+    // Choose distinct cells to replace by boxes.
+    let mut boxed: HashSet<u32> = HashSet::new();
+    while (boxed.len() as u32) < num_boxes {
+        boxed.insert(rng.gen_range(0..cells));
+    }
+    let implementation = builder(size, &boxed);
+    let complete = builder(size, &HashSet::new());
+    let spec = if fault {
+        // Prefer fault sites on gate signals (inputs would often stay
+        // fixable); retry a few times to find a gate.
+        let mut site = rng.gen_range(0..complete.signals().len());
+        for _ in 0..16 {
+            if matches!(
+                complete.signals()[site],
+                crate::netlist::Signal::Gate(_)
+            ) {
+                break;
+            }
+            site = rng.gen_range(0..complete.signals().len());
+        }
+        complete.with_fault(site)
+    } else {
+        complete
+    };
+    let dqbf = encode_pec(&spec, &implementation);
+    PecInstance {
+        name: format!(
+            "{family}_n{size}_b{num_boxes}_s{seed}{}",
+            if fault { "_fault" } else { "" }
+        ),
+        family,
+        size,
+        num_boxes,
+        fault,
+        dqbf,
+    }
+}
+
+/// The number of black-boxable cells of a family at a given size.
+fn cell_count(family: Family, size: u32) -> u32 {
+    match family {
+        Family::Adder | Family::Bitcell | Family::Comp | Family::PecXor => size,
+        Family::Lookahead => size.next_power_of_two() - 1,
+        Family::Z4 => size * size, // partial-product adder cells
+        Family::C432 => 3,         // one maskable unit per bank
+    }
+}
+
+/// Generates the full graded benchmark suite at the given scale, mirroring
+/// the family proportions of Table I.
+#[must_use]
+pub fn benchmark_suite(scale: Scale) -> Vec<PecInstance> {
+    let plan: [(Family, usize, &[u32]); 7] = [
+        (Family::Adder, 300, &[2, 3, 4, 5, 6]),
+        (Family::Bitcell, 300, &[3, 4, 6, 8, 10]),
+        (Family::Lookahead, 300, &[4, 8, 12, 16]),
+        (Family::PecXor, 200, &[4, 8, 16, 24]),
+        (Family::Z4, 240, &[2, 3]),
+        (Family::Comp, 240, &[2, 3, 4, 5]),
+        (Family::C432, 240, &[3, 6, 9]),
+    ];
+    let mut instances = Vec::new();
+    for (family, paper_count, sizes) in plan {
+        let count = scale.count(paper_count);
+        for i in 0..count {
+            let size = sizes[i % sizes.len()];
+            let seed = i as u64;
+            // Paper ratio: roughly 3/4 of solved instances are UNSAT.
+            let fault = i % 4 != 0;
+            let num_boxes = 1 + (i as u32 % 3);
+            instances.push(generate(family, size, num_boxes, seed, fault));
+        }
+    }
+    instances
+}
+
+// ---------------------------------------------------------------------
+// Family builders. Each takes (size, boxed-cells) and returns the netlist
+// with the listed cells replaced by black boxes.
+// ---------------------------------------------------------------------
+
+/// Ripple-carry adder: cells are full adders. Box cut: (aᵢ, bᵢ, carryᵢ).
+fn adder(bits: u32, boxed: &HashSet<u32>) -> Netlist {
+    let mut n = Netlist::new("adder");
+    let a: Vec<_> = (0..bits).map(|_| n.add_input()).collect();
+    let b: Vec<_> = (0..bits).map(|_| n.add_input()).collect();
+    let mut carry = n.add_input(); // carry-in
+    for i in 0..bits {
+        let (ai, bi) = (a[i as usize], b[i as usize]);
+        if boxed.contains(&i) {
+            let holes = n.add_black_box(vec![ai, bi, carry], 2);
+            n.add_output(holes[0]);
+            carry = holes[1];
+        } else {
+            let ab = n.xor(ai, bi);
+            let sum = n.xor(ab, carry);
+            let ab_and = n.and([ai, bi]);
+            let abc = n.and([ab, carry]);
+            let cout = n.or([ab_and, abc]);
+            n.add_output(sum);
+            carry = cout;
+        }
+    }
+    n.add_output(carry);
+    n
+}
+
+/// Iterative arbiter: cell i computes grantᵢ = reqᵢ ∧ tokenᵢ and passes
+/// tokenᵢ₊₁ = tokenᵢ ∧ ¬reqᵢ. Box cut: (reqᵢ, tokenᵢ).
+fn bitcell(cells: u32, boxed: &HashSet<u32>) -> Netlist {
+    let mut n = Netlist::new("bitcell");
+    let reqs: Vec<_> = (0..cells).map(|_| n.add_input()).collect();
+    let mut token = n.constant(true);
+    for i in 0..cells {
+        let req = reqs[i as usize];
+        if boxed.contains(&i) {
+            let holes = n.add_black_box(vec![req, token], 2);
+            n.add_output(holes[0]);
+            token = holes[1];
+        } else {
+            let grant = n.and([req, token]);
+            let nreq = n.not(req);
+            let pass = n.and([token, nreq]);
+            n.add_output(grant);
+            token = pass;
+        }
+    }
+    n
+}
+
+/// Tree arbiter: a balanced OR tree computes "some request in subtree";
+/// grants use path information. Cells are the internal tree nodes
+/// (numbered level order). Box cut: the two child "any request" signals.
+fn lookahead(width: u32, boxed: &HashSet<u32>) -> Netlist {
+    let width = width.next_power_of_two();
+    let mut n = Netlist::new("lookahead");
+    let reqs: Vec<_> = (0..width).map(|_| n.add_input()).collect();
+    // Bottom-up OR tree; each internal node may be boxed.
+    let mut level: Vec<usize> = reqs.clone();
+    let mut cell = 0u32;
+    let mut anys: Vec<Vec<usize>> = vec![level.clone()];
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            let combined = if boxed.contains(&cell) {
+                n.add_black_box(vec![pair[0], pair[1]], 1)[0]
+            } else {
+                n.or([pair[0], pair[1]])
+            };
+            cell += 1;
+            next.push(combined);
+        }
+        anys.push(next.clone());
+        level = next;
+    }
+    // Grant for leaf i: req_i ∧ no request in any subtree left of the
+    // path (fixed-priority lookahead arbitration).
+    #[allow(clippy::needless_range_loop)] // index walks the tree levels too
+    for i in 0..width as usize {
+        let mut blockers: Vec<usize> = Vec::new();
+        let mut idx = i;
+        for lvl in &anys {
+            if idx % 2 == 1 {
+                blockers.push(lvl[idx - 1]);
+            }
+            idx /= 2;
+        }
+        let grant = if blockers.is_empty() {
+            reqs[i]
+        } else {
+            let any_block = if blockers.len() == 1 {
+                blockers[0]
+            } else {
+                n.or(blockers.iter().copied())
+            };
+            let free = n.not(any_block);
+            n.and([reqs[i], free])
+        };
+        n.add_output(grant);
+    }
+    n
+}
+
+/// XOR chain: zᵢ = zᵢ₋₁ ⊕ xᵢ. Box cut: (zᵢ₋₁, xᵢ).
+fn pec_xor(length: u32, boxed: &HashSet<u32>) -> Netlist {
+    let mut n = Netlist::new("pec_xor");
+    let xs: Vec<_> = (0..=length).map(|_| n.add_input()).collect();
+    let mut z = xs[0];
+    for i in 0..length {
+        let x = xs[(i + 1) as usize];
+        z = if boxed.contains(&i) {
+            n.add_black_box(vec![z, x], 1)[0]
+        } else {
+            n.xor(z, x)
+        };
+    }
+    n.add_output(z);
+    n
+}
+
+/// Multiply-accumulate: out = a·b + c with a `size`×`size` array
+/// multiplier; cells are the array's adder positions. Box cut: the cell's
+/// partial product, incoming sum and carry.
+fn z4(size: u32, boxed: &HashSet<u32>) -> Netlist {
+    let w = size as usize;
+    let mut n = Netlist::new("z4");
+    let a: Vec<_> = (0..w).map(|_| n.add_input()).collect();
+    let b: Vec<_> = (0..w).map(|_| n.add_input()).collect();
+    let c: Vec<_> = (0..w).map(|_| n.add_input()).collect();
+    // Row-by-row array multiplier accumulating into `acc` (2w bits).
+    let zero = n.constant(false);
+    let mut acc: Vec<usize> = vec![zero; 2 * w];
+    let mut cell = 0u32;
+    for (i, &bi) in b.iter().enumerate() {
+        let mut carry = zero;
+        for (j, &aj) in a.iter().enumerate() {
+            let pos = i + j;
+            let pp = n.and([aj, bi]);
+            if boxed.contains(&cell) {
+                let holes = n.add_black_box(vec![pp, acc[pos], carry], 2);
+                acc[pos] = holes[0];
+                carry = holes[1];
+            } else {
+                let t = n.xor(pp, acc[pos]);
+                let sum = n.xor(t, carry);
+                let g1 = n.and([pp, acc[pos]]);
+                let g2 = n.and([t, carry]);
+                let cout = n.or([g1, g2]);
+                acc[pos] = sum;
+                carry = cout;
+            }
+            cell += 1;
+        }
+        // Propagate the row's final carry.
+        let pos = i + w;
+        let t = n.xor(acc[pos], carry);
+        acc[pos] = t;
+    }
+    // Add c (ripple), propagating the carry through the upper half.
+    let mut carry = zero;
+    for (j, &cj) in c.iter().enumerate() {
+        let t = n.xor(acc[j], cj);
+        let sum = n.xor(t, carry);
+        let g1 = n.and([acc[j], cj]);
+        let g2 = n.and([t, carry]);
+        carry = n.or([g1, g2]);
+        acc[j] = sum;
+    }
+    for slot in acc.iter_mut().take(2 * w).skip(w) {
+        let sum = n.xor(*slot, carry);
+        carry = n.and([*slot, carry]);
+        *slot = sum;
+    }
+    for &bit in &acc {
+        n.add_output(bit);
+    }
+    n
+}
+
+/// Magnitude comparator: per-bit cells update (eq, lt) from MSB to LSB.
+/// Box cut: (aᵢ, bᵢ, eqᵢ₋₁, ltᵢ₋₁).
+fn comp(bits: u32, boxed: &HashSet<u32>) -> Netlist {
+    let mut n = Netlist::new("comp");
+    let a: Vec<_> = (0..bits).map(|_| n.add_input()).collect();
+    let b: Vec<_> = (0..bits).map(|_| n.add_input()).collect();
+    let mut eq = n.constant(true);
+    let mut lt = n.constant(false);
+    for i in (0..bits).rev() {
+        let (ai, bi) = (a[i as usize], b[i as usize]);
+        if boxed.contains(&i) {
+            let holes = n.add_black_box(vec![ai, bi, eq, lt], 2);
+            eq = holes[0];
+            lt = holes[1];
+        } else {
+            let x = n.xor(ai, bi);
+            let bit_eq = n.not(x);
+            let na = n.not(ai);
+            let here_lt = n.and([na, bi, eq]);
+            eq = n.and([eq, bit_eq]);
+            lt = n.or([lt, here_lt]);
+        }
+    }
+    n.add_output(eq);
+    n.add_output(lt);
+    n
+}
+
+/// C432-style priority logic: three banks of `size` request lines with
+/// per-bank enables; a bank is active when enabled and requesting, the
+/// highest-priority active bank wins, and within it the highest-priority
+/// channel. Cells are the per-bank request-mask units. Box cut: the
+/// bank's enable plus its request lines.
+fn c432(size: u32, boxed: &HashSet<u32>) -> Netlist {
+    let channels = size.max(2) as usize;
+    let mut n = Netlist::new("c432");
+    let enables: Vec<_> = (0..3).map(|_| n.add_input()).collect();
+    let requests: Vec<Vec<usize>> = (0..3)
+        .map(|_| (0..channels).map(|_| n.add_input()).collect())
+        .collect();
+    // Per-bank "any enabled request" unit — the boxable cell.
+    let mut bank_active = Vec::with_capacity(3);
+    for bank in 0..3 {
+        let active = if boxed.contains(&(bank as u32)) {
+            let mut cut = vec![enables[bank]];
+            cut.extend(&requests[bank]);
+            n.add_black_box(cut, 1)[0]
+        } else {
+            let any = n.or(requests[bank].iter().copied());
+            n.and([enables[bank], any])
+        };
+        bank_active.push(active);
+    }
+    // Fixed bank priority 0 > 1 > 2.
+    let n0 = n.not(bank_active[0]);
+    let n1 = n.not(bank_active[1]);
+    let sel0 = bank_active[0];
+    let sel1 = n.and([n0, bank_active[1]]);
+    let sel2 = n.and([n0, n1, bank_active[2]]);
+    let selects = [sel0, sel1, sel2];
+    // Channel outputs: channel c granted iff its bank selected, channel
+    // requesting, and no lower-indexed channel of that bank requesting.
+    for ch in 0..channels {
+        let mut grant_terms = Vec::with_capacity(3);
+        for bank in 0..3 {
+            let mut term = vec![selects[bank], requests[bank][ch]];
+            for &prev in requests[bank].iter().take(ch) {
+                let blocked = n.not(prev);
+                term.push(blocked);
+            }
+            grant_terms.push(n.and(term));
+        }
+        let grant = n.or(grant_terms);
+        n.add_output(grant);
+    }
+    let valid = n.or(selects.to_vec());
+    n.add_output(valid);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqs_core::expand::{is_satisfiable_by_expansion, MAX_EXPANSION_UNIVERSALS};
+    use hqs_core::{DqbfResult, HqsSolver};
+
+    /// Every family: the carved (fault-free) instance must be realizable.
+    #[test]
+    fn carved_instances_are_satisfiable() {
+        for family in Family::ALL {
+            let instance = generate(family, 2, 1, 0, false);
+            let result = HqsSolver::new().solve(&instance.dqbf);
+            assert_eq!(result, DqbfResult::Sat, "{}", instance.name);
+        }
+    }
+
+    /// Small instances agree with the expansion oracle, faulted or not.
+    #[test]
+    fn small_instances_match_oracle() {
+        for family in Family::ALL {
+            for fault in [false, true] {
+                for seed in 0..3 {
+                    let instance = generate(family, 2, 1, seed, fault);
+                    if instance.dqbf.universals().len() > MAX_EXPANSION_UNIVERSALS {
+                        continue;
+                    }
+                    let expected = if is_satisfiable_by_expansion(&instance.dqbf) {
+                        DqbfResult::Sat
+                    } else {
+                        DqbfResult::Unsat
+                    };
+                    let got = HqsSolver::new().solve(&instance.dqbf);
+                    assert_eq!(got, expected, "{}", instance.name);
+                }
+            }
+        }
+    }
+
+    /// The netlists compute what they claim (complete versions).
+    #[test]
+    fn adder_is_an_adder() {
+        let n = adder(3, &HashSet::new());
+        for a in 0u32..8 {
+            for b in 0u32..8 {
+                for cin in 0u32..2 {
+                    let mut ins = Vec::new();
+                    for i in 0..3 {
+                        ins.push(a >> i & 1 == 1);
+                    }
+                    for i in 0..3 {
+                        ins.push(b >> i & 1 == 1);
+                    }
+                    ins.push(cin == 1);
+                    let out = n.eval_complete(&ins);
+                    let total = a + b + cin;
+                    for (i, &bit) in out.iter().enumerate() {
+                        assert_eq!(bit, total >> i & 1 == 1, "a={a} b={b} cin={cin}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitcell_grants_first_requester() {
+        let n = bitcell(4, &HashSet::new());
+        let out = n.eval_complete(&[false, true, true, false]);
+        assert_eq!(out, vec![false, true, false, false]);
+        let out = n.eval_complete(&[false, false, false, false]);
+        assert_eq!(out, vec![false, false, false, false]);
+    }
+
+    #[test]
+    fn lookahead_matches_priority_semantics() {
+        let n = lookahead(4, &HashSet::new());
+        for bits in 0u32..16 {
+            let ins: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let out = n.eval_complete(&ins);
+            let first = ins.iter().position(|&r| r);
+            for (i, &g) in out.iter().enumerate() {
+                assert_eq!(g, Some(i) == first, "bits {bits:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn comp_compares() {
+        let n = comp(3, &HashSet::new());
+        for a in 0u32..8 {
+            for b in 0u32..8 {
+                let mut ins = Vec::new();
+                for i in 0..3 {
+                    ins.push(a >> i & 1 == 1);
+                }
+                for i in 0..3 {
+                    ins.push(b >> i & 1 == 1);
+                }
+                let out = n.eval_complete(&ins);
+                assert_eq!(out[0], a == b, "eq a={a} b={b}");
+                assert_eq!(out[1], a < b, "lt a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn z4_multiplies_and_accumulates() {
+        let n = z4(2, &HashSet::new());
+        for a in 0u32..4 {
+            for b in 0u32..4 {
+                for c in 0u32..4 {
+                    let mut ins = Vec::new();
+                    for i in 0..2 {
+                        ins.push(a >> i & 1 == 1);
+                    }
+                    for i in 0..2 {
+                        ins.push(b >> i & 1 == 1);
+                    }
+                    for i in 0..2 {
+                        ins.push(c >> i & 1 == 1);
+                    }
+                    let out = n.eval_complete(&ins);
+                    let total = a * b + c;
+                    for (i, &bit) in out.iter().enumerate() {
+                        assert_eq!(bit, total >> i & 1 == 1, "a={a} b={b} c={c} bit {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c432_priority_logic() {
+        let n = c432(2, &HashSet::new());
+        // enables: bank0 off, bank1 on, bank2 on; requests: bank1 ch1,
+        // bank2 ch0 → bank1 wins, channel 1 granted.
+        let ins = vec![
+            false, true, true, // enables
+            true, false, // bank0 (ignored: disabled)
+            false, true, // bank1
+            true, false, // bank2
+        ];
+        let out = n.eval_complete(&ins);
+        assert_eq!(out, vec![false, true, true]); // ch0, ch1, valid
+    }
+
+    #[test]
+    fn suite_counts_follow_scale() {
+        let smoke = benchmark_suite(Scale::Smoke);
+        assert!(smoke.len() >= 28);
+        assert!(smoke.iter().any(|i| i.fault));
+        assert!(smoke.iter().any(|i| !i.fault));
+        let families: HashSet<Family> = smoke.iter().map(|i| i.family).collect();
+        assert_eq!(families.len(), 7);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(Family::Adder, 4, 2, 11, true);
+        let b = generate(Family::Adder, 4, 2, 11, true);
+        assert_eq!(a.name, b.name);
+        assert_eq!(
+            a.dqbf.matrix().clauses().len(),
+            b.dqbf.matrix().clauses().len()
+        );
+        assert_eq!(a.dqbf.universals(), b.dqbf.universals());
+    }
+}

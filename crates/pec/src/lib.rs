@@ -1,0 +1,47 @@
+//! Partial equivalence checking (PEC) benchmarks for DQBF solvers.
+//!
+//! The HQS paper evaluates on 1820 PEC instances: *incomplete* gate-level
+//! circuits containing unimplemented parts ("black boxes"), asked whether
+//! the boxes can be implemented so that the circuit matches a specification
+//! (the *realizability* / partial-equivalence-checking problem \[20\], \[32\]).
+//! With more than one black box, exact dependencies of each box on its own
+//! input cone cannot be expressed in QBF — DQBF is needed \[10\].
+//!
+//! The original DQDIMACS files are not distributed, so this crate
+//! regenerates the seven circuit families as parameterised netlists:
+//!
+//! | family      | circuit                                        |
+//! |-------------|------------------------------------------------|
+//! | `adder`     | ripple-carry adders, black-boxed full adders   |
+//! | `bitcell`   | iterative arbiter bit-cell chain (\[31\])        |
+//! | `lookahead` | tree ("lookahead") arbiter (\[31\])              |
+//! | `pec_xor`   | XOR chains (\[15\])                              |
+//! | `z4`        | small multiply-accumulate (ISCAS-ish Z4)       |
+//! | `comp`      | n-bit magnitude comparator (ISCAS-ish `comp`)  |
+//! | `c432`      | 27-channel interrupt-controller-style priority |
+//!
+//! Satisfiable instances are produced by carving boxes out of a complete
+//! circuit (a realization exists by construction); unsatisfiable ones by
+//! additionally mutating the specification outside the boxes' reach.
+//!
+//! # Examples
+//!
+//! ```
+//! use hqs_pec::{families, Family, Scale};
+//! use hqs_core::{HqsSolver, DqbfResult};
+//!
+//! let instance = families::generate(Family::PecXor, 4, 2, 0, false);
+//! let mut solver = HqsSolver::new();
+//! assert_eq!(solver.solve(&instance.dqbf), DqbfResult::Sat);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_format;
+pub mod encode;
+pub mod families;
+pub mod netlist;
+
+pub use families::{benchmark_suite, Family, PecInstance, Scale};
+pub use netlist::{BlackBox, GateOp, Netlist, Signal, SignalId};

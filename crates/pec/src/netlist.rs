@@ -1,0 +1,478 @@
+//! Gate-level netlists with optional black-box holes.
+
+use std::fmt;
+
+/// Index of a signal within a [`Netlist`].
+pub type SignalId = usize;
+
+/// Gate operators. Negation is a gate of its own (`Not`), so fanins are
+/// plain signal ids.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GateOp {
+    /// N-ary conjunction.
+    And(Vec<SignalId>),
+    /// N-ary disjunction.
+    Or(Vec<SignalId>),
+    /// Binary exclusive or.
+    Xor(SignalId, SignalId),
+    /// Inverter.
+    Not(SignalId),
+    /// Constant.
+    Const(bool),
+}
+
+/// One signal of the netlist.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Signal {
+    /// Primary input (with its input index).
+    Input(usize),
+    /// Driven by a gate.
+    Gate(GateOp),
+    /// Output of black box `box_id` (position `out_idx` of that box).
+    Hole {
+        /// Which black box drives this signal.
+        box_id: usize,
+        /// Output position within the box.
+        out_idx: usize,
+    },
+}
+
+/// A black box: an unimplemented part of the circuit. Its (future)
+/// implementation may only observe the listed input signals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlackBox {
+    /// Signals the box observes (its input cut).
+    pub inputs: Vec<SignalId>,
+    /// Hole signals the box drives.
+    pub outputs: Vec<SignalId>,
+}
+
+/// A combinational gate-level netlist, optionally incomplete (containing
+/// [`Signal::Hole`]s driven by [`BlackBox`]es).
+///
+/// Signals must be created in topological order: a gate may only reference
+/// already-created signals. This makes construction order a valid
+/// evaluation order.
+///
+/// # Examples
+///
+/// ```
+/// use hqs_pec::Netlist;
+///
+/// let mut n = Netlist::new("half_adder");
+/// let a = n.add_input();
+/// let b = n.add_input();
+/// let sum = n.xor(a, b);
+/// let carry = n.and([a, b]);
+/// n.add_output(sum);
+/// n.add_output(carry);
+/// assert_eq!(n.eval_complete(&[true, true]), vec![false, true]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    signals: Vec<Signal>,
+    inputs: Vec<SignalId>,
+    outputs: Vec<SignalId>,
+    boxes: Vec<BlackBox>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Netlist {
+            name: name.to_string(),
+            signals: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            boxes: Vec::new(),
+        }
+    }
+
+    /// The netlist's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input; returns its signal.
+    pub fn add_input(&mut self) -> SignalId {
+        let id = self.signals.len();
+        self.signals.push(Signal::Input(self.inputs.len()));
+        self.inputs.push(id);
+        id
+    }
+
+    fn add_gate(&mut self, op: GateOp) -> SignalId {
+        let id = self.signals.len();
+        let fanins: Vec<SignalId> = match &op {
+            GateOp::And(ins) | GateOp::Or(ins) => ins.clone(),
+            GateOp::Xor(a, b) => vec![*a, *b],
+            GateOp::Not(a) => vec![*a],
+            GateOp::Const(_) => Vec::new(),
+        };
+        for fanin in fanins {
+            assert!(fanin < id, "gates must reference earlier signals");
+        }
+        self.signals.push(Signal::Gate(op));
+        id
+    }
+
+    /// Adds an AND gate.
+    pub fn and<I: IntoIterator<Item = SignalId>>(&mut self, ins: I) -> SignalId {
+        self.add_gate(GateOp::And(ins.into_iter().collect()))
+    }
+
+    /// Adds an OR gate.
+    pub fn or<I: IntoIterator<Item = SignalId>>(&mut self, ins: I) -> SignalId {
+        self.add_gate(GateOp::Or(ins.into_iter().collect()))
+    }
+
+    /// Adds an XOR gate.
+    pub fn xor(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.add_gate(GateOp::Xor(a, b))
+    }
+
+    /// Adds an inverter.
+    pub fn not(&mut self, a: SignalId) -> SignalId {
+        self.add_gate(GateOp::Not(a))
+    }
+
+    /// Adds a constant signal.
+    pub fn constant(&mut self, value: bool) -> SignalId {
+        self.add_gate(GateOp::Const(value))
+    }
+
+    /// Declares `signal` a primary output.
+    pub fn add_output(&mut self, signal: SignalId) {
+        assert!(signal < self.signals.len());
+        self.outputs.push(signal);
+    }
+
+    /// Adds a black box with the given input cut and `num_outputs` fresh
+    /// hole signals; returns the hole signal ids.
+    pub fn add_black_box(
+        &mut self,
+        inputs: Vec<SignalId>,
+        num_outputs: usize,
+    ) -> Vec<SignalId> {
+        let box_id = self.boxes.len();
+        let mut holes = Vec::with_capacity(num_outputs);
+        for out_idx in 0..num_outputs {
+            let id = self.signals.len();
+            self.signals.push(Signal::Hole { box_id, out_idx });
+            holes.push(id);
+        }
+        self.boxes.push(BlackBox {
+            inputs,
+            outputs: holes.clone(),
+        });
+        holes
+    }
+
+    /// The primary inputs, in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// The primary outputs, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[SignalId] {
+        &self.outputs
+    }
+
+    /// The black boxes.
+    #[must_use]
+    pub fn boxes(&self) -> &[BlackBox] {
+        &self.boxes
+    }
+
+    /// All signals.
+    #[must_use]
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// Number of gate signals (circuit size).
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.signals
+            .iter()
+            .filter(|s| matches!(s, Signal::Gate(_)))
+            .count()
+    }
+
+    /// Evaluates a *complete* netlist (no holes) on the given inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains holes or `inputs` has the wrong
+    /// length.
+    #[must_use]
+    pub fn eval_complete(&self, inputs: &[bool]) -> Vec<bool> {
+        self.eval_with_boxes(inputs, |_, _, _| {
+            panic!("netlist contains black boxes; use eval_with_boxes")
+        })
+    }
+
+    /// Evaluates the netlist with black boxes interpreted by `box_fn`:
+    /// `box_fn(box_id, out_idx, box_input_values) -> bool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the declared input count.
+    pub fn eval_with_boxes<F>(&self, inputs: &[bool], mut box_fn: F) -> Vec<bool>
+    where
+        F: FnMut(usize, usize, &[bool]) -> bool,
+    {
+        assert_eq!(inputs.len(), self.inputs.len(), "input arity mismatch");
+        let mut values = vec![false; self.signals.len()];
+        for (id, signal) in self.signals.iter().enumerate() {
+            values[id] = match signal {
+                Signal::Input(idx) => inputs[*idx],
+                Signal::Gate(op) => match op {
+                    GateOp::And(ins) => ins.iter().all(|&i| values[i]),
+                    GateOp::Or(ins) => ins.iter().any(|&i| values[i]),
+                    GateOp::Xor(a, b) => values[*a] ^ values[*b],
+                    GateOp::Not(a) => !values[*a],
+                    GateOp::Const(c) => *c,
+                },
+                Signal::Hole { box_id, out_idx } => {
+                    let cut: Vec<bool> = self.boxes[*box_id]
+                        .inputs
+                        .iter()
+                        .map(|&z| values[z])
+                        .collect();
+                    box_fn(*box_id, *out_idx, &cut)
+                }
+            };
+        }
+        self.outputs.iter().map(|&o| values[o]).collect()
+    }
+
+    /// Returns a copy with each listed gate signal replaced by a fresh
+    /// single-output black box observing exactly that gate's fanins — the
+    /// generic "remove a part of the circuit" operation for building PEC
+    /// instances from arbitrary netlists (e.g. parsed `.bench` files).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target is not a gate signal.
+    #[must_use]
+    pub fn carve_gates(&self, targets: &[SignalId]) -> Netlist {
+        let mut carved = self.clone();
+        carved.name = format!("{}_carved", self.name);
+        for &target in targets {
+            let Signal::Gate(op) = &self.signals[target] else {
+                panic!("carve target {target} is not a gate");
+            };
+            let cut: Vec<SignalId> = match op {
+                GateOp::And(ins) | GateOp::Or(ins) => ins.clone(),
+                GateOp::Xor(a, b) => vec![*a, *b],
+                GateOp::Not(a) => vec![*a],
+                GateOp::Const(_) => Vec::new(),
+            };
+            let box_id = carved.boxes.len();
+            carved.signals[target] = Signal::Hole { box_id, out_idx: 0 };
+            carved.boxes.push(BlackBox {
+                inputs: cut,
+                outputs: vec![target],
+            });
+        }
+        carved
+    }
+
+    /// Returns a copy with an inverter spliced onto signal `target`
+    /// (every *later* gate reading `target` reads its negation instead) —
+    /// the fault-injection primitive for generating unrealizable
+    /// instances. Outputs reading `target` directly are also redirected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    #[must_use]
+    pub fn with_fault(&self, target: SignalId) -> Netlist {
+        assert!(target < self.signals.len());
+        // The inverter is inserted directly after `target` so topological
+        // order is preserved; all later ids shift by one, and readers of
+        // `target` read the inverter instead.
+        let inv = target + 1;
+        let shift = |id: SignalId| if id > target { id + 1 } else { id };
+        let redirect = |id: SignalId| if id == target { inv } else { shift(id) };
+        let mut signals = Vec::with_capacity(self.signals.len() + 1);
+        for (id, signal) in self.signals.iter().enumerate() {
+            let mapped = match signal {
+                Signal::Input(idx) => Signal::Input(*idx),
+                Signal::Hole { box_id, out_idx } => Signal::Hole {
+                    box_id: *box_id,
+                    out_idx: *out_idx,
+                },
+                Signal::Gate(op) => {
+                    let mut op = op.clone();
+                    for fanin in op_fanins_mut(&mut op) {
+                        *fanin = redirect(*fanin);
+                    }
+                    Signal::Gate(op)
+                }
+            };
+            signals.push(mapped);
+            if id == target {
+                signals.push(Signal::Gate(GateOp::Not(target)));
+            }
+        }
+        Netlist {
+            name: format!("{}_fault{}", self.name, target),
+            signals,
+            inputs: self.inputs.iter().map(|&i| shift(i)).collect(),
+            outputs: self.outputs.iter().map(|&o| redirect(o)).collect(),
+            boxes: self
+                .boxes
+                .iter()
+                .map(|bb| BlackBox {
+                    inputs: bb.inputs.iter().map(|&z| redirect(z)).collect(),
+                    outputs: bb.outputs.iter().map(|&h| shift(h)).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn op_fanins_mut(op: &mut GateOp) -> Vec<&mut SignalId> {
+    match op {
+        GateOp::And(ins) | GateOp::Or(ins) => ins.iter_mut().collect(),
+        GateOp::Xor(a, b) => vec![a, b],
+        GateOp::Not(a) => vec![a],
+        GateOp::Const(_) => Vec::new(),
+    }
+}
+
+impl fmt::Debug for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Netlist({}: {} inputs, {} gates, {} outputs, {} boxes)",
+            self.name,
+            self.inputs.len(),
+            self.num_gates(),
+            self.outputs.len(),
+            self.boxes.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut n = Netlist::new("full_adder");
+        let a = n.add_input();
+        let b = n.add_input();
+        let c = n.add_input();
+        let ab = n.xor(a, b);
+        let sum = n.xor(ab, c);
+        let ab_and = n.and([a, b]);
+        let abc = n.and([ab, c]);
+        let carry = n.or([ab_and, abc]);
+        n.add_output(sum);
+        n.add_output(carry);
+        for bits in 0u32..8 {
+            let ins: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expected_sum = ins.iter().filter(|&&v| v).count();
+            let out = n.eval_complete(&ins);
+            assert_eq!(out[0], expected_sum % 2 == 1);
+            assert_eq!(out[1], expected_sum >= 2);
+        }
+    }
+
+    #[test]
+    fn black_box_evaluation() {
+        let mut n = Netlist::new("bb");
+        let a = n.add_input();
+        let b = n.add_input();
+        let holes = n.add_black_box(vec![a, b], 1);
+        let out = n.not(holes[0]);
+        n.add_output(out);
+        // Box implements AND.
+        let result = n.eval_with_boxes(&[true, true], |_, _, cut| cut.iter().all(|&v| v));
+        assert_eq!(result, vec![false]);
+        let result = n.eval_with_boxes(&[true, false], |_, _, cut| cut.iter().all(|&v| v));
+        assert_eq!(result, vec![true]);
+    }
+
+    #[test]
+    fn fault_injection_flips_readers() {
+        let mut n = Netlist::new("f");
+        let a = n.add_input();
+        let b = n.add_input();
+        let conj = n.and([a, b]);
+        n.add_output(conj);
+        let faulty = n.with_fault(a);
+        // Output now computes ¬a ∧ b.
+        assert_eq!(faulty.eval_complete(&[false, true]), vec![true]);
+        assert_eq!(faulty.eval_complete(&[true, true]), vec![false]);
+        // Original untouched.
+        assert_eq!(n.eval_complete(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn fault_on_output_signal() {
+        let mut n = Netlist::new("g");
+        let a = n.add_input();
+        let inv = n.not(a);
+        n.add_output(inv);
+        let faulty = n.with_fault(inv);
+        assert_eq!(faulty.eval_complete(&[false]), vec![false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference earlier signals")]
+    fn forward_reference_panics() {
+        let mut n = Netlist::new("bad");
+        let a = n.add_input();
+        let _ = n.and([a, 99]);
+    }
+
+    #[test]
+    fn carve_gates_replaces_gate_with_box() {
+        let mut n = Netlist::new("c");
+        let a = n.add_input();
+        let b = n.add_input();
+        let g = n.and([a, b]);
+        let out = n.not(g);
+        n.add_output(out);
+        let carved = n.carve_gates(&[g]);
+        assert_eq!(carved.boxes().len(), 1);
+        assert_eq!(carved.boxes()[0].inputs, vec![a, b]);
+        assert_eq!(carved.boxes()[0].outputs, vec![g]);
+        // Filling the box with AND restores the original function.
+        let filled =
+            carved.eval_with_boxes(&[true, true], |_, _, cut| cut.iter().all(|&v| v));
+        assert_eq!(filled, n.eval_complete(&[true, true]));
+        // Original netlist untouched.
+        assert!(n.boxes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gate")]
+    fn carve_non_gate_panics() {
+        let mut n = Netlist::new("c");
+        let a = n.add_input();
+        let g = n.not(a);
+        n.add_output(g);
+        let _ = n.carve_gates(&[a]);
+    }
+
+    #[test]
+    fn constants() {
+        let mut n = Netlist::new("c");
+        let t = n.constant(true);
+        let f = n.constant(false);
+        let o = n.or([t, f]);
+        n.add_output(o);
+        assert_eq!(n.eval_complete(&[]), vec![true]);
+    }
+}

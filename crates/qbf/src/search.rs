@@ -1,0 +1,428 @@
+//! A search-based (QDPLL-style) QBF solver.
+//!
+//! The paper notes that efficient QBF solvers come in two flavours —
+//! elimination-based (AIGSOLVE, the backend HQS uses) and search-based
+//! (DepQBF). This module provides a compact representative of the second
+//! class, used as an independent cross-check for the elimination engine
+//! and as an alternative backend for experimentation:
+//!
+//! * depth-first search over the quantifier prefix, outermost first,
+//! * QBF unit propagation with universal reduction under the current
+//!   assignment (a clause whose unassigned literals are all universal and
+//!   inner to every unassigned existential is falsified),
+//! * pure-literal elimination (an existential occurring in one phase only
+//!   is satisfied; a universal occurring in one phase only is falsified),
+//! * chronological backtracking (no clause learning — the instances HQS
+//!   hands over are small after elimination; learning belongs to a
+//!   dedicated solver like DepQBF).
+
+use crate::Prefix;
+use hqs_base::{Assignment, Budget, Lit, TruthValue, Var};
+use hqs_cnf::{Clause, Cnf, QdimacsFile, Quantifier};
+use std::collections::HashMap;
+
+/// Counters for one search run.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Decision nodes visited.
+    pub decisions: u64,
+    /// Unit propagations applied.
+    pub propagations: u64,
+    /// Universal reductions applied during propagation.
+    pub reductions: u64,
+    /// Pure-literal assignments applied.
+    pub pures: u64,
+}
+
+/// A search-based QBF solver (see the [module docs](self)).
+///
+/// # Examples
+///
+/// ```
+/// use hqs_cnf::dimacs::parse_qdimacs;
+/// use hqs_qbf::search::SearchSolver;
+///
+/// let file = parse_qdimacs("p cnf 2 2\na 1 0\ne 2 0\n1 -2 0\n-1 2 0\n")?;
+/// assert!(SearchSolver::new().solve_file(&file));
+/// # Ok::<(), hqs_cnf::ParseError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SearchSolver {
+    stats: SearchStats,
+    /// Quantifier and prefix depth per variable.
+    quantifier: HashMap<Var, (Quantifier, usize)>,
+    clauses: Vec<Clause>,
+    order: Vec<Var>,
+    budget: Budget,
+    aborted: bool,
+}
+
+impl SearchSolver {
+    /// Creates a solver.
+    #[must_use]
+    pub fn new() -> Self {
+        SearchSolver::default()
+    }
+
+    /// Statistics of the most recent run.
+    #[must_use]
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    /// Decides a parsed QDIMACS file (free variables become outermost
+    /// existentials). Returns `true` iff the formula holds.
+    pub fn solve_file(&mut self, file: &QdimacsFile) -> bool {
+        let mut prefix = Prefix::from_blocks(&file.blocks);
+        let support = file.matrix.support();
+        let bound: Vec<Var> = prefix.iter_vars().map(|(v, _)| v).collect();
+        let free: Vec<Var> = support.iter().filter(|v| !bound.contains(v)).collect();
+        if !free.is_empty() {
+            let mut with_free = Prefix::new();
+            with_free.push_block(Quantifier::Existential, free);
+            for block in prefix.blocks() {
+                with_free.push_block(block.quantifier, block.vars.clone());
+            }
+            prefix = with_free;
+        }
+        self.solve(&prefix, &file.matrix)
+    }
+
+    /// Like [`solve`](SearchSolver::solve) under a wall-clock budget;
+    /// `None` means the deadline passed first.
+    pub fn solve_budgeted(
+        &mut self,
+        prefix: &Prefix,
+        matrix: &Cnf,
+        budget: Budget,
+    ) -> Option<bool> {
+        self.budget = budget;
+        let verdict = self.solve(prefix, matrix);
+        if self.aborted {
+            None
+        } else {
+            Some(verdict)
+        }
+    }
+
+    /// Decides the QBF `prefix : matrix`.
+    pub fn solve(&mut self, prefix: &Prefix, matrix: &Cnf) -> bool {
+        self.stats = SearchStats::default();
+        self.aborted = false;
+        self.quantifier.clear();
+        self.order.clear();
+        for (depth, (var, quantifier)) in prefix.iter_vars().enumerate() {
+            self.quantifier.insert(var, (quantifier, depth));
+            self.order.push(var);
+        }
+        self.clauses = matrix
+            .clauses()
+            .iter()
+            .filter(|c| !c.is_tautology())
+            .cloned()
+            .collect();
+        if self.clauses.iter().any(Clause::is_empty) {
+            return false;
+        }
+        let mut assignment = Assignment::with_num_vars(matrix.num_vars());
+        self.search(0, &mut assignment)
+    }
+
+    /// Recursive QDPLL over `self.order[depth..]`.
+    fn search(&mut self, depth: usize, assignment: &mut Assignment) -> bool {
+        if self.aborted
+            || (self.stats.decisions % 1024 == 0 && self.budget.time_exhausted())
+        {
+            self.aborted = true;
+            return false; // value is ignored once aborted
+        }
+        // Propagation to fixpoint: units (with universal reduction) and a
+        // matrix status check.
+        let mut trail: Vec<Var> = Vec::new();
+        let verdict = loop {
+            match self.propagate_scan(assignment, &mut trail) {
+                Propagation::Conflict => break Some(false),
+                Propagation::Satisfied => break Some(true),
+                Propagation::Progress => {}
+                Propagation::Fixpoint => break None,
+            }
+        };
+        if let Some(result) = verdict {
+            for var in trail {
+                assignment.unassign(var);
+            }
+            return result;
+        }
+        // Pure literals over the surviving clauses.
+        self.assign_pures(assignment, &mut trail);
+
+        // Next unassigned prefix variable at the outermost depth.
+        let next = self.order[depth..]
+            .iter()
+            .copied()
+            .find(|&v| assignment.value(v) == TruthValue::Unassigned);
+        let result = match next {
+            None => {
+                // All prefix variables assigned; matrix undecided can only
+                // mean leftover unassigned vars outside the prefix — they
+                // do not exist by construction, so evaluate directly.
+                self.clauses
+                    .iter()
+                    .all(|c| c.evaluate(assignment) == TruthValue::True)
+            }
+            Some(var) => {
+                let (quantifier, _) = self.quantifier[&var];
+                self.stats.decisions += 1;
+                let next_depth = depth + 1;
+                let mut outcome = quantifier == Quantifier::Universal;
+                for value in [false, true] {
+                    assignment.assign(var, value);
+                    let sub = self.search(next_depth, assignment);
+                    assignment.unassign(var);
+                    match quantifier {
+                        Quantifier::Existential if sub => {
+                            outcome = true;
+                            break;
+                        }
+                        Quantifier::Universal if !sub => {
+                            outcome = false;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                outcome
+            }
+        };
+        for var in trail {
+            assignment.unassign(var);
+        }
+        result
+    }
+
+    /// Pure-literal rule: a variable whose unassigned occurrences in
+    /// non-satisfied clauses all share one phase is fixed — existentials
+    /// to satisfy the phase, universals to falsify it (Theorem 5's QBF
+    /// specialisation).
+    fn assign_pures(&mut self, assignment: &mut Assignment, trail: &mut Vec<Var>) {
+        let mut pos: HashMap<Var, bool> = HashMap::new();
+        let mut neg: HashMap<Var, bool> = HashMap::new();
+        for clause in &self.clauses {
+            let mut satisfied = false;
+            for &lit in clause.lits() {
+                if assignment.lit_value(lit) == TruthValue::True {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            for &lit in clause.lits() {
+                if assignment.lit_value(lit) == TruthValue::Unassigned {
+                    if lit.is_positive() {
+                        pos.insert(lit.var(), true);
+                    } else {
+                        neg.insert(lit.var(), true);
+                    }
+                }
+            }
+        }
+        for (&var, _) in pos.iter().chain(neg.iter()) {
+            if assignment.value(var) != TruthValue::Unassigned {
+                continue;
+            }
+            let occurs_pos = pos.contains_key(&var);
+            let occurs_neg = neg.contains_key(&var);
+            if occurs_pos == occurs_neg {
+                continue; // both phases (or raced with an earlier pure)
+            }
+            let Some(&(quantifier, _)) = self.quantifier.get(&var) else {
+                continue;
+            };
+            let satisfy = occurs_pos;
+            let value = match quantifier {
+                Quantifier::Existential => satisfy,
+                Quantifier::Universal => !satisfy,
+            };
+            assignment.assign(var, value);
+            trail.push(var);
+            self.stats.pures += 1;
+        }
+    }
+
+    /// One full clause scan: applies every QBF unit found (recording the
+    /// assigned variables on `trail`), detects falsified clauses and a
+    /// satisfied matrix.
+    fn propagate_scan(
+        &mut self,
+        assignment: &mut Assignment,
+        trail: &mut Vec<Var>,
+    ) -> Propagation {
+        let mut all_true = true;
+        let mut progress = false;
+        for clause in &self.clauses {
+            let mut satisfied = false;
+            // Unassigned literals surviving universal reduction: a
+            // universal literal counts only if some unassigned existential
+            // literal of the clause is inner to it.
+            let mut unassigned: Vec<Lit> = Vec::new();
+            for &lit in clause.lits() {
+                match assignment.lit_value(lit) {
+                    TruthValue::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    TruthValue::False => {}
+                    TruthValue::Unassigned => unassigned.push(lit),
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            all_true = false;
+            // Universal reduction under the current assignment.
+            let max_exist_depth = unassigned
+                .iter()
+                .filter(|l| self.quantifier[&l.var()].0 == Quantifier::Existential)
+                .map(|l| self.quantifier[&l.var()].1)
+                .max();
+            let effective: Vec<Lit> = unassigned
+                .iter()
+                .copied()
+                .filter(|l| {
+                    let (q, d) = self.quantifier[&l.var()];
+                    q == Quantifier::Existential
+                        || max_exist_depth.is_some_and(|m| d < m)
+                })
+                .collect();
+            if effective.len() < unassigned.len() {
+                self.stats.reductions += 1;
+            }
+            match effective.as_slice() {
+                [] => return Propagation::Conflict,
+                [single] => {
+                    let (q, _) = self.quantifier[&single.var()];
+                    if q == Quantifier::Existential {
+                        // Apply immediately; later clauses see the value.
+                        self.stats.propagations += 1;
+                        assignment.assign_lit(*single);
+                        trail.push(single.var());
+                        progress = true;
+                    } else {
+                        // A unit universal literal after reduction means
+                        // the adversary can falsify the clause.
+                        return Propagation::Conflict;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if all_true {
+            return Propagation::Satisfied;
+        }
+        if progress {
+            Propagation::Progress
+        } else {
+            Propagation::Fixpoint
+        }
+    }
+}
+
+enum Propagation {
+    Conflict,
+    Satisfied,
+    Progress,
+    Fixpoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::eval_qdimacs;
+    use crate::{QbfResult, QbfSolver};
+    use hqs_cnf::dimacs::parse_qdimacs;
+
+    fn run(text: &str) -> bool {
+        SearchSolver::new().solve_file(&parse_qdimacs(text).unwrap())
+    }
+
+    #[test]
+    fn known_instances() {
+        assert!(run("p cnf 2 2\na 1 0\ne 2 0\n1 -2 0\n-1 2 0\n"));
+        assert!(!run("p cnf 2 2\ne 2 0\na 1 0\n1 -2 0\n-1 2 0\n"));
+        assert!(run("p cnf 1 1\na 1 0\n1 -1 0\n"));
+        assert!(!run("p cnf 1 1\na 1 0\n1 0\n"));
+        assert!(run("p cnf 2 1\n1 2 0\n"));
+        assert!(!run("p cnf 1 2\n1 0\n-1 0\n"));
+    }
+
+    #[test]
+    fn propagation_counts() {
+        let mut solver = SearchSolver::new();
+        // x forced by unit, then y forced: no decisions needed.
+        let file = parse_qdimacs("p cnf 2 2\ne 1 2 0\n1 0\n-1 2 0\n").unwrap();
+        assert!(solver.solve_file(&file));
+        assert!(solver.stats().propagations >= 2);
+        assert_eq!(solver.stats().decisions, 0);
+    }
+
+    #[test]
+    fn universal_reduction_detects_conflicts_early() {
+        // ∃y ∀x. (x ∨ ¬y) ∧ (¬x ∨ ¬y) ∧ (y): the y-unit forces y, then both
+        // clauses reduce to universal units ⇒ conflict without branching
+        // over x.
+        let mut solver = SearchSolver::new();
+        let file =
+            parse_qdimacs("p cnf 2 3\ne 2 0\na 1 0\n1 -2 0\n-1 -2 0\n2 0\n").unwrap();
+        assert!(!solver.solve_file(&file));
+        assert_eq!(solver.stats().decisions, 0);
+    }
+
+    #[test]
+    fn agrees_with_oracle_and_elimination_solver() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31337);
+        for round in 0..120 {
+            let num_vars = rng.gen_range(2..=6u32);
+            let mut text = format!("p cnf {num_vars} 0\n");
+            let mut order: Vec<u32> = (1..=num_vars).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let mut pos = 0;
+            let mut q = if rng.gen_bool(0.5) { "a" } else { "e" };
+            let mut prefix_lines = String::new();
+            while pos < order.len() {
+                let take = rng.gen_range(1..=order.len() - pos);
+                let vars: Vec<String> =
+                    order[pos..pos + take].iter().map(u32::to_string).collect();
+                prefix_lines.push_str(&format!("{q} {} 0\n", vars.join(" ")));
+                q = if q == "a" { "e" } else { "a" };
+                pos += take;
+            }
+            text.push_str(&prefix_lines);
+            for _ in 0..rng.gen_range(1..=9usize) {
+                let len = rng.gen_range(1..=3usize);
+                let lits: Vec<String> = (0..len)
+                    .map(|_| {
+                        let v = rng.gen_range(1..=num_vars) as i64;
+                        if rng.gen_bool(0.5) { v } else { -v }.to_string()
+                    })
+                    .collect();
+                text.push_str(&format!("{} 0\n", lits.join(" ")));
+            }
+            let file = parse_qdimacs(&text).unwrap();
+            let expected = eval_qdimacs(&file);
+            let search = SearchSolver::new().solve_file(&file);
+            assert_eq!(search, expected, "round {round}:\n{text}");
+            let elimination = QbfSolver::new().solve_file(&file);
+            assert_eq!(
+                elimination == QbfResult::Sat,
+                expected,
+                "round {round}:\n{text}"
+            );
+        }
+    }
+}

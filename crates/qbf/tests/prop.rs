@@ -1,0 +1,126 @@
+//! Property-based tests: the elimination-based QBF solver against the
+//! brute-force expansion oracle on random prefixes and matrices.
+
+use hqs_base::{Lit, Var};
+use hqs_cnf::{Clause, Cnf, QdimacsFile, QuantBlock, Quantifier};
+use hqs_qbf::{reference, QbfResult, QbfSolver};
+use proptest::prelude::*;
+
+const MAX_VARS: u32 = 6;
+
+#[derive(Clone, Debug)]
+struct RandomQbf {
+    file: QdimacsFile,
+}
+
+fn arb_qbf() -> impl Strategy<Value = RandomQbf> {
+    (
+        // Permutation seed for variable order, block split pattern,
+        // quantifier of the first block, clauses.
+        prop::collection::vec(0usize..100, MAX_VARS as usize),
+        prop::collection::vec(any::<bool>(), MAX_VARS as usize),
+        any::<bool>(),
+        prop::collection::vec(
+            prop::collection::vec(
+                (0..MAX_VARS, any::<bool>()).prop_map(|(v, n)| Lit::new(Var::new(v), n)),
+                1..4,
+            ),
+            1..10,
+        ),
+    )
+        .prop_map(|(perm, splits, first_universal, clause_lits)| {
+            // Build a permutation of 0..MAX_VARS.
+            let mut order: Vec<u32> = (0..MAX_VARS).collect();
+            for (i, &p) in perm.iter().enumerate() {
+                let j = p % (i + 1);
+                order.swap(i, j);
+            }
+            // Chunk into alternating blocks according to `splits`.
+            let mut blocks: Vec<QuantBlock> = Vec::new();
+            let mut quantifier = if first_universal {
+                Quantifier::Universal
+            } else {
+                Quantifier::Existential
+            };
+            let mut current: Vec<Var> = Vec::new();
+            for (i, &var) in order.iter().enumerate() {
+                current.push(Var::new(var));
+                if splits[i] || i + 1 == order.len() {
+                    blocks.push(QuantBlock {
+                        quantifier,
+                        vars: std::mem::take(&mut current),
+                    });
+                    quantifier = quantifier.flipped();
+                }
+            }
+            let mut matrix = Cnf::new(MAX_VARS);
+            for lits in clause_lits {
+                matrix.add_clause(Clause::from_lits(lits));
+            }
+            RandomQbf {
+                file: QdimacsFile { blocks, matrix },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The solver agrees with brute-force expansion on random QBFs.
+    #[test]
+    fn solver_matches_oracle(qbf in arb_qbf()) {
+        let expected = if reference::eval_qdimacs(&qbf.file) {
+            QbfResult::Sat
+        } else {
+            QbfResult::Unsat
+        };
+        let got = QbfSolver::new().solve_file(&qbf.file);
+        prop_assert_eq!(got, expected, "{:?}", qbf.file);
+    }
+
+    /// FRAIG-enabled solving never changes the verdict.
+    #[test]
+    fn fraig_mode_agrees(qbf in arb_qbf()) {
+        let plain = QbfSolver::new().solve_file(&qbf.file);
+        let mut sweeping = QbfSolver::new();
+        sweeping.set_fraig_threshold(1);
+        let swept = sweeping.solve_file(&qbf.file);
+        prop_assert_eq!(plain, swept);
+    }
+
+    /// Adding a tautological clause never changes the verdict.
+    #[test]
+    fn tautologies_are_inert(qbf in arb_qbf(), var in 0..MAX_VARS) {
+        let before = QbfSolver::new().solve_file(&qbf.file);
+        let mut extended = qbf.file.clone();
+        extended.matrix.add_clause(Clause::from_lits([
+            Lit::positive(Var::new(var)),
+            Lit::negative(Var::new(var)),
+        ]));
+        let after = QbfSolver::new().solve_file(&extended);
+        prop_assert_eq!(before, after);
+    }
+
+    /// Widening a dependency (moving an existential inward) can only help:
+    /// if the original is Sat, the widened prefix stays Sat.
+    #[test]
+    fn inward_existential_monotonicity(qbf in arb_qbf()) {
+        // Move the outermost existential block to the innermost position.
+        let Some(pos) = qbf
+            .file
+            .blocks
+            .iter()
+            .position(|b| b.quantifier == Quantifier::Existential)
+        else {
+            return Ok(());
+        };
+        let mut moved = qbf.file.clone();
+        let block = moved.blocks.remove(pos);
+        moved.blocks.push(block);
+        let original = QbfSolver::new().solve_file(&qbf.file);
+        let widened = QbfSolver::new().solve_file(&moved);
+        if original == QbfResult::Sat {
+            prop_assert_eq!(widened, QbfResult::Sat);
+        }
+    }
+}

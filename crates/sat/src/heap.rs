@@ -1,0 +1,150 @@
+//! A max-heap over variables ordered by activity, with in-place updates.
+
+use hqs_base::Var;
+
+/// Binary max-heap of variable indices keyed by an external activity array.
+///
+/// Supports the operations CDCL needs: insert, pop-max, and sift-up after an
+/// activity bump (`decrease`d keys never happen — activities only grow, and
+/// global rescaling preserves order).
+#[derive(Clone, Default, Debug)]
+pub struct VarOrder {
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `NOT_IN` if absent.
+    index: Vec<u32>,
+}
+
+const NOT_IN: u32 = u32::MAX;
+
+impl VarOrder {
+    pub fn new() -> Self {
+        VarOrder::default()
+    }
+
+    /// Extends the position table to cover variables `0..n`.
+    pub fn grow(&mut self, n: u32) {
+        if self.index.len() < n as usize {
+            self.index.resize(n as usize, NOT_IN);
+        }
+    }
+
+    pub fn contains(&self, var: Var) -> bool {
+        self.index
+            .get(var.index() as usize)
+            .is_some_and(|&p| p != NOT_IN)
+    }
+
+    /// Inserts `var` if absent.
+    pub fn insert(&mut self, var: Var, activity: &[f64]) {
+        self.grow(var.index() + 1);
+        if self.contains(var) {
+            return;
+        }
+        let pos = self.heap.len() as u32;
+        self.heap.push(var.index());
+        self.index[var.index() as usize] = pos;
+        self.sift_up(pos as usize, activity);
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.index[top as usize] = NOT_IN;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.index[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var::new(top))
+    }
+
+    /// Restores the heap property for `var` after its activity increased.
+    pub fn update(&mut self, var: Var, activity: &[f64]) {
+        if let Some(&pos) = self.index.get(var.index() as usize) {
+            if pos != NOT_IN {
+                self.sift_up(pos as usize, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if activity[self.heap[pos] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = left + 1;
+            let mut best = pos;
+            if left < self.heap.len()
+                && activity[self.heap[left] as usize] > activity[self.heap[best] as usize]
+            {
+                best = left;
+            }
+            if right < self.heap.len()
+                && activity[self.heap[right] as usize] > activity[self.heap[best] as usize]
+            {
+                best = right;
+            }
+            if best == pos {
+                break;
+            }
+            self.swap(pos, best);
+            pos = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.index[self.heap[a] as usize] = a as u32;
+        self.index[self.heap[b] as usize] = b as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![1.0, 5.0, 3.0, 4.0];
+        let mut order = VarOrder::new();
+        for i in 0..4 {
+            order.insert(Var::new(i), &activity);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| order.pop_max(&activity))
+            .map(Var::index)
+            .collect();
+        assert_eq!(got, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let activity = vec![1.0; 3];
+        let mut order = VarOrder::new();
+        order.insert(Var::new(1), &activity);
+        order.insert(Var::new(1), &activity);
+        assert!(order.pop_max(&activity).is_some());
+        assert!(order.pop_max(&activity).is_none());
+    }
+
+    #[test]
+    fn update_after_bump_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut order = VarOrder::new();
+        for i in 0..3 {
+            order.insert(Var::new(i), &activity);
+        }
+        activity[0] = 10.0;
+        order.update(Var::new(0), &activity);
+        assert_eq!(order.pop_max(&activity), Some(Var::new(0)));
+    }
+}

@@ -1,0 +1,38 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! This crate reimplements the SAT substrate the HQS paper relies on
+//! (the authors used *antom*): a MiniSat-style CDCL solver with
+//!
+//! * two-watched-literal propagation,
+//! * first-UIP conflict analysis with clause minimisation,
+//! * VSIDS variable activities with phase saving,
+//! * Luby-sequence restarts,
+//! * activity/LBD-driven learnt-clause database reduction,
+//! * incremental solving under assumptions with failed-assumption
+//!   extraction (used by the MaxSAT layer), and
+//! * an optional conflict budget for any-time use by the DQBF harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use hqs_base::{Lit, Var};
+//! use hqs_sat::{SolveResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var();
+//! let y = solver.new_var();
+//! solver.add_clause([Lit::positive(x), Lit::positive(y)]);
+//! solver.add_clause([Lit::negative(x)]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.model_value(y), Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod heap;
+mod luby;
+pub mod reference;
+mod solver;
+
+pub use solver::{SolveResult, Solver, SolverStats};

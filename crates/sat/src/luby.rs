@@ -1,0 +1,61 @@
+//! The Luby restart sequence.
+
+/// Iterator over the Luby sequence `1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …`,
+/// scaled by a base interval.
+#[derive(Clone, Debug)]
+pub struct Luby {
+    base: u64,
+    step: u64,
+}
+
+impl Luby {
+    /// Creates a Luby sequence whose values are multiplied by `base`.
+    pub fn new(base: u64) -> Self {
+        Luby { base, step: 1 }
+    }
+
+    /// Returns the next restart interval.
+    pub fn next_interval(&mut self) -> u64 {
+        let value = luby(self.step);
+        self.step += 1;
+        value * self.base
+    }
+}
+
+/// The `i`-th element (1-based) of the Luby sequence.
+fn luby(i: u64) -> u64 {
+    // Find the finite subsequence containing index i, then the position in it.
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    let mut i = i;
+    while (1u64 << k) - 1 != i {
+        i -= (1u64 << (k - 1)) - 1;
+        k = 1;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+    }
+    1u64 << (k - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_terms() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn scaled_iterator() {
+        let mut seq = Luby::new(100);
+        assert_eq!(seq.next_interval(), 100);
+        assert_eq!(seq.next_interval(), 100);
+        assert_eq!(seq.next_interval(), 200);
+    }
+}

@@ -1,0 +1,160 @@
+//! A tiny, obviously-correct DPLL solver used as a test oracle.
+//!
+//! This module exists so property tests elsewhere in the workspace can
+//! compare the CDCL solver (and everything built on top of it) against an
+//! implementation simple enough to audit by eye. It is exponential and
+//! must only be fed small formulas.
+
+use hqs_base::{Assignment, Lit, TruthValue, Var};
+use hqs_cnf::Cnf;
+
+/// Decides satisfiability of `cnf` by plain DPLL (unit propagation +
+/// chronological backtracking). Returns a model if satisfiable.
+///
+/// # Examples
+///
+/// ```
+/// use hqs_cnf::dimacs::parse_dimacs;
+/// use hqs_sat::reference::dpll;
+///
+/// let cnf = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+/// let model = dpll(&cnf).expect("satisfiable");
+/// assert!(model.satisfies(hqs_base::Lit::from_dimacs(2).unwrap()));
+/// ```
+#[must_use]
+pub fn dpll(cnf: &Cnf) -> Option<Assignment> {
+    let mut assignment = Assignment::with_num_vars(cnf.num_vars());
+    if solve_rec(cnf, &mut assignment) {
+        // Totalise: unassigned variables default to false.
+        for i in 0..cnf.num_vars() {
+            let var = Var::new(i);
+            if assignment.value(var) == TruthValue::Unassigned {
+                assignment.assign(var, false);
+            }
+        }
+        Some(assignment)
+    } else {
+        None
+    }
+}
+
+/// Returns `true` iff `cnf` is satisfiable (DPLL oracle).
+#[must_use]
+pub fn is_satisfiable(cnf: &Cnf) -> bool {
+    dpll(cnf).is_some()
+}
+
+fn solve_rec(cnf: &Cnf, assignment: &mut Assignment) -> bool {
+    // Unit propagation to fixpoint; remember what we assigned for undo.
+    let mut propagated: Vec<Var> = Vec::new();
+    loop {
+        let mut unit: Option<Lit> = None;
+        let mut all_true = true;
+        for clause in cnf.clauses() {
+            let mut unassigned: Option<Lit> = None;
+            let mut unassigned_count = 0;
+            let mut satisfied = false;
+            for &lit in clause.lits() {
+                match assignment.lit_value(lit) {
+                    TruthValue::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    TruthValue::Unassigned => {
+                        unassigned = Some(lit);
+                        unassigned_count += 1;
+                    }
+                    TruthValue::False => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match unassigned_count {
+                0 => {
+                    for var in propagated {
+                        assignment.unassign(var);
+                    }
+                    return false;
+                }
+                1 => unit = unit.or(unassigned),
+                _ => all_true = false,
+            }
+            if unassigned_count > 0 {
+                all_true = false;
+            }
+        }
+        if all_true {
+            return true;
+        }
+        match unit {
+            Some(lit) => {
+                assignment.assign_lit(lit);
+                propagated.push(lit.var());
+            }
+            None => break,
+        }
+    }
+
+    // Branch on the first unassigned variable occurring in a clause.
+    let branch_var = cnf
+        .clauses()
+        .iter()
+        .flat_map(|c| c.lits())
+        .map(|l| l.var())
+        .find(|&v| assignment.value(v) == TruthValue::Unassigned);
+    let Some(var) = branch_var else {
+        // No unassigned variable left in any clause, and not all clauses
+        // true: some clause is false.
+        let ok = cnf.evaluate(assignment) == TruthValue::True;
+        if !ok {
+            for var in propagated {
+                assignment.unassign(var);
+            }
+        }
+        return ok;
+    };
+    for value in [true, false] {
+        assignment.assign(var, value);
+        if solve_rec(cnf, assignment) {
+            return true;
+        }
+        assignment.unassign(var);
+    }
+    for var in propagated {
+        assignment.unassign(var);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqs_cnf::dimacs::parse_dimacs;
+
+    #[test]
+    fn sat_instance() {
+        let cnf = parse_dimacs("p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n").unwrap();
+        let model = dpll(&cnf).unwrap();
+        assert_eq!(cnf.evaluate(&model), TruthValue::True);
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let cnf = parse_dimacs("p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n").unwrap();
+        assert!(dpll(&cnf).is_none());
+    }
+
+    #[test]
+    fn empty_cnf_is_sat() {
+        let cnf = Cnf::new(0);
+        assert!(is_satisfiable(&cnf));
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(hqs_cnf::Clause::empty());
+        assert!(!is_satisfiable(&cnf));
+    }
+}

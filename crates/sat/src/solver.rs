@@ -1,0 +1,981 @@
+//! The CDCL solver proper.
+
+use crate::heap::VarOrder;
+use crate::luby::Luby;
+use hqs_base::{Assignment, Lit, Var};
+use hqs_cnf::Cnf;
+use std::fmt;
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; query it with
+    /// [`Solver::model_value`].
+    Sat,
+    /// The formula is unsatisfiable under the given assumptions; query
+    /// [`Solver::failed_assumptions`].
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+/// Cumulative solver statistics.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts analysed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+enum Lbool {
+    False = 0,
+    True = 1,
+    Undef = 2,
+}
+
+impl Lbool {
+    #[inline]
+    fn from_bool(b: bool) -> Self {
+        if b {
+            Lbool::True
+        } else {
+            Lbool::False
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+    lbd: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+/// A CDCL SAT solver.
+///
+/// See the [crate docs](crate) for the feature list. The solver is
+/// incremental: clauses may be added between `solve` calls, and each call may
+/// carry assumptions.
+///
+/// # Examples
+///
+/// ```
+/// use hqs_base::Lit;
+/// use hqs_sat::{SolveResult, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause([Lit::positive(a), Lit::positive(b)]);
+/// assert_eq!(s.solve_with_assumptions(&[Lit::negative(a), Lit::negative(b)]), SolveResult::Unsat);
+/// assert!(!s.failed_assumptions().is_empty());
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// ```
+pub struct Solver {
+    clauses: Vec<ClauseData>,
+    learnt_indices: Vec<u32>,
+    watches: Vec<Vec<Watch>>,
+    assigns: Vec<Lbool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    order: VarOrder,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    model: Vec<Lbool>,
+    failed: Vec<Lit>,
+    conflict_budget: Option<u64>,
+    max_learnts: f64,
+    stats: SolverStats,
+    analyze_clear: Vec<Var>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl fmt::Debug for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Solver")
+            .field("vars", &self.num_vars())
+            .field("clauses", &self.clauses.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    #[must_use]
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            learnt_indices: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            order: VarOrder::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            failed: Vec::new(),
+            conflict_budget: None,
+            max_learnts: 4000.0,
+            stats: SolverStats::default(),
+            analyze_clear: Vec::new(),
+        }
+    }
+
+    /// Returns the number of allocated variables.
+    #[must_use]
+    pub fn num_vars(&self) -> u32 {
+        self.assigns.len() as u32
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var::new(self.num_vars());
+        self.assigns.push(Lbool::Undef);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(var, &self.activity);
+        var
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn ensure_vars(&mut self, n: u32) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    /// Returns the cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits the next `solve` calls to roughly `budget` conflicts
+    /// (cumulative); `None` removes the limit.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget.map(|b| self.stats.conflicts + b);
+    }
+
+    /// Adds a clause; returns `false` if the solver became trivially
+    /// unsatisfiable (the clause is empty after level-0 simplification, or a
+    /// previous conflict was already recorded).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "add_clause at decision level 0 only");
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for &lit in &lits {
+            self.ensure_vars(lit.var().index() + 1);
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology or satisfied at level 0?
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true;
+        }
+        lits.retain(|&l| self.value(l) != Lbool::False);
+        if lits.iter().any(|&l| self.value(l) == Lbool::True) {
+            return true;
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(lits[0], NO_REASON);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_new_clause(lits, false);
+                true
+            }
+        }
+    }
+
+    /// Adds every clause of `cnf`; returns `false` on trivial conflict.
+    pub fn add_cnf(&mut self, cnf: &Cnf) -> bool {
+        self.ensure_vars(cnf.num_vars());
+        let mut ok = true;
+        for clause in cnf.clauses() {
+            ok &= self.add_clause(clause.lits().iter().copied());
+        }
+        ok
+    }
+
+    fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.clauses.push(ClauseData {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+            lbd: 0,
+        });
+        if learnt {
+            self.learnt_indices.push(idx);
+        }
+        self.watches[w0.code() as usize].push(Watch { clause: idx, blocker: w1 });
+        self.watches[w1.code() as usize].push(Watch { clause: idx, blocker: w0 });
+        idx
+    }
+
+    #[inline]
+    fn value(&self, lit: Lit) -> Lbool {
+        let v = self.assigns[lit.var().index() as usize];
+        if v == Lbool::Undef {
+            Lbool::Undef
+        } else if lit.is_negative() {
+            if v == Lbool::True {
+                Lbool::False
+            } else {
+                Lbool::True
+            }
+        } else {
+            v
+        }
+    }
+
+    /// Returns the polarity of `var` in the most recent model, if any.
+    #[must_use]
+    pub fn model_value(&self, var: Var) -> Option<bool> {
+        match self.model.get(var.index() as usize) {
+            Some(Lbool::True) => Some(true),
+            Some(Lbool::False) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Returns the most recent model as an [`Assignment`].
+    ///
+    /// Variables that were never assigned by the solver default to `false`
+    /// so the result is total over all allocated variables.
+    #[must_use]
+    pub fn model(&self) -> Assignment {
+        let mut assignment = Assignment::with_num_vars(self.model.len() as u32);
+        for (idx, &value) in self.model.iter().enumerate() {
+            let var = Var::new(idx as u32);
+            assignment.assign(var, value == Lbool::True);
+        }
+        assignment
+    }
+
+    /// After an `Unsat` answer under assumptions: the subset of assumptions
+    /// proved contradictory (a "failed core", possibly non-minimal).
+    #[must_use]
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
+    /// Solves without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves in conflict-bounded rounds, calling `should_stop` between
+    /// rounds; returns [`SolveResult::Unknown`] once it yields `true`.
+    ///
+    /// This is how the DQBF harness keeps wall-clock deadlines honest: a
+    /// single long CDCL run cannot overshoot the budget by more than one
+    /// round (~10⁴ conflicts).
+    pub fn solve_interruptible(
+        &mut self,
+        assumptions: &[Lit],
+        mut should_stop: impl FnMut() -> bool,
+    ) -> SolveResult {
+        const ROUND: u64 = 10_000;
+        loop {
+            self.set_conflict_budget(Some(ROUND));
+            match self.solve_with_assumptions(assumptions) {
+                SolveResult::Unknown => {
+                    if should_stop() {
+                        self.set_conflict_budget(None);
+                        return SolveResult::Unknown;
+                    }
+                }
+                verdict => {
+                    self.set_conflict_budget(None);
+                    return verdict;
+                }
+            }
+        }
+    }
+
+    /// Solves under the given assumptions.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.failed.clear();
+        self.model.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        for &a in assumptions {
+            self.ensure_vars(a.var().index() + 1);
+        }
+        let mut restarts = Luby::new(100);
+        let mut budget_this_restart = restarts.next_interval();
+        let mut conflicts_this_restart = 0u64;
+        let result = loop {
+            match self.propagate() {
+                Some(confl) => {
+                    self.stats.conflicts += 1;
+                    conflicts_this_restart += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        break SolveResult::Unsat;
+                    }
+                    if self.current_level_has_no_decision(assumptions.len()) {
+                        // Conflict forced purely by assumptions.
+                        self.analyze_final_conflict(confl, assumptions);
+                        break SolveResult::Unsat;
+                    }
+                    let (learnt, backtrack_level, lbd) = self.analyze(confl);
+                    // May backjump below assumption levels; `pick_branch`
+                    // re-assumes them on the next decision.
+                    self.cancel_until(backtrack_level);
+                    self.learn(learnt, lbd);
+                    self.decay_activities();
+                    if let Some(limit) = self.conflict_budget {
+                        if self.stats.conflicts >= limit {
+                            break SolveResult::Unknown;
+                        }
+                    }
+                }
+                None => {
+                    if conflicts_this_restart >= budget_this_restart
+                        && self.decision_level() > assumptions.len()
+                    {
+                        self.stats.restarts += 1;
+                        conflicts_this_restart = 0;
+                        budget_this_restart = restarts.next_interval();
+                        self.cancel_until(self.assumption_level(assumptions.len()));
+                        continue;
+                    }
+                    if self.learnt_indices.len() as f64 > self.max_learnts {
+                        self.reduce_db();
+                    }
+                    // Assumptions first, then decisions.
+                    match self.pick_branch(assumptions) {
+                        BranchOutcome::Assumed | BranchOutcome::Decided => {}
+                        BranchOutcome::AssumptionConflict(lit) => {
+                            self.analyze_failed_assumption(lit, assumptions);
+                            break SolveResult::Unsat;
+                        }
+                        BranchOutcome::AllAssigned => {
+                            self.model = self.assigns.clone();
+                            break SolveResult::Sat;
+                        }
+                    }
+                }
+            }
+        };
+        self.cancel_until(0);
+        result
+    }
+
+    fn assumption_level(&self, num_assumptions: usize) -> usize {
+        self.decision_level().min(num_assumptions)
+    }
+
+    fn current_level_has_no_decision(&self, num_assumptions: usize) -> bool {
+        self.decision_level() > 0 && self.decision_level() <= num_assumptions
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn pick_branch(&mut self, assumptions: &[Lit]) -> BranchOutcome {
+        while self.decision_level() < assumptions.len() {
+            let lit = assumptions[self.decision_level()];
+            match self.value(lit) {
+                Lbool::True => {
+                    // Already satisfied: open an empty level so the mapping
+                    // decision-level == assumption index stays intact.
+                    self.trail_lim.push(self.trail.len());
+                }
+                Lbool::False => return BranchOutcome::AssumptionConflict(lit),
+                Lbool::Undef => {
+                    self.trail_lim.push(self.trail.len());
+                    self.unchecked_enqueue(lit, NO_REASON);
+                    return BranchOutcome::Assumed;
+                }
+            }
+        }
+        loop {
+            let Some(var) = self.order.pop_max(&self.activity) else {
+                return BranchOutcome::AllAssigned;
+            };
+            if self.assigns[var.index() as usize] == Lbool::Undef {
+                self.stats.decisions += 1;
+                let lit = Lit::new(var, !self.phase[var.index() as usize]);
+                self.trail_lim.push(self.trail.len());
+                self.unchecked_enqueue(lit, NO_REASON);
+                return BranchOutcome::Decided;
+            }
+        }
+    }
+
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: u32) {
+        let var = lit.var().index() as usize;
+        debug_assert_eq!(self.assigns[var], Lbool::Undef);
+        self.assigns[var] = Lbool::from_bool(lit.is_positive());
+        self.level[var] = self.decision_level() as u32;
+        self.reason[var] = reason;
+        self.trail.push(lit);
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.code() as usize]);
+            let mut kept = 0;
+            let mut conflict = None;
+            let mut i = 0;
+            'watches: while i < watch_list.len() {
+                let watch = watch_list[i];
+                i += 1;
+                if self.value(watch.blocker) == Lbool::True {
+                    watch_list[kept] = watch;
+                    kept += 1;
+                    continue;
+                }
+                let cref = watch.clause as usize;
+                // Deleted clauses may linger in watch lists; drop lazily.
+                if self.clauses[cref].deleted {
+                    continue;
+                }
+                // Make sure the false literal is at position 1.
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if first != watch.blocker && self.value(first) == Lbool::True {
+                    watch_list[kept] = Watch { clause: watch.clause, blocker: first };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[cref].lits.len() {
+                    let candidate = self.clauses[cref].lits[k];
+                    if self.value(candidate) != Lbool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[candidate.code() as usize].push(Watch {
+                            clause: watch.clause,
+                            blocker: first,
+                        });
+                        continue 'watches;
+                    }
+                }
+                // No new watch: unit or conflict.
+                watch_list[kept] = Watch { clause: watch.clause, blocker: first };
+                kept += 1;
+                if self.value(first) == Lbool::False {
+                    conflict = Some(watch.clause);
+                    // Copy remaining watches back before bailing out.
+                    while i < watch_list.len() {
+                        watch_list[kept] = watch_list[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.unchecked_enqueue(first, watch.clause);
+            }
+            watch_list.truncate(kept);
+            self.watches[false_lit.code() as usize] = watch_list;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis; returns (learnt clause with asserting
+    /// literal first, backtrack level, LBD).
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, usize, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // placeholder for UIP
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+
+        loop {
+            self.bump_clause(confl);
+            let start = usize::from(p.is_some());
+            // Iterate over the conflict/reason clause literals.
+            for k in start..self.clauses[confl as usize].lits.len() {
+                let q = self.clauses[confl as usize].lits[k];
+                let var = q.var().index() as usize;
+                if !self.seen[var] && self.level[var] > 0 {
+                    self.seen[var] = true;
+                    self.bump_var(q.var());
+                    if self.level[var] as usize >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the current level to expand.
+            loop {
+                index -= 1;
+                let lit = self.trail[index];
+                if self.seen[lit.var().index() as usize] {
+                    p = Some(lit);
+                    break;
+                }
+            }
+            let p_lit = p.expect("found literal");
+            path_count -= 1;
+            self.seen[p_lit.var().index() as usize] = false;
+            if path_count == 0 {
+                learnt[0] = !p_lit;
+                break;
+            }
+            confl = self.reason[p_lit.var().index() as usize];
+            debug_assert_ne!(confl, NO_REASON, "non-decision on conflict path has a reason");
+        }
+
+        // Mark remaining literals seen for minimisation bookkeeping, and
+        // remember every variable so flags are cleared even for literals the
+        // minimisation drops.
+        for &lit in &learnt[1..] {
+            self.seen[lit.var().index() as usize] = true;
+            self.analyze_clear.push(lit.var());
+        }
+        self.minimize(&mut learnt);
+
+        // Compute backtrack level: second highest level in the clause.
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_pos = 1;
+            for k in 2..learnt.len() {
+                if self.level[learnt[k].var().index() as usize]
+                    > self.level[learnt[max_pos].var().index() as usize]
+                {
+                    max_pos = k;
+                }
+            }
+            learnt.swap(1, max_pos);
+            self.level[learnt[1].var().index() as usize] as usize
+        };
+
+        let lbd = self.compute_lbd(&learnt);
+        for &lit in &learnt {
+            self.seen[lit.var().index() as usize] = false;
+        }
+        for &var in &self.analyze_clear {
+            self.seen[var.index() as usize] = false;
+        }
+        self.analyze_clear.clear();
+        (learnt, backtrack_level, lbd)
+    }
+
+    /// Local clause minimisation: drop literals whose reason clause is fully
+    /// covered by other seen literals (self-subsuming resolution).
+    fn minimize(&mut self, learnt: &mut Vec<Lit>) {
+        let mut keep = vec![true; learnt.len()];
+        for (i, &lit) in learnt.iter().enumerate().skip(1) {
+            let reason = self.reason[lit.var().index() as usize];
+            if reason == NO_REASON {
+                continue;
+            }
+            let mut redundant = true;
+            for k in 1..self.clauses[reason as usize].lits.len() {
+                let q = self.clauses[reason as usize].lits[k];
+                let var = q.var().index() as usize;
+                if !self.seen[var] && self.level[var] > 0 {
+                    redundant = false;
+                    break;
+                }
+            }
+            if redundant {
+                keep[i] = false;
+            }
+        }
+        let mut idx = 0;
+        learnt.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index() as usize])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>, lbd: u32) {
+        let asserting = learnt[0];
+        if learnt.len() == 1 {
+            self.unchecked_enqueue(asserting, NO_REASON);
+        } else {
+            let idx = self.attach_new_clause(learnt, true);
+            self.clauses[idx as usize].lbd = lbd;
+            self.clauses[idx as usize].activity = self.clause_inc;
+            self.unchecked_enqueue(asserting, idx);
+        }
+    }
+
+    fn cancel_until(&mut self, target_level: usize) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let boundary = self.trail_lim[target_level];
+        for i in (boundary..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let var = lit.var();
+            self.phase[var.index() as usize] = lit.is_positive();
+            self.assigns[var.index() as usize] = Lbool::Undef;
+            self.reason[var.index() as usize] = NO_REASON;
+            self.order.insert(var, &self.activity);
+        }
+        self.trail.truncate(boundary);
+        self.trail_lim.truncate(target_level);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        let idx = var.index() as usize;
+        self.activity[idx] += self.var_inc;
+        if self.activity[idx] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(var, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let clause = &mut self.clauses[cref as usize];
+        if !clause.learnt {
+            return;
+        }
+        clause.activity += self.clause_inc;
+        if clause.activity > 1e20 {
+            for &idx in &self.learnt_indices {
+                self.clauses[idx as usize].activity *= 1e-20;
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.clause_inc /= 0.999;
+    }
+
+    fn reduce_db(&mut self) {
+        let mut candidates: Vec<u32> = self
+            .learnt_indices
+            .iter()
+            .copied()
+            .filter(|&idx| {
+                let c = &self.clauses[idx as usize];
+                !c.deleted && c.lits.len() > 2 && !self.is_locked(idx)
+            })
+            .collect();
+        // Worst first: high LBD, then low activity.
+        candidates.sort_by(|&a, &b| {
+            let ca = &self.clauses[a as usize];
+            let cb = &self.clauses[b as usize];
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let to_delete = candidates.len() / 2;
+        for &idx in candidates.iter().take(to_delete) {
+            self.clauses[idx as usize].deleted = true;
+            self.clauses[idx as usize].lits.clear();
+            self.clauses[idx as usize].lits.shrink_to_fit();
+            self.stats.deleted_clauses += 1;
+        }
+        self.learnt_indices
+            .retain(|&idx| !self.clauses[idx as usize].deleted);
+        self.max_learnts *= 1.3;
+    }
+
+    fn is_locked(&self, cref: u32) -> bool {
+        let clause = &self.clauses[cref as usize];
+        if clause.lits.is_empty() {
+            return false;
+        }
+        let first = clause.lits[0];
+        self.value(first) == Lbool::True && self.reason[first.var().index() as usize] == cref
+    }
+
+    /// An assumption literal was already false when it was to be assumed:
+    /// compute the subset of assumptions responsible.
+    fn analyze_failed_assumption(&mut self, lit: Lit, assumptions: &[Lit]) {
+        self.failed.clear();
+        self.failed.push(lit);
+        // Walk the implication graph from !lit back to assumptions.
+        let start_var = lit.var();
+        if self.level[start_var.index() as usize] == 0 {
+            return;
+        }
+        let mut seen = vec![false; self.num_vars() as usize];
+        seen[start_var.index() as usize] = true;
+        for i in (0..self.trail.len()).rev() {
+            let t = self.trail[i];
+            let var = t.var().index() as usize;
+            if !seen[var] {
+                continue;
+            }
+            let reason = self.reason[var];
+            if reason == NO_REASON {
+                if assumptions.contains(&t) && t.var() != lit.var() {
+                    self.failed.push(t);
+                }
+            } else {
+                for &q in &self.clauses[reason as usize].lits[1..] {
+                    if self.level[q.var().index() as usize] > 0 {
+                        seen[q.var().index() as usize] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A conflict occurred with only assumption levels on the trail.
+    fn analyze_final_conflict(&mut self, confl: u32, assumptions: &[Lit]) {
+        self.failed.clear();
+        let mut seen = vec![false; self.num_vars() as usize];
+        for &q in &self.clauses[confl as usize].lits {
+            if self.level[q.var().index() as usize] > 0 {
+                seen[q.var().index() as usize] = true;
+            }
+        }
+        for i in (0..self.trail.len()).rev() {
+            let t = self.trail[i];
+            let var = t.var().index() as usize;
+            if !seen[var] {
+                continue;
+            }
+            let reason = self.reason[var];
+            if reason == NO_REASON {
+                if assumptions.contains(&t) {
+                    self.failed.push(t);
+                }
+            } else {
+                for &q in &self.clauses[reason as usize].lits[1..] {
+                    if self.level[q.var().index() as usize] > 0 {
+                        seen[q.var().index() as usize] = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum BranchOutcome {
+    Assumed,
+    Decided,
+    AssumptionConflict(Lit),
+    AllAssigned,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(value: i64) -> Lit {
+        Lit::from_dimacs(value).unwrap()
+    }
+
+    fn solver_with(clauses: &[&[i64]]) -> Solver {
+        let mut s = Solver::new();
+        for c in clauses {
+            s.add_clause(c.iter().map(|&v| lit(v)));
+        }
+        s
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_conflict_is_unsat() {
+        let mut s = solver_with(&[&[1], &[-1]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Stays UNSAT on repeated calls.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simple_sat_with_model() {
+        let mut s = solver_with(&[&[1, 2], &[-1, 2], &[1, -2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let a = s.model_value(Var::new(0)).unwrap();
+        let b = s.model_value(Var::new(1)).unwrap();
+        // The clause set (a∨b)(¬a∨b)(a∨¬b) forces a = b = true.
+        assert!(a && b);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p(i,j): pigeon i in hole j. vars 1..=6 as (i-1)*2 + j.
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for i in 0..3i64 {
+            clauses.push(vec![i * 2 + 1, i * 2 + 2]);
+        }
+        for j in 1..=2i64 {
+            for i in 0..3i64 {
+                for k in (i + 1)..3 {
+                    clauses.push(vec![-(i * 2 + j), -(k * 2 + j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
+        let mut s = solver_with(&refs);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn chain_propagation() {
+        // x1 and a long implication chain forcing x50.
+        let mut s = Solver::new();
+        s.add_clause([lit(1)]);
+        for i in 1..50i64 {
+            s.add_clause([lit(-i), lit(i + 1)]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(Var::new(49)), Some(true));
+    }
+
+    #[test]
+    fn assumptions_sat_and_unsat() {
+        let mut s = solver_with(&[&[1, 2]]);
+        assert_eq!(s.solve_with_assumptions(&[lit(-1)]), SolveResult::Sat);
+        assert_eq!(s.model_value(Var::new(1)), Some(true));
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(-1), lit(-2)]),
+            SolveResult::Unsat
+        );
+        let failed = s.failed_assumptions().to_vec();
+        assert!(!failed.is_empty());
+        // Solver is still usable and SAT without assumptions.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = solver_with(&[&[1, 2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause([lit(-1)]);
+        s.add_clause([lit(-2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautological_clause_ignored() {
+        let mut s = Solver::new();
+        assert!(s.add_clause([lit(1), lit(-1)]));
+        assert!(s.add_clause([lit(2)]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_collapse() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(1), lit(1)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(Var::new(0)), Some(true));
+    }
+
+    #[test]
+    fn budget_returns_unknown_on_hard_instance() {
+        // A random-ish hard instance: pigeonhole 6 into 5.
+        let n = 6i64;
+        let holes = 5i64;
+        let var = |p: i64, h: i64| (p - 1) * holes + h;
+        let mut s = Solver::new();
+        for p in 1..=n {
+            s.add_clause((1..=holes).map(|h| lit(var(p, h))));
+        }
+        for h in 1..=holes {
+            for p1 in 1..=n {
+                for p2 in (p1 + 1)..=n {
+                    s.add_clause([lit(-var(p1, h)), lit(-var(p2, h))]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn stats_move() {
+        let mut s = solver_with(&[&[1, 2], &[-1, -2], &[1, -2], &[-1, 2]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+}

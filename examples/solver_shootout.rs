@@ -1,0 +1,71 @@
+//! A miniature version of the paper's evaluation: generate a few PEC
+//! instances from each circuit family, run HQS and the iDQ-style
+//! instantiation baseline side by side, and print a small comparison
+//! table. (The full regeneration of Table I / Fig. 4 lives in the
+//! `hqs-bench` crate: `cargo run -p hqs-bench --release --bin table1`.)
+//!
+//! ```text
+//! cargo run --release --example solver_shootout
+//! ```
+
+use hqs::base::Budget;
+use hqs::pec::families::generate;
+use hqs::pec::Family;
+use hqs::{DqbfResult, HqsSolver, InstantiationSolver};
+use std::time::{Duration, Instant};
+
+fn outcome(result: DqbfResult) -> &'static str {
+    match result {
+        DqbfResult::Sat => "SAT",
+        DqbfResult::Unsat => "UNSAT",
+        DqbfResult::Limit(_) => "--",
+    }
+}
+
+fn main() {
+    let timeout = Duration::from_secs(5);
+    println!(
+        "{:<28} {:>8} {:>10} {:>8} {:>10}",
+        "instance", "HQS", "[s]", "iDQ-style", "[s]"
+    );
+    println!("{}", "-".repeat(70));
+    for family in Family::ALL {
+        for (size, boxes, fault) in [(3u32, 1u32, false), (4, 2, true)] {
+            let instance = generate(family, size, boxes, 7, fault);
+
+            let start = Instant::now();
+            let mut hqs = HqsSolver::with_config(hqs::HqsConfig {
+                budget: Budget::new().with_timeout(timeout).with_node_limit(2_000_000),
+                ..hqs::HqsConfig::default()
+            });
+            let hqs_result = hqs.solve(&instance.dqbf);
+            let hqs_time = start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            let mut idq = InstantiationSolver::new();
+            idq.set_budget(Budget::new().with_timeout(timeout).with_node_limit(2_000_000));
+            let idq_result = idq.solve(&instance.dqbf);
+            let idq_time = start.elapsed().as_secs_f64();
+
+            if let (DqbfResult::Limit(_), _) | (_, DqbfResult::Limit(_)) =
+                (hqs_result, idq_result)
+            {
+                // fine: limits are expected for the baseline on larger sizes
+            } else {
+                assert_eq!(hqs_result, idq_result, "solvers must agree");
+            }
+            println!(
+                "{:<28} {:>8} {:>10.4} {:>8} {:>10.4}",
+                instance.name,
+                outcome(hqs_result),
+                hqs_time,
+                outcome(idq_result),
+                idq_time
+            );
+        }
+    }
+    println!(
+        "\n('--' marks a timeout/memout; the baseline blows up on the \
+         larger instances, as in the paper)"
+    );
+}

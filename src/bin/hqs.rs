@@ -1,0 +1,281 @@
+//! The `hqs` command-line DQBF solver.
+//!
+//! ```text
+//! hqs [OPTIONS] <file.dqdimacs>
+//!
+//! OPTIONS:
+//!   --solver hqs|idq|expansion   decision procedure (default: hqs)
+//!   --strategy maxsat|all        universal-elimination strategy
+//!   --qbf-backend elim|search    QBF engine for the linearised remainder
+//!   --no-preprocess              skip CNF preprocessing
+//!   --no-gates                   skip Tseitin gate detection
+//!   --no-unit-pure               skip Theorem-5/6 elimination
+//!   --initial-sat                up-front SAT call on the matrix
+//!   --subsume                    subsumption/self-subsumption preprocessing
+//!   --dynamic-order              recompute elimination order per step
+//!   --fraig <nodes>              SAT-sweep cones above this size
+//!   --timeout <seconds>          wall-clock budget
+//!   --node-limit <n>             AIG-node / ground-clause budget
+//!   --certify                    extract+verify Skolem functions (SAT only,
+//!                                small instances)
+//!   --stats                      print pipeline statistics
+//! ```
+//!
+//! Exit codes follow the (Q)DIMACS convention: 10 = SAT, 20 = UNSAT,
+//! 1 = error/unknown.
+
+use hqs::base::Budget;
+use hqs::cnf::dimacs;
+use hqs::core::expand;
+use hqs::core::skolem;
+use hqs::{Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, InstantiationSolver, QbfBackend};
+use std::process::ExitCode;
+use std::time::Duration;
+
+#[derive(Debug)]
+struct Options {
+    file: Option<String>,
+    solver: SolverChoice,
+    config: HqsConfig,
+    timeout: Option<u64>,
+    node_limit: Option<usize>,
+    certify: bool,
+    stats: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SolverChoice {
+    Hqs,
+    Idq,
+    Expansion,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hqs [--solver hqs|idq|expansion] [--strategy maxsat|all] \
+         [--no-preprocess] [--no-gates] [--no-unit-pure] [--initial-sat] \
+         [--subsume] [--dynamic-order] [--qbf-backend elim|search] \
+         [--fraig N] [--timeout S] [--node-limit N] [--certify] [--stats] \
+         <file.dqdimacs>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        file: None,
+        solver: SolverChoice::Hqs,
+        config: HqsConfig::default(),
+        timeout: None,
+        node_limit: None,
+        certify: false,
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--solver" => {
+                options.solver = match args.next().as_deref() {
+                    Some("hqs") => SolverChoice::Hqs,
+                    Some("idq") => SolverChoice::Idq,
+                    Some("expansion") => SolverChoice::Expansion,
+                    _ => usage(),
+                }
+            }
+            "--strategy" => {
+                options.config.strategy = match args.next().as_deref() {
+                    Some("maxsat") => ElimStrategy::MaxSatMinimal,
+                    Some("all") => ElimStrategy::AllUniversals,
+                    _ => usage(),
+                }
+            }
+            "--no-preprocess" => {
+                options.config.preprocess = false;
+                options.config.gate_detection = false;
+            }
+            "--no-gates" => options.config.gate_detection = false,
+            "--no-unit-pure" => options.config.unit_pure = false,
+            "--initial-sat" => options.config.initial_sat_check = true,
+            "--subsume" => options.config.subsumption = true,
+            "--qbf-backend" => {
+                options.config.qbf_backend = match args.next().as_deref() {
+                    Some("elim") => QbfBackend::Elimination,
+                    Some("search") => QbfBackend::Search,
+                    _ => usage(),
+                }
+            }
+            "--dynamic-order" => options.config.dynamic_order = true,
+            "--fraig" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.config.fraig_threshold = n,
+                None => usage(),
+            },
+            "--timeout" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(secs) => options.timeout = Some(secs),
+                None => usage(),
+            },
+            "--node-limit" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.node_limit = Some(n),
+                None => usage(),
+            },
+            "--certify" => options.certify = true,
+            "--stats" => options.stats = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && options.file.is_none() => {
+                options.file = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    options
+}
+
+fn main() -> ExitCode {
+    let options = parse_options();
+    let Some(path) = options.file.clone() else {
+        usage();
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("error: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match dimacs::parse_dqdimacs(&text) {
+        Ok(file) => file,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dqbf = Dqbf::from_file(&file);
+    println!(
+        "c {} universals, {} existentials, {} clauses",
+        dqbf.universals().len(),
+        dqbf.existentials().len(),
+        dqbf.matrix().clauses().len()
+    );
+
+    let mut budget = Budget::new();
+    if let Some(secs) = options.timeout {
+        budget = budget.with_timeout(Duration::from_secs(secs));
+    }
+    if let Some(nodes) = options.node_limit {
+        budget = budget.with_node_limit(nodes);
+    }
+
+    let result = match options.solver {
+        SolverChoice::Hqs => {
+            let mut solver = HqsSolver::with_config(HqsConfig {
+                budget,
+                ..options.config
+            });
+            let result = solver.solve(&dqbf);
+            if options.stats {
+                print_stats(&solver.stats());
+            }
+            result
+        }
+        SolverChoice::Idq => {
+            let mut solver = InstantiationSolver::new();
+            solver.set_budget(budget);
+            let result = solver.solve(&dqbf);
+            if options.stats {
+                let stats = solver.stats();
+                println!(
+                    "c idq: {} iterations, {} instances, {} ground clauses, {} SAT calls",
+                    stats.iterations, stats.instances, stats.ground_clauses, stats.sat_calls
+                );
+            }
+            result
+        }
+        SolverChoice::Expansion => {
+            if dqbf.universals().len() > expand::MAX_EXPANSION_UNIVERSALS {
+                eprintln!(
+                    "error: expansion limited to {} universals",
+                    expand::MAX_EXPANSION_UNIVERSALS
+                );
+                return ExitCode::FAILURE;
+            }
+            if expand::is_satisfiable_by_expansion(&dqbf) {
+                DqbfResult::Sat
+            } else {
+                DqbfResult::Unsat
+            }
+        }
+    };
+
+    if options.certify && result == DqbfResult::Sat {
+        if dqbf.universals().len() <= expand::MAX_EXPANSION_UNIVERSALS {
+            match skolem::extract_skolem(&dqbf) {
+                Some(cert) if cert.verify(&dqbf) => {
+                    println!("c certificate: {} Skolem functions, verified", cert.functions.len());
+                }
+                Some(_) => {
+                    eprintln!("error: certificate failed verification (bug!)");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("error: certification contradicts the SAT verdict (bug!)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            println!("c certificate skipped: too many universals for table extraction");
+        }
+    }
+
+    match result {
+        DqbfResult::Sat => {
+            println!("s cnf SAT");
+            ExitCode::from(10)
+        }
+        DqbfResult::Unsat => {
+            println!("s cnf UNSAT");
+            ExitCode::from(20)
+        }
+        DqbfResult::Limit(e) => {
+            println!("s cnf UNKNOWN ({e:?})");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_stats(stats: &hqs::HqsStats) {
+    println!(
+        "c preprocess: {} units, {} universal reductions, {} pures, \
+         {} equivalences, {} subsumed, {} strengthened, {} gates{}",
+        stats.preprocess.units,
+        stats.preprocess.universal_reductions,
+        stats.preprocess.pures,
+        stats.preprocess.equivalences,
+        stats.preprocess.subsumed,
+        stats.preprocess.strengthened,
+        stats.preprocess.gates,
+        if stats.decided_by_preprocessing {
+            " (decided)"
+        } else {
+            ""
+        },
+    );
+    println!(
+        "c main loop: {} universal elims, {} existential elims, {} unit/pure, \
+         elimination set {}, peak {} nodes",
+        stats.universal_elims,
+        stats.existential_elims,
+        stats.unit_pure_elims,
+        stats.elimination_set_size,
+        stats.peak_nodes,
+    );
+    if stats.reached_qbf {
+        println!(
+            "c qbf backend: {} universal elims, {} existential elims, \
+             {} unit/pure, {} SAT calls, peak {} nodes",
+            stats.qbf.universal_elims,
+            stats.qbf.existential_elims,
+            stats.qbf.unit_pure_elims,
+            stats.qbf.sat_calls,
+            stats.qbf.peak_nodes,
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Golden regression instances: handcrafted DQDIMACS documents with known
+//! verdicts, exercising the file-level interface and the corner cases the
+//! pipeline must handle (free variables, empty dependency sets, mixed
+//! `e`/`d` lines, tautologies, Tseitin gates, duplicate clauses).
+
+use hqs::cnf::dimacs::parse_dqdimacs;
+use hqs::{DqbfResult, HqsSolver, InstantiationSolver};
+
+fn check(name: &str, text: &str, expected: DqbfResult) {
+    let file = parse_dqdimacs(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let hqs = HqsSolver::new().solve_file(&file);
+    assert_eq!(hqs, expected, "{name} (HQS)");
+    let idq = InstantiationSolver::new().solve(&hqs::Dqbf::from_file(&file));
+    assert_eq!(idq, expected, "{name} (baseline)");
+}
+
+#[test]
+fn paper_example_1_satisfiable() {
+    check(
+        "example1-sat",
+        "p cnf 4 4\na 1 2 0\nd 3 1 0\nd 4 2 0\n-3 1 0\n3 -1 0\n-4 2 0\n4 -2 0\n",
+        DqbfResult::Sat,
+    );
+}
+
+#[test]
+fn crossed_dependencies_unsatisfiable() {
+    // y1 must copy x2 but sees only x1 (and vice versa).
+    check(
+        "crossed-unsat",
+        "p cnf 4 4\na 1 2 0\nd 3 1 0\nd 4 2 0\n-3 2 0\n3 -2 0\n-4 1 0\n4 -1 0\n",
+        DqbfResult::Unsat,
+    );
+}
+
+#[test]
+fn free_variables_are_outer_existentials() {
+    // Variable 3 is never quantified: it may be set to true.
+    check(
+        "free-var-sat",
+        "p cnf 3 2\na 1 0\nd 2 1 0\n3 0\n-2 1 0\n",
+        DqbfResult::Sat,
+    );
+    // ... but a constant cannot track a universal.
+    check(
+        "free-var-unsat",
+        "p cnf 2 2\na 1 0\n2 -1 0\n-2 1 0\n",
+        DqbfResult::Unsat,
+    );
+}
+
+#[test]
+fn empty_dependency_set_is_a_constant() {
+    // d 2 0: y with no dependencies must satisfy y↔x1 — impossible.
+    check(
+        "empty-deps-unsat",
+        "p cnf 2 2\na 1 0\nd 2 0\n2 -1 0\n-2 1 0\n",
+        DqbfResult::Unsat,
+    );
+    // A constant suffices when only one phase is demanded.
+    check(
+        "empty-deps-sat",
+        "p cnf 2 1\na 1 0\nd 2 0\n2 1 0\n",
+        DqbfResult::Sat,
+    );
+}
+
+#[test]
+fn mixed_e_and_d_lines() {
+    // e-line variables depend on all universals declared so far: y3 may
+    // copy x1 even though declared with `e`.
+    check(
+        "e-line-sat",
+        "p cnf 3 2\na 1 2 0\ne 3 0\n3 -1 0\n-3 1 0\n",
+        DqbfResult::Sat,
+    );
+}
+
+#[test]
+fn tautologies_and_duplicates_are_harmless() {
+    check(
+        "taut-dup-sat",
+        "p cnf 3 5\na 1 0\nd 2 1 0\n1 -1 0\n2 -2 0\n2 -1 0\n2 -1 0\n-2 1 0\n",
+        DqbfResult::Sat,
+    );
+}
+
+#[test]
+fn tseitin_gate_instance() {
+    // t(=4) ≡ x1 ∧ y3 via AND-gate clauses plus one usage clause:
+    // choosing y3 ≡ 1 satisfies everything.
+    check(
+        "gate-sat",
+        "p cnf 4 4\n\
+         a 1 2 0\n\
+         d 3 1 2 0\n\
+         d 4 1 2 0\n\
+         -4 1 0\n\
+         -4 3 0\n\
+         4 -1 -3 0\n\
+         4 3 -2 0\n",
+        DqbfResult::Sat,
+    );
+    // Adding (¬y3 ∨ x1 ∨ ¬x2) makes the x1=0, x2=1 row impossible: the
+    // usage clause forces y3 there, the new clause forbids it.
+    check(
+        "gate-unsat",
+        "p cnf 4 5\n\
+         a 1 2 0\n\
+         d 3 1 2 0\n\
+         d 4 1 2 0\n\
+         -4 1 0\n\
+         -4 3 0\n\
+         4 -1 -3 0\n\
+         4 3 -2 0\n\
+         -3 1 -2 0\n",
+        DqbfResult::Unsat,
+    );
+}
+
+#[test]
+fn universal_unit_clause() {
+    check("universal-unit", "p cnf 1 1\na 1 0\n1 0\n", DqbfResult::Unsat);
+}
+
+#[test]
+fn empty_matrix_is_valid() {
+    check("empty-matrix", "p cnf 2 0\na 1 0\nd 2 1 0\n", DqbfResult::Sat);
+}
+
+#[test]
+fn propositional_fallbacks() {
+    // No universals at all: plain SAT.
+    check("plain-sat", "p cnf 2 2\nd 1 0\nd 2 0\n1 2 0\n-1 2 0\n", DqbfResult::Sat);
+    check(
+        "plain-unsat",
+        "p cnf 1 2\nd 1 0\n1 0\n-1 0\n",
+        DqbfResult::Unsat,
+    );
+}
+
+#[test]
+fn three_boxes_with_pairwise_incomparable_views() {
+    // ∀x1 x2 x3, y_i sees {x_i}: each must copy its own input — SAT; the
+    // dependency graph has three pairwise cycles, so the MaxSAT set must
+    // break all of them.
+    check(
+        "three-cycles-sat",
+        "p cnf 6 6\n\
+         a 1 2 3 0\n\
+         d 4 1 0\nd 5 2 0\nd 6 3 0\n\
+         -4 1 0\n4 -1 0\n-5 2 0\n5 -2 0\n-6 3 0\n6 -3 0\n",
+        DqbfResult::Sat,
+    );
+    // The same prefix, but y4 must equal x2: UNSAT.
+    check(
+        "three-cycles-unsat",
+        "p cnf 6 6\n\
+         a 1 2 3 0\n\
+         d 4 1 0\nd 5 2 0\nd 6 3 0\n\
+         -4 2 0\n4 -2 0\n-5 2 0\n5 -2 0\n-6 3 0\n6 -3 0\n",
+        DqbfResult::Unsat,
+    );
+}
+
+#[test]
+fn shared_dependency_blocks() {
+    // Two existentials with the same dependency set form one QBF block.
+    check(
+        "shared-block-sat",
+        "p cnf 4 3\na 1 2 0\nd 3 1 2 0\nd 4 1 2 0\n3 4 0\n-3 1 0\n-4 -1 0\n",
+        DqbfResult::Sat,
+    );
+}
