@@ -268,9 +268,9 @@ impl Aig {
 
     /// Returns the node index of the input labelled `var`, if present.
     fn input_node_index(&self, var: Var) -> Option<u32> {
-        (0..self.num_nodes() as u32).find(|&idx| {
-            matches!(self.node(AigEdge::new(idx, false)), AigNode::Input(v) if v == var)
-        })
+        (0..self.num_nodes() as u32).find(
+            |&idx| matches!(self.node(AigEdge::new(idx, false)), AigNode::Input(v) if v == var),
+        )
     }
 }
 
@@ -356,7 +356,10 @@ mod tests {
         );
         assert_eq!(
             Aig::parse_aag("aag 1 1 0 0 0\n3\n").unwrap_err(),
-            AigerError::BadLiteral { line: 2, literal: 3 }
+            AigerError::BadLiteral {
+                line: 2,
+                literal: 3
+            }
         );
         // AND referencing an undefined literal.
         assert!(matches!(

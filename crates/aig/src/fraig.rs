@@ -8,9 +8,8 @@
 //! CDCL solver; proven-equivalent nodes are merged.
 
 use crate::{Aig, AigEdge, AigNode};
+use hqs_base::Rng;
 use hqs_base::Var;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Maximum number of same-signature candidates to try proving against
@@ -27,11 +26,11 @@ impl Aig {
     /// treated as "not equivalent", which preserves soundness).
     pub fn fraig(&mut self, root: AigEdge, seed: u64, conflict_budget: u64) -> AigEdge {
         let order = self.topo_order(root);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut patterns: HashMap<Var, u64> = HashMap::new();
         for &idx in &order {
             if let AigNode::Input(var) = self.node(AigEdge::new(idx, false)) {
-                patterns.insert(var, rng.gen());
+                patterns.insert(var, rng.next_u64());
             }
         }
         let first_aux = self
@@ -71,13 +70,7 @@ impl Aig {
                     let sig = edge_sig(&new_sigs, m0) & edge_sig(&new_sigs, m1);
                     let node_sig = sig ^ complement_mask(candidate);
                     new_sigs.entry(candidate.node()).or_insert(node_sig);
-                    self.merge_with_class(
-                        candidate,
-                        sig,
-                        &mut classes,
-                        first_aux,
-                        conflict_budget,
-                    )
+                    self.merge_with_class(candidate, sig, &mut classes, first_aux, conflict_budget)
                 }
             };
             remap.insert(idx, new_edge);
@@ -193,14 +186,12 @@ mod tests {
 
     #[test]
     fn fraig_preserves_function_on_random_cones() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(99);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(99);
         for round in 0..30 {
             let mut aig = Aig::new();
             let num_vars = 4u32;
-            let mut pool: Vec<AigEdge> =
-                (0..num_vars).map(|i| aig.input(Var::new(i))).collect();
+            let mut pool: Vec<AigEdge> = (0..num_vars).map(|i| aig.input(Var::new(i))).collect();
             for _ in 0..12 {
                 let a = pool[rng.gen_range(0..pool.len())].xor_complement(rng.gen_bool(0.5));
                 let b = pool[rng.gen_range(0..pool.len())].xor_complement(rng.gen_bool(0.5));

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod aiger;
+mod check;
 mod cnf_conv;
 mod dot;
 mod edge;
@@ -47,5 +48,6 @@ mod unitpure;
 
 pub use aiger::AigerError;
 pub use edge::AigEdge;
+pub use hqs_base::InvariantViolation;
 pub use manager::{Aig, AigNode};
 pub use unitpure::{UnitPureStatus, VarStatus};

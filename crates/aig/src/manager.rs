@@ -26,9 +26,9 @@ pub enum AigNode {
 ///
 /// See the [crate docs](crate) for an overview and examples.
 pub struct Aig {
-    nodes: Vec<AigNode>,
-    strash: HashMap<(AigEdge, AigEdge), u32>,
-    inputs: HashMap<Var, u32>,
+    pub(crate) nodes: Vec<AigNode>,
+    pub(crate) strash: HashMap<(AigEdge, AigEdge), u32>,
+    pub(crate) inputs: HashMap<Var, u32>,
 }
 
 impl Default for Aig {
@@ -144,7 +144,9 @@ impl Aig {
         }
         let idx = self.push_node(AigNode::And(a, b));
         self.strash.insert((a, b), idx);
-        AigEdge::new(idx, false)
+        let edge = AigEdge::new(idx, false);
+        self.debug_check_new_and(edge);
+        edge
     }
 
     /// Disjunction (`a ∨ b`).
@@ -218,7 +220,9 @@ impl Aig {
     /// `var` in `root` (the `compose` operation on AIGs).
     pub fn compose(&mut self, root: AigEdge, var: Var, replacement: AigEdge) -> AigEdge {
         let mut memo: HashMap<u32, AigEdge> = HashMap::new();
-        self.compose_rec(root, var, replacement, &mut memo)
+        let result = self.compose_rec(root, var, replacement, &mut memo);
+        self.debug_audit("after compose");
+        result
     }
 
     fn compose_rec(
@@ -260,7 +264,9 @@ impl Aig {
     /// variables.
     pub fn compose_many(&mut self, root: AigEdge, map: &HashMap<Var, AigEdge>) -> AigEdge {
         let mut memo: HashMap<u32, AigEdge> = HashMap::new();
-        self.compose_many_rec(root, map, &mut memo)
+        let result = self.compose_many_rec(root, map, &mut memo);
+        self.debug_audit("after compose_many");
+        result
     }
 
     fn compose_many_rec(
@@ -325,11 +331,9 @@ impl Aig {
             }
             // Cheapest first: smallest cone footprint.
             let counts = self.occurrence_counts(root, &remaining);
-            let (pos, _) = counts
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, c)| *c)
-                .expect("non-empty");
+            let Some((pos, _)) = counts.iter().enumerate().min_by_key(|&(_, c)| *c) else {
+                break;
+            };
             let var = remaining.swap_remove(pos);
             root = if existential {
                 self.exists(root, var)
@@ -337,6 +341,7 @@ impl Aig {
                 self.forall(root, var)
             };
         }
+        self.debug_audit("after quantify_set");
         root
     }
 
@@ -456,10 +461,16 @@ impl Aig {
             .map(|&root| self.copy_into(root, &mut fresh, &mut memo))
             .collect();
         *self = fresh;
+        self.debug_audit("after compact");
         new_roots
     }
 
-    fn copy_into(&self, edge: AigEdge, target: &mut Aig, memo: &mut HashMap<u32, AigEdge>) -> AigEdge {
+    fn copy_into(
+        &self,
+        edge: AigEdge,
+        target: &mut Aig,
+        memo: &mut HashMap<u32, AigEdge>,
+    ) -> AigEdge {
         let node_idx = edge.node();
         let mapped = if let Some(&m) = memo.get(&node_idx) {
             m
@@ -589,8 +600,7 @@ mod tests {
         // Swap x and y in f = x ∧ ¬y. Sequential substitution would collapse.
         let (mut aig, x, y, _) = setup();
         let f = aig.and(x, !y);
-        let map: HashMap<Var, AigEdge> =
-            [(Var::new(0), y), (Var::new(1), x)].into_iter().collect();
+        let map: HashMap<Var, AigEdge> = [(Var::new(0), y), (Var::new(1), x)].into_iter().collect();
         let g = aig.compose_many(f, &map);
         let expected = aig.and(y, !x);
         assert_eq!(g, expected);
@@ -670,10 +680,7 @@ mod tests {
         let f2 = remapped[0];
         for bits in 0u32..4 {
             let val = |v: Var| bits >> v.index() & 1 == 1;
-            assert_eq!(
-                aig.eval(f2, val),
-                (bits & 1 == 1) && (bits >> 1 & 1 == 1)
-            );
+            assert_eq!(aig.eval(f2, val), (bits & 1 == 1) && (bits >> 1 & 1 == 1));
         }
     }
 
@@ -708,7 +715,12 @@ mod tests {
         let phi = aig.and_many(&[c1, c2, c3, c4]);
         for bits in 0u32..16 {
             let val = |v: Var| bits >> v.index() & 1 == 1;
-            let (bx1, bx2, by1, by2) = (val(Var::new(0)), val(Var::new(1)), val(Var::new(2)), val(Var::new(3)));
+            let (bx1, bx2, by1, by2) = (
+                val(Var::new(0)),
+                val(Var::new(1)),
+                val(Var::new(2)),
+                val(Var::new(3)),
+            );
             #[allow(clippy::nonminimal_bool)] // mirror the paper's clause list
             let expected = (by1 || bx1) && (by1 || bx2) && (by2 || !bx1) && (by2 || !bx2);
             assert_eq!(aig.eval(phi, val), expected);

@@ -6,9 +6,8 @@
 //! SAT sweeper ([`Aig::fraig`](crate::Aig::fraig)).
 
 use crate::{Aig, AigEdge, AigNode};
+use hqs_base::Rng;
 use hqs_base::Var;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 impl Aig {
@@ -42,13 +41,13 @@ impl Aig {
     /// The returned map is keyed by node index. Deterministic in `seed`.
     #[must_use]
     pub fn simulate_random(&self, root: AigEdge, seed: u64) -> HashMap<u32, u64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let order = self.topo_order(root);
         let mut signatures: HashMap<u32, u64> = HashMap::with_capacity(order.len());
         for idx in order {
             let signature = match self.node(AigEdge::new(idx, false)) {
                 AigNode::True => u64::MAX,
-                AigNode::Input(_) => rng.gen(),
+                AigNode::Input(_) => rng.next_u64(),
                 AigNode::And(f0, f1) => {
                     let s0 = signatures[&f0.node()] ^ complement_mask(f0);
                     let s1 = signatures[&f1.node()] ^ complement_mask(f1);

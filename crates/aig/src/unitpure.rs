@@ -45,7 +45,10 @@ impl UnitPureStatus {
     /// [`VarStatus::Unknown`]).
     #[must_use]
     pub fn status(&self, var: Var) -> VarStatus {
-        self.statuses.get(&var).copied().unwrap_or(VarStatus::Unknown)
+        self.statuses
+            .get(&var)
+            .copied()
+            .unwrap_or(VarStatus::Unknown)
     }
 
     /// Iterates over all variables with a non-`Unknown` classification.
@@ -314,14 +317,12 @@ mod tests {
     /// always be semantically true.
     #[test]
     fn syntactic_implies_semantic() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0xD51);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(0xD51);
         for _ in 0..200 {
             let mut aig = Aig::new();
             let num_vars = 4u32;
-            let mut pool: Vec<AigEdge> =
-                (0..num_vars).map(|i| aig.input(Var::new(i))).collect();
+            let mut pool: Vec<AigEdge> = (0..num_vars).map(|i| aig.input(Var::new(i))).collect();
             for _ in 0..6 {
                 let a = pool[rng.gen_range(0..pool.len())];
                 let b = pool[rng.gen_range(0..pool.len())];

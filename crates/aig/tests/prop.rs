@@ -1,12 +1,14 @@
-//! Property-based tests of the AIG operations against truth-table
-//! semantics on random cones.
+//! Randomised property tests of the AIG operations against truth-table
+//! semantics on random cones, plus structural-invariant audits after
+//! random operation sequences (the runtime half of the correctness-audit
+//! layer; see DESIGN.md "Invariants & audit").
 
 use hqs_aig::{Aig, AigEdge, VarStatus};
-use hqs_base::Var;
-use proptest::prelude::*;
+use hqs_base::{Rng, Var};
 use std::collections::HashMap;
 
 const NUM_VARS: u32 = 4;
+const CASES: u64 = 256;
 
 /// A recipe for building a random cone: pairs of (operand indices,
 /// complement flags) over a growing node pool.
@@ -16,18 +18,21 @@ struct Recipe {
     complement_root: bool,
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (
-        prop::collection::vec(
-            (0usize..64, 0usize..64, any::<bool>(), any::<bool>()),
-            1..14,
-        ),
-        any::<bool>(),
-    )
-        .prop_map(|(steps, complement_root)| Recipe {
-            steps,
-            complement_root,
+fn random_recipe(rng: &mut Rng) -> Recipe {
+    let steps = (0..rng.gen_range(1..14usize))
+        .map(|_| {
+            (
+                rng.gen_range(0..64usize),
+                rng.gen_range(0..64usize),
+                rng.gen_bool(0.5),
+                rng.gen_bool(0.5),
+            )
         })
+        .collect();
+    Recipe {
+        steps,
+        complement_root: rng.gen_bool(0.5),
+    }
 }
 
 fn build(aig: &mut Aig, recipe: &Recipe) -> AigEdge {
@@ -37,7 +42,7 @@ fn build(aig: &mut Aig, recipe: &Recipe) -> AigEdge {
         let b = pool[j % pool.len()].xor_complement(cj);
         pool.push(aig.and(a, b));
     }
-    (*pool.last().unwrap()).xor_complement(recipe.complement_root)
+    (*pool.last().expect("pool starts non-empty")).xor_complement(recipe.complement_root)
 }
 
 fn truth_table(aig: &Aig, root: AigEdge) -> u16 {
@@ -66,34 +71,60 @@ fn cofactor_table(table: u16, var: u32, value: bool) -> u16 {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn assert_invariants(aig: &Aig, context: &str) {
+    if let Err(violation) = aig.check_invariants() {
+        panic!("{context}: AIG invariant violated: {violation}");
+    }
+}
 
-    /// Structural hashing and the simplification rules never change the
-    /// function: two independent builds of the same recipe agree.
-    #[test]
-    fn construction_is_functional(recipe in arb_recipe()) {
+/// Structural hashing and the simplification rules never change the
+/// function: two independent builds of the same recipe agree.
+#[test]
+fn construction_is_functional() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let recipe = random_recipe(&mut rng);
         let mut aig1 = Aig::new();
         let r1 = build(&mut aig1, &recipe);
         let mut aig2 = Aig::new();
         let r2 = build(&mut aig2, &recipe);
-        prop_assert_eq!(truth_table(&aig1, r1), truth_table(&aig2, r2));
+        assert_eq!(
+            truth_table(&aig1, r1),
+            truth_table(&aig2, r2),
+            "seed {seed}"
+        );
+        assert_invariants(&aig1, &format!("seed {seed} after build"));
     }
+}
 
-    /// Cofactor semantics match the truth-table cofactor.
-    #[test]
-    fn cofactor_semantics(recipe in arb_recipe(), var in 0..NUM_VARS, value in any::<bool>()) {
+/// Cofactor semantics match the truth-table cofactor.
+#[test]
+fn cofactor_semantics() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1000 + seed);
+        let recipe = random_recipe(&mut rng);
+        let var = rng.gen_range(0..NUM_VARS);
+        let value = rng.gen_bool(0.5);
         let mut aig = Aig::new();
         let root = build(&mut aig, &recipe);
         let before = truth_table(&aig, root);
         let cof = aig.cofactor(root, Var::new(var), value);
-        prop_assert_eq!(truth_table(&aig, cof), cofactor_table(before, var, value));
+        assert_eq!(
+            truth_table(&aig, cof),
+            cofactor_table(before, var, value),
+            "seed {seed}"
+        );
     }
+}
 
-    /// ∃x.f = f[0/x] ∨ f[1/x] and ∀x.f = f[0/x] ∧ f[1/x], and the
-    /// quantified variable leaves the support.
-    #[test]
-    fn quantification_semantics(recipe in arb_recipe(), var in 0..NUM_VARS) {
+/// ∃x.f = f[0/x] ∨ f[1/x] and ∀x.f = f[0/x] ∧ f[1/x], and the
+/// quantified variable leaves the support.
+#[test]
+fn quantification_semantics() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x2000 + seed);
+        let recipe = random_recipe(&mut rng);
+        let var = rng.gen_range(0..NUM_VARS);
         let mut aig = Aig::new();
         let root = build(&mut aig, &recipe);
         let table = truth_table(&aig, root);
@@ -101,15 +132,21 @@ proptest! {
         let t1 = cofactor_table(table, var, true);
         let ex = aig.exists(root, Var::new(var));
         let fa = aig.forall(root, Var::new(var));
-        prop_assert_eq!(truth_table(&aig, ex), t0 | t1);
-        prop_assert_eq!(truth_table(&aig, fa), t0 & t1);
-        prop_assert!(!aig.support(ex).contains(Var::new(var)));
-        prop_assert!(!aig.support(fa).contains(Var::new(var)));
+        assert_eq!(truth_table(&aig, ex), t0 | t1, "seed {seed}");
+        assert_eq!(truth_table(&aig, fa), t0 & t1, "seed {seed}");
+        assert!(!aig.support(ex).contains(Var::new(var)), "seed {seed}");
+        assert!(!aig.support(fa).contains(Var::new(var)), "seed {seed}");
     }
+}
 
-    /// compose(f, x, g) equals the Shannon expansion g∧f[1/x] ∨ ¬g∧f[0/x].
-    #[test]
-    fn compose_is_shannon(f_recipe in arb_recipe(), g_recipe in arb_recipe(), var in 0..NUM_VARS) {
+/// compose(f, x, g) equals the Shannon expansion g∧f[1/x] ∨ ¬g∧f[0/x].
+#[test]
+fn compose_is_shannon() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x3000 + seed);
+        let f_recipe = random_recipe(&mut rng);
+        let g_recipe = random_recipe(&mut rng);
+        let var = rng.gen_range(0..NUM_VARS);
         let mut aig = Aig::new();
         let f = build(&mut aig, &f_recipe);
         let g = build(&mut aig, &g_recipe);
@@ -118,42 +155,59 @@ proptest! {
         let tg = truth_table(&aig, g);
         let t0 = cofactor_table(tf, var, false);
         let t1 = cofactor_table(tf, var, true);
-        prop_assert_eq!(truth_table(&aig, composed), (tg & t1) | (!tg & t0));
+        assert_eq!(
+            truth_table(&aig, composed),
+            (tg & t1) | (!tg & t0),
+            "seed {seed}"
+        );
     }
+}
 
-    /// compact() preserves the function and never grows the cone.
-    #[test]
-    fn compact_preserves_function(recipe in arb_recipe()) {
+/// compact() preserves the function and never grows the cone.
+#[test]
+fn compact_preserves_function() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x4000 + seed);
+        let recipe = random_recipe(&mut rng);
         let mut aig = Aig::new();
         let root = build(&mut aig, &recipe);
         let before = truth_table(&aig, root);
         let size_before = aig.cone_size(root);
         let remapped = aig.compact(&[root]);
-        prop_assert_eq!(truth_table(&aig, remapped[0]), before);
-        prop_assert!(aig.cone_size(remapped[0]) <= size_before);
+        assert_eq!(truth_table(&aig, remapped[0]), before, "seed {seed}");
+        assert!(aig.cone_size(remapped[0]) <= size_before, "seed {seed}");
+        assert_invariants(&aig, &format!("seed {seed} after compact"));
     }
+}
 
-    /// Simulation agrees with eval on every pattern bit.
-    #[test]
-    fn simulation_matches_eval(recipe in arb_recipe(), seed in any::<u64>()) {
+/// Simulation agrees with eval on every pattern bit.
+#[test]
+fn simulation_matches_eval() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5000 + seed);
+        let recipe = random_recipe(&mut rng);
         let mut aig = Aig::new();
         let root = build(&mut aig, &recipe);
         let mut patterns: HashMap<Var, u64> = HashMap::new();
-        let mut state = seed;
         for i in 0..NUM_VARS {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            patterns.insert(Var::new(i), state);
+            patterns.insert(Var::new(i), rng.next_u64());
         }
         let signature = aig.simulate(root, &patterns);
         for bit in [0usize, 17, 63] {
             let expected = aig.eval(root, |v| patterns[&v] >> bit & 1 == 1);
-            prop_assert_eq!(signature >> bit & 1 == 1, expected);
+            assert_eq!(signature >> bit & 1 == 1, expected, "seed {seed} bit {bit}");
         }
     }
+}
 
-    /// The Theorem-6 classification is semantically sound (Definition 5).
-    #[test]
-    fn unit_pure_claims_are_sound(recipe in arb_recipe()) {
+/// The Theorem-6 classification is semantically sound (Definition 5):
+/// every syntactic unit/pure claim is confirmed by the semantic
+/// cofactor oracle.
+#[test]
+fn unit_pure_claims_are_sound() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x6000 + seed);
+        let recipe = random_recipe(&mut rng);
         let mut aig = Aig::new();
         let root = build(&mut aig, &recipe);
         let table = truth_table(&aig, root);
@@ -162,31 +216,40 @@ proptest! {
             let t0 = cofactor_table(table, var, false);
             let t1 = cofactor_table(table, var, true);
             match status.status(Var::new(var)) {
-                VarStatus::PositiveUnit => prop_assert_eq!(t0, 0),
-                VarStatus::NegativeUnit => prop_assert_eq!(t1, 0),
-                VarStatus::PositivePure => prop_assert_eq!(t0 & !t1, 0),
-                VarStatus::NegativePure => prop_assert_eq!(t1 & !t0, 0),
+                VarStatus::PositiveUnit => assert_eq!(t0, 0, "seed {seed} var {var}"),
+                VarStatus::NegativeUnit => assert_eq!(t1, 0, "seed {seed} var {var}"),
+                VarStatus::PositivePure => assert_eq!(t0 & !t1, 0, "seed {seed} var {var}"),
+                VarStatus::NegativePure => assert_eq!(t1 & !t0, 0, "seed {seed} var {var}"),
                 VarStatus::Unknown => {}
             }
         }
     }
+}
 
-    /// FRAIG sweeping preserves the function.
-    #[test]
-    fn fraig_preserves_function(recipe in arb_recipe(), seed in any::<u64>()) {
+/// FRAIG sweeping preserves the function.
+#[test]
+fn fraig_preserves_function() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x7000 + seed);
+        let recipe = random_recipe(&mut rng);
         let mut aig = Aig::new();
         let root = build(&mut aig, &recipe);
         let before = truth_table(&aig, root);
-        let reduced = aig.fraig(root, seed, 500);
-        prop_assert_eq!(truth_table(&aig, reduced), before);
+        let reduced = aig.fraig(root, rng.next_u64(), 500);
+        assert_eq!(truth_table(&aig, reduced), before, "seed {seed}");
+        assert_invariants(&aig, &format!("seed {seed} after fraig"));
     }
+}
 
-    /// Tseitin conversion: the CNF with the output asserted is
-    /// equisatisfiable with the function per input assignment.
-    #[test]
-    fn tseitin_equisatisfiable(recipe in arb_recipe()) {
-        use hqs_cnf::Clause;
-        use hqs_sat::reference::is_satisfiable;
+/// Tseitin conversion: the CNF with the output asserted is
+/// equisatisfiable with the function per input assignment.
+#[test]
+fn tseitin_equisatisfiable() {
+    use hqs_cnf::Clause;
+    use hqs_sat::reference::is_satisfiable;
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0x8000 + seed);
+        let recipe = random_recipe(&mut rng);
         let mut aig = Aig::new();
         let root = build(&mut aig, &recipe);
         let (cnf, out) = aig.to_cnf(root, NUM_VARS);
@@ -194,12 +257,79 @@ proptest! {
             let expected = aig.eval(root, |v| bits >> v.index() & 1 == 1);
             let mut query = cnf.clone();
             for i in 0..NUM_VARS {
-                query.add_clause(Clause::unit(
-                    hqs_base::Lit::new(Var::new(i), bits >> i & 1 == 0),
-                ));
+                query.add_clause(Clause::unit(hqs_base::Lit::new(
+                    Var::new(i),
+                    bits >> i & 1 == 0,
+                )));
             }
             query.add_clause(Clause::unit(out));
-            prop_assert_eq!(is_satisfiable(&query), expected);
+            assert_eq!(is_satisfiable(&query), expected, "seed {seed} bits {bits}");
+        }
+    }
+}
+
+/// The audit invariants hold after arbitrary interleaved sequences of
+/// `and`, `compose`, `cofactor`, `exists`, `forall` and `compact`, and
+/// unit/pure classification stays sound on the evolving cone — the
+/// "random op sequence" audit required by the correctness-audit layer.
+#[test]
+fn invariants_hold_under_random_op_sequences() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x9000 + seed);
+        let mut aig = Aig::new();
+        let mut pool: Vec<AigEdge> = (0..NUM_VARS).map(|i| aig.input(Var::new(i))).collect();
+        for step in 0..rng.gen_range(4..24usize) {
+            let pick = |rng: &mut Rng, pool: &[AigEdge]| {
+                pool[rng.gen_range(0..pool.len())].xor_complement(rng.gen_bool(0.5))
+            };
+            let var = Var::new(rng.gen_range(0..NUM_VARS));
+            let fresh = match rng.gen_range(0..6u32) {
+                0 | 1 => {
+                    let a = pick(&mut rng, &pool);
+                    let b = pick(&mut rng, &pool);
+                    aig.and(a, b)
+                }
+                2 => {
+                    let f = pick(&mut rng, &pool);
+                    let g = pick(&mut rng, &pool);
+                    aig.compose(f, var, g)
+                }
+                3 => {
+                    let f = pick(&mut rng, &pool);
+                    aig.cofactor(f, var, rng.gen_bool(0.5))
+                }
+                4 => {
+                    let f = pick(&mut rng, &pool);
+                    aig.exists(f, var)
+                }
+                _ => {
+                    let f = pick(&mut rng, &pool);
+                    aig.forall(f, var)
+                }
+            };
+            // Interleaved semantic oracle: Theorem 6 claims about the new
+            // cone must agree with the truth-table cofactors.
+            let table = truth_table(&aig, fresh);
+            let status = aig.unit_pure(fresh);
+            for v in 0..NUM_VARS {
+                let t0 = cofactor_table(table, v, false);
+                let t1 = cofactor_table(table, v, true);
+                match status.status(Var::new(v)) {
+                    VarStatus::PositiveUnit => assert_eq!(t0, 0, "seed {seed} step {step}"),
+                    VarStatus::NegativeUnit => assert_eq!(t1, 0, "seed {seed} step {step}"),
+                    VarStatus::PositivePure => assert_eq!(t0 & !t1, 0, "seed {seed} step {step}"),
+                    VarStatus::NegativePure => assert_eq!(t1 & !t0, 0, "seed {seed} step {step}"),
+                    VarStatus::Unknown => {}
+                }
+            }
+            pool.push(fresh);
+            assert_invariants(&aig, &format!("seed {seed} step {step}"));
+            // Occasionally garbage-collect and continue on the survivors.
+            if pool.len() > 6 && rng.gen_bool(0.15) {
+                let keep: Vec<AigEdge> = pool.split_off(pool.len() - 4);
+                pool = aig.compact(&keep);
+                assert_invariants(&aig, &format!("seed {seed} step {step} post-compact"));
+            }
         }
     }
 }

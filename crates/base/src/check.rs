@@ -1,0 +1,52 @@
+//! The shared diagnostics type for runtime invariant audits.
+//!
+//! The AIG manager, the CDCL solver and the DQBF working state each
+//! expose a `check_invariants` method auditing their structural
+//! invariants; all of them report failures through
+//! [`InvariantViolation`] so callers (tests, the `--paranoid` solver
+//! mode) can handle the three uniformly.
+
+use std::fmt;
+
+/// A broken structural invariant, with a human-readable description of
+/// the first violation found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    component: &'static str,
+    detail: String,
+}
+
+impl InvariantViolation {
+    /// Builds a violation report for `component` (a short static label
+    /// such as `"strash"` or `"trail"`).
+    #[must_use]
+    pub fn new(component: &'static str, detail: String) -> Self {
+        InvariantViolation { component, detail }
+    }
+
+    /// The audited component the violation belongs to (e.g. `"strash"`).
+    #[must_use]
+    pub fn component(&self) -> &'static str {
+        self.component
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.component, self.detail)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_component_and_detail() {
+        let v = InvariantViolation::new("trail", "literal 3 unassigned".to_string());
+        assert_eq!(v.component(), "trail");
+        assert_eq!(v.to_string(), "[trail] literal 3 unassigned");
+    }
+}

@@ -10,6 +10,8 @@
 //!   supports and elimination sets.
 //! * [`Assignment`] — a partial assignment mapping variables to
 //!   [`TruthValue`]s.
+//! * [`InvariantViolation`] — the shared error type returned by the
+//!   `check_invariants` audits across the solver crates.
 //!
 //! # Examples
 //!
@@ -35,10 +37,14 @@
 
 mod assignment;
 mod budget;
+pub mod check;
 mod lit;
+pub mod rng;
 mod varset;
 
 pub use assignment::{Assignment, TruthValue};
 pub use budget::{Budget, Exhaustion};
+pub use check::InvariantViolation;
 pub use lit::{Lit, Var};
+pub use rng::Rng;
 pub use varset::VarSet;

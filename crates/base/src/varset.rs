@@ -128,7 +128,10 @@ impl VarSet {
     /// Returns `true` if the sets share no variable.
     #[must_use]
     pub fn is_disjoint(&self, other: &VarSet) -> bool {
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// Returns `self ∪ other`.
@@ -204,12 +207,13 @@ impl VarSet {
 
     /// Iterates over the variables in ascending index order.
     pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(block_idx, &block)| {
-            BitIter {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(block_idx, &block)| BitIter {
                 block,
                 base: (block_idx * BITS) as u32,
-            }
-        })
+            })
     }
 
     /// Returns the smallest variable in the set, if any.

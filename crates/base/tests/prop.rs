@@ -1,99 +1,158 @@
-//! Property-based tests of the foundation types: `VarSet` obeys the set
-//! algebra laws, literals round-trip, assignments behave like maps.
+//! Randomised property tests of the foundation types: `VarSet` obeys the
+//! set algebra laws, literals round-trip, assignments behave like maps.
+//!
+//! Each test draws a few hundred cases from the deterministic [`Rng`], so
+//! a failure reproduces from the printed seed.
 
-use hqs_base::{Assignment, Lit, Var, VarSet};
-use proptest::prelude::*;
+use hqs_base::{Assignment, Lit, Rng, Var, VarSet};
 
-fn arb_varset() -> impl Strategy<Value = VarSet> {
-    prop::collection::vec(0u32..200, 0..16)
-        .prop_map(|ids| ids.into_iter().map(Var::new).collect())
+const CASES: u64 = 300;
+
+fn random_varset(rng: &mut Rng) -> VarSet {
+    let n = rng.gen_range(0..16usize);
+    (0..n).map(|_| Var::new(rng.gen_range(0..200u32))).collect()
 }
 
 fn members(set: &VarSet) -> Vec<u32> {
     set.iter().map(Var::index).collect()
 }
 
-proptest! {
-    #[test]
-    fn union_intersection_difference_laws(a in arb_varset(), b in arb_varset()) {
+#[test]
+fn union_intersection_difference_laws() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = random_varset(&mut rng);
+        let b = random_varset(&mut rng);
         let union = a.union(&b);
         let inter = a.intersection(&b);
         let diff = a.difference(&b);
         for v in (0..210).map(Var::new) {
-            prop_assert_eq!(union.contains(v), a.contains(v) || b.contains(v));
-            prop_assert_eq!(inter.contains(v), a.contains(v) && b.contains(v));
-            prop_assert_eq!(diff.contains(v), a.contains(v) && !b.contains(v));
+            assert_eq!(
+                union.contains(v),
+                a.contains(v) || b.contains(v),
+                "seed {seed}"
+            );
+            assert_eq!(
+                inter.contains(v),
+                a.contains(v) && b.contains(v),
+                "seed {seed}"
+            );
+            assert_eq!(
+                diff.contains(v),
+                a.contains(v) && !b.contains(v),
+                "seed {seed}"
+            );
         }
         // |A| + |B| = |A∪B| + |A∩B|
-        prop_assert_eq!(a.len() + b.len(), union.len() + inter.len());
+        assert_eq!(a.len() + b.len(), union.len() + inter.len(), "seed {seed}");
         // A\B and A∩B partition A.
-        prop_assert_eq!(diff.len() + inter.len(), a.len());
+        assert_eq!(diff.len() + inter.len(), a.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn in_place_matches_functional(a in arb_varset(), b in arb_varset()) {
+#[test]
+fn in_place_matches_functional() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1000 + seed);
+        let a = random_varset(&mut rng);
+        let b = random_varset(&mut rng);
         let mut u = a.clone();
         u.union_with(&b);
-        prop_assert_eq!(u, a.union(&b));
+        assert_eq!(u, a.union(&b), "seed {seed}");
         let mut d = a.clone();
         d.difference_with(&b);
-        prop_assert_eq!(d, a.difference(&b));
+        assert_eq!(d, a.difference(&b), "seed {seed}");
         let mut i = a.clone();
         i.intersect_with(&b);
-        prop_assert_eq!(i, a.intersection(&b));
+        assert_eq!(i, a.intersection(&b), "seed {seed}");
     }
+}
 
-    #[test]
-    fn subset_is_reflexive_transitive_antisymmetric(
-        a in arb_varset(), b in arb_varset(), c in arb_varset())
-    {
-        prop_assert!(a.is_subset(&a));
+#[test]
+fn subset_is_reflexive_transitive_antisymmetric() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x2000 + seed);
+        let a = random_varset(&mut rng);
+        let b = random_varset(&mut rng);
+        let c = random_varset(&mut rng);
+        assert!(a.is_subset(&a), "seed {seed}");
         if a.is_subset(&b) && b.is_subset(&c) {
-            prop_assert!(a.is_subset(&c));
+            assert!(a.is_subset(&c), "seed {seed}");
         }
         if a.is_subset(&b) && b.is_subset(&a) {
-            prop_assert_eq!(&a, &b);
+            assert_eq!(&a, &b, "seed {seed}");
         }
-        prop_assert_eq!(a.is_disjoint(&b), a.intersection(&b).is_empty());
+        assert_eq!(
+            a.is_disjoint(&b),
+            a.intersection(&b).is_empty(),
+            "seed {seed}"
+        );
+        // A subset built by dropping members really is one.
+        let mut sub = VarSet::new();
+        for v in a.iter().filter(|_| rng.gen_bool(0.5)) {
+            sub.insert(v);
+        }
+        assert!(sub.is_subset(&a), "seed {seed}");
     }
+}
 
-    #[test]
-    fn iteration_is_sorted_and_complete(a in arb_varset()) {
+#[test]
+fn iteration_is_sorted_and_complete() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x3000 + seed);
+        let a = random_varset(&mut rng);
         let items = members(&a);
         let mut sorted = items.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(&items, &sorted);
-        prop_assert_eq!(items.len(), a.len());
-        prop_assert_eq!(a.min().map(Var::index), items.first().copied());
+        assert_eq!(&items, &sorted, "seed {seed}");
+        assert_eq!(items.len(), a.len(), "seed {seed}");
+        assert_eq!(
+            a.min().map(Var::index),
+            items.first().copied(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn insert_remove_roundtrip(a in arb_varset(), v in 0u32..200) {
-        let var = Var::new(v);
+#[test]
+fn insert_remove_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x4000 + seed);
+        let a = random_varset(&mut rng);
+        let var = Var::new(rng.gen_range(0..200u32));
         let mut s = a.clone();
         let was_in = s.contains(var);
-        prop_assert_eq!(s.insert(var), !was_in);
-        prop_assert!(s.contains(var));
-        prop_assert!(s.remove(var));
-        prop_assert!(!s.contains(var));
+        assert_eq!(s.insert(var), !was_in, "seed {seed}");
+        assert!(s.contains(var), "seed {seed}");
+        assert!(s.remove(var), "seed {seed}");
+        assert!(!s.contains(var), "seed {seed}");
         if !was_in {
-            prop_assert_eq!(&s, &a);
+            assert_eq!(&s, &a, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn lit_roundtrips(v in 0u32..1000, neg in any::<bool>()) {
-        let lit = Lit::new(Var::new(v), neg);
-        prop_assert_eq!(Lit::from_code(lit.code()), lit);
-        prop_assert_eq!(Lit::from_dimacs(lit.to_dimacs()), Some(lit));
-        prop_assert_eq!(!!lit, lit);
-        prop_assert_eq!((!lit).var(), lit.var());
-        prop_assert_ne!(!lit, lit);
+#[test]
+fn lit_roundtrips() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5000 + seed);
+        let lit = Lit::new(Var::new(rng.gen_range(0..1000u32)), rng.gen_bool(0.5));
+        assert_eq!(Lit::from_code(lit.code()), lit, "seed {seed}");
+        assert_eq!(Lit::from_dimacs(lit.to_dimacs()), Some(lit), "seed {seed}");
+        assert_eq!(!!lit, lit, "seed {seed}");
+        assert_eq!((!lit).var(), lit.var(), "seed {seed}");
+        assert_ne!(!lit, lit, "seed {seed}");
     }
+}
 
-    #[test]
-    fn assignment_behaves_like_a_map(pairs in prop::collection::vec((0u32..64, any::<bool>()), 0..32)) {
+#[test]
+fn assignment_behaves_like_a_map() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x6000 + seed);
+        let pairs: Vec<(u32, bool)> = (0..rng.gen_range(0..32usize))
+            .map(|_| (rng.gen_range(0..64u32), rng.gen_bool(0.5)))
+            .collect();
         let mut reference = std::collections::HashMap::new();
         let mut assignment = Assignment::new();
         for &(v, value) in &pairs {
@@ -102,8 +161,12 @@ proptest! {
         }
         for v in 0..70u32 {
             let expected = reference.get(&v).copied();
-            prop_assert_eq!(assignment.value(Var::new(v)).to_bool(), expected);
+            assert_eq!(
+                assignment.value(Var::new(v)).to_bool(),
+                expected,
+                "seed {seed}"
+            );
         }
-        prop_assert_eq!(assignment.assigned_count(), reference.len());
+        assert_eq!(assignment.assigned_count(), reference.len(), "seed {seed}");
     }
 }

@@ -2,9 +2,10 @@
 //! construction, cofactor/compose, quantification and the Theorem-6
 //! unit/pure traversal.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hqs_aig::{Aig, AigEdge};
 use hqs_base::Var;
+use hqs_bench::micro::{BenchmarkId, Criterion};
+use hqs_bench::{criterion_group, criterion_main};
 
 /// Builds the AIG of an n-bit ripple-carry adder's final carry — a cone
 /// with realistic reconvergence.

@@ -3,14 +3,15 @@
 //! calls out: MaxSAT-minimal vs eliminate-all strategy, unit/pure on/off,
 //! gate detection on/off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hqs_base::Budget;
+use hqs_bench::micro::{BenchmarkId, Criterion};
+use hqs_bench::{criterion_group, criterion_main};
 use hqs_core::elim::AigDqbf;
-use std::time::Duration;
 use hqs_core::preprocess::preprocess;
 use hqs_core::{Dqbf, ElimStrategy, HqsConfig, HqsSolver};
 use hqs_pec::families::generate;
 use hqs_pec::Family;
+use std::time::Duration;
 
 fn instance(family: Family, size: u32, boxes: u32) -> Dqbf {
     generate(family, size, boxes, 0, true).dqbf

@@ -1,10 +1,11 @@
-//! End-to-end solver benchmarks per PEC family — the Criterion view of
+//! End-to-end solver benchmarks per PEC family — the micro-bench view of
 //! the Table I comparison: HQS vs the instantiation baseline on one
 //! representative instance per family (sizes kept small enough that the
 //! baseline finishes, so both sides measure actual work).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hqs_base::Budget;
+use hqs_bench::micro::{BenchmarkId, Criterion};
+use hqs_bench::{criterion_group, criterion_main};
 use hqs_core::{HqsConfig, HqsSolver};
 use hqs_idq::InstantiationSolver;
 use std::time::Duration;
@@ -65,11 +66,9 @@ fn bench_head_to_head(c: &mut Criterion) {
     ];
     for (family, size, boxes) in plan {
         let dqbf = generate(family, size, boxes, 0, true).dqbf;
-        group.bench_with_input(
-            BenchmarkId::new(family.name(), "hqs"),
-            &dqbf,
-            |b, dqbf| b.iter(|| bounded_hqs().solve(dqbf)),
-        );
+        group.bench_with_input(BenchmarkId::new(family.name(), "hqs"), &dqbf, |b, dqbf| {
+            b.iter(|| bounded_hqs().solve(dqbf))
+        });
         group.bench_with_input(
             BenchmarkId::new(family.name(), "idq_style"),
             &dqbf,

@@ -2,13 +2,13 @@
 //! hard/easy instances, and the Eq. (1)/(2)-style elimination-set MaxSAT
 //! problems (the paper reports those always solved in < 0.06 s).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hqs_base::Rng;
 use hqs_base::{Lit, Var, VarSet};
+use hqs_bench::micro::{BenchmarkId, Criterion};
+use hqs_bench::{criterion_group, criterion_main};
 use hqs_core::depgraph::DepGraph;
 use hqs_core::elimset::minimal_elimination_set;
 use hqs_sat::Solver;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn pigeonhole(pigeons: i64, holes: i64) -> Vec<Vec<i64>> {
     let var = |p: i64, h: i64| (p - 1) * holes + h;
@@ -27,7 +27,7 @@ fn pigeonhole(pigeons: i64, holes: i64) -> Vec<Vec<i64>> {
 }
 
 fn random_3sat(num_vars: u32, num_clauses: usize, seed: u64) -> Vec<Vec<i64>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..num_clauses)
         .map(|_| {
             (0..3)
@@ -72,7 +72,7 @@ fn elimination_instance(
     num_existentials: u32,
     seed: u64,
 ) -> (Vec<Var>, Vec<(Var, VarSet)>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let universals: Vec<Var> = (0..num_universals).map(Var::new).collect();
     let existentials: Vec<(Var, VarSet)> = (0..num_existentials)
         .map(|i| {
@@ -110,8 +110,7 @@ fn bench_totalizer(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, &n| {
             b.iter(|| {
                 let mut solver = Solver::new();
-                let inputs: Vec<Lit> =
-                    (0..n).map(|_| Lit::positive(solver.new_var())).collect();
+                let inputs: Vec<Lit> = (0..n).map(|_| Lit::positive(solver.new_var())).collect();
                 hqs_maxsat::Totalizer::encode(&mut solver, &inputs)
             });
         });

@@ -16,6 +16,8 @@
 //! cargo run -p hqs-bench --release --bin ablation -- --scale smoke --timeout 5
 //! ```
 
+#![forbid(unsafe_code)]
+
 use hqs_base::Budget;
 use hqs_bench::{parse_args, HQS_NODE_LIMIT};
 use hqs_core::{DqbfResult, ElimStrategy, HqsConfig, HqsSolver};

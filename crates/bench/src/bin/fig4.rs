@@ -8,6 +8,8 @@
 //! cargo run -p hqs-bench --release --bin fig4 -- --scale ci > fig4.csv
 //! ```
 
+#![forbid(unsafe_code)]
+
 use hqs_bench::{parse_args, render_csv, render_scatter, run_suite_with};
 
 fn main() {

@@ -7,6 +7,8 @@
 //! cargo run -p hqs-bench --release --bin fuzz_dqbf -- --rounds 500 --seed 1
 //! ```
 
+#![forbid(unsafe_code)]
+
 use hqs_core::expand::is_satisfiable_by_expansion;
 use hqs_core::random::RandomDqbf;
 use hqs_core::{DqbfResult, ElimStrategy, HqsConfig, HqsSolver, QbfBackend};
@@ -18,7 +20,12 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--rounds" => rounds = args.next().and_then(|v| v.parse().ok()).expect("--rounds N"),
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rounds N")
+            }
             "--seed" => base_seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
             other => panic!("unknown option {other} (--rounds, --seed)"),
         }

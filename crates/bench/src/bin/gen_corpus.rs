@@ -5,6 +5,8 @@
 //! cargo run -p hqs-bench --release --bin gen_corpus -- --scale ci --out corpus/
 //! ```
 
+#![forbid(unsafe_code)]
+
 use hqs_cnf::dimacs;
 use hqs_pec::{benchmark_suite, Scale};
 use std::path::PathBuf;

@@ -5,6 +5,8 @@
 //! cargo run -p hqs-bench --release --bin table1 -- --scale ci --timeout 10
 //! ```
 
+#![forbid(unsafe_code)]
+
 use hqs_bench::{parse_args, render_claims, render_table, run_suite_with, tabulate};
 
 fn main() {
@@ -14,7 +16,11 @@ fn main() {
         "running PEC suite at {scale:?} scale, {}s per solver per instance\
          {}",
         timeout.as_secs(),
-        if initial_sat { ", with HQS's up-front SAT call" } else { "" }
+        if initial_sat {
+            ", with HQS's up-front SAT call"
+        } else {
+            ""
+        }
     );
     let start = std::time::Instant::now();
     let runs = run_suite_with(scale, timeout, true, initial_sat);

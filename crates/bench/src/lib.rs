@@ -1,5 +1,5 @@
 //! Benchmark harness regenerating the HQS paper's evaluation
-//! (Table I and Fig. 4) plus Criterion micro-benchmarks.
+//! (Table I and Fig. 4) plus std-only micro-benchmarks.
 //!
 //! The binaries:
 //!
@@ -17,6 +17,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod micro;
 
 use hqs_base::{Budget, Exhaustion};
 use hqs_core::{DqbfResult, HqsSolver};
@@ -189,8 +191,7 @@ pub struct TableRow {
 pub fn tabulate(runs: &[InstanceRun]) -> Vec<TableRow> {
     let mut rows: Vec<TableRow> = Vec::new();
     for family in Family::ALL {
-        let subset: Vec<&InstanceRun> =
-            runs.iter().filter(|r| r.family == family).collect();
+        let subset: Vec<&InstanceRun> = runs.iter().filter(|r| r.family == family).collect();
         if subset.is_empty() {
             continue;
         }
@@ -291,9 +292,7 @@ pub fn render_table(rows: &[TableRow]) -> String {
 pub fn render_claims(runs: &[InstanceRun]) -> String {
     let hqs_solved = runs.iter().filter(|r| r.hqs.solved()).count();
     let idq_solved = runs.iter().filter(|r| r.idq.solved()).count();
-    let superset = runs
-        .iter()
-        .all(|r| !r.idq.solved() || r.hqs.solved());
+    let superset = runs.iter().all(|r| !r.idq.solved() || r.hqs.solved());
     let hqs_sub1s = runs
         .iter()
         .filter(|r| r.hqs.solved() && r.hqs_seconds < 1.0)

@@ -1,0 +1,242 @@
+//! A minimal micro-benchmark harness with a Criterion-shaped API.
+//!
+//! The workspace builds hermetically with no third-party crates, so the
+//! `benches/` targets use this shim instead of Criterion. It keeps the
+//! subset of the API the benchmarks need — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, `sample_size`, and a [`Bencher`]
+//! whose `iter` times the closure — and prints a min/median/max summary
+//! per benchmark. A substring filter can be passed on the command line
+//! (`cargo bench -p hqs-bench --bench aig_ops -- cofactor`).
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state: the CLI filter and accumulated results.
+pub struct Criterion {
+    filter: Option<String>,
+    results: Vec<(String, Stats)>,
+}
+
+#[derive(Clone, Copy)]
+struct Stats {
+    min: Duration,
+    median: Duration,
+    max: Duration,
+    samples: usize,
+}
+
+impl Criterion {
+    /// Builds the harness, taking an optional substring filter from the
+    /// command line (flag arguments such as `--bench` are ignored).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            samples: 50,
+        }
+    }
+
+    /// Prints the collected table; call once after all groups ran.
+    pub fn report(&self) {
+        if self.results.is_empty() {
+            println!("no benchmarks matched the filter");
+            return;
+        }
+        println!(
+            "\n{:<52} {:>12} {:>12} {:>12}",
+            "benchmark", "min", "median", "max"
+        );
+        for (label, stats) in &self.results {
+            println!(
+                "{:<52} {:>12} {:>12} {:>12}   ({} samples)",
+                label,
+                format_duration(stats.min),
+                format_duration(stats.median),
+                format_duration(stats.max),
+                stats.samples,
+            );
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named benchmark within a group (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part label, rendered as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in this group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), &mut f);
+    }
+
+    /// Runs a benchmark identified by a [`BenchmarkId`], passing `input`
+    /// through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.label, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: self.samples,
+            stats: None,
+        };
+        f(&mut bencher);
+        if let Some(stats) = bencher.stats {
+            self.criterion.results.push((label, stats));
+        }
+    }
+
+    /// Ends the group (kept for API compatibility; groups report lazily).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    samples: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times `f` over the group's sample count and records
+    /// min/median/max. The closure's result is passed through
+    /// [`black_box`] so the work is not optimised away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm caches and lazy initialisation outside the timed region.
+        black_box(f());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.stats = Some(Stats {
+            min: times[0],
+            median: times[times.len() / 2],
+            max: *times.last().expect("at least one sample"),
+            samples: times.len(),
+        });
+    }
+}
+
+/// Bundles benchmark functions into a single registration function, like
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::micro::Criterion) {
+            $( $f(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($name:ident) => {
+        fn main() {
+            let mut c = $crate::micro::Criterion::from_env();
+            $name(&mut c);
+            c.report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_records_sane_stats() {
+        let mut c = Criterion {
+            filter: None,
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function("spin", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        for (label, stats) in &c.results {
+            assert!(
+                stats.min <= stats.median && stats.median <= stats.max,
+                "{label}"
+            );
+            assert_eq!(stats.samples, 5, "{label}");
+        }
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("spin", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert!(c.results.is_empty());
+    }
+}

@@ -235,7 +235,10 @@ mod tests {
         assert_eq!(c.evaluate(&a), TruthValue::False);
         a.assign(Var::new(1), false);
         assert_eq!(c.evaluate(&a), TruthValue::True);
-        assert_eq!(Clause::empty().evaluate(&Assignment::new()), TruthValue::False);
+        assert_eq!(
+            Clause::empty().evaluate(&Assignment::new()),
+            TruthValue::False
+        );
     }
 
     #[test]

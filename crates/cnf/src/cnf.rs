@@ -177,7 +177,12 @@ impl Extend<Clause> for Cnf {
 
 impl fmt::Debug for Cnf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Cnf({} vars, {} clauses)", self.num_vars, self.clauses.len())?;
+        writeln!(
+            f,
+            "Cnf({} vars, {} clauses)",
+            self.num_vars,
+            self.clauses.len()
+        )?;
         for clause in &self.clauses {
             writeln!(f, "  {clause}")?;
         }

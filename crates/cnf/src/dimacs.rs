@@ -148,7 +148,10 @@ impl fmt::Display for ParseError {
                 write!(f, "line {line}: variable {var} quantified twice")
             }
             ParseError::UnknownDependency { line, var } => {
-                write!(f, "line {line}: dependency {var} is not a declared universal")
+                write!(
+                    f,
+                    "line {line}: dependency {var} is not a declared universal"
+                )
             }
             ParseError::PrefixAfterClause { line } => {
                 write!(f, "line {line}: quantifier line after first clause")
@@ -228,6 +231,13 @@ fn check_var(value: i64, num_vars: u32, line: usize) -> Result<Var, ParseError> 
     Ok(Var::new((magnitude - 1) as u32))
 }
 
+/// Validates a clause literal and converts it, reporting out-of-range or
+/// zero values as [`ParseError::VarOutOfRange`].
+fn check_lit(value: i64, num_vars: u32, line: usize) -> Result<Lit, ParseError> {
+    check_var(value, num_vars, line)?;
+    Lit::from_dimacs(value).ok_or(ParseError::VarOutOfRange { line, var: value })
+}
+
 /// Parses a plain DIMACS CNF document.
 ///
 /// # Errors
@@ -243,8 +253,7 @@ pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseError> {
         let values = parse_ints(tokens, 0)?;
         let mut lits = Vec::with_capacity(values.len());
         for value in values {
-            check_var(value, num_vars, tokens.line)?;
-            lits.push(Lit::from_dimacs(value).expect("nonzero checked"));
+            lits.push(check_lit(value, num_vars, tokens.line)?);
         }
         cnf.add_clause(Clause::from_lits(lits));
     }
@@ -301,8 +310,7 @@ pub fn parse_qdimacs(text: &str) -> Result<QdimacsFile, ParseError> {
                 let values = parse_ints(tokens, 0)?;
                 let mut lits = Vec::with_capacity(values.len());
                 for value in values {
-                    check_var(value, num_vars, tokens.line)?;
-                    lits.push(Lit::from_dimacs(value).expect("nonzero checked"));
+                    lits.push(check_lit(value, num_vars, tokens.line)?);
                 }
                 matrix.add_clause(Clause::from_lits(lits));
             }
@@ -361,9 +369,9 @@ pub fn parse_dqdimacs(text: &str) -> Result<DqdimacsFile, ParseError> {
                     }
                     _ => {
                         let mut iter = values.into_iter();
-                        let head = iter.next().ok_or(ParseError::MissingTerminator {
-                            line: tokens.line,
-                        })?;
+                        let head = iter
+                            .next()
+                            .ok_or(ParseError::MissingTerminator { line: tokens.line })?;
                         let var = check_var(head, num_vars, tokens.line)?;
                         if !quantified.insert(var) {
                             return Err(ParseError::DuplicateQuantification {
@@ -391,8 +399,7 @@ pub fn parse_dqdimacs(text: &str) -> Result<DqdimacsFile, ParseError> {
                 let values = parse_ints(tokens, 0)?;
                 let mut lits = Vec::with_capacity(values.len());
                 for value in values {
-                    check_var(value, num_vars, tokens.line)?;
-                    lits.push(Lit::from_dimacs(value).expect("nonzero checked"));
+                    lits.push(check_lit(value, num_vars, tokens.line)?);
                 }
                 matrix.add_clause(Clause::from_lits(lits));
             }

@@ -1,0 +1,282 @@
+//! Runtime structural-invariant audit of the DQBF data model and the
+//! AIG-based elimination state.
+//!
+//! The elimination rules of Theorems 1 and 2 rewrite the prefix and the
+//! matrix together; their soundness rests on bookkeeping invariants the
+//! type system cannot express: the universal/existential partition is
+//! disjoint and duplicate-free, every dependency set is a subset of the
+//! *declared* universals, and after each elimination no dependency set
+//! retains the eliminated variable (the residue matches the dependency
+//! graph the MaxSAT selection is computed from). [`Dqbf::check_invariants`]
+//! audits the CNF-level model, [`AigDqbf::check_invariants`] the working
+//! state — including a full audit of the underlying AIG manager.
+//!
+//! The elimination operations re-run the audit under `debug_assert!`;
+//! the `paranoid` solver option re-runs it in release builds after every
+//! main-loop step.
+
+use crate::elim::AigDqbf;
+use crate::Dqbf;
+use hqs_base::{InvariantViolation, Var, VarSet};
+use std::collections::HashMap;
+
+/// Shared prefix audit: partition disjointness, duplicate freedom,
+/// dependency-set closure. `max_var` bounds the allocated index space.
+fn check_prefix(
+    universals: &[Var],
+    universal_set: &VarSet,
+    existentials: &[Var],
+    deps: &HashMap<Var, VarSet>,
+    max_var: u32,
+) -> Result<(), InvariantViolation> {
+    let err = |component, detail| Err(InvariantViolation::new(component, detail));
+    let mut seen = VarSet::new();
+    for &x in universals {
+        if x.index() >= max_var {
+            return err(
+                "prefix",
+                format!("universal {x} beyond allocated variables ({max_var})"),
+            );
+        }
+        if seen.contains(x) {
+            return err("prefix", format!("universal {x} declared twice"));
+        }
+        seen.insert(x);
+        if !universal_set.contains(x) {
+            return err(
+                "prefix",
+                format!("universal {x} missing from the universal set"),
+            );
+        }
+    }
+    if universal_set.len() != universals.len() {
+        return err(
+            "prefix",
+            format!(
+                "universal set holds {} variables but the prefix lists {}",
+                universal_set.len(),
+                universals.len()
+            ),
+        );
+    }
+    for &y in existentials {
+        if y.index() >= max_var {
+            return err(
+                "prefix",
+                format!("existential {y} beyond allocated variables ({max_var})"),
+            );
+        }
+        if seen.contains(y) {
+            return err(
+                "prefix",
+                format!("existential {y} declared twice or also declared universal"),
+            );
+        }
+        seen.insert(y);
+        let Some(dep) = deps.get(&y) else {
+            return err("deps", format!("existential {y} has no dependency set"));
+        };
+        if !dep.is_subset(universal_set) {
+            return err(
+                "deps",
+                format!(
+                    "dependency set of {y} mentions non-universal variables: {:?}",
+                    dep.difference(universal_set)
+                ),
+            );
+        }
+    }
+    if deps.len() != existentials.len() {
+        return err(
+            "deps",
+            format!(
+                "{} dependency sets recorded for {} existentials (orphaned residue)",
+                deps.len(),
+                existentials.len()
+            ),
+        );
+    }
+    Ok(())
+}
+
+impl Dqbf {
+    /// Audits the structural invariants of the DQBF model.
+    ///
+    /// Checked:
+    ///
+    /// 1. **prefix** — universals and existentials are duplicate-free and
+    ///    disjoint, within the allocated variable range, and the cached
+    ///    universal set mirrors the prefix order exactly.
+    /// 2. **deps** — every existential has a dependency set, every
+    ///    dependency set is a subset of the declared universals, and no
+    ///    dependency set survives without its existential.
+    ///
+    /// Returns the first violation found.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        check_prefix(
+            &self.universals,
+            &self.universal_set,
+            &self.existentials,
+            &self.deps,
+            self.num_vars(),
+        )
+    }
+
+    /// Panics with the violation if the audit fails.
+    pub fn assert_invariants(&self, context: &str) {
+        if let Err(violation) = self.check_invariants() {
+            panic!("DQBF invariant violated {context}: {violation}");
+        }
+    }
+
+    /// Audit compiled to a no-op unless debug assertions are on.
+    pub(crate) fn debug_audit(&self, context: &str) {
+        if cfg!(debug_assertions) {
+            self.assert_invariants(context);
+        }
+    }
+}
+
+impl AigDqbf {
+    /// Audits the structural invariants of the elimination state.
+    ///
+    /// Checked:
+    ///
+    /// 1. the underlying AIG manager
+    ///    ([`Aig::check_invariants`](hqs_aig::Aig::check_invariants));
+    /// 2. **prefix** / **deps** — as for [`Dqbf::check_invariants`]; in
+    ///    particular, after [`eliminate_universal`] no dependency set may
+    ///    retain the eliminated variable, so the residue always matches
+    ///    the dependency graph the elimination sets are computed from;
+    /// 3. **vars** — the fresh-variable counter stays above every
+    ///    allocated prefix variable, so existential copies never collide.
+    ///
+    /// Returns the first violation found.
+    ///
+    /// [`eliminate_universal`]: AigDqbf::eliminate_universal
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        self.aig.check_invariants()?;
+        check_prefix(
+            &self.universals,
+            &self.universal_set,
+            &self.existentials,
+            &self.deps,
+            self.next_var,
+        )?;
+        Ok(())
+    }
+
+    /// Panics with the violation if the audit fails; the `paranoid`
+    /// solver option calls this after every main-loop step.
+    pub fn assert_invariants(&self, context: &str) {
+        if let Err(violation) = self.check_invariants() {
+            panic!("elimination-state invariant violated {context}: {violation}");
+        }
+    }
+
+    /// Audit compiled to a no-op unless debug assertions are on; called
+    /// after every elimination step.
+    pub(crate) fn debug_audit(&self, context: &str) {
+        if cfg!(debug_assertions) {
+            self.assert_invariants(context);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqs_base::Lit;
+
+    fn sample_dqbf() -> Dqbf {
+        let mut d = Dqbf::new();
+        let x1 = d.add_universal();
+        let x2 = d.add_universal();
+        let y1 = d.add_existential([x1]);
+        let y2 = d.add_existential([x2]);
+        d.add_clause([Lit::positive(y1), Lit::negative(y2), Lit::positive(x1)]);
+        d
+    }
+
+    #[test]
+    fn healthy_dqbf_passes() {
+        assert_eq!(sample_dqbf().check_invariants(), Ok(()));
+        assert_eq!(Dqbf::new().check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_universal_is_caught() {
+        let mut d = sample_dqbf();
+        let x = d.universals[0];
+        d.universals.push(x);
+        let violation = d.check_invariants().expect_err("duplicate undetected");
+        assert_eq!(violation.component(), "prefix");
+    }
+
+    #[test]
+    fn dependency_outside_universals_is_caught() {
+        let mut d = sample_dqbf();
+        let y = d.existentials[0];
+        let rogue = Var::new(d.num_vars() + 5);
+        d.num_vars = rogue.index() + 1;
+        d.deps.get_mut(&y).unwrap().insert(rogue);
+        let violation = d
+            .check_invariants()
+            .expect_err("rogue dependency undetected");
+        assert_eq!(violation.component(), "deps");
+    }
+
+    #[test]
+    fn orphaned_dependency_set_is_caught() {
+        let mut d = sample_dqbf();
+        let y = d.existentials.pop().unwrap();
+        // The dependency set of the removed existential lingers.
+        assert!(d.deps.contains_key(&y));
+        let violation = d.check_invariants().expect_err("orphan undetected");
+        assert_eq!(violation.component(), "deps");
+    }
+
+    #[test]
+    fn stale_universal_set_is_caught() {
+        let mut d = sample_dqbf();
+        let x = d.universals[0];
+        d.universal_set.remove(x);
+        let violation = d.check_invariants().expect_err("stale set undetected");
+        assert_eq!(violation.component(), "prefix");
+    }
+
+    #[test]
+    fn elimination_state_residue_is_checked() {
+        let d = sample_dqbf();
+        let mut state = AigDqbf::from_dqbf(&d);
+        assert_eq!(state.check_invariants(), Ok(()));
+        let x = state.universals()[0];
+        state.eliminate_universal(x);
+        assert_eq!(state.check_invariants(), Ok(()));
+        // Re-insert the eliminated universal into one dependency set: the
+        // residue no longer matches the dependency graph.
+        let y = state.existentials()[0];
+        state.deps.get_mut(&y).unwrap().insert(x);
+        let violation = state.check_invariants().expect_err("residue undetected");
+        assert_eq!(violation.component(), "deps");
+    }
+
+    #[test]
+    fn next_var_collision_is_caught() {
+        let d = sample_dqbf();
+        let mut state = AigDqbf::from_dqbf(&d);
+        state.next_var = 1; // below the allocated prefix variables
+        let violation = state.check_invariants().expect_err("collision undetected");
+        assert_eq!(violation.component(), "prefix");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "DQBF invariant violated")]
+    fn assert_invariants_panics_on_corruption() {
+        let mut d = sample_dqbf();
+        let x = d.universals[0];
+        d.universal_set.remove(x);
+        d.assert_invariants("in test");
+    }
+}

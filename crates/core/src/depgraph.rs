@@ -61,8 +61,7 @@ impl DepGraph {
     pub fn is_cyclic(&self) -> bool {
         for i in 0..self.deps.len() {
             for j in (i + 1)..self.deps.len() {
-                if !self.deps[i].is_subset(&self.deps[j])
-                    && !self.deps[j].is_subset(&self.deps[i])
+                if !self.deps[i].is_subset(&self.deps[j]) && !self.deps[j].is_subset(&self.deps[i])
                 {
                     return true;
                 }
@@ -79,8 +78,7 @@ impl DepGraph {
         let mut cycles = Vec::new();
         for i in 0..self.deps.len() {
             for j in (i + 1)..self.deps.len() {
-                if !self.deps[i].is_subset(&self.deps[j])
-                    && !self.deps[j].is_subset(&self.deps[i])
+                if !self.deps[i].is_subset(&self.deps[j]) && !self.deps[j].is_subset(&self.deps[i])
                 {
                     cycles.push(BinaryCycle {
                         first: self.vars[i],
@@ -120,10 +118,7 @@ pub struct BinaryCycle {
 /// Returns `None` if the dependency sets are not pairwise comparable
 /// (i.e. the graph is cyclic and no equivalent QBF prefix exists).
 #[must_use]
-pub fn linearise(
-    universals: &[Var],
-    existentials: &[(Var, VarSet)],
-) -> Option<Prefix> {
+pub fn linearise(universals: &[Var], existentials: &[(Var, VarSet)]) -> Option<Prefix> {
     let graph = DepGraph::new(existentials);
     if graph.is_cyclic() {
         return None;
@@ -139,10 +134,7 @@ pub fn linearise(
     while index < order.len() {
         let deps = &existentials[order[index]].1;
         // Universals required before this block and not placed yet.
-        let new_universals: Vec<Var> = deps
-            .difference(&placed)
-            .iter()
-            .collect();
+        let new_universals: Vec<Var> = deps.difference(&placed).iter().collect();
         placed.union_with(deps);
         prefix.push_block(Quantifier::Universal, new_universals);
         let mut block_vars = Vec::new();
@@ -202,10 +194,7 @@ mod tests {
     #[test]
     fn linearise_builds_interleaved_prefix() {
         let universals = [Var::new(0), Var::new(1), Var::new(2)];
-        let existentials = vec![
-            (Var::new(3), set(&[0])),
-            (Var::new(4), set(&[0, 1])),
-        ];
+        let existentials = vec![(Var::new(3), set(&[0])), (Var::new(4), set(&[0, 1]))];
         let prefix = linearise(&universals, &existentials).unwrap();
         // Expected: ∀x0 ∃y3 ∀x1 ∃y4 ∀x2.
         let blocks = prefix.blocks();
@@ -221,10 +210,7 @@ mod tests {
     #[test]
     fn equal_dependency_sets_share_a_block() {
         let universals = [Var::new(0)];
-        let existentials = vec![
-            (Var::new(1), set(&[0])),
-            (Var::new(2), set(&[0])),
-        ];
+        let existentials = vec![(Var::new(1), set(&[0])), (Var::new(2), set(&[0]))];
         let prefix = linearise(&universals, &existentials).unwrap();
         assert_eq!(prefix.num_blocks(), 2);
         assert_eq!(prefix.blocks()[1].vars.len(), 2);
@@ -233,10 +219,7 @@ mod tests {
     #[test]
     fn empty_dependency_block_is_outermost() {
         let universals = [Var::new(0)];
-        let existentials = vec![
-            (Var::new(1), VarSet::new()),
-            (Var::new(2), set(&[0])),
-        ];
+        let existentials = vec![(Var::new(1), VarSet::new()), (Var::new(2), set(&[0]))];
         let prefix = linearise(&universals, &existentials).unwrap();
         let blocks = prefix.blocks();
         assert_eq!(blocks[0].quantifier, Quantifier::Existential);
@@ -255,9 +238,8 @@ mod tests {
     /// left.
     #[test]
     fn linearisation_respects_dependencies() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(33);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(33);
         for _ in 0..300 {
             let nu = rng.gen_range(1..=5u32);
             let ne = rng.gen_range(1..=4usize);
@@ -286,11 +268,8 @@ mod tests {
                             }
                             Quantifier::Existential => {
                                 for &y in &block.vars {
-                                    let deps = &existentials
-                                        .iter()
-                                        .find(|(v, _)| *v == y)
-                                        .unwrap()
-                                        .1;
+                                    let deps =
+                                        &existentials.iter().find(|(v, _)| *v == y).unwrap().1;
                                     assert_eq!(
                                         *deps, seen,
                                         "existential {y} must see exactly its deps"

@@ -31,12 +31,12 @@ use std::fmt;
 /// ```
 #[derive(Clone, Default)]
 pub struct Dqbf {
-    num_vars: u32,
-    universals: Vec<Var>,
-    universal_set: VarSet,
-    existentials: Vec<Var>,
-    deps: HashMap<Var, VarSet>,
-    matrix: Cnf,
+    pub(crate) num_vars: u32,
+    pub(crate) universals: Vec<Var>,
+    pub(crate) universal_set: VarSet,
+    pub(crate) existentials: Vec<Var>,
+    pub(crate) deps: HashMap<Var, VarSet>,
+    pub(crate) matrix: Cnf,
 }
 
 impl Dqbf {
@@ -166,6 +166,7 @@ impl Dqbf {
             self.existentials.push(v);
             self.deps.insert(v, VarSet::new());
         }
+        self.debug_audit("after bind_free_vars");
         free.len()
     }
 
@@ -193,6 +194,7 @@ impl Dqbf {
             matrix: file.matrix.clone(),
         };
         dqbf.bind_free_vars();
+        dqbf.debug_audit("after from_file");
         dqbf
     }
 

@@ -41,11 +41,11 @@ pub struct AigDqbf {
     pub aig: Aig,
     /// The matrix cone.
     pub root: AigEdge,
-    universals: Vec<Var>,
-    universal_set: VarSet,
-    existentials: Vec<Var>,
-    deps: HashMap<Var, VarSet>,
-    next_var: u32,
+    pub(crate) universals: Vec<Var>,
+    pub(crate) universal_set: VarSet,
+    pub(crate) existentials: Vec<Var>,
+    pub(crate) deps: HashMap<Var, VarSet>,
+    pub(crate) next_var: u32,
 }
 
 impl AigDqbf {
@@ -168,6 +168,7 @@ impl AigDqbf {
         self.root = self.aig.and(cof0, cof1_renamed);
         self.universals.retain(|&u| u != x);
         self.universal_set.remove(x);
+        self.debug_audit("after eliminate_universal");
     }
 
     /// Eliminates existential `y` by Theorem 2.
@@ -183,6 +184,7 @@ impl AigDqbf {
         );
         self.root = self.aig.exists(self.root, y);
         self.remove_existential(y);
+        self.debug_audit("after eliminate_existential");
     }
 
     /// Eliminates every existential whose dependency set equals the full
@@ -213,14 +215,13 @@ impl AigDqbf {
         }
         // Cheapest first: fewest cone nodes mentioning the variable.
         let costs = crate::elim::support_occurrences(&self.aig, self.root, &candidates);
-        let (pos, _) = costs
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, c)| *c)
-            .expect("non-empty");
+        let Some((pos, _)) = costs.iter().enumerate().min_by_key(|&(_, c)| *c) else {
+            return false;
+        };
         let y = candidates[pos];
         self.root = self.aig.exists(self.root, y);
         self.remove_existential(y);
+        self.debug_audit("after eliminate_one_total_existential");
         true
     }
 
@@ -266,6 +267,7 @@ impl AigDqbf {
                 VarStatus::Unknown => continue,
                 _ => continue,
             }
+            self.debug_audit("after unit/pure elimination");
             return Some(true);
         }
         None
@@ -316,11 +318,13 @@ impl AigDqbf {
             }
             keep
         });
+        self.debug_audit("after drop_unused");
     }
 
     /// Garbage-collects the AIG manager, keeping only the live cone.
     pub fn compact(&mut self) {
         self.root = self.aig.compact(&[self.root])[0];
+        self.debug_audit("after compact");
     }
 
     /// Converts back to a CNF-based [`Dqbf`] by Tseitin encoding; auxiliary
@@ -360,11 +364,7 @@ impl AigDqbf {
 
 /// For each variable, the number of cone nodes of `root` whose support
 /// contains it; used to order eliminations cheapest-first.
-pub(crate) fn support_occurrences(
-    aig: &hqs_aig::Aig,
-    root: AigEdge,
-    vars: &[Var],
-) -> Vec<usize> {
+pub(crate) fn support_occurrences(aig: &hqs_aig::Aig, root: AigEdge, vars: &[Var]) -> Vec<usize> {
     aig.occurrence_counts(root, vars)
 }
 
@@ -503,9 +503,8 @@ mod tests {
     /// oracle).
     #[test]
     fn random_elimination_sequences_preserve_truth() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(4242);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(4242);
         for round in 0..60 {
             let mut d = Dqbf::new();
             let nu = rng.gen_range(1..=3u32);
@@ -513,11 +512,7 @@ mod tests {
             let xs: Vec<Var> = (0..nu).map(|_| d.add_universal()).collect();
             let mut ys = Vec::new();
             for _ in 0..ne {
-                let deps: Vec<Var> = xs
-                    .iter()
-                    .copied()
-                    .filter(|_| rng.gen_bool(0.6))
-                    .collect();
+                let deps: Vec<Var> = xs.iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
                 ys.push(d.add_existential(deps));
             }
             let all_vars: Vec<Var> = xs.iter().chain(ys.iter()).copied().collect();

@@ -34,10 +34,7 @@ pub fn minimal_elimination_set(
     }
     let mut solver = MaxSatSolver::new();
     // One MaxSAT variable x̂ per universal, in order.
-    let hat: HashMap<Var, Var> = universals
-        .iter()
-        .map(|&x| (x, solver.new_var()))
-        .collect();
+    let hat: HashMap<Var, Var> = universals.iter().map(|&x| (x, solver.new_var())).collect();
     for cycle in cycles {
         let first: Vec<Var> = cycle.first_only.iter().collect();
         let second: Vec<Var> = cycle.second_only.iter().collect();
@@ -137,11 +134,7 @@ mod tests {
             (Var::new(6), set(&[0, 3])),
             (Var::new(7), z_deps),
         ];
-        let result = minimal_elimination_set(
-            &universals,
-            &cycles_of(&existentials),
-            |_| 1,
-        );
+        let result = minimal_elimination_set(&universals, &cycles_of(&existentials), |_| 1);
         // x0 breaks the {y_i, z} cycles; but the y_i are also pairwise
         // incomparable ({x_i} vs {x_j}), so more must go. Verify the result
         // really linearises and is minimal (≤ 3).
@@ -174,8 +167,7 @@ mod tests {
             0 => 10,
             _ => x.index() as usize,
         };
-        let result =
-            minimal_elimination_set(&universals, &cycles_of(&existentials), copies);
+        let result = minimal_elimination_set(&universals, &cycles_of(&existentials), copies);
         let mut sorted = result.clone();
         sorted.sort_by_key(|&x| copies(x));
         assert_eq!(result, sorted);
@@ -185,9 +177,8 @@ mod tests {
     /// has the same size as the brute-force minimum hitting choice.
     #[test]
     fn optimum_matches_brute_force() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(7);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..100 {
             let nu = rng.gen_range(1..=6u32);
             let ne = rng.gen_range(2..=4usize);

@@ -62,9 +62,7 @@ pub fn expand_to_cnf(dqbf: &Dqbf) -> (Cnf, HashMap<(Var, u64), Var>) {
                     }
                     // falsified literal: drop
                 } else {
-                    let deps = scratch
-                        .dependencies(var)
-                        .expect("free vars were bound");
+                    let deps = scratch.dependencies(var).expect("free vars were bound");
                     assert!(deps.len() <= 64, "dependency sets limited to 64");
                     let mut key = 0u64;
                     for (i, dep) in deps.iter().enumerate() {
@@ -171,10 +169,7 @@ mod tests {
         let mut d = Dqbf::new();
         let x = d.add_universal();
         // Free variable v2 (index 1 never allocated as quantified).
-        d.add_clause([
-            Lit::positive(Var::new(1)),
-            Lit::positive(x),
-        ]);
+        d.add_clause([Lit::positive(Var::new(1)), Lit::positive(x)]);
         // Needs v1 = true when x = 0; free var has empty deps but constant
         // true works.
         assert!(is_satisfiable_by_expansion(&d));

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod build;
+mod check;
 pub mod depgraph;
 mod dqbf;
 pub mod elim;
@@ -65,4 +66,5 @@ pub mod skolem;
 pub mod solver;
 
 pub use dqbf::Dqbf;
+pub use hqs_base::InvariantViolation;
 pub use solver::{DqbfResult, ElimStrategy, HqsConfig, HqsSolver, HqsStats, QbfBackend};

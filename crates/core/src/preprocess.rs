@@ -106,48 +106,34 @@ pub fn preprocess_with(dqbf: &Dqbf, detect_gates: bool) -> PreprocessResult {
 /// preprocessing" the paper's conclusion points to; off in the paper's
 /// configuration).
 #[must_use]
-pub fn preprocess_full(
-    dqbf: &Dqbf,
-    detect_gates: bool,
-    subsumption: bool,
-) -> PreprocessResult {
+pub fn preprocess_full(dqbf: &Dqbf, detect_gates: bool, subsumption: bool) -> PreprocessResult {
     let mut state = State::new(dqbf);
     let mut stats = PreprocessStats::default();
     loop {
         let mut changed = false;
         match state.propagate_units(&mut stats) {
-            StepOutcome::Decided(value) => {
-                return PreprocessResult::Decided { value, stats }
-            }
+            StepOutcome::Decided(value) => return PreprocessResult::Decided { value, stats },
             StepOutcome::Changed => changed = true,
             StepOutcome::Unchanged => {}
         }
         match state.universal_reduction(&mut stats) {
-            StepOutcome::Decided(value) => {
-                return PreprocessResult::Decided { value, stats }
-            }
+            StepOutcome::Decided(value) => return PreprocessResult::Decided { value, stats },
             StepOutcome::Changed => changed = true,
             StepOutcome::Unchanged => {}
         }
         match state.pure_literals(&mut stats) {
-            StepOutcome::Decided(value) => {
-                return PreprocessResult::Decided { value, stats }
-            }
+            StepOutcome::Decided(value) => return PreprocessResult::Decided { value, stats },
             StepOutcome::Changed => changed = true,
             StepOutcome::Unchanged => {}
         }
         match state.equivalent_vars(&mut stats) {
-            StepOutcome::Decided(value) => {
-                return PreprocessResult::Decided { value, stats }
-            }
+            StepOutcome::Decided(value) => return PreprocessResult::Decided { value, stats },
             StepOutcome::Changed => changed = true,
             StepOutcome::Unchanged => {}
         }
         if subsumption {
             match state.subsumption(&mut stats) {
-                StepOutcome::Decided(value) => {
-                    return PreprocessResult::Decided { value, stats }
-                }
+                StepOutcome::Decided(value) => return PreprocessResult::Decided { value, stats },
                 StepOutcome::Changed => changed = true,
                 StepOutcome::Unchanged => {}
             }
@@ -343,7 +329,11 @@ impl State {
             let satisfy = is_pos_pure;
             // Existential: satisfy the literal. Universal: falsify it
             // (Theorem 5).
-            let value = if self.is_universal(var) { !satisfy } else { satisfy };
+            let value = if self.is_universal(var) {
+                !satisfy
+            } else {
+                satisfy
+            };
             assignment.assign(var, value);
             stats.pures += 1;
             changed = true;
@@ -385,10 +375,9 @@ impl State {
                     removed[j] = true;
                     stats.subsumed += 1;
                     changed = true;
-                } else if let Some(victim) = self_subsuming_literal(
-                    &self.clauses[i],
-                    &self.clauses[j],
-                ) {
+                } else if let Some(victim) =
+                    self_subsuming_literal(&self.clauses[i], &self.clauses[j])
+                {
                     let strengthened = self.clauses[j].without(victim);
                     if strengthened.is_empty() {
                         return StepOutcome::Decided(false);
@@ -546,7 +535,10 @@ impl State {
             if clause.len() == 3 && !clause.is_tautology() {
                 let mut vars: Vec<Var> = clause.iter_vars().collect();
                 vars.sort_unstable();
-                triples.entry([vars[0], vars[1], vars[2]]).or_default().push(i);
+                triples
+                    .entry([vars[0], vars[1], vars[2]])
+                    .or_default()
+                    .push(i);
             }
         }
         for (vars, indices) in &triples {
@@ -571,8 +563,7 @@ impl State {
                     continue;
                 }
                 // Deduplicate identical clauses.
-                let distinct: HashSet<&Clause> =
-                    group.iter().map(|&i| &self.clauses[i]).collect();
+                let distinct: HashSet<&Clause> = group.iter().map(|&i| &self.clauses[i]).collect();
                 if distinct.len() != 4 {
                     continue;
                 }
@@ -581,15 +572,11 @@ impl State {
                     if outputs_taken.contains(&vo) || !self.gate_output_ok(vo) {
                         continue;
                     }
-                    let others: Vec<Var> =
-                        vars.iter().copied().filter(|&v| v != vo).collect();
+                    let others: Vec<Var> = vars.iter().copied().filter(|&v| v != vo).collect();
                     // All-even positive parity ⇔ forbidden rows have an odd
                     // number of ones ⇔ o⊕a⊕b = 0 ⇔ o ≡ a⊕b; all-odd parity
                     // encodes o ≡ ¬(a⊕b) = ¬a⊕b.
-                    let inputs = vec![
-                        Lit::new(others[0], parity == 1),
-                        Lit::positive(others[1]),
-                    ];
+                    let inputs = vec![Lit::new(others[0], parity == 1), Lit::positive(others[1])];
                     if !self.gate_inputs_ok(vo, &inputs) {
                         continue;
                     }
@@ -621,10 +608,9 @@ impl State {
             let pending_outputs: HashSet<Var> =
                 pending.iter().map(|(g, _)| g.output.var()).collect();
             for (gate, clauses) in pending {
-                let inputs_ready = gate
-                    .inputs
-                    .iter()
-                    .all(|l| !pending_outputs.contains(&l.var()) || accepted_outputs.contains(&l.var()));
+                let inputs_ready = gate.inputs.iter().all(|l| {
+                    !pending_outputs.contains(&l.var()) || accepted_outputs.contains(&l.var())
+                });
                 let clauses_free = clauses.iter().all(|i| !consumed.contains(i));
                 if inputs_ready && clauses_free {
                     consumed.extend(clauses.iter().copied());
@@ -944,17 +930,15 @@ mod tests {
     /// Subsumption never changes the truth value on random instances.
     #[test]
     fn subsumption_preserves_truth() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(2626);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(2626);
         for round in 0..80 {
             let mut d = Dqbf::new();
             let nu = rng.gen_range(1..=3u32);
             let xs: Vec<Var> = (0..nu).map(|_| d.add_universal()).collect();
             let mut all: Vec<Var> = xs.clone();
             for _ in 0..rng.gen_range(1..=3u32) {
-                let deps: Vec<Var> =
-                    xs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+                let deps: Vec<Var> = xs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
                 all.push(d.add_existential(deps));
             }
             for _ in 0..rng.gen_range(2..=8usize) {
@@ -986,9 +970,8 @@ mod tests {
     /// random small DQBFs (gates re-encoded as a matrix for the oracle).
     #[test]
     fn preprocessing_preserves_truth_on_random_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(1414);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(1414);
         for round in 0..120 {
             let mut d = Dqbf::new();
             let nu = rng.gen_range(1..=3u32);
@@ -996,16 +979,13 @@ mod tests {
             let xs: Vec<Var> = (0..nu).map(|_| d.add_universal()).collect();
             let mut all: Vec<Var> = xs.clone();
             for _ in 0..ne {
-                let deps: Vec<Var> =
-                    xs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+                let deps: Vec<Var> = xs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
                 all.push(d.add_existential(deps));
             }
             for _ in 0..rng.gen_range(1..=7usize) {
                 let len = rng.gen_range(1..=3usize);
                 let lits: Vec<Lit> = (0..len)
-                    .map(|_| {
-                        Lit::new(all[rng.gen_range(0..all.len())], rng.gen_bool(0.5))
-                    })
+                    .map(|_| Lit::new(all[rng.gen_range(0..all.len())], rng.gen_bool(0.5)))
                     .collect();
                 d.add_clause(lits);
             }

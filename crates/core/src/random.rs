@@ -7,9 +7,8 @@
 //! in the seed.
 
 use crate::Dqbf;
+use hqs_base::Rng;
 use hqs_base::{Lit, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the random-formula distribution.
 ///
@@ -62,7 +61,7 @@ impl RandomDqbf {
             self.num_universals + self.num_existentials > 0,
             "at least one variable required"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut dqbf = Dqbf::new();
         let universals: Vec<Var> = (0..self.num_universals)
             .map(|_| dqbf.add_universal())

@@ -129,11 +129,7 @@ pub fn extract_skolem(dqbf: &Dqbf) -> Option<SkolemCertificate> {
     }
     let mut functions = Vec::with_capacity(bound.existentials().len());
     for &y in bound.existentials() {
-        let deps: Vec<Var> = bound
-            .dependencies(y)
-            .expect("existential")
-            .iter()
-            .collect();
+        let deps: Vec<Var> = bound.dependencies(y).expect("existential").iter().collect();
         assert!(deps.len() < 20, "table would not fit");
         let mut table = vec![false; 1 << deps.len()];
         for (row, entry) in table.iter_mut().enumerate() {
@@ -226,9 +222,8 @@ mod tests {
     /// HQS says Sat, and the certificate always verifies.
     #[test]
     fn extraction_matches_solver_and_verifies() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(60);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(60);
         let mut verified = 0;
         for _ in 0..60 {
             let mut d = Dqbf::new();
@@ -236,8 +231,7 @@ mod tests {
             let xs: Vec<Var> = (0..nu).map(|_| d.add_universal()).collect();
             let mut all: Vec<Var> = xs.clone();
             for _ in 0..rng.gen_range(1..=3u32) {
-                let deps: Vec<Var> =
-                    xs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+                let deps: Vec<Var> = xs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
                 all.push(d.add_existential(deps));
             }
             for _ in 0..rng.gen_range(1..=7usize) {

@@ -91,6 +91,11 @@ pub struct HqsConfig {
     pub dynamic_order: bool,
     /// Which QBF solver finishes the linearised remainder.
     pub qbf_backend: QbfBackend,
+    /// Re-run the full invariant audit (AIG manager + prefix bookkeeping)
+    /// after every main-loop step, even in release builds; panics on the
+    /// first violation. Debug builds always audit at each mutation site
+    /// regardless of this flag.
+    pub paranoid: bool,
 }
 
 impl Default for HqsConfig {
@@ -106,6 +111,7 @@ impl Default for HqsConfig {
             subsumption: false,
             dynamic_order: false,
             qbf_backend: QbfBackend::default(),
+            paranoid: false,
         }
     }
 }
@@ -191,7 +197,11 @@ impl HqsSolver {
                 PreprocessResult::Decided { value, stats } => {
                     self.stats.preprocess = stats;
                     self.stats.decided_by_preprocessing = true;
-                    return if value { DqbfResult::Sat } else { DqbfResult::Unsat };
+                    return if value {
+                        DqbfResult::Sat
+                    } else {
+                        DqbfResult::Unsat
+                    };
                 }
                 PreprocessResult::Reduced { dqbf, gates, stats } => {
                     self.stats.preprocess = stats;
@@ -227,6 +237,9 @@ impl HqsSolver {
         let mut queue: Vec<Var> = Vec::new();
         let mut queue_initialised = false;
         loop {
+            if self.config.paranoid {
+                state.assert_invariants("in the main loop");
+            }
             self.stats.peak_nodes = self.stats.peak_nodes.max(state.aig.num_nodes());
             if state.root == hqs_aig::Aig::TRUE {
                 return DqbfResult::Sat;
@@ -335,11 +348,7 @@ impl HqsSolver {
     /// Tseitin-converts the remaining AIG back to CNF (auxiliary variables
     /// become an innermost existential block) and hands it to the
     /// search-based QBF solver.
-    fn finish_with_search(
-        &mut self,
-        state: &mut AigDqbf,
-        prefix: hqs_qbf::Prefix,
-    ) -> DqbfResult {
+    fn finish_with_search(&mut self, state: &mut AigDqbf, prefix: hqs_qbf::Prefix) -> DqbfResult {
         if state.root == hqs_aig::Aig::TRUE {
             return DqbfResult::Sat;
         }
@@ -471,9 +480,8 @@ mod tests {
     /// configuration agrees with the expansion oracle.
     #[test]
     fn agrees_with_expansion_oracle_on_random_dqbfs() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(20150309);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(20150309);
         let configs = [
             HqsConfig::default(),
             HqsConfig {
@@ -505,6 +513,10 @@ mod tests {
                 qbf_backend: QbfBackend::Search,
                 ..HqsConfig::default()
             },
+            HqsConfig {
+                paranoid: true,
+                ..HqsConfig::default()
+            },
         ];
         for round in 0..80 {
             let mut d = Dqbf::new();
@@ -513,8 +525,7 @@ mod tests {
             let xs: Vec<Var> = (0..nu).map(|_| d.add_universal()).collect();
             let mut all: Vec<Var> = xs.clone();
             for _ in 0..ne {
-                let deps: Vec<Var> =
-                    xs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+                let deps: Vec<Var> = xs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
                 all.push(d.add_existential(deps));
             }
             for _ in 0..rng.gen_range(2..=9usize) {

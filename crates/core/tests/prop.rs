@@ -1,14 +1,14 @@
-//! Property-based tests of the DQBF layer: solver-vs-oracle agreement,
+//! Randomised tests of the DQBF layer: solver-vs-oracle agreement,
 //! elimination soundness, preprocessing soundness and monotonicity laws.
 
-use hqs_base::{Lit, Var, VarSet};
+use hqs_base::{Lit, Rng, Var, VarSet};
 use hqs_core::elim::AigDqbf;
 use hqs_core::expand::is_satisfiable_by_expansion;
 use hqs_core::{Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver};
-use proptest::prelude::*;
 
 const MAX_UNIVERSALS: u32 = 4;
 const MAX_EXISTENTIALS: u32 = 3;
+const CASES: u64 = 96;
 
 #[derive(Clone, Debug)]
 struct RandomDqbf {
@@ -16,15 +16,18 @@ struct RandomDqbf {
     clauses: Vec<Vec<(u8, bool)>>,
 }
 
-fn arb_dqbf() -> impl Strategy<Value = RandomDqbf> {
-    (
-        prop::collection::vec(any::<u8>(), 1..=MAX_EXISTENTIALS as usize),
-        prop::collection::vec(
-            prop::collection::vec((any::<u8>(), any::<bool>()), 1..4),
-            1..10,
-        ),
-    )
-        .prop_map(|(dep_masks, clauses)| RandomDqbf { dep_masks, clauses })
+fn random_spec(rng: &mut Rng) -> RandomDqbf {
+    let dep_masks = (0..rng.gen_range(1..=MAX_EXISTENTIALS as usize))
+        .map(|_| rng.gen_range(0..=255u8))
+        .collect();
+    let clauses = (0..rng.gen_range(1..10usize))
+        .map(|_| {
+            (0..rng.gen_range(1..4usize))
+                .map(|_| (rng.gen_range(0..=255u8), rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect();
+    RandomDqbf { dep_masks, clauses }
 }
 
 fn build(spec: &RandomDqbf) -> Dqbf {
@@ -50,19 +53,18 @@ fn build(spec: &RandomDqbf) -> Dqbf {
     d
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// HQS agrees with the expansion oracle in every configuration.
-    #[test]
-    fn hqs_matches_oracle(spec in arb_dqbf()) {
-        let d = build(&spec);
+/// HQS agrees with the expansion oracle in every configuration.
+#[test]
+fn hqs_matches_oracle() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let d = build(&random_spec(&mut rng));
         let expected = if is_satisfiable_by_expansion(&d) {
             DqbfResult::Sat
         } else {
             DqbfResult::Unsat
         };
-        prop_assert_eq!(HqsSolver::new().solve(&d), expected);
+        assert_eq!(HqsSolver::new().solve(&d), expected, "seed {seed}");
         let no_opt = HqsConfig {
             preprocess: false,
             gate_detection: false,
@@ -70,100 +72,144 @@ proptest! {
             strategy: ElimStrategy::AllUniversals,
             ..HqsConfig::default()
         };
-        prop_assert_eq!(HqsSolver::with_config(no_opt).solve(&d), expected);
+        assert_eq!(
+            HqsSolver::with_config(no_opt).solve(&d),
+            expected,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Theorem 1 (universal elimination) preserves the truth value.
-    #[test]
-    fn universal_elimination_is_sound(spec in arb_dqbf(), pick in 0..MAX_UNIVERSALS) {
-        let d = build(&spec);
+/// Theorem 1 (universal elimination) preserves the truth value.
+#[test]
+fn universal_elimination_is_sound() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1000 + seed);
+        let d = build(&random_spec(&mut rng));
+        let pick = rng.gen_range(0..MAX_UNIVERSALS);
         let expected = is_satisfiable_by_expansion(&d);
         let mut state = AigDqbf::from_dqbf(&d);
         let x = state.universals()[pick as usize];
         state.eliminate_universal(x);
-        prop_assert_eq!(is_satisfiable_by_expansion(&state.to_dqbf()), expected);
+        assert_eq!(
+            is_satisfiable_by_expansion(&state.to_dqbf()),
+            expected,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Theorem 2 (existential elimination of total-dependency variables)
-    /// preserves the truth value.
-    #[test]
-    fn existential_elimination_is_sound(spec in arb_dqbf()) {
-        let d = build(&spec);
+/// Theorem 2 (existential elimination of total-dependency variables)
+/// preserves the truth value.
+#[test]
+fn existential_elimination_is_sound() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x2000 + seed);
+        let d = build(&random_spec(&mut rng));
         let expected = is_satisfiable_by_expansion(&d);
         let mut state = AigDqbf::from_dqbf(&d);
         state.eliminate_total_existentials();
-        prop_assert_eq!(is_satisfiable_by_expansion(&state.to_dqbf()), expected);
+        assert_eq!(
+            is_satisfiable_by_expansion(&state.to_dqbf()),
+            expected,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Unit/pure rounds (Theorems 5/6) preserve the truth value; an
-    /// `Unsat` verdict is always confirmed by the oracle.
-    #[test]
-    fn unit_pure_is_sound(spec in arb_dqbf()) {
-        let d = build(&spec);
+/// Unit/pure rounds (Theorems 5/6) preserve the truth value; an
+/// `Unsat` verdict is always confirmed by the oracle.
+#[test]
+fn unit_pure_is_sound() {
+    'outer: for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x3000 + seed);
+        let d = build(&random_spec(&mut rng));
         let expected = is_satisfiable_by_expansion(&d);
         let mut state = AigDqbf::from_dqbf(&d);
         loop {
             match state.apply_unit_pure() {
                 Some(false) => {
-                    prop_assert!(!expected, "unit/pure declared Unsat wrongly");
-                    return Ok(());
+                    assert!(!expected, "seed {seed}: unit/pure declared Unsat wrongly");
+                    continue 'outer;
                 }
                 Some(true) => {}
                 None => break,
             }
         }
-        prop_assert_eq!(is_satisfiable_by_expansion(&state.to_dqbf()), expected);
+        assert_eq!(
+            is_satisfiable_by_expansion(&state.to_dqbf()),
+            expected,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Growing a dependency set is monotone: if ψ is satisfiable, letting
-    /// an existential observe more universals keeps it satisfiable.
-    #[test]
-    fn dependency_growth_is_monotone(spec in arb_dqbf(), which in 0..MAX_EXISTENTIALS) {
+/// Growing a dependency set is monotone: if ψ is satisfiable, letting
+/// an existential observe more universals keeps it satisfiable.
+#[test]
+fn dependency_growth_is_monotone() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x4000 + seed);
+        let spec = random_spec(&mut rng);
         let d = build(&spec);
         if !is_satisfiable_by_expansion(&d) {
-            return Ok(());
+            continue;
         }
         let mut widened = spec.clone();
-        let idx = which as usize % widened.dep_masks.len();
+        let idx = rng.gen_range(0..widened.dep_masks.len());
         widened.dep_masks[idx] = 0xFF; // depend on everything
         let w = build(&widened);
-        prop_assert!(is_satisfiable_by_expansion(&w),
-            "widening dependencies lost satisfiability");
-        prop_assert_eq!(HqsSolver::new().solve(&w), DqbfResult::Sat);
+        assert!(
+            is_satisfiable_by_expansion(&w),
+            "seed {seed}: widening dependencies lost satisfiability"
+        );
+        assert_eq!(HqsSolver::new().solve(&w), DqbfResult::Sat, "seed {seed}");
     }
+}
 
-    /// Preprocessing preserves the truth value even with gate re-encoding
-    /// (gates are only extracted when dependency-safe, so composing them
-    /// back with full dependencies is equivalent).
-    #[test]
-    fn skolem_certificates_verify(spec in arb_dqbf()) {
-        use hqs_core::skolem::extract_skolem;
-        let d = build(&spec);
+/// Skolem extraction succeeds exactly on satisfiable instances and its
+/// certificates verify.
+#[test]
+fn skolem_certificates_verify() {
+    use hqs_core::skolem::extract_skolem;
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5000 + seed);
+        let d = build(&random_spec(&mut rng));
         match extract_skolem(&d) {
             Some(cert) => {
-                prop_assert!(cert.verify(&d));
-                prop_assert_eq!(HqsSolver::new().solve(&d), DqbfResult::Sat);
+                assert!(cert.verify(&d), "seed {seed}");
+                assert_eq!(HqsSolver::new().solve(&d), DqbfResult::Sat, "seed {seed}");
             }
             None => {
-                prop_assert_eq!(HqsSolver::new().solve(&d), DqbfResult::Unsat);
+                assert_eq!(HqsSolver::new().solve(&d), DqbfResult::Unsat, "seed {seed}");
             }
         }
     }
+}
 
-    /// The dependency graph APIs are mutually consistent: cyclic ⇔ some
-    /// binary cycle ⇔ linearise fails.
-    #[test]
-    fn depgraph_consistency(spec in arb_dqbf()) {
-        use hqs_core::depgraph::{linearise, DepGraph};
-        let d = build(&spec);
+/// The dependency graph APIs are mutually consistent: cyclic ⇔ some
+/// binary cycle ⇔ linearise fails.
+#[test]
+fn depgraph_consistency() {
+    use hqs_core::depgraph::{linearise, DepGraph};
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x6000 + seed);
+        let d = build(&random_spec(&mut rng));
         let deps: Vec<(Var, VarSet)> = d
             .existentials()
             .iter()
-            .map(|&y| (y, d.dependencies(y).unwrap().clone()))
+            .map(|&y| {
+                let set = d.dependencies(y).expect("declared existential").clone();
+                (y, set)
+            })
             .collect();
         let graph = DepGraph::new(&deps);
         let cyclic = graph.is_cyclic();
-        prop_assert_eq!(cyclic, !graph.binary_cycles().is_empty());
-        prop_assert_eq!(cyclic, linearise(d.universals(), &deps).is_none());
+        assert_eq!(cyclic, !graph.binary_cycles().is_empty(), "seed {seed}");
+        assert_eq!(
+            cyclic,
+            linearise(d.universals(), &deps).is_none(),
+            "seed {seed}"
+        );
     }
 }

@@ -123,9 +123,7 @@ impl InstantiationSolver {
             match abstraction.solve_interruptible(&[], || budget.time_exhausted()) {
                 SolveResult::Unsat => return DqbfResult::Unsat,
                 SolveResult::Sat => {}
-                SolveResult::Unknown => {
-                    return DqbfResult::Limit(hqs_base::Exhaustion::Timeout)
-                }
+                SolveResult::Unknown => return DqbfResult::Limit(hqs_base::Exhaustion::Timeout),
             }
             let model = abstraction.model();
 
@@ -166,9 +164,7 @@ impl InstantiationSolver {
                         continue 'clauses; // satisfied under ω
                     }
                 } else {
-                    let deps = dqbf
-                        .dependencies(lit.var())
-                        .expect("free vars bound");
+                    let deps = dqbf.dependencies(lit.var()).expect("free vars bound");
                     let mut key: RestrictionKey = vec![0; deps.len().div_ceil(64).max(1)];
                     for (i, dep) in deps.iter().enumerate() {
                         if omega[position[&dep]] {
@@ -328,9 +324,8 @@ mod tests {
     /// Agreement with the expansion oracle on random small DQBFs.
     #[test]
     fn agrees_with_expansion_oracle() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(777);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(777);
         for round in 0..80 {
             let mut d = Dqbf::new();
             let nu = rng.gen_range(1..=4u32);
@@ -338,8 +333,7 @@ mod tests {
             let xs: Vec<Var> = (0..nu).map(|_| d.add_universal()).collect();
             let mut all: Vec<Var> = xs.clone();
             for _ in 0..ne {
-                let deps: Vec<Var> =
-                    xs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+                let deps: Vec<Var> = xs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
                 all.push(d.add_existential(deps));
             }
             for _ in 0..rng.gen_range(2..=9usize) {
@@ -366,18 +360,16 @@ mod tests {
     /// (cross-solver integration check).
     #[test]
     fn agrees_with_hqs() {
+        use hqs_base::Rng;
         use hqs_core::HqsSolver;
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(888);
+        let mut rng = Rng::seed_from_u64(888);
         for _ in 0..40 {
             let mut d = Dqbf::new();
             let nu = rng.gen_range(1..=5u32);
             let xs: Vec<Var> = (0..nu).map(|_| d.add_universal()).collect();
             let mut all: Vec<Var> = xs.clone();
             for _ in 0..rng.gen_range(1..=4u32) {
-                let deps: Vec<Var> =
-                    xs.iter().copied().filter(|_| rng.gen_bool(0.4)).collect();
+                let deps: Vec<Var> = xs.iter().copied().filter(|_| rng.gen_bool(0.4)).collect();
                 all.push(d.add_existential(deps));
             }
             for _ in 0..rng.gen_range(2..=10usize) {

@@ -218,28 +218,24 @@ mod tests {
 
     #[test]
     fn agrees_with_brute_force_on_random_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(1717);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(1717);
         for _ in 0..60 {
             let num_vars = rng.gen_range(2..=5u32);
-            let gen_clauses = |rng: &mut StdRng, count: usize| -> Vec<Vec<Lit>> {
+            let gen_clauses = |rng: &mut Rng, count: usize| -> Vec<Vec<Lit>> {
                 (0..count)
                     .map(|_| {
                         (0..rng.gen_range(1..=3usize))
                             .map(|_| {
-                                Lit::new(
-                                    Var::new(rng.gen_range(0..num_vars)),
-                                    rng.gen_bool(0.5),
-                                )
+                                Lit::new(Var::new(rng.gen_range(0..num_vars)), rng.gen_bool(0.5))
                             })
                             .collect()
                     })
                     .collect()
             };
-            let hard_count = rng.gen_range(0..=5);
+            let hard_count = rng.gen_range(0..=5usize);
             let hard = gen_clauses(&mut rng, hard_count);
-            let soft_count = rng.gen_range(1..=6);
+            let soft_count = rng.gen_range(1..=6usize);
             let soft = gen_clauses(&mut rng, soft_count);
             let expected = brute_force_optimum(num_vars, &hard, &soft);
             let mut s = FuMalikSolver::new();

@@ -175,7 +175,10 @@ impl MaxSatSolver {
     }
 
     fn current_cost(&self, model: &Assignment) -> usize {
-        self.relaxers.iter().filter(|&&r| model.satisfies(r)).count()
+        self.relaxers
+            .iter()
+            .filter(|&&r| model.satisfies(r))
+            .count()
     }
 }
 
@@ -193,8 +196,7 @@ pub fn brute_force_optimum(num_vars: u32, hard: &[Vec<Lit>], soft: &[Vec<Lit>]) 
         let model: Assignment = (0..num_vars)
             .map(|i| (Var::new(i), bits >> i & 1 == 1))
             .collect();
-        let sat_clause =
-            |clause: &[Lit]| clause.iter().any(|&l| model.satisfies(l));
+        let sat_clause = |clause: &[Lit]| clause.iter().any(|&l| model.satisfies(l));
         if !hard.iter().all(|c| sat_clause(c)) {
             continue;
         }
@@ -304,12 +306,11 @@ mod tests {
             (2, vec![], vec![vec![1], vec![-1], vec![2], vec![-2]]),
         ];
         for (n, hard, soft) in cases {
-            let to_lits =
-                |cs: &Vec<Vec<i64>>| -> Vec<Vec<Lit>> {
-                    cs.iter()
-                        .map(|c| c.iter().map(|&v| lit(v)).collect())
-                        .collect()
-                };
+            let to_lits = |cs: &Vec<Vec<i64>>| -> Vec<Vec<Lit>> {
+                cs.iter()
+                    .map(|c| c.iter().map(|&v| lit(v)).collect())
+                    .collect()
+            };
             let hard_l = to_lits(&hard);
             let soft_l = to_lits(&soft);
             let expected = brute_force_optimum(n, &hard_l, &soft_l).unwrap();
@@ -349,8 +350,7 @@ mod tests {
                 // Best: eliminate only x3 and x4 (cost 2)? Or x1 + x3 (cost 2)?
                 // Check optimum is 2 and hard constraints hold.
                 assert_eq!(cost, 2);
-                let elim: Vec<bool> =
-                    (1..=4).map(|v| model.satisfies(lit(v))).collect();
+                let elim: Vec<bool> = (1..=4).map(|v| model.satisfies(lit(v))).collect();
                 let cycle1 = (elim[0] && elim[1]) || elim[2];
                 let cycle2 = elim[0] || elim[3];
                 assert!(cycle1 && cycle2);

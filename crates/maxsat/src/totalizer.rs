@@ -138,11 +138,8 @@ mod tests {
         let inputs = [Lit::negative(a), Lit::negative(b)];
         let tot = Totalizer::encode(&mut solver, &inputs);
         // Forbid 2 false: at most one of a, b may be false.
-        let result = solver.solve_with_assumptions(&[
-            !tot.at_least(2),
-            Lit::negative(a),
-            Lit::negative(b),
-        ]);
+        let result =
+            solver.solve_with_assumptions(&[!tot.at_least(2), Lit::negative(a), Lit::negative(b)]);
         assert_eq!(result, SolveResult::Unsat);
         let result = solver.solve_with_assumptions(&[!tot.at_least(2), Lit::negative(a)]);
         assert_eq!(result, SolveResult::Sat);

@@ -1,29 +1,29 @@
-//! Property-based tests: the MaxSAT solver against the brute-force
-//! optimum on random partial instances.
+//! Randomised tests: the MaxSAT solver against the brute-force optimum
+//! on random partial instances.
 
-use hqs_base::{Lit, Var};
+use hqs_base::{Lit, Rng, Var};
 use hqs_maxsat::{brute_force_optimum, MaxSatResult, MaxSatSolver};
-use proptest::prelude::*;
 
 const MAX_VARS: u32 = 6;
 
-fn arb_clauses(max_clauses: usize) -> impl Strategy<Value = Vec<Vec<Lit>>> {
-    prop::collection::vec(
-        prop::collection::vec(
-            (0..MAX_VARS, any::<bool>()).prop_map(|(v, n)| Lit::new(Var::new(v), n)),
-            1..4,
-        ),
-        0..max_clauses,
-    )
+fn random_clauses(rng: &mut Rng, max_clauses: usize) -> Vec<Vec<Lit>> {
+    (0..rng.gen_range(0..max_clauses))
+        .map(|_| {
+            (0..rng.gen_range(1..4usize))
+                .map(|_| Lit::new(Var::new(rng.gen_range(0..MAX_VARS)), rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// The solver's optimum equals the brute-force optimum, and the
-    /// returned model attains it.
-    #[test]
-    fn optimum_is_exact(hard in arb_clauses(8), soft in arb_clauses(8)) {
+/// The solver's optimum equals the brute-force optimum, and the
+/// returned model attains it.
+#[test]
+fn optimum_is_exact() {
+    for seed in 0..192u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let hard = random_clauses(&mut rng, 8);
+        let soft = random_clauses(&mut rng, 8);
         let expected = brute_force_optimum(MAX_VARS, &hard, &soft);
         let mut solver = MaxSatSolver::new();
         solver.ensure_vars(MAX_VARS);
@@ -35,31 +35,33 @@ proptest! {
         }
         match solver.solve() {
             MaxSatResult::Optimum { cost, model } => {
-                prop_assert_eq!(Some(cost), expected);
+                assert_eq!(Some(cost), expected, "seed {seed}");
                 // The model satisfies all hard clauses and violates exactly
-                // `cost`-or-fewer soft clauses (it could be better than the
-                // recomputed count only if counting were wrong).
+                // `cost` soft clauses.
                 for clause in &hard {
-                    prop_assert!(clause.iter().any(|&l| model.satisfies(l)));
+                    assert!(clause.iter().any(|&l| model.satisfies(l)), "seed {seed}");
                 }
                 let violated = soft
                     .iter()
                     .filter(|c| !c.iter().any(|&l| model.satisfies(l)))
                     .count();
-                prop_assert_eq!(violated, cost);
+                assert_eq!(violated, cost, "seed {seed}");
             }
-            MaxSatResult::Unsatisfiable => prop_assert_eq!(expected, None),
+            MaxSatResult::Unsatisfiable => assert_eq!(expected, None, "seed {seed}"),
         }
     }
+}
 
-    /// Adding a soft clause can increase the optimum by at most one.
-    #[test]
-    fn soft_clause_monotonicity(hard in arb_clauses(6), soft in arb_clauses(6),
-                                extra in prop::collection::vec(
-                                    (0..MAX_VARS, any::<bool>())
-                                        .prop_map(|(v, n)| Lit::new(Var::new(v), n)),
-                                    1..3))
-    {
+/// Adding a soft clause can increase the optimum by at most one.
+#[test]
+fn soft_clause_monotonicity() {
+    for seed in 0..192u64 {
+        let mut rng = Rng::seed_from_u64(0x1000 + seed);
+        let hard = random_clauses(&mut rng, 6);
+        let soft = random_clauses(&mut rng, 6);
+        let extra: Vec<Lit> = (0..rng.gen_range(1..3usize))
+            .map(|_| Lit::new(Var::new(rng.gen_range(0..MAX_VARS)), rng.gen_bool(0.5)))
+            .collect();
         let solve = |softs: &[Vec<Lit>]| -> Option<usize> {
             let mut solver = MaxSatSolver::new();
             solver.ensure_vars(MAX_VARS);
@@ -80,22 +82,23 @@ proptest! {
         let more = solve(&extended);
         match (base, more) {
             (Some(b), Some(m)) => {
-                prop_assert!(m >= b && m <= b + 1, "base {b}, extended {m}");
+                assert!(m >= b && m <= b + 1, "seed {seed}: base {b}, extended {m}");
             }
             (None, None) => {}
-            _ => prop_assert!(false, "hard clauses unchanged, feasibility must match"),
+            _ => panic!("seed {seed}: hard clauses unchanged, feasibility must match"),
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The two engines — linear search with totalizer, and core-guided
-    /// Fu–Malik — compute the same optimum.
-    #[test]
-    fn engines_agree(hard in arb_clauses(7), soft in arb_clauses(7)) {
-        use hqs_maxsat::FuMalikSolver;
+/// The two engines — linear search with totalizer, and core-guided
+/// Fu–Malik — compute the same optimum.
+#[test]
+fn engines_agree() {
+    use hqs_maxsat::FuMalikSolver;
+    for seed in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x2000 + seed);
+        let hard = random_clauses(&mut rng, 7);
+        let soft = random_clauses(&mut rng, 7);
         let mut linear = MaxSatSolver::new();
         let mut core_guided = FuMalikSolver::new();
         linear.ensure_vars(MAX_VARS);
@@ -116,6 +119,6 @@ proptest! {
             MaxSatResult::Optimum { cost, .. } => Some(cost),
             MaxSatResult::Unsatisfiable => None,
         };
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
 }

@@ -344,14 +344,8 @@ mod tests {
         let text = "INPUT(a)\nINPUT(b)\nOUTPUT(o1)\nOUTPUT(o2)\nOUTPUT(o3)\n\
                     o1 = XNOR(a, b)\no2 = NOR(a, b)\no3 = OR(a, b)\n";
         let n = parse_bench(text).unwrap();
-        assert_eq!(
-            n.eval_complete(&[true, true]),
-            vec![true, false, true]
-        );
-        assert_eq!(
-            n.eval_complete(&[false, false]),
-            vec![true, true, false]
-        );
+        assert_eq!(n.eval_complete(&[true, true]), vec![true, false, true]);
+        assert_eq!(n.eval_complete(&[false, false]), vec![true, true, false]);
     }
 
     #[test]

@@ -371,9 +371,8 @@ mod tests {
     /// DQBF encoding.
     #[test]
     fn encoding_matches_brute_force_realizability() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(515);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(515);
         for round in 0..40 {
             // Complete circuit: 2 inputs; g1 = op1(a,b), g2 = op2(g1, a),
             // out = op3(g2, b). Boxes will replace g1 and g2 in the impl.

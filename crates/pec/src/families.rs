@@ -8,9 +8,8 @@
 
 use crate::encode::encode_pec;
 use crate::netlist::Netlist;
+use hqs_base::Rng;
 use hqs_core::Dqbf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -110,7 +109,7 @@ impl Scale {
 /// specification.
 #[must_use]
 pub fn generate(family: Family, size: u32, num_boxes: u32, seed: u64, fault: bool) -> PecInstance {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
     let size = size.max(2);
     let builder: fn(u32, &HashSet<u32>) -> Netlist = match family {
         Family::Adder => adder,
@@ -135,10 +134,7 @@ pub fn generate(family: Family, size: u32, num_boxes: u32, seed: u64, fault: boo
         // fixable); retry a few times to find a gate.
         let mut site = rng.gen_range(0..complete.signals().len());
         for _ in 0..16 {
-            if matches!(
-                complete.signals()[site],
-                crate::netlist::Signal::Gate(_)
-            ) {
+            if matches!(complete.signals()[site], crate::netlist::Signal::Gate(_)) {
                 break;
             }
             site = rng.gen_range(0..complete.signals().len());

@@ -152,11 +152,7 @@ impl Netlist {
 
     /// Adds a black box with the given input cut and `num_outputs` fresh
     /// hole signals; returns the hole signal ids.
-    pub fn add_black_box(
-        &mut self,
-        inputs: Vec<SignalId>,
-        num_outputs: usize,
-    ) -> Vec<SignalId> {
+    pub fn add_black_box(&mut self, inputs: Vec<SignalId>, num_outputs: usize) -> Vec<SignalId> {
         let box_id = self.boxes.len();
         let mut holes = Vec::with_capacity(num_outputs);
         for out_idx in 0..num_outputs {
@@ -449,8 +445,7 @@ mod tests {
         assert_eq!(carved.boxes()[0].inputs, vec![a, b]);
         assert_eq!(carved.boxes()[0].outputs, vec![g]);
         // Filling the box with AND restores the original function.
-        let filled =
-            carved.eval_with_boxes(&[true, true], |_, _, cut| cut.iter().all(|&v| v));
+        let filled = carved.eval_with_boxes(&[true, true], |_, _, cut| cut.iter().all(|&v| v));
         assert_eq!(filled, n.eval_complete(&[true, true]));
         // Original netlist untouched.
         assert!(n.boxes().is_empty());

@@ -1,11 +1,11 @@
-//! Property-based tests of the PEC layer: netlist evaluation laws, fault
+//! Randomised tests of the PEC layer: netlist evaluation laws, fault
 //! injection semantics and encoding/realizability agreement on random
 //! circuits.
 
+use hqs_base::Rng;
 use hqs_core::expand::is_satisfiable_by_expansion;
 use hqs_pec::encode::encode_pec;
 use hqs_pec::Netlist;
-use proptest::prelude::*;
 
 /// A recipe for a small random 2-input-gate circuit over 3 primary
 /// inputs.
@@ -14,9 +14,17 @@ struct Recipe {
     gates: Vec<(u8, u8, u8)>, // (op, fanin pick, fanin pick)
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    prop::collection::vec((0u8..4, any::<u8>(), any::<u8>()), 1..8)
-        .prop_map(|gates| Recipe { gates })
+fn random_recipe(rng: &mut Rng) -> Recipe {
+    let gates = (0..rng.gen_range(1..8usize))
+        .map(|_| {
+            (
+                rng.gen_range(0..4u8),
+                rng.gen_range(0..=255u8),
+                rng.gen_range(0..=255u8),
+            )
+        })
+        .collect();
+    Recipe { gates }
 }
 
 const NUM_INPUTS: usize = 3;
@@ -35,19 +43,19 @@ fn build(recipe: &Recipe) -> Netlist {
         };
         pool.push(out);
     }
-    n.add_output(*pool.last().unwrap());
+    let last = *pool.last().expect("pool starts non-empty");
+    n.add_output(last);
     n
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Fault injection semantics: the faulted circuit equals the original
-    /// with the chosen signal complemented for all readers.
-    #[test]
-    fn fault_injection_semantics(recipe in arb_recipe(), site_pick in any::<u8>()) {
-        let n = build(&recipe);
-        let site = site_pick as usize % n.signals().len();
+/// Fault injection semantics: the faulted circuit equals the original
+/// with the chosen signal complemented for all readers.
+#[test]
+fn fault_injection_semantics() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = build(&random_recipe(&mut rng));
+        let site = rng.gen_range(0..n.signals().len());
         let faulty = n.with_fault(site);
         // Differential check: simulate both; the faulted one must equal a
         // re-evaluation where the site's value is inverted downstream.
@@ -55,46 +63,56 @@ proptest! {
             let ins: Vec<bool> = (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect();
             let original = n.eval_complete(&ins);
             let faulted = faulty.eval_complete(&ins);
-            prop_assert_eq!(original.len(), faulted.len());
+            assert_eq!(original.len(), faulted.len(), "seed {seed}");
             // At minimum: if the site is the output itself, outputs flip.
             if n.outputs()[0] == site {
-                prop_assert_eq!(original[0], !faulted[0]);
+                assert_eq!(original[0], !faulted[0], "seed {seed}");
             }
         }
     }
+}
 
-    /// A self-PEC with no boxes is always realizable (the encoding reduces
-    /// to validity of I ≡ I), and against its faulted self it is
-    /// unrealizable whenever the fault is observable.
-    #[test]
-    fn self_equivalence_is_realizable(recipe in arb_recipe()) {
-        let n = build(&recipe);
+/// A self-PEC with no boxes is always realizable (the encoding reduces
+/// to validity of I ≡ I).
+#[test]
+fn self_equivalence_is_realizable() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x1000 + seed);
+        let n = build(&random_recipe(&mut rng));
         let dqbf = encode_pec(&n, &n);
-        prop_assert!(is_satisfiable_by_expansion(&dqbf));
+        assert!(is_satisfiable_by_expansion(&dqbf), "seed {seed}");
     }
+}
 
-    /// Carving a box out of the complete circuit and checking against the
-    /// original is always realizable — the carved logic is a witness.
-    #[test]
-    fn carving_preserves_realizability(recipe in arb_recipe(), cut_pick in any::<u8>()) {
-        let complete = build(&recipe);
+/// Carving a box out of the complete circuit and checking against the
+/// original is always realizable — the carved logic is a witness.
+#[test]
+fn carving_preserves_realizability() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x2000 + seed);
+        let complete = build(&random_recipe(&mut rng));
         // Re-build with the last gate replaced by a black box whose cut is
         // that gate's transitive inputs (conservative: all primary inputs).
         let mut incomplete = Netlist::new("carved");
         let inputs: Vec<usize> = (0..NUM_INPUTS).map(|_| incomplete.add_input()).collect();
-        let _ = cut_pick;
         let holes = incomplete.add_black_box(inputs.clone(), 1);
         incomplete.add_output(holes[0]);
         let dqbf = encode_pec(&complete, &incomplete);
-        prop_assert!(is_satisfiable_by_expansion(&dqbf),
-            "a box over all inputs can implement any spec output");
+        assert!(
+            is_satisfiable_by_expansion(&dqbf),
+            "seed {seed}: a box over all inputs can implement any spec output"
+        );
     }
+}
 
-    /// Realizability is monotone in the cut: widening a box's view can
-    /// never turn a realizable instance unrealizable.
-    #[test]
-    fn wider_cut_is_monotone(recipe in arb_recipe(), narrow_pick in 0usize..NUM_INPUTS) {
-        let complete = build(&recipe);
+/// Realizability is monotone in the cut: widening a box's view can
+/// never turn a realizable instance unrealizable.
+#[test]
+fn wider_cut_is_monotone() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::seed_from_u64(0x3000 + seed);
+        let complete = build(&random_recipe(&mut rng));
+        let narrow_pick = rng.gen_range(0..NUM_INPUTS);
         let make_impl = |cut: Vec<usize>| {
             let mut imp = Netlist::new("imp");
             let ins: Vec<usize> = (0..NUM_INPUTS).map(|_| imp.add_input()).collect();
@@ -108,7 +126,10 @@ proptest! {
         let narrow_result = is_satisfiable_by_expansion(&encode_pec(&complete, &narrow));
         if narrow_result {
             let wide_result = is_satisfiable_by_expansion(&encode_pec(&complete, &wide));
-            prop_assert!(wide_result, "widening the cut lost realizability");
+            assert!(
+                wide_result,
+                "seed {seed}: widening the cut lost realizability"
+            );
         }
     }
 }

@@ -131,7 +131,7 @@ impl SearchSolver {
     /// Recursive QDPLL over `self.order[depth..]`.
     fn search(&mut self, depth: usize, assignment: &mut Assignment) -> bool {
         if self.aborted
-            || (self.stats.decisions % 1024 == 0 && self.budget.time_exhausted())
+            || (self.stats.decisions.is_multiple_of(1024) && self.budget.time_exhausted())
         {
             self.aborted = true;
             return false; // value is ignored once aborted
@@ -254,11 +254,7 @@ impl SearchSolver {
     /// One full clause scan: applies every QBF unit found (recording the
     /// assigned variables on `trail`), detects falsified clauses and a
     /// satisfied matrix.
-    fn propagate_scan(
-        &mut self,
-        assignment: &mut Assignment,
-        trail: &mut Vec<Var>,
-    ) -> Propagation {
+    fn propagate_scan(&mut self, assignment: &mut Assignment, trail: &mut Vec<Var>) -> Propagation {
         let mut all_true = true;
         let mut progress = false;
         for clause in &self.clauses {
@@ -292,8 +288,7 @@ impl SearchSolver {
                 .copied()
                 .filter(|l| {
                     let (q, d) = self.quantifier[&l.var()];
-                    q == Quantifier::Existential
-                        || max_exist_depth.is_some_and(|m| d < m)
+                    q == Quantifier::Existential || max_exist_depth.is_some_and(|m| d < m)
                 })
                 .collect();
             if effective.len() < unassigned.len() {
@@ -373,17 +368,15 @@ mod tests {
         // clauses reduce to universal units ⇒ conflict without branching
         // over x.
         let mut solver = SearchSolver::new();
-        let file =
-            parse_qdimacs("p cnf 2 3\ne 2 0\na 1 0\n1 -2 0\n-1 -2 0\n2 0\n").unwrap();
+        let file = parse_qdimacs("p cnf 2 3\ne 2 0\na 1 0\n1 -2 0\n-1 -2 0\n2 0\n").unwrap();
         assert!(!solver.solve_file(&file));
         assert_eq!(solver.stats().decisions, 0);
     }
 
     #[test]
     fn agrees_with_oracle_and_elimination_solver() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(31337);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(31337);
         for round in 0..120 {
             let num_vars = rng.gen_range(2..=6u32);
             let mut text = format!("p cnf {num_vars} 0\n");
@@ -396,8 +389,7 @@ mod tests {
             let mut prefix_lines = String::new();
             while pos < order.len() {
                 let take = rng.gen_range(1..=order.len() - pos);
-                let vars: Vec<String> =
-                    order[pos..pos + take].iter().map(u32::to_string).collect();
+                let vars: Vec<String> = order[pos..pos + take].iter().map(u32::to_string).collect();
                 prefix_lines.push_str(&format!("{q} {} 0\n", vars.join(" ")));
                 q = if q == "a" { "e" } else { "a" };
                 pos += take;

@@ -82,10 +82,7 @@ impl QbfSolver {
             quantified.extend(block.vars.iter().copied());
         }
         let support = aig.support(root);
-        let free: Vec<Var> = support
-            .iter()
-            .filter(|v| !quantified.contains(v))
-            .collect();
+        let free: Vec<Var> = support.iter().filter(|v| !quantified.contains(v)).collect();
         let mut prefix = Prefix::new();
         prefix.push_block(Quantifier::Existential, free);
         for block in &file.blocks {
@@ -167,10 +164,16 @@ impl QbfSolver {
                     (Quantifier::Universal, VarStatus::PositiveUnit | VarStatus::NegativeUnit) => {
                         return Some(QbfResult::Unsat);
                     }
-                    (Quantifier::Existential, VarStatus::PositiveUnit | VarStatus::PositivePure) => {
+                    (
+                        Quantifier::Existential,
+                        VarStatus::PositiveUnit | VarStatus::PositivePure,
+                    ) => {
                         *root = aig.cofactor(*root, var, true);
                     }
-                    (Quantifier::Existential, VarStatus::NegativeUnit | VarStatus::NegativePure) => {
+                    (
+                        Quantifier::Existential,
+                        VarStatus::NegativeUnit | VarStatus::NegativePure,
+                    ) => {
                         *root = aig.cofactor(*root, var, false);
                     }
                     (Quantifier::Universal, VarStatus::PositivePure) => {
@@ -279,10 +282,7 @@ mod tests {
     #[test]
     fn propositional_fallback() {
         assert_eq!(solve_text("p cnf 2 2\n1 2 0\n-1 2 0\n"), QbfResult::Sat);
-        assert_eq!(
-            solve_text("p cnf 1 2\n1 0\n-1 0\n"),
-            QbfResult::Unsat
-        );
+        assert_eq!(solve_text("p cnf 1 2\n1 0\n-1 0\n"), QbfResult::Unsat);
     }
 
     #[test]
@@ -309,10 +309,8 @@ mod tests {
 
     #[test]
     fn budget_memout_reported() {
-        let file = parse_qdimacs(
-            "p cnf 4 3\na 1 2 0\ne 3 4 0\n1 2 3 0\n-1 -2 4 0\n1 -3 -4 0\n",
-        )
-        .unwrap();
+        let file =
+            parse_qdimacs("p cnf 4 3\na 1 2 0\ne 3 4 0\n1 2 3 0\n-1 -2 4 0\n1 -3 -4 0\n").unwrap();
         let mut solver = QbfSolver::new();
         solver.set_budget(Budget::new().with_node_limit(1));
         assert_eq!(
@@ -323,9 +321,8 @@ mod tests {
 
     #[test]
     fn agrees_with_brute_force_on_random_small_qbfs() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(2015);
+        use hqs_base::Rng;
+        let mut rng = Rng::seed_from_u64(2015);
         for round in 0..150 {
             let num_vars = rng.gen_range(2..=6u32);
             let num_clauses = rng.gen_range(1..=10usize);
@@ -340,8 +337,7 @@ mod tests {
             let mut quantifier = if rng.gen_bool(0.5) { "a" } else { "e" };
             while pos < order.len() {
                 let take = rng.gen_range(1..=order.len() - pos);
-                let vars: Vec<String> =
-                    order[pos..pos + take].iter().map(u32::to_string).collect();
+                let vars: Vec<String> = order[pos..pos + take].iter().map(u32::to_string).collect();
                 text.push_str(&format!("{quantifier} {} 0\n", vars.join(" ")));
                 quantifier = if quantifier == "a" { "e" } else { "a" };
                 pos += take;

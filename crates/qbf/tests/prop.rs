@@ -1,126 +1,114 @@
-//! Property-based tests: the elimination-based QBF solver against the
+//! Randomised tests: the elimination-based QBF solver against the
 //! brute-force expansion oracle on random prefixes and matrices.
 
-use hqs_base::{Lit, Var};
+use hqs_base::{Lit, Rng, Var};
 use hqs_cnf::{Clause, Cnf, QdimacsFile, QuantBlock, Quantifier};
 use hqs_qbf::{reference, QbfResult, QbfSolver};
-use proptest::prelude::*;
 
 const MAX_VARS: u32 = 6;
+const CASES: u64 = 192;
 
-#[derive(Clone, Debug)]
-struct RandomQbf {
-    file: QdimacsFile,
+fn random_qbf(rng: &mut Rng) -> QdimacsFile {
+    // Random variable order, chunked into alternating quantifier blocks.
+    let mut order: Vec<u32> = (0..MAX_VARS).collect();
+    rng.shuffle(&mut order);
+    let mut blocks: Vec<QuantBlock> = Vec::new();
+    let mut quantifier = if rng.gen_bool(0.5) {
+        Quantifier::Universal
+    } else {
+        Quantifier::Existential
+    };
+    let mut current: Vec<Var> = Vec::new();
+    for (i, &var) in order.iter().enumerate() {
+        current.push(Var::new(var));
+        if rng.gen_bool(0.5) || i + 1 == order.len() {
+            blocks.push(QuantBlock {
+                quantifier,
+                vars: std::mem::take(&mut current),
+            });
+            quantifier = quantifier.flipped();
+        }
+    }
+    let mut matrix = Cnf::new(MAX_VARS);
+    for _ in 0..rng.gen_range(1..10usize) {
+        let len = rng.gen_range(1..4usize);
+        let lits =
+            (0..len).map(|_| Lit::new(Var::new(rng.gen_range(0..MAX_VARS)), rng.gen_bool(0.5)));
+        matrix.add_clause(Clause::from_lits(lits));
+    }
+    QdimacsFile { blocks, matrix }
 }
 
-fn arb_qbf() -> impl Strategy<Value = RandomQbf> {
-    (
-        // Permutation seed for variable order, block split pattern,
-        // quantifier of the first block, clauses.
-        prop::collection::vec(0usize..100, MAX_VARS as usize),
-        prop::collection::vec(any::<bool>(), MAX_VARS as usize),
-        any::<bool>(),
-        prop::collection::vec(
-            prop::collection::vec(
-                (0..MAX_VARS, any::<bool>()).prop_map(|(v, n)| Lit::new(Var::new(v), n)),
-                1..4,
-            ),
-            1..10,
-        ),
-    )
-        .prop_map(|(perm, splits, first_universal, clause_lits)| {
-            // Build a permutation of 0..MAX_VARS.
-            let mut order: Vec<u32> = (0..MAX_VARS).collect();
-            for (i, &p) in perm.iter().enumerate() {
-                let j = p % (i + 1);
-                order.swap(i, j);
-            }
-            // Chunk into alternating blocks according to `splits`.
-            let mut blocks: Vec<QuantBlock> = Vec::new();
-            let mut quantifier = if first_universal {
-                Quantifier::Universal
-            } else {
-                Quantifier::Existential
-            };
-            let mut current: Vec<Var> = Vec::new();
-            for (i, &var) in order.iter().enumerate() {
-                current.push(Var::new(var));
-                if splits[i] || i + 1 == order.len() {
-                    blocks.push(QuantBlock {
-                        quantifier,
-                        vars: std::mem::take(&mut current),
-                    });
-                    quantifier = quantifier.flipped();
-                }
-            }
-            let mut matrix = Cnf::new(MAX_VARS);
-            for lits in clause_lits {
-                matrix.add_clause(Clause::from_lits(lits));
-            }
-            RandomQbf {
-                file: QdimacsFile { blocks, matrix },
-            }
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// The solver agrees with brute-force expansion on random QBFs.
-    #[test]
-    fn solver_matches_oracle(qbf in arb_qbf()) {
-        let expected = if reference::eval_qdimacs(&qbf.file) {
+/// The solver agrees with brute-force expansion on random QBFs.
+#[test]
+fn solver_matches_oracle() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let file = random_qbf(&mut rng);
+        let expected = if reference::eval_qdimacs(&file) {
             QbfResult::Sat
         } else {
             QbfResult::Unsat
         };
-        let got = QbfSolver::new().solve_file(&qbf.file);
-        prop_assert_eq!(got, expected, "{:?}", qbf.file);
+        let got = QbfSolver::new().solve_file(&file);
+        assert_eq!(got, expected, "seed {seed}: {file:?}");
     }
+}
 
-    /// FRAIG-enabled solving never changes the verdict.
-    #[test]
-    fn fraig_mode_agrees(qbf in arb_qbf()) {
-        let plain = QbfSolver::new().solve_file(&qbf.file);
+/// FRAIG-enabled solving never changes the verdict.
+#[test]
+fn fraig_mode_agrees() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1000 + seed);
+        let file = random_qbf(&mut rng);
+        let plain = QbfSolver::new().solve_file(&file);
         let mut sweeping = QbfSolver::new();
         sweeping.set_fraig_threshold(1);
-        let swept = sweeping.solve_file(&qbf.file);
-        prop_assert_eq!(plain, swept);
+        let swept = sweeping.solve_file(&file);
+        assert_eq!(plain, swept, "seed {seed}");
     }
+}
 
-    /// Adding a tautological clause never changes the verdict.
-    #[test]
-    fn tautologies_are_inert(qbf in arb_qbf(), var in 0..MAX_VARS) {
-        let before = QbfSolver::new().solve_file(&qbf.file);
-        let mut extended = qbf.file.clone();
+/// Adding a tautological clause never changes the verdict.
+#[test]
+fn tautologies_are_inert() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x2000 + seed);
+        let file = random_qbf(&mut rng);
+        let var = rng.gen_range(0..MAX_VARS);
+        let before = QbfSolver::new().solve_file(&file);
+        let mut extended = file.clone();
         extended.matrix.add_clause(Clause::from_lits([
             Lit::positive(Var::new(var)),
             Lit::negative(Var::new(var)),
         ]));
         let after = QbfSolver::new().solve_file(&extended);
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "seed {seed}");
     }
+}
 
-    /// Widening a dependency (moving an existential inward) can only help:
-    /// if the original is Sat, the widened prefix stays Sat.
-    #[test]
-    fn inward_existential_monotonicity(qbf in arb_qbf()) {
+/// Widening a dependency (moving an existential inward) can only help:
+/// if the original is Sat, the widened prefix stays Sat.
+#[test]
+fn inward_existential_monotonicity() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x3000 + seed);
+        let file = random_qbf(&mut rng);
         // Move the outermost existential block to the innermost position.
-        let Some(pos) = qbf
-            .file
+        let Some(pos) = file
             .blocks
             .iter()
             .position(|b| b.quantifier == Quantifier::Existential)
         else {
-            return Ok(());
+            continue;
         };
-        let mut moved = qbf.file.clone();
+        let mut moved = file.clone();
         let block = moved.blocks.remove(pos);
         moved.blocks.push(block);
-        let original = QbfSolver::new().solve_file(&qbf.file);
+        let original = QbfSolver::new().solve_file(&file);
         let widened = QbfSolver::new().solve_file(&moved);
         if original == QbfResult::Sat {
-            prop_assert_eq!(widened, QbfResult::Sat);
+            assert_eq!(widened, QbfResult::Sat, "seed {seed}");
         }
     }
 }

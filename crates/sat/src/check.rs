@@ -1,0 +1,418 @@
+//! Runtime structural-invariant audit of the CDCL solver.
+//!
+//! Two-watched-literal propagation is only sound while the solver keeps
+//! its bookkeeping consistent: the trail and the per-variable
+//! assignment/level/reason arrays must agree, every live clause must be
+//! watched on exactly its first two literals, and — once propagation has
+//! drained the queue — no clause may have both watched literals false
+//! (that would be a conflict the propagation loop missed, which also
+//! rules out fully falsified clauses going unnoticed).
+//!
+//! [`Solver::check_invariants`] audits all of this in one pass; the
+//! mutating operations (backtracking, database reduction, the end of
+//! every `solve` call) re-run it under `debug_assert!`, so corruption is
+//! caught at the mutation site in debug and `-C debug-assertions`
+//! builds.
+
+use crate::solver::{Lbool, Solver, NO_REASON};
+use hqs_base::InvariantViolation;
+
+impl Solver {
+    /// Audits every structural invariant of the solver.
+    ///
+    /// Checked, in one pass over the trail, the clause database and the
+    /// watch lists:
+    ///
+    /// 1. **trail** — decision-level boundaries are monotone and in
+    ///    bounds; every trail literal is assigned true, carries the
+    ///    decision level of its trail segment, and appears once; the
+    ///    number of assigned variables equals the trail length;
+    ///    unassigned variables have no reason clause.
+    /// 2. **reason** — the reason clause of a propagated literal is
+    ///    live and has that literal in first position.
+    /// 3. **clauses** — live clauses have at least two literals and no
+    ///    repeated variable.
+    /// 4. **watches** — every live clause is watched exactly twice, on
+    ///    its first two literals, and each watch's blocker is a literal
+    ///    of the clause (stale entries for deleted clauses are
+    ///    tolerated: the propagation loop drops them lazily).
+    /// 5. **propagation** — when the queue is drained (`qhead` at the
+    ///    trail end) and no top-level conflict is recorded, no live
+    ///    clause has both watched literals false.
+    ///
+    /// Returns the first violation found. Runs in
+    /// `O(vars + clause literals + watch entries)`.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let err = |component, detail| Err(InvariantViolation::new(component, detail));
+        let num_vars = self.assigns.len();
+
+        // Trail structure: monotone level boundaries, queue head in range.
+        if self.qhead > self.trail.len() {
+            return err(
+                "trail",
+                format!("qhead {} past trail end {}", self.qhead, self.trail.len()),
+            );
+        }
+        for (d, w) in self.trail_lim.windows(2).enumerate() {
+            if w[0] > w[1] {
+                return err(
+                    "trail",
+                    format!(
+                        "level boundaries not monotone at level {}: {} > {}",
+                        d + 1,
+                        w[0],
+                        w[1]
+                    ),
+                );
+            }
+        }
+        if let Some(&last) = self.trail_lim.last() {
+            if last > self.trail.len() {
+                return err(
+                    "trail",
+                    format!("level boundary {last} past trail end {}", self.trail.len()),
+                );
+            }
+        }
+
+        // Trail literals: assigned true, correct segment level, no repeats,
+        // live reasons with the literal in first position.
+        let mut on_trail = vec![false; num_vars];
+        let mut next_lim = 0usize;
+        for (pos, &lit) in self.trail.iter().enumerate() {
+            let var = lit.var().index() as usize;
+            if var >= num_vars {
+                return err(
+                    "trail",
+                    format!("trail literal {lit:?} names an unallocated variable"),
+                );
+            }
+            if on_trail[var] {
+                return err(
+                    "trail",
+                    format!("variable of {lit:?} appears twice on the trail"),
+                );
+            }
+            on_trail[var] = true;
+            if self.value(lit) != Lbool::True {
+                return err(
+                    "trail",
+                    format!("trail literal {lit:?} is not assigned true"),
+                );
+            }
+            while next_lim < self.trail_lim.len() && self.trail_lim[next_lim] <= pos {
+                next_lim += 1;
+            }
+            if self.level[var] as usize != next_lim {
+                return err(
+                    "trail",
+                    format!(
+                        "trail literal {lit:?} at position {pos} has level {} but lies in \
+                         segment {next_lim}",
+                        self.level[var]
+                    ),
+                );
+            }
+            let reason = self.reason[var];
+            if reason != NO_REASON {
+                let Some(clause) = self.clauses.get(reason as usize) else {
+                    return err(
+                        "reason",
+                        format!("{lit:?} has out-of-range reason clause {reason}"),
+                    );
+                };
+                if clause.deleted {
+                    return err(
+                        "reason",
+                        format!("{lit:?} has a deleted reason clause {reason}"),
+                    );
+                }
+                if clause.lits.first() != Some(&lit) {
+                    return err(
+                        "reason",
+                        format!("reason clause {reason} of {lit:?} does not lead with it"),
+                    );
+                }
+            }
+        }
+        let assigned = self.assigns.iter().filter(|&&a| a != Lbool::Undef).count();
+        if assigned != self.trail.len() {
+            return err(
+                "trail",
+                format!(
+                    "{assigned} variables assigned but the trail holds {}",
+                    self.trail.len()
+                ),
+            );
+        }
+        for (var, &tracked) in on_trail.iter().enumerate().take(num_vars) {
+            if !tracked && self.reason[var] != NO_REASON {
+                return err(
+                    "reason",
+                    format!(
+                        "unassigned variable {var} retains reason clause {}",
+                        self.reason[var]
+                    ),
+                );
+            }
+        }
+
+        // Clause shape, then watch coverage: two watches per live clause,
+        // on its first two literals.
+        for (idx, clause) in self.clauses.iter().enumerate() {
+            if clause.deleted {
+                continue;
+            }
+            if clause.lits.len() < 2 {
+                return err(
+                    "clauses",
+                    format!("live clause {idx} has fewer than two literals"),
+                );
+            }
+            let mut vars: Vec<u32> = clause.lits.iter().map(|l| l.var().index()).collect();
+            vars.sort_unstable();
+            if vars.windows(2).any(|w| w[0] == w[1]) {
+                return err("clauses", format!("live clause {idx} repeats a variable"));
+            }
+        }
+        let mut watch_count = vec![0u32; self.clauses.len()];
+        for (code, list) in self.watches.iter().enumerate() {
+            for watch in list {
+                let Some(clause) = self.clauses.get(watch.clause as usize) else {
+                    return err(
+                        "watches",
+                        format!(
+                            "watch entry references out-of-range clause {}",
+                            watch.clause
+                        ),
+                    );
+                };
+                if clause.deleted {
+                    continue; // lazily dropped by the propagation loop
+                }
+                let watched_lit = clause.lits[..2].iter().any(|l| l.code() as usize == code);
+                if !watched_lit {
+                    return err(
+                        "watches",
+                        format!(
+                            "clause {} watched on a literal outside its first two positions",
+                            watch.clause
+                        ),
+                    );
+                }
+                if !clause.lits.contains(&watch.blocker) {
+                    return err(
+                        "watches",
+                        format!(
+                            "blocker {:?} is not a literal of clause {}",
+                            watch.blocker, watch.clause
+                        ),
+                    );
+                }
+                watch_count[watch.clause as usize] += 1;
+            }
+        }
+        for (idx, clause) in self.clauses.iter().enumerate() {
+            if !clause.deleted && watch_count[idx] != 2 {
+                return err(
+                    "watches",
+                    format!(
+                        "live clause {idx} has {} watch entries, expected 2",
+                        watch_count[idx]
+                    ),
+                );
+            }
+        }
+
+        // With the propagation queue drained and no recorded top-level
+        // conflict, a clause whose two watched literals are both false is
+        // a conflict propagation failed to notice.
+        if self.ok && self.qhead == self.trail.len() {
+            for (idx, clause) in self.clauses.iter().enumerate() {
+                if clause.deleted {
+                    continue;
+                }
+                if self.value(clause.lits[0]) == Lbool::False
+                    && self.value(clause.lits[1]) == Lbool::False
+                {
+                    return err(
+                        "propagation",
+                        format!("clause {idx} has both watched literals false after propagation"),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics with the violation if the full audit fails; used by the
+    /// `debug_assert!` hooks and by paranoid callers in release builds.
+    pub fn assert_invariants(&self, context: &str) {
+        if let Err(violation) = self.check_invariants() {
+            panic!("SAT solver invariant violated {context}: {violation}");
+        }
+    }
+
+    /// Full audit compiled to a no-op unless debug assertions are on;
+    /// called after backtracking, database reduction and every solve.
+    pub(crate) fn debug_audit(&self, context: &str) {
+        if cfg!(debug_assertions) {
+            self.assert_invariants(context);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::solver::{Lbool, NO_REASON};
+    use crate::{SolveResult, Solver};
+    use hqs_base::Lit;
+
+    fn lit(value: i64) -> Lit {
+        Lit::from_dimacs(value).unwrap()
+    }
+
+    fn sample() -> Solver {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2), lit(3)]);
+        s.add_clause([lit(-1), lit(2)]);
+        s.add_clause([lit(-2), lit(3)]);
+        s
+    }
+
+    #[test]
+    fn healthy_solver_passes() {
+        let s = sample();
+        assert_eq!(s.check_invariants(), Ok(()));
+        assert_eq!(Solver::new().check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn invariants_hold_after_solving() {
+        // A conflict-heavy instance exercises learning, backtracking and
+        // restarts; the state must still audit cleanly afterwards.
+        let n = 5i64;
+        let holes = 4i64;
+        let var = |p: i64, h: i64| (p - 1) * holes + h;
+        let mut s = Solver::new();
+        for p in 1..=n {
+            s.add_clause((1..=holes).map(|h| lit(var(p, h))));
+        }
+        for h in 1..=holes {
+            for p1 in 1..=n {
+                for p2 in (p1 + 1)..=n {
+                    s.add_clause([lit(-var(p1, h)), lit(-var(p2, h))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn missing_watch_entry_is_caught() {
+        let mut s = sample();
+        let list = s
+            .watches
+            .iter_mut()
+            .find(|l| !l.is_empty())
+            .expect("sample has watches");
+        list.pop();
+        let violation = s.check_invariants().expect_err("missing watch undetected");
+        assert_eq!(violation.component(), "watches");
+    }
+
+    #[test]
+    fn watch_on_wrong_literal_is_caught() {
+        let mut s = sample();
+        // Move one watch entry to a list none of the clause's first two
+        // literals index.
+        let entry = s
+            .watches
+            .iter_mut()
+            .find_map(|l| l.pop())
+            .expect("sample has watches");
+        let wrong = s.clauses[entry.clause as usize].lits[2].code() as usize ^ 1;
+        s.watches[wrong].push(entry);
+        let violation = s
+            .check_invariants()
+            .expect_err("misplaced watch undetected");
+        assert_eq!(violation.component(), "watches");
+    }
+
+    #[test]
+    fn trail_level_disagreement_is_caught() {
+        let mut s = sample();
+        // Hand-enqueue a level-0 literal, then corrupt its level.
+        let l = lit(1);
+        s.assigns[0] = Lbool::True;
+        s.trail.push(l);
+        s.qhead = s.trail.len();
+        assert_eq!(s.check_invariants(), Ok(()));
+        s.level[0] = 3;
+        let violation = s.check_invariants().expect_err("level mismatch undetected");
+        assert_eq!(violation.component(), "trail");
+    }
+
+    #[test]
+    fn assigned_variable_off_trail_is_caught() {
+        let mut s = sample();
+        s.assigns[2] = Lbool::True; // assigned but never enqueued
+        let violation = s
+            .check_invariants()
+            .expect_err("ghost assignment undetected");
+        assert_eq!(violation.component(), "trail");
+    }
+
+    #[test]
+    fn stale_reason_is_caught() {
+        let mut s = sample();
+        s.reason[1] = 0; // unassigned variable with a reason clause
+        let violation = s.check_invariants().expect_err("stale reason undetected");
+        assert_eq!(violation.component(), "reason");
+    }
+
+    #[test]
+    fn falsified_watched_pair_is_caught() {
+        let mut s = sample();
+        // Falsify both watched literals of clause 0 by hand-building a
+        // consistent level-0 trail, bypassing propagation.
+        for l in [lit(-1), lit(-2)] {
+            let var = l.var().index() as usize;
+            s.assigns[var] = if l.is_positive() {
+                Lbool::True
+            } else {
+                Lbool::False
+            };
+            s.trail.push(l);
+        }
+        s.qhead = s.trail.len();
+        let violation = s
+            .check_invariants()
+            .expect_err("missed conflict undetected");
+        assert_eq!(violation.component(), "propagation");
+    }
+
+    #[test]
+    fn deleted_clause_watches_are_tolerated() {
+        let mut s = sample();
+        s.clauses[0].deleted = true;
+        s.clauses[0].lits.clear();
+        // Watch entries for the deleted clause linger; the propagation
+        // loop drops them lazily, so the audit must accept them.
+        assert_eq!(s.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "SAT solver invariant violated")]
+    fn assert_invariants_panics_on_corruption() {
+        let mut s = sample();
+        s.reason[0] = NO_REASON - 1;
+        s.level[0] = 0;
+        s.assigns[0] = Lbool::True;
+        s.trail.push(lit(1));
+        s.qhead = s.trail.len();
+        s.assert_invariants("in test");
+    }
+}

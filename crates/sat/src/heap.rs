@@ -49,7 +49,7 @@ impl VarOrder {
     /// Removes and returns the variable with maximum activity.
     pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
         let top = *self.heap.first()?;
-        let last = self.heap.pop().expect("non-empty");
+        let last = self.heap.pop()?;
         self.index[top as usize] = NOT_IN;
         if !self.heap.is_empty() {
             self.heap[0] = last;

@@ -30,9 +30,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod check;
 mod heap;
 mod luby;
 pub mod reference;
 mod solver;
 
+pub use hqs_base::InvariantViolation;
 pub use solver::{SolveResult, Solver, SolverStats};

@@ -36,7 +36,7 @@ pub struct SolverStats {
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(u8)]
-enum Lbool {
+pub(crate) enum Lbool {
     False = 0,
     True = 1,
     Undef = 2,
@@ -54,21 +54,21 @@ impl Lbool {
 }
 
 #[derive(Clone, Debug)]
-struct ClauseData {
-    lits: Vec<Lit>,
+pub(crate) struct ClauseData {
+    pub(crate) lits: Vec<Lit>,
     learnt: bool,
-    deleted: bool,
+    pub(crate) deleted: bool,
     activity: f64,
     lbd: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
-struct Watch {
-    clause: u32,
-    blocker: Lit,
+pub(crate) struct Watch {
+    pub(crate) clause: u32,
+    pub(crate) blocker: Lit,
 }
 
-const NO_REASON: u32 = u32::MAX;
+pub(crate) const NO_REASON: u32 = u32::MAX;
 
 /// A CDCL SAT solver.
 ///
@@ -91,22 +91,22 @@ const NO_REASON: u32 = u32::MAX;
 /// assert_eq!(s.solve(), SolveResult::Sat);
 /// ```
 pub struct Solver {
-    clauses: Vec<ClauseData>,
+    pub(crate) clauses: Vec<ClauseData>,
     learnt_indices: Vec<u32>,
-    watches: Vec<Vec<Watch>>,
-    assigns: Vec<Lbool>,
-    level: Vec<u32>,
-    reason: Vec<u32>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    qhead: usize,
+    pub(crate) watches: Vec<Vec<Watch>>,
+    pub(crate) assigns: Vec<Lbool>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) reason: Vec<u32>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
     clause_inc: f64,
     order: VarOrder,
     phase: Vec<bool>,
     seen: Vec<bool>,
-    ok: bool,
+    pub(crate) ok: bool,
     model: Vec<Lbool>,
     failed: Vec<Lit>,
     conflict_budget: Option<u64>,
@@ -205,7 +205,10 @@ impl Solver {
     /// unsatisfiable (the clause is empty after level-0 simplification, or a
     /// previous conflict was already recorded).
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
-        debug_assert!(self.trail_lim.is_empty(), "add_clause at decision level 0 only");
+        debug_assert!(
+            self.trail_lim.is_empty(),
+            "add_clause at decision level 0 only"
+        );
         if !self.ok {
             return false;
         }
@@ -265,13 +268,19 @@ impl Solver {
         if learnt {
             self.learnt_indices.push(idx);
         }
-        self.watches[w0.code() as usize].push(Watch { clause: idx, blocker: w1 });
-        self.watches[w1.code() as usize].push(Watch { clause: idx, blocker: w0 });
+        self.watches[w0.code() as usize].push(Watch {
+            clause: idx,
+            blocker: w1,
+        });
+        self.watches[w1.code() as usize].push(Watch {
+            clause: idx,
+            blocker: w0,
+        });
         idx
     }
 
     #[inline]
-    fn value(&self, lit: Lit) -> Lbool {
+    pub(crate) fn value(&self, lit: Lit) -> Lbool {
         let v = self.assigns[lit.var().index() as usize];
         if v == Lbool::Undef {
             Lbool::Undef
@@ -419,6 +428,7 @@ impl Solver {
             }
         };
         self.cancel_until(0);
+        self.debug_audit("after solve");
         result
     }
 
@@ -504,7 +514,10 @@ impl Solver {
                 debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
                 let first = self.clauses[cref].lits[0];
                 if first != watch.blocker && self.value(first) == Lbool::True {
-                    watch_list[kept] = Watch { clause: watch.clause, blocker: first };
+                    watch_list[kept] = Watch {
+                        clause: watch.clause,
+                        blocker: first,
+                    };
                     kept += 1;
                     continue;
                 }
@@ -521,7 +534,10 @@ impl Solver {
                     }
                 }
                 // No new watch: unit or conflict.
-                watch_list[kept] = Watch { clause: watch.clause, blocker: first };
+                watch_list[kept] = Watch {
+                    clause: watch.clause,
+                    blocker: first,
+                };
                 kept += 1;
                 if self.value(first) == Lbool::False {
                     conflict = Some(watch.clause);
@@ -588,7 +604,10 @@ impl Solver {
                 break;
             }
             confl = self.reason[p_lit.var().index() as usize];
-            debug_assert_ne!(confl, NO_REASON, "non-decision on conflict path has a reason");
+            debug_assert_ne!(
+                confl, NO_REASON,
+                "non-decision on conflict path has a reason"
+            );
         }
 
         // Mark remaining literals seen for minimisation bookkeeping, and
@@ -695,6 +714,7 @@ impl Solver {
         self.trail.truncate(boundary);
         self.trail_lim.truncate(target_level);
         self.qhead = self.trail.len();
+        self.debug_audit("after backtrack");
     }
 
     fn bump_var(&mut self, var: Var) {
@@ -742,9 +762,11 @@ impl Solver {
         candidates.sort_by(|&a, &b| {
             let ca = &self.clauses[a as usize];
             let cb = &self.clauses[b as usize];
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let to_delete = candidates.len() / 2;
         for &idx in candidates.iter().take(to_delete) {
@@ -756,6 +778,7 @@ impl Solver {
         self.learnt_indices
             .retain(|&idx| !self.clauses[idx as usize].deleted);
         self.max_learnts *= 1.3;
+        self.debug_audit("after reduce_db");
     }
 
     fn is_locked(&self, cref: u32) -> bool {

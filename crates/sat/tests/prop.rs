@@ -1,58 +1,55 @@
-//! Property-based tests: the CDCL solver against the reference DPLL
-//! oracle, model validity, assumption semantics and incrementality.
+//! Randomised tests: the CDCL solver against the reference DPLL oracle,
+//! model validity, assumption semantics and incrementality.
 
-use hqs_base::{Lit, TruthValue, Var};
+use hqs_base::{Lit, Rng, TruthValue, Var};
 use hqs_cnf::{Clause, Cnf};
 use hqs_sat::{reference, SolveResult, Solver};
-use proptest::prelude::*;
 
-fn arb_cnf(max_var: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-    prop::collection::vec(
-        prop::collection::vec(
-            (0..max_var, any::<bool>()).prop_map(|(v, n)| Lit::new(Var::new(v), n)),
-            1..4,
-        ),
-        0..max_clauses,
-    )
-    .prop_map(move |clauses| {
-        let mut cnf = Cnf::new(max_var);
-        for lits in clauses {
-            cnf.add_clause(Clause::from_lits(lits));
-        }
-        cnf
-    })
+fn random_cnf(rng: &mut Rng, max_var: u32, max_clauses: usize) -> Cnf {
+    let mut cnf = Cnf::new(max_var);
+    for _ in 0..rng.gen_range(0..max_clauses) {
+        let len = rng.gen_range(1..4usize);
+        let lits =
+            (0..len).map(|_| Lit::new(Var::new(rng.gen_range(0..max_var)), rng.gen_bool(0.5)));
+        cnf.add_clause(Clause::from_lits(lits));
+    }
+    cnf
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// CDCL and DPLL agree on satisfiability; CDCL models really satisfy.
-    #[test]
-    fn cdcl_agrees_with_dpll(cnf in arb_cnf(8, 24)) {
+/// CDCL and DPLL agree on satisfiability; CDCL models really satisfy.
+#[test]
+fn cdcl_agrees_with_dpll() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let cnf = random_cnf(&mut rng, 8, 24);
         let expected = reference::is_satisfiable(&cnf);
         let mut solver = Solver::new();
         solver.add_cnf(&cnf);
         match solver.solve() {
             SolveResult::Sat => {
-                prop_assert!(expected);
+                assert!(expected, "seed {seed}: CDCL sat, DPLL unsat");
                 let model = solver.model();
-                prop_assert_eq!(cnf.evaluate(&model), TruthValue::True);
+                assert_eq!(cnf.evaluate(&model), TruthValue::True, "seed {seed}");
             }
-            SolveResult::Unsat => prop_assert!(!expected),
-            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+            SolveResult::Unsat => assert!(!expected, "seed {seed}: CDCL unsat, DPLL sat"),
+            SolveResult::Unknown => panic!("seed {seed}: no budget was set"),
         }
     }
+}
 
-    /// Solving under assumptions equals solving the formula with the
-    /// assumptions added as unit clauses.
-    #[test]
-    fn assumptions_equal_units(cnf in arb_cnf(6, 16),
-                               bits in prop::collection::vec(any::<Option<bool>>(), 6)) {
-        let assumptions: Vec<Lit> = bits
-            .iter()
-            .enumerate()
-            .filter_map(|(i, b)| b.map(|b| Lit::new(Var::new(i as u32), !b)))
-            .collect();
+/// Solving under assumptions equals solving the formula with the
+/// assumptions added as unit clauses.
+#[test]
+fn assumptions_equal_units() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x1000 + seed);
+        let cnf = random_cnf(&mut rng, 6, 16);
+        let mut assumptions: Vec<Lit> = Vec::new();
+        for i in 0..6u32 {
+            if rng.gen_bool(0.5) {
+                assumptions.push(Lit::new(Var::new(i), rng.gen_bool(0.5)));
+            }
+        }
         let mut strengthened = cnf.clone();
         for &a in &assumptions {
             strengthened.add_clause(Clause::unit(a));
@@ -61,49 +58,59 @@ proptest! {
         let mut solver = Solver::new();
         solver.add_cnf(&cnf);
         let result = solver.solve_with_assumptions(&assumptions);
-        prop_assert_eq!(result == SolveResult::Sat, expected);
+        assert_eq!(result == SolveResult::Sat, expected, "seed {seed}");
         // And the solver stays reusable afterwards:
         let alone = reference::is_satisfiable(&cnf);
-        prop_assert_eq!(solver.solve() == SolveResult::Sat, alone);
+        assert_eq!(solver.solve() == SolveResult::Sat, alone, "seed {seed}");
     }
+}
 
-    /// Failed assumptions are a genuine contradiction witness: asserting
-    /// just the failed subset is already unsatisfiable.
-    #[test]
-    fn failed_assumptions_form_a_core(cnf in arb_cnf(6, 16),
-                                      bits in prop::collection::vec(any::<bool>(), 6)) {
-        let assumptions: Vec<Lit> = bits
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| Lit::new(Var::new(i as u32), !b))
+/// Failed assumptions are a genuine contradiction witness: asserting
+/// just the failed subset is already unsatisfiable.
+#[test]
+fn failed_assumptions_form_a_core() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x2000 + seed);
+        let cnf = random_cnf(&mut rng, 6, 16);
+        let assumptions: Vec<Lit> = (0..6u32)
+            .map(|i| Lit::new(Var::new(i), rng.gen_bool(0.5)))
             .collect();
         let mut solver = Solver::new();
         solver.add_cnf(&cnf);
         if solver.solve_with_assumptions(&assumptions) == SolveResult::Unsat {
             let failed: Vec<Lit> = solver.failed_assumptions().to_vec();
             for lit in &failed {
-                prop_assert!(assumptions.contains(lit), "{lit:?} not an assumption");
+                assert!(
+                    assumptions.contains(lit),
+                    "seed {seed}: {lit:?} not an assumption"
+                );
             }
             let mut check = cnf.clone();
             for &lit in &failed {
                 check.add_clause(Clause::unit(lit));
             }
-            prop_assert!(!reference::is_satisfiable(&check),
-                "failed set {failed:?} is not contradictory");
+            assert!(
+                !reference::is_satisfiable(&check),
+                "seed {seed}: failed set {failed:?} is not contradictory"
+            );
         }
     }
+}
 
-    /// Incremental use: clause-by-clause addition gives the same verdicts
-    /// as monolithic solving at every step.
-    #[test]
-    fn incremental_matches_monolithic(cnf in arb_cnf(6, 10)) {
+/// Incremental use: clause-by-clause addition gives the same verdicts
+/// as monolithic solving at every step.
+#[test]
+fn incremental_matches_monolithic() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x3000 + seed);
+        let cnf = random_cnf(&mut rng, 6, 10);
         let mut solver = Solver::new();
         let mut so_far = Cnf::new(cnf.num_vars());
         for clause in cnf.clauses() {
             solver.add_clause(clause.lits().iter().copied());
             so_far.add_clause(clause.clone());
             let expected = reference::is_satisfiable(&so_far);
-            prop_assert_eq!(solver.solve() == SolveResult::Sat, expected);
+            assert_eq!(solver.solve() == SolveResult::Sat, expected, "seed {seed}");
         }
     }
 }

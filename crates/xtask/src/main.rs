@@ -1,0 +1,445 @@
+//! Workspace maintenance tasks.
+//!
+//! The only task so far is the source audit:
+//!
+//! ```text
+//! cargo run -p xtask -- audit
+//! ```
+//!
+//! It walks every Rust source file of the workspace (skipping `target/`)
+//! and enforces, with no dependencies beyond `std`:
+//!
+//! * `#![forbid(unsafe_code)]` in every crate root (`src/lib.rs`,
+//!   `src/main.rs`, `src/bin/*.rs`),
+//! * `//!` crate-level documentation in every crate root,
+//! * no `todo!`/`unimplemented!`/`dbg!` anywhere,
+//! * no `.unwrap()`/`.expect(` in library code — test modules, `tests/`,
+//!   `benches/` and `examples/` are exempt, and remaining library sites
+//!   are budgeted per file in `crates/xtask/audit-allowlist.txt` so the
+//!   count can only be burned down, never grow.
+//!
+//! The process exits non-zero if any violation is found, which is how CI
+//! consumes it.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("audit") => {
+            let root = workspace_root();
+            let allowlist_path = root.join("crates/xtask/audit-allowlist.txt");
+            match run_audit(&root, &allowlist_path) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("audit: OK");
+                    ExitCode::SUCCESS
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        eprintln!("{v}");
+                    }
+                    eprintln!("audit: {} violation(s)", violations.len());
+                    ExitCode::FAILURE
+                }
+                Err(err) => {
+                    eprintln!("audit: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- audit");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root, resolved from this crate's manifest directory so
+/// the audit works from any working directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or(manifest.clone(), Path::to_path_buf)
+}
+
+/// One audit finding: a rule broken at a specific location.
+#[derive(Debug)]
+struct Violation {
+    file: String,
+    line: Option<usize>,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{}:{line}: {}", self.file, self.message),
+            None => write!(f, "{}: {}", self.file, self.message),
+        }
+    }
+}
+
+/// How a source file is treated by the unwrap/expect rule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FileKind {
+    /// Library code: unwrap/expect budgeted by the allowlist.
+    Library,
+    /// Integration tests, benches, examples: unwrap/expect allowed.
+    Exempt,
+}
+
+/// Runs every audit rule over the workspace rooted at `root`; returns
+/// all violations found. `allowlist_path` may not exist (empty budget).
+fn run_audit(root: &Path, allowlist_path: &Path) -> std::io::Result<Vec<Violation>> {
+    let allowlist = load_allowlist(allowlist_path)?;
+    let mut violations = Vec::new();
+    let mut sources = Vec::new();
+    collect_rs_files(root, &mut sources)?;
+    sources.sort();
+    // The audit tool cannot scan itself: its rule table and test
+    // fixtures spell out the banned tokens literally.
+    sources.retain(|p| !relative_name(root, p).starts_with("crates/xtask/"));
+
+    let mut used_budget: BTreeMap<String, usize> = BTreeMap::new();
+    for path in &sources {
+        let rel = relative_name(root, path);
+        let text = std::fs::read_to_string(path)?;
+        let kind = classify(&rel);
+        audit_file(&rel, &text, kind, &mut violations, &mut used_budget);
+    }
+
+    // Budget bookkeeping: every allowlisted file must exist and must not
+    // be over budget; files over budget were already reported by
+    // audit_file via `used_budget`.
+    for (file, &budget) in &allowlist {
+        match used_budget.get(file) {
+            None if !root.join(file).exists() => violations.push(Violation {
+                file: file.clone(),
+                line: None,
+                message: "allowlisted file no longer exists; drop the entry".to_string(),
+            }),
+            None if budget > 0 => violations.push(Violation {
+                file: file.clone(),
+                line: None,
+                message: format!(
+                    "allowlist grants {budget} unwrap/expect site(s) but the file has none; \
+                     tighten the entry to 0 or drop it"
+                ),
+            }),
+            _ => {}
+        }
+    }
+    for (file, &used) in &used_budget {
+        let budget = allowlist.get(file).copied().unwrap_or(0);
+        if used > budget {
+            violations.push(Violation {
+                file: file.clone(),
+                line: None,
+                message: format!(
+                    "{used} unwrap/expect site(s) in library code, allowlist grants {budget} \
+                     (convert to typed errors, or raise the budget only with justification)"
+                ),
+            });
+        } else if used < budget {
+            violations.push(Violation {
+                file: file.clone(),
+                line: None,
+                message: format!(
+                    "allowlist grants {budget} unwrap/expect site(s) but only {used} remain; \
+                     burn the budget down to {used}"
+                ),
+            });
+        }
+    }
+    Ok(violations)
+}
+
+/// Applies the per-file rules; unwrap/expect counts land in
+/// `used_budget` for the caller's budget comparison.
+fn audit_file(
+    rel: &str,
+    text: &str,
+    kind: FileKind,
+    violations: &mut Vec<Violation>,
+    used_budget: &mut BTreeMap<String, usize>,
+) {
+    let is_crate_root =
+        rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") || rel.contains("src/bin/");
+    if is_crate_root {
+        if !text.contains("#![forbid(unsafe_code)]") {
+            violations.push(Violation {
+                file: rel.to_string(),
+                line: None,
+                message: "crate root lacks #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+        if !text.lines().any(|l| l.trim_start().starts_with("//!")) {
+            violations.push(Violation {
+                file: rel.to_string(),
+                line: None,
+                message: "crate root lacks //! crate-level documentation".to_string(),
+            });
+        }
+    }
+
+    let mut in_test_module = false;
+    let mut unwrap_sites = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.contains("#[cfg(test)]") {
+            // Convention: the embedded test module is the tail of the
+            // file, so everything from here on is test code.
+            in_test_module = true;
+        }
+        for banned in ["todo!(", "unimplemented!(", "dbg!("] {
+            if contains_token(line, banned) {
+                violations.push(Violation {
+                    file: rel.to_string(),
+                    line: Some(idx + 1),
+                    message: format!("`{}` must not be committed", &banned[..banned.len() - 1]),
+                });
+            }
+        }
+        if kind == FileKind::Library && !in_test_module {
+            unwrap_sites += line.matches(".unwrap()").count();
+            unwrap_sites += line.matches(".expect(").count();
+        }
+    }
+    if kind == FileKind::Library && unwrap_sites > 0 {
+        *used_budget.entry(rel.to_string()).or_insert(0) += unwrap_sites;
+    }
+}
+
+/// Truncates a line at the first `//`, dropping line and doc comments.
+/// `//` inside a string literal is rare enough in this workspace that
+/// the audit tolerates the false truncation.
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// True if `needle` occurs in `line` not preceded by an identifier
+/// character (so `my_todo!(…)` or `xdbg!(…)` do not match).
+fn contains_token(line: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let abs = start + pos;
+        let preceded = line[..abs]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !preceded {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+fn classify(rel: &str) -> FileKind {
+    let in_dir =
+        |dir: &str| rel.starts_with(&format!("{dir}/")) || rel.contains(&format!("/{dir}/"));
+    if in_dir("tests") || in_dir("benches") || in_dir("examples") {
+        FileKind::Exempt
+    } else {
+        FileKind::Library
+    }
+}
+
+fn relative_name(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Parses the allowlist: `<path> <count>` per line, `#` comments.
+fn load_allowlist(path: &Path) -> std::io::Result<BTreeMap<String, usize>> {
+    let mut budget = BTreeMap::new();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(budget),
+        Err(err) => return Err(err),
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(file), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}:{}: expected `<path> <count>`", path.display(), idx + 1),
+            ));
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}:{}: `{count}` is not a count", path.display(), idx + 1),
+            ));
+        };
+        budget.insert(file.to_string(), count);
+    }
+    Ok(budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempTree {
+        root: PathBuf,
+    }
+
+    impl TempTree {
+        fn new(tag: &str) -> Self {
+            let root =
+                std::env::temp_dir().join(format!("xtask-audit-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            std::fs::create_dir_all(&root).expect("temp tree");
+            TempTree { root }
+        }
+
+        fn write(&self, rel: &str, content: &str) {
+            let path = self.root.join(rel);
+            std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+            std::fs::write(path, content).expect("write");
+        }
+
+        fn audit(&self) -> Vec<Violation> {
+            run_audit(&self.root, &self.root.join("allow.txt")).expect("audit runs")
+        }
+    }
+
+    impl Drop for TempTree {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+
+    const CLEAN_ROOT: &str = "//! A documented crate.\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+
+    #[test]
+    fn clean_tree_passes() {
+        let tree = TempTree::new("clean");
+        tree.write("crates/a/src/lib.rs", CLEAN_ROOT);
+        tree.write("crates/a/tests/t.rs", "fn t() { Some(1).unwrap(); }\n");
+        assert!(tree.audit().is_empty(), "{:?}", tree.audit());
+    }
+
+    #[test]
+    fn missing_forbid_and_docs_fail() {
+        let tree = TempTree::new("forbid");
+        tree.write("crates/a/src/lib.rs", "pub fn f() {}\n");
+        let violations = tree.audit();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations
+            .iter()
+            .any(|v| v.message.contains("forbid(unsafe_code)")));
+        assert!(violations
+            .iter()
+            .any(|v| v.message.contains("crate-level documentation")));
+    }
+
+    #[test]
+    fn todo_and_dbg_fail_everywhere() {
+        let tree = TempTree::new("todo");
+        tree.write("crates/a/src/lib.rs", CLEAN_ROOT);
+        tree.write("crates/a/src/m.rs", "fn g() { todo!() }\n");
+        tree.write("crates/a/tests/t.rs", "fn t() { dbg!(1); }\n");
+        let violations = tree.audit();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().all(|v| v.line.is_some()));
+    }
+
+    #[test]
+    fn commented_todo_is_ignored() {
+        let tree = TempTree::new("comment");
+        tree.write("crates/a/src/lib.rs", CLEAN_ROOT);
+        tree.write("crates/a/src/m.rs", "// todo!() is banned\nfn g() {}\n");
+        assert!(tree.audit().is_empty());
+    }
+
+    #[test]
+    fn library_unwrap_fails_without_allowlist() {
+        let tree = TempTree::new("unwrap");
+        tree.write("crates/a/src/lib.rs", CLEAN_ROOT);
+        tree.write("crates/a/src/m.rs", "fn g() { Some(1).unwrap(); }\n");
+        let violations = tree.audit();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].message.contains("allowlist grants 0"));
+    }
+
+    #[test]
+    fn allowlisted_unwrap_passes_and_burndown_is_enforced() {
+        let tree = TempTree::new("allow");
+        tree.write("crates/a/src/lib.rs", CLEAN_ROOT);
+        tree.write("crates/a/src/m.rs", "fn g() { Some(1).unwrap(); }\n");
+        tree.write("allow.txt", "crates/a/src/m.rs 1\n");
+        assert!(tree.audit().is_empty());
+        // Over-generous budget must be burned down.
+        tree.write("allow.txt", "crates/a/src/m.rs 2\n");
+        let violations = tree.audit();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].message.contains("burn the budget down"));
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let tree = TempTree::new("testmod");
+        tree.write(
+            "crates/a/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n",
+        );
+        assert!(tree.audit().is_empty());
+    }
+
+    #[test]
+    fn expect_err_is_not_an_expect_site() {
+        let tree = TempTree::new("expecterr");
+        tree.write("crates/a/src/lib.rs", CLEAN_ROOT);
+        tree.write(
+            "crates/a/src/m.rs",
+            "fn g(r: Result<(), ()>) { r.expect_err(\"x\"); }\n",
+        );
+        assert!(tree.audit().is_empty());
+    }
+
+    #[test]
+    fn stale_allowlist_entry_fails() {
+        let tree = TempTree::new("stale");
+        tree.write("crates/a/src/lib.rs", CLEAN_ROOT);
+        tree.write("allow.txt", "crates/a/src/gone.rs 3\n");
+        let violations = tree.audit();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].message.contains("no longer exists"));
+    }
+}

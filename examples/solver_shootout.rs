@@ -35,7 +35,9 @@ fn main() {
 
             let start = Instant::now();
             let mut hqs = HqsSolver::with_config(hqs::HqsConfig {
-                budget: Budget::new().with_timeout(timeout).with_node_limit(2_000_000),
+                budget: Budget::new()
+                    .with_timeout(timeout)
+                    .with_node_limit(2_000_000),
                 ..hqs::HqsConfig::default()
             });
             let hqs_result = hqs.solve(&instance.dqbf);
@@ -43,12 +45,15 @@ fn main() {
 
             let start = Instant::now();
             let mut idq = InstantiationSolver::new();
-            idq.set_budget(Budget::new().with_timeout(timeout).with_node_limit(2_000_000));
+            idq.set_budget(
+                Budget::new()
+                    .with_timeout(timeout)
+                    .with_node_limit(2_000_000),
+            );
             let idq_result = idq.solve(&instance.dqbf);
             let idq_time = start.elapsed().as_secs_f64();
 
-            if let (DqbfResult::Limit(_), _) | (_, DqbfResult::Limit(_)) =
-                (hqs_result, idq_result)
+            if let (DqbfResult::Limit(_), _) | (_, DqbfResult::Limit(_)) = (hqs_result, idq_result)
             {
                 // fine: limits are expected for the baseline on larger sizes
             } else {

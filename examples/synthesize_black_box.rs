@@ -68,12 +68,11 @@ fn main() {
     println!("\nsynthesized box functions (rows indexed by cut values):");
     for (k, &hole) in hole_vars.iter().enumerate() {
         let f = certificate.function(hole).expect("certified");
-        let rendered: String = f
-            .table
-            .iter()
-            .map(|&v| if v { '1' } else { '0' })
-            .collect();
-        println!("  output {k}: table over {} cut signals = {rendered}", f.deps.len());
+        let rendered: String = f.table.iter().map(|&v| if v { '1' } else { '0' }).collect();
+        println!(
+            "  output {k}: table over {} cut signals = {rendered}",
+            f.deps.len()
+        );
     }
 
     // Plug the tables back into the netlist and compare exhaustively.

@@ -13,6 +13,9 @@
 //!   --initial-sat                up-front SAT call on the matrix
 //!   --subsume                    subsumption/self-subsumption preprocessing
 //!   --dynamic-order              recompute elimination order per step
+//!   --paranoid                   audit solver-state invariants after
+//!                                every main-loop step (debug builds
+//!                                always audit at mutation sites)
 //!   --fraig <nodes>              SAT-sweep cones above this size
 //!   --timeout <seconds>          wall-clock budget
 //!   --node-limit <n>             AIG-node / ground-clause budget
@@ -23,6 +26,8 @@
 //!
 //! Exit codes follow the (Q)DIMACS convention: 10 = SAT, 20 = UNSAT,
 //! 1 = error/unknown.
+
+#![forbid(unsafe_code)]
 
 use hqs::base::Budget;
 use hqs::cnf::dimacs;
@@ -54,7 +59,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: hqs [--solver hqs|idq|expansion] [--strategy maxsat|all] \
          [--no-preprocess] [--no-gates] [--no-unit-pure] [--initial-sat] \
-         [--subsume] [--dynamic-order] [--qbf-backend elim|search] \
+         [--subsume] [--dynamic-order] [--paranoid] [--qbf-backend elim|search] \
          [--fraig N] [--timeout S] [--node-limit N] [--certify] [--stats] \
          <file.dqdimacs>"
     );
@@ -105,6 +110,7 @@ fn parse_options() -> Options {
                 }
             }
             "--dynamic-order" => options.config.dynamic_order = true,
+            "--paranoid" => options.config.paranoid = true,
             "--fraig" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => options.config.fraig_threshold = n,
                 None => usage(),
@@ -209,7 +215,10 @@ fn main() -> ExitCode {
         if dqbf.universals().len() <= expand::MAX_EXPANSION_UNIVERSALS {
             match skolem::extract_skolem(&dqbf) {
                 Some(cert) if cert.verify(&dqbf) => {
-                    println!("c certificate: {} Skolem functions, verified", cert.functions.len());
+                    println!(
+                        "c certificate: {} Skolem functions, verified",
+                        cert.functions.len()
+                    );
                 }
                 Some(_) => {
                     eprintln!("error: certificate failed verification (bug!)");

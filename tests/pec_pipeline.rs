@@ -73,7 +73,12 @@ fn smoke_suite_solves_under_hqs() {
             continue;
         }
         if !instance.fault {
-            assert_eq!(verdict, DqbfResult::Sat, "{} must be realizable", instance.name);
+            assert_eq!(
+                verdict,
+                DqbfResult::Sat,
+                "{} must be realizable",
+                instance.name
+            );
         }
     }
 }

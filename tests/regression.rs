@@ -120,18 +120,30 @@ fn tseitin_gate_instance() {
 
 #[test]
 fn universal_unit_clause() {
-    check("universal-unit", "p cnf 1 1\na 1 0\n1 0\n", DqbfResult::Unsat);
+    check(
+        "universal-unit",
+        "p cnf 1 1\na 1 0\n1 0\n",
+        DqbfResult::Unsat,
+    );
 }
 
 #[test]
 fn empty_matrix_is_valid() {
-    check("empty-matrix", "p cnf 2 0\na 1 0\nd 2 1 0\n", DqbfResult::Sat);
+    check(
+        "empty-matrix",
+        "p cnf 2 0\na 1 0\nd 2 1 0\n",
+        DqbfResult::Sat,
+    );
 }
 
 #[test]
 fn propositional_fallbacks() {
     // No universals at all: plain SAT.
-    check("plain-sat", "p cnf 2 2\nd 1 0\nd 2 0\n1 2 0\n-1 2 0\n", DqbfResult::Sat);
+    check(
+        "plain-sat",
+        "p cnf 2 2\nd 1 0\nd 2 0\n1 2 0\n-1 2 0\n",
+        DqbfResult::Sat,
+    );
     check(
         "plain-unsat",
         "p cnf 1 2\nd 1 0\n1 0\n-1 0\n",

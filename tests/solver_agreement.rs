@@ -7,10 +7,9 @@ use hqs::base::{Lit, Var};
 use hqs::cnf::dimacs;
 use hqs::core::expand::is_satisfiable_by_expansion;
 use hqs::{Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, InstantiationSolver};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hqs_base::Rng;
 
-fn random_dqbf(rng: &mut StdRng) -> Dqbf {
+fn random_dqbf(rng: &mut Rng) -> Dqbf {
     let mut d = Dqbf::new();
     let nu = rng.gen_range(1..=4u32);
     let ne = rng.gen_range(1..=4u32);
@@ -32,7 +31,7 @@ fn random_dqbf(rng: &mut StdRng) -> Dqbf {
 
 #[test]
 fn all_procedures_agree_on_random_dqbfs() {
-    let mut rng = StdRng::seed_from_u64(0xDA7E_2015);
+    let mut rng = Rng::seed_from_u64(0xDA7E_2015);
     for round in 0..60 {
         let d = random_dqbf(&mut rng);
         let expected = if is_satisfiable_by_expansion(&d) {
@@ -63,7 +62,7 @@ fn all_procedures_agree_on_random_dqbfs() {
 
 #[test]
 fn dqdimacs_file_roundtrip_preserves_verdict() {
-    let mut rng = StdRng::seed_from_u64(0xF11E);
+    let mut rng = Rng::seed_from_u64(0xF11E);
     for _ in 0..25 {
         let d = random_dqbf(&mut rng);
         let expected = HqsSolver::new().solve(&d);
@@ -81,7 +80,7 @@ fn dqdimacs_file_roundtrip_preserves_verdict() {
 fn qbf_expressible_dqbfs_match_qbf_solver() {
     use hqs::core::depgraph::linearise;
     use hqs::qbf::QbfSolver;
-    let mut rng = StdRng::seed_from_u64(0xABCD);
+    let mut rng = Rng::seed_from_u64(0xABCD);
     for _ in 0..40 {
         let mut d = Dqbf::new();
         let nu = rng.gen_range(1..=4u32);
