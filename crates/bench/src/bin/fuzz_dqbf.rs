@@ -6,17 +6,31 @@
 //! ```text
 //! cargo run -p hqs-bench --release --bin fuzz_dqbf -- --rounds 500 --seed 1
 //! ```
+//!
+//! With `--certify`, every round additionally runs the certified pipeline
+//! ([`HqsSolver::solve_certified`]): each SAT verdict must ship a
+//! verifying Skolem certificate and each UNSAT verdict a DRAT refutation
+//! accepted by the independent `hqs-proof` checker; verdicts are
+//! cross-checked against the reference DPLL solver on the expansion CNF
+//! and — when the dependency sets form an inclusion chain — against the
+//! brute-force QBF evaluator on an equivalent linearised prefix. Every
+//! tenth round also corrupts the fresh certificate and asserts rejection.
 
 #![forbid(unsafe_code)]
 
-use hqs_core::expand::is_satisfiable_by_expansion;
+use hqs_base::Var;
+use hqs_cnf::{QdimacsFile, QuantBlock, Quantifier};
+use hqs_core::expand::{expand_to_cnf, is_satisfiable_by_expansion};
 use hqs_core::random::RandomDqbf;
-use hqs_core::{DqbfResult, ElimStrategy, HqsConfig, HqsSolver, QbfBackend};
+use hqs_core::{
+    CertifiedOutcome, Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, QbfBackend,
+};
 use hqs_idq::InstantiationSolver;
 
 fn main() {
     let mut rounds = 200u64;
     let mut base_seed = 0u64;
+    let mut certify = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,7 +41,8 @@ fn main() {
                     .expect("--rounds N")
             }
             "--seed" => base_seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
-            other => panic!("unknown option {other} (--rounds, --seed)"),
+            "--certify" => certify = true,
+            other => panic!("unknown option {other} (--rounds, --seed, --certify)"),
         }
     }
     let configs: Vec<(&str, HqsConfig)> = vec![
@@ -98,13 +113,147 @@ fn main() {
             got, expected,
             "instantiation baseline disagrees: seed {seed}, shape {shape:?}"
         );
+        if certify {
+            certify_round(&dqbf, expected, seed, round);
+        }
         if (round + 1) % 50 == 0 {
             eprintln!("fuzzed {} instances ({sat} SAT / {unsat} UNSAT)", round + 1);
         }
     }
     println!(
         "fuzzing clean: {rounds} instances, {sat} SAT / {unsat} UNSAT, \
-         {} procedures agree with the oracle on all of them",
-        configs.len() + 1
+         {} procedures agree with the oracle on all of them{}",
+        configs.len() + 1,
+        if certify {
+            ", every verdict certified and cross-checked"
+        } else {
+            ""
+        }
     );
+}
+
+/// Certifies one fuzzed instance end-to-end and cross-checks the verdict
+/// against the reference solvers.
+fn certify_round(dqbf: &Dqbf, expected: DqbfResult, seed: u64, round: u64) {
+    let mut solver = HqsSolver::with_config(HqsConfig {
+        certify: true,
+        initial_sat_check: round.is_multiple_of(2),
+        ..HqsConfig::default()
+    });
+    let outcome = solver
+        .solve_certified(dqbf)
+        .unwrap_or_else(|err| panic!("certification failed: seed {seed}: {err}"));
+
+    // Reference cross-check 1: DPLL on the expansion CNF.
+    let mut bound = dqbf.clone();
+    bound.bind_free_vars();
+    let (expansion, _) = expand_to_cnf(&bound);
+    let dpll_sat = hqs_sat::reference::dpll(&expansion).is_some();
+    assert_eq!(
+        dpll_sat,
+        expected == DqbfResult::Sat,
+        "reference DPLL disagrees on the expansion: seed {seed}"
+    );
+
+    // Reference cross-check 2: when the dependency sets form an inclusion
+    // chain the DQBF is equivalent to a linear-prefix QBF; evaluate it by
+    // brute force.
+    if let Some(qbf) = linearise(&bound) {
+        assert_eq!(
+            hqs_qbf::reference::eval_qdimacs(&qbf),
+            expected == DqbfResult::Sat,
+            "reference QBF evaluation disagrees: seed {seed}"
+        );
+    }
+
+    match outcome {
+        CertifiedOutcome::Sat(cert) => {
+            assert_eq!(
+                expected,
+                DqbfResult::Sat,
+                "certified SAT is wrong: seed {seed}"
+            );
+            // Deliberate corruption must be rejected: a certificate with a
+            // missing Skolem function never verifies.
+            if round.is_multiple_of(10) && !cert.functions.is_empty() {
+                let mut tampered = cert;
+                tampered.functions.pop();
+                assert!(
+                    dqbf.existentials().is_empty() || !tampered.verify(dqbf),
+                    "corrupted Skolem certificate accepted: seed {seed}"
+                );
+            }
+        }
+        CertifiedOutcome::Unsat(cert) => {
+            assert_eq!(
+                expected,
+                DqbfResult::Unsat,
+                "certified UNSAT is wrong: seed {seed}"
+            );
+            // Deliberate corruption must be rejected: a wrong universal
+            // count never matches the recomputed expansion.
+            if round.is_multiple_of(10) {
+                let mut tampered = cert;
+                tampered.num_universals += 1;
+                assert!(
+                    !tampered.verify(dqbf),
+                    "corrupted refutation certificate accepted: seed {seed}"
+                );
+            }
+        }
+        CertifiedOutcome::Limit(e) => {
+            panic!("unbudgeted certification hit a limit: seed {seed}: {e:?}")
+        }
+    }
+}
+
+/// Linearises a DQBF with chain-ordered dependency sets into an
+/// equivalent QBF prefix; `None` when the sets are incomparable.
+fn linearise(dqbf: &Dqbf) -> Option<QdimacsFile> {
+    let mut existentials: Vec<Var> = dqbf.existentials().to_vec();
+    existentials.sort_by_key(|&y| dqbf.dependencies(y).map_or(0, hqs_base::VarSet::len));
+    for pair in existentials.windows(2) {
+        let smaller = dqbf.dependencies(pair[0])?;
+        let larger = dqbf.dependencies(pair[1])?;
+        if !smaller.is_subset(larger) {
+            return None;
+        }
+    }
+    // ∀(D₁) ∃Y₁ ∀(D₂∖D₁) ∃Y₂ … ∀(rest): introduce each universal right
+    // before the first existential that depends on it.
+    let mut blocks: Vec<QuantBlock> = Vec::new();
+    let mut placed = hqs_base::VarSet::with_capacity(dqbf.num_vars());
+    for &y in &existentials {
+        let deps = dqbf.dependencies(y)?;
+        let fresh: Vec<Var> = deps.iter().filter(|&u| !placed.contains(u)).collect();
+        if !fresh.is_empty() {
+            for &u in &fresh {
+                placed.insert(u);
+            }
+            blocks.push(QuantBlock {
+                quantifier: Quantifier::Universal,
+                vars: fresh,
+            });
+        }
+        blocks.push(QuantBlock {
+            quantifier: Quantifier::Existential,
+            vars: vec![y],
+        });
+    }
+    let rest: Vec<Var> = dqbf
+        .universals()
+        .iter()
+        .copied()
+        .filter(|&u| !placed.contains(u))
+        .collect();
+    if !rest.is_empty() {
+        blocks.push(QuantBlock {
+            quantifier: Quantifier::Universal,
+            vars: rest,
+        });
+    }
+    Some(QdimacsFile {
+        blocks,
+        matrix: dqbf.matrix().clone(),
+    })
 }

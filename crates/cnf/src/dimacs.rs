@@ -599,4 +599,98 @@ mod tests {
         assert_eq!(cnf.clauses(), again.clauses());
         assert_eq!(cnf.num_vars(), again.num_vars());
     }
+
+    #[test]
+    fn bad_token_reports_line_and_token() {
+        assert_eq!(
+            parse_dimacs("p cnf 2 1\n1 two 0\n"),
+            Err(ParseError::BadToken {
+                line: 2,
+                token: "two".to_string()
+            })
+        );
+        // The same typed error from a DQDIMACS prefix line.
+        assert_eq!(
+            parse_dqdimacs("p cnf 2 0\na 1 x 0\n").unwrap_err(),
+            ParseError::BadToken {
+                line: 2,
+                token: "x".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn dqdimacs_prefix_after_clause() {
+        assert_eq!(
+            parse_dqdimacs("p cnf 2 1\n1 0\nd 2 0\n").unwrap_err(),
+            ParseError::PrefixAfterClause { line: 3 }
+        );
+    }
+
+    #[test]
+    fn dqdimacs_duplicate_quantification() {
+        // The head of a `d` line collides with an earlier `a` line…
+        assert_eq!(
+            parse_dqdimacs("p cnf 2 0\na 1 0\nd 1 0\n").unwrap_err(),
+            ParseError::DuplicateQuantification { line: 3, var: 1 }
+        );
+        // …and an `e` line collides with an earlier `d` line.
+        assert_eq!(
+            parse_dqdimacs("p cnf 3 0\na 1 0\nd 2 1 0\ne 2 0\n").unwrap_err(),
+            ParseError::DuplicateQuantification { line: 4, var: 2 }
+        );
+    }
+
+    #[test]
+    fn dqdimacs_out_of_range_vars() {
+        // In a dependency list…
+        assert_eq!(
+            parse_dqdimacs("p cnf 2 0\na 1 0\nd 2 7 0\n").unwrap_err(),
+            ParseError::VarOutOfRange { line: 3, var: 7 }
+        );
+        // …as the `d`-line head, and in a matrix clause.
+        assert_eq!(
+            parse_dqdimacs("p cnf 2 0\na 1 0\nd 9 1 0\n").unwrap_err(),
+            ParseError::VarOutOfRange { line: 3, var: 9 }
+        );
+        assert_eq!(
+            parse_dqdimacs("p cnf 2 1\na 1 0\nd 2 1 0\n1 -5 0\n").unwrap_err(),
+            ParseError::VarOutOfRange { line: 4, var: -5 }
+        );
+    }
+
+    #[test]
+    fn dqdimacs_unterminated_prefix_line() {
+        assert_eq!(
+            parse_dqdimacs("p cnf 2 0\na 1\nd 2 1 0\n").unwrap_err(),
+            ParseError::MissingTerminator { line: 2 }
+        );
+    }
+
+    #[test]
+    fn dqdimacs_render_is_idempotent() {
+        // Comments and e-lines are normalised away by the first render;
+        // after that, write∘parse must be the identity on the text.
+        let text =
+            "c mixed prefix\np cnf 6 3\na 1 2 0\ne 3 0\nd 4 1 0\nd 5 0\n3 -4 0\n5 1 0\n-6 0\n";
+        let f = parse_dqdimacs(text).unwrap();
+        let rendered = write_dqdimacs(&f);
+        let again = parse_dqdimacs(&rendered).unwrap();
+        assert_eq!(write_dqdimacs(&again), rendered);
+        assert_eq!(f.universals, again.universals);
+        assert_eq!(f.existentials, again.existentials);
+        assert_eq!(f.matrix.clauses(), again.matrix.clauses());
+        // Variable 6 is free (never quantified) and survives the trip via
+        // the header count.
+        assert_eq!(again.matrix.num_vars(), 6);
+    }
+
+    #[test]
+    fn parse_errors_display_their_location() {
+        // The typed errors render with their 1-based line for diagnostics.
+        let err = parse_dqdimacs("p cnf 2 0\na 1 0\nd 2 7 0\n").unwrap_err();
+        assert_eq!(err.to_string(), "line 3: variable 7 exceeds header count");
+        let err = parse_dimacs("p cnf 1 1\n1 oops 0\n").unwrap_err();
+        assert!(err.to_string().contains("oops"));
+    }
 }

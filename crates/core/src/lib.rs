@@ -62,9 +62,15 @@ pub mod elimset;
 pub mod expand;
 pub mod preprocess;
 pub mod random;
+pub mod refute;
 pub mod skolem;
 pub mod solver;
 
 pub use dqbf::Dqbf;
 pub use hqs_base::InvariantViolation;
-pub use solver::{DqbfResult, ElimStrategy, HqsConfig, HqsSolver, HqsStats, QbfBackend};
+pub use refute::{extract_refutation, InstanceBinding, RefutationCertificate};
+pub use skolem::{extract_skolem, SkolemCertificate, SkolemFunction};
+pub use solver::{
+    CertifiedOutcome, CertifyError, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, HqsStats,
+    QbfBackend,
+};

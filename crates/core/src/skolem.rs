@@ -18,7 +18,8 @@
 use crate::expand::expand_to_cnf;
 use crate::Dqbf;
 use hqs_base::{Lit, Var};
-use hqs_sat::{SolveResult, Solver};
+use hqs_cnf::Cnf;
+use hqs_sat::{ProofBuffer, SolveResult, Solver, TextDratLogger};
 
 /// An explicit Skolem function: a truth table over the dependency set.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -59,35 +60,33 @@ impl SkolemCertificate {
         self.functions.iter().find(|f| f.var == var)
     }
 
-    /// Verifies the certificate against `dqbf` with one SAT call:
-    /// `¬φ` conjoined with clauses forcing each existential to its table
-    /// value must be unsatisfiable. Sound and complete for total
-    /// certificates (a function per existential).
-    #[must_use]
-    pub fn verify(&self, dqbf: &Dqbf) -> bool {
+    /// Builds the propositional verification problem `¬φ ∧ (y ↔ s_y(D_y))`:
+    /// unsatisfiable iff the certificate is valid. `None` when the
+    /// certificate is structurally invalid (a missing function) or
+    /// trivially valid (empty matrix) — distinguished by the `bool`.
+    fn verification_cnf(&self, dqbf: &Dqbf) -> Result<Cnf, bool> {
         let mut dqbf = dqbf.clone();
         dqbf.bind_free_vars();
         // Every existential needs a function.
         for &y in dqbf.existentials() {
             if self.function(y).is_none() {
-                return false;
+                return Err(false);
             }
         }
-        let mut solver = Solver::new();
-        solver.ensure_vars(dqbf.num_vars());
+        if dqbf.matrix().clauses().is_empty() {
+            return Err(true); // empty matrix is a tautology
+        }
+        let mut cnf = Cnf::new(dqbf.num_vars());
         // ¬φ via per-clause selectors.
         let mut selectors = Vec::with_capacity(dqbf.matrix().clauses().len());
         for clause in dqbf.matrix().clauses() {
-            let s = Lit::positive(solver.new_var());
+            let s = Lit::positive(cnf.fresh_var());
             for &lit in clause.lits() {
-                solver.add_clause([!s, !lit]);
+                cnf.add_lits([!s, !lit]);
             }
             selectors.push(s);
         }
-        if selectors.is_empty() {
-            return true; // empty matrix is a tautology
-        }
-        solver.add_clause(selectors);
+        cnf.add_lits(selectors);
         // y ↔ s_y: one clause per table row: (deps = row) → (y = value).
         for function in &self.functions {
             for (row, &value) in function.table.iter().enumerate() {
@@ -98,10 +97,52 @@ impl SkolemCertificate {
                     .map(|(i, &dep)| Lit::new(dep, row >> i & 1 == 1))
                     .collect();
                 clause.push(Lit::new(function.var, !value));
-                solver.add_clause(clause);
+                cnf.add_lits(clause);
             }
         }
+        Ok(cnf)
+    }
+
+    /// Verifies the certificate against `dqbf` with one SAT call:
+    /// `¬φ` conjoined with clauses forcing each existential to its table
+    /// value must be unsatisfiable. Sound and complete for total
+    /// certificates (a function per existential).
+    #[must_use]
+    pub fn verify(&self, dqbf: &Dqbf) -> bool {
+        let cnf = match self.verification_cnf(dqbf) {
+            Ok(cnf) => cnf,
+            Err(trivial) => return trivial,
+        };
+        let mut solver = Solver::new();
+        solver.ensure_vars(cnf.num_vars());
+        solver.add_cnf(&cnf);
         solver.solve() == SolveResult::Unsat
+    }
+
+    /// Like [`verify`](SkolemCertificate::verify), but the verifying SAT
+    /// call is itself proof-logged and its UNSAT answer validated by the
+    /// independent `hqs-proof` checker — closing the last trust gap (a
+    /// buggy verifier vacuously answering UNSAT).
+    #[must_use]
+    pub fn verify_certified(&self, dqbf: &Dqbf) -> bool {
+        let cnf = match self.verification_cnf(dqbf) {
+            Ok(cnf) => cnf,
+            Err(trivial) => return trivial,
+        };
+        let buffer = ProofBuffer::new();
+        let mut solver = Solver::new();
+        solver.set_proof_logger(Box::new(TextDratLogger::new(buffer.clone())));
+        solver.ensure_vars(cnf.num_vars());
+        solver.add_cnf(&cnf);
+        if solver.solve() != SolveResult::Unsat || solver.proof_had_error() {
+            return false;
+        }
+        String::from_utf8(buffer.contents())
+            .ok()
+            .and_then(|text| hqs_proof::parse_text_drat(&text).ok())
+            .is_some_and(|proof| {
+                hqs_proof::check_proof(&cnf, &proof, hqs_proof::CheckMode::Forward).is_ok()
+            })
     }
 }
 
@@ -198,6 +239,41 @@ mod tests {
         let mut cert = extract_skolem(&d).unwrap();
         cert.functions[0].table[0] = !cert.functions[0].table[0];
         assert!(!cert.verify(&d));
+    }
+
+    /// Exhaustive tamper check: both Skolem functions of Example 1 are
+    /// forced (y = x), so corrupting *any single* table row must be
+    /// caught — in both the plain and the proof-checked verifier.
+    #[test]
+    fn every_single_row_corruption_is_rejected() {
+        let d = example_one();
+        let cert = extract_skolem(&d).expect("satisfiable");
+        assert!(cert.verify(&d));
+        assert!(cert.verify_certified(&d));
+        for f in 0..cert.functions.len() {
+            for row in 0..cert.functions[f].table.len() {
+                let mut tampered = cert.clone();
+                tampered.functions[f].table[row] = !tampered.functions[f].table[row];
+                assert!(
+                    !tampered.verify(&d),
+                    "corruption of function {f} row {row} went undetected"
+                );
+                assert!(
+                    !tampered.verify_certified(&d),
+                    "certified verify missed corruption of function {f} row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certified_verification_agrees_with_plain() {
+        let d = example_one();
+        let cert = extract_skolem(&d).unwrap();
+        assert!(cert.verify_certified(&d));
+        let mut broken = cert.clone();
+        broken.functions.pop();
+        assert!(!broken.verify_certified(&d));
     }
 
     #[test]

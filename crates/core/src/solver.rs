@@ -9,6 +9,7 @@ use crate::Dqbf;
 use hqs_base::{Budget, Exhaustion, Var};
 use hqs_cnf::DqdimacsFile;
 use hqs_qbf::{QbfResult, QbfSolver, QbfStats};
+use std::fmt;
 
 /// Result of a DQBF solve.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -32,6 +33,67 @@ impl DqbfResult {
         }
     }
 }
+
+/// A verdict bundled with its machine-checkable certificate, as returned
+/// by [`HqsSolver::solve_certified`].
+#[derive(Clone, Debug)]
+pub enum CertifiedOutcome {
+    /// Satisfied; the certificate holds explicit Skolem function tables
+    /// and has already passed
+    /// [`verify`](crate::skolem::SkolemCertificate::verify).
+    Sat(crate::skolem::SkolemCertificate),
+    /// Unsatisfied; the certificate holds the expansion trace and a DRAT
+    /// proof and has already passed
+    /// [`verify`](crate::refute::RefutationCertificate::verify).
+    Unsat(crate::refute::RefutationCertificate),
+    /// A resource limit was hit; no verdict, no certificate.
+    Limit(Exhaustion),
+}
+
+/// Why [`HqsSolver::solve_certified`] could not certify a verdict.
+///
+/// Apart from [`CertifyError::TooLarge`], every variant indicates an
+/// internal soundness bug: the solver's verdict and the independent
+/// certification machinery disagree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CertifyError {
+    /// The formula exceeds the expansion limit
+    /// ([`MAX_EXPANSION_UNIVERSALS`](crate::expand::MAX_EXPANSION_UNIVERSALS));
+    /// certificates are built over the universal expansion.
+    TooLarge,
+    /// The solver said SAT but no Skolem certificate could be extracted
+    /// (the expansion is unsatisfiable): a soundness disagreement.
+    SatNotCertified,
+    /// The solver said UNSAT but no checked refutation could be produced
+    /// (the expansion is satisfiable, or the proof was rejected): a
+    /// soundness disagreement.
+    UnsatNotCertified,
+    /// A certificate was produced but failed its own verification: a bug
+    /// in the certificate machinery itself.
+    CertificateRejected,
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::TooLarge => write!(
+                f,
+                "formula exceeds the universal-expansion limit for certification"
+            ),
+            CertifyError::SatNotCertified => {
+                write!(f, "SAT verdict could not be certified (soundness bug)")
+            }
+            CertifyError::UnsatNotCertified => {
+                write!(f, "UNSAT verdict could not be certified (soundness bug)")
+            }
+            CertifyError::CertificateRejected => {
+                write!(f, "certificate failed its own verification (soundness bug)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
 
 /// Which QBF decision procedure receives the linearised remainder —
 /// the paper's abstract promises the produced QBF "can be decided using
@@ -96,6 +158,13 @@ pub struct HqsConfig {
     /// first violation. Debug builds always audit at each mutation site
     /// regardless of this flag.
     pub paranoid: bool,
+    /// Proof-log and independently check the solver's internal SAT calls
+    /// (currently the up-front matrix check), and make
+    /// [`HqsSolver::solve_certified`] the intended entry point: verdicts
+    /// then ship a Skolem or refutation certificate. An UNSAT answer from
+    /// a proof-logged call is only trusted if its DRAT proof passes the
+    /// independent `hqs-proof` checker.
+    pub certify: bool,
 }
 
 impl Default for HqsConfig {
@@ -112,6 +181,7 @@ impl Default for HqsConfig {
             dynamic_order: false,
             qbf_backend: QbfBackend::default(),
             paranoid: false,
+            certify: false,
         }
     }
 }
@@ -139,6 +209,10 @@ pub struct HqsStats {
     pub qbf: QbfStats,
     /// `true` when the instance was handed to the QBF backend.
     pub reached_qbf: bool,
+    /// Internal SAT calls that were proof-logged and whose DRAT proof was
+    /// validated by the independent checker (only under
+    /// [`HqsConfig::certify`]).
+    pub certified_sat_calls: u64,
 }
 
 /// The HQS DQBF solver.
@@ -184,9 +258,14 @@ impl HqsSolver {
         self.stats = HqsStats::default();
 
         if self.config.initial_sat_check {
-            let mut sat = hqs_sat::Solver::new();
-            sat.add_cnf(dqbf.matrix());
-            if sat.solve() == hqs_sat::SolveResult::Unsat {
+            let matrix_unsat = if self.config.certify {
+                self.certified_matrix_unsat(dqbf.matrix())
+            } else {
+                let mut sat = hqs_sat::Solver::new();
+                sat.add_cnf(dqbf.matrix());
+                sat.solve() == hqs_sat::SolveResult::Unsat
+            };
+            if matrix_unsat {
                 self.stats.decided_by_initial_sat = true;
                 return DqbfResult::Unsat;
             }
@@ -229,6 +308,73 @@ impl HqsSolver {
             reduced.num_vars(),
         );
         self.main_loop(state)
+    }
+
+    /// Runs the up-front SAT call with DRAT logging; the UNSAT answer is
+    /// only believed if the proof survives the independent checker.
+    fn certified_matrix_unsat(&mut self, matrix: &hqs_cnf::Cnf) -> bool {
+        let buffer = hqs_sat::ProofBuffer::new();
+        let mut sat = hqs_sat::Solver::new();
+        sat.set_proof_logger(Box::new(hqs_sat::TextDratLogger::new(buffer.clone())));
+        sat.ensure_vars(matrix.num_vars());
+        sat.add_cnf(matrix);
+        if sat.solve() != hqs_sat::SolveResult::Unsat || sat.proof_had_error() {
+            return false;
+        }
+        let contents = buffer.contents();
+        let accepted = String::from_utf8(contents)
+            .ok()
+            .and_then(|text| hqs_proof::parse_text_drat(&text).ok())
+            .is_some_and(|proof| {
+                hqs_proof::check_proof(matrix, &proof, hqs_proof::CheckMode::Forward).is_ok()
+            });
+        if accepted {
+            self.stats.certified_sat_calls += 1;
+        }
+        accepted
+    }
+
+    /// Decides `dqbf` and ships a machine-checkable certificate with the
+    /// verdict: Skolem function tables for SAT
+    /// ([`crate::skolem::extract_skolem`]), an expansion trace plus DRAT
+    /// proof for UNSAT ([`crate::refute::extract_refutation`]). Both
+    /// certificates are verified before being returned.
+    ///
+    /// Certificate construction expands the universal quantifiers, so this
+    /// entry point is limited to
+    /// [`MAX_EXPANSION_UNIVERSALS`](crate::expand::MAX_EXPANSION_UNIVERSALS)
+    /// universal variables ([`CertifyError::TooLarge`] otherwise); the
+    /// plain [`solve`](HqsSolver::solve) has no such limit.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CertifyError`] signals an internal soundness bug (or the size
+    /// limit), never a property of the formula.
+    pub fn solve_certified(&mut self, dqbf: &Dqbf) -> Result<CertifiedOutcome, CertifyError> {
+        let mut bound = dqbf.clone();
+        bound.bind_free_vars();
+        if bound.universals().len() > crate::expand::MAX_EXPANSION_UNIVERSALS {
+            return Err(CertifyError::TooLarge);
+        }
+        match self.solve(dqbf) {
+            DqbfResult::Limit(e) => Ok(CertifiedOutcome::Limit(e)),
+            DqbfResult::Sat => {
+                let certificate =
+                    crate::skolem::extract_skolem(dqbf).ok_or(CertifyError::SatNotCertified)?;
+                if !certificate.verify(dqbf) {
+                    return Err(CertifyError::CertificateRejected);
+                }
+                Ok(CertifiedOutcome::Sat(certificate))
+            }
+            DqbfResult::Unsat => {
+                let certificate = crate::refute::extract_refutation(dqbf)
+                    .ok_or(CertifyError::UnsatNotCertified)?;
+                if !certificate.verify(dqbf) {
+                    return Err(CertifyError::CertificateRejected);
+                }
+                Ok(CertifiedOutcome::Unsat(certificate))
+            }
+        }
     }
 
     fn main_loop(&mut self, mut state: AigDqbf) -> DqbfResult {

@@ -1,0 +1,986 @@
+//! RUP/RAT checking of DRAT proofs.
+//!
+//! The engine is an independent reimplementation of two-watched-literal
+//! unit propagation — deliberately sharing no code with `hqs-sat` — used
+//! to decide, for each added clause `C`, whether `C` is a *reverse unit
+//! propagation* (RUP) consequence: asserting `¬C` and propagating must
+//! yield a conflict. When RUP fails the checker falls back to the full
+//! *resolution asymmetric tautology* (RAT) criterion on the first literal
+//! of `C`, as the DRAT format specifies.
+//!
+//! Deletions of clauses that currently justify a root-level assignment
+//! are ignored (counted in [`CheckReport::ignored_deletions`]), matching
+//! the behaviour of `drat-trim`.
+
+use crate::drat::{Proof, ProofStep};
+use hqs_base::{Lit, Var};
+use hqs_cnf::Cnf;
+use std::collections::HashMap;
+use std::fmt;
+
+/// How a proof is traversed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckMode {
+    /// Verify every addition in proof order, streaming.
+    Forward,
+    /// Verify only the lemmas reachable from the final contradiction,
+    /// walking the proof backwards; extracts an unsat core.
+    Backward,
+}
+
+/// Result of a successful proof check.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CheckReport {
+    /// Addition steps whose RUP/RAT property was verified.
+    pub steps_checked: usize,
+    /// Addition steps skipped (after the contradiction in forward mode,
+    /// or unmarked in backward mode).
+    pub steps_skipped: usize,
+    /// Deletion steps ignored because the clause was absent or currently
+    /// the reason of a root-level assignment.
+    pub ignored_deletions: usize,
+    /// Verified additions that needed the RAT fallback (CDCL-generated
+    /// proofs are pure RUP, so this is 0 for `hqs-sat` proofs).
+    pub rat_steps: usize,
+    /// Backward mode only: indices into the original CNF's clause list
+    /// of the clauses the refutation actually uses (an unsat core).
+    pub core: Option<Vec<usize>>,
+}
+
+/// Why a proof was rejected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckError {
+    /// The clause added at `step` (0-based index into the proof) is
+    /// neither RUP nor RAT at that point.
+    StepFailed {
+        /// 0-based proof step index.
+        step: usize,
+    },
+    /// The proof ends without establishing a contradiction.
+    NoContradiction,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::StepFailed { step } => {
+                write!(f, "proof step {step}: clause is neither RUP nor RAT")
+            }
+            CheckError::NoContradiction => {
+                write!(f, "proof ends without deriving a contradiction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Sorts and deduplicates `lits`; returns `None` for tautologies.
+fn normalize(lits: &[Lit]) -> Option<Vec<Lit>> {
+    let mut lits = lits.to_vec();
+    lits.sort_unstable();
+    lits.dedup();
+    if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+        return None;
+    }
+    Some(lits)
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+/// Source of a conflict found by the engine.
+#[derive(Clone, Copy, Debug)]
+enum Conflict {
+    /// An engine clause became falsified.
+    Clause(u32),
+    /// An asserted literal contradicted the existing assignment of `Var`.
+    Var(Var),
+}
+
+/// Two-watched-literal unit propagation over a growable clause set.
+///
+/// Clauses of length ≥ 2 watch their first two literal positions; unit
+/// clauses are enqueued directly and tracked through the trail.
+struct Engine {
+    lits: Vec<Vec<Lit>>,
+    active: Vec<bool>,
+    watches: Vec<Vec<u32>>,
+    value: Vec<i8>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    /// First conflict discovered during root-level propagation.
+    root_conflict: Option<Conflict>,
+}
+
+impl Engine {
+    fn new(num_vars: u32) -> Self {
+        let n = num_vars as usize;
+        Engine {
+            lits: Vec::new(),
+            active: Vec::new(),
+            watches: vec![Vec::new(); 2 * n],
+            value: vec![0; n],
+            reason: vec![NO_REASON; n],
+            trail: Vec::new(),
+            qhead: 0,
+            root_conflict: None,
+        }
+    }
+
+    fn ensure_var(&mut self, var: Var) {
+        let needed = var.index() as usize + 1;
+        if self.value.len() < needed {
+            self.value.resize(needed, 0);
+            self.reason.resize(needed, NO_REASON);
+            self.watches.resize(2 * needed, Vec::new());
+        }
+    }
+
+    #[inline]
+    fn value_of(&self, lit: Lit) -> i8 {
+        let v = self.value[lit.var().index() as usize];
+        if lit.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    #[inline]
+    fn enqueue(&mut self, lit: Lit, reason: u32) {
+        let var = lit.var().index() as usize;
+        self.value[var] = if lit.is_positive() { 1 } else { -1 };
+        self.reason[var] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Inserts a normalized clause and enqueues its unit consequence if it
+    /// has one under the current assignment. Does not propagate.
+    fn add(&mut self, lits: Vec<Lit>) -> u32 {
+        let idx = self.lits.len() as u32;
+        for &l in &lits {
+            self.ensure_var(l.var());
+        }
+        if lits.is_empty() {
+            self.lits.push(lits);
+            self.active.push(true);
+            self.root_conflict.get_or_insert(Conflict::Clause(idx));
+            return idx;
+        }
+        let mut lits = lits;
+        // Move up to two non-false literals to the watch positions.
+        let mut found = 0usize;
+        for i in 0..lits.len() {
+            if self.value_of(lits[i]) >= 0 {
+                lits.swap(found, i);
+                found += 1;
+                if found == 2 {
+                    break;
+                }
+            }
+        }
+        match found {
+            0 => {
+                // All literals false: conflict right now.
+                self.root_conflict.get_or_insert(Conflict::Clause(idx));
+            }
+            1 if self.value_of(lits[0]) == 0 => {
+                self.enqueue(lits[0], idx);
+            }
+            _ => {}
+        }
+        if lits.len() >= 2 {
+            self.watches[lits[0].code() as usize].push(idx);
+            self.watches[lits[1].code() as usize].push(idx);
+        } else if self.value_of(lits[0]) == 0 {
+            self.enqueue(lits[0], idx);
+        }
+        self.lits.push(lits);
+        self.active.push(true);
+        idx
+    }
+
+    /// Propagates to fixpoint; returns the first conflict found.
+    fn propagate(&mut self) -> Option<Conflict> {
+        if let Some(conflict) = self.root_conflict {
+            // A pending conflict from clause insertion: report it once the
+            // caller asks. (Only meaningful while building a context.)
+            self.qhead = self.trail.len();
+            return Some(conflict);
+        }
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let mut list = std::mem::take(&mut self.watches[false_lit.code() as usize]);
+            let mut kept = 0;
+            let mut conflict = None;
+            let mut i = 0;
+            'clauses: while i < list.len() {
+                let cref = list[i];
+                i += 1;
+                if !self.active[cref as usize] {
+                    continue; // lazily drop deleted clauses
+                }
+                if self.lits[cref as usize][0] == false_lit {
+                    self.lits[cref as usize].swap(0, 1);
+                }
+                let first = self.lits[cref as usize][0];
+                if self.value_of(first) > 0 {
+                    list[kept] = cref;
+                    kept += 1;
+                    continue;
+                }
+                for k in 2..self.lits[cref as usize].len() {
+                    let candidate = self.lits[cref as usize][k];
+                    if self.value_of(candidate) >= 0 {
+                        self.lits[cref as usize].swap(1, k);
+                        self.watches[candidate.code() as usize].push(cref);
+                        continue 'clauses;
+                    }
+                }
+                list[kept] = cref;
+                kept += 1;
+                if self.value_of(first) < 0 {
+                    conflict = Some(Conflict::Clause(cref));
+                    while i < list.len() {
+                        list[kept] = list[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.enqueue(first, cref);
+            }
+            list.truncate(kept);
+            self.watches[false_lit.code() as usize] = list;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// Asserts the negation of `clause` (each literal set false); returns
+    /// an immediate conflict if some literal is already true.
+    fn assume_negation(&mut self, clause: &[Lit]) -> Option<Conflict> {
+        for &l in clause {
+            self.ensure_var(l.var());
+            match self.value_of(l) {
+                1 => return Some(Conflict::Var(l.var())),
+                -1 => {}
+                _ => self.enqueue(!l, NO_REASON),
+            }
+        }
+        None
+    }
+
+    /// Unassigns everything above trail position `to`.
+    fn backtrack(&mut self, to: usize) {
+        for i in (to..self.trail.len()).rev() {
+            let var = self.trail[i].var().index() as usize;
+            self.value[var] = 0;
+            self.reason[var] = NO_REASON;
+        }
+        self.trail.truncate(to);
+        self.qhead = to;
+    }
+
+    /// `true` if `cref` is the recorded reason of a currently-true literal
+    /// (deleting it would orphan a root assignment).
+    fn is_reason_locked(&self, cref: u32) -> bool {
+        self.lits[cref as usize]
+            .iter()
+            .any(|&l| self.value_of(l) > 0 && self.reason[l.var().index() as usize] == cref)
+    }
+
+    /// Collects the engine clauses reachable from `conflict` through the
+    /// reason graph, invoking `mark` on each.
+    fn collect_antecedents(&self, conflict: Conflict, mark: &mut dyn FnMut(u32)) {
+        let mut pending_vars: Vec<Var> = Vec::new();
+        let mut seen_vars = vec![false; self.value.len()];
+        let mut seen_clauses = vec![false; self.lits.len()];
+        let visit_clause = |cref: u32,
+                            pending: &mut Vec<Var>,
+                            seen_clauses: &mut Vec<bool>,
+                            mark: &mut dyn FnMut(u32)| {
+            if !seen_clauses[cref as usize] {
+                seen_clauses[cref as usize] = true;
+                mark(cref);
+                for &l in &self.lits[cref as usize] {
+                    pending.push(l.var());
+                }
+            }
+        };
+        match conflict {
+            Conflict::Clause(cref) => {
+                visit_clause(cref, &mut pending_vars, &mut seen_clauses, mark);
+            }
+            Conflict::Var(var) => pending_vars.push(var),
+        }
+        while let Some(var) = pending_vars.pop() {
+            let idx = var.index() as usize;
+            if seen_vars[idx] {
+                continue;
+            }
+            seen_vars[idx] = true;
+            let reason = self.reason[idx];
+            if reason != NO_REASON {
+                visit_clause(reason, &mut pending_vars, &mut seen_clauses, mark);
+            }
+        }
+    }
+}
+
+/// Verdict of one forward-checked addition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AddVerdict {
+    Rup,
+    Rat,
+    Trivial,
+}
+
+/// A streaming forward DRAT checker.
+///
+/// Feed proof steps as they are produced; every addition is verified
+/// immediately, so arbitrarily large proofs can be checked without
+/// materialising them. [`ForwardChecker::contradiction`] reports whether
+/// the refutation is complete.
+///
+/// # Examples
+///
+/// ```
+/// use hqs_cnf::dimacs::parse_dimacs;
+/// use hqs_base::Lit;
+/// use hqs_proof::ForwardChecker;
+///
+/// let cnf = parse_dimacs("p cnf 2 4\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 0\n").unwrap();
+/// let mut checker = ForwardChecker::new(&cnf);
+/// checker.add_clause(&[Lit::from_dimacs(2).unwrap()]).unwrap();
+/// checker.add_clause(&[]).unwrap();
+/// assert!(checker.contradiction());
+/// ```
+pub struct ForwardChecker {
+    engine: Engine,
+    index: HashMap<Vec<Lit>, Vec<u32>>,
+    contradiction: bool,
+    steps_checked: usize,
+    steps_skipped: usize,
+    ignored_deletions: usize,
+    rat_steps: usize,
+}
+
+impl ForwardChecker {
+    /// Builds a checker over the original formula.
+    #[must_use]
+    pub fn new(cnf: &Cnf) -> Self {
+        let mut checker = ForwardChecker {
+            engine: Engine::new(cnf.num_vars()),
+            index: HashMap::new(),
+            contradiction: false,
+            steps_checked: 0,
+            steps_skipped: 0,
+            ignored_deletions: 0,
+            rat_steps: 0,
+        };
+        for clause in cnf.clauses() {
+            let Some(lits) = normalize(clause.lits()) else {
+                continue; // tautologies never participate
+            };
+            checker.insert(lits);
+        }
+        if checker.engine.propagate().is_some() {
+            checker.contradiction = true;
+        }
+        checker
+    }
+
+    fn insert(&mut self, lits: Vec<Lit>) {
+        let idx = self.engine.add(lits.clone());
+        self.index.entry(lits).or_default().push(idx);
+    }
+
+    /// `true` once the refutation is complete (a conflict at root level).
+    #[must_use]
+    pub fn contradiction(&self) -> bool {
+        self.contradiction
+    }
+
+    /// Checks and applies a clause addition.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::StepFailed`] (with step 0; callers track indices) if
+    /// the clause is neither RUP nor RAT.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> Result<(), CheckError> {
+        if self.contradiction {
+            self.steps_skipped += 1;
+            return Ok(());
+        }
+        let Some(normalized) = normalize(lits) else {
+            self.steps_checked += 1;
+            return Ok(()); // tautology: trivially redundant, not stored
+        };
+        match self.verify(&normalized) {
+            Some(AddVerdict::Rat) => {
+                self.rat_steps += 1;
+                self.steps_checked += 1;
+            }
+            Some(_) => self.steps_checked += 1,
+            None => return Err(CheckError::StepFailed { step: 0 }),
+        }
+        self.insert(normalized);
+        if self.engine.propagate().is_some() {
+            self.contradiction = true;
+        }
+        Ok(())
+    }
+
+    /// Applies a clause deletion; unknown or reason-locked clauses are
+    /// ignored (counted, matching `drat-trim`).
+    pub fn delete_clause(&mut self, lits: &[Lit]) {
+        if self.contradiction {
+            return;
+        }
+        let Some(normalized) = normalize(lits) else {
+            self.ignored_deletions += 1;
+            return;
+        };
+        let locked = match self.index.get_mut(&normalized) {
+            Some(ids) if !ids.is_empty() => {
+                let cref = ids[ids.len() - 1];
+                if self.engine.is_reason_locked(cref) {
+                    true
+                } else {
+                    ids.pop();
+                    self.engine.active[cref as usize] = false;
+                    return;
+                }
+            }
+            _ => true,
+        };
+        if locked {
+            self.ignored_deletions += 1;
+        }
+    }
+
+    /// Applies one proof step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CheckError::StepFailed`] from additions.
+    pub fn apply(&mut self, step: &ProofStep) -> Result<(), CheckError> {
+        match step {
+            ProofStep::Add(lits) => self.add_clause(lits),
+            ProofStep::Delete(lits) => {
+                self.delete_clause(lits);
+                Ok(())
+            }
+        }
+    }
+
+    /// RUP check with RAT fallback; `None` means the clause is unjustified.
+    fn verify(&mut self, clause: &[Lit]) -> Option<AddVerdict> {
+        if clause.iter().any(|&l| self.engine.value_of(l) > 0) {
+            return Some(AddVerdict::Trivial); // satisfied at root level
+        }
+        if self.rup(clause) {
+            return Some(AddVerdict::Rup);
+        }
+        if self.rat(clause) {
+            return Some(AddVerdict::Rat);
+        }
+        None
+    }
+
+    fn rup(&mut self, clause: &[Lit]) -> bool {
+        let save = self.engine.trail.len();
+        let conflict = self
+            .engine
+            .assume_negation(clause)
+            .or_else(|| self.engine.propagate());
+        self.engine.backtrack(save);
+        conflict.is_some()
+    }
+
+    /// RAT on the first literal: every resolvent with an active clause
+    /// containing the negated pivot must be RUP (or a tautology).
+    fn rat(&mut self, clause: &[Lit]) -> bool {
+        let Some(&pivot) = clause.first() else {
+            return false; // the empty clause has no pivot
+        };
+        let neg = !pivot;
+        for cref in 0..self.engine.lits.len() {
+            if !self.engine.active[cref] || !self.engine.lits[cref].contains(&neg) {
+                continue;
+            }
+            let mut resolvent: Vec<Lit> = clause
+                .iter()
+                .copied()
+                .filter(|&l| l != pivot)
+                .chain(self.engine.lits[cref].iter().copied().filter(|&l| l != neg))
+                .collect();
+            resolvent.sort_unstable();
+            resolvent.dedup();
+            if resolvent.windows(2).any(|w| w[0].var() == w[1].var()) {
+                continue; // tautological resolvent
+            }
+            if !self.rup(&resolvent) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Origin of a timeline record in the backward checker.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Origin {
+    Original(usize),
+    Lemma(usize),
+}
+
+/// A clause with its lifetime over proof points: alive at point `p` when
+/// `birth <= p < death` (point `i+1` is "after step `i`").
+struct Record {
+    lits: Vec<Lit>,
+    birth: usize,
+    death: usize,
+    origin: Origin,
+}
+
+/// Checks `proof` against `cnf`.
+///
+/// Forward mode verifies every addition in order and succeeds once a
+/// root-level contradiction is established. Backward mode verifies only
+/// the lemmas the final contradiction depends on and reports the unsat
+/// core in [`CheckReport::core`].
+///
+/// # Errors
+///
+/// [`CheckError::StepFailed`] if a (marked) addition is neither RUP nor
+/// RAT; [`CheckError::NoContradiction`] if the proof never refutes the
+/// formula.
+pub fn check_proof(cnf: &Cnf, proof: &Proof, mode: CheckMode) -> Result<CheckReport, CheckError> {
+    match mode {
+        CheckMode::Forward => check_forward(cnf, proof),
+        CheckMode::Backward => check_backward(cnf, proof),
+    }
+}
+
+fn check_forward(cnf: &Cnf, proof: &Proof) -> Result<CheckReport, CheckError> {
+    let mut checker = ForwardChecker::new(cnf);
+    for (step_idx, step) in proof.steps.iter().enumerate() {
+        checker
+            .apply(step)
+            .map_err(|_| CheckError::StepFailed { step: step_idx })?;
+    }
+    if !checker.contradiction {
+        return Err(CheckError::NoContradiction);
+    }
+    Ok(CheckReport {
+        steps_checked: checker.steps_checked,
+        steps_skipped: checker.steps_skipped,
+        ignored_deletions: checker.ignored_deletions,
+        rat_steps: checker.rat_steps,
+        core: None,
+    })
+}
+
+/// Backward checker state: the full clause timeline plus marking flags.
+struct BackwardChecker {
+    records: Vec<Record>,
+    marked: Vec<bool>,
+    rat_steps: usize,
+}
+
+impl BackwardChecker {
+    /// Builds a propagation context from the records alive at `point`,
+    /// excluding record `skip`; returns the context and the map from
+    /// engine clause index to record index.
+    fn context_at(&self, point: usize, skip: usize) -> (Engine, Vec<usize>) {
+        let mut num_vars = 0u32;
+        for record in &self.records {
+            for &l in &record.lits {
+                num_vars = num_vars.max(l.var().index() + 1);
+            }
+        }
+        let mut engine = Engine::new(num_vars);
+        let mut ext = Vec::new();
+        for (idx, record) in self.records.iter().enumerate() {
+            if idx != skip && record.birth <= point && point < record.death {
+                engine.add(record.lits.clone());
+                ext.push(idx);
+            }
+        }
+        (engine, ext)
+    }
+
+    /// Verifies that the clause of record `skip` (or the empty clause if
+    /// `skip == usize::MAX`) holds by RUP/RAT at `point`; marks the
+    /// records its justification uses.
+    fn verify_at(&mut self, point: usize, skip: usize, clause: &[Lit]) -> bool {
+        let (mut engine, ext) = self.context_at(point, skip);
+        // The context may already be contradictory before assuming ¬C.
+        let conflict = engine.propagate().or_else(|| {
+            let confl = engine.assume_negation(clause);
+            confl.or_else(|| engine.propagate())
+        });
+        if let Some(conflict) = conflict {
+            let marked = &mut self.marked;
+            engine.collect_antecedents(conflict, &mut |cref| {
+                marked[ext[cref as usize]] = true;
+            });
+            return true;
+        }
+        // RAT fallback on the first literal.
+        let Some(&pivot) = clause.first() else {
+            return false;
+        };
+        let neg = !pivot;
+        let candidates: Vec<u32> = (0..engine.lits.len() as u32)
+            .filter(|&c| engine.lits[c as usize].contains(&neg))
+            .collect();
+        for cref in candidates {
+            let mut resolvent: Vec<Lit> = clause
+                .iter()
+                .copied()
+                .filter(|&l| l != pivot)
+                .chain(
+                    engine.lits[cref as usize]
+                        .iter()
+                        .copied()
+                        .filter(|&l| l != neg),
+                )
+                .collect();
+            resolvent.sort_unstable();
+            resolvent.dedup();
+            if resolvent.windows(2).any(|w| w[0].var() == w[1].var()) {
+                self.marked[ext[cref as usize]] = true;
+                continue;
+            }
+            let save = engine.trail.len();
+            let conflict = engine
+                .assume_negation(&resolvent)
+                .or_else(|| engine.propagate());
+            engine.backtrack(save);
+            let Some(conflict) = conflict else {
+                return false;
+            };
+            self.marked[ext[cref as usize]] = true;
+            let marked = &mut self.marked;
+            engine.collect_antecedents(conflict, &mut |c| {
+                marked[ext[c as usize]] = true;
+            });
+        }
+        self.rat_steps += 1;
+        true
+    }
+}
+
+fn check_backward(cnf: &Cnf, proof: &Proof) -> Result<CheckReport, CheckError> {
+    let mut records: Vec<Record> = Vec::new();
+    let mut alive: HashMap<Vec<Lit>, Vec<usize>> = HashMap::new();
+    let mut step_record: Vec<Option<usize>> = vec![None; proof.steps.len()];
+    let mut ignored_deletions = 0usize;
+    for (idx, clause) in cnf.clauses().iter().enumerate() {
+        let Some(lits) = normalize(clause.lits()) else {
+            continue;
+        };
+        alive.entry(lits.clone()).or_default().push(records.len());
+        records.push(Record {
+            lits,
+            birth: 0,
+            death: usize::MAX,
+            origin: Origin::Original(idx),
+        });
+    }
+    let mut empty_step: Option<usize> = None;
+    for (i, step) in proof.steps.iter().enumerate() {
+        match step {
+            ProofStep::Add(lits) => {
+                let Some(lits) = normalize(lits) else {
+                    continue; // tautologies are trivially redundant
+                };
+                if lits.is_empty() && empty_step.is_none() {
+                    empty_step = Some(i);
+                }
+                alive.entry(lits.clone()).or_default().push(records.len());
+                step_record[i] = Some(records.len());
+                records.push(Record {
+                    lits,
+                    birth: i + 1,
+                    death: usize::MAX,
+                    origin: Origin::Lemma(i),
+                });
+            }
+            ProofStep::Delete(lits) => {
+                let deleted = normalize(lits).and_then(|lits| {
+                    alive.get_mut(&lits).and_then(|ids| {
+                        // Delete the most recent alive copy, but never an
+                        // original needed before this point... lifetimes
+                        // handle ordering; just pop the newest.
+                        ids.pop()
+                    })
+                });
+                match deleted {
+                    Some(record) => records[record].death = i + 1,
+                    None => ignored_deletions += 1,
+                }
+            }
+        }
+    }
+
+    let mut checker = BackwardChecker {
+        marked: vec![false; records.len()],
+        records,
+        rat_steps: 0,
+    };
+
+    // Locate the contradiction: the original formula itself, the first
+    // explicit empty clause, or (fallback) the end of the proof.
+    let (target_point, target_step) = if checker.verify_at(0, usize::MAX, &[]) {
+        (0, 0)
+    } else if let Some(step) = empty_step {
+        if !checker.verify_at(step, step_record[step].unwrap_or(usize::MAX), &[]) {
+            return Err(CheckError::StepFailed { step });
+        }
+        (step, step)
+    } else if checker.verify_at(proof.steps.len(), usize::MAX, &[]) {
+        (proof.steps.len(), proof.steps.len())
+    } else {
+        return Err(CheckError::NoContradiction);
+    };
+    let _ = target_point;
+
+    let mut steps_checked = if target_step < proof.steps.len() {
+        1
+    } else {
+        0
+    };
+    let mut steps_skipped = 0usize;
+    for i in (0..target_step).rev() {
+        let Some(record) = step_record[i] else {
+            continue; // deletion or tautology
+        };
+        if !checker.marked[record] {
+            steps_skipped += 1;
+            continue;
+        }
+        let clause = checker.records[record].lits.clone();
+        if !checker.verify_at(i, record, &clause) {
+            return Err(CheckError::StepFailed { step: i });
+        }
+        steps_checked += 1;
+    }
+
+    let mut core: Vec<usize> = checker
+        .records
+        .iter()
+        .zip(&checker.marked)
+        .filter_map(|(record, &marked)| match record.origin {
+            Origin::Original(idx) if marked => Some(idx),
+            _ => None,
+        })
+        .collect();
+    core.sort_unstable();
+    core.dedup();
+    Ok(CheckReport {
+        steps_checked,
+        steps_skipped,
+        ignored_deletions,
+        rat_steps: checker.rat_steps,
+        core: Some(core),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drat::parse_text_drat;
+    use hqs_cnf::dimacs::parse_dimacs;
+
+    fn lit(v: i64) -> Lit {
+        Lit::from_dimacs(v).unwrap()
+    }
+
+    const FULL2: &str = "p cnf 2 4\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 0\n";
+
+    #[test]
+    fn forward_accepts_a_valid_refutation() {
+        let cnf = parse_dimacs(FULL2).unwrap();
+        let proof = parse_text_drat("2 0\n0\n").unwrap();
+        let report = check_proof(&cnf, &proof, CheckMode::Forward).unwrap();
+        // Adding unit 2 already propagates to a conflict, so the explicit
+        // empty clause is redundant and skipped.
+        assert_eq!(report.steps_checked, 1);
+        assert_eq!(report.steps_skipped, 1);
+        assert_eq!(report.rat_steps, 0);
+        assert!(report.core.is_none());
+    }
+
+    #[test]
+    fn backward_extracts_the_full_core() {
+        let cnf = parse_dimacs(FULL2).unwrap();
+        let proof = parse_text_drat("2 0\n0\n").unwrap();
+        let report = check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
+        assert_eq!(report.core, Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn backward_core_excludes_irrelevant_clauses() {
+        // Same refutation with an irrelevant extra clause (3 4).
+        let cnf = parse_dimacs("p cnf 4 5\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 0\n3 4 0\n").unwrap();
+        let proof = parse_text_drat("2 0\n0\n").unwrap();
+        let report = check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
+        assert_eq!(report.core, Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn non_rup_addition_is_rejected_in_both_modes() {
+        // Unit 1 is RAT on its pivot (no clause contains -1, so it is
+        // blocked), but the empty clause then fails: (1)(1 2) is SAT.
+        let cnf = parse_dimacs("p cnf 2 1\n1 2 0\n").unwrap();
+        let proof = parse_text_drat("1 0\n0\n").unwrap();
+        assert_eq!(
+            check_proof(&cnf, &proof, CheckMode::Forward),
+            Err(CheckError::StepFailed { step: 1 })
+        );
+        assert!(check_proof(&cnf, &proof, CheckMode::Backward).is_err());
+        // A non-unit clause that is neither RUP nor RAT fails immediately:
+        // (2 3) resolves with (-2 4) to the non-tautological (3 4).
+        let cnf = parse_dimacs("p cnf 4 2\n1 2 0\n-2 4 0\n").unwrap();
+        let proof = parse_text_drat("2 3 0\n").unwrap();
+        assert_eq!(
+            check_proof(&cnf, &proof, CheckMode::Forward),
+            Err(CheckError::StepFailed { step: 0 })
+        );
+    }
+
+    #[test]
+    fn missing_contradiction_is_rejected() {
+        let proof = parse_text_drat("2 0\n").unwrap();
+        // Deriving 2 alone leaves (1 -2)(-1 -2): unit propagation refutes,
+        // so forward mode actually completes; remove that by weakening.
+        let weak = parse_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n").unwrap();
+        assert_eq!(
+            check_proof(&weak, &proof, CheckMode::Forward),
+            Err(CheckError::NoContradiction)
+        );
+        assert_eq!(
+            check_proof(&weak, &proof, CheckMode::Backward),
+            Err(CheckError::NoContradiction)
+        );
+    }
+
+    #[test]
+    fn implicit_contradiction_without_empty_clause_is_accepted() {
+        // Adding unit 2 makes (1 -2)(-1 -2) propagate to a conflict.
+        let cnf = parse_dimacs(FULL2).unwrap();
+        let proof = parse_text_drat("2 0\n").unwrap();
+        assert!(check_proof(&cnf, &proof, CheckMode::Forward).is_ok());
+        assert!(check_proof(&cnf, &proof, CheckMode::Backward).is_ok());
+    }
+
+    #[test]
+    fn deletions_are_honoured_and_locked_deletions_ignored() {
+        // Satisfiable base so the contradiction never fires early.
+        let cnf = parse_dimacs("p cnf 2 3\n1 2 0\n-1 2 0\n1 -2 0\n").unwrap();
+        let mut checker = ForwardChecker::new(&cnf);
+        checker.add_clause(&[lit(2)]).unwrap();
+        checker.delete_clause(&[lit(1), lit(2)]); // present: removed
+        checker.delete_clause(&[lit(1)]); // absent: ignored
+        assert_eq!(checker.ignored_deletions, 1);
+        // The unit clause 2 is now the reason of assignment 2: locked.
+        checker.delete_clause(&[lit(2)]);
+        assert_eq!(checker.ignored_deletions, 2);
+        assert!(!checker.contradiction());
+    }
+
+    #[test]
+    fn deleting_a_needed_clause_breaks_the_proof() {
+        let cnf = parse_dimacs(FULL2).unwrap();
+        // Delete (1 -2) before deriving 2... then unit 2 is still RUP via
+        // (1 2)/(-1 2)? No: RUP of [2] asserts ¬2; (1 2)→1, (-1 2)→conflict.
+        // Delete both clauses containing -2 instead, breaking the final step.
+        let proof = parse_text_drat("d 1 -2 0\nd -1 -2 0\n2 0\n0\n").unwrap();
+        assert_eq!(
+            check_proof(&cnf, &proof, CheckMode::Forward),
+            Err(CheckError::StepFailed { step: 3 })
+        );
+        assert!(check_proof(&cnf, &proof, CheckMode::Backward).is_err());
+    }
+
+    #[test]
+    fn empty_original_clause_is_a_trivial_refutation() {
+        let cnf = parse_dimacs("p cnf 1 2\n1 0\n0\n").unwrap();
+        let proof = Proof::default();
+        assert!(check_proof(&cnf, &proof, CheckMode::Forward).is_ok());
+        let report = check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
+        assert_eq!(report.core, Some(vec![1]));
+    }
+
+    #[test]
+    fn conflicting_units_refute_without_proof() {
+        let cnf = parse_dimacs("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert!(check_proof(&cnf, &Proof::default(), CheckMode::Forward).is_ok());
+        let report = check_proof(&cnf, &Proof::default(), CheckMode::Backward).unwrap();
+        assert_eq!(report.core, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn satisfiable_formula_rejects_empty_proof() {
+        let cnf = parse_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n").unwrap();
+        assert_eq!(
+            check_proof(&cnf, &Proof::default(), CheckMode::Forward),
+            Err(CheckError::NoContradiction)
+        );
+        assert_eq!(
+            check_proof(&cnf, &Proof::default(), CheckMode::Backward),
+            Err(CheckError::NoContradiction)
+        );
+    }
+
+    #[test]
+    fn rat_step_is_accepted() {
+        // F = (¬a∨b). C = (a∨¬b) is not RUP but is RAT on a: the only
+        // resolvent, with (¬a∨b), is tautological. Streaming API verdict.
+        let cnf = parse_dimacs("p cnf 2 1\n-1 2 0\n").unwrap();
+        let mut checker = ForwardChecker::new(&cnf);
+        assert!(checker.add_clause(&[lit(1), lit(-2)]).is_ok());
+        assert!(!checker.contradiction());
+        // And a clause that is neither RUP nor RAT is rejected.
+        let mut checker = ForwardChecker::new(&cnf);
+        assert!(checker.add_clause(&[lit(1)]).is_err());
+    }
+
+    #[test]
+    fn pigeonhole_resolution_style_proof() {
+        // PHP(2,1): pigeons 1,2 into hole 1. Vars: p11=1, p21=2.
+        let cnf = parse_dimacs("p cnf 2 3\n1 0\n2 0\n-1 -2 0\n").unwrap();
+        let proof = parse_text_drat("0\n").unwrap();
+        assert!(check_proof(&cnf, &proof, CheckMode::Forward).is_ok());
+        let report = check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
+        assert_eq!(report.core, Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn backward_skips_unused_lemmas() {
+        let cnf = parse_dimacs(FULL2).unwrap();
+        // Lemma (1 2) duplicates an original (RUP trivially via subsumption
+        // check path) and is never needed.
+        let proof = parse_text_drat("1 2 0\n2 0\n0\n").unwrap();
+        let report = check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
+        assert!(report.steps_skipped >= 1, "{report:?}");
+    }
+
+    #[test]
+    fn tautological_additions_are_no_ops() {
+        let cnf = parse_dimacs(FULL2).unwrap();
+        let proof = parse_text_drat("1 -1 0\n2 0\n0\n").unwrap();
+        assert!(check_proof(&cnf, &proof, CheckMode::Forward).is_ok());
+        assert!(check_proof(&cnf, &proof, CheckMode::Backward).is_ok());
+    }
+}

@@ -1,0 +1,50 @@
+//! An independent DRAT proof checker.
+//!
+//! The HQS pipeline certifies its SAT verdicts with Skolem-function
+//! certificates (`hqs-core::skolem`); this crate supplies the UNSAT half:
+//! it checks **DRAT** refutation proofs — the standard clausal proof
+//! format of the SAT competitions — against the original CNF, so an UNSAT
+//! answer becomes a machine-checkable artifact instead of an act of faith
+//! in the solver.
+//!
+//! Independence is the design constraint: this crate depends only on
+//! `hqs-base` (literals) and `hqs-cnf` (formulas) and shares **no code**
+//! with the CDCL solver in `hqs-sat`. The checker reimplements unit
+//! propagation from scratch; a bug would have to occur twice, in two
+//! unrelated implementations, to let a bogus proof through.
+//!
+//! Two checking modes are provided:
+//!
+//! * [`CheckMode::Forward`] — streaming: every addition is verified
+//!   (RUP, with a RAT fallback) the moment it arrives. Also available
+//!   incrementally through [`ForwardChecker`] for proofs too large to
+//!   materialise.
+//! * [`CheckMode::Backward`] — verifies only the lemmas that actually
+//!   contribute to the final contradiction (marked transitively from the
+//!   empty clause) and extracts an **unsat core** of original clauses.
+//!
+//! # Examples
+//!
+//! ```
+//! use hqs_cnf::dimacs::parse_dimacs;
+//! use hqs_proof::{check_proof, parse_text_drat, CheckMode};
+//!
+//! // (a∨b)(¬a∨b)(a∨¬b)(¬a∨¬b) refuted by deriving b, then ⊥.
+//! let cnf = parse_dimacs("p cnf 2 4\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 0\n").unwrap();
+//! let proof = parse_text_drat("2 0\n0\n").unwrap();
+//! let report = check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
+//! assert_eq!(report.steps_checked, 2);
+//! assert!(report.core.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod drat;
+
+pub use checker::{check_proof, CheckError, CheckMode, CheckReport, ForwardChecker};
+pub use drat::{
+    parse_binary_drat, parse_text_drat, write_binary_drat, write_text_drat, Proof, ProofParseError,
+    ProofStep,
+};

@@ -9,8 +9,11 @@
 //! * Luby-sequence restarts,
 //! * activity/LBD-driven learnt-clause database reduction,
 //! * incremental solving under assumptions with failed-assumption
-//!   extraction (used by the MaxSAT layer), and
-//! * an optional conflict budget for any-time use by the DQBF harness.
+//!   extraction (used by the MaxSAT layer),
+//! * an optional conflict budget for any-time use by the DQBF harness, and
+//! * optional DRAT proof logging (text or binary) through
+//!   [`ProofLogger`], so UNSAT verdicts can be validated by the
+//!   independent checker in `hqs-proof`.
 //!
 //! # Examples
 //!
@@ -33,8 +36,10 @@
 mod check;
 mod heap;
 mod luby;
+mod proof;
 pub mod reference;
 mod solver;
 
 pub use hqs_base::InvariantViolation;
+pub use proof::{BinaryDratLogger, ProofBuffer, ProofLogger, TextDratLogger};
 pub use solver::{SolveResult, Solver, SolverStats};

@@ -2,6 +2,7 @@
 
 use crate::heap::VarOrder;
 use crate::luby::Luby;
+use crate::proof::ProofLogger;
 use hqs_base::{Assignment, Lit, Var};
 use hqs_cnf::Cnf;
 use std::fmt;
@@ -113,6 +114,7 @@ pub struct Solver {
     max_learnts: f64,
     stats: SolverStats,
     analyze_clear: Vec<Var>,
+    proof: Option<Box<dyn ProofLogger>>,
 }
 
 impl Default for Solver {
@@ -158,6 +160,52 @@ impl Solver {
             max_learnts: 4000.0,
             stats: SolverStats::default(),
             analyze_clear: Vec::new(),
+            proof: None,
+        }
+    }
+
+    /// Attaches a proof logger; every subsequently derived or deleted
+    /// clause is emitted as a DRAT step.
+    ///
+    /// The proof refutes the conjunction of exactly the clauses passed to
+    /// [`Solver::add_clause`] (before simplification): give an independent
+    /// checker that clause set as the original formula. Attach the logger
+    /// **before** adding clauses, otherwise strengthening steps performed
+    /// during earlier `add_clause` calls are missing from the proof.
+    pub fn set_proof_logger(&mut self, logger: Box<dyn ProofLogger>) {
+        self.proof = Some(logger);
+    }
+
+    /// Detaches and returns the proof logger, if any.
+    pub fn take_proof_logger(&mut self) -> Option<Box<dyn ProofLogger>> {
+        self.proof.take()
+    }
+
+    /// `true` if a proof logger is attached and has recorded an emission
+    /// failure (the proof is incomplete and must not be trusted).
+    #[must_use]
+    pub fn proof_had_error(&self) -> bool {
+        self.proof.as_ref().is_some_and(|p| p.had_error())
+    }
+
+    /// Overrides the learnt-clause limit that triggers database
+    /// reduction (default 4000). Exposed so tests can force aggressive
+    /// clause deletion and exercise the DRAT deletion path.
+    pub fn set_max_learnts(&mut self, limit: f64) {
+        self.max_learnts = limit;
+    }
+
+    #[inline]
+    fn proof_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.add_clause(lits);
+        }
+    }
+
+    #[inline]
+    fn proof_delete(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.delete_clause(lits);
         }
     }
 
@@ -222,9 +270,26 @@ impl Solver {
         if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
             return true;
         }
+        let original = if self.proof.is_some() {
+            Some(lits.clone())
+        } else {
+            None
+        };
         lits.retain(|&l| self.value(l) != Lbool::False);
         if lits.iter().any(|&l| self.value(l) == Lbool::True) {
+            // Satisfied at level 0: never attached, so tell the proof the
+            // original is gone (a deletion is always sound).
+            if let Some(original) = original {
+                self.proof_delete(&original);
+            }
             return true;
+        }
+        if let Some(original) = original.filter(|o| o.len() != lits.len()) {
+            // Strengthened by level-0 falsified literals: the shrunk clause
+            // is RUP (each removed literal is falsified by root propagation)
+            // and replaces the original.
+            self.proof_add(&lits);
+            self.proof_delete(&original);
         }
         match lits.len() {
             0 => {
@@ -234,6 +299,9 @@ impl Solver {
             1 => {
                 self.unchecked_enqueue(lits[0], NO_REASON);
                 self.ok = self.propagate().is_none();
+                if !self.ok {
+                    self.proof_add(&[]);
+                }
                 self.ok
             }
             _ => {
@@ -380,6 +448,7 @@ impl Solver {
                     conflicts_this_restart += 1;
                     if self.decision_level() == 0 {
                         self.ok = false;
+                        self.proof_add(&[]);
                         break SolveResult::Unsat;
                     }
                     if self.current_level_has_no_decision(assumptions.len()) {
@@ -687,6 +756,7 @@ impl Solver {
     }
 
     fn learn(&mut self, learnt: Vec<Lit>, lbd: u32) {
+        self.proof_add(&learnt);
         let asserting = learnt[0];
         if learnt.len() == 1 {
             self.unchecked_enqueue(asserting, NO_REASON);
@@ -771,8 +841,8 @@ impl Solver {
         let to_delete = candidates.len() / 2;
         for &idx in candidates.iter().take(to_delete) {
             self.clauses[idx as usize].deleted = true;
-            self.clauses[idx as usize].lits.clear();
-            self.clauses[idx as usize].lits.shrink_to_fit();
+            let lits = std::mem::take(&mut self.clauses[idx as usize].lits);
+            self.proof_delete(&lits);
             self.stats.deleted_clauses += 1;
         }
         self.learnt_indices

@@ -1,0 +1,201 @@
+//! End-to-end proof round trips: DRAT emitted by the CDCL solver in this
+//! crate, checked by the independent checker in `hqs-proof`.
+//!
+//! The two crates share no propagation or serialisation code — the byte
+//! stream produced by the logger is the only bridge — so these tests
+//! exercise the full certification contract.
+
+use hqs_base::Lit;
+use hqs_cnf::Cnf;
+use hqs_proof::{check_proof, parse_binary_drat, parse_text_drat, CheckMode, Proof, ProofStep};
+use hqs_sat::{BinaryDratLogger, ProofBuffer, SolveResult, Solver, TextDratLogger};
+
+fn lit(v: i64) -> Lit {
+    Lit::from_dimacs(v).unwrap()
+}
+
+/// Builds the CNF (for the checker) and a proof-logging solver (text
+/// format) loaded with the same clauses.
+fn logged_solver(clauses: &[&[i64]]) -> (Cnf, Solver, ProofBuffer) {
+    let mut cnf = Cnf::new(0);
+    let buffer = ProofBuffer::new();
+    let mut solver = Solver::new();
+    solver.set_proof_logger(Box::new(TextDratLogger::new(buffer.clone())));
+    for c in clauses {
+        let lits: Vec<Lit> = c.iter().map(|&v| lit(v)).collect();
+        for &l in &lits {
+            cnf.ensure_num_vars(l.var().index() + 1);
+        }
+        cnf.add_lits(lits.iter().copied());
+        solver.add_clause(lits);
+    }
+    (cnf, solver, buffer)
+}
+
+fn pigeonhole(pigeons: i64, holes: i64) -> Vec<Vec<i64>> {
+    let var = |p: i64, h: i64| (p - 1) * holes + h;
+    let mut clauses = Vec::new();
+    for p in 1..=pigeons {
+        clauses.push((1..=holes).map(|h| var(p, h)).collect());
+    }
+    for h in 1..=holes {
+        for p1 in 1..=pigeons {
+            for p2 in (p1 + 1)..=pigeons {
+                clauses.push(vec![-var(p1, h), -var(p2, h)]);
+            }
+        }
+    }
+    clauses
+}
+
+#[test]
+fn hand_built_unsat_proof_checks() {
+    // (a∨b)(¬a∨b)(a∨¬b)(¬a∨¬b): the smallest real CDCL refutation.
+    let (cnf, mut solver, buffer) = logged_solver(&[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    assert!(!solver.proof_had_error());
+    let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();
+    assert!(proof.additions() > 0);
+    check_proof(&cnf, &proof, CheckMode::Forward).unwrap();
+    let report = check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
+    assert!(report.core.is_some());
+}
+
+#[test]
+fn pigeonhole_proof_checks_and_has_a_full_core() {
+    let clauses = pigeonhole(4, 3);
+    let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
+    let (cnf, mut solver, buffer) = logged_solver(&refs);
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();
+    check_proof(&cnf, &proof, CheckMode::Forward).unwrap();
+    let report = check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
+    // CDCL emits pure-RUP proofs: the RAT fallback must never fire.
+    assert_eq!(report.rat_steps, 0);
+    assert!(report.core.is_some());
+}
+
+#[test]
+fn strengthened_and_satisfied_clauses_emit_deletions() {
+    // Unit 1 makes (−1 2 3) strengthen to (2 3) and satisfies (1 4).
+    let (cnf, mut solver, buffer) = logged_solver(&[&[1], &[-1, 2, 3], &[1, 4], &[-2], &[-3]]);
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    let text = String::from_utf8(buffer.contents()).unwrap();
+    let proof = parse_text_drat(&text).unwrap();
+    assert!(
+        proof.deletions() >= 2,
+        "expected deletions for the strengthened and the satisfied clause:\n{text}"
+    );
+    check_proof(&cnf, &proof, CheckMode::Forward).unwrap();
+    check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
+}
+
+#[test]
+fn conflict_during_clause_addition_emits_the_empty_clause() {
+    // Adding -2 after 1, (−1 2) closes the formula by unit propagation
+    // inside add_clause; the proof must still end in the empty clause.
+    let (cnf, mut solver, buffer) = logged_solver(&[&[1], &[-1, 2], &[-2]]);
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();
+    assert!(proof
+        .steps
+        .iter()
+        .any(|s| matches!(s, ProofStep::Add(c) if c.is_empty())));
+    check_proof(&cnf, &proof, CheckMode::Forward).unwrap();
+    check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
+}
+
+#[test]
+fn aggressive_database_reduction_keeps_the_proof_valid() {
+    // Force reduce_db to fire constantly; the emitted deletions must not
+    // break checkability of the final refutation.
+    let clauses = pigeonhole(6, 5);
+    let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
+    let mut cnf = Cnf::new(0);
+    let buffer = ProofBuffer::new();
+    let mut solver = Solver::new();
+    solver.set_proof_logger(Box::new(TextDratLogger::new(buffer.clone())));
+    solver.set_max_learnts(8.0);
+    for c in &refs {
+        let lits: Vec<Lit> = c.iter().map(|&v| lit(v)).collect();
+        for &l in &lits {
+            cnf.ensure_num_vars(l.var().index() + 1);
+        }
+        cnf.add_lits(lits.iter().copied());
+        solver.add_clause(lits);
+    }
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    assert!(solver.stats().deleted_clauses > 0, "reduce_db never fired");
+    let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();
+    assert!(proof.deletions() > 0);
+    check_proof(&cnf, &proof, CheckMode::Forward).unwrap();
+    check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
+}
+
+#[test]
+fn binary_proof_round_trips_through_the_checker() {
+    let clauses = pigeonhole(4, 3);
+    let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
+    let mut cnf = Cnf::new(0);
+    let buffer = ProofBuffer::new();
+    let mut solver = Solver::new();
+    solver.set_proof_logger(Box::new(BinaryDratLogger::new(buffer.clone())));
+    for c in &refs {
+        let lits: Vec<Lit> = c.iter().map(|&v| lit(v)).collect();
+        for &l in &lits {
+            cnf.ensure_num_vars(l.var().index() + 1);
+        }
+        cnf.add_lits(lits.iter().copied());
+        solver.add_clause(lits);
+    }
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    let proof = parse_binary_drat(&buffer.contents()).unwrap();
+    assert!(proof.additions() > 0);
+    check_proof(&cnf, &proof, CheckMode::Forward).unwrap();
+    check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
+}
+
+#[test]
+fn corrupted_proof_is_rejected() {
+    let clauses = pigeonhole(4, 3);
+    let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
+    let (cnf, mut solver, buffer) = logged_solver(&refs);
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();
+    // Strip every addition: the gutted proof must not check (pigeonhole
+    // needs real lemmas — plain unit propagation cannot refute it).
+    let gutted = Proof {
+        steps: proof
+            .steps
+            .iter()
+            .filter(|s| matches!(s, ProofStep::Delete(_)))
+            .cloned()
+            .collect(),
+    };
+    assert!(check_proof(&cnf, &gutted, CheckMode::Forward).is_err());
+    assert!(check_proof(&cnf, &gutted, CheckMode::Backward).is_err());
+    // Flipping a literal of a mid-proof lemma must also be caught.
+    let mut tampered = proof.clone();
+    let target = tampered
+        .steps
+        .iter()
+        .position(|s| matches!(s, ProofStep::Add(c) if c.len() >= 2))
+        .expect("a non-trivial lemma exists");
+    if let ProofStep::Add(c) = &mut tampered.steps[target] {
+        c[0] = !c[0];
+    }
+    let forward = check_proof(&cnf, &tampered, CheckMode::Forward);
+    let backward = check_proof(&cnf, &tampered, CheckMode::Backward);
+    assert!(
+        forward.is_err() || backward.is_err(),
+        "tampered lemma accepted by both modes"
+    );
+}
+
+#[test]
+fn sat_outcome_leaves_proof_without_contradiction() {
+    let (cnf, mut solver, buffer) = logged_solver(&[&[1, 2], &[-1, 2]]);
+    assert_eq!(solver.solve(), SolveResult::Sat);
+    let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();
+    assert!(check_proof(&cnf, &proof, CheckMode::Forward).is_err());
+}

@@ -1,6 +1,16 @@
 //! Workspace maintenance tasks.
 //!
-//! The only task so far is the source audit:
+//! Two tasks so far. The certification gate
+//!
+//! ```text
+//! cargo run -p xtask -- certify
+//! ```
+//!
+//! solves a corpus of PEC and random DQBF instances under certification
+//! (every SAT verdict must ship a verifying Skolem certificate, every
+//! UNSAT verdict a DRAT refutation accepted by the independent
+//! `hqs-proof` checker) and additionally requires deliberately corrupted
+//! certificates to be rejected — see [`certify`]. And the source audit:
 //!
 //! ```text
 //! cargo run -p xtask -- audit
@@ -22,6 +32,8 @@
 //! consumes it.
 
 #![forbid(unsafe_code)]
+
+mod certify;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -52,8 +64,9 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("certify") => certify::run(),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- audit");
+            eprintln!("usage: cargo run -p xtask -- audit|certify");
             ExitCode::FAILURE
         }
     }

@@ -19,8 +19,14 @@
 //!   --fraig <nodes>              SAT-sweep cones above this size
 //!   --timeout <seconds>          wall-clock budget
 //!   --node-limit <n>             AIG-node / ground-clause budget
-//!   --certify                    extract+verify Skolem functions (SAT only,
-//!                                small instances)
+//!   --certify                    certify the verdict: extract+verify Skolem
+//!                                functions on SAT, an expansion trace + DRAT
+//!                                refutation (checked by the independent
+//!                                hqs-proof crate) on UNSAT; internal SAT
+//!                                calls of the HQS pipeline are proof-logged
+//!                                too (small instances)
+//!   --proof <file>               with --certify: write the DRAT refutation
+//!                                of an UNSAT verdict to this file
 //!   --stats                      print pipeline statistics
 //! ```
 //!
@@ -32,6 +38,7 @@
 use hqs::base::Budget;
 use hqs::cnf::dimacs;
 use hqs::core::expand;
+use hqs::core::refute;
 use hqs::core::skolem;
 use hqs::{Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, InstantiationSolver, QbfBackend};
 use std::process::ExitCode;
@@ -45,6 +52,7 @@ struct Options {
     timeout: Option<u64>,
     node_limit: Option<usize>,
     certify: bool,
+    proof_file: Option<String>,
     stats: bool,
 }
 
@@ -60,8 +68,8 @@ fn usage() -> ! {
         "usage: hqs [--solver hqs|idq|expansion] [--strategy maxsat|all] \
          [--no-preprocess] [--no-gates] [--no-unit-pure] [--initial-sat] \
          [--subsume] [--dynamic-order] [--paranoid] [--qbf-backend elim|search] \
-         [--fraig N] [--timeout S] [--node-limit N] [--certify] [--stats] \
-         <file.dqdimacs>"
+         [--fraig N] [--timeout S] [--node-limit N] [--certify] [--proof FILE] \
+         [--stats] <file.dqdimacs>"
     );
     std::process::exit(2);
 }
@@ -74,6 +82,7 @@ fn parse_options() -> Options {
         timeout: None,
         node_limit: None,
         certify: false,
+        proof_file: None,
         stats: false,
     };
     let mut args = std::env::args().skip(1);
@@ -123,7 +132,14 @@ fn parse_options() -> Options {
                 Some(n) => options.node_limit = Some(n),
                 None => usage(),
             },
-            "--certify" => options.certify = true,
+            "--certify" => {
+                options.certify = true;
+                options.config.certify = true;
+            }
+            "--proof" => match args.next() {
+                Some(path) => options.proof_file = Some(path),
+                None => usage(),
+            },
             "--stats" => options.stats = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && options.file.is_none() => {
@@ -211,26 +227,55 @@ fn main() -> ExitCode {
         }
     };
 
-    if options.certify && result == DqbfResult::Sat {
-        if dqbf.universals().len() <= expand::MAX_EXPANSION_UNIVERSALS {
-            match skolem::extract_skolem(&dqbf) {
-                Some(cert) if cert.verify(&dqbf) => {
-                    println!(
-                        "c certificate: {} Skolem functions, verified",
-                        cert.functions.len()
-                    );
-                }
-                Some(_) => {
-                    eprintln!("error: certificate failed verification (bug!)");
-                    return ExitCode::FAILURE;
-                }
-                None => {
-                    eprintln!("error: certification contradicts the SAT verdict (bug!)");
-                    return ExitCode::FAILURE;
+    if options.certify {
+        if dqbf.universals().len() > expand::MAX_EXPANSION_UNIVERSALS {
+            println!("c certificate skipped: too many universals for expansion");
+        } else {
+            match result {
+                DqbfResult::Sat => match skolem::extract_skolem(&dqbf) {
+                    Some(cert) if cert.verify_certified(&dqbf) => {
+                        println!(
+                            "c certificate: {} Skolem functions, verified (proof-checked)",
+                            cert.functions.len()
+                        );
+                    }
+                    Some(_) => {
+                        eprintln!("error: certificate failed verification (bug!)");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("error: certification contradicts the SAT verdict (bug!)");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                DqbfResult::Unsat => match refute::extract_refutation(&dqbf) {
+                    Some(cert) if cert.verify(&dqbf) => {
+                        println!(
+                            "c certificate: refutation over {} expansion instances, \
+                             DRAT proof accepted",
+                            cert.bindings.len()
+                        );
+                        if let Some(path) = &options.proof_file {
+                            if let Err(err) = std::fs::write(path, &cert.drat) {
+                                eprintln!("error: cannot write {path}: {err}");
+                                return ExitCode::FAILURE;
+                            }
+                            println!("c proof written to {path}");
+                        }
+                    }
+                    Some(_) => {
+                        eprintln!("error: refutation certificate failed verification (bug!)");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("error: certification contradicts the UNSAT verdict (bug!)");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                DqbfResult::Limit(_) => {
+                    println!("c certificate skipped: no verdict within the budget");
                 }
             }
-        } else {
-            println!("c certificate skipped: too many universals for table extraction");
         }
     }
 

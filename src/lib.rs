@@ -37,7 +37,8 @@
 //! |--------|-------|----------|
 //! | [`base`] | `hqs-base` | variables, literals, bitsets, budgets |
 //! | [`cnf`] | `hqs-cnf` | clauses, CNF, (D)QDIMACS I/O |
-//! | [`sat`] | `hqs-sat` | CDCL SAT solver |
+//! | [`sat`] | `hqs-sat` | CDCL SAT solver with DRAT proof logging |
+//! | [`proof`] | `hqs-proof` | independent DRAT/RUP proof checker |
 //! | [`maxsat`] | `hqs-maxsat` | partial MaxSAT (totalizer) |
 //! | [`aig`] | `hqs-aig` | AIG manager, quantification, unit/pure, FRAIG |
 //! | [`qbf`] | `hqs-qbf` | AIG-based QBF solver (AIGSOLVE role) |
@@ -55,9 +56,13 @@ pub use hqs_core as core;
 pub use hqs_idq as idq;
 pub use hqs_maxsat as maxsat;
 pub use hqs_pec as pec;
+pub use hqs_proof as proof;
 pub use hqs_qbf as qbf;
 pub use hqs_sat as sat;
 
-pub use hqs_core::{Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, HqsStats, QbfBackend};
+pub use hqs_core::{
+    CertifiedOutcome, CertifyError, Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, HqsStats,
+    QbfBackend, RefutationCertificate, SkolemCertificate,
+};
 pub use hqs_idq::InstantiationSolver;
 pub use hqs_qbf::{QbfResult, QbfSolver};
