@@ -36,7 +36,7 @@ impl Aig {
         let first_aux = self
             .support(root)
             .iter()
-            .map(|v| v.index() + 1)
+            .map(|v| v.bound())
             .max()
             .unwrap_or(0);
 

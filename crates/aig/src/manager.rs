@@ -29,6 +29,10 @@ pub struct Aig {
     pub(crate) nodes: Vec<AigNode>,
     pub(crate) strash: HashMap<(AigEdge, AigEdge), u32>,
     pub(crate) inputs: HashMap<Var, u32>,
+    /// Scratch memo table reused by [`Aig::compose`] and
+    /// [`Aig::compose_many`] so repeated cofactor/compose calls (the
+    /// quantification inner loop) do not reallocate it every time.
+    compose_memo: HashMap<u32, AigEdge>,
 }
 
 impl Default for Aig {
@@ -59,6 +63,7 @@ impl Aig {
             nodes: vec![AigNode::True],
             strash: HashMap::new(),
             inputs: HashMap::new(),
+            compose_memo: HashMap::new(),
         }
     }
 
@@ -71,6 +76,7 @@ impl Aig {
     /// Returns the node behind an edge (ignoring the complement bit).
     #[must_use]
     pub fn node(&self, edge: AigEdge) -> AigNode {
+        // analyze::allow(panic): edge indices are only minted by push_node, so they are in bounds
         self.nodes[edge.node() as usize]
     }
 
@@ -219,8 +225,10 @@ impl Aig {
     /// Substitutes the function `replacement` for every occurrence of input
     /// `var` in `root` (the `compose` operation on AIGs).
     pub fn compose(&mut self, root: AigEdge, var: Var, replacement: AigEdge) -> AigEdge {
-        let mut memo: HashMap<u32, AigEdge> = HashMap::new();
+        let mut memo = std::mem::take(&mut self.compose_memo);
+        memo.clear();
         let result = self.compose_rec(root, var, replacement, &mut memo);
+        self.compose_memo = memo;
         self.debug_audit("after compose");
         result
     }
@@ -263,8 +271,10 @@ impl Aig {
     /// substitution is safe when replacement functions mention substituted
     /// variables.
     pub fn compose_many(&mut self, root: AigEdge, map: &HashMap<Var, AigEdge>) -> AigEdge {
-        let mut memo: HashMap<u32, AigEdge> = HashMap::new();
+        let mut memo = std::mem::take(&mut self.compose_memo);
+        memo.clear();
         let result = self.compose_many_rec(root, map, &mut memo);
+        self.compose_memo = memo;
         self.debug_audit("after compose_many");
         result
     }
@@ -352,21 +362,22 @@ impl Aig {
     pub fn occurrence_counts(&self, root: AigEdge, vars: &[Var]) -> Vec<usize> {
         let order = self.topo_order(root);
         let mut counts = vec![0usize; vars.len()];
+        // Dense per-node masks: every cone node is written (in topological
+        // order) before any parent reads it, so the buffer never needs
+        // clearing between chunks and is allocated exactly once.
+        let mut masks = vec![0u64; self.nodes.len()];
         for chunk_start in (0..vars.len()).step_by(64) {
             let chunk_end = (chunk_start + 64).min(vars.len());
-            let var_bit: HashMap<Var, u32> = vars[chunk_start..chunk_end]
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, i as u32))
-                .collect();
-            let mut masks: HashMap<u32, u64> = HashMap::with_capacity(order.len());
+            let chunk = &vars[chunk_start..chunk_end];
             for &idx in &order {
                 let mask = match self.nodes[idx as usize] {
                     AigNode::True => 0,
-                    AigNode::Input(v) => var_bit.get(&v).map_or(0, |&b| 1u64 << b),
-                    AigNode::And(f0, f1) => masks[&f0.node()] | masks[&f1.node()],
+                    AigNode::Input(v) => {
+                        chunk.iter().position(|&c| c == v).map_or(0, |b| 1u64 << b)
+                    }
+                    AigNode::And(f0, f1) => masks[f0.node() as usize] | masks[f1.node() as usize],
                 };
-                masks.insert(idx, mask);
+                masks[idx as usize] = mask;
                 let mut m = mask;
                 while m != 0 {
                     let b = m.trailing_zeros() as usize;

@@ -1,0 +1,26 @@
+//! Fixture: every hot-loop allocation violation class.
+
+pub struct Solver {
+    items: Vec<Vec<u32>>,
+}
+
+impl Solver {
+    pub fn propagate(&mut self) -> usize {
+        let mut total = 0;
+        for item in &self.items {
+            let copy = item.clone(); // clone in hot loop
+            let slice = item.to_vec(); // to_vec in hot loop
+            let gathered: Vec<u32> = item.iter().copied().collect(); // collect in hot loop
+            let mut scratch = Vec::new(); // Vec::new in hot loop
+            let boxed = Box::new(item.len()); // Box::new in hot loop
+            let label = format!("{}", item.len()); // format! in hot loop
+            let literal = vec![1, 2, 3]; // vec! in hot loop
+            total += copy.len() + slice.len() + gathered.len() + scratch.len();
+            scratch.push(*boxed as u32);
+            total += label.len() + literal.len();
+        }
+        // Outside any loop: allocation is fine even in a hot fn.
+        let summary = self.items.len().to_string();
+        total + summary.len()
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: malformed `analyze::allow` annotations are findings.
+
+pub fn f(v: &[u32]) -> u32 {
+    // analyze::allow(panic):
+    let a = v[0];
+    // analyze::allow(bogus): not a real kind
+    let b = v[1];
+    a + b
+}

@@ -1,0 +1,15 @@
+pub fn unfinished() {
+    todo!() // todo! violation
+}
+
+pub fn unstarted() {
+    unimplemented!() // unimplemented! violation
+}
+
+pub fn noisy(x: u32) -> u32 {
+    dbg!(x) // dbg! violation
+}
+
+pub fn risky() -> u32 {
+    "7".parse::<u32>().unwrap() // library unwrap site
+}

@@ -1,0 +1,20 @@
+//! Fixture: source-level layering violations. The integration test
+//! pairs this file with synthetic manifests in which `hqs-proof` is a
+//! dev-dependency of the owning crate and `hqs-cnf` is not declared at
+//! all.
+
+use hqs_base::lit::Lit; // reach-through into an internal module
+
+pub fn helper() -> u32 {
+    let a = hqs_proof::check(); // dev-dependency used outside test code
+    let b = hqs_cnf::parse(); // crate not declared in [dependencies]
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dev_dep_in_test_is_fine() {
+        let _ = hqs_proof::check();
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: every newtype-discipline violation class.
+
+use hqs_base::{Lit, Var};
+
+pub fn raw_casts(v: Var, l: Lit, n: usize) -> usize {
+    let a = v.index() as usize; // raw cast on Var accessor
+    let b = l.code() as usize; // raw cast on Lit accessor
+    let c = v.index() + 1; // integer-literal arithmetic
+    let w = Var::new(n as u32); // raw cast feeding Var::new
+    a + b + c as usize + w.index() as usize // and one more cast
+}

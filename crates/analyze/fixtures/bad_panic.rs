@@ -1,0 +1,25 @@
+//! Fixture: every panic-path violation class, inside a declared-hot fn.
+
+pub struct Solver {
+    data: Vec<u32>,
+}
+
+impl Solver {
+    pub fn propagate(&mut self, i: usize) -> u32 {
+        let first = self.data.get(0).unwrap(); // unwrap violation
+        let second = self.data.get(1).expect("second"); // expect violation
+        if *first > *second {
+            panic!("inverted"); // panic! violation
+        }
+        if i > self.data.len() {
+            unreachable!(); // unreachable! violation
+        }
+        self.data[i] // indexing violation
+    }
+
+    pub fn cold_helper(&self) -> u32 {
+        // Not declared hot: unwrap and indexing are audit/allowlist
+        // business, not panic-path findings.
+        self.data[0]
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: a hot function written to the hot-path standard — no
+//! findings expected from any pass.
+
+pub struct Solver {
+    data: Vec<u32>,
+    scratch: Vec<u32>,
+}
+
+impl Solver {
+    pub fn propagate(&mut self, i: usize) -> u32 {
+        // Scratch reuse instead of per-iteration allocation.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let mut total = 0;
+        for &item in &self.data {
+            // `get` + `match` instead of indexing/unwrap.
+            match self.data.get(i) {
+                Some(&v) => total += v.saturating_add(item),
+                None => total += 1,
+            }
+            scratch.push(total);
+        }
+        // analyze::allow(panic): first element exists, pushed in the loop above when data is non-empty
+        let head = scratch.first().copied().unwrap_or(0);
+        self.scratch = scratch;
+        total + head
+    }
+}

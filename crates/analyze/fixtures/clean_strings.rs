@@ -1,0 +1,34 @@
+//! Fixture: banned tokens inside strings and comments are data, not
+//! code. The lexer must produce zero findings here.
+//!
+//! Docs may mention `.unwrap()` and `panic!` and `todo!(` freely.
+
+pub struct Solver {
+    messages: Vec<String>,
+}
+
+impl Solver {
+    pub fn propagate(&mut self) -> usize {
+        /* a block comment with .unwrap() and v[0] inside
+           /* even nested: panic!("no") and Vec::new() */
+           still one comment */
+        let mut total = 0;
+        for m in &self.messages {
+            // .unwrap() in a line comment is fine, as is x[0].
+            total += m.len();
+        }
+        total
+    }
+
+    pub fn banned_catalogue(&self) -> (&'static str, &'static str, char, u8) {
+        let plain = ".unwrap() and .expect(msg) and panic!(now) and v[0]";
+        let raw = r#"dbg!(x) and todo!() and "quoted .unwrap()" here"#;
+        let hashed = r##"raw with "# inside: Vec::new() in a loop"##;
+        let lifetime_not_char: &'static str = plain;
+        let ch = 'a';
+        let byte = b'x';
+        let bytes = b"clone() to_vec() collect()";
+        let _ = (raw, hashed, bytes);
+        (lifetime_not_char, "format!(no) vec![1] Box::new(2)", ch, byte)
+    }
+}

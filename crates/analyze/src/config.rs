@@ -1,0 +1,119 @@
+//! The `analyze-hot-paths.toml` configuration: which functions the
+//! panic-path and hot-loop-allocation passes hold to the stricter
+//! standard.
+//!
+//! Format (a deliberate, tiny TOML subset):
+//!
+//! ```toml
+//! [hot-paths]
+//! functions = [
+//!     "hqs-sat::Solver::propagate",
+//!     "hqs-aig::Aig::and",
+//! ]
+//! ```
+//!
+//! Each entry is `<crate-name>::<symbol>` where `<symbol>` matches the
+//! tracker's qualified fn name (`Type::fn` or a free `fn`).
+
+/// One declared hot function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotFn {
+    /// Package name (e.g. `hqs-sat`).
+    pub crate_name: String,
+    /// Qualified symbol within the crate (e.g. `Solver::propagate`).
+    pub symbol: String,
+}
+
+/// The parsed hot-path declaration file.
+#[derive(Clone, Debug, Default)]
+pub struct HotPaths {
+    /// All declared hot functions.
+    pub functions: Vec<HotFn>,
+}
+
+impl HotPaths {
+    /// Is `symbol` in `crate_name` declared hot?
+    #[must_use]
+    pub fn is_hot(&self, crate_name: &str, symbol: &str) -> bool {
+        self.functions
+            .iter()
+            .any(|f| f.crate_name == crate_name && f.symbol == symbol)
+    }
+}
+
+/// Parses the hot-paths file. Malformed entries are returned as
+/// warnings rather than silently dropped.
+pub fn parse(text: &str) -> (HotPaths, Vec<String>) {
+    let mut hp = HotPaths::default();
+    let mut warnings = Vec::new();
+    let mut in_functions = false;
+    for raw in text.lines() {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("functions") && line.contains('[') {
+            in_functions = true;
+            continue;
+        }
+        if !in_functions {
+            continue;
+        }
+        if line.starts_with(']') {
+            in_functions = false;
+            continue;
+        }
+        let entry = line.trim_end_matches(',').trim().trim_matches('"');
+        if entry.is_empty() {
+            continue;
+        }
+        match entry.split_once("::") {
+            Some((crate_name, symbol)) if !crate_name.is_empty() && !symbol.is_empty() => {
+                hp.functions.push(HotFn {
+                    crate_name: crate_name.to_string(),
+                    symbol: symbol.to_string(),
+                });
+            }
+            _ => warnings.push(format!(
+                "malformed hot-path entry `{entry}` (expected `crate::Type::fn` or `crate::fn`)"
+            )),
+        }
+    }
+    (hp, warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let (hp, warnings) = parse(
+            r#"
+# Hot paths.
+[hot-paths]
+functions = [
+    "hqs-sat::Solver::propagate",  # inner loop
+    "hqs-aig::Aig::and",
+    "hqs-proof::rup",
+]
+"#,
+        );
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(hp.functions.len(), 3);
+        assert!(hp.is_hot("hqs-sat", "Solver::propagate"));
+        assert!(hp.is_hot("hqs-proof", "rup"));
+        assert!(!hp.is_hot("hqs-sat", "Solver::analyze"));
+    }
+
+    #[test]
+    fn malformed_entry_warns() {
+        let (hp, warnings) = parse("functions = [\n\"no-separator\",\n]\n");
+        assert!(hp.functions.is_empty());
+        assert_eq!(warnings.len(), 1);
+    }
+}

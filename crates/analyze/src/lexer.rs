@@ -1,0 +1,578 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The lexer understands exactly as much of the Rust token grammar as the
+//! analysis passes need to be *sound* at the token level: strings (plain,
+//! raw with any number of `#`s, byte, byte-raw and C variants), character
+//! literals vs lifetimes, nested block comments, line/doc comments,
+//! numbers with suffixes, identifiers (including raw `r#idents`), a
+//! leading shebang line, and single-character punctuation. Anything the
+//! passes match against — `unwrap`, `panic`, `[` indexing, `as` casts —
+//! is therefore guaranteed to come from real code, never from a string
+//! literal or a comment, which was the defining false-positive class of
+//! the earlier line-based audit.
+//!
+//! The lexer is infallible: malformed input (say, an unterminated string)
+//! degrades into a final token stretching to end of file rather than an
+//! error, because analysis must never be the reason a build script dies
+//! on a file `rustc` itself would reject with a better message.
+
+/// Classification of a lexed token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`s).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (without a trailing quote).
+    Lifetime,
+    /// A character literal such as `'a'` or `'\n'`.
+    Char,
+    /// A byte literal such as `b'x'`.
+    ByteChar,
+    /// A string literal `"..."`.
+    Str,
+    /// A raw string literal `r"..."` / `r#"..."#` (any number of hashes),
+    /// including byte (`br`) and C (`cr`) raw variants.
+    RawStr,
+    /// A byte-string literal `b"..."`.
+    ByteStr,
+    /// A C-string literal `c"..."`.
+    CStr,
+    /// An integer literal (any base, with or without suffix).
+    Int,
+    /// A floating-point literal.
+    Float,
+    /// A `//` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* ... */` comment, with arbitrary nesting.
+    BlockComment,
+    /// The `#!...` interpreter line at the very start of a file.
+    Shebang,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token: classification plus byte span and 1-based line.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// `true` for comment and shebang tokens, which the item tracker and
+    /// most passes skip.
+    #[must_use]
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment | TokenKind::BlockComment | TokenKind::Shebang
+        )
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Character cursor with line tracking.
+struct Cursor<'a> {
+    chars: Vec<(usize, char)>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.char_indices().collect(),
+            src,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map_or(self.src.len(), |&(off, _)| off)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+/// Lexes `src` into tokens. Infallible; see the module docs.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    // A shebang is `#!` at offset 0 not followed by `[` (which would be an
+    // inner attribute such as `#![forbid(unsafe_code)]`).
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        let line = cur.line;
+        while cur.peek(0).is_some_and(|c| c != '\n') {
+            cur.bump();
+        }
+        out.push(Token {
+            kind: TokenKind::Shebang,
+            start: 0,
+            end: cur.offset(),
+            line,
+        });
+    }
+    while let Some(c) = cur.peek(0) {
+        let start = cur.offset();
+        let line = cur.line;
+        let kind = match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+                continue;
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                while cur.peek(0).is_some_and(|c| c != '\n') {
+                    cur.bump();
+                }
+                TokenKind::LineComment
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            '"' => {
+                lex_string_body(&mut cur);
+                TokenKind::Str
+            }
+            '\'' => lex_quote(&mut cur),
+            'r' | 'b' | 'c' => match lex_prefixed(&mut cur) {
+                Some(kind) => kind,
+                None => {
+                    cur.bump_while(is_ident_continue);
+                    TokenKind::Ident
+                }
+            },
+            _ if c.is_ascii_digit() => lex_number(&mut cur),
+            _ if is_ident_start(c) => {
+                cur.bump();
+                cur.bump_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            _ => {
+                cur.bump();
+                TokenKind::Punct
+            }
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: cur.offset(),
+            line,
+        });
+    }
+    out
+}
+
+/// Consumes a `"`-delimited string body including the delimiters,
+/// honouring backslash escapes. The cursor sits on the opening quote.
+fn lex_string_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw-string body `#*" ... "#*`. The cursor sits on the first
+/// `#` or the opening quote.
+fn lex_raw_string_body(cur: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        cur.bump();
+        hashes += 1;
+    }
+    cur.bump(); // opening quote
+    'scan: while let Some(c) = cur.bump() {
+        if c == '"' {
+            for ahead in 0..hashes {
+                if cur.peek(ahead) != Some('#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// Distinguishes the `r`/`b`/`c` literal prefixes from plain identifiers.
+/// Returns `None` when the cursor sits on an ordinary identifier (which
+/// the caller then lexes); otherwise consumes the literal.
+fn lex_prefixed(cur: &mut Cursor<'_>) -> Option<TokenKind> {
+    let c0 = cur.peek(0)?;
+    let c1 = cur.peek(1);
+    let c2 = cur.peek(2);
+    match (c0, c1) {
+        // Raw identifier `r#ident` (but `r#"` is a raw string).
+        ('r', Some('#')) if c2.is_some_and(is_ident_start) => {
+            cur.bump();
+            cur.bump();
+            cur.bump_while(is_ident_continue);
+            Some(TokenKind::Ident)
+        }
+        ('r', Some('"' | '#')) => {
+            cur.bump();
+            lex_raw_string_body(cur);
+            Some(TokenKind::RawStr)
+        }
+        ('b', Some('\'')) => {
+            cur.bump();
+            cur.bump(); // opening quote
+            if cur.peek(0) == Some('\\') {
+                cur.bump();
+                cur.bump();
+            } else {
+                cur.bump();
+            }
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            Some(TokenKind::ByteChar)
+        }
+        ('b', Some('"')) => {
+            cur.bump();
+            lex_string_body(cur);
+            Some(TokenKind::ByteStr)
+        }
+        ('b', Some('r')) if matches!(c2, Some('"' | '#')) => {
+            cur.bump();
+            cur.bump();
+            lex_raw_string_body(cur);
+            Some(TokenKind::RawStr)
+        }
+        ('c', Some('"')) => {
+            cur.bump();
+            lex_string_body(cur);
+            Some(TokenKind::CStr)
+        }
+        ('c', Some('r')) if matches!(c2, Some('"' | '#')) => {
+            cur.bump();
+            cur.bump();
+            lex_raw_string_body(cur);
+            Some(TokenKind::RawStr)
+        }
+        _ => None,
+    }
+}
+
+/// Disambiguates `'a'` (char), `'\n'` (char) and `'a`/`'static`
+/// (lifetime). The cursor sits on the quote.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // the quote
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal; skip the escape (incl. `\u{...}`).
+            cur.bump();
+            if cur.peek(0) == Some('u') && cur.peek(1) == Some('{') {
+                cur.bump();
+                while cur.peek(0).is_some_and(|c| c != '}') {
+                    cur.bump();
+                }
+            }
+            cur.bump_while(|c| c != '\'');
+            cur.bump(); // closing quote
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            // Could be `'a'` (char) or `'a` (lifetime): scan the
+            // identifier and check for a closing quote.
+            let ident_start = cur.pos;
+            cur.bump();
+            cur.bump_while(is_ident_continue);
+            if cur.peek(0) == Some('\'') {
+                // Char literal: rewind is unnecessary — just consume the
+                // closing quote. (`'ab'` is invalid Rust; we tolerate it.)
+                cur.bump();
+                TokenKind::Char
+            } else {
+                let _ = ident_start;
+                TokenKind::Lifetime
+            }
+        }
+        Some('\'') => {
+            // `''` — invalid, treat as an empty char literal.
+            cur.bump();
+            TokenKind::Char
+        }
+        Some(_) => {
+            // `'(' `, `'1'` etc: char literal.
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        None => TokenKind::Char,
+    }
+}
+
+/// Lexes a numeric literal, including base prefixes, `_` separators,
+/// float dots/exponents and type suffixes. The cursor sits on a digit.
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut float = false;
+    let radix_prefix =
+        cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+    if radix_prefix {
+        cur.bump();
+        cur.bump();
+        cur.bump_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        return TokenKind::Int;
+    }
+    cur.bump_while(|c| c.is_ascii_digit() || c == '_');
+    // A dot makes it a float only when followed by a digit (so `1..2` and
+    // `1.max(2)` lex the integer alone).
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        float = true;
+        cur.bump();
+        cur.bump_while(|c| c.is_ascii_digit() || c == '_');
+    }
+    if matches!(cur.peek(0), Some('e' | 'E'))
+        && (cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+            || (matches!(cur.peek(1), Some('+' | '-'))
+                && cur.peek(2).is_some_and(|c| c.is_ascii_digit())))
+    {
+        float = true;
+        cur.bump();
+        if matches!(cur.peek(0), Some('+' | '-')) {
+            cur.bump();
+        }
+        cur.bump_while(|c| c.is_ascii_digit() || c == '_');
+    }
+    // Type suffix (`u32`, `f64`, …).
+    if cur.peek(0).is_some_and(is_ident_start) {
+        let suffix_is_float = matches!(cur.peek(0), Some('f'));
+        cur.bump_while(is_ident_continue);
+        if suffix_is_float {
+            float = true;
+        }
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn code_texts(src: &str) -> Vec<String> {
+        lex(src)
+            .iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"contains "quotes" and .unwrap()"#; x"####;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("unwrap")));
+        // The trailing `x` survives as an ident — the raw string ended at
+        // the right place.
+        assert_eq!(toks.last().map(|(k, _)| *k), Some(TokenKind::Ident));
+        // No bare `unwrap` ident leaks out of the string.
+        assert!(!code_texts(src).iter().any(|t| t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_string_two_hashes() {
+        let src = r###"r##"inner "# still inside"## + 1"###;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::RawStr);
+        assert!(toks[0].1.contains("still inside"));
+        assert_eq!(toks.last().map(|(k, _)| *k), Some(TokenKind::Int));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("still comment"));
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        assert_eq!(chars[0].1, "'a'");
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let src = "&'static str; &'_ u8";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'_"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let src = r##"let a = b"bytes"; let b2 = b'x'; let c = c"cstr"; let r = br#"raw"#;"##;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::ByteStr));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::ByteChar));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::CStr));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("raw")));
+    }
+
+    #[test]
+    fn shebang_and_inner_attribute() {
+        let src = "#!/usr/bin/env run\nfn main() {}";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::Shebang);
+        assert_eq!(toks[1].1, "fn");
+        // `#![...]` is NOT a shebang.
+        let src2 = "#![forbid(unsafe_code)]\n";
+        let toks2 = kinds(src2);
+        assert_eq!(toks2[0].0, TokenKind::Punct);
+        assert_eq!(toks2[0].1, "#");
+        assert!(toks2
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unsafe_code"));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let src = "let r#type = 1;";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn numbers() {
+        let src = "1 1.5 1e3 0xff_u32 1u64 2.5f32 1..2 1.max(2)";
+        let toks = kinds(src);
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::Int | TokenKind::Float))
+            .collect();
+        assert_eq!(nums[0], &(TokenKind::Int, "1".to_string()));
+        assert_eq!(nums[1], &(TokenKind::Float, "1.5".to_string()));
+        assert_eq!(nums[2], &(TokenKind::Float, "1e3".to_string()));
+        assert_eq!(nums[3], &(TokenKind::Int, "0xff_u32".to_string()));
+        assert_eq!(nums[4], &(TokenKind::Int, "1u64".to_string()));
+        assert_eq!(nums[5], &(TokenKind::Float, "2.5f32".to_string()));
+        // `1..2` lexes as Int, Punct, Punct, Int.
+        assert_eq!(nums[6], &(TokenKind::Int, "1".to_string()));
+        assert_eq!(nums[7], &(TokenKind::Int, "2".to_string()));
+        // `1.max(2)`: the dot is a method call, not a float.
+        assert_eq!(nums[8], &(TokenKind::Int, "1".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_across_strings_and_comments() {
+        let src = "a\n\"multi\nline\"\n/* c\nc */\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text(src) == "b").expect("b token");
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn unwrap_in_comment_and_string_is_trivia_or_literal() {
+        let src = "// .unwrap() here\nlet s = \".unwrap()\"; s.get(0)";
+        assert!(!code_texts(src).iter().any(|t| t == "unwrap"));
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let toks = lex("let s = \"never closed");
+        assert_eq!(toks.last().map(|t| t.kind), Some(TokenKind::Str));
+    }
+}

@@ -1,0 +1,50 @@
+//! `hqs-analyze`: the workspace's token-level static-analysis
+//! framework.
+//!
+//! The crate is deliberately dependency-free: a hand-rolled Rust
+//! [`lexer`], an item/brace tracker ([`source`]) that attributes every
+//! token to its crate, module path, enclosing function and loop depth,
+//! and a set of [`passes`] over the lexed workspace:
+//!
+//! * **layering** — the crate DAG (`base → cnf → {sat, proof} →
+//!   {maxsat, aig} → qbf → core → apps`) is enforced at both the
+//!   manifest and the source level, including dev-dependency scoping
+//!   and reach-through into other crates' private modules;
+//! * **panic-path** — no `unwrap`/`expect`/`panic!`/`unreachable!`/`[]`
+//!   indexing in the functions declared hot in `analyze-hot-paths.toml`;
+//! * **hot-alloc** — no per-iteration allocation inside the loops of
+//!   those same functions;
+//! * **newtype** — `Lit`/`Var` cross into raw integers only through the
+//!   sanctioned helpers in `hqs-base`;
+//! * **audit** — the PR-1 hygiene rules (`forbid(unsafe_code)`, crate
+//!   docs, `todo!`-family bans, unwrap budgets), re-implemented on the
+//!   lexer and run separately under `cargo run -p xtask -- audit`.
+//!
+//! Findings are [`diag::Diagnostic`]s, serialized with the built-in
+//! [`json`] support and ratcheted against the committed
+//! `analyze-baseline.json` via [`baseline`]: CI fails on any finding
+//! the baseline doesn't cover *and* on any baseline entry that no
+//! longer matches, so recorded debt can only shrink.
+//!
+//! Justified exceptions are written at the site as
+//! `// analyze::allow(panic|alloc|newtype): <reason>` — annotations
+//! with a missing reason or unknown kind are findings themselves.
+//!
+//! The driver lives in `xtask` (`cargo run -p xtask -- analyze`); this
+//! crate is pure library so the passes stay unit-testable against the
+//! fixture corpus in `crates/analyze/fixtures/`.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod config;
+pub mod diag;
+pub mod json;
+pub mod lexer;
+pub mod manifest;
+pub mod passes;
+pub mod source;
+pub mod workspace;
+
+pub use diag::Diagnostic;
+pub use workspace::Workspace;

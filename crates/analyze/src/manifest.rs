@@ -1,0 +1,94 @@
+//! Minimal Cargo.toml reading for the layering pass.
+//!
+//! This is not a TOML parser — it understands exactly the subset the
+//! workspace's manifests use: `[section]` headers, `key = "value"`
+//! pairs, and `key = { path = "...", ... }` inline tables. That is all
+//! the layering pass needs to recover the declared dependency graph.
+
+/// A parsed crate manifest: the package name plus its declared
+/// dependencies, split by kind.
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    /// `package.name`.
+    pub name: String,
+    /// `[dependencies]` entries (crate names as written).
+    pub deps: Vec<String>,
+    /// `[dev-dependencies]` entries.
+    pub dev_deps: Vec<String>,
+}
+
+/// Parses the subset of Cargo.toml described in the module docs.
+#[must_use]
+pub fn parse(text: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            if let Some(name) = rest.strip_suffix(']') {
+                section = name.trim().to_string();
+            }
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim().trim_matches('"').to_string();
+        let value = line[eq + 1..].trim();
+        // Dependencies are commonly written with dotted keys
+        // (`hqs-base.workspace = true`); the crate name is the first
+        // segment.
+        let dep_name = key.split('.').next().unwrap_or(&key).to_string();
+        match section.as_str() {
+            "package" if key == "name" => {
+                m.name = value.trim_matches('"').to_string();
+            }
+            "dependencies" => m.deps.push(dep_name),
+            "dev-dependencies" => m.dev_deps.push(dep_name),
+            _ => {}
+        }
+    }
+    m
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Good enough: none of the workspace manifests put `#` in strings.
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_workspace_style_manifest() {
+        let m = parse(
+            r#"
+[package]
+name = "hqs-sat" # the CDCL solver
+version.workspace = true
+
+[dependencies]
+hqs-base = { path = "../base" }
+hqs-cnf = { path = "../cnf" }
+
+[dev-dependencies]
+hqs-proof = { path = "../proof" }
+"#,
+        );
+        assert_eq!(m.name, "hqs-sat");
+        assert_eq!(m.deps, vec!["hqs-base", "hqs-cnf"]);
+        assert_eq!(m.dev_deps, vec!["hqs-proof"]);
+    }
+
+    #[test]
+    fn empty_sections() {
+        let m = parse("[package]\nname = \"x\"\n[dependencies]\n");
+        assert_eq!(m.name, "x");
+        assert!(m.deps.is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Hot-loop allocation pass: no per-iteration allocation in the loops
+//! of functions declared hot.
+//!
+//! The pass is lexical: it flags allocation-shaped constructs —
+//! `Vec::new`, `Vec::with_capacity`, `Box::new`, `.clone()`,
+//! `.to_vec()`, `.collect()`, `format!`, `vec!` — that sit *inside a
+//! loop body* of a hot function. The idiomatic fix in this codebase is
+//! a scratch buffer on the owning struct reused via
+//! `std::mem::take`; where an allocation is genuinely once-per-call or
+//! amortized, the site carries `// analyze::allow(alloc): <reason>`.
+
+use crate::config::HotPaths;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+
+use super::{code_indices, is_test_path, text_at};
+
+/// Runs the hot-loop allocation pass.
+#[must_use]
+pub fn run(ws: &Workspace, hot: &HotPaths) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if is_test_path(&file.path) {
+            continue;
+        }
+        let code = code_indices(file);
+        for (k, &i) in code.iter().enumerate() {
+            let ctx = &file.ctx[i];
+            if ctx.in_fn.is_empty()
+                || ctx.loop_depth == 0
+                || ctx.in_test
+                || ctx.in_attr
+                || !hot.is_hot(&file.crate_name, &ctx.in_fn)
+            {
+                continue;
+            }
+            let tok = &file.tokens[i];
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = file.text_of(tok);
+            let next = text_at(file, &code, k + 1);
+            let prev = if k > 0 {
+                text_at(file, &code, k - 1)
+            } else {
+                ""
+            };
+            let finding: Option<String> = match text {
+                "Vec" | "Box" | "String"
+                    if next == ":"
+                        && text_at(file, &code, k + 2) == ":"
+                        && matches!(text_at(file, &code, k + 3), "new" | "with_capacity") =>
+                {
+                    Some(format!(
+                        "`{text}::{}` allocates inside a hot loop — hoist to a reused scratch buffer",
+                        text_at(file, &code, k + 3)
+                    ))
+                }
+                "clone" | "to_vec" | "collect" | "to_owned"
+                    if prev == "." && matches!(next, "(" | ":") =>
+                {
+                    Some(format!(
+                        "`.{text}()` allocates inside a hot loop — reuse a scratch buffer or borrow"
+                    ))
+                }
+                "format" | "vec" if next == "!" => Some(format!(
+                    "`{text}!` allocates inside a hot loop — hoist or pre-size outside the loop"
+                )),
+                _ => None,
+            };
+            if let Some(message) = finding {
+                if file.allowed("alloc", tok.line).is_some() {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    pass: "hot-alloc".into(),
+                    path: file.path.clone(),
+                    line: tok.line,
+                    symbol: ctx.in_fn.clone(),
+                    message,
+                });
+            }
+        }
+    }
+    diags
+}

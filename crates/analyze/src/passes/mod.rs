@@ -1,0 +1,90 @@
+//! The analysis passes.
+//!
+//! Every pass has the same shape: walk the loaded [`Workspace`], emit
+//! [`Diagnostic`]s. Passes never read files themselves — they work off
+//! the lexed and scope-tracked [`crate::source::SourceFile`]s, which is
+//! what makes them immune to the strings-and-comments false positives
+//! that plagued line-based scanning.
+
+pub mod hot_alloc;
+pub mod layering;
+pub mod newtype;
+pub mod panic_path;
+pub mod source_audit;
+
+use crate::config::HotPaths;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// Runs the ratcheted passes: layering, panic-path, hot-loop
+/// allocation, newtype discipline, and annotation validation. The
+/// source-audit pass is *not* included — it keeps its own allowlist and
+/// exit semantics under `cargo run -p xtask -- audit`.
+#[must_use]
+pub fn run_all(ws: &Workspace, hot: &HotPaths) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    diags.extend(layering::run(ws));
+    diags.extend(panic_path::run(ws, hot));
+    diags.extend(hot_alloc::run(ws, hot));
+    diags.extend(newtype::run(ws));
+    diags.extend(annotations(ws));
+    diags.sort();
+    diags
+}
+
+/// Malformed `analyze::allow` annotations become findings themselves —
+/// a suppression that silently fails to parse would otherwise *look*
+/// like an active waiver.
+fn annotations(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        for (line, message) in &file.bad_allows {
+            diags.push(Diagnostic {
+                pass: "annotation".into(),
+                path: file.path.clone(),
+                line: *line,
+                symbol: String::new(),
+                message: message.clone(),
+            });
+        }
+    }
+    diags
+}
+
+/// The names of the passes `run_all` executes, for `--summary` output.
+pub const PASS_NAMES: &[&str] = &[
+    "layering",
+    "panic-path",
+    "hot-alloc",
+    "newtype",
+    "annotation",
+];
+
+/// Is the file exempt test-adjacent code by location (integration
+/// tests, benches, examples)?
+#[must_use]
+pub fn is_test_path(path: &str) -> bool {
+    let in_dir =
+        |dir: &str| path.starts_with(&format!("{dir}/")) || path.contains(&format!("/{dir}/"));
+    in_dir("tests") || in_dir("benches") || in_dir("examples")
+}
+
+/// Indices of the file's non-trivia tokens, in order. All sequence
+/// matching in the passes runs over this view so comments never split a
+/// pattern.
+#[must_use]
+pub fn code_indices(file: &SourceFile) -> Vec<usize> {
+    file.tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_trivia())
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Text of the code token at view position `k`, or `""` past the end.
+#[must_use]
+pub fn text_at<'a>(file: &'a SourceFile, code: &[usize], k: usize) -> &'a str {
+    code.get(k).map_or("", |&i| file.tokens[i].text(&file.text))
+}

@@ -1,0 +1,122 @@
+//! Newtype-discipline pass: `Lit` and `Var` cross into raw integers
+//! only through the sanctioned helpers in `hqs-base`.
+//!
+//! The helpers are `Var::uidx()` / `Lit::uidx()` (array indexing),
+//! `Var::bound()` (`num_vars` bookkeeping: index + 1) and
+//! `Var::to_dimacs()` (external 1-based encoding). Outside
+//! `crates/base`, the pass flags the raw escape hatches those helpers
+//! replaced:
+//!
+//! * `as` casts applied to the raw accessors — `.index() as usize`,
+//!   `.code() as u32`, …;
+//! * integer-literal arithmetic on them — `.index() + 1` and friends —
+//!   which encodes an offset convention at the call site instead of
+//!   naming it once in `hqs-base`;
+//! * raw `as` casts *inside* a `Var::new(…)` call, the construction-side
+//!   mirror of the same leak.
+//!
+//! Test code is exempt (tests legitimately poke at representations);
+//! deliberate escapes carry `// analyze::allow(newtype): <reason>`.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+use super::{code_indices, is_test_path, text_at};
+
+/// Runs the newtype-discipline pass.
+#[must_use]
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if file.path.starts_with("crates/base/") || is_test_path(&file.path) {
+            continue;
+        }
+        let code = code_indices(file);
+        for (k, &i) in code.iter().enumerate() {
+            let ctx = &file.ctx[i];
+            if ctx.in_test || ctx.in_attr {
+                continue;
+            }
+            let tok = &file.tokens[i];
+            let text = file.text_of(tok);
+            let finding: Option<String> = if tok.kind == TokenKind::Ident
+                && matches!(text, "index" | "code")
+                && k > 0
+                && text_at(file, &code, k - 1) == "."
+                && text_at(file, &code, k + 1) == "("
+                && text_at(file, &code, k + 2) == ")"
+            {
+                // `.index()` / `.code()` — inspect what the result feeds.
+                let after = text_at(file, &code, k + 3);
+                if after == "as" {
+                    Some(format!(
+                        "`.{text}() as {}` bridges Lit/Var to a raw integer — use the sanctioned \
+                         `uidx()`/`bound()`/`to_dimacs()` helpers in hqs-base",
+                        text_at(file, &code, k + 4)
+                    ))
+                } else if matches!(after, "+" | "-" | "^" | "*" | "%" | "|")
+                    && file
+                        .tokens
+                        .get(code.get(k + 4).copied().unwrap_or(usize::MAX))
+                        .is_some_and(|t| t.kind == TokenKind::Int)
+                {
+                    Some(format!(
+                        "integer-literal arithmetic on `.{text}()` encodes an offset convention at \
+                         the call site — name it as a helper in hqs-base (like `Var::bound()`)"
+                    ))
+                } else {
+                    None
+                }
+            } else if tok.kind == TokenKind::Ident
+                && matches!(text, "Var" | "Lit")
+                && text_at(file, &code, k + 1) == ":"
+                && text_at(file, &code, k + 2) == ":"
+                && text_at(file, &code, k + 3) == "new"
+                && text_at(file, &code, k + 4) == "("
+                && call_contains_as(file, &code, k + 4)
+            {
+                Some(format!(
+                    "raw `as` cast inside `{text}::new(…)` — construct through a sanctioned \
+                     helper in hqs-base instead of casting at the call site"
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = finding {
+                if file.allowed("newtype", tok.line).is_some() {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    pass: "newtype".into(),
+                    path: file.path.clone(),
+                    line: tok.line,
+                    symbol: ctx.in_fn.clone(),
+                    message,
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Does the parenthesized call whose `(` sits at view position `open`
+/// contain an `as` token at its own nesting level (or deeper)?
+fn call_contains_as(file: &SourceFile, code: &[usize], open: usize) -> bool {
+    let mut depth = 0usize;
+    for k in open..code.len() {
+        match text_at(file, code, k) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "as" => return true,
+            _ => {}
+        }
+    }
+    false
+}

@@ -1,0 +1,101 @@
+//! Panic-path pass: functions declared hot in `analyze-hot-paths.toml`
+//! must not contain latent panics.
+//!
+//! Inside a hot function the pass denies `.unwrap()`, `.expect(…)`,
+//! `panic!`, `unreachable!` and `[…]` indexing. The fix is `get`/`match`
+//! (or restructuring so the invariant is by-construction); where the
+//! index really is proven in bounds, the site carries a
+//! `// analyze::allow(panic): <reason>` annotation so the justification
+//! is part of the code.
+
+use crate::config::HotPaths;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+
+use super::{code_indices, is_test_path, text_at};
+
+/// Runs the panic-path pass.
+#[must_use]
+pub fn run(ws: &Workspace, hot: &HotPaths) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if is_test_path(&file.path) {
+            continue;
+        }
+        let code = code_indices(file);
+        for (k, &i) in code.iter().enumerate() {
+            let ctx = &file.ctx[i];
+            if ctx.in_fn.is_empty()
+                || ctx.in_test
+                || ctx.in_attr
+                || !hot.is_hot(&file.crate_name, &ctx.in_fn)
+            {
+                continue;
+            }
+            let tok = &file.tokens[i];
+            let text = file.text_of(tok);
+            let finding: Option<String> = match (tok.kind, text) {
+                (TokenKind::Ident, "unwrap" | "expect")
+                    if k > 0
+                        && text_at(file, &code, k - 1) == "."
+                        && text_at(file, &code, k + 1) == "(" =>
+                {
+                    Some(format!(
+                        "`.{text}(…)` in hot path — use `get`/`match`, or justify with \
+                         `// analyze::allow(panic): …`"
+                    ))
+                }
+                (TokenKind::Ident, "panic" | "unreachable")
+                    if text_at(file, &code, k + 1) == "!" =>
+                {
+                    Some(format!(
+                        "`{text}!` in hot path — return an error or make the state unrepresentable, \
+                         or justify with `// analyze::allow(panic): …`"
+                    ))
+                }
+                (TokenKind::Punct, "[") if k > 0 && is_index_base(file, &code, k - 1) => {
+                    Some(
+                        "`[…]` indexing in hot path — use `get`, or justify with \
+                         `// analyze::allow(panic): …`"
+                            .to_string(),
+                    )
+                }
+                _ => None,
+            };
+            if let Some(message) = finding {
+                if file.allowed("panic", tok.line).is_some() {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    pass: "panic-path".into(),
+                    path: file.path.clone(),
+                    line: tok.line,
+                    symbol: ctx.in_fn.clone(),
+                    message,
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Is the code token at view position `k` something a `[` after it
+/// would index? (An identifier, a closing paren/bracket — i.e. an
+/// expression — rather than the start of an array literal, slice type
+/// or attribute.)
+fn is_index_base(file: &crate::source::SourceFile, code: &[usize], k: usize) -> bool {
+    let Some(&i) = code.get(k) else { return false };
+    let tok = &file.tokens[i];
+    match tok.kind {
+        TokenKind::Ident => {
+            // `let x = [0; 4]` etc. start after keywords, not expressions.
+            !matches!(
+                file.text_of(tok),
+                "mut" | "let" | "in" | "return" | "if" | "else" | "match" | "ref" | "box" | "as"
+            )
+        }
+        TokenKind::Punct => matches!(file.text_of(tok), ")" | "]"),
+        _ => false,
+    }
+}

@@ -1,0 +1,128 @@
+//! Source-audit pass: the PR-1 hygiene rules, ported from line-based
+//! scanning onto the lexer.
+//!
+//! The rules are unchanged:
+//!
+//! * every crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`)
+//!   carries `#![forbid(unsafe_code)]` and `//!` crate docs;
+//! * `todo!` / `unimplemented!` / `dbg!` never ship, test code included;
+//! * `.unwrap()` / `.expect(…)` in library code are budgeted per file by
+//!   `crates/xtask/audit-allowlist.txt` (burn-down only) — test modules
+//!   and `tests/` / `benches/` / `examples/` are exempt.
+//!
+//! What changed is the *mechanism*: matching tokens instead of line
+//! substrings means string literals and comments can no longer produce
+//! false positives, so the audit now also covers `crates/xtask` and
+//! `crates/analyze` themselves — the old scanner had to skip them
+//! because their rule tables spell the banned tokens out literally.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+use super::{code_indices, is_test_path, text_at};
+
+/// The audit findings, split by how the caller treats them.
+#[derive(Debug, Default)]
+pub struct AuditFindings {
+    /// Unconditional violations (missing forbid/docs, `todo!`, …).
+    pub hard: Vec<Diagnostic>,
+    /// `.unwrap()` / `.expect(…)` sites in library code — one
+    /// diagnostic per site, budgeted by the allowlist in the caller.
+    pub unwrap_sites: Vec<Diagnostic>,
+}
+
+/// Runs the audit pass.
+#[must_use]
+pub fn run(ws: &Workspace) -> AuditFindings {
+    let mut out = AuditFindings::default();
+    for file in &ws.files {
+        audit_file(file, &mut out);
+    }
+    out.hard.sort();
+    out.unwrap_sites.sort();
+    out
+}
+
+fn audit_file(file: &SourceFile, out: &mut AuditFindings) {
+    let is_crate_root = file.path.ends_with("src/lib.rs")
+        || file.path.ends_with("src/main.rs")
+        || file.path.contains("src/bin/");
+    let code = code_indices(file);
+    if is_crate_root {
+        crate_root_rules(file, &code, out);
+    }
+    let exempt_file = is_test_path(&file.path);
+    for (k, &i) in code.iter().enumerate() {
+        let tok = &file.tokens[i];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let ctx = &file.ctx[i];
+        if ctx.in_attr {
+            continue;
+        }
+        let text = file.text_of(tok);
+        match text {
+            "todo" | "unimplemented" | "dbg" if text_at(file, &code, k + 1) == "!" => {
+                out.hard.push(Diagnostic {
+                    pass: "audit".into(),
+                    path: file.path.clone(),
+                    line: tok.line,
+                    symbol: ctx.in_fn.clone(),
+                    message: format!("`{text}!` must not be committed"),
+                });
+            }
+            "unwrap" | "expect"
+                if !exempt_file
+                    && !ctx.in_test
+                    && k > 0
+                    && text_at(file, &code, k - 1) == "."
+                    && text_at(file, &code, k + 1) == "(" =>
+            {
+                out.unwrap_sites.push(Diagnostic {
+                    pass: "audit".into(),
+                    path: file.path.clone(),
+                    line: tok.line,
+                    symbol: ctx.in_fn.clone(),
+                    message: format!("`.{text}(…)` in library code"),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+fn crate_root_rules(file: &SourceFile, code: &[usize], out: &mut AuditFindings) {
+    let has_forbid = code.iter().enumerate().any(|(k, &i)| {
+        let tok = &file.tokens[i];
+        tok.kind == TokenKind::Ident
+            && file.ctx[i].in_attr
+            && file.text_of(tok) == "forbid"
+            && text_at(file, code, k + 1) == "("
+            && text_at(file, code, k + 2) == "unsafe_code"
+    });
+    if !has_forbid {
+        out.hard.push(Diagnostic {
+            pass: "audit".into(),
+            path: file.path.clone(),
+            line: 1,
+            symbol: String::new(),
+            message: "crate root lacks #![forbid(unsafe_code)]".into(),
+        });
+    }
+    let has_docs = file.tokens.iter().any(|t| {
+        (t.kind == TokenKind::LineComment && file.text_of(t).starts_with("//!"))
+            || (t.kind == TokenKind::BlockComment && file.text_of(t).starts_with("/*!"))
+    });
+    if !has_docs {
+        out.hard.push(Diagnostic {
+            pass: "audit".into(),
+            path: file.path.clone(),
+            line: 1,
+            symbol: String::new(),
+            message: "crate root lacks //! crate-level documentation".into(),
+        });
+    }
+}

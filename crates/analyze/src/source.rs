@@ -1,0 +1,593 @@
+//! Source model: one lexed file plus the item/brace tracker that
+//! attributes every token to its crate, module path, enclosing function
+//! and loop depth, and the `// analyze::allow(...)` annotation scanner.
+//!
+//! The tracker is a single forward scan over the token stream keeping a
+//! stack of scopes. It is deliberately not a parser — it only needs to
+//! answer "which fn am I in", "am I inside a loop body", "am I inside a
+//! `#[cfg(test)]` module" — but it has to get braces right in the
+//! presence of `impl X for Y`, `for`-loops, closures appearing inside
+//! loop headers, struct literals and attributes, all of which are
+//! handled below.
+
+use crate::lexer::{self, Token, TokenKind};
+
+/// What a brace-delimited scope on the stack is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ScopeKind {
+    /// `mod name { ... }`
+    Module { name: String, test: bool },
+    /// `impl Type { ... }` / `impl Trait for Type { ... }`
+    Impl { type_name: String },
+    /// `fn name(...) { ... }` — `qualified` is `Type::name` inside an
+    /// impl block, else just `name`.
+    Fn { qualified: String, test: bool },
+    /// `loop`/`while`/`for` body.
+    Loop,
+    /// Any other brace pair: blocks, struct literals, match bodies, ...
+    Block,
+}
+
+/// Context attributed to a single non-trivia token.
+#[derive(Clone, Debug)]
+pub struct TokenCtx {
+    /// Index into the file's token vector.
+    pub index: usize,
+    /// Enclosing function as `fn_name` or `Type::fn_name`; empty when
+    /// the token is outside any fn body.
+    pub in_fn: String,
+    /// How many `loop`/`while`/`for` bodies enclose the token *within
+    /// the current fn* (closures reset to the fn they lexically sit in,
+    /// which is what a lexical pass wants).
+    pub loop_depth: u32,
+    /// Module path within the file, `::`-joined (`tests`, `foo::bar`).
+    pub module_path: String,
+    /// Token is inside a `#[cfg(test)]` module or `#[test]` fn.
+    pub in_test: bool,
+    /// Token is part of an attribute (`#[...]` / `#![...]`).
+    pub in_attr: bool,
+}
+
+/// A `// analyze::allow(kind): reason` annotation.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The allowed diagnostic kind: `panic`, `alloc` or `newtype`.
+    pub kind: String,
+    /// First source line the annotation covers.
+    pub from_line: u32,
+    /// Last source line the annotation covers (inclusive).
+    pub to_line: u32,
+    /// The justification after the colon.
+    pub reason: String,
+    /// Line the annotation itself sits on (for bad-annotation reports).
+    pub line: u32,
+}
+
+/// A fully analyzed source file: tokens plus per-token context and
+/// annotations. Passes work off this; nothing re-reads the file.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Crate (package) name owning the file, e.g. `hqs-sat`.
+    pub crate_name: String,
+    /// Raw file contents.
+    pub text: String,
+    /// The full token stream, trivia included.
+    pub tokens: Vec<Token>,
+    /// Context for every token, trivia included (trivia gets the context
+    /// of the position it occupies).
+    pub ctx: Vec<TokenCtx>,
+    /// All well-formed allow annotations in the file.
+    pub allows: Vec<Allow>,
+    /// Malformed annotations: (line, problem description).
+    pub bad_allows: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    /// Lexes and scope-tracks `text`.
+    #[must_use]
+    pub fn analyze(path: String, crate_name: String, text: String) -> Self {
+        let tokens = lexer::lex(&text);
+        let ctx = track(&text, &tokens);
+        let (allows, bad_allows) = scan_allows(&text, &tokens);
+        SourceFile {
+            path,
+            crate_name,
+            text,
+            tokens,
+            ctx,
+            allows,
+            bad_allows,
+        }
+    }
+
+    /// Token text helper.
+    #[must_use]
+    pub fn text_of(&self, t: &Token) -> &str {
+        t.text(&self.text)
+    }
+
+    /// Is `line` covered by an allow annotation of `kind`?
+    /// Returns the matching annotation if so.
+    #[must_use]
+    pub fn allowed(&self, kind: &str, line: u32) -> Option<&Allow> {
+        self.allows
+            .iter()
+            .find(|a| a.kind == kind && a.from_line <= line && line <= a.to_line)
+    }
+}
+
+/// The forward scan attributing context to each token.
+fn track(src: &str, tokens: &[Token]) -> Vec<TokenCtx> {
+    let mut ctx = Vec::with_capacity(tokens.len());
+    let mut stack: Vec<ScopeKind> = Vec::new();
+
+    // Pending state between a keyword and its opening brace.
+    let mut pending_fn: Option<String> = None; // fn name awaiting `{`
+    let mut pending_fn_test = false;
+    let mut pending_mod: Option<String> = None;
+    let mut pending_mod_test = false;
+    let mut pending_impl: Option<String> = None; // impl type awaiting `{`
+    let mut impl_active = false; // between `impl` and its `{`
+    let mut impl_saw_for = false;
+    let mut pending_loop = false;
+    let mut next_is_fn_name = false;
+    let mut next_is_mod_name = false;
+    let mut cfg_test_attr = false; // last attr was #[cfg(test)] / #[test]
+    let mut pending_test = false; // attribute applies to next item
+
+    // Attribute tracking: `#` `[` ... `]` (or `#` `!` `[`).
+    let mut attr_depth = 0usize; // bracket depth inside an attribute
+    let mut attr_pending_bang = false; // saw `#`, maybe `!`, awaiting `[`
+    let mut attr_start: Option<usize> = None;
+
+    // Parenthesis depth — used to keep closure braces inside a loop
+    // header (e.g. `for x in v.iter().map(|y| { .. })`) from consuming
+    // the pending loop.
+    let mut paren_depth = 0usize;
+    let mut angle_depth = 0usize; // inside impl generics `impl<T: X<Y>>`
+
+    let current = |stack: &[ScopeKind]| -> (String, u32, String, bool) {
+        let mut in_fn = String::new();
+        let mut loop_depth = 0u32;
+        let mut modules: Vec<&str> = Vec::new();
+        let mut in_test = false;
+        for s in stack {
+            match s {
+                ScopeKind::Fn { qualified, test } => {
+                    in_fn = qualified.clone();
+                    loop_depth = 0;
+                    if *test {
+                        in_test = true;
+                    }
+                }
+                ScopeKind::Loop => loop_depth += 1,
+                ScopeKind::Module { name, test } => {
+                    modules.push(name);
+                    if *test {
+                        in_test = true;
+                    }
+                }
+                ScopeKind::Impl { .. } | ScopeKind::Block => {}
+            }
+        }
+        (in_fn, loop_depth, modules.join("::"), in_test)
+    };
+
+    for (i, tok) in tokens.iter().enumerate() {
+        let (in_fn, loop_depth, module_path, in_test) = current(&stack);
+        let in_attr = attr_depth > 0 || attr_pending_bang;
+        ctx.push(TokenCtx {
+            index: i,
+            in_fn,
+            loop_depth,
+            module_path,
+            in_test,
+            in_attr,
+        });
+        if tok.is_trivia() {
+            continue;
+        }
+        let text = tok.text(src);
+
+        // --- attribute machinery -------------------------------------
+        if attr_pending_bang {
+            match text {
+                "!" => continue,
+                "[" => {
+                    attr_pending_bang = false;
+                    attr_depth = 1;
+                    continue;
+                }
+                _ => {
+                    // A lone `#` not starting an attribute (rare; raw
+                    // strings already lexed away). Fall through.
+                    attr_pending_bang = false;
+                }
+            }
+        } else if attr_depth > 0 {
+            match text {
+                "[" => attr_depth += 1,
+                "]" => {
+                    attr_depth -= 1;
+                    if attr_depth == 0 {
+                        // Classify the finished attribute.
+                        if let Some(s) = attr_start {
+                            let attr_text: String = tokens[s..=i]
+                                .iter()
+                                .filter(|t| !t.is_trivia())
+                                .map(|t| t.text(src))
+                                .collect();
+                            if attr_text.contains("cfg(test") || attr_text == "#[test]" {
+                                cfg_test_attr = true;
+                            }
+                        }
+                        if cfg_test_attr {
+                            pending_test = true;
+                            cfg_test_attr = false;
+                        }
+                        attr_start = None;
+                    }
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if tok.kind == TokenKind::Punct && text == "#" {
+            attr_pending_bang = true;
+            attr_start = Some(i);
+            continue;
+        }
+
+        // --- name captures after item keywords -----------------------
+        if next_is_fn_name {
+            if tok.kind == TokenKind::Ident {
+                let name = text.strip_prefix("r#").unwrap_or(text).to_string();
+                let qualified = stack
+                    .iter()
+                    .rev()
+                    .find_map(|s| match s {
+                        ScopeKind::Impl { type_name } => Some(type_name.clone()),
+                        _ => None,
+                    })
+                    .map_or_else(|| name.clone(), |t| format!("{t}::{name}"));
+                pending_fn = Some(qualified);
+                pending_fn_test = pending_test;
+                pending_test = false;
+            }
+            next_is_fn_name = false;
+            continue;
+        }
+        if next_is_mod_name {
+            if tok.kind == TokenKind::Ident {
+                pending_mod = Some(text.strip_prefix("r#").unwrap_or(text).to_string());
+                pending_mod_test = pending_test;
+                pending_test = false;
+            }
+            next_is_mod_name = false;
+            continue;
+        }
+
+        // --- impl header ---------------------------------------------
+        if impl_active {
+            match text {
+                "<" => {
+                    angle_depth += 1;
+                    continue;
+                }
+                ">" => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                    continue;
+                }
+                "for" if angle_depth == 0 => {
+                    // `impl Trait for Type` — the type comes after.
+                    impl_saw_for = true;
+                    pending_impl = None;
+                    continue;
+                }
+                "{" if angle_depth == 0 => {
+                    stack.push(ScopeKind::Impl {
+                        type_name: pending_impl.take().unwrap_or_default(),
+                    });
+                    impl_active = false;
+                    impl_saw_for = false;
+                    continue;
+                }
+                _ => {
+                    if tok.kind == TokenKind::Ident
+                        && angle_depth == 0
+                        && (pending_impl.is_none() || impl_saw_for)
+                        && !matches!(text, "where" | "dyn" | "mut" | "const" | "unsafe")
+                    {
+                        pending_impl = Some(text.to_string());
+                        impl_saw_for = false;
+                    }
+                    continue;
+                }
+            }
+        }
+
+        match (tok.kind, text) {
+            (TokenKind::Ident, "fn") => {
+                next_is_fn_name = true;
+            }
+            (TokenKind::Ident, "mod") => {
+                next_is_mod_name = true;
+            }
+            (TokenKind::Ident, "impl") => {
+                impl_active = true;
+                impl_saw_for = false;
+                angle_depth = 0;
+                pending_impl = None;
+                pending_test = false;
+            }
+            // Only track loops inside fn bodies.
+            (TokenKind::Ident, "loop" | "while")
+                if stack.iter().any(|s| matches!(s, ScopeKind::Fn { .. })) =>
+            {
+                pending_loop = true;
+            }
+            (TokenKind::Ident, "for") => {
+                // `for`-loop vs `impl Trait for` (handled above) vs
+                // `for<'a>` HRTB: skip HRTB by peeking at `<`.
+                let next_code = tokens[i + 1..].iter().find(|t| !t.is_trivia());
+                let is_hrtb = next_code.is_some_and(|t| t.text(src) == "<");
+                if !is_hrtb && stack.iter().any(|s| matches!(s, ScopeKind::Fn { .. })) {
+                    pending_loop = true;
+                }
+            }
+            (TokenKind::Punct, "(") => paren_depth += 1,
+            (TokenKind::Punct, ")") => paren_depth = paren_depth.saturating_sub(1),
+            (TokenKind::Punct, "{") => {
+                if let Some(name) = pending_fn.take() {
+                    stack.push(ScopeKind::Fn {
+                        qualified: name,
+                        test: pending_fn_test,
+                    });
+                    pending_fn_test = false;
+                } else if let Some(name) = pending_mod.take() {
+                    stack.push(ScopeKind::Module {
+                        name,
+                        test: pending_mod_test,
+                    });
+                    pending_mod_test = false;
+                } else if pending_loop && paren_depth == 0 {
+                    stack.push(ScopeKind::Loop);
+                    pending_loop = false;
+                } else {
+                    stack.push(ScopeKind::Block);
+                }
+            }
+            (TokenKind::Punct, "}") => {
+                stack.pop();
+            }
+            (TokenKind::Punct, ";") => {
+                // Trait method declaration `fn f(...);`, `mod name;`,
+                // statement end: clear pendings that never got a body.
+                pending_fn = None;
+                pending_mod = None;
+                pending_loop = pending_loop && paren_depth > 0;
+                pending_test = false;
+            }
+            _ => {}
+        }
+    }
+    ctx
+}
+
+/// Scans comments for `analyze::allow(kind): reason` annotations.
+/// Returns (well-formed, malformed-as-(line, message)).
+fn scan_allows(src: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<(u32, String)>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokenKind::LineComment && tok.kind != TokenKind::BlockComment {
+            continue;
+        }
+        let text = tok.text(src);
+        // Doc comments describe code — including, in the analyzer's own
+        // sources and DESIGN.md excerpts, the annotation syntax itself —
+        // so only plain comments carry live annotations.
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/*!")
+            || text.starts_with("/**")
+        {
+            continue;
+        }
+        let Some(pos) = text.find("analyze::allow") else {
+            continue;
+        };
+        let rest = &text[pos + "analyze::allow".len()..];
+        let Some(rest) = rest.strip_prefix('(') else {
+            bad.push((
+                tok.line,
+                "malformed annotation: expected `(` after `analyze::allow`".to_string(),
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad.push((tok.line, "malformed annotation: missing `)`".to_string()));
+            continue;
+        };
+        let kind = rest[..close].trim().to_string();
+        if !matches!(kind.as_str(), "panic" | "alloc" | "newtype") {
+            bad.push((
+                tok.line,
+                format!("unknown allow kind `{kind}` (expected panic, alloc or newtype)"),
+            ));
+            continue;
+        }
+        let mut after = rest[close + 1..].trim_start();
+        // Optional `lines=N` span extension before the colon.
+        let mut span: u32 = 1;
+        if let Some(stripped) = after.strip_prefix("lines=") {
+            let digits: String = stripped.chars().take_while(char::is_ascii_digit).collect();
+            if let Ok(n) = digits.parse::<u32>() {
+                span = n;
+                after = stripped[digits.len()..].trim_start();
+            }
+        }
+        let Some(reason) = after.strip_prefix(':') else {
+            bad.push((
+                tok.line,
+                "malformed annotation: expected `: reason` after the kind".to_string(),
+            ));
+            continue;
+        };
+        let reason = reason.trim();
+        let reason = reason.trim_end_matches("*/").trim();
+        if reason.is_empty() {
+            bad.push((
+                tok.line,
+                format!("allow({kind}) annotation has an empty reason"),
+            ));
+            continue;
+        }
+        // A trailing comment covers its own line; a standalone comment
+        // covers the next `span` lines.
+        allows.push(Allow {
+            kind,
+            from_line: tok.line,
+            to_line: tok.line + span,
+            reason: reason.to_string(),
+            line: tok.line,
+        });
+    }
+    (allows, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::analyze("test.rs".into(), "hqs-test".into(), src.into())
+    }
+
+    fn ctx_of<'a>(f: &'a SourceFile, needle: &str) -> &'a TokenCtx {
+        let idx = f
+            .tokens
+            .iter()
+            .position(|t| t.text(&f.text) == needle)
+            .unwrap_or_else(|| panic!("token {needle} not found"));
+        &f.ctx[idx]
+    }
+
+    #[test]
+    fn fn_attribution() {
+        let f = sf("fn alpha() { body1; } fn beta() { body2; }");
+        assert_eq!(ctx_of(&f, "body1").in_fn, "alpha");
+        assert_eq!(ctx_of(&f, "body2").in_fn, "beta");
+    }
+
+    #[test]
+    fn impl_qualifies_fn() {
+        let f = sf("impl Solver { fn propagate(&mut self) { body; } }");
+        assert_eq!(ctx_of(&f, "body").in_fn, "Solver::propagate");
+    }
+
+    #[test]
+    fn impl_trait_for_type() {
+        let f = sf("impl Display for Lit { fn fmt(&self) { body; } }");
+        assert_eq!(ctx_of(&f, "body").in_fn, "Lit::fmt");
+    }
+
+    #[test]
+    fn impl_with_generics() {
+        let f = sf("impl<T: Ord<K>> Heap { fn pop(&mut self) { body; } }");
+        assert_eq!(ctx_of(&f, "body").in_fn, "Heap::pop");
+    }
+
+    #[test]
+    fn loop_depth_counts() {
+        let f = sf("fn f() { while x { for y in z { inner; } mid; } outer; }");
+        assert_eq!(ctx_of(&f, "inner").loop_depth, 2);
+        assert_eq!(ctx_of(&f, "mid").loop_depth, 1);
+        assert_eq!(ctx_of(&f, "outer").loop_depth, 0);
+    }
+
+    #[test]
+    fn closure_in_loop_header_is_not_loop_body() {
+        // The closure's `{` appears while paren_depth > 0, so the
+        // pending loop must not be consumed by it.
+        let f = sf("fn f() { for x in v.iter().map(|y| { tick; y }) { body; } }");
+        assert_eq!(ctx_of(&f, "body").loop_depth, 1);
+        assert_eq!(ctx_of(&f, "tick").loop_depth, 0);
+    }
+
+    #[test]
+    fn for_loop_vs_impl_for() {
+        let f = sf("impl Iterator for Wrap { fn next(&mut self) { for i in 0..3 { body; } } }");
+        let c = ctx_of(&f, "body");
+        assert_eq!(c.in_fn, "Wrap::next");
+        assert_eq!(c.loop_depth, 1);
+    }
+
+    #[test]
+    fn cfg_test_module() {
+        let f = sf("fn prod() { a; } #[cfg(test)] mod tests { fn t() { b; } }");
+        assert!(!ctx_of(&f, "a").in_test);
+        let c = ctx_of(&f, "b");
+        assert!(c.in_test);
+        assert_eq!(c.module_path, "tests");
+    }
+
+    #[test]
+    fn test_attribute_fn() {
+        let f = sf("#[test] fn check() { b; } fn prod() { a; }");
+        assert!(ctx_of(&f, "b").in_test);
+        assert!(!ctx_of(&f, "a").in_test);
+    }
+
+    #[test]
+    fn attr_tokens_marked() {
+        let f = sf("#[derive(Debug)] struct S { x: u8 }");
+        assert!(ctx_of(&f, "derive").in_attr);
+        assert!(ctx_of(&f, "Debug").in_attr);
+        assert!(!ctx_of(&f, "struct").in_attr);
+    }
+
+    #[test]
+    fn trait_decl_semicolon_clears_pending_fn() {
+        let f = sf("trait T { fn declared(&self); } fn real() { body; }");
+        assert_eq!(ctx_of(&f, "body").in_fn, "real");
+    }
+
+    #[test]
+    fn allow_annotation_parses() {
+        let f = sf("fn f() {\n    // analyze::allow(panic): index proven in bounds\n    x[0];\n}");
+        assert_eq!(f.allows.len(), 1);
+        let a = &f.allows[0];
+        assert_eq!(a.kind, "panic");
+        assert_eq!(a.from_line, 2);
+        assert_eq!(a.to_line, 3);
+        assert!(a.reason.contains("proven"));
+        assert!(f.allowed("panic", 3).is_some());
+        assert!(f.allowed("alloc", 3).is_none());
+    }
+
+    #[test]
+    fn allow_lines_span() {
+        let f = sf("// analyze::allow(alloc) lines=3: grows once\na;\nb;\nc;\nd;");
+        let a = &f.allows[0];
+        assert_eq!((a.from_line, a.to_line), (1, 4));
+        assert!(f.allowed("alloc", 4).is_some());
+        assert!(f.allowed("alloc", 5).is_none());
+    }
+
+    #[test]
+    fn bad_annotations_reported() {
+        let f = sf(
+            "// analyze::allow(panic):\n// analyze::allow(bogus): why\n// analyze::allow panic: x",
+        );
+        assert_eq!(f.allows.len(), 0);
+        assert_eq!(f.bad_allows.len(), 3, "{:?}", f.bad_allows);
+    }
+
+    #[test]
+    fn nested_modules_path() {
+        let f = sf("mod outer { mod inner { fn f() { body; } } }");
+        assert_eq!(ctx_of(&f, "body").module_path, "outer::inner");
+    }
+}

@@ -1,0 +1,160 @@
+//! Workspace loading: discovers crates, parses their manifests, and
+//! lexes every Rust source file into a [`SourceFile`].
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::manifest::{self, Manifest};
+use crate::source::SourceFile;
+
+/// One workspace member.
+#[derive(Clone, Debug)]
+pub struct CrateInfo {
+    /// Package name from the manifest (e.g. `hqs-sat`).
+    pub name: String,
+    /// Workspace-relative directory (e.g. `crates/sat`).
+    pub dir: String,
+    /// The parsed manifest.
+    pub manifest: Manifest,
+}
+
+/// The loaded workspace: every member crate plus every lexed source
+/// file, in deterministic (sorted-by-path) order.
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// Member crates sorted by directory.
+    pub crates: Vec<CrateInfo>,
+    /// All analyzed source files sorted by path.
+    pub files: Vec<SourceFile>,
+}
+
+/// Path components that are never analyzed: build output, VCS metadata,
+/// and the analyzer's own corpus of deliberately-bad fixture snippets.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+impl Workspace {
+    /// Loads every crate under `<root>/crates/`, plus the facade
+    /// package at the workspace root if the root manifest declares one.
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let mut crates = Vec::new();
+        let mut files = Vec::new();
+        let crates_dir = root.join("crates");
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for crate_dir in entries {
+            load_crate(root, &crate_dir, &mut crates, &mut files)?;
+        }
+        // The root manifest may carry a [package] alongside [workspace]
+        // (the `hqs` facade). Its sources live in src/ etc. directly
+        // under the root; walking the root itself would re-visit crates/.
+        let root_manifest = root.join("Cargo.toml");
+        if root_manifest.is_file() {
+            let manifest = manifest::parse(&fs::read_to_string(&root_manifest)?);
+            if !manifest.name.is_empty() {
+                let mut crate_files = Vec::new();
+                for sub in ["src", "tests", "benches", "examples"] {
+                    let dir = root.join(sub);
+                    if dir.is_dir() {
+                        collect_rs_files(&dir, &mut crate_files)?;
+                    }
+                }
+                crate_files.sort();
+                for file in crate_files {
+                    let text = fs::read_to_string(&file)?;
+                    files.push(SourceFile::analyze(
+                        rel_path(root, &file),
+                        manifest.name.clone(),
+                        text,
+                    ));
+                }
+                crates.push(CrateInfo {
+                    name: manifest.name.clone(),
+                    dir: String::new(),
+                    manifest,
+                });
+            }
+        }
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            crates,
+            files,
+        })
+    }
+
+    /// Looks up a member by package name.
+    #[must_use]
+    pub fn crate_named(&self, name: &str) -> Option<&CrateInfo> {
+        self.crates.iter().find(|c| c.name == name)
+    }
+}
+
+fn load_crate(
+    root: &Path,
+    crate_dir: &Path,
+    crates: &mut Vec<CrateInfo>,
+    files: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let manifest_path = crate_dir.join("Cargo.toml");
+    if !manifest_path.is_file() {
+        return Ok(());
+    }
+    let manifest = manifest::parse(&fs::read_to_string(&manifest_path)?);
+    if manifest.name.is_empty() {
+        return Ok(());
+    }
+    let dir = rel_path(root, crate_dir);
+    let mut crate_files = Vec::new();
+    collect_rs_files(crate_dir, &mut crate_files)?;
+    crate_files.sort();
+    for file in crate_files {
+        let text = fs::read_to_string(&file)?;
+        files.push(SourceFile::analyze(
+            rel_path(root, &file),
+            manifest.name.clone(),
+            text,
+        ));
+    }
+    crates.push(CrateInfo {
+        name: manifest.name.clone(),
+        dir,
+        manifest,
+    });
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable across hosts,
+/// so baseline files diff cleanly).
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,260 @@
+//! Fixture-corpus integration tests: every seeded violation class in
+//! `crates/analyze/fixtures/` must be detected, the clean fixtures must
+//! produce zero findings, and every finding must survive a JSON
+//! round-trip.
+//!
+//! The tests build [`Workspace`] values in memory (the fixture files are
+//! excluded from real workspace walks) so the layering tests can pair
+//! sources with synthetic manifests.
+
+use std::path::PathBuf;
+
+use hqs_analyze::config::{HotFn, HotPaths};
+use hqs_analyze::diag::{self, Diagnostic};
+use hqs_analyze::manifest::Manifest;
+use hqs_analyze::passes::{self, hot_alloc, layering, newtype, panic_path, source_audit};
+use hqs_analyze::source::SourceFile;
+use hqs_analyze::workspace::{CrateInfo, Workspace};
+
+const BAD_PANIC: &str = include_str!("../fixtures/bad_panic.rs");
+const BAD_ALLOC: &str = include_str!("../fixtures/bad_alloc.rs");
+const BAD_NEWTYPE: &str = include_str!("../fixtures/bad_newtype.rs");
+const BAD_AUDIT: &str = include_str!("../fixtures/bad_audit.rs");
+const BAD_ANNOTATIONS: &str = include_str!("../fixtures/bad_annotations.rs");
+const BAD_LAYERING: &str = include_str!("../fixtures/bad_layering.rs");
+const CLEAN_HOT: &str = include_str!("../fixtures/clean_hot.rs");
+const CLEAN_STRINGS: &str = include_str!("../fixtures/clean_strings.rs");
+
+fn member(name: &str, dir: &str, deps: &[&str], dev_deps: &[&str]) -> CrateInfo {
+    CrateInfo {
+        name: name.to_string(),
+        dir: dir.to_string(),
+        manifest: Manifest {
+            name: name.to_string(),
+            deps: deps.iter().map(ToString::to_string).collect(),
+            dev_deps: dev_deps.iter().map(ToString::to_string).collect(),
+        },
+    }
+}
+
+fn workspace(crates: Vec<CrateInfo>, files: Vec<(&str, &str, &str)>) -> Workspace {
+    Workspace {
+        root: PathBuf::from("."),
+        crates,
+        files: files
+            .into_iter()
+            .map(|(path, crate_name, text)| {
+                SourceFile::analyze(path.to_string(), crate_name.to_string(), text.to_string())
+            })
+            .collect(),
+    }
+}
+
+fn hot_propagate() -> HotPaths {
+    HotPaths {
+        functions: vec![HotFn {
+            crate_name: "hqs-sat".to_string(),
+            symbol: "Solver::propagate".to_string(),
+        }],
+    }
+}
+
+fn count_containing(diags: &[Diagnostic], needle: &str) -> usize {
+    diags.iter().filter(|d| d.message.contains(needle)).count()
+}
+
+#[test]
+fn bad_panic_detects_every_class() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![("crates/sat/src/bad_panic.rs", "hqs-sat", BAD_PANIC)],
+    );
+    let diags = panic_path::run(&ws, &hot_propagate());
+    assert_eq!(diags.len(), 5, "{diags:#?}");
+    assert_eq!(count_containing(&diags, "`.unwrap(…)`"), 1);
+    assert_eq!(count_containing(&diags, "`.expect(…)`"), 1);
+    assert_eq!(count_containing(&diags, "`panic!`"), 1);
+    assert_eq!(count_containing(&diags, "`unreachable!`"), 1);
+    assert_eq!(count_containing(&diags, "`[…]` indexing"), 1);
+    // Only the declared-hot fn is held to the standard; `cold_helper`
+    // indexes a slice without any finding.
+    assert!(diags.iter().all(|d| d.symbol == "Solver::propagate"));
+}
+
+#[test]
+fn bad_alloc_detects_every_class() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![("crates/sat/src/bad_alloc.rs", "hqs-sat", BAD_ALLOC)],
+    );
+    let diags = hot_alloc::run(&ws, &hot_propagate());
+    assert_eq!(diags.len(), 7, "{diags:#?}");
+    for needle in [
+        "`.clone()`",
+        "`.to_vec()`",
+        "`.collect()`",
+        "`Vec::new`",
+        "`Box::new`",
+        "`format!`",
+        "`vec!`",
+    ] {
+        assert_eq!(count_containing(&diags, needle), 1, "missing {needle}");
+    }
+    // The post-loop `to_string` allocation is fine even in a hot fn.
+    assert!(diags.iter().all(|d| d.line <= 21), "{diags:#?}");
+}
+
+#[test]
+fn bad_newtype_detects_every_class() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &["hqs-base"], &[])],
+        vec![("crates/sat/src/bad_newtype.rs", "hqs-sat", BAD_NEWTYPE)],
+    );
+    let diags = newtype::run(&ws);
+    assert_eq!(diags.len(), 5, "{diags:#?}");
+    assert_eq!(count_containing(&diags, "`.index() as usize`"), 2);
+    assert_eq!(count_containing(&diags, "`.code() as usize`"), 1);
+    assert_eq!(count_containing(&diags, "integer-literal arithmetic"), 1);
+    assert_eq!(count_containing(&diags, "`Var::new(…)`"), 1);
+}
+
+#[test]
+fn newtype_pass_exempts_base_and_tests() {
+    let ws = workspace(
+        vec![member("hqs-base", "crates/base", &[], &[])],
+        vec![
+            ("crates/base/src/bad_newtype.rs", "hqs-base", BAD_NEWTYPE),
+            ("crates/sat/tests/bad_newtype.rs", "hqs-sat", BAD_NEWTYPE),
+        ],
+    );
+    assert!(newtype::run(&ws).is_empty());
+}
+
+#[test]
+fn bad_audit_detects_every_class() {
+    // As a crate root the file is also missing #![forbid(unsafe_code)]
+    // and `//!` docs.
+    let ws = workspace(
+        vec![member("hqs-audit", "crates/audit", &[], &[])],
+        vec![("crates/audit/src/lib.rs", "hqs-audit", BAD_AUDIT)],
+    );
+    let findings = source_audit::run(&ws);
+    assert_eq!(findings.hard.len(), 5, "{:#?}", findings.hard);
+    assert_eq!(count_containing(&findings.hard, "`todo!`"), 1);
+    assert_eq!(count_containing(&findings.hard, "`unimplemented!`"), 1);
+    assert_eq!(count_containing(&findings.hard, "`dbg!`"), 1);
+    assert_eq!(count_containing(&findings.hard, "forbid(unsafe_code)"), 1);
+    assert_eq!(
+        count_containing(&findings.hard, "crate-level documentation"),
+        1
+    );
+    assert_eq!(
+        findings.unwrap_sites.len(),
+        1,
+        "{:#?}",
+        findings.unwrap_sites
+    );
+    assert_eq!(findings.unwrap_sites[0].symbol, "risky");
+}
+
+#[test]
+fn bad_annotations_are_findings() {
+    let ws = workspace(
+        vec![member("hqs-base", "crates/base", &[], &[])],
+        vec![("crates/base/src/ann.rs", "hqs-base", BAD_ANNOTATIONS)],
+    );
+    let diags = passes::run_all(&ws, &HotPaths::default());
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.pass == "annotation"));
+    assert_eq!(count_containing(&diags, "empty reason"), 1);
+    assert_eq!(count_containing(&diags, "unknown allow kind"), 1);
+}
+
+#[test]
+fn bad_layering_detects_every_class() {
+    // hqs-base declaring a dependency on hqs-cnf is both outside its
+    // allowed set and a declared cycle; hqs-rogue is not registered in
+    // the layering table; the source fixture uses a dev-dependency
+    // outside tests, an undeclared crate, and another crate's internal
+    // module.
+    let ws = workspace(
+        vec![
+            member("hqs-base", "crates/base", &["hqs-cnf"], &[]),
+            member("hqs-cnf", "crates/cnf", &["hqs-base"], &[]),
+            member("hqs-proof", "crates/proof", &["hqs-base", "hqs-cnf"], &[]),
+            member("hqs-rogue", "crates/rogue", &[], &[]),
+            member("hqs-sat", "crates/sat", &["hqs-base"], &["hqs-proof"]),
+        ],
+        vec![("crates/sat/src/lib.rs", "hqs-sat", BAD_LAYERING)],
+    );
+    let diags = layering::run(&ws);
+    assert_eq!(diags.len(), 6, "{diags:#?}");
+    assert_eq!(
+        count_containing(&diags, "is not registered in the layering table"),
+        1
+    );
+    assert_eq!(count_containing(&diags, "may not depend on"), 1);
+    assert_eq!(count_containing(&diags, "dependency cycle"), 1);
+    assert_eq!(
+        count_containing(&diags, "dev-dependency and may only be used from test code"),
+        1
+    );
+    assert_eq!(count_containing(&diags, "is not a declared dependency"), 1);
+    assert_eq!(
+        count_containing(&diags, "reaches into an internal module"),
+        1
+    );
+}
+
+#[test]
+fn clean_fixtures_produce_zero_findings() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![
+            ("crates/sat/src/clean_hot.rs", "hqs-sat", CLEAN_HOT),
+            ("crates/sat/src/clean_strings.rs", "hqs-sat", CLEAN_STRINGS),
+        ],
+    );
+    let diags = passes::run_all(&ws, &hot_propagate());
+    assert!(diags.is_empty(), "{diags:#?}");
+    let findings = source_audit::run(&ws);
+    assert!(findings.hard.is_empty(), "{:#?}", findings.hard);
+    assert!(
+        findings.unwrap_sites.is_empty(),
+        "{:#?}",
+        findings.unwrap_sites
+    );
+}
+
+#[test]
+fn every_fixture_finding_round_trips_through_json() {
+    let sat = |path: &str, text: &str| {
+        workspace(
+            vec![member("hqs-sat", "crates/sat", &[], &[])],
+            vec![(path, "hqs-sat", text)],
+        )
+    };
+    let hot = hot_propagate();
+    let mut all = Vec::new();
+    all.extend(panic_path::run(
+        &sat("crates/sat/src/a.rs", BAD_PANIC),
+        &hot,
+    ));
+    all.extend(hot_alloc::run(&sat("crates/sat/src/b.rs", BAD_ALLOC), &hot));
+    all.extend(newtype::run(&sat("crates/sat/src/c.rs", BAD_NEWTYPE)));
+    let audit = source_audit::run(&sat("crates/sat/src/lib.rs", BAD_AUDIT));
+    all.extend(audit.hard);
+    all.extend(audit.unwrap_sites);
+    all.extend(passes::run_all(
+        &sat("crates/sat/src/d.rs", BAD_ANNOTATIONS),
+        &HotPaths::default(),
+    ));
+    assert!(
+        all.len() >= 20,
+        "fixture corpus shrank to {} findings",
+        all.len()
+    );
+    let text = diag::to_json_array(&all);
+    let back = diag::from_json_array(&text).expect("round-trip parse");
+    assert_eq!(all, back);
+}

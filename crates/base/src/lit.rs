@@ -42,6 +42,35 @@ impl Var {
         self.0
     }
 
+    /// Returns the dense index as a `usize`, for direct array indexing.
+    ///
+    /// This is the only sanctioned way to turn a variable into a slice
+    /// index: the `analyze` newtype pass flags raw `.index() as usize`
+    /// casts outside `hqs-base`.
+    #[inline]
+    #[must_use]
+    pub fn uidx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the smallest variable count that contains this variable,
+    /// i.e. `index + 1`.
+    ///
+    /// Use it for `num_vars`-style bookkeeping (`ensure_vars(v.bound())`,
+    /// `num_vars.max(v.bound())`) instead of open-coded index arithmetic.
+    #[inline]
+    #[must_use]
+    pub fn bound(self) -> u32 {
+        self.0 + 1
+    }
+
+    /// Renders this variable as its DIMACS identifier (`index + 1`).
+    #[inline]
+    #[must_use]
+    pub fn to_dimacs(self) -> i64 {
+        i64::from(self.0) + 1
+    }
+
     /// Returns the positive literal of this variable.
     #[inline]
     #[must_use]
@@ -158,6 +187,18 @@ impl Lit {
         self.0
     }
 
+    /// Returns the [`code`](Lit::code) as a `usize`, for direct indexing
+    /// of per-literal arrays such as watch lists.
+    ///
+    /// Like [`Var::uidx`], this is the sanctioned cast point: the
+    /// `analyze` newtype pass flags raw `.code() as usize` casts outside
+    /// `hqs-base`.
+    #[inline]
+    #[must_use]
+    pub fn uidx(self) -> usize {
+        self.0 as usize
+    }
+
     /// Returns this literal with the given polarity applied on top:
     /// `lit.xor_sign(true)` flips the literal, `lit.xor_sign(false)` is a
     /// no-op.
@@ -242,6 +283,19 @@ mod tests {
         for i in [0, 1, 17, 100_000] {
             assert_eq!(Var::new(i).index(), i);
         }
+    }
+
+    #[test]
+    fn sanctioned_casts_and_bounds() {
+        let v = Var::new(41);
+        assert_eq!(v.uidx(), 41usize);
+        assert_eq!(v.bound(), 42);
+        assert_eq!(v.to_dimacs(), 42);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(p.uidx(), 82usize);
+        assert_eq!(n.uidx(), 83usize);
+        assert_eq!(p.uidx(), p.code() as usize);
     }
 
     #[test]

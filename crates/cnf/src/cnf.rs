@@ -60,7 +60,7 @@ impl Cnf {
     /// variables beyond it.
     pub fn add_clause(&mut self, clause: Clause) {
         for var in clause.iter_vars() {
-            self.num_vars = self.num_vars.max(var.index() + 1);
+            self.num_vars = self.num_vars.max(var.bound());
         }
         self.clauses.push(clause);
     }

@@ -227,8 +227,9 @@ fn check_var(value: i64, num_vars: u32, line: usize) -> Result<Var, ParseError> 
     if value == 0 || magnitude > u64::from(num_vars) {
         return Err(ParseError::VarOutOfRange { line, var: value });
     }
-    #[allow(clippy::cast_possible_truncation)]
-    Ok(Var::new((magnitude - 1) as u32))
+    Lit::from_dimacs(value)
+        .map(Lit::var)
+        .ok_or(ParseError::VarOutOfRange { line, var: value })
 }
 
 /// Validates a clause literal and converts it, reporting out-of-range or
@@ -438,7 +439,7 @@ pub fn write_qdimacs(file: &QdimacsFile) -> String {
         };
         let _ = write!(out, "{kind}");
         for var in &block.vars {
-            let _ = write!(out, " {}", var.index() + 1);
+            let _ = write!(out, " {}", var.to_dimacs());
         }
         let _ = writeln!(out, " 0");
     }
@@ -460,14 +461,14 @@ pub fn write_dqdimacs(file: &DqdimacsFile) -> String {
     if !file.universals.is_empty() {
         let _ = write!(out, "a");
         for var in &file.universals {
-            let _ = write!(out, " {}", var.index() + 1);
+            let _ = write!(out, " {}", var.to_dimacs());
         }
         let _ = writeln!(out, " 0");
     }
     for (var, deps) in &file.existentials {
-        let _ = write!(out, "d {}", var.index() + 1);
+        let _ = write!(out, "d {}", var.to_dimacs());
         for dep in deps.iter() {
-            let _ = write!(out, " {}", dep.index() + 1);
+            let _ = write!(out, " {}", dep.to_dimacs());
         }
         let _ = writeln!(out, " 0");
     }

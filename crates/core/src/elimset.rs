@@ -165,7 +165,7 @@ mod tests {
         let universals: Vec<Var> = (0..4).map(Var::new).collect();
         let copies = |x: Var| match x.index() {
             0 => 10,
-            _ => x.index() as usize,
+            _ => x.uidx(),
         };
         let result = minimal_elimination_set(&universals, &cycles_of(&existentials), copies);
         let mut sorted = result.clone();

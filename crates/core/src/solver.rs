@@ -505,7 +505,7 @@ impl HqsSolver {
             .aig
             .support(state.root)
             .iter()
-            .map(|v| v.index() + 1)
+            .map(|v| v.bound())
             .max()
             .unwrap_or(0);
         let (mut cnf, out) = state.aig.to_cnf(state.root, first_aux);

@@ -73,7 +73,7 @@ impl FuMalikSolver {
     pub fn add_soft<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
         let lits: Vec<Lit> = lits.into_iter().collect();
         for &l in &lits {
-            self.sat.ensure_vars(l.var().index() + 1);
+            self.sat.ensure_vars(l.var().bound());
         }
         let blocker = Lit::positive(self.sat.new_var());
         let mut clause = lits.clone();

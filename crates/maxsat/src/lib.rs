@@ -104,7 +104,7 @@ impl MaxSatSolver {
         // variable, otherwise the fresh relaxer could collide with a clause
         // variable the solver has not seen yet.
         for &l in &lits {
-            self.sat.ensure_vars(l.var().index() + 1);
+            self.sat.ensure_vars(l.var().bound());
         }
         match lits.as_slice() {
             [] => {

@@ -129,7 +129,7 @@ impl Engine {
     }
 
     fn ensure_var(&mut self, var: Var) {
-        let needed = var.index() as usize + 1;
+        let needed = var.uidx() + 1;
         if self.value.len() < needed {
             self.value.resize(needed, 0);
             self.reason.resize(needed, NO_REASON);
@@ -139,7 +139,7 @@ impl Engine {
 
     #[inline]
     fn value_of(&self, lit: Lit) -> i8 {
-        let v = self.value[lit.var().index() as usize];
+        let v = self.value[lit.var().uidx()];
         if lit.is_negative() {
             -v
         } else {
@@ -149,7 +149,7 @@ impl Engine {
 
     #[inline]
     fn enqueue(&mut self, lit: Lit, reason: u32) {
-        let var = lit.var().index() as usize;
+        let var = lit.var().uidx();
         self.value[var] = if lit.is_positive() { 1 } else { -1 };
         self.reason[var] = reason;
         self.trail.push(lit);
@@ -191,8 +191,8 @@ impl Engine {
             _ => {}
         }
         if lits.len() >= 2 {
-            self.watches[lits[0].code() as usize].push(idx);
-            self.watches[lits[1].code() as usize].push(idx);
+            self.watches[lits[0].uidx()].push(idx);
+            self.watches[lits[1].uidx()].push(idx);
         } else if self.value_of(lits[0]) == 0 {
             self.enqueue(lits[0], idx);
         }
@@ -209,11 +209,16 @@ impl Engine {
             self.qhead = self.trail.len();
             return Some(conflict);
         }
-        while self.qhead < self.trail.len() {
-            let p = self.trail[self.qhead];
+        // Indexing in this loop is invariant-backed: `watches` and the
+        // assignment vectors are sized for every literal before it is
+        // enqueued, crefs index the checker's own clause store, and
+        // watched positions 0/1 exist because short clauses never enter
+        // the watch lists.
+        // analyze::allow(panic) lines=55: bounds established by ensure_var and the watch invariant
+        while let Some(&p) = self.trail.get(self.qhead) {
             self.qhead += 1;
             let false_lit = !p;
-            let mut list = std::mem::take(&mut self.watches[false_lit.code() as usize]);
+            let mut list = std::mem::take(&mut self.watches[false_lit.uidx()]);
             let mut kept = 0;
             let mut conflict = None;
             let mut i = 0;
@@ -236,7 +241,7 @@ impl Engine {
                     let candidate = self.lits[cref as usize][k];
                     if self.value_of(candidate) >= 0 {
                         self.lits[cref as usize].swap(1, k);
-                        self.watches[candidate.code() as usize].push(cref);
+                        self.watches[candidate.uidx()].push(cref);
                         continue 'clauses;
                     }
                 }
@@ -255,7 +260,7 @@ impl Engine {
                 self.enqueue(first, cref);
             }
             list.truncate(kept);
-            self.watches[false_lit.code() as usize] = list;
+            self.watches[false_lit.uidx()] = list;
             if conflict.is_some() {
                 return conflict;
             }
@@ -280,7 +285,7 @@ impl Engine {
     /// Unassigns everything above trail position `to`.
     fn backtrack(&mut self, to: usize) {
         for i in (to..self.trail.len()).rev() {
-            let var = self.trail[i].var().index() as usize;
+            let var = self.trail[i].var().uidx();
             self.value[var] = 0;
             self.reason[var] = NO_REASON;
         }
@@ -293,7 +298,7 @@ impl Engine {
     fn is_reason_locked(&self, cref: u32) -> bool {
         self.lits[cref as usize]
             .iter()
-            .any(|&l| self.value_of(l) > 0 && self.reason[l.var().index() as usize] == cref)
+            .any(|&l| self.value_of(l) > 0 && self.reason[l.var().uidx()] == cref)
     }
 
     /// Collects the engine clauses reachable from `conflict` through the
@@ -321,7 +326,7 @@ impl Engine {
             Conflict::Var(var) => pending_vars.push(var),
         }
         while let Some(var) = pending_vars.pop() {
-            let idx = var.index() as usize;
+            let idx = var.uidx();
             if seen_vars[idx] {
                 continue;
             }
@@ -604,7 +609,7 @@ impl BackwardChecker {
         let mut num_vars = 0u32;
         for record in &self.records {
             for &l in &record.lits {
-                num_vars = num_vars.max(l.var().index() + 1);
+                num_vars = num_vars.max(l.var().bound());
             }
         }
         let mut engine = Engine::new(num_vars);

@@ -204,7 +204,7 @@ impl QbfSolver {
         let first_aux = aig
             .support(root)
             .iter()
-            .map(|v| v.index() + 1)
+            .map(|v| v.bound())
             .max()
             .unwrap_or(0);
         let (cnf, out) = aig.to_cnf(root, first_aux);

@@ -80,7 +80,7 @@ impl Solver {
         let mut on_trail = vec![false; num_vars];
         let mut next_lim = 0usize;
         for (pos, &lit) in self.trail.iter().enumerate() {
-            let var = lit.var().index() as usize;
+            let var = lit.var().uidx();
             if var >= num_vars {
                 return err(
                     "trail",
@@ -190,7 +190,7 @@ impl Solver {
                 if clause.deleted {
                     continue; // lazily dropped by the propagation loop
                 }
-                let watched_lit = clause.lits[..2].iter().any(|l| l.code() as usize == code);
+                let watched_lit = clause.lits[..2].iter().any(|l| l.uidx() == code);
                 if !watched_lit {
                     return err(
                         "watches",
@@ -332,7 +332,7 @@ mod tests {
             .iter_mut()
             .find_map(|l| l.pop())
             .expect("sample has watches");
-        let wrong = s.clauses[entry.clause as usize].lits[2].code() as usize ^ 1;
+        let wrong = s.clauses[entry.clause as usize].lits[2].uidx() ^ 1;
         s.watches[wrong].push(entry);
         let violation = s
             .check_invariants()
@@ -378,7 +378,7 @@ mod tests {
         // Falsify both watched literals of clause 0 by hand-building a
         // consistent level-0 trail, bypassing propagation.
         for l in [lit(-1), lit(-2)] {
-            let var = l.var().index() as usize;
+            let var = l.var().uidx();
             s.assigns[var] = if l.is_positive() {
                 Lbool::True
             } else {

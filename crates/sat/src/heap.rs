@@ -29,20 +29,18 @@ impl VarOrder {
     }
 
     pub fn contains(&self, var: Var) -> bool {
-        self.index
-            .get(var.index() as usize)
-            .is_some_and(|&p| p != NOT_IN)
+        self.index.get(var.uidx()).is_some_and(|&p| p != NOT_IN)
     }
 
     /// Inserts `var` if absent.
     pub fn insert(&mut self, var: Var, activity: &[f64]) {
-        self.grow(var.index() + 1);
+        self.grow(var.bound());
         if self.contains(var) {
             return;
         }
         let pos = self.heap.len() as u32;
         self.heap.push(var.index());
-        self.index[var.index() as usize] = pos;
+        self.index[var.uidx()] = pos;
         self.sift_up(pos as usize, activity);
     }
 
@@ -61,7 +59,7 @@ impl VarOrder {
 
     /// Restores the heap property for `var` after its activity increased.
     pub fn update(&mut self, var: Var, activity: &[f64]) {
-        if let Some(&pos) = self.index.get(var.index() as usize) {
+        if let Some(&pos) = self.index.get(var.uidx()) {
             if pos != NOT_IN {
                 self.sift_up(pos as usize, activity);
             }

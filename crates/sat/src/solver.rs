@@ -114,6 +114,11 @@ pub struct Solver {
     max_learnts: f64,
     stats: SolverStats,
     analyze_clear: Vec<Var>,
+    /// Scratch buffer of [`Solver::minimize`], reused across conflicts so
+    /// the analysis loop stays allocation-free.
+    minimize_keep: Vec<bool>,
+    /// Scratch buffer of [`Solver::compute_lbd`], reused across conflicts.
+    lbd_levels: Vec<u32>,
     proof: Option<Box<dyn ProofLogger>>,
 }
 
@@ -160,6 +165,8 @@ impl Solver {
             max_learnts: 4000.0,
             stats: SolverStats::default(),
             analyze_clear: Vec::new(),
+            minimize_keep: Vec::new(),
+            lbd_levels: Vec::new(),
             proof: None,
         }
     }
@@ -262,7 +269,7 @@ impl Solver {
         }
         let mut lits: Vec<Lit> = lits.into_iter().collect();
         for &lit in &lits {
-            self.ensure_vars(lit.var().index() + 1);
+            self.ensure_vars(lit.var().bound());
         }
         lits.sort_unstable();
         lits.dedup();
@@ -336,11 +343,11 @@ impl Solver {
         if learnt {
             self.learnt_indices.push(idx);
         }
-        self.watches[w0.code() as usize].push(Watch {
+        self.watches[w0.uidx()].push(Watch {
             clause: idx,
             blocker: w1,
         });
-        self.watches[w1.code() as usize].push(Watch {
+        self.watches[w1.uidx()].push(Watch {
             clause: idx,
             blocker: w0,
         });
@@ -349,7 +356,7 @@ impl Solver {
 
     #[inline]
     pub(crate) fn value(&self, lit: Lit) -> Lbool {
-        let v = self.assigns[lit.var().index() as usize];
+        let v = self.assigns[lit.var().uidx()];
         if v == Lbool::Undef {
             Lbool::Undef
         } else if lit.is_negative() {
@@ -366,7 +373,7 @@ impl Solver {
     /// Returns the polarity of `var` in the most recent model, if any.
     #[must_use]
     pub fn model_value(&self, var: Var) -> Option<bool> {
-        match self.model.get(var.index() as usize) {
+        match self.model.get(var.uidx()) {
             Some(Lbool::True) => Some(true),
             Some(Lbool::False) => Some(false),
             _ => None,
@@ -380,8 +387,7 @@ impl Solver {
     #[must_use]
     pub fn model(&self) -> Assignment {
         let mut assignment = Assignment::with_num_vars(self.model.len() as u32);
-        for (idx, &value) in self.model.iter().enumerate() {
-            let var = Var::new(idx as u32);
+        for (var, &value) in (0u32..).map(Var::new).zip(self.model.iter()) {
             assignment.assign(var, value == Lbool::True);
         }
         assignment
@@ -436,7 +442,7 @@ impl Solver {
             return SolveResult::Unsat;
         }
         for &a in assumptions {
-            self.ensure_vars(a.var().index() + 1);
+            self.ensure_vars(a.var().bound());
         }
         let mut restarts = Luby::new(100);
         let mut budget_this_restart = restarts.next_interval();
@@ -534,9 +540,9 @@ impl Solver {
             let Some(var) = self.order.pop_max(&self.activity) else {
                 return BranchOutcome::AllAssigned;
             };
-            if self.assigns[var.index() as usize] == Lbool::Undef {
+            if self.assigns[var.uidx()] == Lbool::Undef {
                 self.stats.decisions += 1;
-                let lit = Lit::new(var, !self.phase[var.index() as usize]);
+                let lit = Lit::new(var, !self.phase[var.uidx()]);
                 self.trail_lim.push(self.trail.len());
                 self.unchecked_enqueue(lit, NO_REASON);
                 return BranchOutcome::Decided;
@@ -545,7 +551,7 @@ impl Solver {
     }
 
     fn unchecked_enqueue(&mut self, lit: Lit, reason: u32) {
-        let var = lit.var().index() as usize;
+        let var = lit.var().uidx();
         debug_assert_eq!(self.assigns[var], Lbool::Undef);
         self.assigns[var] = Lbool::from_bool(lit.is_positive());
         self.level[var] = self.decision_level() as u32;
@@ -554,12 +560,17 @@ impl Solver {
     }
 
     fn propagate(&mut self) -> Option<u32> {
-        while self.qhead < self.trail.len() {
-            let p = self.trail[self.qhead];
+        // Indexing in this loop is invariant-backed: `watches`, `assigns`,
+        // `level` and `reason` are sized by `ensure_vars` before any
+        // literal is minted, crefs index the solver's own clause arena,
+        // and watched positions 0/1 exist because clauses of length < 2
+        // never enter the watch lists.
+        // analyze::allow(panic) lines=75: bounds established by ensure_vars and the watch invariant
+        while let Some(&p) = self.trail.get(self.qhead) {
             self.qhead += 1;
             self.stats.propagations += 1;
             let false_lit = !p;
-            let mut watch_list = std::mem::take(&mut self.watches[false_lit.code() as usize]);
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.uidx()]);
             let mut kept = 0;
             let mut conflict = None;
             let mut i = 0;
@@ -595,7 +606,7 @@ impl Solver {
                     let candidate = self.clauses[cref].lits[k];
                     if self.value(candidate) != Lbool::False {
                         self.clauses[cref].lits.swap(1, k);
-                        self.watches[candidate.code() as usize].push(Watch {
+                        self.watches[candidate.uidx()].push(Watch {
                             clause: watch.clause,
                             blocker: first,
                         });
@@ -622,7 +633,7 @@ impl Solver {
                 self.unchecked_enqueue(first, watch.clause);
             }
             watch_list.truncate(kept);
-            self.watches[false_lit.code() as usize] = watch_list;
+            self.watches[false_lit.uidx()] = watch_list;
             if conflict.is_some() {
                 return conflict;
             }
@@ -635,17 +646,25 @@ impl Solver {
     fn analyze(&mut self, confl: u32) -> (Vec<Lit>, usize, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // placeholder for UIP
         let mut path_count = 0u32;
-        let mut p: Option<Lit> = None;
+        let mut first_clause = true;
         let mut index = self.trail.len();
         let mut confl = confl;
 
+        // Indexing below is invariant-backed: `seen`/`level`/`reason` are
+        // sized by `ensure_vars`, the trail walk stays within bounds
+        // because the first UIP is found before `index` underruns, and
+        // crefs come from the solver's own clause arena.
+        // analyze::allow(panic) lines=85: bounds established by ensure_vars and first-UIP termination
         loop {
             self.bump_clause(confl);
-            let start = usize::from(p.is_some());
+            // The conflict clause contributes every literal; reason
+            // clauses skip the propagated literal at position 0.
+            let start = usize::from(!first_clause);
+            first_clause = false;
             // Iterate over the conflict/reason clause literals.
             for k in start..self.clauses[confl as usize].lits.len() {
                 let q = self.clauses[confl as usize].lits[k];
-                let var = q.var().index() as usize;
+                let var = q.var().uidx();
                 if !self.seen[var] && self.level[var] > 0 {
                     self.seen[var] = true;
                     self.bump_var(q.var());
@@ -657,22 +676,20 @@ impl Solver {
                 }
             }
             // Find the next literal on the current level to expand.
-            loop {
+            let p_lit = loop {
                 index -= 1;
                 let lit = self.trail[index];
-                if self.seen[lit.var().index() as usize] {
-                    p = Some(lit);
-                    break;
+                if self.seen[lit.var().uidx()] {
+                    break lit;
                 }
-            }
-            let p_lit = p.expect("found literal");
+            };
             path_count -= 1;
-            self.seen[p_lit.var().index() as usize] = false;
+            self.seen[p_lit.var().uidx()] = false;
             if path_count == 0 {
                 learnt[0] = !p_lit;
                 break;
             }
-            confl = self.reason[p_lit.var().index() as usize];
+            confl = self.reason[p_lit.var().uidx()];
             debug_assert_ne!(
                 confl, NO_REASON,
                 "non-decision on conflict path has a reason"
@@ -683,7 +700,7 @@ impl Solver {
         // remember every variable so flags are cleared even for literals the
         // minimisation drops.
         for &lit in &learnt[1..] {
-            self.seen[lit.var().index() as usize] = true;
+            self.seen[lit.var().uidx()] = true;
             self.analyze_clear.push(lit.var());
         }
         self.minimize(&mut learnt);
@@ -694,22 +711,20 @@ impl Solver {
         } else {
             let mut max_pos = 1;
             for k in 2..learnt.len() {
-                if self.level[learnt[k].var().index() as usize]
-                    > self.level[learnt[max_pos].var().index() as usize]
-                {
+                if self.level[learnt[k].var().uidx()] > self.level[learnt[max_pos].var().uidx()] {
                     max_pos = k;
                 }
             }
             learnt.swap(1, max_pos);
-            self.level[learnt[1].var().index() as usize] as usize
+            self.level[learnt[1].var().uidx()] as usize
         };
 
         let lbd = self.compute_lbd(&learnt);
         for &lit in &learnt {
-            self.seen[lit.var().index() as usize] = false;
+            self.seen[lit.var().uidx()] = false;
         }
         for &var in &self.analyze_clear {
-            self.seen[var.index() as usize] = false;
+            self.seen[var.uidx()] = false;
         }
         self.analyze_clear.clear();
         (learnt, backtrack_level, lbd)
@@ -718,16 +733,18 @@ impl Solver {
     /// Local clause minimisation: drop literals whose reason clause is fully
     /// covered by other seen literals (self-subsuming resolution).
     fn minimize(&mut self, learnt: &mut Vec<Lit>) {
-        let mut keep = vec![true; learnt.len()];
+        let mut keep = std::mem::take(&mut self.minimize_keep);
+        keep.clear();
+        keep.resize(learnt.len(), true);
         for (i, &lit) in learnt.iter().enumerate().skip(1) {
-            let reason = self.reason[lit.var().index() as usize];
+            let reason = self.reason[lit.var().uidx()];
             if reason == NO_REASON {
                 continue;
             }
             let mut redundant = true;
             for k in 1..self.clauses[reason as usize].lits.len() {
                 let q = self.clauses[reason as usize].lits[k];
-                let var = q.var().index() as usize;
+                let var = q.var().uidx();
                 if !self.seen[var] && self.level[var] > 0 {
                     redundant = false;
                     break;
@@ -743,16 +760,18 @@ impl Solver {
             idx += 1;
             k
         });
+        self.minimize_keep = keep;
     }
 
     fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits
-            .iter()
-            .map(|l| self.level[l.var().index() as usize])
-            .collect();
+        let mut levels = std::mem::take(&mut self.lbd_levels);
+        levels.clear();
+        levels.extend(lits.iter().map(|l| self.level[l.var().uidx()]));
         levels.sort_unstable();
         levels.dedup();
-        levels.len() as u32
+        let lbd = levels.len() as u32;
+        self.lbd_levels = levels;
+        lbd
     }
 
     fn learn(&mut self, learnt: Vec<Lit>, lbd: u32) {
@@ -776,9 +795,9 @@ impl Solver {
         for i in (boundary..self.trail.len()).rev() {
             let lit = self.trail[i];
             let var = lit.var();
-            self.phase[var.index() as usize] = lit.is_positive();
-            self.assigns[var.index() as usize] = Lbool::Undef;
-            self.reason[var.index() as usize] = NO_REASON;
+            self.phase[var.uidx()] = lit.is_positive();
+            self.assigns[var.uidx()] = Lbool::Undef;
+            self.reason[var.uidx()] = NO_REASON;
             self.order.insert(var, &self.activity);
         }
         self.trail.truncate(boundary);
@@ -788,7 +807,7 @@ impl Solver {
     }
 
     fn bump_var(&mut self, var: Var) {
-        let idx = var.index() as usize;
+        let idx = var.uidx();
         self.activity[idx] += self.var_inc;
         if self.activity[idx] > 1e100 {
             for a in &mut self.activity {
@@ -857,7 +876,7 @@ impl Solver {
             return false;
         }
         let first = clause.lits[0];
-        self.value(first) == Lbool::True && self.reason[first.var().index() as usize] == cref
+        self.value(first) == Lbool::True && self.reason[first.var().uidx()] == cref
     }
 
     /// An assumption literal was already false when it was to be assumed:
@@ -867,14 +886,14 @@ impl Solver {
         self.failed.push(lit);
         // Walk the implication graph from !lit back to assumptions.
         let start_var = lit.var();
-        if self.level[start_var.index() as usize] == 0 {
+        if self.level[start_var.uidx()] == 0 {
             return;
         }
         let mut seen = vec![false; self.num_vars() as usize];
-        seen[start_var.index() as usize] = true;
+        seen[start_var.uidx()] = true;
         for i in (0..self.trail.len()).rev() {
             let t = self.trail[i];
-            let var = t.var().index() as usize;
+            let var = t.var().uidx();
             if !seen[var] {
                 continue;
             }
@@ -885,8 +904,8 @@ impl Solver {
                 }
             } else {
                 for &q in &self.clauses[reason as usize].lits[1..] {
-                    if self.level[q.var().index() as usize] > 0 {
-                        seen[q.var().index() as usize] = true;
+                    if self.level[q.var().uidx()] > 0 {
+                        seen[q.var().uidx()] = true;
                     }
                 }
             }
@@ -898,13 +917,13 @@ impl Solver {
         self.failed.clear();
         let mut seen = vec![false; self.num_vars() as usize];
         for &q in &self.clauses[confl as usize].lits {
-            if self.level[q.var().index() as usize] > 0 {
-                seen[q.var().index() as usize] = true;
+            if self.level[q.var().uidx()] > 0 {
+                seen[q.var().uidx()] = true;
             }
         }
         for i in (0..self.trail.len()).rev() {
             let t = self.trail[i];
-            let var = t.var().index() as usize;
+            let var = t.var().uidx();
             if !seen[var] {
                 continue;
             }
@@ -915,8 +934,8 @@ impl Solver {
                 }
             } else {
                 for &q in &self.clauses[reason as usize].lits[1..] {
-                    if self.level[q.var().index() as usize] > 0 {
-                        seen[q.var().index() as usize] = true;
+                    if self.level[q.var().uidx()] > 0 {
+                        seen[q.var().uidx()] = true;
                     }
                 }
             }

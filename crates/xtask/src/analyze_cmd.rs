@@ -1,0 +1,200 @@
+//! The `analyze` subcommand: drives the `hqs-analyze` passes and the
+//! ratchet baseline.
+//!
+//! ```text
+//! cargo run -p xtask -- analyze                      # print findings
+//! cargo run -p xtask -- analyze --summary            # per-pass counts
+//! cargo run -p xtask -- analyze --report <path>      # findings as JSON
+//! cargo run -p xtask -- analyze --check-baseline     # CI gate
+//! cargo run -p xtask -- analyze --write-baseline     # refresh baseline
+//! ```
+//!
+//! `--check-baseline` compares findings against the committed
+//! `analyze-baseline.json` and fails on any finding the baseline does
+//! not cover **and** on any baseline entry that no longer matches — the
+//! ratchet only turns one way. `--write-baseline` regenerates the file
+//! after debt has been paid down (or deliberately, with review, when a
+//! new pass lands with pre-existing findings).
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hqs_analyze::baseline::Baseline;
+use hqs_analyze::config;
+use hqs_analyze::diag;
+use hqs_analyze::passes;
+use hqs_analyze::Workspace;
+
+/// File names, relative to the workspace root.
+const BASELINE_FILE: &str = "analyze-baseline.json";
+const HOT_PATHS_FILE: &str = "analyze-hot-paths.toml";
+
+/// Entry point for `cargo run -p xtask -- analyze …`.
+pub fn run(args: &[String]) -> ExitCode {
+    let mut check_baseline = false;
+    let mut write_baseline = false;
+    let mut summary = false;
+    let mut report: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check-baseline" => check_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            "--summary" => summary = true,
+            "--report" => match it.next() {
+                Some(path) => report = Some(path.clone()),
+                None => {
+                    eprintln!("analyze: --report requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!(
+                    "analyze: unknown flag `{other}` (expected --check-baseline, \
+                     --write-baseline, --summary, --report <path>)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = crate::workspace_root();
+    let started = Instant::now();
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(err) => {
+            eprintln!("analyze: failed to load workspace: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let hot = match load_hot_paths(&root) {
+        Ok(hot) => hot,
+        Err(err) => {
+            eprintln!("analyze: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = passes::run_all(&ws, &hot);
+    let elapsed = started.elapsed();
+
+    if let Some(path) = &report {
+        let json = diag::to_json_array(&diags);
+        if let Err(err) = std::fs::write(root.join(path), json) {
+            eprintln!("analyze: failed to write report {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("analyze: report written to {path}");
+    }
+    if summary {
+        println!(
+            "analyze: {} files, {} crates, {} finding(s) in {:.2?}",
+            ws.files.len(),
+            ws.crates.len(),
+            diags.len(),
+            elapsed
+        );
+        for pass in passes::PASS_NAMES {
+            let count = diags.iter().filter(|d| d.pass == *pass).count();
+            println!("  {pass:<12} {count}");
+        }
+    }
+
+    if write_baseline {
+        let baseline = Baseline::from_diags(&diags);
+        if let Err(err) = std::fs::write(root.join(BASELINE_FILE), baseline.emit()) {
+            eprintln!("analyze: failed to write {BASELINE_FILE}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "analyze: baseline written to {BASELINE_FILE} ({} entry/ies covering {} finding(s))",
+            baseline.entries.len(),
+            diags.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if check_baseline {
+        let baseline = match load_baseline(&root) {
+            Ok(b) => b,
+            Err(err) => {
+                eprintln!("analyze: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let result = baseline.check(&diags);
+        for line in &result.regressions {
+            eprintln!("analyze: new finding: {line}");
+        }
+        for line in &result.stale {
+            eprintln!("analyze: stale baseline entry: {line}");
+        }
+        if result.ok() {
+            println!(
+                "analyze: OK ({} finding(s), all covered by the baseline)",
+                diags.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "analyze: FAILED ({} regression(s), {} stale baseline entry/ies)",
+                result.regressions.len(),
+                result.stale.len()
+            );
+            ExitCode::FAILURE
+        }
+    } else {
+        for d in &diags {
+            println!(
+                "[{}] {}:{}{} {}",
+                d.pass,
+                d.path,
+                d.line,
+                symbol_suffix(&d.symbol),
+                d.message
+            );
+        }
+        if diags.is_empty() && !summary {
+            println!("analyze: no findings");
+        }
+        ExitCode::SUCCESS
+    }
+}
+
+fn symbol_suffix(symbol: &str) -> String {
+    if symbol.is_empty() {
+        ":".to_string()
+    } else {
+        format!(" ({symbol}):")
+    }
+}
+
+fn load_hot_paths(root: &Path) -> Result<config::HotPaths, String> {
+    let path = root.join(HOT_PATHS_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!("analyze: note: {HOT_PATHS_FILE} not found, hot-path passes are vacuous");
+            return Ok(config::HotPaths::default());
+        }
+        Err(err) => return Err(format!("failed to read {HOT_PATHS_FILE}: {err}")),
+    };
+    let (hot, warnings) = config::parse(&text);
+    if let Some(first) = warnings.first() {
+        return Err(format!("{HOT_PATHS_FILE}: {first}"));
+    }
+    Ok(hot)
+}
+
+fn load_baseline(root: &Path) -> Result<Baseline, String> {
+    let path = root.join(BASELINE_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+            // No baseline committed: the ratchet starts at zero debt.
+            return Ok(Baseline::default());
+        }
+        Err(err) => return Err(format!("failed to read {BASELINE_FILE}: {err}")),
+    };
+    Baseline::parse(&text).map_err(|e| format!("{BASELINE_FILE}: {e}"))
+}

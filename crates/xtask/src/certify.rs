@@ -168,6 +168,7 @@ fn corruption_checks() -> usize {
             }
             // A tampered expansion trace must be rejected too.
             let mut rebound = cert.clone();
+            // analyze::allow(newtype): deliberately corrupts the binding to prove verification rejects it
             rebound.bindings[0].instance = Var::new(rebound.bindings[0].instance.index() + 1000);
             if rebound.verify(&unsat_formula) {
                 accepted += 1;

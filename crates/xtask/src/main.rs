@@ -1,6 +1,16 @@
 //! Workspace maintenance tasks.
 //!
-//! Two tasks so far. The certification gate
+//! Three tasks. The static-analysis driver
+//!
+//! ```text
+//! cargo run -p xtask -- analyze [--check-baseline] [--write-baseline]
+//!                               [--summary] [--report <path>]
+//! ```
+//!
+//! runs the token-level passes from `hqs-analyze` (layering, panic-path,
+//! hot-loop allocation, newtype discipline, annotation validation) over
+//! the whole workspace and ratchets the findings against the committed
+//! `analyze-baseline.json` — see [`analyze_cmd`]. The certification gate
 //!
 //! ```text
 //! cargo run -p xtask -- certify
@@ -16,8 +26,8 @@
 //! cargo run -p xtask -- audit
 //! ```
 //!
-//! It walks every Rust source file of the workspace (skipping `target/`)
-//! and enforces, with no dependencies beyond `std`:
+//! It enforces, via the `hqs-analyze` lexer (so string literals and
+//! comments can never trigger it):
 //!
 //! * `#![forbid(unsafe_code)]` in every crate root (`src/lib.rs`,
 //!   `src/main.rs`, `src/bin/*.rs`),
@@ -28,17 +38,25 @@
 //!   are budgeted per file in `crates/xtask/audit-allowlist.txt` so the
 //!   count can only be burned down, never grow.
 //!
+//! Earlier revisions scanned lines with substring matching and had to
+//! exempt `crates/xtask` itself (its rule tables spell the banned
+//! tokens out literally); the token-level port closes that hole, so the
+//! audit now covers every workspace crate including this one.
+//!
 //! The process exits non-zero if any violation is found, which is how CI
 //! consumes it.
 
 #![forbid(unsafe_code)]
 
+mod analyze_cmd;
 mod certify;
 
 use std::collections::BTreeMap;
-use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use hqs_analyze::passes::source_audit;
+use hqs_analyze::Workspace;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -64,16 +82,17 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("analyze") => analyze_cmd::run(&args.collect::<Vec<_>>()),
         Some("certify") => certify::run(),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- audit|certify");
+            eprintln!("usage: cargo run -p xtask -- analyze|audit|certify");
             ExitCode::FAILURE
         }
     }
 }
 
 /// The workspace root, resolved from this crate's manifest directory so
-/// the audit works from any working directory.
+/// the tasks work from any working directory.
 fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest
@@ -82,215 +101,55 @@ fn workspace_root() -> PathBuf {
         .map_or(manifest.clone(), Path::to_path_buf)
 }
 
-/// One audit finding: a rule broken at a specific location.
-#[derive(Debug)]
-struct Violation {
-    file: String,
-    line: Option<usize>,
-    message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.line {
-            Some(line) => write!(f, "{}:{line}: {}", self.file, self.message),
-            None => write!(f, "{}: {}", self.file, self.message),
-        }
-    }
-}
-
-/// How a source file is treated by the unwrap/expect rule.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum FileKind {
-    /// Library code: unwrap/expect budgeted by the allowlist.
-    Library,
-    /// Integration tests, benches, examples: unwrap/expect allowed.
-    Exempt,
-}
-
 /// Runs every audit rule over the workspace rooted at `root`; returns
-/// all violations found. `allowlist_path` may not exist (empty budget).
-fn run_audit(root: &Path, allowlist_path: &Path) -> std::io::Result<Vec<Violation>> {
+/// all violations as display-ready strings. `allowlist_path` may not
+/// exist (empty budget).
+fn run_audit(root: &Path, allowlist_path: &Path) -> std::io::Result<Vec<String>> {
     let allowlist = load_allowlist(allowlist_path)?;
-    let mut violations = Vec::new();
-    let mut sources = Vec::new();
-    collect_rs_files(root, &mut sources)?;
-    sources.sort();
-    // The audit tool cannot scan itself: its rule table and test
-    // fixtures spell out the banned tokens literally.
-    sources.retain(|p| !relative_name(root, p).starts_with("crates/xtask/"));
+    let ws = Workspace::load(root)?;
+    let findings = source_audit::run(&ws);
 
+    let mut violations: Vec<String> = findings
+        .hard
+        .iter()
+        .map(|d| format!("{}:{}: {}", d.path, d.line, d.message))
+        .collect();
+
+    // Budget bookkeeping, unchanged from the line-based audit: every
+    // allowlisted file must exist, must not be over budget, and
+    // over-generous budgets must be burned down.
     let mut used_budget: BTreeMap<String, usize> = BTreeMap::new();
-    for path in &sources {
-        let rel = relative_name(root, path);
-        let text = std::fs::read_to_string(path)?;
-        let kind = classify(&rel);
-        audit_file(&rel, &text, kind, &mut violations, &mut used_budget);
+    for d in &findings.unwrap_sites {
+        *used_budget.entry(d.path.clone()).or_insert(0) += 1;
     }
-
-    // Budget bookkeeping: every allowlisted file must exist and must not
-    // be over budget; files over budget were already reported by
-    // audit_file via `used_budget`.
     for (file, &budget) in &allowlist {
         match used_budget.get(file) {
-            None if !root.join(file).exists() => violations.push(Violation {
-                file: file.clone(),
-                line: None,
-                message: "allowlisted file no longer exists; drop the entry".to_string(),
-            }),
-            None if budget > 0 => violations.push(Violation {
-                file: file.clone(),
-                line: None,
-                message: format!(
-                    "allowlist grants {budget} unwrap/expect site(s) but the file has none; \
-                     tighten the entry to 0 or drop it"
-                ),
-            }),
+            None if !root.join(file).exists() => violations.push(format!(
+                "{file}: allowlisted file no longer exists; drop the entry"
+            )),
+            None if budget > 0 => violations.push(format!(
+                "{file}: allowlist grants {budget} unwrap/expect site(s) but the file has none; \
+                 tighten the entry to 0 or drop it"
+            )),
             _ => {}
         }
     }
     for (file, &used) in &used_budget {
         let budget = allowlist.get(file).copied().unwrap_or(0);
         if used > budget {
-            violations.push(Violation {
-                file: file.clone(),
-                line: None,
-                message: format!(
-                    "{used} unwrap/expect site(s) in library code, allowlist grants {budget} \
-                     (convert to typed errors, or raise the budget only with justification)"
-                ),
-            });
+            violations.push(format!(
+                "{file}: {used} unwrap/expect site(s) in library code, allowlist grants {budget} \
+                 (convert to typed errors, or raise the budget only with justification)"
+            ));
         } else if used < budget {
-            violations.push(Violation {
-                file: file.clone(),
-                line: None,
-                message: format!(
-                    "allowlist grants {budget} unwrap/expect site(s) but only {used} remain; \
-                     burn the budget down to {used}"
-                ),
-            });
+            violations.push(format!(
+                "{file}: allowlist grants {budget} unwrap/expect site(s) but only {used} remain; \
+                 burn the budget down to {used}"
+            ));
         }
     }
+    violations.sort();
     Ok(violations)
-}
-
-/// Applies the per-file rules; unwrap/expect counts land in
-/// `used_budget` for the caller's budget comparison.
-fn audit_file(
-    rel: &str,
-    text: &str,
-    kind: FileKind,
-    violations: &mut Vec<Violation>,
-    used_budget: &mut BTreeMap<String, usize>,
-) {
-    let is_crate_root =
-        rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") || rel.contains("src/bin/");
-    if is_crate_root {
-        if !text.contains("#![forbid(unsafe_code)]") {
-            violations.push(Violation {
-                file: rel.to_string(),
-                line: None,
-                message: "crate root lacks #![forbid(unsafe_code)]".to_string(),
-            });
-        }
-        if !text.lines().any(|l| l.trim_start().starts_with("//!")) {
-            violations.push(Violation {
-                file: rel.to_string(),
-                line: None,
-                message: "crate root lacks //! crate-level documentation".to_string(),
-            });
-        }
-    }
-
-    let mut in_test_module = false;
-    let mut unwrap_sites = 0usize;
-    for (idx, raw) in text.lines().enumerate() {
-        let line = strip_comment(raw);
-        if line.contains("#[cfg(test)]") {
-            // Convention: the embedded test module is the tail of the
-            // file, so everything from here on is test code.
-            in_test_module = true;
-        }
-        for banned in ["todo!(", "unimplemented!(", "dbg!("] {
-            if contains_token(line, banned) {
-                violations.push(Violation {
-                    file: rel.to_string(),
-                    line: Some(idx + 1),
-                    message: format!("`{}` must not be committed", &banned[..banned.len() - 1]),
-                });
-            }
-        }
-        if kind == FileKind::Library && !in_test_module {
-            unwrap_sites += line.matches(".unwrap()").count();
-            unwrap_sites += line.matches(".expect(").count();
-        }
-    }
-    if kind == FileKind::Library && unwrap_sites > 0 {
-        *used_budget.entry(rel.to_string()).or_insert(0) += unwrap_sites;
-    }
-}
-
-/// Truncates a line at the first `//`, dropping line and doc comments.
-/// `//` inside a string literal is rare enough in this workspace that
-/// the audit tolerates the false truncation.
-fn strip_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(pos) => &line[..pos],
-        None => line,
-    }
-}
-
-/// True if `needle` occurs in `line` not preceded by an identifier
-/// character (so `my_todo!(…)` or `xdbg!(…)` do not match).
-fn contains_token(line: &str, needle: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(needle) {
-        let abs = start + pos;
-        let preceded = line[..abs]
-            .chars()
-            .next_back()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if !preceded {
-            return true;
-        }
-        start = abs + needle.len();
-    }
-    false
-}
-
-fn classify(rel: &str) -> FileKind {
-    let in_dir =
-        |dir: &str| rel.starts_with(&format!("{dir}/")) || rel.contains(&format!("/{dir}/"));
-    if in_dir("tests") || in_dir("benches") || in_dir("examples") {
-        FileKind::Exempt
-    } else {
-        FileKind::Library
-    }
-}
-
-fn relative_name(root: &Path, path: &Path) -> String {
-    path.strip_prefix(root)
-        .unwrap_or(path)
-        .to_string_lossy()
-        .replace('\\', "/")
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            collect_rs_files(&path, out)?;
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 /// Parses the allowlist: `<path> <count>` per line, `#` comments.
@@ -337,17 +196,32 @@ mod tests {
             let root =
                 std::env::temp_dir().join(format!("xtask-audit-{tag}-{}", std::process::id()));
             let _ = std::fs::remove_dir_all(&root);
-            std::fs::create_dir_all(&root).expect("temp tree");
+            std::fs::create_dir_all(root.join("crates")).expect("temp tree");
             TempTree { root }
         }
 
+        /// Writes a file; for paths under `crates/<name>/` a minimal
+        /// manifest is created alongside so the workspace loader picks
+        /// the crate up.
         fn write(&self, rel: &str, content: &str) {
             let path = self.root.join(rel);
             std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
             std::fs::write(path, content).expect("write");
+            if let Some(rest) = rel.strip_prefix("crates/") {
+                if let Some((name, _)) = rest.split_once('/') {
+                    let manifest = self.root.join("crates").join(name).join("Cargo.toml");
+                    if !manifest.exists() {
+                        std::fs::write(
+                            manifest,
+                            format!("[package]\nname = \"{name}\"\n\n[dependencies]\n"),
+                        )
+                        .expect("manifest");
+                    }
+                }
+            }
         }
 
-        fn audit(&self) -> Vec<Violation> {
+        fn audit(&self) -> Vec<String> {
             run_audit(&self.root, &self.root.join("allow.txt")).expect("audit runs")
         }
     }
@@ -374,12 +248,10 @@ mod tests {
         tree.write("crates/a/src/lib.rs", "pub fn f() {}\n");
         let violations = tree.audit();
         assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("forbid(unsafe_code)")));
         assert!(violations
             .iter()
-            .any(|v| v.message.contains("forbid(unsafe_code)")));
-        assert!(violations
-            .iter()
-            .any(|v| v.message.contains("crate-level documentation")));
+            .any(|v| v.contains("crate-level documentation")));
     }
 
     #[test]
@@ -390,7 +262,6 @@ mod tests {
         tree.write("crates/a/tests/t.rs", "fn t() { dbg!(1); }\n");
         let violations = tree.audit();
         assert_eq!(violations.len(), 2, "{violations:?}");
-        assert!(violations.iter().all(|v| v.line.is_some()));
     }
 
     #[test]
@@ -402,13 +273,26 @@ mod tests {
     }
 
     #[test]
+    fn todo_inside_string_literal_is_ignored() {
+        // The line-based scanner could not make this distinction; the
+        // lexer can. A string spelling `todo!(` is data, not code.
+        let tree = TempTree::new("string");
+        tree.write("crates/a/src/lib.rs", CLEAN_ROOT);
+        tree.write(
+            "crates/a/src/m.rs",
+            "pub fn banned() -> &'static str { \"todo!( and .unwrap() are banned\" }\n",
+        );
+        assert!(tree.audit().is_empty(), "{:?}", tree.audit());
+    }
+
+    #[test]
     fn library_unwrap_fails_without_allowlist() {
         let tree = TempTree::new("unwrap");
         tree.write("crates/a/src/lib.rs", CLEAN_ROOT);
         tree.write("crates/a/src/m.rs", "fn g() { Some(1).unwrap(); }\n");
         let violations = tree.audit();
         assert_eq!(violations.len(), 1, "{violations:?}");
-        assert!(violations[0].message.contains("allowlist grants 0"));
+        assert!(violations[0].contains("allowlist grants 0"));
     }
 
     #[test]
@@ -422,7 +306,7 @@ mod tests {
         tree.write("allow.txt", "crates/a/src/m.rs 2\n");
         let violations = tree.audit();
         assert_eq!(violations.len(), 1, "{violations:?}");
-        assert!(violations[0].message.contains("burn the budget down"));
+        assert!(violations[0].contains("burn the budget down"));
     }
 
     #[test]
@@ -453,6 +337,6 @@ mod tests {
         tree.write("allow.txt", "crates/a/src/gone.rs 3\n");
         let violations = tree.audit();
         assert_eq!(violations.len(), 1, "{violations:?}");
-        assert!(violations[0].message.contains("no longer exists"));
+        assert!(violations[0].contains("no longer exists"));
     }
 }
