@@ -46,6 +46,7 @@ const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ),
     ("hqs-idq", &["hqs-base", "hqs-cnf", "hqs-sat", "hqs-core"]),
     ("hqs-pec", &["hqs-base", "hqs-cnf", "hqs-core"]),
+    ("hqs-engine", &["hqs-base", "hqs-cnf", "hqs-core"]),
     (
         "hqs-bench",
         &[
@@ -59,6 +60,7 @@ const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "hqs-core",
             "hqs-idq",
             "hqs-pec",
+            "hqs-engine",
         ],
     ),
     (
@@ -74,6 +76,7 @@ const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "hqs-core",
             "hqs-idq",
             "hqs-pec",
+            "hqs-engine",
         ],
     ),
     ("xtask", &["hqs-base", "hqs-core", "hqs-pec", "hqs-analyze"]),
@@ -93,6 +96,10 @@ const INTERNAL_MODULES: &[(&str, &[&str])] = &[
     ("hqs-base", &["assignment", "budget", "lit", "varset"]),
     ("hqs-cnf", &["clause", "cnf"]),
     ("hqs-core", &["check", "dqbf"]),
+    (
+        "hqs-engine",
+        &["corpus", "deck", "jsonl", "portfolio", "scheduler"],
+    ),
     ("hqs-maxsat", &["fumalik", "totalizer"]),
     ("hqs-proof", &["checker", "drat"]),
     ("hqs-qbf", &["prefix", "solver"]),

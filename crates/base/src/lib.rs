@@ -10,6 +10,8 @@
 //!   supports and elimination sets.
 //! * [`Assignment`] — a partial assignment mapping variables to
 //!   [`TruthValue`]s.
+//! * [`Budget`] / [`CancelToken`] — resource limits and the shared
+//!   cooperative-cancellation flag observed at every budget poll site.
 //! * [`InvariantViolation`] — the shared error type returned by the
 //!   `check_invariants` audits across the solver crates.
 //!
@@ -43,7 +45,7 @@ pub mod rng;
 mod varset;
 
 pub use assignment::{Assignment, TruthValue};
-pub use budget::{Budget, Exhaustion};
+pub use budget::{Budget, CancelToken, Exhaustion};
 pub use check::InvariantViolation;
 pub use lit::{Lit, Var};
 pub use rng::Rng;

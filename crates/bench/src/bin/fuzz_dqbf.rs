@@ -102,7 +102,7 @@ fn main() {
             DqbfResult::Unsat
         };
         for (name, config) in &configs {
-            let got = HqsSolver::with_config(*config).solve(&dqbf);
+            let got = HqsSolver::with_config(config.clone()).solve(&dqbf);
             assert_eq!(
                 got, expected,
                 "HQS[{name}] disagrees with the oracle: seed {seed}, shape {shape:?}"

@@ -50,7 +50,9 @@ impl Outcome {
         match result {
             DqbfResult::Sat => Outcome::Sat,
             DqbfResult::Unsat => Outcome::Unsat,
-            DqbfResult::Limit(Exhaustion::Timeout) => Outcome::Timeout,
+            // Cancellation only occurs under the portfolio engine; the
+            // sequential harness buckets it with timeouts for Table I.
+            DqbfResult::Limit(Exhaustion::Timeout | Exhaustion::Cancelled) => Outcome::Timeout,
             DqbfResult::Limit(Exhaustion::Memout) => Outcome::Memout,
         }
     }

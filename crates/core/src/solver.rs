@@ -125,7 +125,12 @@ pub enum ElimStrategy {
 }
 
 /// Configuration of [`HqsSolver`].
-#[derive(Clone, Copy, Debug)]
+///
+/// `Clone` but not `Copy`: the embedded [`Budget`] may carry a shared
+/// [`hqs_base::CancelToken`], and cloning a config deliberately shares
+/// that token — the portfolio engine clones one budget (with its token)
+/// into every deck variant so all workers observe the same cancellation.
+#[derive(Clone, Debug)]
 pub struct HqsConfig {
     /// Resource budget (wall clock + AIG nodes).
     pub budget: Budget,
@@ -262,8 +267,16 @@ impl HqsSolver {
                 self.certified_matrix_unsat(dqbf.matrix())
             } else {
                 let mut sat = hqs_sat::Solver::new();
+                sat.set_cancel_token(self.config.budget.cancel_token().cloned());
                 sat.add_cnf(dqbf.matrix());
-                sat.solve() == hqs_sat::SolveResult::Unsat
+                let budget = self.config.budget.clone();
+                match sat.solve_interruptible(&[], || budget.stop_requested()) {
+                    hqs_sat::SolveResult::Unsat => true,
+                    hqs_sat::SolveResult::Sat => false,
+                    hqs_sat::SolveResult::Unknown => {
+                        return DqbfResult::Limit(budget.stop_reason())
+                    }
+                }
             };
             if matrix_unsat {
                 self.stats.decided_by_initial_sat = true;
@@ -316,9 +329,13 @@ impl HqsSolver {
         let buffer = hqs_sat::ProofBuffer::new();
         let mut sat = hqs_sat::Solver::new();
         sat.set_proof_logger(Box::new(hqs_sat::TextDratLogger::new(buffer.clone())));
+        sat.set_cancel_token(self.config.budget.cancel_token().cloned());
         sat.ensure_vars(matrix.num_vars());
         sat.add_cnf(matrix);
-        if sat.solve() != hqs_sat::SolveResult::Unsat || sat.proof_had_error() {
+        let budget = self.config.budget.clone();
+        if sat.solve_interruptible(&[], || budget.stop_requested()) != hqs_sat::SolveResult::Unsat
+            || sat.proof_had_error()
+        {
             return false;
         }
         let contents = buffer.contents();
@@ -430,7 +447,7 @@ impl HqsSolver {
                 match self.config.qbf_backend {
                     QbfBackend::Elimination => {
                         let mut qbf = QbfSolver::new();
-                        qbf.set_budget(self.config.budget);
+                        qbf.set_budget(self.config.budget.clone());
                         qbf.set_fraig_threshold(self.config.fraig_threshold);
                         let result = qbf.solve(&mut state.aig, state.root, prefix);
                         self.stats.qbf = qbf.stats();
@@ -514,10 +531,10 @@ impl HqsSolver {
         let aux: Vec<Var> = (first_aux..cnf.num_vars()).map(Var::new).collect();
         full_prefix.push_block(hqs_cnf::Quantifier::Existential, aux);
         let mut search = hqs_qbf::search::SearchSolver::new();
-        match search.solve_budgeted(&full_prefix, &cnf, self.config.budget) {
+        match search.solve_budgeted(&full_prefix, &cnf, self.config.budget.clone()) {
             Some(true) => DqbfResult::Sat,
             Some(false) => DqbfResult::Unsat,
-            None => DqbfResult::Limit(Exhaustion::Timeout),
+            None => DqbfResult::Limit(self.config.budget.stop_reason()),
         }
     }
 
@@ -687,7 +704,7 @@ mod tests {
                 DqbfResult::Unsat
             };
             for (ci, config) in configs.iter().enumerate() {
-                let mut solver = HqsSolver::with_config(*config);
+                let mut solver = HqsSolver::with_config(config.clone());
                 assert_eq!(
                     solver.solve(&d),
                     expected,

@@ -1,0 +1,96 @@
+//! Loading a directory of DQDIMACS instances as a batch.
+
+use crate::BatchJob;
+use hqs_core::Dqbf;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Why a corpus directory could not be loaded.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Reading the directory or a file failed.
+    Io {
+        /// The path the operation failed on.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: io::Error,
+    },
+    /// A file was not valid DQDIMACS.
+    Parse {
+        /// The offending file.
+        path: PathBuf,
+        /// The parser's diagnosis.
+        error: hqs_cnf::ParseError,
+    },
+    /// The directory contained no `.dqdimacs` files.
+    Empty {
+        /// The directory that was scanned.
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io { path, error } => {
+                write!(f, "reading {}: {error}", path.display())
+            }
+            CorpusError::Parse { path, error } => {
+                write!(f, "parsing {}: {error}", path.display())
+            }
+            CorpusError::Empty { path } => {
+                write!(f, "no .dqdimacs files in {}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// Loads every `.dqdimacs` file under `dir` (non-recursive) as a
+/// [`BatchJob`], sorted by file name so job indices are stable across
+/// runs and machines.
+pub fn load_corpus(dir: &Path) -> Result<Vec<BatchJob>, CorpusError> {
+    let entries = std::fs::read_dir(dir).map_err(|error| CorpusError::Io {
+        path: dir.to_path_buf(),
+        error,
+    })?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|error| CorpusError::Io {
+            path: dir.to_path_buf(),
+            error,
+        })?;
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "dqdimacs") && path.is_file() {
+            paths.push(path);
+        }
+    }
+    if paths.is_empty() {
+        return Err(CorpusError::Empty {
+            path: dir.to_path_buf(),
+        });
+    }
+    paths.sort();
+    let mut jobs = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path).map_err(|error| CorpusError::Io {
+            path: path.clone(),
+            error,
+        })?;
+        let file = hqs_cnf::dimacs::parse_dqdimacs(&text).map_err(|error| CorpusError::Parse {
+            path: path.clone(),
+            error,
+        })?;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        jobs.push(BatchJob {
+            name,
+            dqbf: Dqbf::from_file(&file),
+        });
+    }
+    Ok(jobs)
+}

@@ -1,0 +1,514 @@
+//! A work-stealing batch scheduler for solving whole corpora.
+//!
+//! ## Design
+//!
+//! The queue is a hand-rolled work-stealing deque array: one
+//! mutex-guarded `VecDeque` *shard* per worker, seeded round-robin. A
+//! worker pops its own shard from the **front** (cache-warm, FIFO within
+//! the shard) and, when empty, steals from the **back** of sibling shards
+//! (the cold end, minimising contention with the owner). Job indices —
+//! `usize`s — are the only thing queued, so the queue itself never
+//! allocates after construction and the hot loop
+//! ([`Scheduler::worker_loop`] / [`WorkQueue::next_job`]) is free of
+//! panics and per-iteration allocation; both are enforced by the
+//! `hqs-analyze` hot-path pass.
+//!
+//! ## Isolation
+//!
+//! Each job runs under `catch_unwind`: a panicking solver poisons nothing
+//! and is reported as [`JobOutcome::Panicked`] while the remaining jobs
+//! proceed. Each job gets a fresh [`Budget`] (per-job timeout, node
+//! limit) chained to the batch-wide [`CancelToken`], so a batch can be
+//! aborted mid-flight and every in-flight solver unwinds cooperatively.
+
+use crate::jsonl::escape_json;
+use crate::panic_message;
+use hqs_base::{Budget, CancelToken, Exhaustion};
+use hqs_core::{CertifiedOutcome, CertifyError, Dqbf, DqbfResult, HqsConfig, HqsSolver};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// One corpus instance queued for solving.
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// Display name (for corpus directories, the file name).
+    pub name: String,
+    /// The formula to solve.
+    pub dqbf: Dqbf,
+}
+
+/// How a batch run is driven.
+#[derive(Clone, Debug)]
+pub struct BatchOptions {
+    /// Number of worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Per-job wall-clock limit; `None` runs unbounded.
+    pub job_timeout: Option<Duration>,
+    /// Per-job AIG node budget bounding memory; `None` runs unbounded.
+    pub node_limit: Option<usize>,
+    /// Certify each verdict (per-job `certified` flag in the record).
+    pub certify: bool,
+    /// Solver configuration template; its `budget` field is replaced by
+    /// the per-job budget.
+    pub config: HqsConfig,
+    /// Batch-wide cancellation: firing this token stops job dispatch and
+    /// unwinds every in-flight solver at its next budget poll.
+    pub cancel: CancelToken,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            workers: 1,
+            job_timeout: None,
+            node_limit: None,
+            certify: false,
+            config: HqsConfig::default(),
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+/// How one batch job ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Definitive SAT.
+    Sat,
+    /// Definitive UNSAT.
+    Unsat,
+    /// A resource limit (timeout, memout, batch cancellation) hit first.
+    Limit(Exhaustion),
+    /// The solver panicked on this job; the payload message is attached.
+    /// The panic was confined to the job.
+    Panicked(String),
+    /// Certification machinery failed on this job (soundness alarm).
+    Error(String),
+}
+
+impl JobOutcome {
+    /// Short uppercase code used in JSONL records and progress lines.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            JobOutcome::Sat => "SAT",
+            JobOutcome::Unsat => "UNSAT",
+            JobOutcome::Limit(Exhaustion::Timeout) => "TIMEOUT",
+            JobOutcome::Limit(Exhaustion::Memout) => "MEMOUT",
+            JobOutcome::Limit(Exhaustion::Cancelled) => "CANCELLED",
+            JobOutcome::Panicked(_) => "PANIC",
+            JobOutcome::Error(_) => "ERROR",
+        }
+    }
+}
+
+/// The machine-readable result of one batch job.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Position of the job in the input slice.
+    pub index: usize,
+    /// Job name.
+    pub name: String,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Whether a definitive verdict carried a checked certificate.
+    pub certified: bool,
+    /// Wall-clock seconds spent on this job.
+    pub wall_seconds: f64,
+    /// CPU seconds the worker thread spent on this job, when the
+    /// platform exposes per-thread CPU time (Linux); `None` elsewhere.
+    pub cpu_seconds: Option<f64>,
+    /// Which worker thread ran the job.
+    pub worker: usize,
+}
+
+impl JobRecord {
+    /// Renders the record as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let detail = match &self.outcome {
+            JobOutcome::Panicked(m) | JobOutcome::Error(m) => {
+                format!("\"{}\"", escape_json(m))
+            }
+            _ => "null".to_string(),
+        };
+        let cpu = match self.cpu_seconds {
+            Some(s) => format!("{s:.6}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"index\":{},\"job\":\"{}\",\"outcome\":\"{}\",\"certified\":{},\
+             \"wall_s\":{:.6},\"cpu_s\":{},\"worker\":{},\"detail\":{}}}",
+            self.index,
+            escape_json(&self.name),
+            self.outcome.code(),
+            self.certified,
+            self.wall_seconds,
+            cpu,
+            self.worker,
+            detail
+        )
+    }
+}
+
+/// Aggregate statistics for a finished batch.
+#[derive(Clone, Debug)]
+pub struct BatchSummary {
+    /// One record per job, in input order. Jobs never dispatched (batch
+    /// cancelled first) report [`JobOutcome::Limit`] with
+    /// [`Exhaustion::Cancelled`] and zero time.
+    pub records: Vec<JobRecord>,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Worker count the batch ran with.
+    pub workers: usize,
+    /// Number of definitive SAT verdicts.
+    pub sat: usize,
+    /// Number of definitive UNSAT verdicts.
+    pub unsat: usize,
+    /// Number of jobs stopped by a resource limit.
+    pub unsolved: usize,
+    /// Number of jobs that panicked or failed certification.
+    pub failed: usize,
+}
+
+/// The sharded work-stealing queue of job indices.
+pub(crate) struct WorkQueue {
+    shards: Vec<Mutex<VecDeque<usize>>>,
+}
+
+/// Locks a shard, recovering from poisoning: the queue holds plain
+/// indices, so a panic while a lock was held cannot leave the deque in a
+/// torn state worth refusing to read.
+fn lock_shard(shard: &Mutex<VecDeque<usize>>) -> MutexGuard<'_, VecDeque<usize>> {
+    match shard.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl WorkQueue {
+    /// Builds a queue of `jobs` indices dealt round-robin over `workers`
+    /// shards.
+    fn new(jobs: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut shards: Vec<VecDeque<usize>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            shards.push(VecDeque::with_capacity(jobs / workers + 1));
+        }
+        for job in 0..jobs {
+            if let Some(shard) = shards.get_mut(job % workers) {
+                shard.push_back(job);
+            }
+        }
+        WorkQueue {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Claims the next job for `worker`: own shard front first, then a
+    /// steal from the back of the first non-empty sibling. Returns `None`
+    /// only when every shard is empty (the queue only ever drains).
+    fn next_job(&self, worker: usize) -> Option<usize> {
+        if let Some(own) = self.shards.get(worker) {
+            if let Some(job) = lock_shard(own).pop_front() {
+                return Some(job);
+            }
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i == worker {
+                continue;
+            }
+            if let Some(job) = lock_shard(shard).pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// Per-run state shared by every worker thread.
+pub(crate) struct Scheduler<'a> {
+    queue: WorkQueue,
+    cancel: &'a CancelToken,
+}
+
+/// The job-execution callback a worker invokes for each claimed index.
+trait JobRunner: Sync {
+    fn run(&self, index: usize, worker: usize);
+}
+
+impl Scheduler<'_> {
+    /// One worker's dispatch loop: claim, run, repeat until the queue is
+    /// dry or the batch is cancelled. Hot-path clean: no allocation, no
+    /// panic paths — job execution (and its `catch_unwind`) lives behind
+    /// the `runner` callback.
+    fn worker_loop(&self, worker: usize, runner: &dyn JobRunner) {
+        loop {
+            if self.cancel.is_cancelled() {
+                break;
+            }
+            let Some(job) = self.queue.next_job(worker) else {
+                break;
+            };
+            runner.run(job, worker);
+        }
+    }
+}
+
+/// Adapts a closure `Fn(usize, usize)` to the internal [`JobRunner`]
+/// object the hot loop dispatches through.
+struct RunnerAdapter<F: Fn(usize, usize) + Sync>(F);
+
+impl<F: Fn(usize, usize) + Sync> JobRunner for RunnerAdapter<F> {
+    fn run(&self, index: usize, worker: usize) {
+        (self.0)(index, worker);
+    }
+}
+
+/// Returns this thread's accumulated CPU time in seconds, when the
+/// platform exposes it.
+#[cfg(target_os = "linux")]
+fn thread_cpu_seconds() -> Option<f64> {
+    // /proc/thread-self/stat fields 14 (utime) and 15 (stime), in clock
+    // ticks. The comm field (2) may contain spaces, so split after the
+    // closing ')' and count from field 3.
+    let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
+    let after_comm = stat.rsplit(')').next()?;
+    let mut fields = after_comm.split_whitespace();
+    let utime: f64 = fields.nth(11)?.parse().ok()?;
+    let stime: f64 = fields.next()?.parse().ok()?;
+    // Clock-tick frequency is fixed at 100 Hz on every supported Linux
+    // configuration (sysconf(_SC_CLK_TCK)); good enough for reporting.
+    Some((utime + stime) / 100.0)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn thread_cpu_seconds() -> Option<f64> {
+    None
+}
+
+/// Runs a batch of generic jobs through the work-stealing scheduler.
+///
+/// This is the seam under [`run_batch`]: `runner` maps a job index to an
+/// outcome (plus a `certified` flag) and may panic — panics are caught at
+/// the job boundary and become [`JobOutcome::Panicked`]. `observer` is
+/// called once per finished job from the worker thread that ran it (so a
+/// JSONL stream can be written live); it must be `Sync`.
+///
+/// Tests use this entry point to inject panicking or sleeping jobs
+/// without constructing formulas.
+pub fn run_batch_with<F>(
+    names: &[String],
+    workers: usize,
+    cancel: &CancelToken,
+    runner: F,
+    observer: &(dyn Fn(&JobRecord) + Sync),
+) -> BatchSummary
+where
+    F: Fn(usize) -> (JobOutcome, bool) + Sync,
+{
+    let started = Instant::now();
+    let workers = workers.max(1);
+    let job_count = names.len();
+    let results: Vec<Mutex<Option<JobRecord>>> = (0..job_count).map(|_| Mutex::new(None)).collect();
+
+    let scheduler = Scheduler {
+        queue: WorkQueue::new(job_count, workers),
+        cancel,
+    };
+    let execute = |index: usize, worker: usize| {
+        let name = names.get(index).cloned().unwrap_or_default();
+        let wall_start = Instant::now();
+        let cpu_start = thread_cpu_seconds();
+        let (outcome, certified) = match catch_unwind(AssertUnwindSafe(|| runner(index))) {
+            Ok(pair) => pair,
+            Err(panic) => (JobOutcome::Panicked(panic_message(panic.as_ref())), false),
+        };
+        let cpu_seconds = match (cpu_start, thread_cpu_seconds()) {
+            (Some(a), Some(b)) => Some((b - a).max(0.0)),
+            _ => None,
+        };
+        let record = JobRecord {
+            index,
+            name,
+            outcome,
+            certified,
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+            cpu_seconds,
+            worker,
+        };
+        observer(&record);
+        if let Some(slot) = results.get(index) {
+            *lock_result(slot) = Some(record);
+        }
+    };
+    let adapter = RunnerAdapter(execute);
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let scheduler = &scheduler;
+            let adapter = &adapter;
+            scope.spawn(move || scheduler.worker_loop(worker, adapter));
+        }
+    });
+
+    let mut records: Vec<JobRecord> = Vec::with_capacity(job_count);
+    for (index, slot) in results.iter().enumerate() {
+        let record = lock_result(slot).take().unwrap_or_else(|| JobRecord {
+            index,
+            name: names.get(index).cloned().unwrap_or_default(),
+            outcome: JobOutcome::Limit(Exhaustion::Cancelled),
+            certified: false,
+            wall_seconds: 0.0,
+            cpu_seconds: None,
+            worker: 0,
+        });
+        records.push(record);
+    }
+
+    let sat = records
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Sat)
+        .count();
+    let unsat = records
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Unsat)
+        .count();
+    let unsolved = records
+        .iter()
+        .filter(|r| matches!(r.outcome, JobOutcome::Limit(_)))
+        .count();
+    let failed = records
+        .iter()
+        .filter(|r| matches!(r.outcome, JobOutcome::Panicked(_) | JobOutcome::Error(_)))
+        .count();
+    BatchSummary {
+        records,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        workers,
+        sat,
+        unsat,
+        unsolved,
+        failed,
+    }
+}
+
+/// Locks a result slot, recovering from poisoning (see [`lock_shard`]).
+fn lock_result(slot: &Mutex<Option<JobRecord>>) -> MutexGuard<'_, Option<JobRecord>> {
+    match slot.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Solves every job in `jobs` under the batch scheduler.
+///
+/// Each job gets a fresh [`Budget`] built from
+/// [`BatchOptions::job_timeout`] / [`BatchOptions::node_limit`] — the
+/// timeout clock starts when the job is *dispatched*, not when the batch
+/// starts — chained to [`BatchOptions::cancel`]. `observer` streams
+/// finished [`JobRecord`]s (e.g. as JSONL) from worker threads.
+pub fn run_batch(
+    jobs: &[BatchJob],
+    opts: &BatchOptions,
+    observer: &(dyn Fn(&JobRecord) + Sync),
+) -> BatchSummary {
+    let names: Vec<String> = jobs.iter().map(|j| j.name.clone()).collect();
+    let runner = |index: usize| -> (JobOutcome, bool) {
+        let Some(job) = jobs.get(index) else {
+            return (
+                JobOutcome::Error("job index out of range".to_string()),
+                false,
+            );
+        };
+        let mut budget = Budget::new().with_cancel_token(opts.cancel.clone());
+        if let Some(timeout) = opts.job_timeout {
+            budget = budget.with_timeout(timeout);
+        }
+        if let Some(nodes) = opts.node_limit {
+            budget = budget.with_node_limit(nodes);
+        }
+        let mut config = opts.config.clone();
+        config.budget = budget;
+        solve_one(&job.dqbf, config, opts.certify)
+    };
+    run_batch_with(&names, opts.workers, &opts.cancel, runner, observer)
+}
+
+/// Solves a single formula to a [`JobOutcome`], certifying when asked.
+fn solve_one(dqbf: &Dqbf, mut config: HqsConfig, certify: bool) -> (JobOutcome, bool) {
+    if !certify {
+        let mut solver = HqsSolver::with_config(config);
+        return (outcome_of(solver.solve(dqbf)), false);
+    }
+    config.certify = true;
+    let mut solver = HqsSolver::with_config(config);
+    match solver.solve_certified(dqbf) {
+        Ok(CertifiedOutcome::Sat(_)) => (JobOutcome::Sat, true),
+        Ok(CertifiedOutcome::Unsat(_)) => (JobOutcome::Unsat, true),
+        Ok(CertifiedOutcome::Limit(e)) => (JobOutcome::Limit(e), false),
+        // Too many universals to expand a certificate; keep the plain
+        // verdict and report it uncertified.
+        Err(CertifyError::TooLarge) => (outcome_of(solver.solve(dqbf)), false),
+        Err(error) => (JobOutcome::Error(error.to_string()), false),
+    }
+}
+
+/// Maps a solver verdict to a job outcome.
+fn outcome_of(result: DqbfResult) -> JobOutcome {
+    match result {
+        DqbfResult::Sat => JobOutcome::Sat,
+        DqbfResult::Unsat => JobOutcome::Unsat,
+        DqbfResult::Limit(e) => JobOutcome::Limit(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_drains_exactly_once() {
+        let queue = WorkQueue::new(10, 3);
+        let mut seen = Vec::new();
+        for worker in [0usize, 1, 2].iter().cycle().take(64) {
+            if let Some(job) = queue.next_job(*worker) {
+                seen.push(job);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_reaches_other_shards() {
+        let queue = WorkQueue::new(4, 4);
+        // Worker 0 can drain the entire queue alone via steals.
+        let mut count = 0;
+        while queue.next_job(0).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn jsonl_record_shape_is_stable() {
+        let record = JobRecord {
+            index: 3,
+            name: "a\"b.dqdimacs".to_string(),
+            outcome: JobOutcome::Limit(Exhaustion::Timeout),
+            certified: false,
+            wall_seconds: 1.25,
+            cpu_seconds: Some(0.5),
+            worker: 1,
+        };
+        assert_eq!(
+            record.to_jsonl(),
+            "{\"index\":3,\"job\":\"a\\\"b.dqdimacs\",\"outcome\":\"TIMEOUT\",\
+             \"certified\":false,\"wall_s\":1.250000,\"cpu_s\":0.500000,\
+             \"worker\":1,\"detail\":null}"
+        );
+    }
+}

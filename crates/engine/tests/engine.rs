@@ -1,0 +1,332 @@
+//! End-to-end tests for the portfolio engine and the batch scheduler:
+//! arbitration, disagreement detection, cancellation latency, panic
+//! isolation and deterministic reproducibility.
+
+use hqs_base::{CancelToken, Exhaustion};
+use hqs_core::{Dqbf, DqbfResult};
+use hqs_engine::{
+    run_batch, run_batch_with, run_custom_portfolio, solve_portfolio, standard_deck, BatchJob,
+    BatchOptions, EngineError, JobOutcome, PortfolioOptions, PortfolioTask, WorkerVerdict,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// `∀x ∃y(x). (y ∨ ¬x) ∧ (¬y ∨ x)` — satisfied by the Skolem function
+/// `y := x`.
+const SAT_DQDIMACS: &str = "p cnf 2 2\na 1 0\nd 2 1 0\n2 -1 0\n-2 1 0\n";
+
+/// `∃y ∀x. (y ∨ x) ∧ (¬y ∨ ¬x)` — `y` may not depend on `x` but would
+/// have to equal `¬x`; unsatisfiable.
+const UNSAT_DQDIMACS: &str = "p cnf 2 2\ne 2 0\na 1 0\n2 1 0\n-2 -1 0\n";
+
+fn parse(text: &str) -> Dqbf {
+    Dqbf::from_file(&hqs_cnf::dimacs::parse_dqdimacs(text).expect("test instance parses"))
+}
+
+#[test]
+fn race_mode_solves_sat_and_unsat() {
+    let opts = PortfolioOptions {
+        threads: 4,
+        ..PortfolioOptions::default()
+    };
+    let deck = standard_deck();
+
+    let sat = solve_portfolio(&parse(SAT_DQDIMACS), &deck, &opts).expect("no engine error");
+    assert_eq!(sat.result, DqbfResult::Sat);
+    assert!(sat.winner.is_some());
+    assert_eq!(sat.reports.len(), deck.len());
+
+    let unsat = solve_portfolio(&parse(UNSAT_DQDIMACS), &deck, &opts).expect("no engine error");
+    assert_eq!(unsat.result, DqbfResult::Unsat);
+    assert!(unsat.winner_name.is_some());
+}
+
+#[test]
+fn deterministic_portfolio_is_reproducible_over_ten_runs() {
+    let deck = standard_deck();
+    let opts = PortfolioOptions {
+        threads: 4,
+        deterministic: true,
+        ..PortfolioOptions::default()
+    };
+    let mut winners = Vec::new();
+    for _ in 0..10 {
+        let outcome = solve_portfolio(&parse(SAT_DQDIMACS), &deck, &opts).expect("no engine error");
+        assert_eq!(outcome.result, DqbfResult::Sat);
+        winners.push((outcome.winner, outcome.winner_name.clone()));
+    }
+    let first = winners.first().cloned().expect("ten runs happened");
+    assert!(
+        winners.iter().all(|w| *w == first),
+        "deterministic mode must report the same winner every run, got {winners:?}"
+    );
+    // Every deck entry solves this formula, so the arbitrated winner must
+    // be the lowest deck index.
+    assert_eq!(first.0, Some(0));
+}
+
+#[test]
+fn certified_portfolio_reports_a_checked_certificate() {
+    let deck = standard_deck();
+    let opts = PortfolioOptions {
+        threads: 2,
+        deterministic: true,
+        certify: true,
+        ..PortfolioOptions::default()
+    };
+    let outcome = solve_portfolio(&parse(SAT_DQDIMACS), &deck, &opts).expect("no engine error");
+    assert_eq!(outcome.result, DqbfResult::Sat);
+    assert!(
+        outcome.certified,
+        "winner's verdict must carry a certificate"
+    );
+}
+
+/// A pair of mock workers that contradict each other must abort the race
+/// with an `InvariantViolation` naming both configurations — never pick
+/// a winner.
+#[test]
+fn lying_workers_raise_a_disagreement() {
+    let liar = |name: &str, verdict: DqbfResult| PortfolioTask {
+        name: name.to_string(),
+        detail: format!("mock-config-{name}"),
+        run: Box::new(move |_budget| {
+            Ok(WorkerVerdict {
+                result: verdict,
+                certified: false,
+            })
+        }),
+    };
+    let tasks = vec![
+        liar("liar-sat", DqbfResult::Sat),
+        liar("liar-unsat", DqbfResult::Unsat),
+    ];
+    let opts = PortfolioOptions {
+        threads: 2,
+        deterministic: true,
+        ..PortfolioOptions::default()
+    };
+    match run_custom_portfolio(tasks, &opts) {
+        Err(EngineError::Disagreement {
+            sat_worker,
+            unsat_worker,
+            violation,
+        }) => {
+            assert_eq!(sat_worker, "liar-sat");
+            assert_eq!(unsat_worker, "liar-unsat");
+            let text = violation.to_string();
+            assert_eq!(violation.component(), "portfolio");
+            assert!(text.contains("mock-config-liar-sat"), "violation: {text}");
+            assert!(text.contains("mock-config-liar-unsat"), "violation: {text}");
+        }
+        other => panic!("expected a disagreement, got {other:?}"),
+    }
+}
+
+#[test]
+fn panicking_worker_is_reported_not_propagated() {
+    let tasks = vec![
+        PortfolioTask {
+            name: "bomber".to_string(),
+            detail: String::new(),
+            run: Box::new(|_budget| panic!("kaboom")),
+        },
+        PortfolioTask {
+            name: "honest".to_string(),
+            detail: String::new(),
+            run: Box::new(|_budget| {
+                Ok(WorkerVerdict {
+                    result: DqbfResult::Sat,
+                    certified: false,
+                })
+            }),
+        },
+    ];
+    let opts = PortfolioOptions {
+        threads: 2,
+        deterministic: true,
+        ..PortfolioOptions::default()
+    };
+    match run_custom_portfolio(tasks, &opts) {
+        Err(EngineError::WorkerPanic { worker, message }) => {
+            assert_eq!(worker, "bomber");
+            assert!(message.contains("kaboom"), "message: {message}");
+        }
+        other => panic!("expected a worker panic report, got {other:?}"),
+    }
+}
+
+/// A winner must tear down a busy loser through the shared cancel token
+/// quickly: the loser polls its budget and the whole race finishes in a
+/// small fraction of the loser's natural runtime.
+#[test]
+fn cancellation_reaches_a_busy_loser_quickly() {
+    let tasks = vec![
+        PortfolioTask {
+            name: "fast-winner".to_string(),
+            detail: String::new(),
+            run: Box::new(|_budget| {
+                std::thread::sleep(Duration::from_millis(50));
+                Ok(WorkerVerdict {
+                    result: DqbfResult::Unsat,
+                    certified: false,
+                })
+            }),
+        },
+        PortfolioTask {
+            name: "busy-loser".to_string(),
+            detail: String::new(),
+            run: Box::new(|budget| {
+                // Simulates a solver main loop: works in small slices and
+                // polls the budget between them, for up to 30 s.
+                let start = Instant::now();
+                while start.elapsed() < Duration::from_secs(30) {
+                    if budget.stop_requested() {
+                        return Ok(WorkerVerdict {
+                            result: DqbfResult::Limit(budget.stop_reason()),
+                            certified: false,
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(WorkerVerdict {
+                    result: DqbfResult::Limit(Exhaustion::Timeout),
+                    certified: false,
+                })
+            }),
+        },
+    ];
+    let opts = PortfolioOptions {
+        threads: 2,
+        ..PortfolioOptions::default()
+    };
+    let started = Instant::now();
+    let outcome = run_custom_portfolio(tasks, &opts).expect("no engine error");
+    let elapsed = started.elapsed();
+    assert_eq!(outcome.result, DqbfResult::Unsat);
+    assert_eq!(outcome.winner_name.as_deref(), Some("fast-winner"));
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "cancellation took {elapsed:?}; the loser would run 30 s uncancelled"
+    );
+    let loser = outcome
+        .reports
+        .iter()
+        .find(|r| r.name == "busy-loser")
+        .expect("loser reported");
+    assert_eq!(loser.result, DqbfResult::Limit(Exhaustion::Cancelled));
+}
+
+#[test]
+fn batch_isolates_a_panicking_job() {
+    let names: Vec<String> = (0..4).map(|i| format!("job-{i}")).collect();
+    let cancel = CancelToken::new();
+    let summary = run_batch_with(
+        &names,
+        2,
+        &cancel,
+        |index| {
+            if index == 2 {
+                panic!("job 2 exploded");
+            }
+            (JobOutcome::Sat, false)
+        },
+        &|_record| {},
+    );
+    assert_eq!(summary.records.len(), 4);
+    assert_eq!(summary.sat, 3);
+    assert_eq!(summary.failed, 1);
+    match &summary.records[2].outcome {
+        JobOutcome::Panicked(message) => {
+            assert!(message.contains("job 2 exploded"), "message: {message}")
+        }
+        other => panic!("expected a panic record, got {other:?}"),
+    }
+    // The panic record still renders as JSONL with the message attached.
+    let line = summary.records[2].to_jsonl();
+    assert!(line.contains("\"outcome\":\"PANIC\""), "line: {line}");
+    assert!(line.contains("job 2 exploded"), "line: {line}");
+}
+
+#[test]
+fn batch_solves_a_corpus_in_input_order() {
+    let jobs: Vec<BatchJob> = (0..6)
+        .map(|i| BatchJob {
+            name: format!("inst-{i}"),
+            dqbf: parse(if i % 2 == 0 {
+                SAT_DQDIMACS
+            } else {
+                UNSAT_DQDIMACS
+            }),
+        })
+        .collect();
+    let opts = BatchOptions {
+        workers: 2,
+        ..BatchOptions::default()
+    };
+    let observed = AtomicUsize::new(0);
+    let summary = run_batch(&jobs, &opts, &|_record| {
+        observed.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(
+        observed.load(Ordering::Relaxed),
+        6,
+        "observer sees every job"
+    );
+    assert_eq!(summary.sat, 3);
+    assert_eq!(summary.unsat, 3);
+    assert_eq!(summary.failed, 0);
+    for (i, record) in summary.records.iter().enumerate() {
+        assert_eq!(record.index, i, "records come back in input order");
+        assert_eq!(record.name, format!("inst-{i}"));
+        let expected = if i % 2 == 0 {
+            JobOutcome::Sat
+        } else {
+            JobOutcome::Unsat
+        };
+        assert_eq!(record.outcome, expected);
+        assert!(record.wall_seconds >= 0.0);
+    }
+}
+
+#[test]
+fn pre_cancelled_batch_dispatches_nothing() {
+    let names: Vec<String> = (0..8).map(|i| format!("job-{i}")).collect();
+    let cancel = CancelToken::new();
+    cancel.cancel("batch aborted before start");
+    let summary = run_batch_with(&names, 4, &cancel, |_| (JobOutcome::Sat, false), &|_| {});
+    assert_eq!(summary.sat, 0);
+    assert_eq!(summary.unsolved, 8);
+    assert!(summary
+        .records
+        .iter()
+        .all(|r| r.outcome == JobOutcome::Limit(Exhaustion::Cancelled)));
+}
+
+#[test]
+fn batch_certify_checks_every_verdict() {
+    let jobs = vec![
+        BatchJob {
+            name: "sat".to_string(),
+            dqbf: parse(SAT_DQDIMACS),
+        },
+        BatchJob {
+            name: "unsat".to_string(),
+            dqbf: parse(UNSAT_DQDIMACS),
+        },
+    ];
+    let opts = BatchOptions {
+        workers: 2,
+        certify: true,
+        ..BatchOptions::default()
+    };
+    let summary = run_batch(&jobs, &opts, &|_| {});
+    assert_eq!(summary.failed, 0);
+    for record in &summary.records {
+        assert!(
+            record.certified,
+            "{}: definitive verdicts must be certified in certify mode",
+            record.name
+        );
+    }
+}

@@ -108,6 +108,7 @@ impl InstantiationSolver {
 
         // Abstraction state.
         let mut abstraction = Solver::new();
+        abstraction.set_cancel_token(self.budget.cancel_token().cloned());
         let mut instances: HashMap<(Var, RestrictionKey), Var> = HashMap::new();
         let mut seed = vec![false; universals.len()];
         loop {
@@ -119,11 +120,11 @@ impl InstantiationSolver {
                 return DqbfResult::Limit(e);
             }
             self.stats.sat_calls += 1;
-            let budget = self.budget;
-            match abstraction.solve_interruptible(&[], || budget.time_exhausted()) {
+            let budget = self.budget.clone();
+            match abstraction.solve_interruptible(&[], || budget.stop_requested()) {
                 SolveResult::Unsat => return DqbfResult::Unsat,
                 SolveResult::Sat => {}
-                SolveResult::Unknown => return DqbfResult::Limit(hqs_base::Exhaustion::Timeout),
+                SolveResult::Unknown => return DqbfResult::Limit(budget.stop_reason()),
             }
             let model = abstraction.model();
 
@@ -135,8 +136,8 @@ impl InstantiationSolver {
                 Ok(Some(omega)) => seed = omega,
                 Err(limit) => return DqbfResult::Limit(limit),
             }
-            if self.budget.time_exhausted() {
-                return DqbfResult::Limit(hqs_base::Exhaustion::Timeout);
+            if self.budget.stop_requested() {
+                return DqbfResult::Limit(self.budget.stop_reason());
             }
         }
     }
@@ -225,8 +226,9 @@ impl InstantiationSolver {
             query.add_clause(clause);
         }
 
-        let budget = self.budget;
-        match query.solve_interruptible(&[], || budget.time_exhausted()) {
+        query.set_cancel_token(self.budget.cancel_token().cloned());
+        let budget = self.budget.clone();
+        match query.solve_interruptible(&[], || budget.stop_requested()) {
             SolveResult::Sat => Ok(Some(
                 universals
                     .iter()
@@ -234,7 +236,7 @@ impl InstantiationSolver {
                     .collect(),
             )),
             SolveResult::Unsat => Ok(None),
-            SolveResult::Unknown => Err(hqs_base::Exhaustion::Timeout),
+            SolveResult::Unknown => Err(budget.stop_reason()),
         }
     }
 }

@@ -131,7 +131,7 @@ impl SearchSolver {
     /// Recursive QDPLL over `self.order[depth..]`.
     fn search(&mut self, depth: usize, assignment: &mut Assignment) -> bool {
         if self.aborted
-            || (self.stats.decisions.is_multiple_of(1024) && self.budget.time_exhausted())
+            || (self.stats.decisions.is_multiple_of(1024) && self.budget.stop_requested())
         {
             self.aborted = true;
             return false; // value is ignored once aborted

@@ -209,13 +209,14 @@ impl QbfSolver {
             .unwrap_or(0);
         let (cnf, out) = aig.to_cnf(root, first_aux);
         let mut solver = hqs_sat::Solver::new();
+        solver.set_cancel_token(self.budget.cancel_token().cloned());
         solver.add_cnf(&cnf);
         solver.add_clause([out]);
-        let budget = self.budget;
-        match solver.solve_interruptible(&[], || budget.time_exhausted()) {
+        let budget = self.budget.clone();
+        match solver.solve_interruptible(&[], || budget.stop_requested()) {
             hqs_sat::SolveResult::Sat => QbfResult::Sat,
             hqs_sat::SolveResult::Unsat => QbfResult::Unsat,
-            hqs_sat::SolveResult::Unknown => QbfResult::Limit(Exhaustion::Timeout),
+            hqs_sat::SolveResult::Unknown => QbfResult::Limit(budget.stop_reason()),
         }
     }
 

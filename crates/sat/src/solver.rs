@@ -3,7 +3,7 @@
 use crate::heap::VarOrder;
 use crate::luby::Luby;
 use crate::proof::ProofLogger;
-use hqs_base::{Assignment, Lit, Var};
+use hqs_base::{Assignment, CancelToken, Lit, Var};
 use hqs_cnf::Cnf;
 use std::fmt;
 
@@ -111,6 +111,7 @@ pub struct Solver {
     model: Vec<Lbool>,
     failed: Vec<Lit>,
     conflict_budget: Option<u64>,
+    cancel: Option<CancelToken>,
     max_learnts: f64,
     stats: SolverStats,
     analyze_clear: Vec<Var>,
@@ -139,6 +140,14 @@ impl fmt::Debug for Solver {
 }
 
 impl Solver {
+    /// Conflict interval between cancellation polls inside the CDCL
+    /// loop — small enough that a fired [`CancelToken`] is observed
+    /// within a few milliseconds of propagation work.
+    pub const CANCEL_POLL_CONFLICTS: u64 = 256;
+    /// Decision interval between cancellation polls on conflict-free
+    /// stretches.
+    pub const CANCEL_POLL_DECISIONS: u64 = 1024;
+
     /// Creates an empty solver.
     #[must_use]
     pub fn new() -> Self {
@@ -162,6 +171,7 @@ impl Solver {
             model: Vec::new(),
             failed: Vec::new(),
             conflict_budget: None,
+            cancel: None,
             max_learnts: 4000.0,
             stats: SolverStats::default(),
             analyze_clear: Vec::new(),
@@ -254,6 +264,23 @@ impl Solver {
     /// (cumulative); `None` removes the limit.
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget.map(|b| self.stats.conflicts + b);
+    }
+
+    /// Attaches a shared cancellation token, polled inside the CDCL loop
+    /// (every [`Solver::CANCEL_POLL_CONFLICTS`] conflicts and every
+    /// [`Solver::CANCEL_POLL_DECISIONS`] decisions) so a fired token
+    /// turns the current `solve` call into [`SolveResult::Unknown`]
+    /// within a bounded amount of work — the portfolio engine relies on
+    /// this to tear down losing workers without waiting out a long CDCL
+    /// run. `None` detaches.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// `true` when an attached cancellation token has fired.
+    #[inline]
+    fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Adds a clause; returns `false` if the solver became trivially
@@ -473,6 +500,14 @@ impl Solver {
                             break SolveResult::Unknown;
                         }
                     }
+                    if self
+                        .stats
+                        .conflicts
+                        .is_multiple_of(Self::CANCEL_POLL_CONFLICTS)
+                        && self.cancel_requested()
+                    {
+                        break SolveResult::Unknown;
+                    }
                 }
                 None => {
                     if conflicts_this_restart >= budget_this_restart
@@ -486,6 +521,16 @@ impl Solver {
                     }
                     if self.learnt_indices.len() as f64 > self.max_learnts {
                         self.reduce_db();
+                    }
+                    // Conflict-free stretches (large satisfiable
+                    // instances) must observe cancellation too.
+                    if self
+                        .stats
+                        .decisions
+                        .is_multiple_of(Self::CANCEL_POLL_DECISIONS)
+                        && self.cancel_requested()
+                    {
+                        break SolveResult::Unknown;
                     }
                     // Assumptions first, then decisions.
                     match self.pick_branch(assumptions) {

@@ -1,10 +1,18 @@
 //! The `hqs` command-line DQBF solver.
 //!
 //! ```text
-//! hqs [OPTIONS] <file.dqdimacs>
+//! hqs [OPTIONS] <file.dqdimacs>          solve one instance
+//! hqs batch [OPTIONS] <dir>              solve a corpus of .dqdimacs files
 //!
 //! OPTIONS:
 //!   --solver hqs|idq|expansion   decision procedure (default: hqs)
+//!   --portfolio[=DECK]           race a strategy deck across threads
+//!                                (decks: standard, small, wide)
+//!   --jobs <n>                   worker threads for --portfolio / batch
+//!   --deterministic              reproducible portfolio arbitration:
+//!                                every worker finishes, lowest deck
+//!                                index with a verdict wins
+//!   --jsonl <file>               batch: also write JSONL records here
 //!   --strategy maxsat|all        universal-elimination strategy
 //!   --qbf-backend elim|search    QBF engine for the linearised remainder
 //!   --no-preprocess              skip CNF preprocessing
@@ -31,7 +39,9 @@
 //! ```
 //!
 //! Exit codes follow the (Q)DIMACS convention: 10 = SAT, 20 = UNSAT,
-//! 1 = error/unknown.
+//! 30 = UNKNOWN (a resource budget ran out first), 1 = error,
+//! 2 = usage error. `hqs batch` exits 0 when every job ran (solved or
+//! budget-limited) and 1 if any job panicked or failed certification.
 
 #![forbid(unsafe_code)]
 
@@ -40,9 +50,17 @@ use hqs::cnf::dimacs;
 use hqs::core::expand;
 use hqs::core::refute;
 use hqs::core::skolem;
+use hqs::engine;
 use hqs::{Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, InstantiationSolver, QbfBackend};
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// Exit code for a definitive SAT verdict (QDIMACS convention).
+const EXIT_SAT: u8 = 10;
+/// Exit code for a definitive UNSAT verdict (QDIMACS convention).
+const EXIT_UNSAT: u8 = 20;
+/// Exit code when a resource budget stopped the solver first.
+const EXIT_UNKNOWN: u8 = 30;
 
 #[derive(Debug)]
 struct Options {
@@ -54,6 +72,9 @@ struct Options {
     certify: bool,
     proof_file: Option<String>,
     stats: bool,
+    portfolio: Option<String>,
+    jobs: Option<usize>,
+    deterministic: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -69,12 +90,56 @@ fn usage() -> ! {
          [--no-preprocess] [--no-gates] [--no-unit-pure] [--initial-sat] \
          [--subsume] [--dynamic-order] [--paranoid] [--qbf-backend elim|search] \
          [--fraig N] [--timeout S] [--node-limit N] [--certify] [--proof FILE] \
-         [--stats] <file.dqdimacs>"
+         [--portfolio[=standard|small|wide]] [--jobs N] [--deterministic] \
+         [--stats] <file.dqdimacs>\n\
+         \x20      hqs batch [--jobs N] [--timeout S] [--node-limit N] [--certify] \
+         [--jsonl FILE] [solver flags] <dir>"
     );
     std::process::exit(2);
 }
 
-fn parse_options() -> Options {
+/// Applies one solver-configuration flag shared between the single-solve
+/// and batch parsers. Returns `false` when the flag is not a config flag.
+fn apply_config_flag(
+    arg: &str,
+    args: &mut impl Iterator<Item = String>,
+    config: &mut HqsConfig,
+) -> bool {
+    match arg {
+        "--strategy" => {
+            config.strategy = match args.next().as_deref() {
+                Some("maxsat") => ElimStrategy::MaxSatMinimal,
+                Some("all") => ElimStrategy::AllUniversals,
+                _ => usage(),
+            }
+        }
+        "--no-preprocess" => {
+            config.preprocess = false;
+            config.gate_detection = false;
+        }
+        "--no-gates" => config.gate_detection = false,
+        "--no-unit-pure" => config.unit_pure = false,
+        "--initial-sat" => config.initial_sat_check = true,
+        "--subsume" => config.subsumption = true,
+        "--qbf-backend" => {
+            config.qbf_backend = match args.next().as_deref() {
+                Some("elim") => QbfBackend::Elimination,
+                Some("search") => QbfBackend::Search,
+                _ => usage(),
+            }
+        }
+        "--dynamic-order" => config.dynamic_order = true,
+        "--paranoid" => config.paranoid = true,
+        "--fraig" => match args.next().and_then(|v| v.parse().ok()) {
+            Some(n) => config.fraig_threshold = n,
+            None => usage(),
+        },
+        _ => return false,
+    }
+    true
+}
+
+fn parse_options(args: impl Iterator<Item = String>) -> Options {
     let mut options = Options {
         file: None,
         solver: SolverChoice::Hqs,
@@ -84,9 +149,15 @@ fn parse_options() -> Options {
         certify: false,
         proof_file: None,
         stats: false,
+        portfolio: None,
+        jobs: None,
+        deterministic: false,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = args.peekable();
     while let Some(arg) = args.next() {
+        if apply_config_flag(&arg, &mut args, &mut options.config) {
+            continue;
+        }
         match arg.as_str() {
             "--solver" => {
                 options.solver = match args.next().as_deref() {
@@ -96,34 +167,6 @@ fn parse_options() -> Options {
                     _ => usage(),
                 }
             }
-            "--strategy" => {
-                options.config.strategy = match args.next().as_deref() {
-                    Some("maxsat") => ElimStrategy::MaxSatMinimal,
-                    Some("all") => ElimStrategy::AllUniversals,
-                    _ => usage(),
-                }
-            }
-            "--no-preprocess" => {
-                options.config.preprocess = false;
-                options.config.gate_detection = false;
-            }
-            "--no-gates" => options.config.gate_detection = false,
-            "--no-unit-pure" => options.config.unit_pure = false,
-            "--initial-sat" => options.config.initial_sat_check = true,
-            "--subsume" => options.config.subsumption = true,
-            "--qbf-backend" => {
-                options.config.qbf_backend = match args.next().as_deref() {
-                    Some("elim") => QbfBackend::Elimination,
-                    Some("search") => QbfBackend::Search,
-                    _ => usage(),
-                }
-            }
-            "--dynamic-order" => options.config.dynamic_order = true,
-            "--paranoid" => options.config.paranoid = true,
-            "--fraig" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => options.config.fraig_threshold = n,
-                None => usage(),
-            },
             "--timeout" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(secs) => options.timeout = Some(secs),
                 None => usage(),
@@ -140,8 +183,17 @@ fn parse_options() -> Options {
                 Some(path) => options.proof_file = Some(path),
                 None => usage(),
             },
+            "--portfolio" => options.portfolio = Some("standard".to_string()),
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => options.jobs = Some(n),
+                _ => usage(),
+            },
+            "--deterministic" => options.deterministic = true,
             "--stats" => options.stats = true,
             "--help" | "-h" => usage(),
+            other if other.starts_with("--portfolio=") => {
+                options.portfolio = other.split_once('=').map(|(_, deck)| deck.to_string());
+            }
             other if !other.starts_with('-') && options.file.is_none() => {
                 options.file = Some(other.to_string());
             }
@@ -152,7 +204,12 @@ fn parse_options() -> Options {
 }
 
 fn main() -> ExitCode {
-    let options = parse_options();
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("batch") {
+        raw.next();
+        return run_batch_command(raw);
+    }
+    let options = parse_options(raw);
     let Some(path) = options.file.clone() else {
         usage();
     };
@@ -184,6 +241,10 @@ fn main() -> ExitCode {
     }
     if let Some(nodes) = options.node_limit {
         budget = budget.with_node_limit(nodes);
+    }
+
+    if let Some(deck_name) = &options.portfolio {
+        return run_portfolio(&dqbf, deck_name, &options, budget);
     }
 
     let result = match options.solver {
@@ -279,19 +340,159 @@ fn main() -> ExitCode {
         }
     }
 
+    verdict_exit(result)
+}
+
+/// Prints the `s cnf` verdict line and maps it to the documented exit
+/// code (10 SAT / 20 UNSAT / 30 UNKNOWN-budget).
+fn verdict_exit(result: DqbfResult) -> ExitCode {
     match result {
         DqbfResult::Sat => {
             println!("s cnf SAT");
-            ExitCode::from(10)
+            ExitCode::from(EXIT_SAT)
         }
         DqbfResult::Unsat => {
             println!("s cnf UNSAT");
-            ExitCode::from(20)
+            ExitCode::from(EXIT_UNSAT)
         }
         DqbfResult::Limit(e) => {
             println!("s cnf UNKNOWN ({e:?})");
+            ExitCode::from(EXIT_UNKNOWN)
+        }
+    }
+}
+
+/// Worker-thread default when `--jobs` is absent.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Races a strategy deck on the parsed formula (`--portfolio`).
+fn run_portfolio(dqbf: &Dqbf, deck_name: &str, options: &Options, budget: Budget) -> ExitCode {
+    let Some(deck) = engine::deck_by_name(deck_name) else {
+        eprintln!(
+            "error: unknown portfolio deck '{deck_name}' (have: {})",
+            engine::DECK_NAMES.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let opts = engine::PortfolioOptions {
+        threads: options.jobs.unwrap_or_else(default_jobs),
+        deterministic: options.deterministic,
+        certify: options.certify,
+        budget,
+    };
+    match engine::solve_portfolio(dqbf, &deck, &opts) {
+        Ok(outcome) => {
+            match (&outcome.winner, &outcome.winner_name) {
+                (Some(index), Some(name)) => {
+                    // Keep this line free of timing so --deterministic
+                    // runs are diffable byte-for-byte.
+                    println!("c portfolio winner: {name} (deck {index})");
+                }
+                _ => println!("c portfolio: no definitive verdict"),
+            }
+            if options.certify && outcome.certified {
+                println!("c certificate: winner verdict certified");
+            }
+            if options.stats {
+                for report in &outcome.reports {
+                    println!(
+                        "c portfolio worker {} [{}]: {:?} in {:.3}s{}",
+                        report.deck_index,
+                        report.name,
+                        report.result,
+                        report.wall_seconds,
+                        if report.certified { " (certified)" } else { "" },
+                    );
+                }
+            }
+            verdict_exit(outcome.result)
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The `hqs batch <dir>` subcommand: solve every `.dqdimacs` file in a
+/// directory through the work-stealing scheduler, streaming one JSONL
+/// record per job to stdout.
+fn run_batch_command(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut opts = engine::BatchOptions {
+        workers: default_jobs(),
+        ..engine::BatchOptions::default()
+    };
+    let mut jsonl_file: Option<String> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if apply_config_flag(&arg, &mut args, &mut opts.config) {
+            continue;
+        }
+        match arg.as_str() {
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.workers = n,
+                _ => usage(),
+            },
+            "--timeout" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(secs) => opts.job_timeout = Some(Duration::from_secs(secs)),
+                None => usage(),
+            },
+            "--node-limit" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.node_limit = Some(n),
+                None => usage(),
+            },
+            "--certify" => opts.certify = true,
+            "--jsonl" => match args.next() {
+                Some(path) => jsonl_file = Some(path),
+                None => usage(),
+            },
+            "--deterministic" => {
+                // Batch outcomes are deterministic by construction (each
+                // job is solved by the same single-threaded solver);
+                // accepted for symmetry with --portfolio.
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && dir.is_none() => dir = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+
+    let jobs = match engine::load_corpus(std::path::Path::new(&dir)) {
+        Ok(jobs) => jobs,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("c batch: {} jobs, {} workers", jobs.len(), opts.workers);
+    let summary = engine::run_batch(&jobs, &opts, &|record| {
+        println!("{}", record.to_jsonl());
+    });
+    if let Some(path) = jsonl_file {
+        let mut out = String::new();
+        for record in &summary.records {
+            out.push_str(&record.to_jsonl());
+            out.push('\n');
+        }
+        if let Err(err) = std::fs::write(&path, out) {
+            eprintln!("error: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "c batch done: {} sat, {} unsat, {} unsolved, {} failed in {:.3}s",
+        summary.sat, summary.unsat, summary.unsolved, summary.failed, summary.wall_seconds
+    );
+    if summary.failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

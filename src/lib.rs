@@ -45,6 +45,7 @@
 //! | [`core`] | `hqs-core` | the HQS DQBF solver itself |
 //! | [`idq`] | `hqs-idq` | instantiation-based baseline (iDQ role) |
 //! | [`pec`] | `hqs-pec` | PEC benchmark circuits and encoding |
+//! | [`engine`] | `hqs-engine` | parallel portfolio racing + batch scheduler |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +54,7 @@ pub use hqs_aig as aig;
 pub use hqs_base as base;
 pub use hqs_cnf as cnf;
 pub use hqs_core as core;
+pub use hqs_engine as engine;
 pub use hqs_idq as idq;
 pub use hqs_maxsat as maxsat;
 pub use hqs_pec as pec;
