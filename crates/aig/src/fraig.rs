@@ -10,6 +10,7 @@
 use crate::{Aig, AigEdge, AigNode};
 use hqs_base::Rng;
 use hqs_base::Var;
+use hqs_obs::Metric;
 use std::collections::HashMap;
 
 /// Maximum number of same-signature candidates to try proving against
@@ -25,6 +26,7 @@ impl Aig {
     /// equivalence SAT query (queries that exceed it are conservatively
     /// treated as "not equivalent", which preserves soundness).
     pub fn fraig(&mut self, root: AigEdge, seed: u64, conflict_budget: u64) -> AigEdge {
+        self.obs.add(Metric::FraigSweeps, 1);
         let order = self.topo_order(root);
         let mut rng = Rng::seed_from_u64(seed);
         let mut patterns: HashMap<Var, u64> = HashMap::new();
@@ -94,11 +96,13 @@ impl Aig {
         // Constant-signature nodes: try proving them constant outright.
         if sig == 0 && self.prove_equivalent(candidate, AigEdge::FALSE, first_aux, conflict_budget)
         {
+            self.obs.add(Metric::FraigMerges, 1);
             return AigEdge::FALSE;
         }
         if sig == u64::MAX
             && self.prove_equivalent(candidate, AigEdge::TRUE, first_aux, conflict_budget)
         {
+            self.obs.add(Metric::FraigMerges, 1);
             return AigEdge::TRUE;
         }
         let normalised = if sig & 1 == 1 { !sig } else { sig };
@@ -110,6 +114,7 @@ impl Aig {
                 return candidate;
             }
             if self.prove_equivalent(candidate, rep_adjusted, first_aux, conflict_budget) {
+                self.obs.add(Metric::FraigMerges, 1);
                 return rep_adjusted;
             }
         }
@@ -134,6 +139,7 @@ impl Aig {
         }
         let (cnf, out) = self.to_cnf(miter, first_aux);
         let mut solver = hqs_sat::Solver::new();
+        solver.set_observer(self.obs.clone());
         solver.add_cnf(&cnf);
         solver.set_conflict_budget(Some(conflict_budget));
         matches!(

@@ -3,6 +3,7 @@
 
 use crate::AigEdge;
 use hqs_base::{Var, VarSet};
+use hqs_obs::{Metric, Obs};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -33,6 +34,7 @@ pub struct Aig {
     /// [`Aig::compose_many`] so repeated cofactor/compose calls (the
     /// quantification inner loop) do not reallocate it every time.
     compose_memo: HashMap<u32, AigEdge>,
+    pub(crate) obs: Obs,
 }
 
 impl Default for Aig {
@@ -64,7 +66,15 @@ impl Aig {
             strash: HashMap::new(),
             inputs: HashMap::new(),
             compose_memo: HashMap::new(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle: rewrites ([`Aig::fraig`],
+    /// [`Aig::compact`]) then report sweep/merge/reclaim counters
+    /// through it. The node-construction hot path is untouched.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Returns the number of allocated nodes (constant and inputs included).
@@ -465,7 +475,11 @@ impl Aig {
     /// Returns the remapped root edges (same order). All other edges are
     /// invalidated.
     pub fn compact(&mut self, roots: &[AigEdge]) -> Vec<AigEdge> {
+        let nodes_before = self.nodes.len();
         let mut fresh = Aig::new();
+        // The fresh arena replaces `self` wholesale below; the observer
+        // must survive the swap.
+        fresh.obs = self.obs.clone();
         let mut memo: HashMap<u32, AigEdge> = HashMap::new();
         let new_roots = roots
             .iter()
@@ -473,6 +487,11 @@ impl Aig {
             .collect();
         *self = fresh;
         self.debug_audit("after compact");
+        self.obs.add(Metric::CompactRuns, 1);
+        self.obs.add(
+            Metric::CompactFreedNodes,
+            nodes_before.saturating_sub(self.nodes.len()) as u64,
+        );
         new_roots
     }
 

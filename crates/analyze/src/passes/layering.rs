@@ -26,16 +26,23 @@ use super::{code_indices, is_test_path, text_at};
 /// checking its DRAT output with `hqs-proof`).
 const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ("hqs-base", &[]),
+    // Observability sits beside `base`: anything above may emit into it,
+    // and it may depend on nothing but `base` (std-only by design).
+    ("hqs-obs", &["hqs-base"]),
     ("hqs-cnf", &["hqs-base"]),
-    ("hqs-sat", &["hqs-base", "hqs-cnf"]),
+    ("hqs-sat", &["hqs-base", "hqs-obs", "hqs-cnf"]),
     ("hqs-proof", &["hqs-base", "hqs-cnf"]),
-    ("hqs-maxsat", &["hqs-base", "hqs-cnf", "hqs-sat"]),
-    ("hqs-aig", &["hqs-base", "hqs-cnf", "hqs-sat"]),
-    ("hqs-qbf", &["hqs-base", "hqs-cnf", "hqs-sat", "hqs-aig"]),
+    ("hqs-maxsat", &["hqs-base", "hqs-obs", "hqs-cnf", "hqs-sat"]),
+    ("hqs-aig", &["hqs-base", "hqs-obs", "hqs-cnf", "hqs-sat"]),
+    (
+        "hqs-qbf",
+        &["hqs-base", "hqs-obs", "hqs-cnf", "hqs-sat", "hqs-aig"],
+    ),
     (
         "hqs-core",
         &[
             "hqs-base",
+            "hqs-obs",
             "hqs-cnf",
             "hqs-sat",
             "hqs-proof",
@@ -46,11 +53,15 @@ const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ),
     ("hqs-idq", &["hqs-base", "hqs-cnf", "hqs-sat", "hqs-core"]),
     ("hqs-pec", &["hqs-base", "hqs-cnf", "hqs-core"]),
-    ("hqs-engine", &["hqs-base", "hqs-cnf", "hqs-core"]),
+    (
+        "hqs-engine",
+        &["hqs-base", "hqs-obs", "hqs-cnf", "hqs-core"],
+    ),
     (
         "hqs-bench",
         &[
             "hqs-base",
+            "hqs-obs",
             "hqs-cnf",
             "hqs-sat",
             "hqs-proof",
@@ -67,6 +78,7 @@ const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         "hqs",
         &[
             "hqs-base",
+            "hqs-obs",
             "hqs-cnf",
             "hqs-sat",
             "hqs-proof",
@@ -101,6 +113,7 @@ const INTERNAL_MODULES: &[(&str, &[&str])] = &[
         &["corpus", "deck", "jsonl", "portfolio", "scheduler"],
     ),
     ("hqs-maxsat", &["fumalik", "totalizer"]),
+    ("hqs-obs", &["export", "metric", "observer", "registry"]),
     ("hqs-proof", &["checker", "drat"]),
     ("hqs-qbf", &["prefix", "solver"]),
     ("hqs-sat", &["check", "heap", "luby", "proof", "solver"]),

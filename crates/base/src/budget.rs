@@ -119,6 +119,16 @@ pub enum Exhaustion {
     Cancelled,
 }
 
+impl std::fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exhaustion::Timeout => write!(f, "timeout"),
+            Exhaustion::Memout => write!(f, "memout"),
+            Exhaustion::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
 impl Budget {
     /// An unlimited budget.
     #[must_use]

@@ -8,7 +8,7 @@ use hqs_bench::micro::{BenchmarkId, Criterion};
 use hqs_bench::{criterion_group, criterion_main};
 use hqs_core::elim::AigDqbf;
 use hqs_core::preprocess::preprocess;
-use hqs_core::{Dqbf, ElimStrategy, HqsConfig, HqsSolver};
+use hqs_core::{Dqbf, ElimStrategy, HqsConfig, Session};
 use hqs_pec::families::generate;
 use hqs_pec::Family;
 use std::time::Duration;
@@ -91,7 +91,11 @@ fn bench_strategy_ablation(c: &mut Criterion) {
                         .with_node_limit(2_000_000),
                     ..config
                 };
-                HqsSolver::with_config(bounded).solve(dqbf)
+                Session::builder()
+                    .config(bounded)
+                    .build()
+                    .expect("bench config is valid")
+                    .solve(dqbf)
             });
         });
     }

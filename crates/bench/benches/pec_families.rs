@@ -6,7 +6,7 @@
 use hqs_base::Budget;
 use hqs_bench::micro::{BenchmarkId, Criterion};
 use hqs_bench::{criterion_group, criterion_main};
-use hqs_core::{HqsConfig, HqsSolver};
+use hqs_core::{HqsConfig, Session};
 use hqs_idq::InstantiationSolver;
 use std::time::Duration;
 
@@ -16,11 +16,14 @@ fn budget() -> Budget {
         .with_node_limit(2_000_000)
 }
 
-fn bounded_hqs() -> HqsSolver {
-    HqsSolver::with_config(HqsConfig {
-        budget: budget(),
-        ..HqsConfig::default()
-    })
+fn bounded_hqs() -> Session {
+    Session::builder()
+        .config(HqsConfig {
+            budget: budget(),
+            ..HqsConfig::default()
+        })
+        .build()
+        .expect("bench config is valid")
 }
 use hqs_pec::families::generate;
 use hqs_pec::Family;

@@ -20,7 +20,7 @@
 
 use hqs_base::Budget;
 use hqs_bench::{parse_args, HQS_NODE_LIMIT};
-use hqs_core::{DqbfResult, ElimStrategy, HqsConfig, HqsSolver};
+use hqs_core::{ElimStrategy, HqsConfig, Outcome, Session};
 use hqs_pec::benchmark_suite;
 use std::time::Instant;
 
@@ -91,7 +91,7 @@ fn main() {
         "config", "solved", "SAT", "UNSAT", "unsolved", "time[s]"
     );
     println!("{}", "-".repeat(60));
-    let mut verdicts: Vec<Vec<DqbfResult>> = Vec::new();
+    let mut verdicts: Vec<Vec<Outcome>> = Vec::new();
     for (name, config) in configs {
         let mut solved = 0usize;
         let mut sat = 0usize;
@@ -100,24 +100,27 @@ fn main() {
         let mut row = Vec::with_capacity(instances.len());
         for instance in &instances {
             let start = Instant::now();
-            let mut solver = HqsSolver::with_config(HqsConfig {
-                budget: Budget::new()
-                    .with_timeout(timeout)
-                    .with_node_limit(HQS_NODE_LIMIT),
-                ..config
-            });
-            let verdict = solver.solve(&instance.dqbf);
+            let mut session = Session::builder()
+                .config(HqsConfig {
+                    budget: Budget::new()
+                        .with_timeout(timeout)
+                        .with_node_limit(HQS_NODE_LIMIT),
+                    ..config
+                })
+                .build()
+                .unwrap_or_else(|error| panic!("invalid config {name}: {error}"));
+            let verdict = session.solve(&instance.dqbf);
             total += start.elapsed().as_secs_f64();
             match verdict {
-                DqbfResult::Sat => {
+                Outcome::Sat => {
                     solved += 1;
                     sat += 1;
                 }
-                DqbfResult::Unsat => {
+                Outcome::Unsat => {
                     solved += 1;
                     unsat += 1;
                 }
-                DqbfResult::Limit(_) => {}
+                Outcome::Unknown(_) => {}
             }
             row.push(verdict);
         }
@@ -134,9 +137,9 @@ fn main() {
     }
     // Cross-configuration consistency: no two configs may contradict.
     for i in 0..instances.len() {
-        let mut decided: Option<DqbfResult> = None;
+        let mut decided: Option<Outcome> = None;
         for row in &verdicts {
-            if let v @ (DqbfResult::Sat | DqbfResult::Unsat) = row[i] {
+            if let v @ (Outcome::Sat | Outcome::Unsat) = row[i] {
                 match decided {
                     None => decided = Some(v),
                     Some(prev) => assert_eq!(prev, v, "disagreement on {}", instances[i].name),

@@ -8,7 +8,8 @@
 //! ```
 //!
 //! With `--certify`, every round additionally runs the certified pipeline
-//! ([`HqsSolver::solve_certified`]): each SAT verdict must ship a
+//! ([`Session::solve_certified`](hqs_core::Session::solve_certified)): each
+//! SAT verdict must ship a
 //! verifying Skolem certificate and each UNSAT verdict a DRAT refutation
 //! accepted by the independent `hqs-proof` checker; verdicts are
 //! cross-checked against the reference DPLL solver on the expansion CNF
@@ -22,9 +23,7 @@ use hqs_base::Var;
 use hqs_cnf::{QdimacsFile, QuantBlock, Quantifier};
 use hqs_core::expand::{expand_to_cnf, is_satisfiable_by_expansion};
 use hqs_core::random::RandomDqbf;
-use hqs_core::{
-    CertifiedOutcome, Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, QbfBackend,
-};
+use hqs_core::{CertifiedOutcome, Dqbf, ElimStrategy, HqsConfig, Outcome, QbfBackend, Session};
 use hqs_idq::InstantiationSolver;
 
 fn main() {
@@ -96,19 +95,23 @@ fn main() {
         let dqbf = shape.generate(seed);
         let expected = if is_satisfiable_by_expansion(&dqbf) {
             sat += 1;
-            DqbfResult::Sat
+            Outcome::Sat
         } else {
             unsat += 1;
-            DqbfResult::Unsat
+            Outcome::Unsat
         };
         for (name, config) in &configs {
-            let got = HqsSolver::with_config(config.clone()).solve(&dqbf);
+            let mut session = Session::builder()
+                .config(config.clone())
+                .build()
+                .unwrap_or_else(|error| panic!("invalid config {name}: {error}"));
+            let got = session.solve(&dqbf);
             assert_eq!(
                 got, expected,
                 "HQS[{name}] disagrees with the oracle: seed {seed}, shape {shape:?}"
             );
         }
-        let got = InstantiationSolver::new().solve(&dqbf);
+        let got = Outcome::from(InstantiationSolver::new().solve(&dqbf));
         assert_eq!(
             got, expected,
             "instantiation baseline disagrees: seed {seed}, shape {shape:?}"
@@ -134,13 +137,16 @@ fn main() {
 
 /// Certifies one fuzzed instance end-to-end and cross-checks the verdict
 /// against the reference solvers.
-fn certify_round(dqbf: &Dqbf, expected: DqbfResult, seed: u64, round: u64) {
-    let mut solver = HqsSolver::with_config(HqsConfig {
-        certify: true,
-        initial_sat_check: round.is_multiple_of(2),
-        ..HqsConfig::default()
-    });
-    let outcome = solver
+fn certify_round(dqbf: &Dqbf, expected: Outcome, seed: u64, round: u64) {
+    let mut session = Session::builder()
+        .config(HqsConfig {
+            certify: true,
+            initial_sat_check: round.is_multiple_of(2),
+            ..HqsConfig::default()
+        })
+        .build()
+        .unwrap_or_else(|error| panic!("invalid certify config: {error}"));
+    let outcome = session
         .solve_certified(dqbf)
         .unwrap_or_else(|err| panic!("certification failed: seed {seed}: {err}"));
 
@@ -151,7 +157,7 @@ fn certify_round(dqbf: &Dqbf, expected: DqbfResult, seed: u64, round: u64) {
     let dpll_sat = hqs_sat::reference::dpll(&expansion).is_some();
     assert_eq!(
         dpll_sat,
-        expected == DqbfResult::Sat,
+        expected == Outcome::Sat,
         "reference DPLL disagrees on the expansion: seed {seed}"
     );
 
@@ -161,7 +167,7 @@ fn certify_round(dqbf: &Dqbf, expected: DqbfResult, seed: u64, round: u64) {
     if let Some(qbf) = linearise(&bound) {
         assert_eq!(
             hqs_qbf::reference::eval_qdimacs(&qbf),
-            expected == DqbfResult::Sat,
+            expected == Outcome::Sat,
             "reference QBF evaluation disagrees: seed {seed}"
         );
     }
@@ -170,7 +176,7 @@ fn certify_round(dqbf: &Dqbf, expected: DqbfResult, seed: u64, round: u64) {
         CertifiedOutcome::Sat(cert) => {
             assert_eq!(
                 expected,
-                DqbfResult::Sat,
+                Outcome::Sat,
                 "certified SAT is wrong: seed {seed}"
             );
             // Deliberate corruption must be rejected: a certificate with a
@@ -187,7 +193,7 @@ fn certify_round(dqbf: &Dqbf, expected: DqbfResult, seed: u64, round: u64) {
         CertifiedOutcome::Unsat(cert) => {
             assert_eq!(
                 expected,
-                DqbfResult::Unsat,
+                Outcome::Unsat,
                 "certified UNSAT is wrong: seed {seed}"
             );
             // Deliberate corruption must be rejected: a wrong universal

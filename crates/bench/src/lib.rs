@@ -21,7 +21,7 @@
 pub mod micro;
 
 use hqs_base::{Budget, Exhaustion};
-use hqs_core::{DqbfResult, HqsSolver};
+use hqs_core::Session;
 use hqs_idq::InstantiationSolver;
 use hqs_pec::{benchmark_suite, Family, PecInstance, Scale};
 use std::time::{Duration, Instant};
@@ -46,14 +46,16 @@ impl Outcome {
         matches!(self, Outcome::Sat | Outcome::Unsat)
     }
 
-    fn from_result(result: DqbfResult) -> Self {
+    fn from_verdict(result: hqs_core::Outcome) -> Self {
         match result {
-            DqbfResult::Sat => Outcome::Sat,
-            DqbfResult::Unsat => Outcome::Unsat,
+            hqs_core::Outcome::Sat => Outcome::Sat,
+            hqs_core::Outcome::Unsat => Outcome::Unsat,
             // Cancellation only occurs under the portfolio engine; the
             // sequential harness buckets it with timeouts for Table I.
-            DqbfResult::Limit(Exhaustion::Timeout | Exhaustion::Cancelled) => Outcome::Timeout,
-            DqbfResult::Limit(Exhaustion::Memout) => Outcome::Memout,
+            hqs_core::Outcome::Unknown(Exhaustion::Timeout | Exhaustion::Cancelled) => {
+                Outcome::Timeout
+            }
+            hqs_core::Outcome::Unknown(Exhaustion::Memout) => Outcome::Memout,
         }
     }
 }
@@ -86,13 +88,16 @@ pub const IDQ_CLAUSE_LIMIT: usize = 3_000_000;
 #[must_use]
 pub fn run_instance(instance: &PecInstance, timeout: Duration, initial_sat: bool) -> InstanceRun {
     let start = Instant::now();
-    let mut hqs = HqsSolver::with_config(hqs_core::HqsConfig {
-        budget: Budget::new()
-            .with_timeout(timeout)
-            .with_node_limit(HQS_NODE_LIMIT),
-        initial_sat_check: initial_sat,
-        ..hqs_core::HqsConfig::default()
-    });
+    let mut hqs = Session::builder()
+        .config(hqs_core::HqsConfig {
+            budget: Budget::new()
+                .with_timeout(timeout)
+                .with_node_limit(HQS_NODE_LIMIT),
+            initial_sat_check: initial_sat,
+            ..hqs_core::HqsConfig::default()
+        })
+        .build()
+        .expect("benchmark config is valid");
     let hqs_result = hqs.solve(&instance.dqbf);
     let hqs_seconds = start.elapsed().as_secs_f64();
 
@@ -109,9 +114,9 @@ pub fn run_instance(instance: &PecInstance, timeout: Duration, initial_sat: bool
     InstanceRun {
         name: instance.name.clone(),
         family: instance.family,
-        hqs: Outcome::from_result(hqs_result),
+        hqs: Outcome::from_verdict(hqs_result),
         hqs_seconds,
-        idq: Outcome::from_result(idq_result),
+        idq: Outcome::from_verdict(idq_result.into()),
         idq_seconds,
     }
 }

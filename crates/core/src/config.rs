@@ -1,0 +1,249 @@
+//! Validated construction and fingerprinting of [`HqsConfig`].
+//!
+//! [`HqsConfig`] keeps its public fields (struct-update syntax is how
+//! the ablation tooling sweeps configurations), but the blessed way to
+//! assemble one is [`HqsConfig::builder`]: the builder rejects
+//! nonsensical flag combinations at `build()` time instead of letting
+//! them silently degrade a solve. [`HqsConfig::fingerprint`] gives every
+//! config a stable hash so batch records can say *which* configuration
+//! produced them.
+
+use crate::solver::{ElimStrategy, HqsConfig, QbfBackend};
+use hqs_base::Budget;
+use std::fmt;
+
+/// A flag combination [`HqsConfigBuilder::build`] refuses to produce.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// `gate_detection` without `preprocess`: gate detection runs *inside*
+    /// the preprocessing pipeline, so the flag would silently do nothing.
+    GatesWithoutPreprocess,
+    /// `subsumption` without `preprocess`: subsumption is a preprocessing
+    /// rule, so the flag would silently do nothing.
+    SubsumptionWithoutPreprocess,
+    /// `dynamic_order` under [`ElimStrategy::AllUniversals`]: the baseline
+    /// strategy has no elimination-set choice to re-derive, so the flag
+    /// would silently do nothing.
+    DynamicOrderWithoutMaxSat,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::GatesWithoutPreprocess => {
+                write!(f, "gate_detection requires preprocess (it runs inside the pipeline)")
+            }
+            ConfigError::SubsumptionWithoutPreprocess => {
+                write!(f, "subsumption requires preprocess (it is a preprocessing rule)")
+            }
+            ConfigError::DynamicOrderWithoutMaxSat => write!(
+                f,
+                "dynamic_order requires the MaxSAT-minimal strategy (all-universals has no set to reorder)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`HqsConfig`]; obtain via [`HqsConfig::builder`].
+///
+/// Starts from [`HqsConfig::default`] (the paper's configuration); each
+/// setter overrides one field, and [`build`](HqsConfigBuilder::build)
+/// validates the combination.
+///
+/// # Examples
+///
+/// ```
+/// use hqs_core::{ConfigError, HqsConfig};
+///
+/// let config = HqsConfig::builder()
+///     .dynamic_order(true)
+///     .fraig_threshold(1000)
+///     .build()
+///     .expect("valid combination");
+/// assert!(config.dynamic_order);
+///
+/// let err = HqsConfig::builder()
+///     .preprocess(false)
+///     .gate_detection(true)
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(err, ConfigError::GatesWithoutPreprocess);
+/// ```
+#[derive(Clone, Debug, Default)]
+#[must_use]
+pub struct HqsConfigBuilder {
+    config: HqsConfig,
+}
+
+macro_rules! setters {
+    ($(($field:ident, $ty:ty, $doc:literal)),+ $(,)?) => {
+        $(
+            #[doc = $doc]
+            pub fn $field(mut self, value: $ty) -> Self {
+                self.config.$field = value;
+                self
+            }
+        )+
+    };
+}
+
+impl HqsConfigBuilder {
+    setters! {
+        (budget, Budget, "Sets the resource budget (wall clock, nodes, cancellation)."),
+        (preprocess, bool, "Enables the CNF preprocessing pipeline (§III-C)."),
+        (gate_detection, bool, "Enables Tseitin gate detection (requires `preprocess`)."),
+        (initial_sat_check, bool, "Enables the up-front plain SAT call on the matrix."),
+        (unit_pure, bool, "Enables Theorem-5/6 unit-pure elimination in the main loop."),
+        (strategy, ElimStrategy, "Chooses the universal-elimination strategy."),
+        (fraig_threshold, usize, "SAT-sweeps cones larger than this many AND nodes (0 = off)."),
+        (subsumption, bool, "Enables (self-)subsumption in preprocessing (requires `preprocess`)."),
+        (dynamic_order, bool,
+            "Recomputes the elimination set after every elimination (MaxSAT strategy only)."),
+        (qbf_backend, QbfBackend, "Chooses the QBF backend for the linearised remainder."),
+        (paranoid, bool, "Audits all solver-state invariants after every main-loop step."),
+        (certify, bool, "Proof-logs internal SAT calls and prefers certified entry points."),
+    }
+
+    /// Validates the combination and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// A [`ConfigError`] naming the first nonsensical flag combination.
+    pub fn build(self) -> Result<HqsConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+impl HqsConfig {
+    /// A validating builder starting from the paper's defaults.
+    pub fn builder() -> HqsConfigBuilder {
+        HqsConfigBuilder::default()
+    }
+
+    /// Checks the flag combination; [`HqsConfigBuilder::build`] and
+    /// [`Session::builder`](crate::Session::builder) call this, and
+    /// hand-assembled configs (struct-update syntax) can too.
+    ///
+    /// # Errors
+    ///
+    /// A [`ConfigError`] naming the first nonsensical flag combination.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.gate_detection && !self.preprocess {
+            return Err(ConfigError::GatesWithoutPreprocess);
+        }
+        if self.subsumption && !self.preprocess {
+            return Err(ConfigError::SubsumptionWithoutPreprocess);
+        }
+        if self.dynamic_order && self.strategy != ElimStrategy::MaxSatMinimal {
+            return Err(ConfigError::DynamicOrderWithoutMaxSat);
+        }
+        Ok(())
+    }
+
+    /// A stable 64-bit fingerprint of every *algorithmic* field — the
+    /// budget is deliberately excluded, so the same strategy under a
+    /// different timeout hashes identically. Batch records carry this
+    /// (hex-encoded) so result rows are attributable to a configuration
+    /// even when deck names change across versions.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical byte encoding; no dependence on
+        // std::hash, whose output is not stable across releases.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let strategy = match self.strategy {
+            ElimStrategy::MaxSatMinimal => 0u8,
+            ElimStrategy::AllUniversals => 1,
+        };
+        let backend = match self.qbf_backend {
+            QbfBackend::Elimination => 0u8,
+            QbfBackend::Search => 1,
+        };
+        let bytes: Vec<u8> = [
+            u8::from(self.preprocess),
+            u8::from(self.gate_detection),
+            u8::from(self.initial_sat_check),
+            u8::from(self.unit_pure),
+            strategy,
+            u8::from(self.subsumption),
+            u8::from(self.dynamic_order),
+            backend,
+            u8::from(self.paranoid),
+            u8::from(self.certify),
+        ]
+        .into_iter()
+        .chain(self.fraig_threshold.to_le_bytes())
+        .collect();
+        let mut hash = OFFSET;
+        for byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = HqsConfig::builder().build().expect("defaults are valid");
+        assert_eq!(built.fingerprint(), HqsConfig::default().fingerprint());
+    }
+
+    #[test]
+    fn builder_rejects_nonsense() {
+        assert_eq!(
+            HqsConfig::builder().preprocess(false).build().unwrap_err(),
+            ConfigError::GatesWithoutPreprocess,
+            "defaults have gate_detection on, so preprocess(false) alone must fail"
+        );
+        assert_eq!(
+            HqsConfig::builder()
+                .preprocess(false)
+                .gate_detection(false)
+                .subsumption(true)
+                .build()
+                .unwrap_err(),
+            ConfigError::SubsumptionWithoutPreprocess
+        );
+        assert_eq!(
+            HqsConfig::builder()
+                .strategy(ElimStrategy::AllUniversals)
+                .dynamic_order(true)
+                .build()
+                .unwrap_err(),
+            ConfigError::DynamicOrderWithoutMaxSat
+        );
+        assert!(HqsConfig::builder()
+            .preprocess(false)
+            .gate_detection(false)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn fingerprint_ignores_budget_but_not_flags() {
+        let base = HqsConfig::default();
+        let budgeted = HqsConfig {
+            budget: Budget::new().with_node_limit(7),
+            ..HqsConfig::default()
+        };
+        assert_eq!(base.fingerprint(), budgeted.fingerprint());
+        let flipped = HqsConfig {
+            dynamic_order: true,
+            ..HqsConfig::default()
+        };
+        assert_ne!(base.fingerprint(), flipped.fingerprint());
+        let sized = HqsConfig {
+            fraig_threshold: 500,
+            ..HqsConfig::default()
+        };
+        assert_ne!(base.fingerprint(), sized.fingerprint());
+    }
+}

@@ -375,7 +375,7 @@ mod tests {
         assert!(file.blocks.len() >= 3);
         // The linearised QBF has the same truth value.
         let qbf_result = hqs_qbf::QbfSolver::new().solve_file(&file);
-        let dqbf_result = crate::HqsSolver::new().solve(&d);
+        let dqbf_result = crate::HqsSolver::new().run(&d);
         assert_eq!(
             matches!(qbf_result, hqs_qbf::QbfResult::Sat),
             matches!(dqbf_result, crate::DqbfResult::Sat)

@@ -11,6 +11,7 @@
 use crate::depgraph::BinaryCycle;
 use hqs_base::{Lit, Var};
 use hqs_maxsat::{MaxSatResult, MaxSatSolver};
+use hqs_obs::Obs;
 use std::collections::HashMap;
 
 /// Computes a minimum set of universal variables to eliminate.
@@ -29,10 +30,24 @@ pub fn minimal_elimination_set(
     cycles: &[BinaryCycle],
     copies_of: impl Fn(Var) -> usize,
 ) -> Vec<Var> {
+    minimal_elimination_set_observed(universals, cycles, copies_of, &Obs::disabled())
+}
+
+/// [`minimal_elimination_set`] with an observability handle: the inner
+/// MaxSAT (and its SAT substrate) then report call and conflict counters
+/// through `obs`. The solver's main loop uses this variant.
+#[must_use]
+pub fn minimal_elimination_set_observed(
+    universals: &[Var],
+    cycles: &[BinaryCycle],
+    copies_of: impl Fn(Var) -> usize,
+    obs: &Obs,
+) -> Vec<Var> {
     if cycles.is_empty() {
         return Vec::new();
     }
     let mut solver = MaxSatSolver::new();
+    solver.set_observer(obs.clone());
     // One MaxSAT variable x̂ per universal, in order.
     let hat: HashMap<Var, Var> = universals.iter().map(|&x| (x, solver.new_var())).collect();
     for cycle in cycles {

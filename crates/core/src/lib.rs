@@ -33,7 +33,7 @@
 //! # Examples
 //!
 //! ```
-//! use hqs_core::{Dqbf, DqbfResult, HqsSolver};
+//! use hqs_core::{Dqbf, Outcome, Session};
 //! use hqs_base::Lit;
 //!
 //! // ∀x₁∀x₂ ∃y₁(x₁) ∃y₂(x₂) : (y₁↔x₁) ∧ (y₂↔x₂)   — satisfiable.
@@ -46,8 +46,8 @@
 //!     dqbf.add_clause([Lit::positive(x), Lit::negative(y)]);
 //!     dqbf.add_clause([Lit::negative(x), Lit::positive(y)]);
 //! }
-//! let mut solver = HqsSolver::new();
-//! assert_eq!(solver.solve(&dqbf), DqbfResult::Sat);
+//! let mut session = Session::builder().build().expect("default config is valid");
+//! assert_eq!(session.solve(&dqbf), Outcome::Sat);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,20 +55,26 @@
 
 pub mod build;
 mod check;
+mod config;
 pub mod depgraph;
 mod dqbf;
 pub mod elim;
 pub mod elimset;
 pub mod expand;
+mod outcome;
 pub mod preprocess;
 pub mod random;
 pub mod refute;
+mod session;
 pub mod skolem;
 pub mod solver;
 
+pub use config::{ConfigError, HqsConfigBuilder};
 pub use dqbf::Dqbf;
 pub use hqs_base::InvariantViolation;
+pub use outcome::Outcome;
 pub use refute::{extract_refutation, InstanceBinding, RefutationCertificate};
+pub use session::{Session, SessionBuilder};
 pub use skolem::{extract_skolem, SkolemCertificate, SkolemFunction};
 pub use solver::{
     CertifiedOutcome, CertifyError, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, HqsStats,

@@ -1,0 +1,110 @@
+//! The unified solver verdict.
+//!
+//! Every layer of the stack used to map its own result enum
+//! ([`DqbfResult`], [`CertifiedOutcome`], the engine's job outcomes)
+//! to exit codes and display strings independently. [`Outcome`] is the
+//! single convergence point: all of them convert into it, and it alone
+//! owns the QDIMACS exit-code convention.
+
+use crate::solver::{CertifiedOutcome, DqbfResult};
+use hqs_base::Exhaustion;
+use std::fmt;
+
+/// The verdict of a solve, independent of how it was produced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The formula is satisfiable.
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// No verdict: a resource limit or cancellation intervened.
+    Unknown(Exhaustion),
+}
+
+impl Outcome {
+    /// The process exit code for this verdict, following the QDIMACS
+    /// convention the rest of the tooling (and the paper's evaluation
+    /// scripts) expect: 10 = SAT, 20 = UNSAT, 30 = unknown.
+    #[must_use]
+    pub fn to_exit_code(self) -> i32 {
+        match self {
+            Outcome::Sat => 10,
+            Outcome::Unsat => 20,
+            Outcome::Unknown(_) => 30,
+        }
+    }
+
+    /// The canonical lowercase answer word (`sat` / `unsat` /
+    /// `unknown`), as printed in batch JSONL records.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Sat => "sat",
+            Outcome::Unsat => "unsat",
+            Outcome::Unknown(_) => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Sat => write!(f, "SATISFIABLE"),
+            Outcome::Unsat => write!(f, "UNSATISFIABLE"),
+            Outcome::Unknown(e) => write!(f, "UNKNOWN ({e})"),
+        }
+    }
+}
+
+impl From<DqbfResult> for Outcome {
+    fn from(result: DqbfResult) -> Self {
+        match result {
+            DqbfResult::Sat => Outcome::Sat,
+            DqbfResult::Unsat => Outcome::Unsat,
+            DqbfResult::Limit(e) => Outcome::Unknown(e),
+        }
+    }
+}
+
+impl From<&CertifiedOutcome> for Outcome {
+    fn from(outcome: &CertifiedOutcome) -> Self {
+        match outcome {
+            CertifiedOutcome::Sat(_) => Outcome::Sat,
+            CertifiedOutcome::Unsat(_) => Outcome::Unsat,
+            CertifiedOutcome::Limit(e) => Outcome::Unknown(*e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_qdimacs_convention() {
+        assert_eq!(Outcome::Sat.to_exit_code(), 10);
+        assert_eq!(Outcome::Unsat.to_exit_code(), 20);
+        assert_eq!(Outcome::Unknown(Exhaustion::Timeout).to_exit_code(), 30);
+    }
+
+    #[test]
+    fn conversions_preserve_the_verdict() {
+        assert_eq!(Outcome::from(DqbfResult::Sat), Outcome::Sat);
+        assert_eq!(Outcome::from(DqbfResult::Unsat), Outcome::Unsat);
+        assert_eq!(
+            Outcome::from(DqbfResult::Limit(Exhaustion::Memout)),
+            Outcome::Unknown(Exhaustion::Memout)
+        );
+        assert_eq!(
+            Outcome::from(&CertifiedOutcome::Limit(Exhaustion::Cancelled)),
+            Outcome::Unknown(Exhaustion::Cancelled)
+        );
+    }
+
+    #[test]
+    fn display_and_answer_words() {
+        assert_eq!(Outcome::Sat.to_string(), "SATISFIABLE");
+        assert_eq!(Outcome::Unsat.as_str(), "unsat");
+        assert_eq!(Outcome::Unknown(Exhaustion::Timeout).as_str(), "unknown");
+    }
+}

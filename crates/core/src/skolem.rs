@@ -317,7 +317,7 @@ mod tests {
                     .collect();
                 d.add_clause(lits);
             }
-            let verdict = HqsSolver::new().solve(&d);
+            let verdict = HqsSolver::new().run(&d);
             match extract_skolem(&d) {
                 Some(cert) => {
                     assert_eq!(verdict, DqbfResult::Sat, "{d:?}");

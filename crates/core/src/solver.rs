@@ -3,11 +3,12 @@
 use crate::build::build_aig;
 use crate::depgraph::{linearise, DepGraph};
 use crate::elim::AigDqbf;
-use crate::elimset::minimal_elimination_set;
+use crate::elimset::minimal_elimination_set_observed;
 use crate::preprocess::{preprocess_full, PreprocessResult, PreprocessStats};
 use crate::Dqbf;
 use hqs_base::{Budget, Exhaustion, Var};
 use hqs_cnf::DqdimacsFile;
+use hqs_obs::{Metric, Obs, Phase};
 use hqs_qbf::{QbfResult, QbfSolver, QbfStats};
 use std::fmt;
 
@@ -222,13 +223,16 @@ pub struct HqsStats {
 
 /// The HQS DQBF solver.
 ///
-/// See the [crate docs](crate) for the algorithm; construct with
-/// [`HqsSolver::new`] (paper defaults) or [`HqsSolver::with_config`] for
-/// ablations, then call [`solve`](HqsSolver::solve).
+/// See the [crate docs](crate) for the algorithm. This is the internal
+/// engine behind [`Session`](crate::Session), which is the intended
+/// entry point — it adds config validation, observability and
+/// cancellation wiring. The direct `solve*` methods here remain as
+/// deprecated delegating wrappers.
 #[derive(Debug, Default)]
 pub struct HqsSolver {
     config: HqsConfig,
     stats: HqsStats,
+    obs: Obs,
 }
 
 impl HqsSolver {
@@ -244,29 +248,58 @@ impl HqsSolver {
         HqsSolver {
             config,
             stats: HqsStats::default(),
+            obs: Obs::disabled(),
         }
     }
 
-    /// Statistics of the most recent [`solve`](HqsSolver::solve) call.
+    /// Attaches the observability handle every subsequent solve emits
+    /// through ([`Session`](crate::Session) wires this up).
+    pub(crate) fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Statistics of the most recent solve.
     #[must_use]
     pub fn stats(&self) -> HqsStats {
         self.stats
     }
 
+    /// The solver's configuration.
+    #[must_use]
+    pub fn config(&self) -> &HqsConfig {
+        &self.config
+    }
+
     /// Solves a parsed DQDIMACS file.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `hqs_core::Session::builder()` and `solve_file`"
+    )]
     pub fn solve_file(&mut self, file: &DqdimacsFile) -> DqbfResult {
-        self.solve(&Dqbf::from_file(file))
+        self.run(&Dqbf::from_file(file))
     }
 
     /// Decides `dqbf`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `hqs_core::Session::builder()` and `solve`"
+    )]
     pub fn solve(&mut self, dqbf: &Dqbf) -> DqbfResult {
+        self.run(dqbf)
+    }
+
+    /// Decides `dqbf` (the non-deprecated engine entry point behind
+    /// [`Session::solve`](crate::Session::solve)).
+    pub(crate) fn run(&mut self, dqbf: &Dqbf) -> DqbfResult {
         self.stats = HqsStats::default();
 
         if self.config.initial_sat_check {
+            let _span = self.obs.span(Phase::InitialSat);
             let matrix_unsat = if self.config.certify {
                 self.certified_matrix_unsat(dqbf.matrix())
             } else {
                 let mut sat = hqs_sat::Solver::new();
+                sat.set_observer(self.obs.clone());
                 sat.set_cancel_token(self.config.budget.cancel_token().cloned());
                 sat.add_cnf(dqbf.matrix());
                 let budget = self.config.budget.clone();
@@ -285,10 +318,12 @@ impl HqsSolver {
         }
 
         let (reduced, gates) = if self.config.preprocess {
+            let _span = self.obs.span(Phase::Preprocess);
             match preprocess_full(dqbf, self.config.gate_detection, self.config.subsumption) {
                 PreprocessResult::Decided { value, stats } => {
                     self.stats.preprocess = stats;
                     self.stats.decided_by_preprocessing = true;
+                    self.flush_preprocess(&stats);
                     return if value {
                         DqbfResult::Sat
                     } else {
@@ -297,6 +332,7 @@ impl HqsSolver {
                 }
                 PreprocessResult::Reduced { dqbf, gates, stats } => {
                     self.stats.preprocess = stats;
+                    self.flush_preprocess(&stats);
                     (dqbf, gates)
                 }
             }
@@ -306,21 +342,45 @@ impl HqsSolver {
             (bound, Vec::new())
         };
 
-        let (aig, root) = build_aig(&reduced, &gates);
-        let existentials: Vec<(Var, hqs_base::VarSet)> = reduced
-            .existentials()
-            .iter()
-            .filter(|&&y| !gates.iter().any(|g| g.output.var() == y))
-            .map(|&y| (y, reduced.dependencies(y).expect("existential").clone()))
-            .collect();
-        let state = AigDqbf::from_parts(
-            aig,
-            root,
-            reduced.universals().to_vec(),
-            existentials,
-            reduced.num_vars(),
-        );
+        let mut state = {
+            let _span = self.obs.span(Phase::BuildAig);
+            let (aig, root) = build_aig(&reduced, &gates);
+            let existentials: Vec<(Var, hqs_base::VarSet)> = reduced
+                .existentials()
+                .iter()
+                .filter(|&&y| !gates.iter().any(|g| g.output.var() == y))
+                .map(|&y| (y, reduced.dependencies(y).expect("existential").clone()))
+                .collect();
+            AigDqbf::from_parts(
+                aig,
+                root,
+                reduced.universals().to_vec(),
+                existentials,
+                reduced.num_vars(),
+            )
+        };
+        state.aig.set_observer(self.obs.clone());
+        let _span = self.obs.span(Phase::ElimLoop);
         self.main_loop(state)
+    }
+
+    /// Emits the preprocessing rule-hit counters.
+    fn flush_preprocess(&self, stats: &PreprocessStats) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.add(Metric::PreprocessUnits, stats.units);
+        self.obs.add(
+            Metric::PreprocessUniversalReductions,
+            stats.universal_reductions,
+        );
+        self.obs.add(Metric::PreprocessPures, stats.pures);
+        self.obs
+            .add(Metric::PreprocessEquivalences, stats.equivalences);
+        self.obs.add(Metric::PreprocessSubsumed, stats.subsumed);
+        self.obs
+            .add(Metric::PreprocessStrengthened, stats.strengthened);
+        self.obs.add(Metric::PreprocessGates, stats.gates);
     }
 
     /// Runs the up-front SAT call with DRAT logging; the UNSAT answer is
@@ -347,6 +407,7 @@ impl HqsSolver {
             });
         if accepted {
             self.stats.certified_sat_calls += 1;
+            self.obs.add(Metric::CertifiedSatCalls, 1);
         }
         accepted
     }
@@ -367,15 +428,26 @@ impl HqsSolver {
     ///
     /// Any [`CertifyError`] signals an internal soundness bug (or the size
     /// limit), never a property of the formula.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `hqs_core::Session::builder()` and `solve_certified`"
+    )]
     pub fn solve_certified(&mut self, dqbf: &Dqbf) -> Result<CertifiedOutcome, CertifyError> {
+        self.run_certified(dqbf)
+    }
+
+    /// Certified solve (the non-deprecated engine entry point behind
+    /// [`Session::solve_certified`](crate::Session::solve_certified)).
+    pub(crate) fn run_certified(&mut self, dqbf: &Dqbf) -> Result<CertifiedOutcome, CertifyError> {
         let mut bound = dqbf.clone();
         bound.bind_free_vars();
         if bound.universals().len() > crate::expand::MAX_EXPANSION_UNIVERSALS {
             return Err(CertifyError::TooLarge);
         }
-        match self.solve(dqbf) {
+        match self.run(dqbf) {
             DqbfResult::Limit(e) => Ok(CertifiedOutcome::Limit(e)),
             DqbfResult::Sat => {
+                let _span = self.obs.span(Phase::Certify);
                 let certificate =
                     crate::skolem::extract_skolem(dqbf).ok_or(CertifyError::SatNotCertified)?;
                 if !certificate.verify(dqbf) {
@@ -384,6 +456,7 @@ impl HqsSolver {
                 Ok(CertifiedOutcome::Sat(certificate))
             }
             DqbfResult::Unsat => {
+                let _span = self.obs.span(Phase::Certify);
                 let certificate = crate::refute::extract_refutation(dqbf)
                     .ok_or(CertifyError::UnsatNotCertified)?;
                 if !certificate.verify(dqbf) {
@@ -404,6 +477,8 @@ impl HqsSolver {
                 state.assert_invariants("in the main loop");
             }
             self.stats.peak_nodes = self.stats.peak_nodes.max(state.aig.num_nodes());
+            self.obs
+                .gauge_max(Metric::AigPeakNodes, state.aig.num_nodes() as u64);
             if state.root == hqs_aig::Aig::TRUE {
                 return DqbfResult::Sat;
             }
@@ -418,6 +493,7 @@ impl HqsSolver {
                     Some(false) => return DqbfResult::Unsat,
                     Some(true) => {
                         self.stats.unit_pure_elims += 1;
+                        self.obs.add(Metric::UnitPureElims, 1);
                         continue;
                     }
                     None => {}
@@ -428,10 +504,15 @@ impl HqsSolver {
             // the top of the loop can interrupt runaway growth (a PEC
             // instance without gate extraction carries hundreds of
             // total-dependency Tseitin auxiliaries).
-            if state.eliminate_one_total_existential() {
-                self.stats.existential_elims += 1;
-                self.reduce(&mut state);
-                continue;
+            {
+                let span = self.obs.span(Phase::ElimExistential);
+                if state.eliminate_one_total_existential() {
+                    self.stats.existential_elims += 1;
+                    self.obs.add(Metric::ExistentialElims, 1);
+                    self.reduce(&mut state);
+                    continue;
+                }
+                span.cancel();
             }
 
             let hand_off = match self.config.strategy {
@@ -442,6 +523,7 @@ impl HqsSolver {
             };
             if hand_off {
                 self.stats.reached_qbf = true;
+                let _span = self.obs.span(Phase::QbfFinish);
                 let prefix = linearise(state.universals(), &state.existential_deps())
                     .expect("acyclic graph linearises");
                 match self.config.qbf_backend {
@@ -449,6 +531,7 @@ impl HqsSolver {
                         let mut qbf = QbfSolver::new();
                         qbf.set_budget(self.config.budget.clone());
                         qbf.set_fraig_threshold(self.config.fraig_threshold);
+                        qbf.set_observer(self.obs.clone());
                         let result = qbf.solve(&mut state.aig, state.root, prefix);
                         self.stats.qbf = qbf.stats();
                         return DqbfResult::from_qbf(result);
@@ -471,13 +554,17 @@ impl HqsSolver {
                 Some(x) => x,
                 None => {
                     // (Re)compute the elimination queue.
+                    let _span = self.obs.span(Phase::ElimSet);
                     let vars = match self.config.strategy {
                         ElimStrategy::MaxSatMinimal => {
                             let graph = DepGraph::new(&state.existential_deps());
                             let cycles = graph.binary_cycles();
-                            minimal_elimination_set(state.universals(), &cycles, |x| {
-                                state.copies_of(x)
-                            })
+                            minimal_elimination_set_observed(
+                                state.universals(),
+                                &cycles,
+                                |x| state.copies_of(x),
+                                &self.obs,
+                            )
                         }
                         ElimStrategy::AllUniversals => {
                             let mut all = state.universals().to_vec();
@@ -485,6 +572,9 @@ impl HqsSolver {
                             all
                         }
                     };
+                    self.obs.add(Metric::ElimSetsComputed, 1);
+                    self.obs.add(Metric::ElimSetChosen, vars.len() as u64);
+                    self.obs.gauge_max(Metric::ElimSetSize, vars.len() as u64);
                     if !queue_initialised {
                         self.stats.elimination_set_size = vars.len();
                         queue_initialised = true;
@@ -497,14 +587,23 @@ impl HqsSolver {
                     }
                 }
             };
-            state.eliminate_universal(x);
-            self.stats.universal_elims += 1;
-            if self.config.dynamic_order {
-                // Re-derive the elimination set and cost order from the
-                // updated prefix before the next pick.
-                queue.clear();
+            let nodes_before = state.aig.num_nodes();
+            {
+                let _span = self.obs.span(Phase::ElimUniversal);
+                state.eliminate_universal(x);
+                self.stats.universal_elims += 1;
+                if self.config.dynamic_order {
+                    // Re-derive the elimination set and cost order from the
+                    // updated prefix before the next pick.
+                    queue.clear();
+                }
+                self.reduce(&mut state);
             }
-            self.reduce(&mut state);
+            self.obs.add(Metric::UniversalElims, 1);
+            self.obs.add(
+                Metric::ElimNodeGrowth,
+                state.aig.num_nodes().saturating_sub(nodes_before) as u64,
+            );
         }
     }
 
@@ -580,15 +679,12 @@ mod tests {
 
     #[test]
     fn example_one_sat() {
-        assert_eq!(HqsSolver::new().solve(&example_one(true)), DqbfResult::Sat);
+        assert_eq!(HqsSolver::new().run(&example_one(true)), DqbfResult::Sat);
     }
 
     #[test]
     fn example_one_unsat() {
-        assert_eq!(
-            HqsSolver::new().solve(&example_one(false)),
-            DqbfResult::Unsat
-        );
+        assert_eq!(HqsSolver::new().run(&example_one(false)), DqbfResult::Unsat);
     }
 
     #[test]
@@ -606,8 +702,8 @@ mod tests {
                             ..HqsConfig::default()
                         };
                         let mut solver = HqsSolver::with_config(config);
-                        assert_eq!(solver.solve(&example_one(true)), DqbfResult::Sat);
-                        assert_eq!(solver.solve(&example_one(false)), DqbfResult::Unsat);
+                        assert_eq!(solver.run(&example_one(true)), DqbfResult::Sat);
+                        assert_eq!(solver.run(&example_one(false)), DqbfResult::Unsat);
                     }
                 }
             }
@@ -617,12 +713,12 @@ mod tests {
     #[test]
     fn trivial_formulas() {
         let empty = Dqbf::new();
-        assert_eq!(HqsSolver::new().solve(&empty), DqbfResult::Sat);
+        assert_eq!(HqsSolver::new().run(&empty), DqbfResult::Sat);
         let mut contradiction = Dqbf::new();
         let y = contradiction.add_existential([]);
         contradiction.add_clause([Lit::positive(y)]);
         contradiction.add_clause([Lit::negative(y)]);
-        assert_eq!(HqsSolver::new().solve(&contradiction), DqbfResult::Unsat);
+        assert_eq!(HqsSolver::new().run(&contradiction), DqbfResult::Unsat);
     }
 
     #[test]
@@ -634,7 +730,7 @@ mod tests {
             ..HqsConfig::default()
         };
         assert_eq!(
-            HqsSolver::with_config(config).solve(&d),
+            HqsSolver::with_config(config).run(&d),
             DqbfResult::Limit(Exhaustion::Memout)
         );
     }
@@ -706,7 +802,7 @@ mod tests {
             for (ci, config) in configs.iter().enumerate() {
                 let mut solver = HqsSolver::with_config(config.clone());
                 assert_eq!(
-                    solver.solve(&d),
+                    solver.run(&d),
                     expected,
                     "round {round}, config {ci}: {d:?}"
                 );
@@ -723,7 +819,7 @@ mod tests {
             unit_pure: false,
             ..HqsConfig::default()
         });
-        let result = solver.solve(&d);
+        let result = solver.run(&d);
         assert_eq!(result, DqbfResult::Sat);
         let stats = solver.stats();
         // The 2-cycle requires eliminating at least one universal.

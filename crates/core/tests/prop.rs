@@ -4,7 +4,7 @@
 use hqs_base::{Lit, Rng, Var, VarSet};
 use hqs_core::elim::AigDqbf;
 use hqs_core::expand::is_satisfiable_by_expansion;
-use hqs_core::{Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver};
+use hqs_core::{Dqbf, ElimStrategy, HqsConfig, Outcome, Session};
 
 const MAX_UNIVERSALS: u32 = 4;
 const MAX_EXISTENTIALS: u32 = 3;
@@ -60,11 +60,12 @@ fn hqs_matches_oracle() {
         let mut rng = Rng::seed_from_u64(seed);
         let d = build(&random_spec(&mut rng));
         let expected = if is_satisfiable_by_expansion(&d) {
-            DqbfResult::Sat
+            Outcome::Sat
         } else {
-            DqbfResult::Unsat
+            Outcome::Unsat
         };
-        assert_eq!(HqsSolver::new().solve(&d), expected, "seed {seed}");
+        let mut session = Session::builder().build().expect("defaults are valid");
+        assert_eq!(session.solve(&d), expected, "seed {seed}");
         let no_opt = HqsConfig {
             preprocess: false,
             gate_detection: false,
@@ -72,11 +73,11 @@ fn hqs_matches_oracle() {
             strategy: ElimStrategy::AllUniversals,
             ..HqsConfig::default()
         };
-        assert_eq!(
-            HqsSolver::with_config(no_opt).solve(&d),
-            expected,
-            "seed {seed}"
-        );
+        let mut session = Session::builder()
+            .config(no_opt)
+            .build()
+            .expect("no-opt config is valid");
+        assert_eq!(session.solve(&d), expected, "seed {seed}");
     }
 }
 
@@ -163,7 +164,8 @@ fn dependency_growth_is_monotone() {
             is_satisfiable_by_expansion(&w),
             "seed {seed}: widening dependencies lost satisfiability"
         );
-        assert_eq!(HqsSolver::new().solve(&w), DqbfResult::Sat, "seed {seed}");
+        let mut session = Session::builder().build().expect("defaults are valid");
+        assert_eq!(session.solve(&w), Outcome::Sat, "seed {seed}");
     }
 }
 
@@ -178,10 +180,12 @@ fn skolem_certificates_verify() {
         match extract_skolem(&d) {
             Some(cert) => {
                 assert!(cert.verify(&d), "seed {seed}");
-                assert_eq!(HqsSolver::new().solve(&d), DqbfResult::Sat, "seed {seed}");
+                let mut session = Session::builder().build().expect("defaults are valid");
+                assert_eq!(session.solve(&d), Outcome::Sat, "seed {seed}");
             }
             None => {
-                assert_eq!(HqsSolver::new().solve(&d), DqbfResult::Unsat, "seed {seed}");
+                let mut session = Session::builder().build().expect("defaults are valid");
+                assert_eq!(session.solve(&d), Outcome::Unsat, "seed {seed}");
             }
         }
     }

@@ -116,19 +116,30 @@ pub fn perturbed_deck(base: &[DeckEntry], count: usize, seed: u64) -> Vec<DeckEn
     const FRAIG_STEPS: [usize; 5] = [0, 256, 512, 1024, 4096];
     for i in 0..count {
         let fraig_pick = (rng.next_u64() % FRAIG_STEPS.len() as u64) as usize;
+        // Sample in a fixed order (field order of the struct below) so
+        // the deck stays a pure function of the seed.
+        let gate_detection = rng.gen_bool(0.5);
+        let initial_sat_check = rng.gen_bool(0.25);
+        let unit_pure = rng.gen_bool(0.9);
+        let strategy = if rng.gen_bool(0.75) {
+            ElimStrategy::MaxSatMinimal
+        } else {
+            ElimStrategy::AllUniversals
+        };
+        let subsumption = rng.gen_bool(0.5);
+        // Dynamic ordering only makes sense (and only validates) with the
+        // MaxSAT-minimal strategy; sample the coin either way to keep the
+        // stream position independent of the strategy pick.
+        let dynamic_order = rng.gen_bool(0.5) && matches!(strategy, ElimStrategy::MaxSatMinimal);
         let config = HqsConfig {
             preprocess: true,
-            gate_detection: rng.gen_bool(0.5),
-            initial_sat_check: rng.gen_bool(0.25),
-            unit_pure: rng.gen_bool(0.9),
-            strategy: if rng.gen_bool(0.75) {
-                ElimStrategy::MaxSatMinimal
-            } else {
-                ElimStrategy::AllUniversals
-            },
+            gate_detection,
+            initial_sat_check,
+            unit_pure,
+            strategy,
             fraig_threshold: FRAIG_STEPS.get(fraig_pick).copied().unwrap_or(0),
-            subsumption: rng.gen_bool(0.5),
-            dynamic_order: rng.gen_bool(0.5),
+            subsumption,
+            dynamic_order,
             qbf_backend: if rng.gen_bool(0.75) {
                 QbfBackend::Elimination
             } else {
@@ -193,6 +204,19 @@ mod tests {
             .zip(&c)
             .any(|(x, y)| format!("{:?}", x.config) != format!("{:?}", y.config));
         assert!(differs, "different seeds should perturb differently");
+    }
+
+    #[test]
+    fn every_deck_config_validates() {
+        for name in DECK_NAMES {
+            for entry in deck_by_name(name).expect("deck resolves") {
+                assert!(
+                    entry.config.validate().is_ok(),
+                    "deck '{name}' entry '{}' must build a valid session",
+                    entry.name
+                );
+            }
+        }
     }
 
     #[test]

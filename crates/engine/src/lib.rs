@@ -42,11 +42,12 @@ pub use portfolio::{
     TaskFn, WorkerReport, WorkerVerdict,
 };
 pub use scheduler::{
-    run_batch, run_batch_with, BatchJob, BatchOptions, BatchSummary, JobOutcome, JobRecord,
+    run_batch, run_batch_with, BatchJob, BatchOptions, BatchSummary, BatchTag, JobOutcome,
+    JobRecord, JobResult,
 };
 
 use hqs_base::InvariantViolation;
-use hqs_core::CertifyError;
+use hqs_core::{CertifyError, ConfigError};
 use std::fmt;
 
 /// A failure of the engine itself, as opposed to a resource limit.
@@ -84,6 +85,14 @@ pub enum EngineError {
         /// The panic payload, stringified when possible.
         message: String,
     },
+    /// A worker's configuration failed validation when its solve session
+    /// was built — the deck entry is broken, not the formula.
+    InvalidConfig {
+        /// Deck name of the worker with the rejected configuration.
+        worker: String,
+        /// The validation failure.
+        error: ConfigError,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -103,6 +112,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::WorkerPanic { worker, message } => {
                 write!(f, "portfolio worker '{worker}' panicked: {message}")
+            }
+            EngineError::InvalidConfig { worker, error } => {
+                write!(f, "invalid configuration in worker '{worker}': {error}")
             }
         }
     }

@@ -28,7 +28,8 @@
 
 use crate::{panic_message, DeckEntry, EngineError};
 use hqs_base::{Budget, CancelToken, Exhaustion, InvariantViolation};
-use hqs_core::{CertifiedOutcome, CertifyError, Dqbf, DqbfResult, HqsSolver};
+use hqs_core::{CertifiedOutcome, CertifyError, Dqbf, Outcome, Session};
+use hqs_obs::Obs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
@@ -51,6 +52,12 @@ pub struct PortfolioOptions {
     /// original token is still polled by the driver, so cancelling it
     /// cancels the whole race.
     pub budget: Budget,
+    /// Observability handle shared by every worker session. The default
+    /// disabled handle keeps workers fully uninstrumented; attach one
+    /// [`MetricsObserver`](hqs_obs::MetricsObserver) to aggregate
+    /// counters and spans across the whole race (the sharded registry
+    /// is built for exactly this concurrency).
+    pub observer: Obs,
 }
 
 impl Default for PortfolioOptions {
@@ -60,6 +67,7 @@ impl Default for PortfolioOptions {
             deterministic: false,
             certify: false,
             budget: Budget::new(),
+            observer: Obs::disabled(),
         }
     }
 }
@@ -68,7 +76,7 @@ impl Default for PortfolioOptions {
 #[derive(Clone, Debug)]
 pub struct WorkerVerdict {
     /// The solver verdict.
-    pub result: DqbfResult,
+    pub result: Outcome,
     /// Whether the verdict carries an independently checked certificate.
     pub certified: bool,
 }
@@ -81,7 +89,7 @@ pub struct WorkerReport {
     /// Deck entry name.
     pub name: String,
     /// The worker's verdict (definitive or a resource limit).
-    pub result: DqbfResult,
+    pub result: Outcome,
     /// Whether the verdict was certified.
     pub certified: bool,
     /// Wall-clock seconds this worker ran.
@@ -91,8 +99,9 @@ pub struct WorkerReport {
 /// The aggregate result of a portfolio run.
 #[derive(Clone, Debug)]
 pub struct PortfolioOutcome {
-    /// The winning verdict, or `Limit` if no worker was definitive.
-    pub result: DqbfResult,
+    /// The winning verdict, or [`Outcome::Unknown`] if no worker was
+    /// definitive.
+    pub result: Outcome,
     /// Deck index of the winner, if any worker was definitive.
     pub winner: Option<usize>,
     /// Deck entry name of the winner.
@@ -141,11 +150,12 @@ pub fn solve_portfolio(
             let config = entry.config.clone();
             let formula = dqbf.clone();
             let certify = opts.certify;
+            let obs = opts.observer.clone();
             PortfolioTask {
                 name: name.clone(),
                 detail: format!("{config:?}"),
                 run: Box::new(move |budget: &Budget| {
-                    run_deck_entry(&formula, config, budget, certify, &name)
+                    run_deck_entry(&formula, config, budget, certify, &name, &obs)
                 }),
             }
         })
@@ -160,34 +170,45 @@ fn run_deck_entry(
     budget: &Budget,
     certify: bool,
     name: &str,
+    obs: &Obs,
 ) -> Result<WorkerVerdict, EngineError> {
     config.budget = budget.clone();
+    if certify {
+        config.certify = true;
+    }
+    let mut builder = Session::builder().config(config);
+    if let Some(observer) = obs.observer() {
+        builder = builder.observer(observer);
+    }
+    let mut session = builder
+        .build()
+        .map_err(|error| EngineError::InvalidConfig {
+            worker: name.to_string(),
+            error,
+        })?;
     if !certify {
-        let mut solver = HqsSolver::with_config(config);
         return Ok(WorkerVerdict {
-            result: solver.solve(dqbf),
+            result: session.solve(dqbf),
             certified: false,
         });
     }
-    config.certify = true;
-    let mut solver = HqsSolver::with_config(config);
-    match solver.solve_certified(dqbf) {
+    match session.solve_certified(dqbf) {
         Ok(CertifiedOutcome::Sat(_)) => Ok(WorkerVerdict {
-            result: DqbfResult::Sat,
+            result: Outcome::Sat,
             certified: true,
         }),
         Ok(CertifiedOutcome::Unsat(_)) => Ok(WorkerVerdict {
-            result: DqbfResult::Unsat,
+            result: Outcome::Unsat,
             certified: true,
         }),
         Ok(CertifiedOutcome::Limit(e)) => Ok(WorkerVerdict {
-            result: DqbfResult::Limit(e),
+            result: Outcome::Unknown(e),
             certified: false,
         }),
         // Certification is capped by the universal-expansion limit; fall
         // back to the plain verdict rather than failing the whole race.
         Err(CertifyError::TooLarge) => Ok(WorkerVerdict {
-            result: solver.solve(dqbf),
+            result: session.solve(dqbf),
             certified: false,
         }),
         Err(error) => Err(EngineError::Certification {
@@ -247,7 +268,7 @@ pub fn run_custom_portfolio(
                 let payload = if token.is_cancelled() && !deterministic {
                     // The race is already over; don't start losing work.
                     Ok(WorkerVerdict {
-                        result: DqbfResult::Limit(Exhaustion::Cancelled),
+                        result: Outcome::Unknown(Exhaustion::Cancelled),
                         certified: false,
                     })
                 } else {
@@ -293,7 +314,7 @@ pub fn run_custom_portfolio(
             };
             match &arrival.payload {
                 Ok(verdict) => {
-                    let definitive = matches!(verdict.result, DqbfResult::Sat | DqbfResult::Unsat);
+                    let definitive = matches!(verdict.result, Outcome::Sat | Outcome::Unsat);
                     if definitive && !deterministic && !token.is_cancelled() {
                         token.cancel("portfolio winner found");
                     }
@@ -349,8 +370,8 @@ fn arbitrate(
     }
 
     // Cross-check every definitive pair before declaring a winner.
-    let first_sat = reports.iter().find(|r| r.result == DqbfResult::Sat);
-    let first_unsat = reports.iter().find(|r| r.result == DqbfResult::Unsat);
+    let first_sat = reports.iter().find(|r| r.result == Outcome::Sat);
+    let first_unsat = reports.iter().find(|r| r.result == Outcome::Unsat);
     if let (Some(sat), Some(unsat)) = (first_sat, first_unsat) {
         let sat_detail = detail_for(&arrivals, sat.deck_index);
         let unsat_detail = detail_for(&arrivals, unsat.deck_index);
@@ -374,7 +395,7 @@ fn arbitrate(
     // cancelled); in deterministic mode this is the reproducible pick.
     let winner = reports
         .iter()
-        .find(|r| matches!(r.result, DqbfResult::Sat | DqbfResult::Unsat));
+        .find(|r| matches!(r.result, Outcome::Sat | Outcome::Unsat));
     let outcome = match winner {
         Some(w) => PortfolioOutcome {
             result: w.result,
@@ -389,12 +410,12 @@ fn arbitrate(
             let limit = reports
                 .iter()
                 .find_map(|r| match r.result {
-                    DqbfResult::Limit(e) if e != Exhaustion::Cancelled => Some(e),
+                    Outcome::Unknown(e) if e != Exhaustion::Cancelled => Some(e),
                     _ => None,
                 })
                 .unwrap_or(Exhaustion::Cancelled);
             PortfolioOutcome {
-                result: DqbfResult::Limit(limit),
+                result: Outcome::Unknown(limit),
                 winner: None,
                 winner_name: None,
                 certified: false,

@@ -24,10 +24,11 @@
 use crate::jsonl::escape_json;
 use crate::panic_message;
 use hqs_base::{Budget, CancelToken, Exhaustion};
-use hqs_core::{CertifiedOutcome, CertifyError, Dqbf, DqbfResult, HqsConfig, HqsSolver};
+use hqs_core::{CertifiedOutcome, CertifyError, Dqbf, HqsConfig, Outcome, Session};
+use hqs_obs::{MetricsObserver, MetricsSnapshot};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// One corpus instance queued for solving.
@@ -53,6 +54,14 @@ pub struct BatchOptions {
     /// Solver configuration template; its `budget` field is replaced by
     /// the per-job budget.
     pub config: HqsConfig,
+    /// Deck-entry name stamped into every record (see
+    /// [`JobRecord::entry`]); batches launched from a named deck entry
+    /// pass that name, ad-hoc configurations keep `"default"`.
+    pub entry_name: String,
+    /// Solve each job under its own [`MetricsObserver`]; the per-job
+    /// snapshot lands in [`JobRecord::metrics`] and the merged batch
+    /// totals in [`BatchSummary::metrics`].
+    pub collect_metrics: bool,
     /// Batch-wide cancellation: firing this token stops job dispatch and
     /// unwinds every in-flight solver at its next budget poll.
     pub cancel: CancelToken,
@@ -66,6 +75,8 @@ impl Default for BatchOptions {
             node_limit: None,
             certify: false,
             config: HqsConfig::default(),
+            entry_name: "default".to_string(),
+            collect_metrics: false,
             cancel: CancelToken::new(),
         }
     }
@@ -110,6 +121,12 @@ pub struct JobRecord {
     pub index: usize,
     /// Job name.
     pub name: String,
+    /// Deck-entry name of the configuration the job ran under, so JSONL
+    /// output stays interpretable after deck edits.
+    pub entry: String,
+    /// Configuration fingerprint ([`HqsConfig::fingerprint`]) of that
+    /// configuration.
+    pub config_hash: u64,
     /// How the job ended.
     pub outcome: JobOutcome,
     /// Whether a definitive verdict carried a checked certificate.
@@ -121,6 +138,8 @@ pub struct JobRecord {
     pub cpu_seconds: Option<f64>,
     /// Which worker thread ran the job.
     pub worker: usize,
+    /// Per-job metrics snapshot, when the batch collects metrics.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl JobRecord {
@@ -137,17 +156,25 @@ impl JobRecord {
             Some(s) => format!("{s:.6}"),
             None => "null".to_string(),
         };
+        let metrics = match &self.metrics {
+            Some(snapshot) => snapshot.to_json_compact(),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"index\":{},\"job\":\"{}\",\"outcome\":\"{}\",\"certified\":{},\
-             \"wall_s\":{:.6},\"cpu_s\":{},\"worker\":{},\"detail\":{}}}",
+            "{{\"index\":{},\"job\":\"{}\",\"entry\":\"{}\",\"config\":\"{:016x}\",\
+             \"outcome\":\"{}\",\"certified\":{},\
+             \"wall_s\":{:.6},\"cpu_s\":{},\"worker\":{},\"detail\":{},\"metrics\":{}}}",
             self.index,
             escape_json(&self.name),
+            escape_json(&self.entry),
+            self.config_hash,
             self.outcome.code(),
             self.certified,
             self.wall_seconds,
             cpu,
             self.worker,
-            detail
+            detail,
+            metrics
         )
     }
 }
@@ -171,6 +198,44 @@ pub struct BatchSummary {
     pub unsolved: usize,
     /// Number of jobs that panicked or failed certification.
     pub failed: usize,
+    /// Merged metrics over every job's snapshot (counters summed,
+    /// gauges maxed), when the batch collected metrics.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// Identity of the configuration a batch ran under, stamped into every
+/// [`JobRecord`] (deck-entry name + config fingerprint).
+#[derive(Clone, Debug, Default)]
+pub struct BatchTag {
+    /// Deck-entry name.
+    pub entry: String,
+    /// [`HqsConfig::fingerprint`] of the configuration.
+    pub config_hash: u64,
+}
+
+/// What one executed job produced before timing and identity are
+/// attached: outcome, certification flag, optional metrics snapshot.
+///
+/// Plain `(JobOutcome, bool)` pairs convert via `Into`, so metric-less
+/// runners (and the scheduler tests) stay terse.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Whether a definitive verdict carried a checked certificate.
+    pub certified: bool,
+    /// The job's metrics, when collected.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+impl From<(JobOutcome, bool)> for JobResult {
+    fn from((outcome, certified): (JobOutcome, bool)) -> Self {
+        JobResult {
+            outcome,
+            certified,
+            metrics: None,
+        }
+    }
 }
 
 /// The sharded work-stealing queue of job indices.
@@ -291,23 +356,27 @@ fn thread_cpu_seconds() -> Option<f64> {
 
 /// Runs a batch of generic jobs through the work-stealing scheduler.
 ///
-/// This is the seam under [`run_batch`]: `runner` maps a job index to an
-/// outcome (plus a `certified` flag) and may panic — panics are caught at
-/// the job boundary and become [`JobOutcome::Panicked`]. `observer` is
-/// called once per finished job from the worker thread that ran it (so a
-/// JSONL stream can be written live); it must be `Sync`.
+/// This is the seam under [`run_batch`]: `runner` maps a job index to a
+/// [`JobResult`] (anything `Into<JobResult>`, so `(JobOutcome, bool)`
+/// pairs work) and may panic — panics are caught at the job boundary and
+/// become [`JobOutcome::Panicked`]. `tag` identifies the configuration
+/// and is copied into every record. `observer` is called once per
+/// finished job from the worker thread that ran it (so a JSONL stream
+/// can be written live); it must be `Sync`.
 ///
 /// Tests use this entry point to inject panicking or sleeping jobs
 /// without constructing formulas.
-pub fn run_batch_with<F>(
+pub fn run_batch_with<F, R>(
     names: &[String],
     workers: usize,
     cancel: &CancelToken,
+    tag: &BatchTag,
     runner: F,
     observer: &(dyn Fn(&JobRecord) + Sync),
 ) -> BatchSummary
 where
-    F: Fn(usize) -> (JobOutcome, bool) + Sync,
+    F: Fn(usize) -> R + Sync,
+    R: Into<JobResult>,
 {
     let started = Instant::now();
     let workers = workers.max(1);
@@ -322,9 +391,9 @@ where
         let name = names.get(index).cloned().unwrap_or_default();
         let wall_start = Instant::now();
         let cpu_start = thread_cpu_seconds();
-        let (outcome, certified) = match catch_unwind(AssertUnwindSafe(|| runner(index))) {
-            Ok(pair) => pair,
-            Err(panic) => (JobOutcome::Panicked(panic_message(panic.as_ref())), false),
+        let result: JobResult = match catch_unwind(AssertUnwindSafe(|| runner(index))) {
+            Ok(produced) => produced.into(),
+            Err(panic) => (JobOutcome::Panicked(panic_message(panic.as_ref())), false).into(),
         };
         let cpu_seconds = match (cpu_start, thread_cpu_seconds()) {
             (Some(a), Some(b)) => Some((b - a).max(0.0)),
@@ -333,11 +402,14 @@ where
         let record = JobRecord {
             index,
             name,
-            outcome,
-            certified,
+            entry: tag.entry.clone(),
+            config_hash: tag.config_hash,
+            outcome: result.outcome,
+            certified: result.certified,
             wall_seconds: wall_start.elapsed().as_secs_f64(),
             cpu_seconds,
             worker,
+            metrics: result.metrics,
         };
         observer(&record);
         if let Some(slot) = results.get(index) {
@@ -359,11 +431,14 @@ where
         let record = lock_result(slot).take().unwrap_or_else(|| JobRecord {
             index,
             name: names.get(index).cloned().unwrap_or_default(),
+            entry: tag.entry.clone(),
+            config_hash: tag.config_hash,
             outcome: JobOutcome::Limit(Exhaustion::Cancelled),
             certified: false,
             wall_seconds: 0.0,
             cpu_seconds: None,
             worker: 0,
+            metrics: None,
         });
         records.push(record);
     }
@@ -384,6 +459,16 @@ where
         .iter()
         .filter(|r| matches!(r.outcome, JobOutcome::Panicked(_) | JobOutcome::Error(_)))
         .count();
+    let mut metrics: Option<MetricsSnapshot> = None;
+    for record in &records {
+        let Some(snapshot) = &record.metrics else {
+            continue;
+        };
+        match &mut metrics {
+            Some(merged) => merged.merge(snapshot),
+            None => metrics = Some(snapshot.clone()),
+        }
+    }
     BatchSummary {
         records,
         wall_seconds: started.elapsed().as_secs_f64(),
@@ -392,6 +477,7 @@ where
         unsat,
         unsolved,
         failed,
+        metrics,
     }
 }
 
@@ -416,12 +502,17 @@ pub fn run_batch(
     observer: &(dyn Fn(&JobRecord) + Sync),
 ) -> BatchSummary {
     let names: Vec<String> = jobs.iter().map(|j| j.name.clone()).collect();
-    let runner = |index: usize| -> (JobOutcome, bool) {
+    let tag = BatchTag {
+        entry: opts.entry_name.clone(),
+        config_hash: opts.config.fingerprint(),
+    };
+    let runner = |index: usize| -> JobResult {
         let Some(job) = jobs.get(index) else {
             return (
                 JobOutcome::Error("job index out of range".to_string()),
                 false,
-            );
+            )
+                .into();
         };
         let mut budget = Budget::new().with_cancel_token(opts.cancel.clone());
         if let Some(timeout) = opts.job_timeout {
@@ -432,36 +523,60 @@ pub fn run_batch(
         }
         let mut config = opts.config.clone();
         config.budget = budget;
-        solve_one(&job.dqbf, config, opts.certify)
+        solve_one(&job.dqbf, config, opts.certify, opts.collect_metrics)
     };
-    run_batch_with(&names, opts.workers, &opts.cancel, runner, observer)
+    run_batch_with(&names, opts.workers, &opts.cancel, &tag, runner, observer)
 }
 
-/// Solves a single formula to a [`JobOutcome`], certifying when asked.
-fn solve_one(dqbf: &Dqbf, mut config: HqsConfig, certify: bool) -> (JobOutcome, bool) {
-    if !certify {
-        let mut solver = HqsSolver::with_config(config);
-        return (outcome_of(solver.solve(dqbf)), false);
+/// Solves a single formula to a [`JobResult`], certifying and collecting
+/// metrics when asked.
+fn solve_one(
+    dqbf: &Dqbf,
+    mut config: HqsConfig,
+    certify: bool,
+    collect_metrics: bool,
+) -> JobResult {
+    let metrics = collect_metrics.then(|| Arc::new(MetricsObserver::new()));
+    if certify {
+        config.certify = true;
     }
-    config.certify = true;
-    let mut solver = HqsSolver::with_config(config);
-    match solver.solve_certified(dqbf) {
-        Ok(CertifiedOutcome::Sat(_)) => (JobOutcome::Sat, true),
-        Ok(CertifiedOutcome::Unsat(_)) => (JobOutcome::Unsat, true),
-        Ok(CertifiedOutcome::Limit(e)) => (JobOutcome::Limit(e), false),
-        // Too many universals to expand a certificate; keep the plain
-        // verdict and report it uncertified.
-        Err(CertifyError::TooLarge) => (outcome_of(solver.solve(dqbf)), false),
-        Err(error) => (JobOutcome::Error(error.to_string()), false),
+    let mut builder = Session::builder().config(config);
+    if let Some(observer) = &metrics {
+        builder = builder.observer(Arc::clone(observer) as _);
+    }
+    let mut session = match builder.build() {
+        Ok(session) => session,
+        // A config the validator rejects is a broken deck entry, not a
+        // property of the formula; report it per-job like a
+        // certification failure.
+        Err(error) => return (JobOutcome::Error(error.to_string()), false).into(),
+    };
+    let (outcome, certified) = if certify {
+        match session.solve_certified(dqbf) {
+            Ok(CertifiedOutcome::Sat(_)) => (JobOutcome::Sat, true),
+            Ok(CertifiedOutcome::Unsat(_)) => (JobOutcome::Unsat, true),
+            Ok(CertifiedOutcome::Limit(e)) => (JobOutcome::Limit(e), false),
+            // Too many universals to expand a certificate; keep the plain
+            // verdict and report it uncertified.
+            Err(CertifyError::TooLarge) => (outcome_of(session.solve(dqbf)), false),
+            Err(error) => (JobOutcome::Error(error.to_string()), false),
+        }
+    } else {
+        (outcome_of(session.solve(dqbf)), false)
+    };
+    JobResult {
+        outcome,
+        certified,
+        metrics: metrics.map(|observer| observer.snapshot()),
     }
 }
 
 /// Maps a solver verdict to a job outcome.
-fn outcome_of(result: DqbfResult) -> JobOutcome {
+fn outcome_of(result: Outcome) -> JobOutcome {
     match result {
-        DqbfResult::Sat => JobOutcome::Sat,
-        DqbfResult::Unsat => JobOutcome::Unsat,
-        DqbfResult::Limit(e) => JobOutcome::Limit(e),
+        Outcome::Sat => JobOutcome::Sat,
+        Outcome::Unsat => JobOutcome::Unsat,
+        Outcome::Unknown(e) => JobOutcome::Limit(e),
     }
 }
 
@@ -498,17 +613,21 @@ mod tests {
         let record = JobRecord {
             index: 3,
             name: "a\"b.dqdimacs".to_string(),
+            entry: "fraig-light".to_string(),
+            config_hash: 0x1234_5678_9abc_def0,
             outcome: JobOutcome::Limit(Exhaustion::Timeout),
             certified: false,
             wall_seconds: 1.25,
             cpu_seconds: Some(0.5),
             worker: 1,
+            metrics: None,
         };
         assert_eq!(
             record.to_jsonl(),
-            "{\"index\":3,\"job\":\"a\\\"b.dqdimacs\",\"outcome\":\"TIMEOUT\",\
+            "{\"index\":3,\"job\":\"a\\\"b.dqdimacs\",\"entry\":\"fraig-light\",\
+             \"config\":\"123456789abcdef0\",\"outcome\":\"TIMEOUT\",\
              \"certified\":false,\"wall_s\":1.250000,\"cpu_s\":0.500000,\
-             \"worker\":1,\"detail\":null}"
+             \"worker\":1,\"detail\":null,\"metrics\":null}"
         );
     }
 }

@@ -3,10 +3,11 @@
 //! isolation and deterministic reproducibility.
 
 use hqs_base::{CancelToken, Exhaustion};
-use hqs_core::{Dqbf, DqbfResult};
+use hqs_core::{Dqbf, Outcome};
 use hqs_engine::{
     run_batch, run_batch_with, run_custom_portfolio, solve_portfolio, standard_deck, BatchJob,
-    BatchOptions, EngineError, JobOutcome, PortfolioOptions, PortfolioTask, WorkerVerdict,
+    BatchOptions, BatchTag, EngineError, JobOutcome, PortfolioOptions, PortfolioTask,
+    WorkerVerdict,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -32,12 +33,12 @@ fn race_mode_solves_sat_and_unsat() {
     let deck = standard_deck();
 
     let sat = solve_portfolio(&parse(SAT_DQDIMACS), &deck, &opts).expect("no engine error");
-    assert_eq!(sat.result, DqbfResult::Sat);
+    assert_eq!(sat.result, Outcome::Sat);
     assert!(sat.winner.is_some());
     assert_eq!(sat.reports.len(), deck.len());
 
     let unsat = solve_portfolio(&parse(UNSAT_DQDIMACS), &deck, &opts).expect("no engine error");
-    assert_eq!(unsat.result, DqbfResult::Unsat);
+    assert_eq!(unsat.result, Outcome::Unsat);
     assert!(unsat.winner_name.is_some());
 }
 
@@ -52,7 +53,7 @@ fn deterministic_portfolio_is_reproducible_over_ten_runs() {
     let mut winners = Vec::new();
     for _ in 0..10 {
         let outcome = solve_portfolio(&parse(SAT_DQDIMACS), &deck, &opts).expect("no engine error");
-        assert_eq!(outcome.result, DqbfResult::Sat);
+        assert_eq!(outcome.result, Outcome::Sat);
         winners.push((outcome.winner, outcome.winner_name.clone()));
     }
     let first = winners.first().cloned().expect("ten runs happened");
@@ -75,7 +76,7 @@ fn certified_portfolio_reports_a_checked_certificate() {
         ..PortfolioOptions::default()
     };
     let outcome = solve_portfolio(&parse(SAT_DQDIMACS), &deck, &opts).expect("no engine error");
-    assert_eq!(outcome.result, DqbfResult::Sat);
+    assert_eq!(outcome.result, Outcome::Sat);
     assert!(
         outcome.certified,
         "winner's verdict must carry a certificate"
@@ -87,7 +88,7 @@ fn certified_portfolio_reports_a_checked_certificate() {
 /// a winner.
 #[test]
 fn lying_workers_raise_a_disagreement() {
-    let liar = |name: &str, verdict: DqbfResult| PortfolioTask {
+    let liar = |name: &str, verdict: Outcome| PortfolioTask {
         name: name.to_string(),
         detail: format!("mock-config-{name}"),
         run: Box::new(move |_budget| {
@@ -98,8 +99,8 @@ fn lying_workers_raise_a_disagreement() {
         }),
     };
     let tasks = vec![
-        liar("liar-sat", DqbfResult::Sat),
-        liar("liar-unsat", DqbfResult::Unsat),
+        liar("liar-sat", Outcome::Sat),
+        liar("liar-unsat", Outcome::Unsat),
     ];
     let opts = PortfolioOptions {
         threads: 2,
@@ -136,7 +137,7 @@ fn panicking_worker_is_reported_not_propagated() {
             detail: String::new(),
             run: Box::new(|_budget| {
                 Ok(WorkerVerdict {
-                    result: DqbfResult::Sat,
+                    result: Outcome::Sat,
                     certified: false,
                 })
             }),
@@ -168,7 +169,7 @@ fn cancellation_reaches_a_busy_loser_quickly() {
             run: Box::new(|_budget| {
                 std::thread::sleep(Duration::from_millis(50));
                 Ok(WorkerVerdict {
-                    result: DqbfResult::Unsat,
+                    result: Outcome::Unsat,
                     certified: false,
                 })
             }),
@@ -183,14 +184,14 @@ fn cancellation_reaches_a_busy_loser_quickly() {
                 while start.elapsed() < Duration::from_secs(30) {
                     if budget.stop_requested() {
                         return Ok(WorkerVerdict {
-                            result: DqbfResult::Limit(budget.stop_reason()),
+                            result: Outcome::Unknown(budget.stop_reason()),
                             certified: false,
                         });
                     }
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 Ok(WorkerVerdict {
-                    result: DqbfResult::Limit(Exhaustion::Timeout),
+                    result: Outcome::Unknown(Exhaustion::Timeout),
                     certified: false,
                 })
             }),
@@ -203,7 +204,7 @@ fn cancellation_reaches_a_busy_loser_quickly() {
     let started = Instant::now();
     let outcome = run_custom_portfolio(tasks, &opts).expect("no engine error");
     let elapsed = started.elapsed();
-    assert_eq!(outcome.result, DqbfResult::Unsat);
+    assert_eq!(outcome.result, Outcome::Unsat);
     assert_eq!(outcome.winner_name.as_deref(), Some("fast-winner"));
     assert!(
         elapsed < Duration::from_secs(5),
@@ -214,7 +215,7 @@ fn cancellation_reaches_a_busy_loser_quickly() {
         .iter()
         .find(|r| r.name == "busy-loser")
         .expect("loser reported");
-    assert_eq!(loser.result, DqbfResult::Limit(Exhaustion::Cancelled));
+    assert_eq!(loser.result, Outcome::Unknown(Exhaustion::Cancelled));
 }
 
 #[test]
@@ -225,6 +226,7 @@ fn batch_isolates_a_panicking_job() {
         &names,
         2,
         &cancel,
+        &BatchTag::default(),
         |index| {
             if index == 2 {
                 panic!("job 2 exploded");
@@ -294,13 +296,99 @@ fn pre_cancelled_batch_dispatches_nothing() {
     let names: Vec<String> = (0..8).map(|i| format!("job-{i}")).collect();
     let cancel = CancelToken::new();
     cancel.cancel("batch aborted before start");
-    let summary = run_batch_with(&names, 4, &cancel, |_| (JobOutcome::Sat, false), &|_| {});
+    let summary = run_batch_with(
+        &names,
+        4,
+        &cancel,
+        &BatchTag::default(),
+        |_| (JobOutcome::Sat, false),
+        &|_| {},
+    );
     assert_eq!(summary.sat, 0);
     assert_eq!(summary.unsolved, 8);
     assert!(summary
         .records
         .iter()
         .all(|r| r.outcome == JobOutcome::Limit(Exhaustion::Cancelled)));
+}
+
+#[test]
+fn batch_collects_and_merges_per_job_metrics() {
+    let jobs = vec![
+        BatchJob {
+            name: "sat".to_string(),
+            dqbf: parse(SAT_DQDIMACS),
+        },
+        BatchJob {
+            name: "unsat".to_string(),
+            dqbf: parse(UNSAT_DQDIMACS),
+        },
+    ];
+    let opts = BatchOptions {
+        workers: 2,
+        collect_metrics: true,
+        ..BatchOptions::default()
+    };
+    let summary = run_batch(&jobs, &opts, &|_| {});
+    assert_eq!(summary.failed, 0);
+    for record in &summary.records {
+        let metrics = record
+            .metrics
+            .as_ref()
+            .expect("collect_metrics attaches a snapshot to every job");
+        // These tiny instances are decided by preprocessing, so no
+        // specific counter is guaranteed — but *something* must have
+        // been recorded (preprocessing counters, phase spans).
+        assert!(
+            metrics.values.iter().any(|(_, v)| *v > 0),
+            "{}: solving must record some metric",
+            record.name
+        );
+        assert!(!metrics.spans.is_empty(), "{}: spans expected", record.name);
+        // The per-job snapshot also rides into the JSONL line.
+        assert!(record.to_jsonl().contains("\"metrics\":{"));
+    }
+    let merged = summary.metrics.expect("summary carries merged metrics");
+    for &metric in hqs_obs::Metric::ALL {
+        if metric.kind() != hqs_obs::MetricKind::Counter {
+            continue;
+        }
+        let per_job: u64 = summary
+            .records
+            .iter()
+            .filter_map(|r| r.metrics.as_ref())
+            .map(|m| m.counter(metric))
+            .sum();
+        assert_eq!(
+            merged.counter(metric),
+            per_job,
+            "merged {} must equal the per-job sum",
+            metric.name()
+        );
+    }
+}
+
+#[test]
+fn portfolio_aggregates_metrics_across_workers() {
+    let observer = std::sync::Arc::new(hqs_obs::MetricsObserver::new());
+    let opts = PortfolioOptions {
+        threads: 4,
+        deterministic: true,
+        observer: hqs_obs::Obs::attached(observer.clone()),
+        ..PortfolioOptions::default()
+    };
+    let outcome =
+        solve_portfolio(&parse(SAT_DQDIMACS), &standard_deck(), &opts).expect("no engine error");
+    assert_eq!(outcome.result, Outcome::Sat);
+    let snapshot = observer.snapshot();
+    assert!(
+        snapshot.counter(hqs_obs::Metric::SatCalls) > 0,
+        "racing eight workers must record SAT calls"
+    );
+    assert!(
+        !snapshot.spans.is_empty(),
+        "worker sessions must record phase spans"
+    );
 }
 
 #[test]

@@ -363,7 +363,7 @@ mod tests {
     #[test]
     fn agrees_with_hqs() {
         use hqs_base::Rng;
-        use hqs_core::HqsSolver;
+        use hqs_core::{Outcome, Session};
         let mut rng = Rng::seed_from_u64(888);
         for _ in 0..40 {
             let mut d = Dqbf::new();
@@ -381,8 +381,11 @@ mod tests {
                     .collect();
                 d.add_clause(lits);
             }
-            let idq = InstantiationSolver::new().solve(&d);
-            let hqs = HqsSolver::new().solve(&d);
+            let idq = Outcome::from(InstantiationSolver::new().solve(&d));
+            let hqs = Session::builder()
+                .build()
+                .expect("defaults are valid")
+                .solve(&d);
             assert_eq!(idq, hqs, "{d:?}");
         }
     }

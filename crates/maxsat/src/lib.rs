@@ -41,6 +41,7 @@ pub use fumalik::FuMalikSolver;
 pub use totalizer::Totalizer;
 
 use hqs_base::{Assignment, Lit, Var};
+use hqs_obs::{Metric, Obs};
 use hqs_sat::{SolveResult, Solver};
 
 /// Result of a [`MaxSatSolver::solve`] call.
@@ -69,6 +70,7 @@ pub struct MaxSatSolver {
     /// One relaxation literal per soft clause; the soft clause is violated
     /// iff its relaxation literal is true.
     relaxers: Vec<Lit>,
+    obs: Obs,
 }
 
 impl MaxSatSolver {
@@ -76,6 +78,14 @@ impl MaxSatSolver {
     #[must_use]
     pub fn new() -> Self {
         MaxSatSolver::default()
+    }
+
+    /// Attaches an observability handle: each [`solve`](MaxSatSolver::solve)
+    /// then counts itself and its soft-clause load, and the inner CDCL
+    /// solver reports its own conflict/propagation counters.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.sat.set_observer(obs.clone());
+        self.obs = obs;
     }
 
     /// Allocates a fresh problem variable.
@@ -140,6 +150,9 @@ impl MaxSatSolver {
     /// literals is tightened one step at a time under assumptions until the
     /// bound becomes unsatisfiable.
     pub fn solve(&mut self) -> MaxSatResult {
+        self.obs.add(Metric::MaxSatCalls, 1);
+        self.obs
+            .add(Metric::MaxSatSoftClauses, self.relaxers.len() as u64);
         match self.sat.solve() {
             SolveResult::Unsat => return MaxSatResult::Unsatisfiable,
             SolveResult::Sat => {}

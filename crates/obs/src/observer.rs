@@ -1,0 +1,270 @@
+//! The `Observer` trait and the cheap `Obs` handle the solvers hold.
+
+use crate::metric::{Metric, Phase};
+use std::cell::Cell;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A sink for solver events.
+///
+/// All methods default to no-ops so implementations only override what
+/// they store; [`NoopObserver`] overrides nothing and is the "attached
+/// but inert" observer used to verify instrumentation cannot perturb a
+/// solve. The standard implementation is
+/// [`MetricsObserver`](crate::MetricsObserver).
+///
+/// Implementations must be `Send + Sync`: the portfolio engine shares
+/// one observer between racing workers, and the batch scheduler calls in
+/// from worker threads.
+pub trait Observer: Send + Sync {
+    /// Adds `delta` to a counter metric.
+    fn counter_add(&self, metric: Metric, delta: u64) {
+        let _ = (metric, delta);
+    }
+
+    /// Raises a gauge metric to at least `value`.
+    fn gauge_max(&self, metric: Metric, value: u64) {
+        let _ = (metric, value);
+    }
+
+    /// Records a finished phase span.
+    ///
+    /// `start`/`end` are monotonic timestamps; `tid` is a stable per
+    /// OS-thread identifier and `depth` the span-nesting depth on that
+    /// thread (0 = outermost), from which exporters rebuild the tree.
+    fn span_record(&self, phase: Phase, start: Instant, end: Instant, tid: u64, depth: u32) {
+        let _ = (phase, start, end, tid, depth);
+    }
+}
+
+/// An observer that stores nothing.
+///
+/// Attaching it exercises the *enabled* instrumentation path (clock
+/// reads, depth tracking) without any storage, which is what the
+/// "observer must not perturb the solve" tests race against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {}
+
+thread_local! {
+    /// Span-nesting depth of the current thread (enabled handles only).
+    static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Cached per-thread identifier (hash of [`std::thread::ThreadId`]);
+    /// `u64::MAX` means "not yet computed".
+    static THREAD_TAG: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+/// A stable small identifier for the current OS thread.
+fn thread_tag() -> u64 {
+    THREAD_TAG.with(|tag| {
+        let cached = tag.get();
+        if cached != u64::MAX {
+            return cached;
+        }
+        let mut hasher = DefaultHasher::new();
+        std::thread::current().id().hash(&mut hasher);
+        // Reserve the sentinel; collisions merely merge two trace rows.
+        let fresh = hasher.finish() & (u64::MAX >> 1);
+        tag.set(fresh);
+        fresh
+    })
+}
+
+/// The handle every instrumented component holds.
+///
+/// `Obs` is either *disabled* (the default — every emit is a branch on
+/// `None`, with no allocation, atomics or clock reads) or *attached* to
+/// a shared [`Observer`]. Cloning shares the observer, so one handle
+/// fans out through a whole solver pipeline.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<dyn Observer>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// The disabled handle: every emit is a no-op branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    /// A handle attached to `observer`.
+    #[must_use]
+    pub fn attached(observer: Arc<dyn Observer>) -> Self {
+        Obs {
+            inner: Some(observer),
+        }
+    }
+
+    /// Whether an observer is attached.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The attached observer, if any — for re-attaching the same sink
+    /// through a builder (the engine hands its shared observer to every
+    /// worker session this way).
+    #[must_use]
+    pub fn observer(&self) -> Option<Arc<dyn Observer>> {
+        self.inner.clone()
+    }
+
+    /// Adds `delta` to a counter metric. No-op when disabled.
+    #[inline]
+    pub fn add(&self, metric: Metric, delta: u64) {
+        if let Some(observer) = &self.inner {
+            observer.counter_add(metric, delta);
+        }
+    }
+
+    /// Raises a gauge to at least `value`. No-op when disabled.
+    #[inline]
+    pub fn gauge_max(&self, metric: Metric, value: u64) {
+        if let Some(observer) = &self.inner {
+            observer.gauge_max(metric, value);
+        }
+    }
+
+    /// Opens a phase span, closed (and recorded) when the guard drops.
+    ///
+    /// Disabled handles return an inert guard without reading the clock.
+    #[must_use]
+    pub fn span(&self, phase: Phase) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard { active: None },
+            Some(observer) => {
+                let depth = SPAN_DEPTH.with(|d| {
+                    let depth = d.get();
+                    d.set(depth.saturating_add(1));
+                    depth
+                });
+                SpanGuard {
+                    active: Some(ActiveSpan {
+                        observer: Arc::clone(observer),
+                        phase,
+                        start: Instant::now(),
+                        tid: thread_tag(),
+                        depth,
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// The live state of an open span (enabled handles only).
+struct ActiveSpan {
+    observer: Arc<dyn Observer>,
+    phase: Phase,
+    start: Instant,
+    tid: u64,
+    depth: u32,
+}
+
+/// An RAII guard that records its phase span when dropped.
+///
+/// Returned by [`Obs::span`]; hold it for the duration of the phase
+/// (`let _guard = obs.span(…)`).
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Closes the span *without* recording it.
+    ///
+    /// For probe-style phases that may turn out to be no-ops (e.g. "try
+    /// one existential elimination"): open the span, and cancel it on
+    /// the path where nothing happened so traces only show real work.
+    pub fn cancel(mut self) {
+        if self.active.take().is_some() {
+            SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(span) = self.active.take() {
+            SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            span.observer
+                .span_record(span.phase, span.start, Instant::now(), span.tid, span.depth);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Recording {
+        counters: Mutex<Vec<(Metric, u64)>>,
+        spans: Mutex<Vec<(Phase, u32)>>,
+    }
+
+    impl Observer for Recording {
+        fn counter_add(&self, metric: Metric, delta: u64) {
+            if let Ok(mut log) = self.counters.lock() {
+                log.push((metric, delta));
+            }
+        }
+
+        fn span_record(&self, phase: Phase, _s: Instant, _e: Instant, _tid: u64, depth: u32) {
+            if let Ok(mut log) = self.spans.lock() {
+                log.push((phase, depth));
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.add(Metric::SatConflicts, 1);
+        obs.gauge_max(Metric::AigPeakNodes, 1);
+        drop(obs.span(Phase::Total));
+    }
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let recording = Arc::new(Recording::default());
+        let obs = Obs::attached(recording.clone());
+        {
+            let _outer = obs.span(Phase::Total);
+            {
+                let _inner = obs.span(Phase::Preprocess);
+            }
+            obs.add(Metric::SatCalls, 2);
+        }
+        let spans = recording.spans.lock().expect("span log");
+        // Inner closes first, outer second; depths reflect nesting.
+        assert_eq!(
+            spans.as_slice(),
+            &[(Phase::Preprocess, 1), (Phase::Total, 0)]
+        );
+        let counters = recording.counters.lock().expect("counter log");
+        assert_eq!(counters.as_slice(), &[(Metric::SatCalls, 2)]);
+    }
+
+    #[test]
+    fn noop_observer_accepts_everything() {
+        let obs = Obs::attached(Arc::new(NoopObserver));
+        assert!(obs.is_enabled());
+        obs.add(Metric::SatConflicts, 3);
+        let _g = obs.span(Phase::ElimLoop);
+    }
+}

@@ -463,7 +463,10 @@ mod tests {
         let dqbf = encode_pec(&spec, &imp);
         let expected = is_satisfiable_by_expansion(&dqbf);
         assert!(expected, "carved instance is realizable");
-        let hqs = hqs_core::HqsSolver::new().solve(&dqbf);
-        assert_eq!(hqs, hqs_core::DqbfResult::Sat);
+        let hqs = hqs_core::Session::builder()
+            .build()
+            .expect("defaults are valid")
+            .solve(&dqbf);
+        assert_eq!(hqs, hqs_core::Outcome::Sat);
     }
 }

@@ -462,15 +462,18 @@ fn c432(size: u32, boxed: &HashSet<u32>) -> Netlist {
 mod tests {
     use super::*;
     use hqs_core::expand::{is_satisfiable_by_expansion, MAX_EXPANSION_UNIVERSALS};
-    use hqs_core::{DqbfResult, HqsSolver};
+    use hqs_core::{Outcome, Session};
 
     /// Every family: the carved (fault-free) instance must be realizable.
     #[test]
     fn carved_instances_are_satisfiable() {
         for family in Family::ALL {
             let instance = generate(family, 2, 1, 0, false);
-            let result = HqsSolver::new().solve(&instance.dqbf);
-            assert_eq!(result, DqbfResult::Sat, "{}", instance.name);
+            let result = Session::builder()
+                .build()
+                .expect("defaults are valid")
+                .solve(&instance.dqbf);
+            assert_eq!(result, Outcome::Sat, "{}", instance.name);
         }
     }
 
@@ -485,11 +488,14 @@ mod tests {
                         continue;
                     }
                     let expected = if is_satisfiable_by_expansion(&instance.dqbf) {
-                        DqbfResult::Sat
+                        Outcome::Sat
                     } else {
-                        DqbfResult::Unsat
+                        Outcome::Unsat
                     };
-                    let got = HqsSolver::new().solve(&instance.dqbf);
+                    let got = Session::builder()
+                        .build()
+                        .expect("defaults are valid")
+                        .solve(&instance.dqbf);
                     assert_eq!(got, expected, "{}", instance.name);
                 }
             }

@@ -4,6 +4,7 @@ use crate::Prefix;
 use hqs_aig::{Aig, AigEdge, VarStatus};
 use hqs_base::{Budget, Exhaustion, Var};
 use hqs_cnf::{QdimacsFile, Quantifier};
+use hqs_obs::{Metric, Obs};
 
 /// Result of a QBF solve.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,6 +43,7 @@ pub struct QbfSolver {
     stats: QbfStats,
     /// SAT-sweep cones larger than this many AND nodes (0 disables).
     fraig_threshold: usize,
+    obs: Obs,
 }
 
 impl QbfSolver {
@@ -52,12 +54,20 @@ impl QbfSolver {
             budget: Budget::new(),
             stats: QbfStats::default(),
             fraig_threshold: 0,
+            obs: Obs::disabled(),
         }
     }
 
     /// Sets the resource budget for subsequent calls.
     pub fn set_budget(&mut self, budget: Budget) {
         self.budget = budget;
+    }
+
+    /// Attaches an observability handle; `Qbf*` counters and the
+    /// `QbfPeakNodes` gauge are flushed through it at the end of every
+    /// [`solve`](QbfSolver::solve) call.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Enables FRAIG sweeps on cones larger than `threshold` AND nodes
@@ -76,6 +86,7 @@ impl QbfSolver {
     /// outermost existentials.
     pub fn solve_file(&mut self, file: &QdimacsFile) -> QbfResult {
         let mut aig = Aig::new();
+        aig.set_observer(self.obs.clone());
         let root = aig.from_cnf(&file.matrix);
         let mut quantified: Vec<Var> = Vec::new();
         for block in &file.blocks {
@@ -98,6 +109,40 @@ impl QbfSolver {
     /// treated as outermost existentials (they survive into the final SAT
     /// check).
     pub fn solve(&mut self, aig: &mut Aig, root: AigEdge, prefix: Prefix) -> QbfResult {
+        let before = self.stats;
+        let result = self.solve_inner(aig, root, prefix);
+        self.flush_obs(before);
+        result
+    }
+
+    /// Emits the [`QbfStats`] accumulated since `before` as counter deltas
+    /// plus the peak-node gauge.
+    fn flush_obs(&self, before: QbfStats) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let s = self.stats;
+        self.obs.add(
+            Metric::QbfUniversalElims,
+            s.universal_elims.saturating_sub(before.universal_elims),
+        );
+        self.obs.add(
+            Metric::QbfExistentialElims,
+            s.existential_elims.saturating_sub(before.existential_elims),
+        );
+        self.obs.add(
+            Metric::QbfUnitPureElims,
+            s.unit_pure_elims.saturating_sub(before.unit_pure_elims),
+        );
+        self.obs.add(
+            Metric::QbfSatCalls,
+            s.sat_calls.saturating_sub(before.sat_calls),
+        );
+        self.obs
+            .gauge_max(Metric::QbfPeakNodes, s.peak_nodes as u64);
+    }
+
+    fn solve_inner(&mut self, aig: &mut Aig, root: AigEdge, prefix: Prefix) -> QbfResult {
         let mut root = root;
         let mut prefix = prefix;
         loop {
@@ -209,6 +254,7 @@ impl QbfSolver {
             .unwrap_or(0);
         let (cnf, out) = aig.to_cnf(root, first_aux);
         let mut solver = hqs_sat::Solver::new();
+        solver.set_observer(self.obs.clone());
         solver.set_cancel_token(self.budget.cancel_token().cloned());
         solver.add_cnf(&cnf);
         solver.add_clause([out]);

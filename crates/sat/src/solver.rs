@@ -5,6 +5,7 @@ use crate::luby::Luby;
 use crate::proof::ProofLogger;
 use hqs_base::{Assignment, CancelToken, Lit, Var};
 use hqs_cnf::Cnf;
+use hqs_obs::{Metric, Obs};
 use std::fmt;
 
 /// Result of a [`Solver::solve`] call.
@@ -121,6 +122,7 @@ pub struct Solver {
     /// Scratch buffer of [`Solver::compute_lbd`], reused across conflicts.
     lbd_levels: Vec<u32>,
     proof: Option<Box<dyn ProofLogger>>,
+    obs: Obs,
 }
 
 impl Default for Solver {
@@ -178,7 +180,16 @@ impl Solver {
             minimize_keep: Vec::new(),
             lbd_levels: Vec::new(),
             proof: None,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle: each solve call then reports
+    /// its call count and its conflict/propagation/decision/restart
+    /// deltas through it. Counters are flushed once per solve call —
+    /// the CDCL inner loops stay untouched.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Attaches a proof logger; every subsequently derived or deleted
@@ -432,6 +443,31 @@ impl Solver {
         self.solve_with_assumptions(&[])
     }
 
+    /// Emits the stats delta accumulated since `before` (one solve
+    /// call's worth of work) to the attached observer, if any.
+    fn flush_obs(&self, before: SolverStats) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let now = self.stats;
+        self.obs.add(
+            Metric::SatConflicts,
+            now.conflicts.saturating_sub(before.conflicts),
+        );
+        self.obs.add(
+            Metric::SatPropagations,
+            now.propagations.saturating_sub(before.propagations),
+        );
+        self.obs.add(
+            Metric::SatDecisions,
+            now.decisions.saturating_sub(before.decisions),
+        );
+        self.obs.add(
+            Metric::SatRestarts,
+            now.restarts.saturating_sub(before.restarts),
+        );
+    }
+
     /// Solves in conflict-bounded rounds, calling `should_stop` between
     /// rounds; returns [`SolveResult::Unknown`] once it yields `true`.
     ///
@@ -444,9 +480,10 @@ impl Solver {
         mut should_stop: impl FnMut() -> bool,
     ) -> SolveResult {
         const ROUND: u64 = 10_000;
+        self.obs.add(Metric::SatCalls, 1);
         loop {
             self.set_conflict_budget(Some(ROUND));
-            match self.solve_with_assumptions(assumptions) {
+            match self.solve_rounds(assumptions) {
                 SolveResult::Unknown => {
                     if should_stop() {
                         self.set_conflict_budget(None);
@@ -463,6 +500,15 @@ impl Solver {
 
     /// Solves under the given assumptions.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.obs.add(Metric::SatCalls, 1);
+        self.solve_rounds(assumptions)
+    }
+
+    /// The CDCL run itself; [`Solver::solve_with_assumptions`] counts a
+    /// call around it, [`Solver::solve_interruptible`] counts one call
+    /// around *all* its conflict-bounded rounds.
+    fn solve_rounds(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let stats_before = self.stats;
         self.failed.clear();
         self.model.clear();
         if !self.ok {
@@ -549,6 +595,7 @@ impl Solver {
         };
         self.cancel_until(0);
         self.debug_audit("after solve");
+        self.flush_obs(stats_before);
         result
     }
 

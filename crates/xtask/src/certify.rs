@@ -2,7 +2,7 @@
 //!
 //! Runs a corpus of DQBF instances — the small PEC smoke benchmarks plus a
 //! deterministic random sweep — through
-//! [`HqsSolver::solve_certified`](hqs_core::HqsSolver::solve_certified), so
+//! [`Session::solve_certified`](hqs_core::Session::solve_certified), so
 //! every SAT verdict must ship a verifying Skolem certificate and every
 //! UNSAT verdict a refutation whose DRAT proof is accepted by the
 //! independent `hqs-proof` checker. It then corrupts known-good
@@ -12,7 +12,7 @@
 
 use hqs_base::{Lit, Var};
 use hqs_core::random::RandomDqbf;
-use hqs_core::{extract_refutation, extract_skolem, CertifiedOutcome, Dqbf, HqsConfig, HqsSolver};
+use hqs_core::{extract_refutation, extract_skolem, CertifiedOutcome, Dqbf, HqsConfig, Session};
 use hqs_pec::{benchmark_suite, Scale};
 use std::process::ExitCode;
 
@@ -33,12 +33,22 @@ pub fn run() -> ExitCode {
     let (mut sat, mut unsat, mut limit) = (0usize, 0usize, 0usize);
 
     for (name, dqbf) in corpus() {
-        let mut solver = HqsSolver::with_config(HqsConfig {
-            certify: true,
-            initial_sat_check: true,
-            ..HqsConfig::default()
-        });
-        match solver.solve_certified(&dqbf) {
+        let mut session = match Session::builder()
+            .config(HqsConfig {
+                certify: true,
+                initial_sat_check: true,
+                ..HqsConfig::default()
+            })
+            .build()
+        {
+            Ok(session) => session,
+            Err(error) => {
+                failures += 1;
+                eprintln!("certify: {name}: invalid config: {error}");
+                continue;
+            }
+        };
+        match session.solve_certified(&dqbf) {
             Ok(CertifiedOutcome::Sat(cert)) => {
                 sat += 1;
                 println!(

@@ -8,7 +8,7 @@
 //! ```
 
 use hqs::cnf::dimacs;
-use hqs::{Dqbf, DqbfResult, HqsSolver};
+use hqs::{Dqbf, Outcome, Session};
 use std::process::ExitCode;
 
 const DEMO: &str = "\
@@ -52,9 +52,9 @@ fn main() -> ExitCode {
         dqbf.existentials().len(),
         dqbf.matrix().clauses().len()
     );
-    let mut solver = HqsSolver::new();
-    let result = solver.solve(&dqbf);
-    let stats = solver.stats();
+    let mut session = Session::builder().build().expect("defaults are valid");
+    let result = session.solve(&dqbf);
+    let stats = session.stats();
     println!(
         "preprocessing: {} units, {} universal reductions, {} pures, \
          {} equivalences, {} gates",
@@ -77,17 +77,9 @@ fn main() -> ExitCode {
     );
     // Standard (Q)DIMACS-style exit codes: 10 = SAT, 20 = UNSAT.
     match result {
-        DqbfResult::Sat => {
-            println!("s cnf SAT");
-            ExitCode::from(10)
-        }
-        DqbfResult::Unsat => {
-            println!("s cnf UNSAT");
-            ExitCode::from(20)
-        }
-        DqbfResult::Limit(e) => {
-            println!("s cnf UNKNOWN ({e:?})");
-            ExitCode::FAILURE
-        }
+        Outcome::Sat => println!("s cnf SAT"),
+        Outcome::Unsat => println!("s cnf UNSAT"),
+        Outcome::Unknown(e) => println!("s cnf UNKNOWN ({e})"),
     }
+    ExitCode::from(u8::try_from(result.to_exit_code()).unwrap_or(1))
 }

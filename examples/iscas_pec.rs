@@ -14,7 +14,7 @@ use hqs::core::skolem::extract_skolem;
 use hqs::pec::bench_format::{parse_bench, C17};
 use hqs::pec::encode::encode_pec;
 use hqs::pec::Signal;
-use hqs::{DqbfResult, HqsSolver};
+use hqs::{Outcome, Session};
 
 fn main() {
     let c17 = parse_bench(C17).expect("embedded c17 parses");
@@ -43,9 +43,10 @@ fn main() {
         dqbf.existentials().len(),
         dqbf.matrix().clauses().len()
     );
-    let verdict = HqsSolver::new().solve(&dqbf);
+    let mut session = Session::builder().build().expect("defaults are valid");
+    let verdict = session.solve(&dqbf);
     println!("realizable against the original c17? {verdict:?}");
-    assert_eq!(verdict, DqbfResult::Sat);
+    assert_eq!(verdict, Outcome::Sat);
 
     // The Skolem certificate is the synthesized replacement logic.
     let certificate = extract_skolem(&dqbf).expect("realizable");
@@ -59,6 +60,6 @@ fn main() {
     let fault_site = *c17.outputs().last().expect("c17 has outputs");
     let faulted = c17.with_fault(fault_site);
     let dqbf = encode_pec(&faulted, &incomplete);
-    let verdict = HqsSolver::new().solve(&dqbf);
+    let verdict = session.solve(&dqbf);
     println!("realizable against a faulted spec? {verdict:?}");
 }

@@ -14,7 +14,7 @@
 
 use hqs::pec::encode::encode_pec;
 use hqs::pec::Netlist;
-use hqs::{DqbfResult, HqsSolver};
+use hqs::{Outcome, Session};
 
 /// Builds an n-bit ripple-carry adder; cells listed in `boxed` become
 /// black boxes observing (aᵢ, bᵢ, carryᵢ).
@@ -55,16 +55,16 @@ fn main() {
         dqbf.matrix().clauses().len()
     );
 
-    let mut solver = HqsSolver::new();
-    let verdict = solver.solve(&dqbf);
+    let mut session = Session::builder().build().expect("defaults are valid");
+    let verdict = session.solve(&dqbf);
     println!("realizable (can the black boxes be implemented)? {verdict:?}");
-    assert_eq!(verdict, DqbfResult::Sat);
+    assert_eq!(verdict, Outcome::Sat);
 
     // Fault the specification inside cell 0 (signal 9 is its a⊕b gate —
     // inputs occupy ids 0..=8). Cell 0 is not boxed, so no box
     // implementation can compensate.
     let faulty_spec = spec.with_fault(9);
     let dqbf = encode_pec(&faulty_spec, &implementation);
-    let verdict = HqsSolver::new().solve(&dqbf);
+    let verdict = session.solve(&dqbf);
     println!("realizable against the faulted spec? {verdict:?}");
 }

@@ -7,7 +7,9 @@
 
 use hqs::base::Lit;
 use hqs::core::depgraph::DepGraph;
-use hqs::{Dqbf, DqbfResult, HqsSolver};
+use hqs::obs::{MetricsObserver, Phase};
+use hqs::{Dqbf, Outcome, Session};
+use std::sync::Arc;
 
 fn main() {
     // Example 1 of the paper:
@@ -43,26 +45,33 @@ fn main() {
     // unit/pure elimination, MaxSAT-minimal elimination set). On this tiny
     // formula the preprocessor alone decides: y₁ ≡ x₁ and y₂ ≡ x₂ are
     // equivalence substitutions.
-    let mut solver = HqsSolver::new();
-    let result = solver.solve(&dqbf);
-    let stats = solver.stats();
+    let mut session = Session::builder().build().expect("defaults are valid");
+    let result = session.solve(&dqbf);
+    let stats = session.stats();
     println!("verdict: {result:?}");
     println!(
         "decided by preprocessing: {} ({} equivalence substitutions)",
         stats.decided_by_preprocessing, stats.preprocess.equivalences
     );
-    assert_eq!(result, DqbfResult::Sat);
+    assert_eq!(result, Outcome::Sat);
 
     // Disable preprocessing to watch the full pipeline: MaxSAT picks a
     // minimum elimination set, Theorem 1 eliminates a universal, and the
-    // linearised remainder goes to the QBF backend.
-    let mut solver = HqsSolver::with_config(hqs::HqsConfig {
-        preprocess: false,
-        gate_detection: false,
-        ..hqs::HqsConfig::default()
-    });
-    let result = solver.solve(&dqbf);
-    let stats = solver.stats();
+    // linearised remainder goes to the QBF backend. Attach a metrics
+    // observer to see where the time went.
+    let observer = Arc::new(MetricsObserver::new());
+    let config = hqs::HqsConfig::builder()
+        .preprocess(false)
+        .gate_detection(false)
+        .build()
+        .expect("valid configuration");
+    let mut session = Session::builder()
+        .config(config)
+        .observer(observer.clone())
+        .build()
+        .expect("valid configuration");
+    let result = session.solve(&dqbf);
+    let stats = session.stats();
     println!("without preprocessing: {result:?}");
     println!(
         "stats: {} universal eliminations, {} unit/pure eliminations, \
@@ -74,7 +83,13 @@ fn main() {
         stats.peak_nodes,
         stats.reached_qbf,
     );
-    assert_eq!(result, DqbfResult::Sat);
+    assert_eq!(result, Outcome::Sat);
+    let snapshot = observer.snapshot();
+    println!(
+        "observed: {} spans recorded, elim-loop seen: {}",
+        snapshot.spans.len(),
+        snapshot.spans.iter().any(|s| s.phase == Phase::ElimLoop),
+    );
 
     // Swap the dependencies (y₁ sees x₁ but must copy x₂): unsatisfiable.
     let mut wrong = Dqbf::new();
@@ -83,8 +98,6 @@ fn main() {
     let y1 = wrong.add_existential([x1]);
     wrong.add_clause([Lit::positive(x2), Lit::negative(y1)]);
     wrong.add_clause([Lit::negative(x2), Lit::positive(y1)]);
-    println!(
-        "with the wrong dependency set: {:?}",
-        HqsSolver::new().solve(&wrong)
-    );
+    let mut session = Session::builder().build().expect("defaults are valid");
+    println!("with the wrong dependency set: {:?}", session.solve(&wrong));
 }

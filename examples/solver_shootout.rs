@@ -11,14 +11,14 @@
 use hqs::base::Budget;
 use hqs::pec::families::generate;
 use hqs::pec::Family;
-use hqs::{DqbfResult, HqsSolver, InstantiationSolver};
+use hqs::{InstantiationSolver, Outcome, Session};
 use std::time::{Duration, Instant};
 
-fn outcome(result: DqbfResult) -> &'static str {
+fn outcome(result: Outcome) -> &'static str {
     match result {
-        DqbfResult::Sat => "SAT",
-        DqbfResult::Unsat => "UNSAT",
-        DqbfResult::Limit(_) => "--",
+        Outcome::Sat => "SAT",
+        Outcome::Unsat => "UNSAT",
+        Outcome::Unknown(_) => "--",
     }
 }
 
@@ -34,12 +34,15 @@ fn main() {
             let instance = generate(family, size, boxes, 7, fault);
 
             let start = Instant::now();
-            let mut hqs = HqsSolver::with_config(hqs::HqsConfig {
-                budget: Budget::new()
-                    .with_timeout(timeout)
-                    .with_node_limit(2_000_000),
-                ..hqs::HqsConfig::default()
-            });
+            let mut hqs = Session::builder()
+                .config(hqs::HqsConfig {
+                    budget: Budget::new()
+                        .with_timeout(timeout)
+                        .with_node_limit(2_000_000),
+                    ..hqs::HqsConfig::default()
+                })
+                .build()
+                .expect("valid configuration");
             let hqs_result = hqs.solve(&instance.dqbf);
             let hqs_time = start.elapsed().as_secs_f64();
 
@@ -50,11 +53,10 @@ fn main() {
                     .with_timeout(timeout)
                     .with_node_limit(2_000_000),
             );
-            let idq_result = idq.solve(&instance.dqbf);
+            let idq_result: Outcome = idq.solve(&instance.dqbf).into();
             let idq_time = start.elapsed().as_secs_f64();
 
-            if let (DqbfResult::Limit(_), _) | (_, DqbfResult::Limit(_)) = (hqs_result, idq_result)
-            {
+            if let (Outcome::Unknown(_), _) | (_, Outcome::Unknown(_)) = (hqs_result, idq_result) {
                 // fine: limits are expected for the baseline on larger sizes
             } else {
                 assert_eq!(hqs_result, idq_result, "solvers must agree");

@@ -13,6 +13,7 @@
 //!                                every worker finishes, lowest deck
 //!                                index with a verdict wins
 //!   --jsonl <file>               batch: also write JSONL records here
+//!   --entry <name>               batch: entry name stamped into JSONL
 //!   --strategy maxsat|all        universal-elimination strategy
 //!   --qbf-backend elim|search    QBF engine for the linearised remainder
 //!   --no-preprocess              skip CNF preprocessing
@@ -35,6 +36,12 @@
 //!                                too (small instances)
 //!   --proof <file>               with --certify: write the DRAT refutation
 //!                                of an UNSAT verdict to this file
+//!   --metrics[=json]             print solver metrics after the run: the
+//!                                human summary as `c` comment lines, or
+//!                                one stable hqs-metrics/1 JSON line
+//!   --trace-out <file.json>      write a Chrome trace-event file of the
+//!                                phase spans (load in Perfetto or
+//!                                chrome://tracing)
 //!   --stats                      print pipeline statistics
 //! ```
 //!
@@ -51,16 +58,12 @@ use hqs::core::expand;
 use hqs::core::refute;
 use hqs::core::skolem;
 use hqs::engine;
-use hqs::{Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, InstantiationSolver, QbfBackend};
+use hqs::obs::{MetricsObserver, Obs, Phase};
+use hqs::{Dqbf, HqsConfig, InstantiationSolver, Outcome, Session};
+use hqs::{ElimStrategy, QbfBackend};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
-
-/// Exit code for a definitive SAT verdict (QDIMACS convention).
-const EXIT_SAT: u8 = 10;
-/// Exit code for a definitive UNSAT verdict (QDIMACS convention).
-const EXIT_UNSAT: u8 = 20;
-/// Exit code when a resource budget stopped the solver first.
-const EXIT_UNKNOWN: u8 = 30;
 
 #[derive(Debug)]
 struct Options {
@@ -75,6 +78,8 @@ struct Options {
     portfolio: Option<String>,
     jobs: Option<usize>,
     deterministic: bool,
+    metrics: Option<MetricsFormat>,
+    trace_out: Option<String>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -84,6 +89,15 @@ enum SolverChoice {
     Expansion,
 }
 
+/// How `--metrics` renders the final snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MetricsFormat {
+    /// Human summary as `c`-prefixed comment lines.
+    Summary,
+    /// One stable `hqs-metrics/1` JSON object on its own line.
+    Json,
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: hqs [--solver hqs|idq|expansion] [--strategy maxsat|all] \
@@ -91,9 +105,9 @@ fn usage() -> ! {
          [--subsume] [--dynamic-order] [--paranoid] [--qbf-backend elim|search] \
          [--fraig N] [--timeout S] [--node-limit N] [--certify] [--proof FILE] \
          [--portfolio[=standard|small|wide]] [--jobs N] [--deterministic] \
-         [--stats] <file.dqdimacs>\n\
+         [--metrics[=json]] [--trace-out FILE] [--stats] <file.dqdimacs>\n\
          \x20      hqs batch [--jobs N] [--timeout S] [--node-limit N] [--certify] \
-         [--jsonl FILE] [solver flags] <dir>"
+         [--jsonl FILE] [--entry NAME] [--metrics[=json]] [solver flags] <dir>"
     );
     std::process::exit(2);
 }
@@ -139,6 +153,27 @@ fn apply_config_flag(
     true
 }
 
+/// Parses a `--metrics` / `--metrics=json` / `--trace-out` flag shared
+/// between the single-solve and batch parsers. Returns `false` when the
+/// flag is not an observability flag.
+fn apply_obs_flag(
+    arg: &str,
+    args: &mut impl Iterator<Item = String>,
+    metrics: &mut Option<MetricsFormat>,
+    trace_out: &mut Option<String>,
+) -> bool {
+    match arg {
+        "--metrics" => *metrics = Some(MetricsFormat::Summary),
+        "--metrics=json" => *metrics = Some(MetricsFormat::Json),
+        "--trace-out" => match args.next() {
+            Some(path) => *trace_out = Some(path),
+            None => usage(),
+        },
+        _ => return false,
+    }
+    true
+}
+
 fn parse_options(args: impl Iterator<Item = String>) -> Options {
     let mut options = Options {
         file: None,
@@ -152,10 +187,20 @@ fn parse_options(args: impl Iterator<Item = String>) -> Options {
         portfolio: None,
         jobs: None,
         deterministic: false,
+        metrics: None,
+        trace_out: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         if apply_config_flag(&arg, &mut args, &mut options.config) {
+            continue;
+        }
+        if apply_obs_flag(
+            &arg,
+            &mut args,
+            &mut options.metrics,
+            &mut options.trace_out,
+        ) {
             continue;
         }
         match arg.as_str() {
@@ -213,6 +258,19 @@ fn main() -> ExitCode {
     let Some(path) = options.file.clone() else {
         usage();
     };
+
+    // One shared recorder feeds the session, the portfolio workers and
+    // the CLI's own parse/total spans; disabled entirely when neither
+    // --metrics nor --trace-out asked for it.
+    let recorder = (options.metrics.is_some() || options.trace_out.is_some())
+        .then(|| Arc::new(MetricsObserver::new()));
+    let obs = match &recorder {
+        Some(observer) => Obs::attached(Arc::clone(observer) as _),
+        None => Obs::disabled(),
+    };
+
+    let total_span = obs.span(Phase::Total);
+    let parse_span = obs.span(Phase::Parse);
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(err) => {
@@ -228,6 +286,7 @@ fn main() -> ExitCode {
         }
     };
     let dqbf = Dqbf::from_file(&file);
+    drop(parse_span);
     println!(
         "c {} universals, {} existentials, {} clauses",
         dqbf.universals().len(),
@@ -243,26 +302,59 @@ fn main() -> ExitCode {
         budget = budget.with_node_limit(nodes);
     }
 
+    let solved = solve_command(&options, &dqbf, budget, &obs);
+    drop(total_span);
+    if let Some(recorder) = &recorder {
+        if let Err(code) = export_observations(&options, recorder) {
+            return code;
+        }
+    }
+    match solved {
+        Ok(result) => verdict_exit(result),
+        Err(code) => code,
+    }
+}
+
+/// Solves the parsed formula per the chosen procedure, including the
+/// optional post-hoc certification. `Err` carries the exit code of a
+/// failure that pre-empts the verdict line.
+fn solve_command(
+    options: &Options,
+    dqbf: &Dqbf,
+    budget: Budget,
+    obs: &Obs,
+) -> Result<Outcome, ExitCode> {
     if let Some(deck_name) = &options.portfolio {
-        return run_portfolio(&dqbf, deck_name, &options, budget);
+        return run_portfolio(dqbf, deck_name, options, budget, obs);
     }
 
     let result = match options.solver {
         SolverChoice::Hqs => {
-            let mut solver = HqsSolver::with_config(HqsConfig {
+            let config = HqsConfig {
                 budget,
-                ..options.config
-            });
-            let result = solver.solve(&dqbf);
+                ..options.config.clone()
+            };
+            let mut builder = Session::builder().config(config);
+            if let Some(observer) = obs.observer() {
+                builder = builder.observer(observer);
+            }
+            let mut session = match builder.build() {
+                Ok(session) => session,
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    return Err(ExitCode::from(2));
+                }
+            };
+            let result = session.solve(dqbf);
             if options.stats {
-                print_stats(&solver.stats());
+                print_stats(&session.stats());
             }
             result
         }
         SolverChoice::Idq => {
             let mut solver = InstantiationSolver::new();
             solver.set_budget(budget);
-            let result = solver.solve(&dqbf);
+            let result = solver.solve(dqbf).into();
             if options.stats {
                 let stats = solver.stats();
                 println!(
@@ -278,12 +370,12 @@ fn main() -> ExitCode {
                     "error: expansion limited to {} universals",
                     expand::MAX_EXPANSION_UNIVERSALS
                 );
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
-            if expand::is_satisfiable_by_expansion(&dqbf) {
-                DqbfResult::Sat
+            if expand::is_satisfiable_by_expansion(dqbf) {
+                Outcome::Sat
             } else {
-                DqbfResult::Unsat
+                Outcome::Unsat
             }
         }
     };
@@ -292,9 +384,10 @@ fn main() -> ExitCode {
         if dqbf.universals().len() > expand::MAX_EXPANSION_UNIVERSALS {
             println!("c certificate skipped: too many universals for expansion");
         } else {
+            let _certify_span = obs.span(Phase::Certify);
             match result {
-                DqbfResult::Sat => match skolem::extract_skolem(&dqbf) {
-                    Some(cert) if cert.verify_certified(&dqbf) => {
+                Outcome::Sat => match skolem::extract_skolem(dqbf) {
+                    Some(cert) if cert.verify_certified(dqbf) => {
                         println!(
                             "c certificate: {} Skolem functions, verified (proof-checked)",
                             cert.functions.len()
@@ -302,15 +395,15 @@ fn main() -> ExitCode {
                     }
                     Some(_) => {
                         eprintln!("error: certificate failed verification (bug!)");
-                        return ExitCode::FAILURE;
+                        return Err(ExitCode::FAILURE);
                     }
                     None => {
                         eprintln!("error: certification contradicts the SAT verdict (bug!)");
-                        return ExitCode::FAILURE;
+                        return Err(ExitCode::FAILURE);
                     }
                 },
-                DqbfResult::Unsat => match refute::extract_refutation(&dqbf) {
-                    Some(cert) if cert.verify(&dqbf) => {
+                Outcome::Unsat => match refute::extract_refutation(dqbf) {
+                    Some(cert) if cert.verify(dqbf) => {
                         println!(
                             "c certificate: refutation over {} expansion instances, \
                              DRAT proof accepted",
@@ -319,47 +412,62 @@ fn main() -> ExitCode {
                         if let Some(path) = &options.proof_file {
                             if let Err(err) = std::fs::write(path, &cert.drat) {
                                 eprintln!("error: cannot write {path}: {err}");
-                                return ExitCode::FAILURE;
+                                return Err(ExitCode::FAILURE);
                             }
                             println!("c proof written to {path}");
                         }
                     }
                     Some(_) => {
                         eprintln!("error: refutation certificate failed verification (bug!)");
-                        return ExitCode::FAILURE;
+                        return Err(ExitCode::FAILURE);
                     }
                     None => {
                         eprintln!("error: certification contradicts the UNSAT verdict (bug!)");
-                        return ExitCode::FAILURE;
+                        return Err(ExitCode::FAILURE);
                     }
                 },
-                DqbfResult::Limit(_) => {
+                Outcome::Unknown(_) => {
                     println!("c certificate skipped: no verdict within the budget");
                 }
             }
         }
     }
 
-    verdict_exit(result)
+    Ok(result)
 }
 
-/// Prints the `s cnf` verdict line and maps it to the documented exit
-/// code (10 SAT / 20 UNSAT / 30 UNKNOWN-budget).
-fn verdict_exit(result: DqbfResult) -> ExitCode {
-    match result {
-        DqbfResult::Sat => {
-            println!("s cnf SAT");
-            ExitCode::from(EXIT_SAT)
+/// Prints the recorded metrics per `--metrics` and writes the Chrome
+/// trace per `--trace-out`.
+fn export_observations(options: &Options, recorder: &MetricsObserver) -> Result<(), ExitCode> {
+    let snapshot = recorder.snapshot();
+    match options.metrics {
+        Some(MetricsFormat::Summary) => {
+            for line in snapshot.render_summary().lines() {
+                println!("c {line}");
+            }
         }
-        DqbfResult::Unsat => {
-            println!("s cnf UNSAT");
-            ExitCode::from(EXIT_UNSAT)
-        }
-        DqbfResult::Limit(e) => {
-            println!("s cnf UNKNOWN ({e:?})");
-            ExitCode::from(EXIT_UNKNOWN)
-        }
+        Some(MetricsFormat::Json) => println!("{}", snapshot.to_json()),
+        None => {}
     }
+    if let Some(path) = &options.trace_out {
+        if let Err(err) = std::fs::write(path, snapshot.to_chrome_trace()) {
+            eprintln!("error: cannot write {path}: {err}");
+            return Err(ExitCode::FAILURE);
+        }
+        println!("c trace written to {path}");
+    }
+    Ok(())
+}
+
+/// Prints the `s cnf` verdict line and maps the outcome to the
+/// documented exit code (10 SAT / 20 UNSAT / 30 UNKNOWN-budget).
+fn verdict_exit(result: Outcome) -> ExitCode {
+    match result {
+        Outcome::Sat => println!("s cnf SAT"),
+        Outcome::Unsat => println!("s cnf UNSAT"),
+        Outcome::Unknown(e) => println!("s cnf UNKNOWN ({e})"),
+    }
+    ExitCode::from(u8::try_from(result.to_exit_code()).unwrap_or(1))
 }
 
 /// Worker-thread default when `--jobs` is absent.
@@ -370,19 +478,26 @@ fn default_jobs() -> usize {
 }
 
 /// Races a strategy deck on the parsed formula (`--portfolio`).
-fn run_portfolio(dqbf: &Dqbf, deck_name: &str, options: &Options, budget: Budget) -> ExitCode {
+fn run_portfolio(
+    dqbf: &Dqbf,
+    deck_name: &str,
+    options: &Options,
+    budget: Budget,
+    obs: &Obs,
+) -> Result<Outcome, ExitCode> {
     let Some(deck) = engine::deck_by_name(deck_name) else {
         eprintln!(
             "error: unknown portfolio deck '{deck_name}' (have: {})",
             engine::DECK_NAMES.join(", ")
         );
-        return ExitCode::FAILURE;
+        return Err(ExitCode::FAILURE);
     };
     let opts = engine::PortfolioOptions {
         threads: options.jobs.unwrap_or_else(default_jobs),
         deterministic: options.deterministic,
         certify: options.certify,
         budget,
+        observer: obs.clone(),
     };
     match engine::solve_portfolio(dqbf, &deck, &opts) {
         Ok(outcome) => {
@@ -409,11 +524,11 @@ fn run_portfolio(dqbf: &Dqbf, deck_name: &str, options: &Options, budget: Budget
                     );
                 }
             }
-            verdict_exit(outcome.result)
+            Ok(outcome.result)
         }
         Err(err) => {
             eprintln!("error: {err}");
-            ExitCode::FAILURE
+            Err(ExitCode::FAILURE)
         }
     }
 }
@@ -428,9 +543,14 @@ fn run_batch_command(args: impl Iterator<Item = String>) -> ExitCode {
         ..engine::BatchOptions::default()
     };
     let mut jsonl_file: Option<String> = None;
+    let mut metrics: Option<MetricsFormat> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         if apply_config_flag(&arg, &mut args, &mut opts.config) {
+            continue;
+        }
+        if apply_obs_flag(&arg, &mut args, &mut metrics, &mut trace_out) {
             continue;
         }
         match arg.as_str() {
@@ -451,6 +571,10 @@ fn run_batch_command(args: impl Iterator<Item = String>) -> ExitCode {
                 Some(path) => jsonl_file = Some(path),
                 None => usage(),
             },
+            "--entry" => match args.next() {
+                Some(name) => opts.entry_name = name,
+                None => usage(),
+            },
             "--deterministic" => {
                 // Batch outcomes are deterministic by construction (each
                 // job is solved by the same single-threaded solver);
@@ -462,6 +586,7 @@ fn run_batch_command(args: impl Iterator<Item = String>) -> ExitCode {
         }
     }
     let Some(dir) = dir else { usage() };
+    opts.collect_metrics = metrics.is_some() || trace_out.is_some();
 
     let jobs = match engine::load_corpus(std::path::Path::new(&dir)) {
         Ok(jobs) => jobs,
@@ -483,6 +608,24 @@ fn run_batch_command(args: impl Iterator<Item = String>) -> ExitCode {
         if let Err(err) = std::fs::write(&path, out) {
             eprintln!("error: cannot write {path}: {err}");
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(merged) = &summary.metrics {
+        match metrics {
+            Some(MetricsFormat::Summary) => {
+                for line in merged.render_summary().lines() {
+                    println!("c {line}");
+                }
+            }
+            Some(MetricsFormat::Json) => println!("{}", merged.to_json()),
+            None => {}
+        }
+        if let Some(path) = &trace_out {
+            if let Err(err) = std::fs::write(path, merged.to_chrome_trace()) {
+                eprintln!("error: cannot write {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+            println!("c trace written to {path}");
         }
     }
     println!(

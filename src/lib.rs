@@ -14,8 +14,11 @@
 //!
 //! # Quickstart
 //!
+//! Solve through a [`Session`], the blessed entry point — it validates
+//! the configuration and carries the observer/cancellation wiring:
+//!
 //! ```
-//! use hqs::{Dqbf, DqbfResult, HqsSolver};
+//! use hqs::{Dqbf, Outcome, Session};
 //! use hqs::base::Lit;
 //!
 //! // Example 1 of the paper: ∀x₁∀x₂ ∃y₁(x₁) ∃y₂(x₂) : (y₁↔x₁) ∧ (y₂↔x₂).
@@ -28,7 +31,8 @@
 //!     dqbf.add_clause([Lit::positive(x), Lit::negative(y)]);
 //!     dqbf.add_clause([Lit::negative(x), Lit::positive(y)]);
 //! }
-//! assert_eq!(HqsSolver::new().solve(&dqbf), DqbfResult::Sat);
+//! let mut session = Session::builder().build().expect("defaults are valid");
+//! assert_eq!(session.solve(&dqbf), Outcome::Sat);
 //! ```
 //!
 //! # Layer map
@@ -43,6 +47,7 @@
 //! | [`aig`] | `hqs-aig` | AIG manager, quantification, unit/pure, FRAIG |
 //! | [`qbf`] | `hqs-qbf` | AIG-based QBF solver (AIGSOLVE role) |
 //! | [`core`] | `hqs-core` | the HQS DQBF solver itself |
+//! | [`obs`] | `hqs-obs` | observability: metrics, phase spans, exporters |
 //! | [`idq`] | `hqs-idq` | instantiation-based baseline (iDQ role) |
 //! | [`pec`] | `hqs-pec` | PEC benchmark circuits and encoding |
 //! | [`engine`] | `hqs-engine` | parallel portfolio racing + batch scheduler |
@@ -57,14 +62,16 @@ pub use hqs_core as core;
 pub use hqs_engine as engine;
 pub use hqs_idq as idq;
 pub use hqs_maxsat as maxsat;
+pub use hqs_obs as obs;
 pub use hqs_pec as pec;
 pub use hqs_proof as proof;
 pub use hqs_qbf as qbf;
 pub use hqs_sat as sat;
 
 pub use hqs_core::{
-    CertifiedOutcome, CertifyError, Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, HqsStats,
-    QbfBackend, RefutationCertificate, SkolemCertificate,
+    CertifiedOutcome, CertifyError, ConfigError, Dqbf, DqbfResult, ElimStrategy, HqsConfig,
+    HqsConfigBuilder, HqsSolver, HqsStats, Outcome, QbfBackend, RefutationCertificate, Session,
+    SessionBuilder, SkolemCertificate,
 };
 pub use hqs_idq::InstantiationSolver;
 pub use hqs_qbf::{QbfResult, QbfSolver};

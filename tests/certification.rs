@@ -8,7 +8,7 @@ use hqs::cnf::dimacs;
 use hqs::core::expand::is_satisfiable_by_expansion;
 use hqs::pec::{benchmark_suite, Scale};
 use hqs::proof::parse_text_drat;
-use hqs::{CertifiedOutcome, Dqbf, DqbfResult, HqsConfig, HqsSolver};
+use hqs::{CertifiedOutcome, Dqbf, HqsConfig, Outcome, Session};
 
 fn random_dqbf(rng: &mut Rng) -> Dqbf {
     let mut d = Dqbf::new();
@@ -30,12 +30,15 @@ fn random_dqbf(rng: &mut Rng) -> Dqbf {
     d
 }
 
-fn certifying_solver() -> HqsSolver {
-    HqsSolver::with_config(HqsConfig {
-        certify: true,
-        initial_sat_check: true,
-        ..HqsConfig::default()
-    })
+fn certifying_session() -> Session {
+    Session::builder()
+        .config(HqsConfig {
+            certify: true,
+            initial_sat_check: true,
+            ..HqsConfig::default()
+        })
+        .build()
+        .expect("certifying config is valid")
 }
 
 #[test]
@@ -44,7 +47,7 @@ fn every_verdict_on_random_dqbfs_is_certified() {
     for _ in 0..40 {
         let d = random_dqbf(&mut rng);
         let expected = is_satisfiable_by_expansion(&d);
-        match certifying_solver().solve_certified(&d).expect("certified") {
+        match certifying_session().solve_certified(&d).expect("certified") {
             CertifiedOutcome::Sat(cert) => {
                 assert!(expected, "certified SAT on an unsatisfiable formula");
                 assert!(cert.verify(&d));
@@ -72,7 +75,7 @@ fn certificates_survive_a_dqdimacs_round_trip() {
         // formula (same variable numbering by construction).
         let text = dimacs::write_dqdimacs(&d.to_file());
         let reparsed = Dqbf::from_file(&dimacs::parse_dqdimacs(&text).expect("own output parses"));
-        match certifying_solver().solve_certified(&d).expect("certified") {
+        match certifying_session().solve_certified(&d).expect("certified") {
             CertifiedOutcome::Sat(cert) => {
                 assert!(cert.verify(&reparsed));
                 checked += 1;
@@ -98,17 +101,20 @@ fn pec_smoke_instances_certify_end_to_end() {
     });
     let mut seen = 0;
     for inst in small.by_ref().take(2) {
-        let verdict = HqsSolver::new().solve(&inst.dqbf);
-        match certifying_solver()
+        let verdict = Session::builder()
+            .build()
+            .expect("defaults are valid")
+            .solve(&inst.dqbf);
+        match certifying_session()
             .solve_certified(&inst.dqbf)
             .expect("certified")
         {
             CertifiedOutcome::Sat(cert) => {
-                assert_eq!(verdict, DqbfResult::Sat, "{}", inst.name);
+                assert_eq!(verdict, Outcome::Sat, "{}", inst.name);
                 assert!(cert.verify(&inst.dqbf), "{}", inst.name);
             }
             CertifiedOutcome::Unsat(cert) => {
-                assert_eq!(verdict, DqbfResult::Unsat, "{}", inst.name);
+                assert_eq!(verdict, Outcome::Unsat, "{}", inst.name);
                 assert!(cert.verify(&inst.dqbf), "{}", inst.name);
             }
             CertifiedOutcome::Limit(e) => panic!("{}: unexpected limit: {e:?}", inst.name),
@@ -126,7 +132,7 @@ fn corrupted_certificates_are_rejected_end_to_end() {
     let y = sat.add_existential([x]);
     sat.add_clause([Lit::positive(x), Lit::negative(y)]);
     sat.add_clause([Lit::negative(x), Lit::positive(y)]);
-    let CertifiedOutcome::Sat(cert) = certifying_solver()
+    let CertifiedOutcome::Sat(cert) = certifying_session()
         .solve_certified(&sat)
         .expect("certified")
     else {
@@ -145,7 +151,7 @@ fn corrupted_certificates_are_rejected_end_to_end() {
     let y = unsat.add_existential([Var::new(0)]);
     unsat.add_clause([Lit::positive(x2), Lit::negative(y)]);
     unsat.add_clause([Lit::negative(x2), Lit::positive(y)]);
-    let CertifiedOutcome::Unsat(cert) = certifying_solver()
+    let CertifiedOutcome::Unsat(cert) = certifying_session()
         .solve_certified(&unsat)
         .expect("certified")
     else {

@@ -5,7 +5,7 @@ use hqs::base::Budget;
 use hqs::core::expand::{is_satisfiable_by_expansion, MAX_EXPANSION_UNIVERSALS};
 use hqs::pec::families::generate;
 use hqs::pec::{benchmark_suite, Family, Scale};
-use hqs::{DqbfResult, HqsSolver, InstantiationSolver};
+use hqs::{InstantiationSolver, Outcome, Session};
 use std::time::Duration;
 
 #[test]
@@ -13,8 +13,11 @@ fn carved_instances_of_every_family_are_realizable() {
     for family in Family::ALL {
         for (size, boxes) in [(2u32, 1u32), (3, 2)] {
             let instance = generate(family, size, boxes, 3, false);
-            let verdict = HqsSolver::new().solve(&instance.dqbf);
-            assert_eq!(verdict, DqbfResult::Sat, "{}", instance.name);
+            let verdict = Session::builder()
+                .build()
+                .expect("defaults are valid")
+                .solve(&instance.dqbf);
+            assert_eq!(verdict, Outcome::Sat, "{}", instance.name);
         }
     }
 }
@@ -24,22 +27,25 @@ fn hqs_and_baseline_agree_on_small_pec_instances() {
     for family in Family::ALL {
         for fault in [false, true] {
             let instance = generate(family, 2, 1, 5, fault);
-            let hqs = HqsSolver::new().solve(&instance.dqbf);
+            let hqs = Session::builder()
+                .build()
+                .expect("defaults are valid")
+                .solve(&instance.dqbf);
             let mut baseline = InstantiationSolver::new();
             baseline.set_budget(
                 Budget::new()
                     .with_timeout(Duration::from_secs(60))
                     .with_node_limit(2_000_000),
             );
-            let idq = baseline.solve(&instance.dqbf);
-            if !matches!(idq, DqbfResult::Limit(_)) {
+            let idq = Outcome::from(baseline.solve(&instance.dqbf));
+            if !matches!(idq, Outcome::Unknown(_)) {
                 assert_eq!(hqs, idq, "{}", instance.name);
             }
             if instance.dqbf.universals().len() <= MAX_EXPANSION_UNIVERSALS {
                 let oracle = if is_satisfiable_by_expansion(&instance.dqbf) {
-                    DqbfResult::Sat
+                    Outcome::Sat
                 } else {
-                    DqbfResult::Unsat
+                    Outcome::Unsat
                 };
                 assert_eq!(hqs, oracle, "{} vs oracle", instance.name);
             }
@@ -54,14 +60,17 @@ fn smoke_suite_solves_under_hqs() {
     let suite = benchmark_suite(Scale::Smoke);
     assert!(suite.len() >= 28);
     for instance in &suite {
-        let mut solver = HqsSolver::with_config(hqs::HqsConfig {
-            budget: Budget::new()
-                .with_timeout(Duration::from_secs(120))
-                .with_node_limit(3_000_000),
-            ..hqs::HqsConfig::default()
-        });
-        let verdict = solver.solve(&instance.dqbf);
-        if matches!(verdict, DqbfResult::Limit(_)) {
+        let mut session = Session::builder()
+            .config(hqs::HqsConfig {
+                budget: Budget::new()
+                    .with_timeout(Duration::from_secs(120))
+                    .with_node_limit(3_000_000),
+                ..hqs::HqsConfig::default()
+            })
+            .build()
+            .expect("valid");
+        let verdict = session.solve(&instance.dqbf);
+        if matches!(verdict, Outcome::Unknown(_)) {
             // The paper's own Table I shows HQS running out of memory on
             // most C432 and many comp instances; the regenerated families
             // reproduce that hardness ordering.
@@ -75,7 +84,7 @@ fn smoke_suite_solves_under_hqs() {
         if !instance.fault {
             assert_eq!(
                 verdict,
-                DqbfResult::Sat,
+                Outcome::Sat,
                 "{} must be realizable",
                 instance.name
             );

@@ -6,7 +6,7 @@
 
 use hqs::pec::families::generate;
 use hqs::pec::Family;
-use hqs::{DqbfResult, ElimStrategy, HqsConfig, HqsSolver, QbfBackend};
+use hqs::{ElimStrategy, HqsConfig, Outcome, QbfBackend, Session};
 
 #[test]
 fn pec_solve_exercises_every_pipeline_stage() {
@@ -16,10 +16,10 @@ fn pec_solve_exercises_every_pipeline_stage() {
     let num_universals = dqbf.universals().len();
     assert!(!dqbf.is_qbf_expressible(), "two boxes ⇒ non-linear prefix");
 
-    let mut solver = HqsSolver::new();
-    let verdict = solver.solve(dqbf);
-    assert!(matches!(verdict, DqbfResult::Sat | DqbfResult::Unsat));
-    let stats = solver.stats();
+    let mut session = Session::builder().build().expect("defaults are valid");
+    let verdict = session.solve(dqbf);
+    assert!(matches!(verdict, Outcome::Sat | Outcome::Unsat));
+    let stats = session.stats();
 
     // Circuit-derived CNF: the preprocessor must find Tseitin gates.
     assert!(
@@ -48,10 +48,10 @@ fn qbf_backend_is_reached_on_cyclic_instances() {
         gate_detection: false,
         ..HqsConfig::default()
     };
-    let mut solver = HqsSolver::with_config(config);
-    let verdict = solver.solve(&instance.dqbf);
-    assert_eq!(verdict, DqbfResult::Sat, "carved instance is realizable");
-    let stats = solver.stats();
+    let mut session = Session::builder().config(config).build().expect("valid");
+    let verdict = session.solve(&instance.dqbf);
+    assert_eq!(verdict, Outcome::Sat, "carved instance is realizable");
+    let stats = session.stats();
     assert!(
         stats.reached_qbf || stats.universal_elims == 0,
         "a decided cyclic instance passes through the QBF backend \
@@ -68,11 +68,17 @@ fn qbf_backends_agree_on_pec_instances() {
     for family in [Family::Bitcell, Family::PecXor] {
         for fault in [false, true] {
             let instance = generate(family, 2, 1, 9, fault);
-            let elimination = HqsSolver::new().solve(&instance.dqbf);
-            let mut search = HqsSolver::with_config(HqsConfig {
-                qbf_backend: QbfBackend::Search,
-                ..HqsConfig::default()
-            });
+            let elimination = Session::builder()
+                .build()
+                .expect("defaults are valid")
+                .solve(&instance.dqbf);
+            let mut search = Session::builder()
+                .config(HqsConfig {
+                    qbf_backend: QbfBackend::Search,
+                    ..HqsConfig::default()
+                })
+                .build()
+                .expect("valid");
             let search_verdict = search.solve(&instance.dqbf);
             assert_eq!(elimination, search_verdict, "{}", instance.name);
         }
@@ -86,10 +92,10 @@ fn eliminate_all_strategy_never_reaches_qbf_with_universals() {
         strategy: ElimStrategy::AllUniversals,
         ..HqsConfig::default()
     };
-    let mut solver = HqsSolver::with_config(config);
-    let verdict = solver.solve(&instance.dqbf);
-    assert!(matches!(verdict, DqbfResult::Sat | DqbfResult::Unsat));
-    let stats = solver.stats();
+    let mut session = Session::builder().config(config).build().expect("valid");
+    let verdict = session.solve(&instance.dqbf);
+    assert!(matches!(verdict, Outcome::Sat | Outcome::Unsat));
+    let stats = session.stats();
     if stats.reached_qbf {
         // The [10] strategy only hands off once every universal is gone,
         // so the backend must have performed no universal eliminations.

@@ -4,13 +4,14 @@
 //! `e`/`d` lines, tautologies, Tseitin gates, duplicate clauses).
 
 use hqs::cnf::dimacs::parse_dqdimacs;
-use hqs::{DqbfResult, HqsSolver, InstantiationSolver};
+use hqs::{InstantiationSolver, Outcome, Session};
 
-fn check(name: &str, text: &str, expected: DqbfResult) {
+fn check(name: &str, text: &str, expected: Outcome) {
     let file = parse_dqdimacs(text).unwrap_or_else(|e| panic!("{name}: {e}"));
-    let hqs = HqsSolver::new().solve_file(&file);
+    let mut session = Session::builder().build().expect("defaults are valid");
+    let hqs = session.solve_file(&file);
     assert_eq!(hqs, expected, "{name} (HQS)");
-    let idq = InstantiationSolver::new().solve(&hqs::Dqbf::from_file(&file));
+    let idq = Outcome::from(InstantiationSolver::new().solve(&hqs::Dqbf::from_file(&file)));
     assert_eq!(idq, expected, "{name} (baseline)");
 }
 
@@ -19,7 +20,7 @@ fn paper_example_1_satisfiable() {
     check(
         "example1-sat",
         "p cnf 4 4\na 1 2 0\nd 3 1 0\nd 4 2 0\n-3 1 0\n3 -1 0\n-4 2 0\n4 -2 0\n",
-        DqbfResult::Sat,
+        Outcome::Sat,
     );
 }
 
@@ -29,7 +30,7 @@ fn crossed_dependencies_unsatisfiable() {
     check(
         "crossed-unsat",
         "p cnf 4 4\na 1 2 0\nd 3 1 0\nd 4 2 0\n-3 2 0\n3 -2 0\n-4 1 0\n4 -1 0\n",
-        DqbfResult::Unsat,
+        Outcome::Unsat,
     );
 }
 
@@ -39,13 +40,13 @@ fn free_variables_are_outer_existentials() {
     check(
         "free-var-sat",
         "p cnf 3 2\na 1 0\nd 2 1 0\n3 0\n-2 1 0\n",
-        DqbfResult::Sat,
+        Outcome::Sat,
     );
     // ... but a constant cannot track a universal.
     check(
         "free-var-unsat",
         "p cnf 2 2\na 1 0\n2 -1 0\n-2 1 0\n",
-        DqbfResult::Unsat,
+        Outcome::Unsat,
     );
 }
 
@@ -55,13 +56,13 @@ fn empty_dependency_set_is_a_constant() {
     check(
         "empty-deps-unsat",
         "p cnf 2 2\na 1 0\nd 2 0\n2 -1 0\n-2 1 0\n",
-        DqbfResult::Unsat,
+        Outcome::Unsat,
     );
     // A constant suffices when only one phase is demanded.
     check(
         "empty-deps-sat",
         "p cnf 2 1\na 1 0\nd 2 0\n2 1 0\n",
-        DqbfResult::Sat,
+        Outcome::Sat,
     );
 }
 
@@ -72,7 +73,7 @@ fn mixed_e_and_d_lines() {
     check(
         "e-line-sat",
         "p cnf 3 2\na 1 2 0\ne 3 0\n3 -1 0\n-3 1 0\n",
-        DqbfResult::Sat,
+        Outcome::Sat,
     );
 }
 
@@ -81,7 +82,7 @@ fn tautologies_and_duplicates_are_harmless() {
     check(
         "taut-dup-sat",
         "p cnf 3 5\na 1 0\nd 2 1 0\n1 -1 0\n2 -2 0\n2 -1 0\n2 -1 0\n-2 1 0\n",
-        DqbfResult::Sat,
+        Outcome::Sat,
     );
 }
 
@@ -99,7 +100,7 @@ fn tseitin_gate_instance() {
          -4 3 0\n\
          4 -1 -3 0\n\
          4 3 -2 0\n",
-        DqbfResult::Sat,
+        Outcome::Sat,
     );
     // Adding (¬y3 ∨ x1 ∨ ¬x2) makes the x1=0, x2=1 row impossible: the
     // usage clause forces y3 there, the new clause forbids it.
@@ -114,26 +115,18 @@ fn tseitin_gate_instance() {
          4 -1 -3 0\n\
          4 3 -2 0\n\
          -3 1 -2 0\n",
-        DqbfResult::Unsat,
+        Outcome::Unsat,
     );
 }
 
 #[test]
 fn universal_unit_clause() {
-    check(
-        "universal-unit",
-        "p cnf 1 1\na 1 0\n1 0\n",
-        DqbfResult::Unsat,
-    );
+    check("universal-unit", "p cnf 1 1\na 1 0\n1 0\n", Outcome::Unsat);
 }
 
 #[test]
 fn empty_matrix_is_valid() {
-    check(
-        "empty-matrix",
-        "p cnf 2 0\na 1 0\nd 2 1 0\n",
-        DqbfResult::Sat,
-    );
+    check("empty-matrix", "p cnf 2 0\na 1 0\nd 2 1 0\n", Outcome::Sat);
 }
 
 #[test]
@@ -142,12 +135,12 @@ fn propositional_fallbacks() {
     check(
         "plain-sat",
         "p cnf 2 2\nd 1 0\nd 2 0\n1 2 0\n-1 2 0\n",
-        DqbfResult::Sat,
+        Outcome::Sat,
     );
     check(
         "plain-unsat",
         "p cnf 1 2\nd 1 0\n1 0\n-1 0\n",
-        DqbfResult::Unsat,
+        Outcome::Unsat,
     );
 }
 
@@ -162,7 +155,7 @@ fn three_boxes_with_pairwise_incomparable_views() {
          a 1 2 3 0\n\
          d 4 1 0\nd 5 2 0\nd 6 3 0\n\
          -4 1 0\n4 -1 0\n-5 2 0\n5 -2 0\n-6 3 0\n6 -3 0\n",
-        DqbfResult::Sat,
+        Outcome::Sat,
     );
     // The same prefix, but y4 must equal x2: UNSAT.
     check(
@@ -171,7 +164,7 @@ fn three_boxes_with_pairwise_incomparable_views() {
          a 1 2 3 0\n\
          d 4 1 0\nd 5 2 0\nd 6 3 0\n\
          -4 2 0\n4 -2 0\n-5 2 0\n5 -2 0\n-6 3 0\n6 -3 0\n",
-        DqbfResult::Unsat,
+        Outcome::Unsat,
     );
 }
 
@@ -181,6 +174,6 @@ fn shared_dependency_blocks() {
     check(
         "shared-block-sat",
         "p cnf 4 3\na 1 2 0\nd 3 1 2 0\nd 4 1 2 0\n3 4 0\n-3 1 0\n-4 -1 0\n",
-        DqbfResult::Sat,
+        Outcome::Sat,
     );
 }

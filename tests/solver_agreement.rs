@@ -6,7 +6,7 @@
 use hqs::base::{Lit, Var};
 use hqs::cnf::dimacs;
 use hqs::core::expand::is_satisfiable_by_expansion;
-use hqs::{Dqbf, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, InstantiationSolver};
+use hqs::{Dqbf, DqbfResult, ElimStrategy, HqsConfig, InstantiationSolver, Outcome, Session};
 use hqs_base::Rng;
 
 fn random_dqbf(rng: &mut Rng) -> Dqbf {
@@ -35,13 +35,14 @@ fn all_procedures_agree_on_random_dqbfs() {
     for round in 0..60 {
         let d = random_dqbf(&mut rng);
         let expected = if is_satisfiable_by_expansion(&d) {
-            DqbfResult::Sat
+            Outcome::Sat
         } else {
-            DqbfResult::Unsat
+            Outcome::Unsat
         };
-        assert_eq!(HqsSolver::new().solve(&d), expected, "hqs, round {round}");
+        let mut hqs = Session::builder().build().expect("defaults are valid");
+        assert_eq!(hqs.solve(&d), expected, "hqs, round {round}");
         assert_eq!(
-            InstantiationSolver::new().solve(&d),
+            Outcome::from(InstantiationSolver::new().solve(&d)),
             expected,
             "idq, round {round}"
         );
@@ -52,8 +53,12 @@ fn all_procedures_agree_on_random_dqbfs() {
             unit_pure: false,
             ..HqsConfig::default()
         };
+        let mut baseline = Session::builder()
+            .config(baseline_cfg)
+            .build()
+            .expect("baseline config is valid");
         assert_eq!(
-            HqsSolver::with_config(baseline_cfg).solve(&d),
+            baseline.solve(&d),
             expected,
             "gitina2013 baseline, round {round}"
         );
@@ -65,10 +70,11 @@ fn dqdimacs_file_roundtrip_preserves_verdict() {
     let mut rng = Rng::seed_from_u64(0xF11E);
     for _ in 0..25 {
         let d = random_dqbf(&mut rng);
-        let expected = HqsSolver::new().solve(&d);
+        let mut session = Session::builder().build().expect("defaults are valid");
+        let expected = session.solve(&d);
         let text = dimacs::write_dqdimacs(&d.to_file());
         let reparsed = dimacs::parse_dqdimacs(&text).expect("own output parses");
-        let again = HqsSolver::new().solve_file(&reparsed);
+        let again = session.solve_file(&reparsed);
         assert_eq!(expected, again, "\n{text}");
     }
 }
@@ -98,7 +104,10 @@ fn qbf_expressible_dqbfs_match_qbf_solver() {
                 .collect();
             d.add_clause(lits);
         }
-        let hqs = HqsSolver::new().solve(&d);
+        let hqs = Session::builder()
+            .build()
+            .expect("defaults are valid")
+            .solve(&d);
 
         // Direct QBF route: linearise and hand the CNF-built AIG over.
         let deps: Vec<_> = d
@@ -110,7 +119,7 @@ fn qbf_expressible_dqbfs_match_qbf_solver() {
         let mut aig = hqs::aig::Aig::new();
         let root = aig.from_cnf(d.matrix());
         let qbf = QbfSolver::new().solve(&mut aig, root, prefix);
-        let qbf_as_dqbf = DqbfResult::from_qbf(qbf);
+        let qbf_as_dqbf = Outcome::from(DqbfResult::from_qbf(qbf));
         assert_eq!(hqs, qbf_as_dqbf, "{d:?}");
     }
 }
