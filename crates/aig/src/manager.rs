@@ -102,6 +102,7 @@ impl Aig {
     }
 
     fn push_node(&mut self, node: AigNode) -> u32 {
+        // analyze::allow(panic): more than u32::MAX AIG nodes is unrecoverable by design
         let idx = u32::try_from(self.nodes.len()).expect("AIG node overflow");
         self.nodes.push(node);
         idx

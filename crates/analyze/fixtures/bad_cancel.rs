@@ -1,0 +1,33 @@
+//! Fixture: a solver-entry function with one loop that polls
+//! cancellation and one that never does.
+
+pub struct Budget;
+
+impl Budget {
+    pub fn check(&self) -> bool {
+        true
+    }
+}
+
+pub struct Solver {
+    budget: Budget,
+    work: Vec<u32>,
+}
+
+impl Solver {
+    pub fn solve_rounds(&mut self) -> u32 {
+        let mut total = 0;
+        loop {
+            // Polled: the budget check observes cancellation.
+            if self.budget.check() {
+                break;
+            }
+            total += 1;
+        }
+        while total < 100 {
+            // Unpolled: this loop can spin past a cancel request.
+            total += self.work.len() as u32;
+        }
+        total
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: a hot-path function holding a shard MutexGuard across a
+//! solver call and an allocation.
+
+use std::sync::Mutex;
+
+pub struct Inner;
+
+impl Inner {
+    pub fn solve(&self, x: u32) -> u32 {
+        x
+    }
+}
+
+pub struct Solver {
+    shard: Mutex<Vec<u32>>,
+    inner: Inner,
+}
+
+impl Solver {
+    pub fn propagate(&mut self) -> u32 {
+        let guard = self.shard.lock().unwrap(); // analyze::allow(panic): poisoning is fatal here
+        let fed = self.inner.solve(guard.len() as u32); // solver call under the guard
+        let grown: Vec<u32> = Vec::new(); // allocation under the guard
+        fed + grown.len() as u32 + guard.len() as u32
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: an atomic `Ordering::` site that is not in the committed
+//! allowlist.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Flag {
+    inner: AtomicBool,
+}
+
+impl Flag {
+    pub fn is_set(&self) -> bool {
+        self.inner.load(Ordering::Relaxed) // unlisted ordering site
+    }
+}

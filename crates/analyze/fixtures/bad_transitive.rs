@@ -1,0 +1,21 @@
+//! Fixture: a panic two calls below a declared-hot seed. The seed
+//! itself is clean — only the transitive pass, walking the call graph,
+//! can see that `helper_two` runs on the hot path.
+
+pub struct Solver {
+    data: Vec<u32>,
+}
+
+impl Solver {
+    pub fn propagate(&mut self) -> u32 {
+        self.helper_one(3)
+    }
+
+    fn helper_one(&self, i: usize) -> u32 {
+        self.helper_two(i) + 1
+    }
+
+    fn helper_two(&self, i: usize) -> u32 {
+        *self.data.get(i).unwrap() // panic two calls below the seed
+    }
+}

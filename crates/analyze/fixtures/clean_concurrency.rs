@@ -1,0 +1,33 @@
+//! Fixture: concurrency idioms done right — an allowlisted ordering
+//! site, a guard dropped before the solver call, and a statement-scoped
+//! guard temporary. No findings expected.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+pub struct Inner;
+
+impl Inner {
+    pub fn solve(&self, x: u32) -> u32 {
+        x
+    }
+}
+
+pub struct Solver {
+    cancelled: AtomicBool,
+    shard: Mutex<Vec<u32>>,
+    inner: Inner,
+}
+
+impl Solver {
+    pub fn propagate(&mut self) -> u32 {
+        let guard = self.shard.lock().unwrap(); // analyze::allow(panic): poisoning is fatal here
+        let snapshot = guard.len() as u32;
+        drop(guard);
+        let fed = self.inner.solve(snapshot); // guard already dropped
+        // Statement-scoped temporary: the guard drops at the `;`.
+        let head = self.shard.lock().unwrap().first().copied().unwrap_or(0); // analyze::allow(panic): poisoning is fatal here
+        // analyze::allow(panic): both operands fit in u32
+        fed + head + self.cancelled.load(Ordering::Relaxed) as u32
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: helpers reached from a hot seed, written to the hot-path
+//! standard — `get`/`match` instead of indexing, and one justified
+//! annotated site. No findings expected.
+
+pub struct Solver {
+    data: Vec<u32>,
+}
+
+impl Solver {
+    pub fn propagate(&mut self) -> u32 {
+        self.helper_one(3)
+    }
+
+    fn helper_one(&self, i: usize) -> u32 {
+        self.helper_two(i) + 1
+    }
+
+    fn helper_two(&self, i: usize) -> u32 {
+        match self.data.get(i) {
+            // analyze::allow(panic): i + 1 is in bounds whenever i is
+            Some(_) => self.data[0],
+            None => 0,
+        }
+    }
+}

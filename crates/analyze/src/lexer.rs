@@ -463,6 +463,27 @@ mod tests {
     }
 
     #[test]
+    fn closing_nested_generics_lex_as_single_gt_tokens() {
+        // `>>` in `Vec<Vec<u32>>` must come out as two `>` Puncts, not
+        // one shift token — the symbol resolver's generics skipper
+        // counts single `>`s.
+        let src = "let v: Vec<Vec<u32>> = Vec::new();";
+        let texts = code_texts(src);
+        assert!(!texts.iter().any(|t| t == ">>"), "{texts:?}");
+        assert_eq!(texts.iter().filter(|t| *t == ">").count(), 2);
+    }
+
+    #[test]
+    fn shift_expression_also_lexes_as_single_gt_tokens() {
+        // A real right shift is the same two tokens; disambiguation is
+        // the consumer's job, exactly as in rustc's lexer.
+        let src = "let x = a >> 2; let y = b >>= 1;";
+        let texts = code_texts(src);
+        assert!(!texts.iter().any(|t| t == ">>" || t == ">>="), "{texts:?}");
+        assert_eq!(texts.iter().filter(|t| *t == ">").count(), 4);
+    }
+
+    #[test]
     fn nested_block_comments() {
         let src = "a /* outer /* inner */ still comment */ b";
         let toks = kinds(src);

@@ -20,6 +20,23 @@
 //!   docs, `todo!`-family bans, unwrap budgets), re-implemented on the
 //!   lexer and run separately under `cargo run -p xtask -- audit`.
 //!
+//! On top of the per-function passes sits an interprocedural layer: a
+//! name-resolution table ([`symbols`]) resolves `use` imports (including
+//! grouped and `as`-renamed ones), free-function paths and receiver-type
+//! method calls across the workspace, and [`callgraph`] assembles the
+//! resulting edges into a workspace call graph with explicit
+//! conservatism accounting (closures, `dyn` call sites, fn-pointer
+//! types, glob imports). Three passes consume it:
+//!
+//! * **hot-transitive** — the panic/alloc denies above applied to the
+//!   full callee closure of the hot seeds, with the seed-to-sink call
+//!   chain in every diagnostic;
+//! * **cancel-poll** — every loop in a declared solver-entry function
+//!   must reach a cancellation poll in its body;
+//! * **concurrency** — atomic `Ordering::` sites audited two-way
+//!   against a committed allowlist, and no allocation or solver call
+//!   while a sharded-deque `MutexGuard` is held in a hot-path function.
+//!
 //! Findings are [`diag::Diagnostic`]s, serialized with the built-in
 //! [`json`] support and ratcheted against the committed
 //! `analyze-baseline.json` via [`baseline`]: CI fails on any finding
@@ -27,8 +44,9 @@
 //! longer matches, so recorded debt can only shrink.
 //!
 //! Justified exceptions are written at the site as
-//! `// analyze::allow(panic|alloc|newtype): <reason>` — annotations
-//! with a missing reason or unknown kind are findings themselves.
+//! `// analyze::allow(panic|alloc|newtype|cancel|lock): <reason>` —
+//! annotations with a missing reason or unknown kind are findings
+//! themselves.
 //!
 //! The driver lives in `xtask` (`cargo run -p xtask -- analyze`); this
 //! crate is pure library so the passes stay unit-testable against the
@@ -37,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod diag;
 pub mod json;
@@ -44,6 +63,7 @@ pub mod lexer;
 pub mod manifest;
 pub mod passes;
 pub mod source;
+pub mod symbols;
 pub mod workspace;
 
 pub use diag::Diagnostic;

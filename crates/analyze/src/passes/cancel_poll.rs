@@ -1,0 +1,161 @@
+//! Cancel-poll coverage: every loop inside a declared solver-entry
+//! function must reach a cancellation poll within its body.
+//!
+//! Entry functions come from `[cancel-poll] functions` in
+//! `analyze-hot-paths.toml` — the elimination loop, the CDCL
+//! conflict/decision loop, the QBF backends, the scheduler claim loop.
+//! For each, the pass segments the body into loop spans using the
+//! tracker's per-token loop depth and requires each span to contain a
+//! poll-shaped call: `is_cancelled`, `stop_requested`, `cancelled`,
+//! `cancel_requested`, `should_stop`, `.check(…)` (the `Budget` poll),
+//! `solve_interruptible`, `solve_budgeted`, or a call to another
+//! declared entry function (recursion polls at its own entry).
+//!
+//! A poll inside an inner loop also satisfies every enclosing loop —
+//! it sits in their bodies too — but an outer poll never satisfies an
+//! inner loop: that is exactly the shape that goes uncancellable when
+//! the inner loop spins. Bounded loops that genuinely need no poll
+//! carry `// analyze::allow(cancel): <reason>` as the first line of
+//! the loop body (the diagnostic anchors on the body's first token).
+
+use crate::config::AnalyzeConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+use super::{code_indices, is_test_path, text_at};
+
+/// Poll vocabulary: method/function names that observe cancellation.
+const POLLS: &[&str] = &[
+    "is_cancelled",
+    "stop_requested",
+    "cancelled",
+    "cancel_requested",
+    "should_stop",
+    "solve_interruptible",
+    "solve_budgeted",
+];
+
+/// An open loop span during the scan.
+struct LoopSpan {
+    depth: u32,
+    start_line: u32,
+    polled: bool,
+}
+
+/// Runs the cancel-poll pass.
+#[must_use]
+pub fn run(ws: &Workspace, cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Bare names of every entry: a recursive call to an entry function
+    // counts as a poll (the callee polls at its own entry).
+    let entry_bare: Vec<&str> = cfg
+        .cancel
+        .iter()
+        .map(|f| f.symbol.rsplit("::").next().unwrap_or(&f.symbol))
+        .collect();
+    for entry in &cfg.cancel {
+        let mut found = false;
+        for file in &ws.files {
+            if file.crate_name != entry.crate_name || is_test_path(&file.path) {
+                continue;
+            }
+            if scan_fn(file, &entry.symbol, &entry_bare, &mut diags) {
+                found = true;
+            }
+        }
+        if !found {
+            diags.push(Diagnostic {
+                pass: "cancel-poll".into(),
+                path: "analyze-hot-paths.toml".into(),
+                line: 0,
+                symbol: format!("{}::{}", entry.crate_name, entry.symbol),
+                message: format!(
+                    "cancel-poll entry `{}::{}` matches no function in the workspace",
+                    entry.crate_name, entry.symbol
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Scans one file for loops of `symbol`; returns true when the fn was
+/// seen at all.
+fn scan_fn(
+    file: &SourceFile,
+    symbol: &str,
+    entry_bare: &[&str],
+    diags: &mut Vec<Diagnostic>,
+) -> bool {
+    let code = code_indices(file);
+    let mut stack: Vec<LoopSpan> = Vec::new();
+    let mut found = false;
+    let close = |span: LoopSpan, diags: &mut Vec<Diagnostic>| {
+        if !span.polled && file.allowed("cancel", span.start_line).is_none() {
+            diags.push(Diagnostic {
+                pass: "cancel-poll".into(),
+                path: file.path.clone(),
+                line: span.start_line,
+                symbol: symbol.to_string(),
+                message: format!(
+                    "loop at depth {} in solver entry has no cancellation poll — call \
+                     `Budget::check`/`CancelToken::is_cancelled` (or a peer poll) in the loop \
+                     body, or justify with `// analyze::allow(cancel): …`",
+                    span.depth
+                ),
+            });
+        }
+    };
+    for (k, &i) in code.iter().enumerate() {
+        let ctx = &file.ctx[i];
+        if ctx.in_fn != symbol || ctx.in_test || ctx.in_attr {
+            continue;
+        }
+        found = true;
+        let tok = &file.tokens[i];
+        let d = ctx.loop_depth;
+        while stack.last().is_some_and(|s| d < s.depth) {
+            let span = stack.pop().unwrap_or(LoopSpan {
+                depth: 0,
+                start_line: 0,
+                polled: true,
+            });
+            close(span, diags);
+        }
+        // analyze::allow(newtype): loop depth is a small count, not a domain index
+        while (stack.len() as u32) < d {
+            stack.push(LoopSpan {
+                depth: stack.len() as u32 + 1,
+                start_line: tok.line,
+                polled: false,
+            });
+        }
+        if is_poll(file, &code, k, entry_bare) {
+            for span in &mut stack {
+                span.polled = true;
+            }
+        }
+    }
+    while let Some(span) = stack.pop() {
+        close(span, diags);
+    }
+    found
+}
+
+/// Is the code token at view position `k` a poll-shaped call?
+fn is_poll(file: &SourceFile, code: &[usize], k: usize, entry_bare: &[&str]) -> bool {
+    let Some(&i) = code.get(k) else { return false };
+    let tok = &file.tokens[i];
+    if tok.kind != TokenKind::Ident || text_at(file, code, k + 1) != "(" {
+        return false;
+    }
+    let text = file.text_of(tok);
+    if POLLS.contains(&text) || entry_bare.contains(&text) {
+        return true;
+    }
+    // `.check(…)` — the `Budget` poll; require the receiver dot so a
+    // free `check(…)` helper does not count.
+    text == "check" && k > 0 && text_at(file, code, k - 1) == "."
+}

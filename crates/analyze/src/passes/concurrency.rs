@@ -1,0 +1,324 @@
+//! Concurrency hygiene: two checks over the parallel engine's idioms.
+//!
+//! **Ordering audit** (`concurrency-ordering`): every atomic
+//! `Ordering::` use site in production code must appear in the
+//! committed allowlist (`[concurrency] ordering` in
+//! `analyze-hot-paths.toml`), where each entry carries a justification
+//! comment. The check is two-way — an unlisted site fails, and a stale
+//! entry fails — so the allowlist is always exactly the set of sites.
+//! `std::cmp::Ordering` never matches: its variants (`Less`, `Equal`,
+//! `Greater`) are not atomic orderings.
+//!
+//! **Lock-hold hygiene** (`concurrency-lock`): inside hot-path
+//! functions (seeds plus the transitive closure), a `MutexGuard` bound
+//! from the engine's sharded-deque helpers (`lock_shard`,
+//! `lock_result`) or a raw `.lock()` must not be held across an
+//! allocation or a solver call. Guard temporaries
+//! (`lock_shard(s).pop_front()`) are fine — the guard drops at the end
+//! of the statement. Justified holds carry
+//! `// analyze::allow(lock): <reason>`.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::callgraph::CallGraph;
+use crate::config::AnalyzeConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+use super::{alloc_finding, code_indices, is_test_path, text_at};
+
+/// Atomic ordering variants (the `std::cmp::Ordering` variants are
+/// deliberately absent).
+const ATOMIC_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Functions returning a guard the lock-hold check tracks.
+const LOCK_FNS: &[&str] = &["lock", "lock_shard", "lock_result"];
+
+/// Calls that must never run under a held shard guard.
+const SOLVER_CALLS: &[&str] = &[
+    "solve",
+    "solve_with_assumptions",
+    "solve_interruptible",
+    "solve_certified",
+    "solve_budgeted",
+    "solve_rounds",
+    "main_loop",
+    "solve_inner",
+];
+
+/// Runs both concurrency checks.
+#[must_use]
+pub fn run(ws: &Workspace, cfg: &AnalyzeConfig, graph: &CallGraph) -> Vec<Diagnostic> {
+    let mut diags = ordering_audit(ws, cfg);
+    diags.extend(lock_hold(ws, cfg, graph));
+    diags
+}
+
+fn ordering_audit(ws: &Workspace, cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+    // Multiset of allowlisted sites.
+    let mut allowed: HashMap<(String, String, String), usize> = HashMap::new();
+    for site in &cfg.ordering_allow {
+        *allowed
+            .entry((site.path.clone(), site.symbol.clone(), site.variant.clone()))
+            .or_default() += 1;
+    }
+    let mut diags = Vec::new();
+    // Scan every production file for `Ordering::Variant` sites.
+    let mut seen: HashMap<(String, String, String), Vec<u32>> = HashMap::new();
+    for file in &ws.files {
+        if is_test_path(&file.path) {
+            continue;
+        }
+        let code = code_indices(file);
+        for (k, &i) in code.iter().enumerate() {
+            let tok = &file.tokens[i];
+            let ctx = &file.ctx[i];
+            if tok.kind != TokenKind::Ident
+                || file.text_of(tok) != "Ordering"
+                || ctx.in_test
+                || ctx.in_attr
+            {
+                continue;
+            }
+            if text_at(file, &code, k + 1) != ":" || text_at(file, &code, k + 2) != ":" {
+                continue;
+            }
+            let variant = text_at(file, &code, k + 3);
+            if !ATOMIC_VARIANTS.contains(&variant) {
+                continue;
+            }
+            seen.entry((file.path.clone(), ctx.in_fn.clone(), variant.to_string()))
+                .or_default()
+                .push(tok.line);
+        }
+    }
+    // Two-way diff.
+    for (key, lines) in &seen {
+        let quota = allowed.get(key).copied().unwrap_or(0);
+        for &line in lines.iter().skip(quota) {
+            diags.push(Diagnostic {
+                pass: "concurrency-ordering".into(),
+                path: key.0.clone(),
+                line,
+                symbol: key.1.clone(),
+                message: format!(
+                    "`Ordering::{}` site is not in the committed allowlist — add \
+                     `{}::{}::{}` with a justification comment to `[concurrency] ordering` \
+                     in analyze-hot-paths.toml, or use a stronger ordering",
+                    key.2, key.0, key.1, key.2
+                ),
+            });
+        }
+    }
+    for (key, &quota) in &allowed {
+        let used = seen.get(key).map_or(0, Vec::len);
+        for _ in used..quota {
+            diags.push(Diagnostic {
+                pass: "concurrency-ordering".into(),
+                path: key.0.clone(),
+                line: 0,
+                symbol: key.1.clone(),
+                message: format!(
+                    "stale ordering allowlist entry `{}::{}::{}` — no matching \
+                     `Ordering::{}` site remains; remove it from analyze-hot-paths.toml",
+                    key.0, key.1, key.2, key.2
+                ),
+            });
+        }
+    }
+    diags
+}
+
+fn lock_hold(ws: &Workspace, cfg: &AnalyzeConfig, graph: &CallGraph) -> Vec<Diagnostic> {
+    // Hot set: seeds plus the transitive closure.
+    let mut seeds: Vec<usize> = Vec::new();
+    for f in &cfg.hot.functions {
+        seeds.extend(graph.seed_ids(&f.crate_name, &f.symbol));
+    }
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let reach = graph.closure(&seeds);
+    let hot: HashSet<(String, String)> = reach
+        .keys()
+        .map(|&id| {
+            let d = &graph.table.defs[id];
+            (d.crate_name.clone(), d.symbol.clone())
+        })
+        .collect();
+
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if is_test_path(&file.path) {
+            continue;
+        }
+        let code = code_indices(file);
+        for (k, &i) in code.iter().enumerate() {
+            let tok = &file.tokens[i];
+            let ctx = &file.ctx[i];
+            if tok.kind != TokenKind::Ident
+                || ctx.in_test
+                || ctx.in_attr
+                || !LOCK_FNS.contains(&file.text_of(tok))
+                || text_at(file, &code, k + 1) != "("
+                || !hot.contains(&(file.crate_name.clone(), ctx.in_fn.clone()))
+            {
+                continue;
+            }
+            if let Some((guard, stmt_end)) = held_guard(file, &code, k) {
+                scan_hold_region(file, &code, stmt_end, &guard, &ctx.in_fn, &mut diags);
+            }
+        }
+    }
+    diags
+}
+
+/// If the lock call at view position `k` binds a guard that outlives
+/// its statement, returns the guard name and the view position of the
+/// statement's `;`. Temporaries (`lock_shard(s).pop_front()`) return
+/// `None`.
+fn held_guard(file: &SourceFile, code: &[usize], k: usize) -> Option<(String, usize)> {
+    // Forward: match the call's parens, then skip transparent
+    // `.unwrap()`/`.expect(…)` chains; a held binding ends with `;`.
+    let mut j = k + 1; // at `(`
+    let mut depth = 0i32;
+    loop {
+        match text_at(file, code, j) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "" => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    let mut j = j + 1;
+    while text_at(file, code, j) == "."
+        && matches!(
+            text_at(file, code, j + 1),
+            "unwrap" | "expect" | "unwrap_or_else"
+        )
+    {
+        // Skip `.name(…)`.
+        let mut p = j + 2;
+        if text_at(file, code, p) != "(" {
+            break;
+        }
+        let mut d = 0i32;
+        loop {
+            match text_at(file, code, p) {
+                "(" => d += 1,
+                ")" => {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                "" => return None,
+                _ => {}
+            }
+            p += 1;
+        }
+        j = p + 1;
+    }
+    if text_at(file, code, j) != ";" {
+        return None;
+    }
+    let stmt_end = j;
+    // Backward: the statement must be a `let` binding; capture the name.
+    let mut b = k;
+    while b > 0 {
+        b -= 1;
+        match text_at(file, code, b) {
+            ";" | "{" | "}" => return None,
+            "let" => {
+                let mut n = b + 1;
+                if text_at(file, code, n) == "mut" {
+                    n += 1;
+                }
+                let name = text_at(file, code, n).to_string();
+                return Some((name, stmt_end));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Scans from the binding's `;` to the end of the enclosing block (or
+/// an explicit `drop(guard)`), flagging allocations and solver calls.
+fn scan_hold_region(
+    file: &SourceFile,
+    code: &[usize],
+    stmt_end: usize,
+    guard: &str,
+    symbol: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut depth = 0i32;
+    let mut k = stmt_end + 1;
+    loop {
+        let text = text_at(file, code, k);
+        if text.is_empty() {
+            return;
+        }
+        match text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return; // enclosing block ends; guard drops
+                }
+            }
+            "drop"
+                if text_at(file, code, k + 1) == "("
+                    && text_at(file, code, k + 2) == guard
+                    && text_at(file, code, k + 3) == ")" =>
+            {
+                return;
+            }
+            _ => {}
+        }
+        let i = code[k];
+        let tok = &file.tokens[i];
+        let line = tok.line;
+        if tok.kind == TokenKind::Ident
+            && SOLVER_CALLS.contains(&text)
+            && text_at(file, code, k + 1) == "("
+            && file.allowed("lock", line).is_none()
+        {
+            diags.push(Diagnostic {
+                pass: "concurrency-lock".into(),
+                path: file.path.clone(),
+                line,
+                symbol: symbol.to_string(),
+                message: format!(
+                    "solver call `{text}(…)` while MutexGuard `{guard}` is held in a hot-path \
+                     function — drop the guard first, or justify with `// analyze::allow(lock): …`"
+                ),
+            });
+        } else if let Some(msg) = alloc_finding(file, code, k) {
+            if file.allowed("lock", line).is_none() {
+                let construct = msg.split(" allocates").next().unwrap_or("allocation");
+                diags.push(Diagnostic {
+                    pass: "concurrency-lock".into(),
+                    path: file.path.clone(),
+                    line,
+                    symbol: symbol.to_string(),
+                    message: format!(
+                        "{construct} allocation while MutexGuard `{guard}` is held in a hot-path \
+                         function — move it outside the critical section, or justify with \
+                         `// analyze::allow(lock): …`"
+                    ),
+                });
+            }
+        }
+        k += 1;
+    }
+}

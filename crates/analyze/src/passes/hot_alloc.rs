@@ -8,13 +8,15 @@
 //! a scratch buffer on the owning struct reused via
 //! `std::mem::take`; where an allocation is genuinely once-per-call or
 //! amortized, the site carries `// analyze::allow(alloc): <reason>`.
+//!
+//! The matcher itself lives in [`super::alloc_finding`] and is shared
+//! with the `hot-transitive` pass.
 
 use crate::config::HotPaths;
 use crate::diag::Diagnostic;
-use crate::lexer::TokenKind;
 use crate::workspace::Workspace;
 
-use super::{code_indices, is_test_path, text_at};
+use super::{alloc_finding, code_indices, is_test_path};
 
 /// Runs the hot-loop allocation pass.
 #[must_use]
@@ -35,41 +37,8 @@ pub fn run(ws: &Workspace, hot: &HotPaths) -> Vec<Diagnostic> {
             {
                 continue;
             }
-            let tok = &file.tokens[i];
-            if tok.kind != TokenKind::Ident {
-                continue;
-            }
-            let text = file.text_of(tok);
-            let next = text_at(file, &code, k + 1);
-            let prev = if k > 0 {
-                text_at(file, &code, k - 1)
-            } else {
-                ""
-            };
-            let finding: Option<String> = match text {
-                "Vec" | "Box" | "String"
-                    if next == ":"
-                        && text_at(file, &code, k + 2) == ":"
-                        && matches!(text_at(file, &code, k + 3), "new" | "with_capacity") =>
-                {
-                    Some(format!(
-                        "`{text}::{}` allocates inside a hot loop — hoist to a reused scratch buffer",
-                        text_at(file, &code, k + 3)
-                    ))
-                }
-                "clone" | "to_vec" | "collect" | "to_owned"
-                    if prev == "." && matches!(next, "(" | ":") =>
-                {
-                    Some(format!(
-                        "`.{text}()` allocates inside a hot loop — reuse a scratch buffer or borrow"
-                    ))
-                }
-                "format" | "vec" if next == "!" => Some(format!(
-                    "`{text}!` allocates inside a hot loop — hoist or pre-size outside the loop"
-                )),
-                _ => None,
-            };
-            if let Some(message) = finding {
+            if let Some(message) = alloc_finding(file, &code, k) {
+                let tok = &file.tokens[i];
                 if file.allowed("alloc", tok.line).is_some() {
                     continue;
                 }

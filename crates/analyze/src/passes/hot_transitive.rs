@@ -1,0 +1,102 @@
+//! Transitive hot-path discipline: the panic/alloc denies follow the
+//! call graph instead of stopping at the functions hand-listed in
+//! `analyze-hot-paths.toml`.
+//!
+//! The pass seeds from `[hot-paths] functions`, computes the callee
+//! closure over the workspace [`CallGraph`], and applies the shared
+//! panic matcher (any position) and allocation matcher (inside loops)
+//! to every *reachable* function. Seeds themselves are excluded — the
+//! per-function `panic-path`/`hot-alloc` passes already cover them, and
+//! double-reporting the same token would make the baseline noisy.
+//!
+//! Every diagnostic carries the discovered call chain
+//! (`hqs-sat::Solver::propagate → Solver::value → helper`), so a CI
+//! failure shows *why* a function is considered hot without the reader
+//! reconstructing the graph. Sites are silenced by the same
+//! `// analyze::allow(panic|alloc): …` annotations the seeded passes
+//! honor: an allow is a statement about the site, not about who calls
+//! it.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::callgraph::CallGraph;
+use crate::config::AnalyzeConfig;
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+use super::{alloc_finding, code_indices, is_test_path, panic_finding};
+
+/// Runs the transitive hot-path pass.
+#[must_use]
+pub fn run(ws: &Workspace, cfg: &AnalyzeConfig, graph: &CallGraph) -> Vec<Diagnostic> {
+    let mut seeds: Vec<usize> = Vec::new();
+    for f in &cfg.hot.functions {
+        seeds.extend(graph.seed_ids(&f.crate_name, &f.symbol));
+    }
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let seed_set: HashSet<usize> = seeds.iter().copied().collect();
+    let reach = graph.closure(&seeds);
+
+    // Group reached (non-seed) defs by file so each file is scanned
+    // once; remember the chain per (path, symbol).
+    let mut per_file: HashMap<&str, HashMap<&str, String>> = HashMap::new();
+    for &id in reach.keys() {
+        if seed_set.contains(&id) {
+            continue;
+        }
+        let def = &graph.table.defs[id];
+        per_file
+            .entry(def.path.as_str())
+            .or_default()
+            .insert(def.symbol.as_str(), graph.chain(&reach, id));
+    }
+
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        let Some(symbols) = per_file.get(file.path.as_str()) else {
+            continue;
+        };
+        if is_test_path(&file.path) {
+            continue;
+        }
+        let code = code_indices(file);
+        for (k, &i) in code.iter().enumerate() {
+            let ctx = &file.ctx[i];
+            if ctx.in_fn.is_empty() || ctx.in_test || ctx.in_attr {
+                continue;
+            }
+            let Some(chain) = symbols.get(ctx.in_fn.as_str()) else {
+                continue;
+            };
+            let tok = &file.tokens[i];
+            if let Some(message) = panic_finding(file, &code, k) {
+                if file.allowed("panic", tok.line).is_none() {
+                    diags.push(Diagnostic {
+                        pass: "hot-transitive".into(),
+                        path: file.path.clone(),
+                        line: tok.line,
+                        symbol: ctx.in_fn.clone(),
+                        message: format!("{message} [hot via {chain}]"),
+                    });
+                }
+                continue;
+            }
+            if ctx.loop_depth > 0 {
+                if let Some(message) = alloc_finding(file, &code, k) {
+                    if file.allowed("alloc", tok.line).is_none() {
+                        diags.push(Diagnostic {
+                            pass: "hot-transitive".into(),
+                            path: file.path.clone(),
+                            line: tok.line,
+                            symbol: ctx.in_fn.clone(),
+                            message: format!("{message} [hot via {chain}]"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    diags
+}

@@ -5,32 +5,61 @@
 //! the lexed and scope-tracked [`crate::source::SourceFile`]s, which is
 //! what makes them immune to the strings-and-comments false positives
 //! that plagued line-based scanning.
+//!
+//! The interprocedural passes (`hot-transitive`, `cancel-poll`,
+//! `concurrency-*`) additionally consume the workspace
+//! [`CallGraph`], built once per run by [`analyze`].
 
+pub mod cancel_poll;
+pub mod concurrency;
 pub mod hot_alloc;
+pub mod hot_transitive;
 pub mod layering;
 pub mod newtype;
 pub mod panic_path;
 pub mod source_audit;
 
-use crate::config::HotPaths;
+use crate::callgraph::CallGraph;
+use crate::config::AnalyzeConfig;
 use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
 use crate::source::SourceFile;
 use crate::workspace::Workspace;
 
-/// Runs the ratcheted passes: layering, panic-path, hot-loop
-/// allocation, newtype discipline, and annotation validation. The
-/// source-audit pass is *not* included — it keeps its own allowlist and
-/// exit semantics under `cargo run -p xtask -- audit`.
+/// The diagnostics plus the call graph they were computed against —
+/// the driver reuses the graph for the report and the JSON dump.
+pub struct Analysis {
+    /// All findings, sorted.
+    pub diags: Vec<Diagnostic>,
+    /// The workspace call graph.
+    pub graph: CallGraph,
+}
+
+/// Runs every ratcheted pass: layering, panic-path, hot-loop
+/// allocation, newtype discipline, annotation validation, transitive
+/// hot-path discipline, cancel-poll coverage and concurrency hygiene.
+/// The source-audit pass is *not* included — it keeps its own allowlist
+/// and exit semantics under `cargo run -p xtask -- audit`.
 #[must_use]
-pub fn run_all(ws: &Workspace, hot: &HotPaths) -> Vec<Diagnostic> {
+pub fn analyze(ws: &Workspace, cfg: &AnalyzeConfig) -> Analysis {
+    let graph = CallGraph::build(ws);
     let mut diags = Vec::new();
     diags.extend(layering::run(ws));
-    diags.extend(panic_path::run(ws, hot));
-    diags.extend(hot_alloc::run(ws, hot));
+    diags.extend(panic_path::run(ws, &cfg.hot));
+    diags.extend(hot_alloc::run(ws, &cfg.hot));
     diags.extend(newtype::run(ws));
     diags.extend(annotations(ws));
+    diags.extend(hot_transitive::run(ws, cfg, &graph));
+    diags.extend(cancel_poll::run(ws, cfg));
+    diags.extend(concurrency::run(ws, cfg, &graph));
     diags.sort();
-    diags
+    Analysis { diags, graph }
+}
+
+/// [`analyze`] without the graph, for callers that only want findings.
+#[must_use]
+pub fn run_all(ws: &Workspace, cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+    analyze(ws, cfg).diags
 }
 
 /// Malformed `analyze::allow` annotations become findings themselves —
@@ -52,13 +81,18 @@ fn annotations(ws: &Workspace) -> Vec<Diagnostic> {
     diags
 }
 
-/// The names of the passes `run_all` executes, for `--summary` output.
+/// The names of the passes `analyze` executes, for `--summary` output
+/// and `--explain`.
 pub const PASS_NAMES: &[&str] = &[
     "layering",
     "panic-path",
     "hot-alloc",
     "newtype",
     "annotation",
+    "hot-transitive",
+    "cancel-poll",
+    "concurrency-ordering",
+    "concurrency-lock",
 ];
 
 /// Is the file exempt test-adjacent code by location (integration
@@ -87,4 +121,96 @@ pub fn code_indices(file: &SourceFile) -> Vec<usize> {
 #[must_use]
 pub fn text_at<'a>(file: &'a SourceFile, code: &[usize], k: usize) -> &'a str {
     code.get(k).map_or("", |&i| file.tokens[i].text(&file.text))
+}
+
+/// The panic-shaped construct at view position `k`, if any: the shared
+/// matcher behind `panic-path` (seeded fns) and `hot-transitive`
+/// (reachable fns). Returns the finding message.
+#[must_use]
+pub(crate) fn panic_finding(file: &SourceFile, code: &[usize], k: usize) -> Option<String> {
+    let i = *code.get(k)?;
+    let tok = &file.tokens[i];
+    let text = file.text_of(tok);
+    match (tok.kind, text) {
+        (TokenKind::Ident, "unwrap" | "expect")
+            if k > 0 && text_at(file, code, k - 1) == "." && text_at(file, code, k + 1) == "(" =>
+        {
+            Some(format!(
+                "`.{text}(…)` in hot path — use `get`/`match`, or justify with \
+                 `// analyze::allow(panic): …`"
+            ))
+        }
+        (TokenKind::Ident, "panic" | "unreachable") if text_at(file, code, k + 1) == "!" => {
+            Some(format!(
+                "`{text}!` in hot path — return an error or make the state unrepresentable, \
+                 or justify with `// analyze::allow(panic): …`"
+            ))
+        }
+        (TokenKind::Punct, "[") if k > 0 && is_index_base(file, code, k - 1) => Some(
+            "`[…]` indexing in hot path — use `get`, or justify with \
+             `// analyze::allow(panic): …`"
+                .to_string(),
+        ),
+        _ => None,
+    }
+}
+
+/// The allocation-shaped construct at view position `k`, if any: the
+/// shared matcher behind `hot-alloc` and `hot-transitive`. The caller
+/// decides the loop-depth requirement.
+#[must_use]
+pub(crate) fn alloc_finding(file: &SourceFile, code: &[usize], k: usize) -> Option<String> {
+    let i = *code.get(k)?;
+    let tok = &file.tokens[i];
+    if tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let text = file.text_of(tok);
+    let next = text_at(file, code, k + 1);
+    let prev = if k > 0 {
+        text_at(file, code, k - 1)
+    } else {
+        ""
+    };
+    match text {
+        "Vec" | "Box" | "String"
+            if next == ":"
+                && text_at(file, code, k + 2) == ":"
+                && matches!(text_at(file, code, k + 3), "new" | "with_capacity") =>
+        {
+            Some(format!(
+                "`{text}::{}` allocates inside a hot loop — hoist to a reused scratch buffer",
+                text_at(file, code, k + 3)
+            ))
+        }
+        "clone" | "to_vec" | "collect" | "to_owned" if prev == "." && matches!(next, "(" | ":") => {
+            Some(format!(
+                "`.{text}()` allocates inside a hot loop — reuse a scratch buffer or borrow"
+            ))
+        }
+        "format" | "vec" if next == "!" => Some(format!(
+            "`{text}!` allocates inside a hot loop — hoist or pre-size outside the loop"
+        )),
+        _ => None,
+    }
+}
+
+/// Is the code token at view position `k` something a `[` after it
+/// would index? (An identifier, a closing paren/bracket — i.e. an
+/// expression — rather than the start of an array literal, slice type
+/// or attribute.)
+pub(crate) fn is_index_base(file: &SourceFile, code: &[usize], k: usize) -> bool {
+    let Some(&i) = code.get(k) else { return false };
+    let tok = &file.tokens[i];
+    match tok.kind {
+        TokenKind::Ident => {
+            // `let x = [0; 4]` etc. start after keywords, not expressions.
+            !matches!(
+                file.text_of(tok),
+                "mut" | "let" | "in" | "return" | "if" | "else" | "match" | "ref" | "box" | "as"
+            )
+        }
+        TokenKind::Punct => matches!(file.text_of(tok), ")" | "]"),
+        _ => false,
+    }
 }

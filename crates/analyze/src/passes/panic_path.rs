@@ -7,13 +7,16 @@
 //! index really is proven in bounds, the site carries a
 //! `// analyze::allow(panic): <reason>` annotation so the justification
 //! is part of the code.
+//!
+//! The matcher itself lives in [`super::panic_finding`] and is shared
+//! with the `hot-transitive` pass, which applies the same rules to
+//! every function *reachable* from a seed.
 
 use crate::config::HotPaths;
 use crate::diag::Diagnostic;
-use crate::lexer::TokenKind;
 use crate::workspace::Workspace;
 
-use super::{code_indices, is_test_path, text_at};
+use super::{code_indices, is_test_path, panic_finding};
 
 /// Runs the panic-path pass.
 #[must_use]
@@ -33,37 +36,8 @@ pub fn run(ws: &Workspace, hot: &HotPaths) -> Vec<Diagnostic> {
             {
                 continue;
             }
-            let tok = &file.tokens[i];
-            let text = file.text_of(tok);
-            let finding: Option<String> = match (tok.kind, text) {
-                (TokenKind::Ident, "unwrap" | "expect")
-                    if k > 0
-                        && text_at(file, &code, k - 1) == "."
-                        && text_at(file, &code, k + 1) == "(" =>
-                {
-                    Some(format!(
-                        "`.{text}(…)` in hot path — use `get`/`match`, or justify with \
-                         `// analyze::allow(panic): …`"
-                    ))
-                }
-                (TokenKind::Ident, "panic" | "unreachable")
-                    if text_at(file, &code, k + 1) == "!" =>
-                {
-                    Some(format!(
-                        "`{text}!` in hot path — return an error or make the state unrepresentable, \
-                         or justify with `// analyze::allow(panic): …`"
-                    ))
-                }
-                (TokenKind::Punct, "[") if k > 0 && is_index_base(file, &code, k - 1) => {
-                    Some(
-                        "`[…]` indexing in hot path — use `get`, or justify with \
-                         `// analyze::allow(panic): …`"
-                            .to_string(),
-                    )
-                }
-                _ => None,
-            };
-            if let Some(message) = finding {
+            if let Some(message) = panic_finding(file, &code, k) {
+                let tok = &file.tokens[i];
                 if file.allowed("panic", tok.line).is_some() {
                     continue;
                 }
@@ -78,24 +52,4 @@ pub fn run(ws: &Workspace, hot: &HotPaths) -> Vec<Diagnostic> {
         }
     }
     diags
-}
-
-/// Is the code token at view position `k` something a `[` after it
-/// would index? (An identifier, a closing paren/bracket — i.e. an
-/// expression — rather than the start of an array literal, slice type
-/// or attribute.)
-fn is_index_base(file: &crate::source::SourceFile, code: &[usize], k: usize) -> bool {
-    let Some(&i) = code.get(k) else { return false };
-    let tok = &file.tokens[i];
-    match tok.kind {
-        TokenKind::Ident => {
-            // `let x = [0; 4]` etc. start after keywords, not expressions.
-            !matches!(
-                file.text_of(tok),
-                "mut" | "let" | "in" | "return" | "if" | "else" | "match" | "ref" | "box" | "as"
-            )
-        }
-        TokenKind::Punct => matches!(file.text_of(tok), ")" | "]"),
-        _ => false,
-    }
 }

@@ -51,7 +51,8 @@ pub struct TokenCtx {
 /// A `// analyze::allow(kind): reason` annotation.
 #[derive(Clone, Debug)]
 pub struct Allow {
-    /// The allowed diagnostic kind: `panic`, `alloc` or `newtype`.
+    /// The allowed diagnostic kind: `panic`, `alloc`, `newtype`,
+    /// `cancel` or `lock`.
     pub kind: String,
     /// First source line the annotation covers.
     pub from_line: u32,
@@ -314,7 +315,10 @@ fn track(src: &str, tokens: &[Token]) -> Vec<TokenCtx> {
             (TokenKind::Ident, "mod") => {
                 next_is_mod_name = true;
             }
-            (TokenKind::Ident, "impl") => {
+            // `impl` in type position (`arg: impl Fn()`, `-> impl
+            // Iterator`) is not an impl block: inside a paren list or a
+            // pending fn signature it never owns a brace.
+            (TokenKind::Ident, "impl") if paren_depth == 0 && pending_fn.is_none() => {
                 impl_active = true;
                 impl_saw_for = false;
                 angle_depth = 0;
@@ -411,10 +415,15 @@ fn scan_allows(src: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<(u32, String)>) 
             continue;
         };
         let kind = rest[..close].trim().to_string();
-        if !matches!(kind.as_str(), "panic" | "alloc" | "newtype") {
+        if !matches!(
+            kind.as_str(),
+            "panic" | "alloc" | "newtype" | "cancel" | "lock"
+        ) {
             bad.push((
                 tok.line,
-                format!("unknown allow kind `{kind}` (expected panic, alloc or newtype)"),
+                format!(
+                    "unknown allow kind `{kind}` (expected panic, alloc, newtype, cancel or lock)"
+                ),
             ));
             continue;
         }
@@ -522,6 +531,13 @@ mod tests {
         let c = ctx_of(&f, "body");
         assert_eq!(c.in_fn, "Wrap::next");
         assert_eq!(c.loop_depth, 1);
+    }
+
+    #[test]
+    fn impl_trait_in_param_and_return_position() {
+        let f = sf("fn f(stop: impl Fn() -> bool) { body1; } fn g() -> impl Iterator<Item = u8> { body2; }");
+        assert_eq!(ctx_of(&f, "body1").in_fn, "f");
+        assert_eq!(ctx_of(&f, "body2").in_fn, "g");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::path::PathBuf;
 
-use hqs_analyze::config::{HotFn, HotPaths};
+use hqs_analyze::config::{AnalyzeConfig, HotFn, HotPaths, OrderingSite};
 use hqs_analyze::diag::{self, Diagnostic};
 use hqs_analyze::manifest::Manifest;
 use hqs_analyze::passes::{self, hot_alloc, layering, newtype, panic_path, source_audit};
@@ -17,6 +17,12 @@ use hqs_analyze::source::SourceFile;
 use hqs_analyze::workspace::{CrateInfo, Workspace};
 
 const BAD_PANIC: &str = include_str!("../fixtures/bad_panic.rs");
+const BAD_TRANSITIVE: &str = include_str!("../fixtures/bad_transitive.rs");
+const BAD_CANCEL: &str = include_str!("../fixtures/bad_cancel.rs");
+const BAD_ORDERING: &str = include_str!("../fixtures/bad_ordering.rs");
+const BAD_LOCKHOLD: &str = include_str!("../fixtures/bad_lockhold.rs");
+const CLEAN_TRANSITIVE: &str = include_str!("../fixtures/clean_transitive.rs");
+const CLEAN_CONCURRENCY: &str = include_str!("../fixtures/clean_concurrency.rs");
 const BAD_ALLOC: &str = include_str!("../fixtures/bad_alloc.rs");
 const BAD_NEWTYPE: &str = include_str!("../fixtures/bad_newtype.rs");
 const BAD_AUDIT: &str = include_str!("../fixtures/bad_audit.rs");
@@ -56,6 +62,13 @@ fn hot_propagate() -> HotPaths {
             crate_name: "hqs-sat".to_string(),
             symbol: "Solver::propagate".to_string(),
         }],
+    }
+}
+
+fn cfg_with(hot: HotPaths) -> AnalyzeConfig {
+    AnalyzeConfig {
+        hot,
+        ..AnalyzeConfig::default()
     }
 }
 
@@ -163,7 +176,7 @@ fn bad_annotations_are_findings() {
         vec![member("hqs-base", "crates/base", &[], &[])],
         vec![("crates/base/src/ann.rs", "hqs-base", BAD_ANNOTATIONS)],
     );
-    let diags = passes::run_all(&ws, &HotPaths::default());
+    let diags = passes::run_all(&ws, &AnalyzeConfig::default());
     assert_eq!(diags.len(), 2, "{diags:#?}");
     assert!(diags.iter().all(|d| d.pass == "annotation"));
     assert_eq!(count_containing(&diags, "empty reason"), 1);
@@ -207,15 +220,141 @@ fn bad_layering_detects_every_class() {
 }
 
 #[test]
+fn bad_transitive_flags_panic_with_full_call_chain() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![(
+            "crates/sat/src/bad_transitive.rs",
+            "hqs-sat",
+            BAD_TRANSITIVE,
+        )],
+    );
+    let diags = passes::run_all(&ws, &cfg_with(hot_propagate()));
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    let d = &diags[0];
+    assert_eq!(d.pass, "hot-transitive");
+    assert_eq!(d.symbol, "Solver::helper_two");
+    assert!(d.message.contains("`.unwrap(…)`"), "{}", d.message);
+    // The diagnostic names the full chain from the seed to the sink.
+    assert!(
+        d.message.contains(
+            "[hot via hqs-sat::Solver::propagate → Solver::helper_one → Solver::helper_two]"
+        ),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn bad_cancel_flags_only_the_unpolled_loop() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![("crates/sat/src/bad_cancel.rs", "hqs-sat", BAD_CANCEL)],
+    );
+    let cfg = AnalyzeConfig {
+        cancel: vec![HotFn {
+            crate_name: "hqs-sat".to_string(),
+            symbol: "Solver::solve_rounds".to_string(),
+        }],
+        ..AnalyzeConfig::default()
+    };
+    let diags = passes::run_all(&ws, &cfg);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    let d = &diags[0];
+    assert_eq!(d.pass, "cancel-poll");
+    assert_eq!(d.symbol, "Solver::solve_rounds");
+    // The polled `loop` (budget.check) passes; only the bare `while`
+    // spin is flagged, anchored at its body.
+    assert_eq!(d.line, 29, "{diags:#?}");
+    assert!(d.message.contains("no cancellation poll"), "{}", d.message);
+}
+
+#[test]
+fn bad_ordering_flags_unlisted_site_and_stale_entry() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![("crates/sat/src/bad_ordering.rs", "hqs-sat", BAD_ORDERING)],
+    );
+    let cfg = AnalyzeConfig {
+        ordering_allow: vec![OrderingSite {
+            path: "crates/sat/src/bad_ordering.rs".to_string(),
+            symbol: "Flag::clear".to_string(),
+            variant: "Release".to_string(),
+        }],
+        ..AnalyzeConfig::default()
+    };
+    let diags = passes::run_all(&ws, &cfg);
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.pass == "concurrency-ordering"));
+    assert_eq!(
+        count_containing(&diags, "is not in the committed allowlist"),
+        1
+    );
+    assert_eq!(
+        count_containing(&diags, "stale ordering allowlist entry"),
+        1
+    );
+}
+
+#[test]
+fn bad_lockhold_flags_solver_call_and_alloc_under_guard() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![("crates/sat/src/bad_lockhold.rs", "hqs-sat", BAD_LOCKHOLD)],
+    );
+    let diags = passes::run_all(&ws, &cfg_with(hot_propagate()));
+    let lock: Vec<_> = diags
+        .iter()
+        .filter(|d| d.pass == "concurrency-lock")
+        .collect();
+    assert_eq!(lock.len(), 2, "{diags:#?}");
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert!(lock.iter().any(|d| d
+        .message
+        .contains("solver call `solve(…)` while MutexGuard `guard`")));
+    assert!(lock
+        .iter()
+        .any(|d| d.message.contains("allocation while MutexGuard `guard`")));
+}
+
+#[test]
+fn clean_concurrency_with_allowlisted_site_is_clean() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![(
+            "crates/sat/src/clean_concurrency.rs",
+            "hqs-sat",
+            CLEAN_CONCURRENCY,
+        )],
+    );
+    let cfg = AnalyzeConfig {
+        hot: hot_propagate(),
+        ordering_allow: vec![OrderingSite {
+            path: "crates/sat/src/clean_concurrency.rs".to_string(),
+            symbol: "Solver::propagate".to_string(),
+            variant: "Relaxed".to_string(),
+        }],
+        ..AnalyzeConfig::default()
+    };
+    let diags = passes::run_all(&ws, &cfg);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
 fn clean_fixtures_produce_zero_findings() {
     let ws = workspace(
         vec![member("hqs-sat", "crates/sat", &[], &[])],
         vec![
             ("crates/sat/src/clean_hot.rs", "hqs-sat", CLEAN_HOT),
             ("crates/sat/src/clean_strings.rs", "hqs-sat", CLEAN_STRINGS),
+            (
+                "crates/sat/src/clean_transitive.rs",
+                "hqs-sat",
+                CLEAN_TRANSITIVE,
+            ),
         ],
     );
-    let diags = passes::run_all(&ws, &hot_propagate());
+    let diags = passes::run_all(&ws, &cfg_with(hot_propagate()));
     assert!(diags.is_empty(), "{diags:#?}");
     let findings = source_audit::run(&ws);
     assert!(findings.hard.is_empty(), "{:#?}", findings.hard);
@@ -247,7 +386,7 @@ fn every_fixture_finding_round_trips_through_json() {
     all.extend(audit.unwrap_sites);
     all.extend(passes::run_all(
         &sat("crates/sat/src/d.rs", BAD_ANNOTATIONS),
-        &HotPaths::default(),
+        &AnalyzeConfig::default(),
     ));
     assert!(
         all.len() >= 20,

@@ -544,6 +544,7 @@ impl HqsSolver {
 
             // Pick the next universal to eliminate.
             let next = loop {
+                // analyze::allow(cancel): drains a finite queue, at most |queue| pops
                 match queue.pop() {
                     Some(x) if state.universals().contains(&x) => break Some(x),
                     Some(_) => continue, // removed meanwhile (unit/pure)

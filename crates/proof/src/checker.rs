@@ -139,6 +139,7 @@ impl Engine {
 
     #[inline]
     fn value_of(&self, lit: Lit) -> i8 {
+        // analyze::allow(panic): value is sized by ensure_var for every lit seen
         let v = self.value[lit.var().uidx()];
         if lit.is_negative() {
             -v
@@ -149,6 +150,7 @@ impl Engine {
 
     #[inline]
     fn enqueue(&mut self, lit: Lit, reason: u32) {
+        // analyze::allow(panic) lines=4: value/reason are sized by ensure_var
         let var = lit.var().uidx();
         self.value[var] = if lit.is_positive() { 1 } else { -1 };
         self.reason[var] = reason;
@@ -284,6 +286,7 @@ impl Engine {
 
     /// Unassigns everything above trail position `to`.
     fn backtrack(&mut self, to: usize) {
+        // analyze::allow(panic) lines=5: trail positions are in range by the loop bound
         for i in (to..self.trail.len()).rev() {
             let var = self.trail[i].var().uidx();
             self.value[var] = 0;

@@ -140,6 +140,7 @@ impl SearchSolver {
         // matrix status check.
         let mut trail: Vec<Var> = Vec::new();
         let verdict = loop {
+            // analyze::allow(cancel): propagate_scan assigns a var per round, so at most |vars| rounds
             match self.propagate_scan(assignment, &mut trail) {
                 Propagation::Conflict => break Some(false),
                 Propagation::Satisfied => break Some(true),
@@ -149,6 +150,7 @@ impl SearchSolver {
         };
         if let Some(result) = verdict {
             for var in trail {
+                // analyze::allow(cancel): bounded unwind of the local trail
                 assignment.unassign(var);
             }
             return result;
@@ -195,6 +197,7 @@ impl SearchSolver {
             }
         };
         for var in trail {
+            // analyze::allow(cancel): bounded unwind of the local trail
             assignment.unassign(var);
         }
         result

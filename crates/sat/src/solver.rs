@@ -394,6 +394,7 @@ impl Solver {
 
     #[inline]
     pub(crate) fn value(&self, lit: Lit) -> Lbool {
+        // analyze::allow(panic): every Lit reaching here went through ensure_vars
         let v = self.assigns[lit.var().uidx()];
         if v == Lbool::Undef {
             Lbool::Undef
@@ -515,6 +516,7 @@ impl Solver {
             return SolveResult::Unsat;
         }
         for &a in assumptions {
+            // analyze::allow(cancel): bounded by the caller's assumption list
             self.ensure_vars(a.var().bound());
         }
         let mut restarts = Luby::new(100);
@@ -643,6 +645,7 @@ impl Solver {
     }
 
     fn unchecked_enqueue(&mut self, lit: Lit, reason: u32) {
+        // analyze::allow(panic) lines=6: assigns/level/reason are sized by ensure_vars
         let var = lit.var().uidx();
         debug_assert_eq!(self.assigns[var], Lbool::Undef);
         self.assigns[var] = Lbool::from_bool(lit.is_positive());
@@ -825,6 +828,7 @@ impl Solver {
     /// Local clause minimisation: drop literals whose reason clause is fully
     /// covered by other seen literals (self-subsuming resolution).
     fn minimize(&mut self, learnt: &mut Vec<Lit>) {
+        // analyze::allow(panic) lines=25: reason crefs index live clauses; seen/level sized by ensure_vars
         let mut keep = std::mem::take(&mut self.minimize_keep);
         keep.clear();
         keep.resize(learnt.len(), true);
@@ -858,6 +862,7 @@ impl Solver {
     fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
         let mut levels = std::mem::take(&mut self.lbd_levels);
         levels.clear();
+        // analyze::allow(panic): learnt-clause literals were assigned, so level is in bounds
         levels.extend(lits.iter().map(|l| self.level[l.var().uidx()]));
         levels.sort_unstable();
         levels.dedup();
@@ -899,6 +904,7 @@ impl Solver {
     }
 
     fn bump_var(&mut self, var: Var) {
+        // analyze::allow(panic) lines=3: activity is sized by ensure_vars
         let idx = var.uidx();
         self.activity[idx] += self.var_inc;
         if self.activity[idx] > 1e100 {
@@ -911,6 +917,7 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cref: u32) {
+        // analyze::allow(panic) lines=10: crefs and learnt_indices are minted by add_clause
         let clause = &mut self.clauses[cref as usize];
         if !clause.learnt {
             return;

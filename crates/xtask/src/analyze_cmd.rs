@@ -3,8 +3,11 @@
 //!
 //! ```text
 //! cargo run -p xtask -- analyze                      # print findings
-//! cargo run -p xtask -- analyze --summary            # per-pass counts
-//! cargo run -p xtask -- analyze --report <path>      # findings as JSON
+//! cargo run -p xtask -- analyze --summary            # per-pass counts + graph stats
+//! cargo run -p xtask -- analyze --report <path>      # findings + call-graph stats as JSON
+//! cargo run -p xtask -- analyze --callgraph <path>   # full call-graph dump as JSON
+//! cargo run -p xtask -- analyze --bench <path>       # timing JSON (BENCH_analyze.json)
+//! cargo run -p xtask -- analyze --explain <pass>     # rationale + fix recipe for a pass
 //! cargo run -p xtask -- analyze --check-baseline     # CI gate
 //! cargo run -p xtask -- analyze --write-baseline     # refresh baseline
 //! ```
@@ -12,9 +15,12 @@
 //! `--check-baseline` compares findings against the committed
 //! `analyze-baseline.json` and fails on any finding the baseline does
 //! not cover **and** on any baseline entry that no longer matches — the
-//! ratchet only turns one way. `--write-baseline` regenerates the file
-//! after debt has been paid down (or deliberately, with review, when a
-//! new pass lands with pre-existing findings).
+//! ratchet only turns one way. It also fails when the call-site
+//! resolution rate drops below `[callgraph] min-resolution-percent`
+//! in `analyze-hot-paths.toml`, so the graph cannot silently decay.
+//! `--write-baseline` regenerates the file after debt has been paid
+//! down (or deliberately, with review, when a new pass lands with
+//! pre-existing findings).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -23,6 +29,7 @@ use std::time::Instant;
 use hqs_analyze::baseline::Baseline;
 use hqs_analyze::config;
 use hqs_analyze::diag;
+use hqs_analyze::json::{self, Json};
 use hqs_analyze::passes;
 use hqs_analyze::Workspace;
 
@@ -36,23 +43,45 @@ pub fn run(args: &[String]) -> ExitCode {
     let mut write_baseline = false;
     let mut summary = false;
     let mut report: Option<String> = None;
+    let mut callgraph: Option<String> = None;
+    let mut bench: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check-baseline" => check_baseline = true,
             "--write-baseline" => write_baseline = true,
             "--summary" => summary = true,
-            "--report" => match it.next() {
-                Some(path) => report = Some(path.clone()),
-                None => {
-                    eprintln!("analyze: --report requires a path");
-                    return ExitCode::FAILURE;
+            "--report" | "--callgraph" | "--bench" => {
+                let flag = arg.clone();
+                match it.next() {
+                    Some(path) => match flag.as_str() {
+                        "--report" => report = Some(path.clone()),
+                        "--callgraph" => callgraph = Some(path.clone()),
+                        _ => bench = Some(path.clone()),
+                    },
+                    None => {
+                        eprintln!("analyze: {flag} requires a path");
+                        return ExitCode::FAILURE;
+                    }
                 }
-            },
+            }
+            "--explain" => {
+                return match it.next() {
+                    Some(topic) => explain(topic),
+                    None => {
+                        eprintln!(
+                            "analyze: --explain requires a pass name (one of: {})",
+                            passes::PASS_NAMES.join(", ")
+                        );
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             other => {
                 eprintln!(
                     "analyze: unknown flag `{other}` (expected --check-baseline, \
-                     --write-baseline, --summary, --report <path>)"
+                     --write-baseline, --summary, --report <path>, --callgraph <path>, \
+                     --bench <path>, --explain <pass>)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -68,23 +97,80 @@ pub fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let hot = match load_hot_paths(&root) {
-        Ok(hot) => hot,
+    let load_elapsed = started.elapsed();
+    let cfg = match load_config(&root) {
+        Ok(cfg) => cfg,
         Err(err) => {
             eprintln!("analyze: {err}");
             return ExitCode::FAILURE;
         }
     };
-    let diags = passes::run_all(&ws, &hot);
-    let elapsed = started.elapsed();
+    let analysis_started = Instant::now();
+    let analysis = passes::analyze(&ws, &cfg);
+    let analyze_elapsed = analysis_started.elapsed();
+    let diags = &analysis.diags;
+    let graph = &analysis.graph;
+    let rate = graph.stats.resolution_rate();
 
     if let Some(path) = &report {
-        let json = diag::to_json_array(&diags);
-        if let Err(err) = std::fs::write(root.join(path), json) {
+        let obj = Json::Object(vec![
+            ("schema".into(), Json::String("hqs-analyze-report/2".into())),
+            (
+                "findings".into(),
+                json::parse(&diag::to_json_array(diags)).unwrap_or(Json::Array(vec![])),
+            ),
+            ("callgraph".into(), graph.stats_json()),
+        ]);
+        if let Err(err) = std::fs::write(root.join(path), json::emit_pretty(&obj)) {
             eprintln!("analyze: failed to write report {path}: {err}");
             return ExitCode::FAILURE;
         }
         println!("analyze: report written to {path}");
+    }
+    if let Some(path) = &callgraph {
+        if let Err(err) = std::fs::write(root.join(path), json::emit_pretty(&graph.to_json())) {
+            eprintln!("analyze: failed to write call graph {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "analyze: call graph written to {path} ({} functions, {} edges)",
+            graph.table.defs.len(),
+            graph.edges.len()
+        );
+    }
+    if let Some(path) = &bench {
+        let obj = Json::Object(vec![
+            ("schema".into(), Json::String("hqs-bench-analyze/1".into())),
+            ("files".into(), Json::Number(ws.files.len() as f64)),
+            ("crates".into(), Json::Number(ws.crates.len() as f64)),
+            (
+                "functions".into(),
+                Json::Number(graph.table.defs.len() as f64),
+            ),
+            ("edges".into(), Json::Number(graph.edges.len() as f64)),
+            (
+                "call_sites".into(),
+                Json::Number(graph.stats.total_sites as f64),
+            ),
+            ("findings".into(), Json::Number(diags.len() as f64)),
+            (
+                "resolution_rate_percent".into(),
+                Json::Number((rate * 100.0).round() / 100.0),
+            ),
+            (
+                "load_ms".into(),
+                Json::Number((load_elapsed.as_secs_f64() * 1e5).round() / 100.0),
+            ),
+            (
+                "analyze_ms".into(),
+                Json::Number((analyze_elapsed.as_secs_f64() * 1e5).round() / 100.0),
+            ),
+        ]);
+        if let Err(err) = std::fs::write(root.join(path), json::emit_pretty(&obj)) {
+            eprintln!("analyze: failed to write bench {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("analyze: bench written to {path}");
     }
     if summary {
         println!(
@@ -92,16 +178,27 @@ pub fn run(args: &[String]) -> ExitCode {
             ws.files.len(),
             ws.crates.len(),
             diags.len(),
-            elapsed
+            load_elapsed + analyze_elapsed
         );
         for pass in passes::PASS_NAMES {
             let count = diags.iter().filter(|d| d.pass == *pass).count();
-            println!("  {pass:<12} {count}");
+            println!("  {pass:<20} {count}");
         }
+        println!(
+            "analyze: call graph: {} functions, {} edges, {} sites \
+             ({} resolved, {} external, {} ambiguous, {} unknown) — {rate:.2}% resolved",
+            graph.table.defs.len(),
+            graph.edges.len(),
+            graph.stats.total_sites,
+            graph.stats.resolved,
+            graph.stats.external,
+            graph.stats.ambiguous,
+            graph.stats.unknown,
+        );
     }
 
     if write_baseline {
-        let baseline = Baseline::from_diags(&diags);
+        let baseline = Baseline::from_diags(diags);
         if let Err(err) = std::fs::write(root.join(BASELINE_FILE), baseline.emit()) {
             eprintln!("analyze: failed to write {BASELINE_FILE}: {err}");
             return ExitCode::FAILURE;
@@ -122,29 +219,43 @@ pub fn run(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let result = baseline.check(&diags);
+        let result = baseline.check(diags);
         for line in &result.regressions {
             eprintln!("analyze: new finding: {line}");
         }
         for line in &result.stale {
             eprintln!("analyze: stale baseline entry: {line}");
         }
-        if result.ok() {
+        let rate_ok = rate >= cfg.min_resolution_percent;
+        if !rate_ok {
+            eprintln!(
+                "analyze: call-site resolution rate {rate:.2}% is below the \
+                 [callgraph] min-resolution-percent floor {:.2}%",
+                cfg.min_resolution_percent
+            );
+        }
+        if result.ok() && rate_ok {
             println!(
-                "analyze: OK ({} finding(s), all covered by the baseline)",
+                "analyze: OK ({} finding(s), all covered by the baseline; \
+                 resolution rate {rate:.2}%)",
                 diags.len()
             );
             ExitCode::SUCCESS
         } else {
             eprintln!(
-                "analyze: FAILED ({} regression(s), {} stale baseline entry/ies)",
+                "analyze: FAILED ({} regression(s), {} stale baseline entry/ies{})",
                 result.regressions.len(),
-                result.stale.len()
+                result.stale.len(),
+                if rate_ok {
+                    String::new()
+                } else {
+                    ", resolution rate below floor".to_string()
+                }
             );
             ExitCode::FAILURE
         }
     } else {
-        for d in &diags {
+        for d in diags {
             println!(
                 "[{}] {}:{}{} {}",
                 d.pass,
@@ -169,21 +280,21 @@ fn symbol_suffix(symbol: &str) -> String {
     }
 }
 
-fn load_hot_paths(root: &Path) -> Result<config::HotPaths, String> {
+fn load_config(root: &Path) -> Result<config::AnalyzeConfig, String> {
     let path = root.join(HOT_PATHS_FILE);
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
             eprintln!("analyze: note: {HOT_PATHS_FILE} not found, hot-path passes are vacuous");
-            return Ok(config::HotPaths::default());
+            return Ok(config::AnalyzeConfig::default());
         }
         Err(err) => return Err(format!("failed to read {HOT_PATHS_FILE}: {err}")),
     };
-    let (hot, warnings) = config::parse(&text);
+    let (cfg, warnings) = config::parse(&text);
     if let Some(first) = warnings.first() {
         return Err(format!("{HOT_PATHS_FILE}: {first}"));
     }
-    Ok(hot)
+    Ok(cfg)
 }
 
 fn load_baseline(root: &Path) -> Result<Baseline, String> {
@@ -198,3 +309,100 @@ fn load_baseline(root: &Path) -> Result<Baseline, String> {
     };
     Baseline::parse(&text).map_err(|e| format!("{BASELINE_FILE}: {e}"))
 }
+
+/// Prints the rationale and fix recipe for one pass, so a CI failure is
+/// self-serve.
+fn explain(topic: &str) -> ExitCode {
+    let entry = EXPLANATIONS.iter().find(|(name, _)| *name == topic);
+    match entry {
+        Some((name, text)) => {
+            println!("{name}\n{}\n{text}", "=".repeat(name.len()));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "analyze: no explanation for `{topic}` (known passes: {})",
+                passes::PASS_NAMES.join(", ")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One explanation per pass: why it exists, how to fix a finding, and
+/// which annotation (if any) waives it.
+const EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        "layering",
+        "Why: the crate DAG (base → cnf → {sat, proof} → {maxsat, aig} → qbf → core → apps)\n\
+         keeps subsystem boundaries honest; cycles and reach-through make refactors unsafe.\n\
+         Fix: depend only on lower layers; move shared code down; never import another\n\
+         crate's private modules. No annotation waives this pass.",
+    ),
+    (
+        "panic-path",
+        "Why: functions listed in [hot-paths] run in the solver's innermost loops where a\n\
+         latent panic aborts a whole solve. unwrap/expect/panic!/unreachable!/[] indexing\n\
+         are denied there.\n\
+         Fix: use get/match or restructure so the invariant is by-construction; where the\n\
+         index is proven in bounds, annotate the site with\n\
+         `// analyze::allow(panic): <reason>`.",
+    ),
+    (
+        "hot-alloc",
+        "Why: per-iteration allocation in hot loops dominates solver runtime.\n\
+         Fix: hoist to a scratch buffer reused via std::mem::take, or pre-size outside the\n\
+         loop; amortized/once-per-call allocations take\n\
+         `// analyze::allow(alloc): <reason>`.",
+    ),
+    (
+        "newtype",
+        "Why: Lit/Var cross into raw integers only through the sanctioned helpers in\n\
+         hqs-base, so encoding changes stay local.\n\
+         Fix: use the helper methods; justified casts take\n\
+         `// analyze::allow(newtype): <reason>`.",
+    ),
+    (
+        "annotation",
+        "Why: a suppression that fails to parse would silently look like an active waiver.\n\
+         Fix: write `// analyze::allow(kind) [lines=N]: reason` with kind one of panic,\n\
+         alloc, newtype, cancel, lock and a non-empty reason.",
+    ),
+    (
+        "hot-transitive",
+        "Why: hot-path discipline that stops at hand-listed functions goes stale the moment\n\
+         a seed grows a helper. This pass computes the callee closure of the [hot-paths]\n\
+         seeds over the workspace call graph and applies the same panic/alloc denies to\n\
+         every reachable function. The diagnostic shows the call chain that makes the\n\
+         function hot.\n\
+         Fix: as for panic-path/hot-alloc at the offending site — refactor, or annotate\n\
+         the site with `// analyze::allow(panic|alloc): <reason>`. If the chain itself is\n\
+         a resolver over-approximation (a same-named method on an unrelated type), tighten\n\
+         the callee's name or accept the stricter standard.",
+    ),
+    (
+        "cancel-poll",
+        "Why: every loop in a solver-entry function ([cancel-poll] functions) must observe\n\
+         cancellation, or a stuck instance makes the whole portfolio uncancellable.\n\
+         Fix: poll `budget.check(…)`/`token.is_cancelled()`/`stop_requested()` inside the\n\
+         loop body (an inner-loop poll covers its outer loops); genuinely bounded loops\n\
+         take `// analyze::allow(cancel): <reason>` as the first line of the loop body.",
+    ),
+    (
+        "concurrency-ordering",
+        "Why: every atomic Ordering:: choice is a claim about a happens-before edge; the\n\
+         committed allowlist in [concurrency] ordering forces each claim to be written\n\
+         down once and reviewed when it changes. The check is two-way: unlisted sites and\n\
+         stale entries both fail.\n\
+         Fix: add `path::Type::fn::Variant` with a justification comment to\n\
+         analyze-hot-paths.toml, or strengthen the ordering. Duplicate an entry to allow\n\
+         two sites of the same variant in one function.",
+    ),
+    (
+        "concurrency-lock",
+        "Why: the engine's sharded deques stay contention-free only if guards are short-\n\
+         lived; allocating or calling a solver under a held MutexGuard serializes workers.\n\
+         Fix: narrow the critical section (bind, use, drop), clone out the needed data, or\n\
+         annotate with `// analyze::allow(lock): <reason>`.",
+    ),
+];

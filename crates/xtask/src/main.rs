@@ -5,11 +5,15 @@
 //! ```text
 //! cargo run -p xtask -- analyze [--check-baseline] [--write-baseline]
 //!                               [--summary] [--report <path>]
+//!                               [--callgraph <path>] [--bench <path>]
+//!                               [--explain <pass>]
 //! ```
 //!
-//! runs the token-level passes from `hqs-analyze` (layering, panic-path,
-//! hot-loop allocation, newtype discipline, annotation validation) over
-//! the whole workspace and ratchets the findings against the committed
+//! builds the workspace call graph and runs the token-level passes from
+//! `hqs-analyze` (layering, panic-path, hot-loop allocation, newtype
+//! discipline, annotation validation, transitive hot-path discipline,
+//! cancel-poll coverage, concurrency hygiene) over the whole workspace
+//! and ratchets the findings against the committed
 //! `analyze-baseline.json` — see [`analyze_cmd`]. The certification gate
 //!
 //! ```text
