@@ -1,9 +1,11 @@
-//! Fixture: malformed `analyze::allow` annotations are findings.
+//! Fixture: malformed `analyze::allow` annotations are findings, and
+//! so are well-formed ones that suppress nothing (the two-way ratchet).
 
 pub fn f(v: &[u32]) -> u32 {
     // analyze::allow(panic):
     let a = v[0];
     // analyze::allow(bogus): not a real kind
     let b = v[1];
+    // analyze::allow(alloc): stale — nothing below allocates
     a + b
 }

@@ -1,0 +1,47 @@
+//! Fixture: path-sensitive cancellation coverage. `solve_rounds` polls
+//! at the loop head, so the `?` early exit and the labeled break are
+//! just extra exits — every *iterating* path passes the poll: clean.
+//! `solve_inner`'s fast path `continue`s around the poll: flagged, with
+//! the concrete unpolled path rendered.
+
+pub struct Budget;
+
+impl Budget {
+    pub fn check(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+pub struct Solver {
+    budget: Budget,
+}
+
+impl Solver {
+    pub fn solve_rounds(&mut self) -> Result<u32, String> {
+        let mut total = 0;
+        let mut i = 0;
+        'outer: loop {
+            self.budget.check()?;
+            i += 1;
+            if i > 50 {
+                break 'outer;
+            }
+            total += i;
+        }
+        Ok(total)
+    }
+
+    pub fn solve_inner(&mut self) -> Result<u32, String> {
+        let mut total = 0;
+        let mut i = 0;
+        while i < 100 {
+            i += 1;
+            if total > 10 {
+                continue; // fast path skips the poll below
+            }
+            self.budget.check()?;
+            total += i;
+        }
+        Ok(total)
+    }
+}

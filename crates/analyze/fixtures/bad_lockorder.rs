@@ -1,0 +1,32 @@
+//! Fixture: a two-function lock-order cycle. `forward` holds `alpha`
+//! and calls `grab_beta`, which acquires `beta` — a composed edge
+//! through the call graph. `backward` holds `beta` and temp-acquires
+//! `alpha` directly — an intra-function edge. Opposite orders: a
+//! deadlockable cycle, reported once with both chains rendered.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<Vec<u32>>,
+    beta: Mutex<Vec<u32>>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let guard = self.alpha.lock().unwrap();
+        let total = guard.len() as u32 + self.grab_beta();
+        drop(guard);
+        total
+    }
+
+    fn grab_beta(&self) -> u32 {
+        let g = self.beta.lock().unwrap();
+        g.iter().sum()
+    }
+
+    pub fn backward(&self) -> u32 {
+        let g = self.beta.lock().unwrap();
+        let head = self.alpha.lock().unwrap().first().copied().unwrap_or(0);
+        g.len() as u32 + head
+    }
+}

@@ -1,6 +1,10 @@
 //! Fixture: a panic two calls below a declared-hot seed. The seed
-//! itself is clean — only the transitive pass, walking the call graph,
-//! can see that `helper_two` runs on the hot path.
+//! itself is clean of *explicit* panic shapes — only the transitive
+//! pass, walking the call graph, can see that `helper_two` runs on the
+//! hot path. The seed also carries an *implicit* panic (`split_at`)
+//! and `helper_one` divides by a non-literal: those shapes have no
+//! panic vocabulary, so the transitive pass owns them even inside the
+//! seed.
 
 pub struct Solver {
     data: Vec<u32>,
@@ -8,14 +12,20 @@ pub struct Solver {
 
 impl Solver {
     pub fn propagate(&mut self) -> u32 {
+        let (low, _high) = self.data.split_at(1); // length precondition
+        let _ = low;
         self.helper_one(3)
     }
 
     fn helper_one(&self, i: usize) -> u32 {
-        self.helper_two(i) + 1
+        self.helper_two(i) % self.width() // divisor could be zero
     }
 
     fn helper_two(&self, i: usize) -> u32 {
         *self.data.get(i).unwrap() // panic two calls below the seed
+    }
+
+    fn width(&self) -> u32 {
+        self.data.len() as u32
     }
 }

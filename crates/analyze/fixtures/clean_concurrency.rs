@@ -27,7 +27,6 @@ impl Solver {
         let fed = self.inner.solve(snapshot); // guard already dropped
         // Statement-scoped temporary: the guard drops at the `;`.
         let head = self.shard.lock().unwrap().first().copied().unwrap_or(0); // analyze::allow(panic): poisoning is fatal here
-        // analyze::allow(panic): both operands fit in u32
         fed + head + self.cancelled.load(Ordering::Relaxed) as u32
     }
 }

@@ -156,7 +156,7 @@ impl Baseline {
                 .get("count")
                 .and_then(Json::as_number)
                 .ok_or("baseline entry missing `count`")?;
-            // analyze::allow(newtype): JSON numbers are f64; counts fit losslessly
+            // JSON numbers are f64; counts fit losslessly.
             let count = count as u32;
             entries.insert(
                 (get("pass")?, get("path")?, get("symbol")?, get("message")?),

@@ -62,7 +62,7 @@ impl GraphStats {
         if self.total_sites == 0 {
             return 100.0;
         }
-        // analyze::allow(newtype): plain percentage arithmetic on counters
+        // Plain percentage arithmetic on counters.
         100.0 * (self.resolved + self.external) as f64 / self.total_sites as f64
     }
 }
@@ -359,7 +359,7 @@ mod tests {
         let graph = CallGraph::build(&ws_two_deep());
         assert_eq!(graph.stats.total_sites, 2);
         assert_eq!(graph.stats.resolved, 2);
-        // analyze::allow(newtype): exact float comparison of a computed constant
+        // Exact float comparison of a computed constant.
         assert!((graph.stats.resolution_rate() - 100.0).abs() < 1e-9);
     }
 }

@@ -1,0 +1,970 @@
+//! Per-function control-flow graphs built from the token/scope stream.
+//!
+//! The builder is a recursive descent over a function body's non-trivia
+//! token view: it opens basic blocks at control keywords and closes
+//! them at their joins, producing a [`Cfg`] with explicit edges for
+//!
+//! * `if`/`else if`/`else` branches (true/false edges into a join),
+//! * `match` arms (one arm edge per arm, all re-joining),
+//! * `loop`/`while`/`for` bodies (a head block, a back edge from the
+//!   body end, and a loop-exit edge),
+//! * `break` / `continue`, including labeled `break 'outer` /
+//!   `continue 'outer` forms resolved against the enclosing loop stack
+//!   (labeled block expressions `'b: { … }` are break targets too),
+//! * early `return`, and
+//! * `?` — a split edge to the function exit alongside the fall-through
+//!   edge, so "this statement may leave the function" is a real path.
+//!
+//! The builder is deliberately *not* a parser. Struct literals, closure
+//! bodies and plain `{}` blocks are treated as straight-line code (a
+//! closure's control effects stay local to the statement that owns it),
+//! and malformed input degrades into larger straight-line blocks rather
+//! than an error — exactly the posture of the lexer underneath. What
+//! the passes need is sound *path* structure for the constructs that
+//! carry solver control flow, and those are modeled precisely.
+//!
+//! Block 0 is the function entry, block 1 the function exit; every
+//! `return`/`?`/fall-off-the-end edge targets block 1. Each block
+//! records the view positions (indices into the file's
+//! [`crate::passes::code_indices`] vector) of the tokens it contains
+//! plus the brace-scope depth it lives at — the scope depth is what
+//! lets the guard-liveness dataflow kill a `MutexGuard` binding when
+//! control leaves the scope that owns it.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Index of the synthetic entry block in [`Cfg::blocks`].
+pub const ENTRY: usize = 0;
+/// Index of the synthetic exit block in [`Cfg::blocks`].
+pub const EXIT: usize = 1;
+
+/// Why an edge exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Sequential fall-through (including branch re-joins).
+    Seq,
+    /// Condition held (`if`/`while` body entry).
+    True,
+    /// Condition failed (skip to join / loop exit).
+    False,
+    /// One `match` arm.
+    Arm,
+    /// Loop body end back to the loop head.
+    Back,
+    /// `continue` to the loop head.
+    Continue,
+    /// `break` to the loop's (or labeled block's) join.
+    Break,
+    /// `for`/`loop` head to the code after the loop.
+    LoopExit,
+    /// `return` to the function exit.
+    Return,
+    /// `?` early exit to the function exit.
+    Question,
+}
+
+/// One basic block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// View positions (into the file's code-index vector) of the tokens
+    /// in this block, in source order.
+    pub tokens: Vec<usize>,
+    /// 1-based line of the first token (or of the construct that opened
+    /// the block when it is still empty).
+    pub line: u32,
+    /// Brace-scope depth of the block's statements: the function body
+    /// is depth 1, each nested brace scope adds one. Join blocks carry
+    /// the depth of the surrounding scope.
+    pub scope: u32,
+    /// Successor edges.
+    pub succs: Vec<(usize, EdgeKind)>,
+    /// Predecessor block ids (derived from `succs` at seal time).
+    pub preds: Vec<usize>,
+}
+
+/// One loop in the function, in source order.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// The head block: condition for `while`/`for`, the body start
+    /// gateway for `loop`. `continue` and the back edge target it.
+    pub head: usize,
+    /// The join block control reaches after the loop exits.
+    pub exit: usize,
+    /// 1-based line of the loop keyword.
+    pub line: u32,
+    /// Line of the first token inside the body (annotation anchor).
+    pub body_line: u32,
+    /// 1-based nesting depth within the function.
+    pub depth: u32,
+    /// `'label` if the loop is labeled (without the quote).
+    pub label: Option<String>,
+}
+
+/// The control-flow graph of one function body.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Qualified function name (`Type::fn` or `fn`).
+    pub symbol: String,
+    /// Basic blocks; `blocks[ENTRY]` is the entry, `blocks[EXIT]` the
+    /// exit.
+    pub blocks: Vec<Block>,
+    /// Every loop, in source order.
+    pub loops: Vec<LoopInfo>,
+}
+
+impl Cfg {
+    /// Blocks in the body of the loop `l`: every block reachable from
+    /// the loop head without traversing an edge back into the head and
+    /// without passing through the loop's exit block.
+    #[must_use]
+    pub fn loop_body(&self, l: &LoopInfo) -> Vec<usize> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![l.head];
+        seen[l.head] = true;
+        seen[l.exit] = true; // barrier, removed from the result below
+        while let Some(b) = stack.pop() {
+            for &(s, _) in &self.blocks[b].succs {
+                if s != l.head && s != EXIT && !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen[l.exit] = false;
+        (0..self.blocks.len()).filter(|&b| seen[b]).collect()
+    }
+}
+
+/// Builds the CFG for every function body in `file`. `code` must be the
+/// file's [`crate::passes::code_indices`] view; bodies are the maximal
+/// runs of code tokens the scope tracker attributes to one function.
+#[must_use]
+pub fn build_all(file: &SourceFile, code: &[usize]) -> Vec<Cfg> {
+    let mut cfgs = Vec::new();
+    let mut k = 0;
+    while k < code.len() {
+        let ctx = &file.ctx[code[k]];
+        if ctx.in_fn.is_empty() || ctx.in_attr {
+            k += 1;
+            continue;
+        }
+        let symbol = ctx.in_fn.clone();
+        let start = k;
+        while k < code.len() {
+            let c = &file.ctx[code[k]];
+            if c.in_fn != symbol {
+                break;
+            }
+            k += 1;
+        }
+        // The run ends with the body's closing `}` (the tracker pops the
+        // fn scope after attributing it); the builder treats a stray
+        // close as end-of-body either way.
+        cfgs.push(build_fn(file, code, start, k, symbol));
+    }
+    cfgs
+}
+
+/// Builds the CFG for one function body spanning view positions
+/// `[start, end)` of `code`.
+#[must_use]
+pub fn build_fn(
+    file: &SourceFile,
+    code: &[usize],
+    start: usize,
+    end: usize,
+    symbol: String,
+) -> Cfg {
+    let first_line = code.get(start).map_or(0, |&i| file.tokens[i].line);
+    let mut b = Builder {
+        file,
+        code,
+        pos: start,
+        end,
+        blocks: vec![
+            Block {
+                tokens: Vec::new(),
+                line: first_line,
+                scope: 1,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            },
+            Block {
+                tokens: Vec::new(),
+                line: first_line,
+                scope: 0,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            },
+        ],
+        cur: ENTRY,
+        scope: 1,
+        targets: Vec::new(),
+        loops: Vec::new(),
+        loop_depth: 0,
+    };
+    b.parse_stmts(Stop::EndOfBody);
+    let last = b.cur;
+    b.edge(last, EXIT, EdgeKind::Seq);
+    let mut blocks = b.blocks;
+    let edges: Vec<(usize, usize)> = blocks
+        .iter()
+        .enumerate()
+        .flat_map(|(i, blk)| blk.succs.iter().map(move |&(s, _)| (i, s)))
+        .collect();
+    for (i, s) in edges {
+        if !blocks[s].preds.contains(&i) {
+            blocks[s].preds.push(i);
+        }
+    }
+    Cfg {
+        symbol,
+        blocks,
+        loops: b.loops,
+    }
+}
+
+/// What ends the statement list currently being parsed.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Stop {
+    /// End of the function body span (stray `}` tokens are consumed).
+    EndOfBody,
+    /// The matching `}` of a brace scope.
+    CloseBrace,
+    /// A `,` at nesting level 0, or the match's closing `}` (not
+    /// consumed): a blockless match-arm body.
+    ArmEnd,
+}
+
+/// A `break`/`continue` target on the construct stack.
+struct Target {
+    /// `continue` destination; `None` for labeled plain blocks.
+    head: Option<usize>,
+    /// `break` destination.
+    exit: usize,
+    /// Loop/block label, without the leading quote.
+    label: Option<String>,
+    /// Is this a loop (an unlabeled `break` binds to the innermost
+    /// loop, never to a labeled block)?
+    is_loop: bool,
+}
+
+struct Builder<'a> {
+    file: &'a SourceFile,
+    code: &'a [usize],
+    pos: usize,
+    end: usize,
+    blocks: Vec<Block>,
+    cur: usize,
+    scope: u32,
+    targets: Vec<Target>,
+    loops: Vec<LoopInfo>,
+    loop_depth: u32,
+}
+
+impl<'a> Builder<'a> {
+    fn text(&self, k: usize) -> &'a str {
+        if k < self.end {
+            self.code
+                .get(k)
+                .map_or("", |&i| self.file.tokens[i].text(&self.file.text))
+        } else {
+            ""
+        }
+    }
+
+    fn kind(&self, k: usize) -> Option<TokenKind> {
+        if k < self.end {
+            self.code.get(k).map(|&i| self.file.tokens[i].kind)
+        } else {
+            None
+        }
+    }
+
+    fn line(&self, k: usize) -> u32 {
+        self.code
+            .get(k.min(self.end.saturating_sub(1)))
+            .map_or(0, |&i| self.file.tokens[i].line)
+    }
+
+    fn new_block(&mut self, line: u32, scope: u32) -> usize {
+        self.blocks.push(Block {
+            tokens: Vec::new(),
+            line,
+            scope,
+            succs: Vec::new(),
+            preds: Vec::new(),
+        });
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize, kind: EdgeKind) {
+        if !self.blocks[from]
+            .succs
+            .iter()
+            .any(|&(s, k)| s == to && k == kind)
+        {
+            self.blocks[from].succs.push((to, kind));
+        }
+    }
+
+    /// Appends the current token to the current block and advances.
+    fn push_tok(&mut self) {
+        let line = self.line(self.pos);
+        let b = &mut self.blocks[self.cur];
+        if b.tokens.is_empty() && b.line == 0 {
+            b.line = line;
+        }
+        b.tokens.push(self.pos);
+        self.pos += 1;
+    }
+
+    /// Is the token at view position `k` an expression tail a postfix
+    /// `?` or an index `[` could apply to?
+    fn is_expr_end(&self, k: usize) -> bool {
+        match self.kind(k) {
+            Some(TokenKind::Ident | TokenKind::Int | TokenKind::Float | TokenKind::Str) => true,
+            Some(TokenKind::Punct) => matches!(self.text(k), ")" | "]" | "}"),
+            _ => false,
+        }
+    }
+
+    /// Consumes tokens into the current block up to (not including) a
+    /// `{` at bracket-nesting level 0. Used for `if`/`while` conditions,
+    /// `for` headers and `match` scrutinees, where Rust itself forbids
+    /// bare struct literals. Returns false if no `{` was found.
+    fn consume_header(&mut self) -> bool {
+        let mut depth = 0i32;
+        while self.pos < self.end {
+            match self.text(self.pos) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => return true,
+                "}" if depth <= 0 => return false,
+                ";" if depth <= 0 => return false,
+                _ => {}
+            }
+            self.push_tok();
+        }
+        false
+    }
+
+    /// The statement-list parser: builds blocks until the stop
+    /// condition is met. The stopping token (`}` / `,`) is *not*
+    /// consumed for `ArmEnd`; the `}` *is* consumed for `CloseBrace`.
+    fn parse_stmts(&mut self, stop: Stop) {
+        let mut depth = 0i32; // () / [] nesting within the list
+        while self.pos < self.end {
+            let text = self.text(self.pos);
+            let kind = self.kind(self.pos);
+            // Attribute tokens inside bodies (`#[cfg(...)]`) carry no
+            // control flow; skip them entirely.
+            if self.file.ctx[self.code[self.pos]].in_attr {
+                self.pos += 1;
+                continue;
+            }
+            match text {
+                "}" if depth <= 0 => {
+                    match stop {
+                        Stop::CloseBrace => {
+                            self.pos += 1; // consume the matching brace
+                        }
+                        Stop::ArmEnd => {} // match's own brace: leave it
+                        Stop::EndOfBody => {
+                            self.pos += 1; // stray close: tolerate
+                            continue;
+                        }
+                    }
+                    return;
+                }
+                "," if depth <= 0 && stop == Stop::ArmEnd => return,
+                "(" | "[" => {
+                    depth += 1;
+                    self.push_tok();
+                }
+                ")" | "]" => {
+                    depth -= 1;
+                    self.push_tok();
+                }
+                "{" => {
+                    // Plain block / struct literal / closure body:
+                    // straight-line as far as paths are concerned, but a
+                    // real scope for guard lifetimes.
+                    self.pos += 1;
+                    self.scope += 1;
+                    let inner = self.new_block(self.line(self.pos), self.scope);
+                    self.edge(self.cur, inner, EdgeKind::Seq);
+                    self.cur = inner;
+                    self.parse_stmts(Stop::CloseBrace);
+                    self.scope -= 1;
+                    let after = self.new_block(self.line(self.pos), self.scope);
+                    self.edge(self.cur, after, EdgeKind::Seq);
+                    self.cur = after;
+                }
+                "if" if kind == Some(TokenKind::Ident) => self.parse_if(),
+                "match" if kind == Some(TokenKind::Ident) => self.parse_match(),
+                "loop" | "while" if kind == Some(TokenKind::Ident) => {
+                    self.parse_loop(text.to_string(), None);
+                }
+                "for" if kind == Some(TokenKind::Ident) => {
+                    // `for<'a>` HRTB is a type position, not a loop.
+                    if self.text(self.pos + 1) == "<" {
+                        self.push_tok();
+                    } else {
+                        self.parse_loop("for".to_string(), None);
+                    }
+                }
+                "break" if kind == Some(TokenKind::Ident) => self.parse_break(),
+                "continue" if kind == Some(TokenKind::Ident) => self.parse_continue(),
+                "return" if kind == Some(TokenKind::Ident) => {
+                    self.push_tok();
+                    // The value expression (if any) stays in this block;
+                    // statement parsing continues and the `;` or brace
+                    // handling will see it. The exit edge is what
+                    // matters for paths.
+                    self.edge(self.cur, EXIT, EdgeKind::Return);
+                    let dead = self.new_block(self.line(self.pos), self.scope);
+                    self.cur = dead; // unreachable continuation
+                }
+                "?" if self.is_expr_end(self.pos.wrapping_sub(1))
+                    // A `?` right where the enclosing fn body's run ends
+                    // is the trailing `}`'s neighbour; guard pos-1 >= 0
+                    // via wrapping + is_expr_end's Option handling.
+                    =>
+                {
+                    self.push_tok();
+                    self.edge(self.cur, EXIT, EdgeKind::Question);
+                    let cont = self.new_block(self.line(self.pos), self.scope);
+                    self.edge(self.cur, cont, EdgeKind::Seq);
+                    self.cur = cont;
+                }
+                _ if kind == Some(TokenKind::Lifetime) && self.text(self.pos + 1) == ":" => {
+                    // `'label: loop|while|for|{`
+                    let label = text.trim_start_matches('\'').to_string();
+                    let after = self.text(self.pos + 2);
+                    match after {
+                        "loop" | "while" | "for" => {
+                            self.push_tok(); // 'label
+                            self.push_tok(); // :
+                            let kw = self.text(self.pos).to_string();
+                            self.parse_loop(kw, Some(label));
+                        }
+                        "{" => {
+                            self.push_tok(); // 'label
+                            self.push_tok(); // :
+                            self.pos += 1; // {
+                            let join = self.new_block(self.line(self.pos), self.scope);
+                            self.targets.push(Target {
+                                head: None,
+                                exit: join,
+                                label: Some(label),
+                                is_loop: false,
+                            });
+                            self.scope += 1;
+                            let inner = self.new_block(self.line(self.pos), self.scope);
+                            self.edge(self.cur, inner, EdgeKind::Seq);
+                            self.cur = inner;
+                            self.parse_stmts(Stop::CloseBrace);
+                            self.scope -= 1;
+                            self.targets.pop();
+                            self.edge(self.cur, join, EdgeKind::Seq);
+                            self.cur = join;
+                        }
+                        _ => self.push_tok(),
+                    }
+                }
+                _ => self.push_tok(),
+            }
+        }
+    }
+
+    fn parse_if(&mut self) {
+        self.push_tok(); // `if`
+        if !self.consume_header() {
+            return; // malformed; tokens already appended
+        }
+        let cond = self.cur;
+        let join = self.new_block(self.line(self.pos), self.scope);
+        // then-branch
+        self.pos += 1; // `{`
+        self.scope += 1;
+        let then_entry = self.new_block(self.line(self.pos), self.scope);
+        self.edge(cond, then_entry, EdgeKind::True);
+        self.cur = then_entry;
+        self.parse_stmts(Stop::CloseBrace);
+        self.scope -= 1;
+        self.edge(self.cur, join, EdgeKind::Seq);
+        // else?
+        if self.text(self.pos) == "else" {
+            self.pos += 1;
+            if self.text(self.pos) == "if" {
+                let else_entry = self.new_block(self.line(self.pos), self.scope);
+                self.edge(cond, else_entry, EdgeKind::False);
+                self.cur = else_entry;
+                self.parse_if();
+                self.edge(self.cur, join, EdgeKind::Seq);
+            } else if self.text(self.pos) == "{" {
+                self.pos += 1;
+                self.scope += 1;
+                let else_entry = self.new_block(self.line(self.pos), self.scope);
+                self.edge(cond, else_entry, EdgeKind::False);
+                self.cur = else_entry;
+                self.parse_stmts(Stop::CloseBrace);
+                self.scope -= 1;
+                self.edge(self.cur, join, EdgeKind::Seq);
+            } else {
+                // Malformed `else`: treat as fall-through.
+                self.edge(cond, join, EdgeKind::False);
+            }
+        } else {
+            self.edge(cond, join, EdgeKind::False);
+        }
+        self.cur = join;
+    }
+
+    fn parse_match(&mut self) {
+        self.push_tok(); // `match`
+        if !self.consume_header() {
+            return;
+        }
+        let scrutinee = self.cur;
+        let join = self.new_block(self.line(self.pos), self.scope);
+        self.pos += 1; // `{`
+        self.scope += 1;
+        let mut any_arm = false;
+        while self.pos < self.end && self.text(self.pos) != "}" {
+            // One arm: pattern (and guard) up to `=>`, then the body.
+            let arm = self.new_block(self.line(self.pos), self.scope);
+            self.edge(scrutinee, arm, EdgeKind::Arm);
+            self.cur = arm;
+            any_arm = true;
+            // Pattern/guard scan: `=` followed by `>` at nesting 0 is
+            // the arrow (ranges spell `..=`, comparisons never produce
+            // an `=` with `>` *after* it).
+            let mut depth = 0i32;
+            while self.pos < self.end {
+                match self.text(self.pos) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "=" if depth <= 0 && self.text(self.pos + 1) == ">" => break,
+                    "}" if depth <= 0 => break, // malformed arm
+                    _ => {}
+                }
+                self.push_tok();
+            }
+            if self.text(self.pos) == "=" {
+                self.pos += 2; // `=>`
+            }
+            if self.text(self.pos) == "{" {
+                self.pos += 1;
+                self.scope += 1;
+                self.parse_stmts(Stop::CloseBrace);
+                self.scope -= 1;
+            } else {
+                self.parse_stmts(Stop::ArmEnd);
+            }
+            self.edge(self.cur, join, EdgeKind::Seq);
+            if self.text(self.pos) == "," {
+                self.pos += 1;
+            }
+        }
+        if self.text(self.pos) == "}" {
+            self.pos += 1;
+        }
+        self.scope -= 1;
+        if !any_arm {
+            self.edge(scrutinee, join, EdgeKind::Seq);
+        }
+        self.cur = join;
+    }
+
+    fn parse_loop(&mut self, kw: String, label: Option<String>) {
+        let kw_line = self.line(self.pos);
+        self.push_tok(); // loop/while/for keyword
+        let head = self.new_block(kw_line, self.scope);
+        self.edge(self.cur, head, EdgeKind::Seq);
+        self.cur = head;
+        // while/for headers run in the head block; `loop` has none.
+        if kw != "loop" && !self.consume_header() {
+            return;
+        }
+        if kw == "loop" && self.text(self.pos) != "{" {
+            return; // malformed
+        }
+        let exit = self.new_block(self.line(self.pos), self.scope);
+        self.pos += 1; // `{`
+        self.scope += 1;
+        self.loop_depth += 1;
+        let body = self.new_block(self.line(self.pos), self.scope);
+        let body_line = self.line(self.pos);
+        match kw.as_str() {
+            "while" => {
+                self.edge(head, body, EdgeKind::True);
+                self.edge(head, exit, EdgeKind::False);
+            }
+            "for" => {
+                self.edge(head, body, EdgeKind::True);
+                self.edge(head, exit, EdgeKind::LoopExit);
+            }
+            _ => {
+                self.edge(head, body, EdgeKind::Seq);
+            }
+        }
+        let loop_index = self.loops.len();
+        self.loops.push(LoopInfo {
+            head,
+            exit,
+            line: kw_line,
+            body_line,
+            depth: self.loop_depth,
+            label: label.clone(),
+        });
+        self.targets.push(Target {
+            head: Some(head),
+            exit,
+            label,
+            is_loop: true,
+        });
+        self.cur = body;
+        self.parse_stmts(Stop::CloseBrace);
+        self.targets.pop();
+        self.loop_depth -= 1;
+        self.scope -= 1;
+        self.edge(self.cur, head, EdgeKind::Back);
+        // Keep body_line honest when the body opened with a nested
+        // construct (the block may have been created before any token).
+        if self.blocks[body].tokens.is_empty() {
+            self.loops[loop_index].body_line = self.blocks[body].line;
+        }
+        self.cur = exit;
+    }
+
+    /// Resolves `break`/`continue` targets against the construct stack.
+    fn target_index(&self, label: Option<&str>, need_loop: bool) -> Option<usize> {
+        match label {
+            Some(l) => self
+                .targets
+                .iter()
+                .rposition(|t| t.label.as_deref() == Some(l)),
+            None => self.targets.iter().rposition(|t| !need_loop || t.is_loop),
+        }
+    }
+
+    fn parse_break(&mut self) {
+        self.push_tok(); // `break`
+        let label = if self.kind(self.pos) == Some(TokenKind::Lifetime) {
+            let l = self.text(self.pos).trim_start_matches('\'').to_string();
+            self.push_tok();
+            Some(l)
+        } else {
+            None
+        };
+        // `break value` tokens (if any) keep flowing into the current
+        // block via the main loop; the edge is what matters.
+        if let Some(t) = self.target_index(label.as_deref(), true) {
+            let exit = self.targets[t].exit;
+            self.edge(self.cur, exit, EdgeKind::Break);
+        }
+        let dead = self.new_block(self.line(self.pos), self.scope);
+        self.cur = dead;
+    }
+
+    fn parse_continue(&mut self) {
+        self.push_tok(); // `continue`
+        let label = if self.kind(self.pos) == Some(TokenKind::Lifetime) {
+            let l = self.text(self.pos).trim_start_matches('\'').to_string();
+            self.push_tok();
+            Some(l)
+        } else {
+            None
+        };
+        if let Some(t) = self.target_index(label.as_deref(), true) {
+            if let Some(head) = self.targets[t].head {
+                self.edge(self.cur, head, EdgeKind::Continue);
+            }
+        }
+        let dead = self.new_block(self.line(self.pos), self.scope);
+        self.cur = dead;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::code_indices;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let file = SourceFile::analyze("t.rs".into(), "hqs-test".into(), src.into());
+        let code = code_indices(&file);
+        let cfgs = build_all(&file, &code);
+        assert_eq!(cfgs.len(), 1, "expected one fn, got {}", cfgs.len());
+        cfgs.into_iter().next().expect("one cfg")
+    }
+
+    fn block_texts(cfg: &Cfg, src: &str) -> Vec<Vec<String>> {
+        let file = SourceFile::analyze("t.rs".into(), "hqs-test".into(), src.into());
+        let code = code_indices(&file);
+        cfg.blocks
+            .iter()
+            .map(|b| {
+                b.tokens
+                    .iter()
+                    .map(|&k| file.tokens[code[k]].text(&file.text).to_string())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Find the block containing a token with the given text.
+    fn block_of(cfg: &Cfg, src: &str, needle: &str) -> usize {
+        let texts = block_texts(cfg, src);
+        texts
+            .iter()
+            .position(|b| b.iter().any(|t| t == needle))
+            .unwrap_or_else(|| panic!("token {needle} in no block: {texts:?}"))
+    }
+
+    fn has_edge(cfg: &Cfg, from: usize, to: usize, kind: EdgeKind) -> bool {
+        cfg.blocks[from]
+            .succs
+            .iter()
+            .any(|&(s, k)| s == to && k == kind)
+    }
+
+    #[test]
+    fn straight_line_is_one_path() {
+        let src = "fn f() { a; b; c; }";
+        let cfg = cfg_of(src);
+        let b = block_of(&cfg, src, "a");
+        assert_eq!(b, block_of(&cfg, src, "c"));
+        assert!(cfg.loops.is_empty());
+    }
+
+    #[test]
+    fn if_else_branches_and_join() {
+        let src = "fn f() { if c { t; } else { e; } after; }";
+        let cfg = cfg_of(src);
+        let cond = block_of(&cfg, src, "c");
+        let t = block_of(&cfg, src, "t");
+        let e = block_of(&cfg, src, "e");
+        let after = block_of(&cfg, src, "after");
+        assert!(has_edge(&cfg, cond, t, EdgeKind::True));
+        assert!(has_edge(&cfg, cond, e, EdgeKind::False));
+        assert!(has_edge(&cfg, t, after, EdgeKind::Seq));
+        assert!(has_edge(&cfg, e, after, EdgeKind::Seq));
+    }
+
+    #[test]
+    fn if_without_else_has_false_edge_to_join() {
+        let src = "fn f() { if c { t; } after; }";
+        let cfg = cfg_of(src);
+        let cond = block_of(&cfg, src, "c");
+        let after = block_of(&cfg, src, "after");
+        assert!(has_edge(&cfg, cond, after, EdgeKind::False));
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let src = "fn f() { if a { x; } else if b { y; } else { z; } after; }";
+        let cfg = cfg_of(src);
+        let ca = block_of(&cfg, src, "a");
+        let cb = block_of(&cfg, src, "b");
+        let after = block_of(&cfg, src, "after");
+        assert!(has_edge(&cfg, ca, cb, EdgeKind::False));
+        assert!(has_edge(&cfg, cb, block_of(&cfg, src, "y"), EdgeKind::True));
+        assert!(has_edge(
+            &cfg,
+            cb,
+            block_of(&cfg, src, "z"),
+            EdgeKind::False
+        ));
+        assert!(has_edge(
+            &cfg,
+            block_of(&cfg, src, "x"),
+            after,
+            EdgeKind::Seq
+        ));
+    }
+
+    #[test]
+    fn match_arms_rejoin() {
+        let src = "fn f(x: u8) { match x { 0 => { a; } 1 => b(), _ => {} } after; }";
+        let cfg = cfg_of(src);
+        let scr = block_of(&cfg, src, "x");
+        let a = block_of(&cfg, src, "a");
+        let b = block_of(&cfg, src, "b");
+        let after = block_of(&cfg, src, "after");
+        assert!(
+            cfg.blocks[scr]
+                .succs
+                .iter()
+                .filter(|&&(_, k)| k == EdgeKind::Arm)
+                .count()
+                >= 3
+        );
+        assert!(
+            has_edge(&cfg, a, after, EdgeKind::Seq)
+                || cfg.blocks[a].succs.iter().any(|&(s, _)| s == after)
+        );
+        // arm bodies flow to the join, which reaches `after`
+        let join = cfg.blocks[b].succs[0].0;
+        assert!(has_edge(&cfg, join, after, EdgeKind::Seq) || join == after);
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let src = "fn f() { while c { body; } after; }";
+        let cfg = cfg_of(src);
+        assert_eq!(cfg.loops.len(), 1);
+        let l = &cfg.loops[0];
+        let body = block_of(&cfg, src, "body");
+        assert!(has_edge(&cfg, l.head, body, EdgeKind::True));
+        assert!(has_edge(&cfg, body, l.head, EdgeKind::Back));
+        assert!(has_edge(&cfg, l.head, l.exit, EdgeKind::False));
+        assert!(cfg.loop_body(l).contains(&body));
+    }
+
+    #[test]
+    fn loop_with_break_and_continue() {
+        let src = "fn f() { loop { if c { break; } if d { continue; } tail; } after; }";
+        let cfg = cfg_of(src);
+        let l = &cfg.loops[0];
+        let cb = block_of(&cfg, src, "break");
+        let cc = block_of(&cfg, src, "continue");
+        assert!(has_edge(&cfg, cb, l.exit, EdgeKind::Break));
+        assert!(has_edge(&cfg, cc, l.head, EdgeKind::Continue));
+        let tail = block_of(&cfg, src, "tail");
+        assert!(has_edge(&cfg, tail, l.head, EdgeKind::Back));
+    }
+
+    #[test]
+    fn labeled_break_skips_inner_loop() {
+        let src = "fn f() { 'outer: loop { loop { if c { break 'outer; } body; } } after; }";
+        let cfg = cfg_of(src);
+        assert_eq!(cfg.loops.len(), 2);
+        let outer = &cfg.loops[0];
+        assert_eq!(outer.label.as_deref(), Some("outer"));
+        let br = block_of(&cfg, src, "break");
+        assert!(has_edge(&cfg, br, outer.exit, EdgeKind::Break));
+        let inner = &cfg.loops[1];
+        assert!(!has_edge(&cfg, br, inner.exit, EdgeKind::Break));
+    }
+
+    #[test]
+    fn labeled_continue_targets_outer_head() {
+        let src = "fn f() { 'o: while a { while b { continue 'o; } } }";
+        let cfg = cfg_of(src);
+        let outer = &cfg.loops[0];
+        let cc = block_of(&cfg, src, "continue");
+        assert!(has_edge(&cfg, cc, outer.head, EdgeKind::Continue));
+    }
+
+    #[test]
+    fn early_return_edges_to_exit() {
+        let src = "fn f() { if c { return; } after; }";
+        let cfg = cfg_of(src);
+        let r = block_of(&cfg, src, "return");
+        assert!(has_edge(&cfg, r, EXIT, EdgeKind::Return));
+    }
+
+    #[test]
+    fn question_mark_splits_block() {
+        let src = "fn f() -> Result<(), E> { let x = g()?; use_it(x); Ok(()) }";
+        let cfg = cfg_of(src);
+        let q = block_of(&cfg, src, "?");
+        assert!(has_edge(&cfg, q, EXIT, EdgeKind::Question));
+        let after = block_of(&cfg, src, "use_it");
+        assert!(has_edge(&cfg, q, after, EdgeKind::Seq));
+        assert_ne!(q, after);
+    }
+
+    #[test]
+    fn question_in_loop_leaves_loop_body() {
+        let src = "fn f() -> Result<(), E> { loop { step()?; tail; } }";
+        let cfg = cfg_of(src);
+        let q = block_of(&cfg, src, "?");
+        assert!(has_edge(&cfg, q, EXIT, EdgeKind::Question));
+        let l = &cfg.loops[0];
+        assert!(cfg.loop_body(l).contains(&q));
+    }
+
+    #[test]
+    fn for_loop_head_and_exit() {
+        let src = "fn f(v: &[u8]) { for x in v.iter() { body; } after; }";
+        let cfg = cfg_of(src);
+        let l = &cfg.loops[0];
+        assert!(has_edge(&cfg, l.head, l.exit, EdgeKind::LoopExit));
+        assert!(has_edge(
+            &cfg,
+            block_of(&cfg, src, "body"),
+            l.head,
+            EdgeKind::Back
+        ));
+    }
+
+    #[test]
+    fn nested_loop_depths() {
+        let src = "fn f() { while a { for x in y { inner; } } }";
+        let cfg = cfg_of(src);
+        assert_eq!(cfg.loops.len(), 2);
+        assert_eq!(cfg.loops[0].depth, 1);
+        assert_eq!(cfg.loops[1].depth, 2);
+    }
+
+    #[test]
+    fn scope_depth_tracks_braces() {
+        let src = "fn f() { a; { b; } c; }";
+        let cfg = cfg_of(src);
+        let a = block_of(&cfg, src, "a");
+        let b = block_of(&cfg, src, "b");
+        let c = block_of(&cfg, src, "c");
+        assert_eq!(cfg.blocks[a].scope, 1);
+        assert_eq!(cfg.blocks[b].scope, 2);
+        assert_eq!(cfg.blocks[c].scope, 1);
+    }
+
+    #[test]
+    fn closure_in_call_does_not_derail() {
+        // The closure's braces are a scope, not a branch; the statement
+        // list keeps flowing and loop structure survives.
+        let src = "fn f(v: &[u8]) { for x in v.iter().map(|y| { y + 1 }) { body; } after; }";
+        let cfg = cfg_of(src);
+        assert_eq!(cfg.loops.len(), 1);
+        let after = block_of(&cfg, src, "after");
+        assert!(
+            has_edge(&cfg, cfg.loops[0].exit, after, EdgeKind::Seq) || cfg.loops[0].exit == after
+        );
+    }
+
+    #[test]
+    fn loop_body_excludes_code_after_exit() {
+        let src = "fn f() { while c { body; } after; }";
+        let cfg = cfg_of(src);
+        let l = &cfg.loops[0];
+        let body_blocks = cfg.loop_body(l);
+        assert!(!body_blocks.contains(&block_of(&cfg, src, "after")));
+    }
+
+    #[test]
+    fn match_arm_with_control_flow() {
+        let src = "fn f(x: u8) { loop { match x { 0 => continue, 1 => break, _ => { tail; } } } }";
+        let cfg = cfg_of(src);
+        let l = &cfg.loops[0];
+        let cc = block_of(&cfg, src, "continue");
+        let cb = block_of(&cfg, src, "break");
+        assert!(has_edge(&cfg, cc, l.head, EdgeKind::Continue));
+        assert!(has_edge(&cfg, cb, l.exit, EdgeKind::Break));
+    }
+
+    #[test]
+    fn two_fns_two_cfgs() {
+        let src = "fn a() { x; } fn b() { y; }";
+        let file = SourceFile::analyze("t.rs".into(), "hqs-test".into(), src.into());
+        let code = code_indices(&file);
+        let cfgs = build_all(&file, &code);
+        assert_eq!(cfgs.len(), 2);
+        assert_eq!(cfgs[0].symbol, "a");
+        assert_eq!(cfgs[1].symbol, "b");
+    }
+}

@@ -264,7 +264,7 @@ min-resolution-percent = 90
         assert_eq!(cfg.ordering_allow[0].path, "crates/base/src/budget.rs");
         assert_eq!(cfg.ordering_allow[0].symbol, "CancelToken::cancel");
         assert_eq!(cfg.ordering_allow[0].variant, "Release");
-        // analyze::allow(newtype): exact comparison of a parsed literal
+        // Exact comparison of a parsed literal.
         assert!((cfg.min_resolution_percent - 90.0).abs() < 1e-9);
     }
 

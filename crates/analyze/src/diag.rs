@@ -52,7 +52,7 @@ impl Diagnostic {
         Ok(Diagnostic {
             pass: get_str("pass")?,
             path: get_str("path")?,
-            // analyze::allow(newtype): JSON numbers are f64; line numbers fit losslessly
+            // JSON numbers are f64; line numbers fit losslessly.
             line: line as u32,
             symbol: get_str("symbol")?,
             message: get_str("message")?,

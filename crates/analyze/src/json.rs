@@ -255,7 +255,7 @@ fn emit_into(v: &Json, indent: usize, out: &mut String) {
         Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Json::Number(n) => {
             if n.fract() == 0.0 && n.abs() < 1e15 {
-                // analyze::allow(newtype): integral f64 emitted without a fraction
+                // Integral f64 emitted without a fraction.
                 out.push_str(&format!("{}", *n as i64));
             } else {
                 out.push_str(&format!("{n}"));

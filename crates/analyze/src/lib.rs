@@ -56,7 +56,9 @@
 
 pub mod baseline;
 pub mod callgraph;
+pub mod cfg;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod json;
 pub mod lexer;

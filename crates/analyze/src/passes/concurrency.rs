@@ -10,10 +10,14 @@
 //! `Greater`) are not atomic orderings.
 //!
 //! **Lock-hold hygiene** (`concurrency-lock`): inside hot-path
-//! functions (seeds plus the transitive closure), a `MutexGuard` bound
-//! from the engine's sharded-deque helpers (`lock_shard`,
-//! `lock_result`) or a raw `.lock()` must not be held across an
-//! allocation or a solver call. Guard temporaries
+//! functions (seeds plus the transitive closure), no allocation and no
+//! solver call may execute while a `MutexGuard` is **live** — where
+//! liveness is the real guard-liveness dataflow from
+//! [`super::guards`] over the function CFG, not a syntactic region
+//! scan. A guard bound before a loop is live across the back edge; a
+//! guard bound inside an `if` arm dies at the join; `drop(guard)`
+//! kills it on that path only, so an allocation reachable on the
+//! un-dropped path is still flagged. Guard temporaries
 //! (`lock_shard(s).pop_front()`) are fine — the guard drops at the end
 //! of the statement. Justified holds carry
 //! `// analyze::allow(lock): <reason>`.
@@ -21,20 +25,17 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::callgraph::CallGraph;
+use crate::cfg;
 use crate::config::AnalyzeConfig;
 use crate::diag::Diagnostic;
 use crate::lexer::TokenKind;
-use crate::source::SourceFile;
 use crate::workspace::Workspace;
 
-use super::{alloc_finding, code_indices, is_test_path, text_at};
+use super::{alloc_finding, code_indices, guards, is_test_path, text_at};
 
 /// Atomic ordering variants (the `std::cmp::Ordering` variants are
 /// deliberately absent).
 const ATOMIC_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
-
-/// Functions returning a guard the lock-hold check tracks.
-const LOCK_FNS: &[&str] = &["lock", "lock_shard", "lock_result"];
 
 /// Calls that must never run under a held shard guard.
 const SOLVER_CALLS: &[&str] = &[
@@ -50,16 +51,16 @@ const SOLVER_CALLS: &[&str] = &[
 
 /// Runs both concurrency checks.
 #[must_use]
-pub fn run(ws: &Workspace, cfg: &AnalyzeConfig, graph: &CallGraph) -> Vec<Diagnostic> {
-    let mut diags = ordering_audit(ws, cfg);
-    diags.extend(lock_hold(ws, cfg, graph));
+pub fn run(ws: &Workspace, config: &AnalyzeConfig, graph: &CallGraph) -> Vec<Diagnostic> {
+    let mut diags = ordering_audit(ws, config);
+    diags.extend(lock_hold(ws, config, graph));
     diags
 }
 
-fn ordering_audit(ws: &Workspace, cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
+fn ordering_audit(ws: &Workspace, config: &AnalyzeConfig) -> Vec<Diagnostic> {
     // Multiset of allowlisted sites.
     let mut allowed: HashMap<(String, String, String), usize> = HashMap::new();
-    for site in &cfg.ordering_allow {
+    for site in &config.ordering_allow {
         *allowed
             .entry((site.path.clone(), site.symbol.clone(), site.variant.clone()))
             .or_default() += 1;
@@ -131,10 +132,12 @@ fn ordering_audit(ws: &Workspace, cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
     diags
 }
 
-fn lock_hold(ws: &Workspace, cfg: &AnalyzeConfig, graph: &CallGraph) -> Vec<Diagnostic> {
+/// The guard-liveness check: allocations and solver calls at any token
+/// where a guard binding is live, in hot-path functions.
+fn lock_hold(ws: &Workspace, config: &AnalyzeConfig, graph: &CallGraph) -> Vec<Diagnostic> {
     // Hot set: seeds plus the transitive closure.
     let mut seeds: Vec<usize> = Vec::new();
-    for f in &cfg.hot.functions {
+    for f in &config.hot.functions {
         seeds.extend(graph.seed_ids(&f.crate_name, &f.symbol));
     }
     if seeds.is_empty() {
@@ -154,171 +157,75 @@ fn lock_hold(ws: &Workspace, cfg: &AnalyzeConfig, graph: &CallGraph) -> Vec<Diag
         if is_test_path(&file.path) {
             continue;
         }
+        // Pre-filter: no lock vocabulary, no work.
+        if !guards::LOCK_FNS.iter().any(|f| file.text.contains(f)) {
+            continue;
+        }
         let code = code_indices(file);
-        for (k, &i) in code.iter().enumerate() {
-            let tok = &file.tokens[i];
-            let ctx = &file.ctx[i];
-            if tok.kind != TokenKind::Ident
-                || ctx.in_test
-                || ctx.in_attr
-                || !LOCK_FNS.contains(&file.text_of(tok))
-                || text_at(file, &code, k + 1) != "("
-                || !hot.contains(&(file.crate_name.clone(), ctx.in_fn.clone()))
+        for fn_cfg in cfg::build_all(file, &code) {
+            if !hot.contains(&(file.crate_name.clone(), fn_cfg.symbol.clone())) {
+                continue;
+            }
+            if fn_cfg
+                .blocks
+                .iter()
+                .find_map(|b| b.tokens.first())
+                .is_some_and(|&k| file.ctx[code[k]].in_test)
             {
                 continue;
             }
-            if let Some((guard, stmt_end)) = held_guard(file, &code, k) {
-                scan_hold_region(file, &code, stmt_end, &guard, &ctx.in_fn, &mut diags);
+            let locks = guards::analyze_fn(file, &code, &fn_cfg);
+            if locks.bindings.is_empty() {
+                continue;
+            }
+            for b in 0..fn_cfg.blocks.len() {
+                locks.walk_block(file, &code, &fn_cfg, b, |k, live| {
+                    if live.is_empty() {
+                        return;
+                    }
+                    let i = code[k];
+                    let tok = &file.tokens[i];
+                    let line = tok.line;
+                    let guard = &locks.bindings[live[0]].name;
+                    let text = file.text_of(tok);
+                    if tok.kind == TokenKind::Ident
+                        && SOLVER_CALLS.contains(&text)
+                        && text_at(file, &code, k + 1) == "("
+                    {
+                        if file.allowed("lock", line).is_some() {
+                            return;
+                        }
+                        diags.push(Diagnostic {
+                            pass: "concurrency-lock".into(),
+                            path: file.path.clone(),
+                            line,
+                            symbol: fn_cfg.symbol.clone(),
+                            message: format!(
+                                "solver call `{text}(…)` while MutexGuard `{guard}` is held in a \
+                                 hot-path function — drop the guard first, or justify with \
+                                 `// analyze::allow(lock): …`"
+                            ),
+                        });
+                    } else if let Some(msg) = alloc_finding(file, &code, k) {
+                        if file.allowed("lock", line).is_some() {
+                            return;
+                        }
+                        let construct = msg.split(" allocates").next().unwrap_or("allocation");
+                        diags.push(Diagnostic {
+                            pass: "concurrency-lock".into(),
+                            path: file.path.clone(),
+                            line,
+                            symbol: fn_cfg.symbol.clone(),
+                            message: format!(
+                                "{construct} allocation while MutexGuard `{guard}` is held in a \
+                                 hot-path function — move it outside the critical section, or \
+                                 justify with `// analyze::allow(lock): …`"
+                            ),
+                        });
+                    }
+                });
             }
         }
     }
     diags
-}
-
-/// If the lock call at view position `k` binds a guard that outlives
-/// its statement, returns the guard name and the view position of the
-/// statement's `;`. Temporaries (`lock_shard(s).pop_front()`) return
-/// `None`.
-fn held_guard(file: &SourceFile, code: &[usize], k: usize) -> Option<(String, usize)> {
-    // Forward: match the call's parens, then skip transparent
-    // `.unwrap()`/`.expect(…)` chains; a held binding ends with `;`.
-    let mut j = k + 1; // at `(`
-    let mut depth = 0i32;
-    loop {
-        match text_at(file, code, j) {
-            "(" => depth += 1,
-            ")" => {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            }
-            "" => return None,
-            _ => {}
-        }
-        j += 1;
-    }
-    let mut j = j + 1;
-    while text_at(file, code, j) == "."
-        && matches!(
-            text_at(file, code, j + 1),
-            "unwrap" | "expect" | "unwrap_or_else"
-        )
-    {
-        // Skip `.name(…)`.
-        let mut p = j + 2;
-        if text_at(file, code, p) != "(" {
-            break;
-        }
-        let mut d = 0i32;
-        loop {
-            match text_at(file, code, p) {
-                "(" => d += 1,
-                ")" => {
-                    d -= 1;
-                    if d == 0 {
-                        break;
-                    }
-                }
-                "" => return None,
-                _ => {}
-            }
-            p += 1;
-        }
-        j = p + 1;
-    }
-    if text_at(file, code, j) != ";" {
-        return None;
-    }
-    let stmt_end = j;
-    // Backward: the statement must be a `let` binding; capture the name.
-    let mut b = k;
-    while b > 0 {
-        b -= 1;
-        match text_at(file, code, b) {
-            ";" | "{" | "}" => return None,
-            "let" => {
-                let mut n = b + 1;
-                if text_at(file, code, n) == "mut" {
-                    n += 1;
-                }
-                let name = text_at(file, code, n).to_string();
-                return Some((name, stmt_end));
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Scans from the binding's `;` to the end of the enclosing block (or
-/// an explicit `drop(guard)`), flagging allocations and solver calls.
-fn scan_hold_region(
-    file: &SourceFile,
-    code: &[usize],
-    stmt_end: usize,
-    guard: &str,
-    symbol: &str,
-    diags: &mut Vec<Diagnostic>,
-) {
-    let mut depth = 0i32;
-    let mut k = stmt_end + 1;
-    loop {
-        let text = text_at(file, code, k);
-        if text.is_empty() {
-            return;
-        }
-        match text {
-            "{" => depth += 1,
-            "}" => {
-                depth -= 1;
-                if depth < 0 {
-                    return; // enclosing block ends; guard drops
-                }
-            }
-            "drop"
-                if text_at(file, code, k + 1) == "("
-                    && text_at(file, code, k + 2) == guard
-                    && text_at(file, code, k + 3) == ")" =>
-            {
-                return;
-            }
-            _ => {}
-        }
-        let i = code[k];
-        let tok = &file.tokens[i];
-        let line = tok.line;
-        if tok.kind == TokenKind::Ident
-            && SOLVER_CALLS.contains(&text)
-            && text_at(file, code, k + 1) == "("
-            && file.allowed("lock", line).is_none()
-        {
-            diags.push(Diagnostic {
-                pass: "concurrency-lock".into(),
-                path: file.path.clone(),
-                line,
-                symbol: symbol.to_string(),
-                message: format!(
-                    "solver call `{text}(…)` while MutexGuard `{guard}` is held in a hot-path \
-                     function — drop the guard first, or justify with `// analyze::allow(lock): …`"
-                ),
-            });
-        } else if let Some(msg) = alloc_finding(file, code, k) {
-            if file.allowed("lock", line).is_none() {
-                let construct = msg.split(" allocates").next().unwrap_or("allocation");
-                diags.push(Diagnostic {
-                    pass: "concurrency-lock".into(),
-                    path: file.path.clone(),
-                    line,
-                    symbol: symbol.to_string(),
-                    message: format!(
-                        "{construct} allocation while MutexGuard `{guard}` is held in a hot-path \
-                         function — move it outside the critical section, or justify with \
-                         `// analyze::allow(lock): …`"
-                    ),
-                });
-            }
-        }
-        k += 1;
-    }
 }

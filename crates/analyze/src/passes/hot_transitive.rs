@@ -5,9 +5,16 @@
 //! The pass seeds from `[hot-paths] functions`, computes the callee
 //! closure over the workspace [`CallGraph`], and applies the shared
 //! panic matcher (any position) and allocation matcher (inside loops)
-//! to every *reachable* function. Seeds themselves are excluded — the
-//! per-function `panic-path`/`hot-alloc` passes already cover them, and
-//! double-reporting the same token would make the baseline noisy.
+//! to every *reachable* function. Seeds themselves are excluded from
+//! those two matchers — the per-function `panic-path`/`hot-alloc`
+//! passes already cover them, and double-reporting the same token would
+//! make the baseline noisy.
+//!
+//! The *implicit* panic matcher ([`super::implicit_panic_finding`]:
+//! `split_at`, `copy_from_slice`/`clone_from_slice`, `/` and `%` by a
+//! non-literal divisor) applies to the **whole** closure, seeds
+//! included — those shapes carry no panic vocabulary, so no other pass
+//! reports them and there is nothing to double-report.
 //!
 //! Every diagnostic carries the discovered call chain
 //! (`hqs-sat::Solver::propagate → Solver::value → helper`), so a CI
@@ -24,7 +31,7 @@ use crate::config::AnalyzeConfig;
 use crate::diag::Diagnostic;
 use crate::workspace::Workspace;
 
-use super::{alloc_finding, code_indices, is_test_path, panic_finding};
+use super::{alloc_finding, code_indices, implicit_panic_finding, is_test_path, panic_finding};
 
 /// Runs the transitive hot-path pass.
 #[must_use]
@@ -39,18 +46,15 @@ pub fn run(ws: &Workspace, cfg: &AnalyzeConfig, graph: &CallGraph) -> Vec<Diagno
     let seed_set: HashSet<usize> = seeds.iter().copied().collect();
     let reach = graph.closure(&seeds);
 
-    // Group reached (non-seed) defs by file so each file is scanned
-    // once; remember the chain per (path, symbol).
-    let mut per_file: HashMap<&str, HashMap<&str, String>> = HashMap::new();
+    // Group reached defs by file so each file is scanned once;
+    // remember the chain and seed-ness per (path, symbol).
+    let mut per_file: HashMap<&str, HashMap<&str, (String, bool)>> = HashMap::new();
     for &id in reach.keys() {
-        if seed_set.contains(&id) {
-            continue;
-        }
         let def = &graph.table.defs[id];
-        per_file
-            .entry(def.path.as_str())
-            .or_default()
-            .insert(def.symbol.as_str(), graph.chain(&reach, id));
+        per_file.entry(def.path.as_str()).or_default().insert(
+            def.symbol.as_str(),
+            (graph.chain(&reach, id), seed_set.contains(&id)),
+        );
     }
 
     let mut diags = Vec::new();
@@ -67,10 +71,27 @@ pub fn run(ws: &Workspace, cfg: &AnalyzeConfig, graph: &CallGraph) -> Vec<Diagno
             if ctx.in_fn.is_empty() || ctx.in_test || ctx.in_attr {
                 continue;
             }
-            let Some(chain) = symbols.get(ctx.in_fn.as_str()) else {
+            let Some((chain, is_seed)) = symbols.get(ctx.in_fn.as_str()) else {
                 continue;
             };
             let tok = &file.tokens[i];
+            if let Some(message) = implicit_panic_finding(file, &code, k) {
+                if file.allowed("panic", tok.line).is_none() {
+                    diags.push(Diagnostic {
+                        pass: "hot-transitive".into(),
+                        path: file.path.clone(),
+                        line: tok.line,
+                        symbol: ctx.in_fn.clone(),
+                        message: format!("{message} [hot via {chain}]"),
+                    });
+                }
+                continue;
+            }
+            if *is_seed {
+                // Explicit panic/alloc shapes in seeds are already
+                // covered by `panic-path`/`hot-alloc`.
+                continue;
+            }
             if let Some(message) = panic_finding(file, &code, k) {
                 if file.allowed("panic", tok.line).is_none() {
                     diags.push(Diagnostic {

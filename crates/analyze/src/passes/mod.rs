@@ -12,9 +12,11 @@
 
 pub mod cancel_poll;
 pub mod concurrency;
+pub(crate) mod guards;
 pub mod hot_alloc;
 pub mod hot_transitive;
 pub mod layering;
+pub mod lock_order;
 pub mod newtype;
 pub mod panic_path;
 pub mod source_audit;
@@ -33,6 +35,8 @@ pub struct Analysis {
     pub diags: Vec<Diagnostic>,
     /// The workspace call graph.
     pub graph: CallGraph,
+    /// The workspace lock-order graph (for `--lock-graph`/`--lock-dot`).
+    pub lock_graph: lock_order::LockGraph,
 }
 
 /// Runs every ratcheted pass: layering, panic-path, hot-loop
@@ -52,14 +56,52 @@ pub fn analyze(ws: &Workspace, cfg: &AnalyzeConfig) -> Analysis {
     diags.extend(hot_transitive::run(ws, cfg, &graph));
     diags.extend(cancel_poll::run(ws, cfg));
     diags.extend(concurrency::run(ws, cfg, &graph));
+    let (lock_graph, lock_diags) = lock_order::run(ws, &graph);
+    diags.extend(lock_diags);
+    // Two-way ratchet, second direction: every pass has now had its
+    // chance to consult the allow annotations, so any allow whose
+    // `used` flag is still clear suppresses nothing — report it.
+    diags.extend(unused_allows(ws));
     diags.sort();
-    Analysis { diags, graph }
+    Analysis {
+        diags,
+        graph,
+        lock_graph,
+    }
 }
 
 /// [`analyze`] without the graph, for callers that only want findings.
 #[must_use]
 pub fn run_all(ws: &Workspace, cfg: &AnalyzeConfig) -> Vec<Diagnostic> {
     analyze(ws, cfg).diags
+}
+
+/// Stale `analyze::allow` annotations become findings: an allow that
+/// no pass consulted while suppressing a real finding is a claim about
+/// a hazard that no longer exists, and keeping it would quietly waive
+/// the next genuine finding that lands on its lines. Must run after
+/// every other pass (it reads the `used` flags they set).
+fn unused_allows(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        for a in &file.allows {
+            if a.used.get() {
+                continue;
+            }
+            diags.push(Diagnostic {
+                pass: "annotation".into(),
+                path: file.path.clone(),
+                line: a.line,
+                symbol: String::new(),
+                message: format!(
+                    "stale `analyze::allow({})` annotation suppresses nothing — the code it \
+                     waived is gone or was never flagged; delete it (reason given: \"{}\")",
+                    a.kind, a.reason
+                ),
+            });
+        }
+    }
+    diags
 }
 
 /// Malformed `analyze::allow` annotations become findings themselves —
@@ -93,6 +135,7 @@ pub const PASS_NAMES: &[&str] = &[
     "cancel-poll",
     "concurrency-ordering",
     "concurrency-lock",
+    "lock-order",
 ];
 
 /// Is the file exempt test-adjacent code by location (integration
@@ -191,6 +234,80 @@ pub(crate) fn alloc_finding(file: &SourceFile, code: &[usize], k: usize) -> Opti
         "format" | "vec" if next == "!" => Some(format!(
             "`{text}!` allocates inside a hot loop — hoist or pre-size outside the loop"
         )),
+        _ => None,
+    }
+}
+
+/// The *implicit* panic-shaped construct at view position `k`, if any:
+/// operations that panic without any panic vocabulary at the site.
+/// Complements [`panic_finding`] (which already covers `[…]` slice
+/// indexing) for the `hot-transitive` pass:
+///
+/// * `.split_at(…)` / `.split_at_mut(…)` — panic when the index is past
+///   the end;
+/// * `.copy_from_slice(…)` / `.clone_from_slice(…)` — panic on length
+///   mismatch (the "slice pattern with a length precondition" idiom);
+/// * `/` and `%` with a non-literal right operand — divide-by-zero
+///   panics on integers; a literal divisor is visibly nonzero, an
+///   expression divisor is not.
+///
+/// The caller decides reachability; sites are silenced with
+/// `// analyze::allow(panic): …` like every other panic shape.
+#[must_use]
+pub(crate) fn implicit_panic_finding(
+    file: &SourceFile,
+    code: &[usize],
+    k: usize,
+) -> Option<String> {
+    let i = *code.get(k)?;
+    let tok = &file.tokens[i];
+    let text = file.text_of(tok);
+    match (tok.kind, text) {
+        (
+            TokenKind::Ident,
+            "split_at" | "split_at_mut" | "copy_from_slice" | "clone_from_slice",
+        ) if k > 0 && text_at(file, code, k - 1) == "." && text_at(file, code, k + 1) == "(" => {
+            Some(format!(
+                "`.{text}(…)` panics when its length precondition fails — check bounds first \
+                 (`get`/`len`), or justify with `// analyze::allow(panic): …`"
+            ))
+        }
+        (TokenKind::Punct, "/" | "%")
+            if k > 0
+                && (is_index_base(file, code, k - 1)
+                    || matches!(
+                        file.tokens[code[k - 1]].kind,
+                        TokenKind::Int | TokenKind::Float
+                    )) =>
+        {
+            // Only divisions, never `&/&&` patterns: the previous token
+            // must be an expression end and the next must not be a
+            // literal. `x / 2` is visibly safe; `x / shards.len()` is a
+            // potential divide-by-zero.
+            let next_is_literal = code
+                .get(k + 1)
+                .is_some_and(|&j| matches!(file.tokens[j].kind, TokenKind::Int | TokenKind::Float));
+            // `/=` `%=` compound assignment has the same hazard; skip
+            // the `=` when peeking at the operand.
+            let operand_pos = if text_at(file, code, k + 1) == "=" {
+                k + 2
+            } else {
+                k + 1
+            };
+            let operand_is_literal = code
+                .get(operand_pos)
+                .is_some_and(|&j| matches!(file.tokens[j].kind, TokenKind::Int | TokenKind::Float));
+            if next_is_literal || operand_is_literal {
+                None
+            } else {
+                Some(format!(
+                    "`{text}` by a non-literal divisor panics when the divisor is zero — \
+                     guard the divisor or use `checked_{}`, or justify with \
+                     `// analyze::allow(panic): …`",
+                    if text == "/" { "div" } else { "rem" }
+                ))
+            }
+        }
         _ => None,
     }
 }

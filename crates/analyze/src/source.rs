@@ -10,6 +10,8 @@
 //! loop headers, struct literals and attributes, all of which are
 //! handled below.
 
+use std::cell::Cell;
+
 use crate::lexer::{self, Token, TokenKind};
 
 /// What a brace-delimited scope on the stack is.
@@ -62,6 +64,12 @@ pub struct Allow {
     pub reason: String,
     /// Line the annotation itself sits on (for bad-annotation reports).
     pub line: u32,
+    /// Set when the annotation actually suppresses a finding during a
+    /// run — [`SourceFile::allowed`] marks it on match. The ratchet is
+    /// two-way: after all passes run, an allow that never fired is
+    /// itself a finding (a suppression that suppresses nothing is a
+    /// stale claim about the code).
+    pub used: Cell<bool>,
 }
 
 /// A fully analyzed source file: tokens plus per-token context and
@@ -109,12 +117,22 @@ impl SourceFile {
     }
 
     /// Is `line` covered by an allow annotation of `kind`?
-    /// Returns the matching annotation if so.
+    /// Returns the matching annotation if so, and marks it used.
+    ///
+    /// Passes must therefore only consult this at genuine suppression
+    /// points — after a finding has been detected, never as a
+    /// pre-filter — or the unused-annotation ratchet would count
+    /// non-suppressing annotations as live.
     #[must_use]
     pub fn allowed(&self, kind: &str, line: u32) -> Option<&Allow> {
-        self.allows
+        let hit = self
+            .allows
             .iter()
-            .find(|a| a.kind == kind && a.from_line <= line && line <= a.to_line)
+            .find(|a| a.kind == kind && a.from_line <= line && line <= a.to_line);
+        if let Some(a) = hit {
+            a.used.set(true);
+        }
+        hit
     }
 }
 
@@ -461,6 +479,7 @@ fn scan_allows(src: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<(u32, String)>) 
             to_line: tok.line + span,
             reason: reason.to_string(),
             line: tok.line,
+            used: Cell::new(false),
         });
     }
     (allows, bad)

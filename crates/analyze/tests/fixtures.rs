@@ -19,8 +19,10 @@ use hqs_analyze::workspace::{CrateInfo, Workspace};
 const BAD_PANIC: &str = include_str!("../fixtures/bad_panic.rs");
 const BAD_TRANSITIVE: &str = include_str!("../fixtures/bad_transitive.rs");
 const BAD_CANCEL: &str = include_str!("../fixtures/bad_cancel.rs");
+const BAD_CANCEL_PATHS: &str = include_str!("../fixtures/bad_cancel_paths.rs");
 const BAD_ORDERING: &str = include_str!("../fixtures/bad_ordering.rs");
 const BAD_LOCKHOLD: &str = include_str!("../fixtures/bad_lockhold.rs");
+const BAD_LOCKORDER: &str = include_str!("../fixtures/bad_lockorder.rs");
 const CLEAN_TRANSITIVE: &str = include_str!("../fixtures/clean_transitive.rs");
 const CLEAN_CONCURRENCY: &str = include_str!("../fixtures/clean_concurrency.rs");
 const BAD_ALLOC: &str = include_str!("../fixtures/bad_alloc.rs");
@@ -177,10 +179,22 @@ fn bad_annotations_are_findings() {
         vec![("crates/base/src/ann.rs", "hqs-base", BAD_ANNOTATIONS)],
     );
     let diags = passes::run_all(&ws, &AnalyzeConfig::default());
-    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert_eq!(diags.len(), 3, "{diags:#?}");
     assert!(diags.iter().all(|d| d.pass == "annotation"));
     assert_eq!(count_containing(&diags, "empty reason"), 1);
     assert_eq!(count_containing(&diags, "unknown allow kind"), 1);
+    // The well-formed allow(alloc) covers lines that never produce an
+    // alloc finding: the two-way ratchet reports it as stale.
+    let stale = diags
+        .iter()
+        .find(|d| d.message.contains("suppresses nothing"))
+        .expect("stale-allow finding");
+    assert_eq!(stale.line, 9);
+    assert!(
+        stale.message.contains("stale `analyze::allow(alloc)`"),
+        "{}",
+        stale.message
+    );
 }
 
 #[test]
@@ -230,19 +244,35 @@ fn bad_transitive_flags_panic_with_full_call_chain() {
         )],
     );
     let diags = passes::run_all(&ws, &cfg_with(hot_propagate()));
-    assert_eq!(diags.len(), 1, "{diags:#?}");
-    let d = &diags[0];
-    assert_eq!(d.pass, "hot-transitive");
-    assert_eq!(d.symbol, "Solver::helper_two");
-    assert!(d.message.contains("`.unwrap(…)`"), "{}", d.message);
+    assert_eq!(diags.len(), 3, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.pass == "hot-transitive"));
+    let unwrap = diags
+        .iter()
+        .find(|d| d.message.contains("`.unwrap(…)`"))
+        .expect("unwrap finding");
+    assert_eq!(unwrap.symbol, "Solver::helper_two");
     // The diagnostic names the full chain from the seed to the sink.
     assert!(
-        d.message.contains(
+        unwrap.message.contains(
             "[hot via hqs-sat::Solver::propagate → Solver::helper_one → Solver::helper_two]"
         ),
         "{}",
-        d.message
+        unwrap.message
     );
+    // Implicit panic shapes are reported through the whole closure,
+    // seed included: `split_at` in the seed, `%` by a non-literal in a
+    // reached helper.
+    let split = diags
+        .iter()
+        .find(|d| d.message.contains("`.split_at(…)`"))
+        .expect("split_at finding");
+    assert_eq!(split.symbol, "Solver::propagate");
+    let div = diags
+        .iter()
+        .find(|d| d.message.contains("`%` by a non-literal divisor"))
+        .expect("modulo finding");
+    assert_eq!(div.symbol, "Solver::helper_one");
+    assert!(div.message.contains("checked_rem"), "{}", div.message);
 }
 
 #[test]
@@ -264,9 +294,99 @@ fn bad_cancel_flags_only_the_unpolled_loop() {
     assert_eq!(d.pass, "cancel-poll");
     assert_eq!(d.symbol, "Solver::solve_rounds");
     // The polled `loop` (budget.check) passes; only the bare `while`
-    // spin is flagged, anchored at its body.
-    assert_eq!(d.line, 29, "{diags:#?}");
-    assert!(d.message.contains("no cancellation poll"), "{}", d.message);
+    // spin is flagged, anchored at its header, with the concrete
+    // unpolled iteration path rendered.
+    assert_eq!(d.line, 27, "{diags:#?}");
+    assert!(
+        d.message
+            .contains("without a cancellation poll [path: L27 → L29 → back to L27]"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn cancel_paths_labeled_break_and_question_edges() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![(
+            "crates/sat/src/bad_cancel_paths.rs",
+            "hqs-sat",
+            BAD_CANCEL_PATHS,
+        )],
+    );
+    let cfg = AnalyzeConfig {
+        cancel: ["Solver::solve_rounds", "Solver::solve_inner"]
+            .iter()
+            .map(|s| HotFn {
+                crate_name: "hqs-sat".to_string(),
+                symbol: (*s).to_string(),
+            })
+            .collect(),
+        ..AnalyzeConfig::default()
+    };
+    let diags = passes::run_all(&ws, &cfg);
+    // `solve_rounds` polls at the head; its `?` early exit and labeled
+    // `break 'outer` are extra exits, not unpolled cycles. Only
+    // `solve_inner`'s fast-path `continue` is flagged.
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    let d = &diags[0];
+    assert_eq!(d.pass, "cancel-poll");
+    assert_eq!(d.symbol, "Solver::solve_inner");
+    assert_eq!(d.line, 37, "{diags:#?}");
+    assert!(
+        d.message.contains("without a cancellation poll [path:")
+            && d.message.contains("back to L37"),
+        "{}",
+        d.message
+    );
+}
+
+#[test]
+fn bad_lockorder_cycle_renders_both_chains() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![("crates/sat/src/bad_lockorder.rs", "hqs-sat", BAD_LOCKORDER)],
+    );
+    let analysis = passes::analyze(&ws, &AnalyzeConfig::default());
+    // The graph has both directions: alpha → beta composed through the
+    // `grab_beta` call, beta → alpha intra-function.
+    assert_eq!(
+        analysis.lock_graph.cycles(),
+        vec![vec![
+            "hqs-sat/alpha".to_string(),
+            "hqs-sat/beta".to_string()
+        ]]
+    );
+    assert_eq!(analysis.diags.len(), 1, "{:#?}", analysis.diags);
+    let d = &analysis.diags[0];
+    assert_eq!(d.pass, "lock-order");
+    assert_eq!(d.symbol, "hqs-sat/alpha ⇄ hqs-sat/beta");
+    assert!(
+        d.message
+            .contains("lock-order cycle between {hqs-sat/alpha, hqs-sat/beta}"),
+        "{}",
+        d.message
+    );
+    // Composed chain: alpha held, call reaches beta through the graph.
+    assert!(
+        d.message.contains(
+            "`hqs-sat/alpha` held via `guard` (crates/sat/src/bad_lockorder.rs:16) → \
+             Pair::forward calls Pair::grab_beta at crates/sat/src/bad_lockorder.rs:17, \
+             which acquires `hqs-sat/beta`"
+        ),
+        "{}",
+        d.message
+    );
+    // Intra chain: beta held, alpha temp-acquired two lines later.
+    assert!(
+        d.message.contains(
+            "`hqs-sat/beta` held via `g` (crates/sat/src/bad_lockorder.rs:28) → acquires \
+             `hqs-sat/alpha` at crates/sat/src/bad_lockorder.rs:29 in Pair::backward"
+        ),
+        "{}",
+        d.message
+    );
 }
 
 #[test]

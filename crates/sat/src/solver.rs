@@ -565,6 +565,13 @@ impl Solver {
                         conflicts_this_restart = 0;
                         budget_this_restart = restarts.next_interval();
                         self.cancel_until(self.assumption_level(assumptions.len()));
+                        // The restart `continue` skips the decision-count
+                        // poll below; restarts happen at Luby intervals of
+                        // ≥ 100 conflicts, so an unconditional poll here
+                        // is cheap and keeps every iterating path covered.
+                        if self.cancel_requested() {
+                            break SolveResult::Unknown;
+                        }
                         continue;
                     }
                     if self.learnt_indices.len() as f64 > self.max_learnts {

@@ -6,6 +6,9 @@
 //! cargo run -p xtask -- analyze --summary            # per-pass counts + graph stats
 //! cargo run -p xtask -- analyze --report <path>      # findings + call-graph stats as JSON
 //! cargo run -p xtask -- analyze --callgraph <path>   # full call-graph dump as JSON
+//! cargo run -p xtask -- analyze --cfg-dump <path>    # per-function CFG stats as JSON
+//! cargo run -p xtask -- analyze --lock-graph <path>  # lock-order graph as JSON
+//! cargo run -p xtask -- analyze --lock-dot <path>    # lock-order graph as Graphviz dot
 //! cargo run -p xtask -- analyze --bench <path>       # timing JSON (BENCH_analyze.json)
 //! cargo run -p xtask -- analyze --explain <pass>     # rationale + fix recipe for a pass
 //! cargo run -p xtask -- analyze --check-baseline     # CI gate
@@ -27,7 +30,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use hqs_analyze::baseline::Baseline;
+use hqs_analyze::cfg;
 use hqs_analyze::config;
+use hqs_analyze::dataflow;
 use hqs_analyze::diag;
 use hqs_analyze::json::{self, Json};
 use hqs_analyze::passes;
@@ -45,18 +50,25 @@ pub fn run(args: &[String]) -> ExitCode {
     let mut report: Option<String> = None;
     let mut callgraph: Option<String> = None;
     let mut bench: Option<String> = None;
+    let mut cfg_dump: Option<String> = None;
+    let mut lock_graph: Option<String> = None;
+    let mut lock_dot: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check-baseline" => check_baseline = true,
             "--write-baseline" => write_baseline = true,
             "--summary" => summary = true,
-            "--report" | "--callgraph" | "--bench" => {
+            "--report" | "--callgraph" | "--bench" | "--cfg-dump" | "--lock-graph"
+            | "--lock-dot" => {
                 let flag = arg.clone();
                 match it.next() {
                     Some(path) => match flag.as_str() {
                         "--report" => report = Some(path.clone()),
                         "--callgraph" => callgraph = Some(path.clone()),
+                        "--cfg-dump" => cfg_dump = Some(path.clone()),
+                        "--lock-graph" => lock_graph = Some(path.clone()),
+                        "--lock-dot" => lock_dot = Some(path.clone()),
                         _ => bench = Some(path.clone()),
                     },
                     None => {
@@ -81,6 +93,7 @@ pub fn run(args: &[String]) -> ExitCode {
                 eprintln!(
                     "analyze: unknown flag `{other}` (expected --check-baseline, \
                      --write-baseline, --summary, --report <path>, --callgraph <path>, \
+                     --cfg-dump <path>, --lock-graph <path>, --lock-dot <path>, \
                      --bench <path>, --explain <pass>)"
                 );
                 return ExitCode::FAILURE;
@@ -138,9 +151,42 @@ pub fn run(args: &[String]) -> ExitCode {
             graph.edges.len()
         );
     }
+    if let Some(path) = &cfg_dump {
+        let (dump, cfg_count, block_count) = cfg_dump_json(&ws);
+        if let Err(err) = std::fs::write(root.join(path), json::emit_pretty(&dump)) {
+            eprintln!("analyze: failed to write CFG dump {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "analyze: CFG dump written to {path} ({cfg_count} functions, {block_count} blocks)"
+        );
+    }
+    if let Some(path) = &lock_graph {
+        if let Err(err) = std::fs::write(
+            root.join(path),
+            json::emit_pretty(&analysis.lock_graph.to_json()),
+        ) {
+            eprintln!("analyze: failed to write lock graph {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "analyze: lock-order graph written to {path} ({} classes, {} edges, {} cycle(s))",
+            analysis.lock_graph.nodes.len(),
+            analysis.lock_graph.edges.len(),
+            analysis.lock_graph.cycles().len()
+        );
+    }
+    if let Some(path) = &lock_dot {
+        if let Err(err) = std::fs::write(root.join(path), analysis.lock_graph.to_dot()) {
+            eprintln!("analyze: failed to write lock dot {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("analyze: lock-order dot written to {path}");
+    }
     if let Some(path) = &bench {
+        let (cfg_count, block_count, cfg_build_ms, dataflow_ms) = bench_cfg_dataflow(&ws);
         let obj = Json::Object(vec![
-            ("schema".into(), Json::String("hqs-bench-analyze/1".into())),
+            ("schema".into(), Json::String("hqs-bench-analyze/2".into())),
             ("files".into(), Json::Number(ws.files.len() as f64)),
             ("crates".into(), Json::Number(ws.crates.len() as f64)),
             (
@@ -164,6 +210,16 @@ pub fn run(args: &[String]) -> ExitCode {
             (
                 "analyze_ms".into(),
                 Json::Number((analyze_elapsed.as_secs_f64() * 1e5).round() / 100.0),
+            ),
+            ("cfg_functions".into(), Json::Number(cfg_count as f64)),
+            ("cfg_blocks".into(), Json::Number(block_count as f64)),
+            (
+                "cfg_build_ms".into(),
+                Json::Number((cfg_build_ms * 100.0).round() / 100.0),
+            ),
+            (
+                "dataflow_ms".into(),
+                Json::Number((dataflow_ms * 100.0).round() / 100.0),
             ),
         ]);
         if let Err(err) = std::fs::write(root.join(path), json::emit_pretty(&obj)) {
@@ -270,6 +326,103 @@ pub fn run(args: &[String]) -> ExitCode {
         }
         ExitCode::SUCCESS
     }
+}
+
+/// Builds the `--cfg-dump` JSON: per-function block/edge/loop counts,
+/// so the CI artifact shows the shape the path-sensitive passes ran
+/// over without dumping every token. Returns (json, functions, blocks).
+fn cfg_dump_json(ws: &Workspace) -> (Json, usize, usize) {
+    let mut functions = Vec::new();
+    let mut cfg_count = 0usize;
+    let mut block_count = 0usize;
+    for file in &ws.files {
+        let code = passes::code_indices(file);
+        for fn_cfg in cfg::build_all(file, &code) {
+            let edges: usize = fn_cfg.blocks.iter().map(|b| b.succs.len()).sum();
+            cfg_count += 1;
+            block_count += fn_cfg.blocks.len();
+            let loops: Vec<Json> = fn_cfg
+                .loops
+                .iter()
+                .map(|l| {
+                    Json::Object(vec![
+                        ("line".into(), Json::Number(f64::from(l.line))),
+                        ("depth".into(), Json::Number(f64::from(l.depth))),
+                        (
+                            "label".into(),
+                            l.label
+                                .as_ref()
+                                .map_or(Json::Null, |s| Json::String(s.clone())),
+                        ),
+                    ])
+                })
+                .collect();
+            functions.push(Json::Object(vec![
+                ("path".into(), Json::String(file.path.clone())),
+                ("symbol".into(), Json::String(fn_cfg.symbol.clone())),
+                (
+                    "line".into(),
+                    Json::Number(f64::from(
+                        fn_cfg
+                            .blocks
+                            .iter()
+                            .map(|b| b.line)
+                            .find(|&l| l > 0)
+                            .unwrap_or(0),
+                    )),
+                ),
+                ("blocks".into(), Json::Number(fn_cfg.blocks.len() as f64)),
+                ("edges".into(), Json::Number(edges as f64)),
+                ("loops".into(), Json::Array(loops)),
+            ]));
+        }
+    }
+    let dump = Json::Object(vec![
+        ("schema".into(), Json::String("hqs-analyze-cfg/1".into())),
+        ("functions".into(), Json::Number(cfg_count as f64)),
+        ("blocks".into(), Json::Number(block_count as f64)),
+        ("cfgs".into(), Json::Array(functions)),
+    ]);
+    (dump, cfg_count, block_count)
+}
+
+/// Times the CFG and dataflow layers for `--bench`: one full CFG build
+/// over the workspace, then a reachable-blocks dataflow (forward/union,
+/// one fact per block) solved on every CFG — the same engine the
+/// path-sensitive passes run, with a workload proportional to real
+/// graph shapes. Returns (functions, blocks, cfg_build_ms, dataflow_ms).
+fn bench_cfg_dataflow(ws: &Workspace) -> (usize, usize, f64, f64) {
+    let started = Instant::now();
+    let mut cfgs: Vec<hqs_analyze::cfg::Cfg> = Vec::new();
+    for file in &ws.files {
+        let code = passes::code_indices(file);
+        cfgs.extend(cfg::build_all(file, &code));
+    }
+    let cfg_build_ms = started.elapsed().as_secs_f64() * 1e3;
+    let block_count: usize = cfgs.iter().map(|c| c.blocks.len()).sum();
+
+    let started = Instant::now();
+    let mut reached = 0usize;
+    for fn_cfg in &cfgs {
+        let n = fn_cfg.blocks.len();
+        let mut gk = dataflow::GenKill::new(n, n);
+        for b in 0..n {
+            gk.gen[b].insert(b);
+        }
+        let solution = dataflow::solve(
+            fn_cfg,
+            &gk,
+            dataflow::Direction::Forward,
+            dataflow::Meet::Union,
+            &dataflow::BitSet::empty(n),
+        );
+        reached += solution.out[hqs_analyze::cfg::EXIT].iter().count();
+    }
+    let dataflow_ms = started.elapsed().as_secs_f64() * 1e3;
+    // `reached` keeps the loop from being optimized out and is a cheap
+    // sanity invariant: every block set is non-empty past ENTRY.
+    debug_assert!(reached >= cfgs.len());
+    (cfgs.len(), block_count, cfg_build_ms, dataflow_ms)
 }
 
 fn symbol_suffix(symbol: &str) -> String {
@@ -383,10 +536,14 @@ const EXPLANATIONS: &[(&str, &str)] = &[
     (
         "cancel-poll",
         "Why: every loop in a solver-entry function ([cancel-poll] functions) must observe\n\
-         cancellation, or a stuck instance makes the whole portfolio uncancellable.\n\
-         Fix: poll `budget.check(…)`/`token.is_cancelled()`/`stop_requested()` inside the\n\
-         loop body (an inner-loop poll covers its outer loops); genuinely bounded loops\n\
-         take `// analyze::allow(cancel): <reason>` as the first line of the loop body.",
+         cancellation, or a stuck instance makes the whole portfolio uncancellable. The\n\
+         check is path-sensitive over the function's CFG: *every* path that completes an\n\
+         iteration (including fast-path `continue`s and partial `break`-outs) must reach\n\
+         a poll; the diagnostic renders one concrete unpolled path by line numbers.\n\
+         Fix: poll `budget.check(…)`/`token.is_cancelled()`/`stop_requested()` on the\n\
+         unpolled path (usually: before a `continue`, or at the loop head); genuinely\n\
+         bounded loops take `// analyze::allow(cancel): <reason>` on the loop header or\n\
+         the first line of the loop body.",
     ),
     (
         "concurrency-ordering",
@@ -402,7 +559,25 @@ const EXPLANATIONS: &[(&str, &str)] = &[
         "concurrency-lock",
         "Why: the engine's sharded deques stay contention-free only if guards are short-\n\
          lived; allocating or calling a solver under a held MutexGuard serializes workers.\n\
+         Guard liveness is a real dataflow over the function's CFG: an early `drop(guard)`\n\
+         ends the hold on every path below it, a guard bound inside a loop is live across\n\
+         the back edge, and an early `return` under a guard is still a hold.\n\
          Fix: narrow the critical section (bind, use, drop), clone out the needed data, or\n\
          annotate with `// analyze::allow(lock): <reason>`.",
+    ),
+    (
+        "lock-order",
+        "Why: two threads taking the same pair of locks in opposite orders deadlock. The\n\
+         pass records every acquisition made while another guard is live — directly, or\n\
+         through a call whose callee (transitively) acquires — into a global lock-order\n\
+         graph of crate-qualified lock classes, and fails on any cycle, rendering each\n\
+         acquisition chain with file:line evidence. Class granularity is deliberate: two\n\
+         different shards share a class, so shard→shard nesting (the work-stealing\n\
+         hazard) is reported too.\n\
+         Fix: reorder the acquisitions so every chain agrees with the global order, or\n\
+         drop the held guard before acquiring; a deliberate nesting is justified at the\n\
+         acquisition site with `// analyze::allow(lock): <reason>`, which suppresses the\n\
+         edge. Inspect the graph with --lock-graph <path> (JSON) or --lock-dot <path>\n\
+         (Graphviz; cyclic nodes and edges are drawn red).",
     ),
 ];
