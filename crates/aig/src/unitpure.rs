@@ -15,7 +15,7 @@
 
 use crate::{Aig, AigEdge, AigNode};
 use hqs_base::Var;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Classification of one variable by the syntactic traversal.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -37,7 +37,7 @@ pub enum VarStatus {
 /// Result of [`Aig::unit_pure`]: the classified variables.
 #[derive(Clone, Debug, Default)]
 pub struct UnitPureStatus {
-    statuses: HashMap<Var, VarStatus>,
+    statuses: BTreeMap<Var, VarStatus>,
 }
 
 impl UnitPureStatus {
@@ -143,7 +143,7 @@ impl Aig {
                 }
             }
         }
-        let mut statuses = HashMap::new();
+        let mut statuses = BTreeMap::new();
         for idx in 0..num_nodes {
             let AigNode::Input(var) = self.nodes_kind(idx as u32) else {
                 continue;

@@ -1,0 +1,32 @@
+//! Fixture: nondeterminism sources in the callee closure of a
+//! declared deterministic root. `emit` is the root; the hash-ordered
+//! `for`, the wall-clock read two calls down, the `keys()` walk and
+//! the environment read must all be flagged with their chains.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Writer {
+    counts: HashMap<u32, u32>,
+}
+
+impl Writer {
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counts {
+            out.push_str(&format!("{k}={v}\n")); // hash order reaches output
+        }
+        out.push_str(&self.stamp());
+        out
+    }
+
+    fn stamp(&self) -> String {
+        let t = Instant::now(); // wall clock below the root
+        let seed = std::env::var("SOLVER_SEED").unwrap_or_default();
+        format!("{t:?} {seed} {}", self.first())
+    }
+
+    fn first(&self) -> u32 {
+        self.counts.keys().next().copied().unwrap_or(0)
+    }
+}

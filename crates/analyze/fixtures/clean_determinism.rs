@@ -1,0 +1,30 @@
+//! Fixture: the deterministic mirror of `bad_determinism.rs` — ordered
+//! iteration via `BTreeMap`, keyed `HashMap` *lookups* (order never
+//! observed), and one justified allow for an order-insensitive fold.
+//! The determinism pass must report nothing.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Writer {
+    counts: BTreeMap<u32, u32>,
+    cache: HashMap<u32, u32>,
+}
+
+impl Writer {
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counts {
+            out.push_str(&format!("{k}={v}\n")); // BTreeMap: key order
+        }
+        if let Some(hit) = self.cache.get(&0) {
+            out.push_str(&hit.to_string()); // keyed lookup, order-free
+        }
+        out.push_str(&self.total().to_string());
+        out
+    }
+
+    fn total(&self) -> u32 {
+        // analyze::allow(determinism): summation is order-insensitive
+        self.cache.values().sum()
+    }
+}

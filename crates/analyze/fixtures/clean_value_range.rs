@@ -1,0 +1,43 @@
+//! Fixture: implicit-panic shapes the value-range dataflow proves
+//! safe. With proofs the transitive pass reports nothing here; with an
+//! empty proof set every marked site below is a finding — the
+//! before/after pair the refinement is measured by.
+
+pub struct Solver {
+    data: Vec<u32>,
+}
+
+impl Solver {
+    pub fn propagate(&mut self) -> u32 {
+        let total = 17u32;
+        let n = self.width();
+        let mut acc = 0;
+        if n != 0 {
+            acc += total / n; // proven: the guard excludes zero
+        }
+        let d = 4;
+        acc += total % d; // proven: literal-bound divisor
+        acc + split_sum(&self.data, 1) + pick(&self.data, 2)
+    }
+
+    fn width(&self) -> u32 {
+        self.data.len() as u32
+    }
+}
+
+fn split_sum(v: &[u32], k: usize) -> u32 {
+    if k <= v.len() {
+        let (low, _high) = v.split_at(k); // proven: guarded bound
+        low.iter().sum()
+    } else {
+        0
+    }
+}
+
+fn pick(v: &[u32], i: usize) -> u32 {
+    if i < v.len() {
+        v[i] // proven: strict guarded bound
+    } else {
+        0
+    }
+}

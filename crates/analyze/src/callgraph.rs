@@ -43,6 +43,9 @@ pub struct GraphStats {
     pub resolved: usize,
     /// Sites with provably no workspace target.
     pub external: usize,
+    /// Calls to closures or nested fns bound in the same file — exact
+    /// targets with no graph node.
+    pub local_closures: usize,
     /// Sites with several candidates (conservative edges).
     pub ambiguous: usize,
     /// Closure/fn-pointer calls with no lexical target.
@@ -55,15 +58,16 @@ pub struct GraphStats {
 
 impl GraphStats {
     /// Share of call sites whose targets are precisely known, in
-    /// percent. `Resolved` and `External` count; `Ambiguous` and
-    /// `Unknown` count against.
+    /// percent. `Resolved`, `External` and `LocalClosure` count;
+    /// `Ambiguous` and `Unknown` count against.
     #[must_use]
     pub fn resolution_rate(&self) -> f64 {
         if self.total_sites == 0 {
             return 100.0;
         }
         // Plain percentage arithmetic on counters.
-        100.0 * (self.resolved + self.external) as f64 / self.total_sites as f64
+        100.0 * (self.resolved + self.external + self.local_closures) as f64
+            / self.total_sites as f64
     }
 }
 
@@ -105,6 +109,10 @@ impl CallGraph {
                     }
                     Resolution::External(_) => {
                         stats.external += 1;
+                        (Vec::new(), false)
+                    }
+                    Resolution::LocalClosure => {
+                        stats.local_closures += 1;
                         (Vec::new(), false)
                     }
                     Resolution::Ambiguous(ids) => {
@@ -264,6 +272,10 @@ impl CallGraph {
             ("call_sites".into(), Json::Number(s.total_sites as f64)),
             ("resolved".into(), Json::Number(s.resolved as f64)),
             ("external".into(), Json::Number(s.external as f64)),
+            (
+                "local_closures".into(),
+                Json::Number(s.local_closures as f64),
+            ),
             ("ambiguous".into(), Json::Number(s.ambiguous as f64)),
             ("unknown".into(), Json::Number(s.unknown as f64)),
             (

@@ -22,6 +22,11 @@
 //!     "crates/base/src/budget.rs::CancelToken::cancel::Release",
 //! ]
 //!
+//! [determinism]
+//! roots = [
+//!     "hqs-engine::arbitrate",
+//! ]
+//!
 //! [callgraph]
 //! min-resolution-percent = 90
 //! ```
@@ -78,6 +83,10 @@ pub struct AnalyzeConfig {
     pub cancel: Vec<HotFn>,
     /// `[concurrency] ordering` — the committed `Ordering::` allowlist.
     pub ordering_allow: Vec<OrderingSite>,
+    /// `[determinism] roots` — functions whose callee closure must be
+    /// byte-reproducible (arbitration, batch writers, certificate
+    /// emission).
+    pub determinism_roots: Vec<HotFn>,
     /// `[callgraph] min-resolution-percent` — CI fails below this
     /// call-site resolution rate (0 disables the gate).
     pub min_resolution_percent: f64,
@@ -166,6 +175,12 @@ fn record_entry(
                 "malformed cancel-poll entry `{entry}` (expected `crate::Type::fn` or `crate::fn`)"
             )),
         },
+        ("determinism", "roots") => match parse_fn_entry(entry) {
+            Some(f) => cfg.determinism_roots.push(f),
+            None => warnings.push(format!(
+                "malformed determinism root `{entry}` (expected `crate::Type::fn` or `crate::fn`)"
+            )),
+        },
         ("concurrency", "ordering") => {
             // `<path>::<symbol>::<Variant>` — the path has no `::`, the
             // symbol may, so split the variant off the right and the
@@ -252,6 +267,12 @@ ordering = [
     "crates/obs/src/registry.rs::MetricsRegistry::add::Relaxed",
 ]
 
+[determinism]
+roots = [
+    "hqs-engine::arbitrate",
+    "hqs-core::extract_skolem",
+]
+
 [callgraph]
 min-resolution-percent = 90
 "#,
@@ -260,6 +281,9 @@ min-resolution-percent = 90
         assert_eq!(cfg.hot.functions.len(), 1);
         assert_eq!(cfg.cancel.len(), 1);
         assert_eq!(cfg.cancel[0].symbol, "Solver::main_loop");
+        assert_eq!(cfg.determinism_roots.len(), 2);
+        assert_eq!(cfg.determinism_roots[0].crate_name, "hqs-engine");
+        assert_eq!(cfg.determinism_roots[1].symbol, "extract_skolem");
         assert_eq!(cfg.ordering_allow.len(), 2);
         assert_eq!(cfg.ordering_allow[0].path, "crates/base/src/budget.rs");
         assert_eq!(cfg.ordering_allow[0].symbol, "CancelToken::cancel");

@@ -1,12 +1,17 @@
-//! A generic worklist dataflow engine over [`crate::cfg::Cfg`]s.
+//! A lattice-generic worklist dataflow engine over [`crate::cfg::Cfg`]s.
 //!
-//! Facts are bits in a fixed-size bitset; a pass instantiates the
-//! engine with per-block **gen** and **kill** sets and the engine
-//! iterates transfer functions to a fixpoint.
+//! The engine is parameterized by a [`Domain`]: the domain supplies the
+//! lattice (initial/boundary values, the join), the transfer function,
+//! and optionally an edge refinement (sharpen a fact along a `True` or
+//! `False` branch edge) and a widening operator (force convergence for
+//! infinite-height lattices). [`solve_domain`] runs chaotic iteration
+//! to a fixpoint over any domain; the classic gen/kill bitset analysis
+//! — the original and still most common instance — is packaged as
+//! [`GenKill`] + [`solve`].
 //!
-//! # Transfer-function contract
+//! # Gen/kill transfer-function contract
 //!
-//! Every block's transfer function is
+//! For the bitset instance every block's transfer function is
 //!
 //! ```text
 //! out(b) = gen(b) ∪ (in(b) \ kill(b))
@@ -23,18 +28,70 @@
 //!   ones) and shrink; the entry (exit, when backward) initializes to
 //!   the caller-provided boundary set.
 //!
-//! Passes must ensure `gen` and `kill` are *path-independent* per
-//! block — they may depend only on the block's own tokens, never on
-//! the in-set — which is what makes the fixpoint well-defined and
-//! guarantees termination: each block's out-set moves monotonically in
-//! the lattice, and the lattice height is `facts` bits.
+//! # Domain contract
 //!
-//! The engine is deliberately small: no widening, no SSA, no demand
-//! structure. Workspace functions have tens of blocks; a bitset
-//! worklist converges in a handful of sweeps and keeps the whole
-//! analyze run dependency-free.
+//! A [`Domain`] must make its transfer function **monotone** (a larger
+//! in-fact never yields a smaller out-fact) and depend only on the
+//! block's own tokens plus the in-fact, never on global iteration
+//! state; that is what makes the fixpoint well-defined. Termination
+//! requires either a finite-height lattice (bitsets) or a [`Domain::widen`]
+//! that forces every chain to stabilize (the interval domain in
+//! [`crate::interval`] widens repeatedly-growing bounds to ±∞). The
+//! engine applies `widen` only after a block has been recomputed
+//! [`WIDEN_AFTER`] times, so finite analyses keep their precision.
+//!
+//! The engine is deliberately small: no SSA, no demand structure.
+//! Workspace functions have tens of blocks; a worklist converges in a
+//! handful of sweeps and keeps the whole analyze run dependency-free.
 
-use crate::cfg::{Cfg, ENTRY, EXIT};
+use crate::cfg::{Cfg, EdgeKind, ENTRY, EXIT};
+
+/// Recomputations of one block before [`Domain::widen`] engages.
+pub const WIDEN_AFTER: u32 = 4;
+
+/// An abstract-interpretation domain: the lattice, the transfer
+/// function, and (optionally) branch-edge refinement and widening.
+pub trait Domain {
+    /// The per-program-point fact.
+    type Fact: Clone + PartialEq;
+
+    /// Direction of propagation.
+    fn direction(&self) -> Direction;
+
+    /// The join identity and interior-block initial value: ⊥ for a may
+    /// analysis, ⊤ for a must analysis, "unreachable" for an
+    /// environment domain.
+    fn init(&self, cfg: &Cfg) -> Self::Fact;
+
+    /// The fact seeding the entry block (forward) or exit block
+    /// (backward).
+    fn boundary(&self, cfg: &Cfg) -> Self::Fact;
+
+    /// `acc ⊔= other` (or ⊓ for a must analysis): combine one
+    /// flow-predecessor's refined out-fact into the accumulator.
+    fn join(&self, acc: &mut Self::Fact, other: &Self::Fact);
+
+    /// The block transfer function: the fact after executing `block`
+    /// given the fact on entry to it.
+    fn transfer(&self, cfg: &Cfg, block: usize, fact: &Self::Fact) -> Self::Fact;
+
+    /// Sharpens a fact as it flows along the edge `from → (target)` of
+    /// kind `kind` — the hook condition-aware domains use to learn from
+    /// `True`/`False` branch edges. The default is the identity.
+    fn refine_edge(&self, cfg: &Cfg, from: usize, kind: EdgeKind, fact: &Self::Fact) -> Self::Fact {
+        let _ = (cfg, from, kind);
+        fact.clone()
+    }
+
+    /// Accelerates convergence once a block has been recomputed
+    /// [`WIDEN_AFTER`] times: must return a fact ≥ `new` such that
+    /// repeated widening stabilizes. The default (return `new`) is
+    /// correct for finite-height lattices.
+    fn widen(&self, old: &Self::Fact, new: &Self::Fact) -> Self::Fact {
+        let _ = old;
+        new.clone()
+    }
+}
 
 /// Direction of propagation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -165,15 +222,143 @@ impl GenKill {
     }
 }
 
-/// The fixpoint solution: one in-set and one out-set per block. For a
-/// backward analysis `in_` is the set at block *exit* and `out` the set
-/// at block *entry* (facts flow against the edges); callers mostly read
-/// whichever side faces their query.
-pub struct Solution {
+/// The fixpoint solution: one in-fact and one out-fact per block. For a
+/// backward analysis `in_` is the fact at block *exit* and `out` the
+/// fact at block *entry* (facts flow against the edges); callers mostly
+/// read whichever side faces their query.
+pub struct Fixpoint<F> {
     /// Facts on entry to each block (meet over incoming edges).
-    pub in_: Vec<BitSet>,
+    pub in_: Vec<F>,
     /// Facts on exit from each block (after the transfer function).
-    pub out: Vec<BitSet>,
+    pub out: Vec<F>,
+}
+
+/// The bitset fixpoint, the shape [`solve`] returns.
+pub type Solution = Fixpoint<BitSet>;
+
+/// Runs any [`Domain`] to fixpoint over `cfg` by chaotic iteration
+/// with a dedup'd worklist; block count is small enough that O(n)
+/// membership checks beat a visited bitmap in clarity and lose nothing
+/// in practice.
+#[must_use]
+pub fn solve_domain<D: Domain>(cfg: &Cfg, dom: &D) -> Fixpoint<D::Fact> {
+    let n = cfg.blocks.len();
+    let boundary_block = match dom.direction() {
+        Direction::Forward => ENTRY,
+        Direction::Backward => EXIT,
+    };
+    let mut in_: Vec<D::Fact> = (0..n)
+        .map(|b| {
+            if b == boundary_block {
+                dom.boundary(cfg)
+            } else {
+                dom.init(cfg)
+            }
+        })
+        .collect();
+    let mut out: Vec<D::Fact> = (0..n).map(|b| dom.transfer(cfg, b, &in_[b])).collect();
+    let mut updates = vec![0u32; n];
+    let mut work: Vec<usize> = (0..n).collect();
+    while let Some(b) = work.pop() {
+        if b != boundary_block {
+            // in(b) = join over flow-predecessors' out-facts, each
+            // refined along its own edge (a block can reach `b` along
+            // several edges of different kinds — a `True` and a `False`
+            // edge of a degenerate branch both count).
+            let mut acc = dom.init(cfg);
+            match dom.direction() {
+                Direction::Forward => {
+                    let preds = &cfg.blocks[b].preds;
+                    for (pi, &p) in preds.iter().enumerate() {
+                        if preds[..pi].contains(&p) {
+                            continue; // duplicate pred: edges handled below
+                        }
+                        for &(s, kind) in &cfg.blocks[p].succs {
+                            if s == b {
+                                let refined = dom.refine_edge(cfg, p, kind, &out[p]);
+                                dom.join(&mut acc, &refined);
+                            }
+                        }
+                    }
+                }
+                Direction::Backward => {
+                    for &(s, kind) in &cfg.blocks[b].succs {
+                        let refined = dom.refine_edge(cfg, b, kind, &out[s]);
+                        dom.join(&mut acc, &refined);
+                    }
+                }
+            }
+            in_[b] = acc;
+        }
+        let mut o = dom.transfer(cfg, b, &in_[b]);
+        if o != out[b] {
+            updates[b] += 1;
+            if updates[b] > WIDEN_AFTER {
+                o = dom.widen(&out[b], &o);
+                if o == out[b] {
+                    continue;
+                }
+            }
+            out[b] = o;
+            let dependents: Vec<usize> = match dom.direction() {
+                Direction::Forward => cfg.blocks[b].succs.iter().map(|&(s, _)| s).collect(),
+                Direction::Backward => cfg.blocks[b].preds.clone(),
+            };
+            for d in dependents {
+                if !work.contains(&d) {
+                    work.push(d);
+                }
+            }
+        }
+    }
+    Fixpoint { in_, out }
+}
+
+/// The gen/kill bitset analysis as a [`Domain`] instance: the original
+/// engine's semantics, now one client of the generic solver.
+struct GenKillDomain<'a> {
+    gk: &'a GenKill,
+    direction: Direction,
+    meet: Meet,
+    boundary: &'a BitSet,
+}
+
+impl Domain for GenKillDomain<'_> {
+    type Fact = BitSet;
+
+    fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    fn init(&self, _cfg: &Cfg) -> BitSet {
+        match self.meet {
+            Meet::Union => BitSet::empty(self.boundary.len),
+            Meet::Intersection => BitSet::full(self.boundary.len),
+        }
+    }
+
+    fn boundary(&self, _cfg: &Cfg) -> BitSet {
+        self.boundary.clone()
+    }
+
+    fn join(&self, acc: &mut BitSet, other: &BitSet) {
+        match self.meet {
+            Meet::Union => {
+                acc.union_with(other);
+            }
+            Meet::Intersection => {
+                acc.intersect_with(other);
+            }
+        }
+    }
+
+    fn transfer(&self, _cfg: &Cfg, block: usize, fact: &BitSet) -> BitSet {
+        let mut o = self.gk.gen[block].clone();
+        let mut pass_through = fact.clone();
+        pass_through.subtract(&self.gk.kill[block]);
+        o.union_with(&pass_through);
+        o
+    }
 }
 
 /// Runs gen/kill dataflow to fixpoint over `cfg`.
@@ -188,84 +373,15 @@ pub fn solve(
     meet: Meet,
     boundary: &BitSet,
 ) -> Solution {
-    let n = cfg.blocks.len();
-    let facts = boundary.len;
-    let boundary_block = match direction {
-        Direction::Forward => ENTRY,
-        Direction::Backward => EXIT,
-    };
-    let mut in_: Vec<BitSet> = Vec::with_capacity(n);
-    let mut out: Vec<BitSet> = Vec::with_capacity(n);
-    for b in 0..n {
-        let init_in = if b == boundary_block {
-            boundary.clone()
-        } else {
-            match meet {
-                Meet::Union => BitSet::empty(facts),
-                Meet::Intersection => BitSet::full(facts),
-            }
-        };
-        let mut o = gk.gen[b].clone();
-        let mut pass_through = init_in.clone();
-        pass_through.subtract(&gk.kill[b]);
-        o.union_with(&pass_through);
-        in_.push(init_in);
-        out.push(o);
-    }
-
-    // Chaotic iteration with a dedup'd worklist; block count is small
-    // enough that O(n) membership checks beat a visited bitmap in
-    // clarity and lose nothing in practice.
-    let mut work: Vec<usize> = (0..n).collect();
-    while let Some(b) = work.pop() {
-        if b != boundary_block {
-            // in(b) = meet over flow-predecessors' out.
-            let sources: Vec<usize> = match direction {
-                Direction::Forward => cfg.blocks[b].preds.clone(),
-                Direction::Backward => cfg.blocks[b].succs.iter().map(|&(s, _)| s).collect(),
-            };
-            let mut acc = match meet {
-                Meet::Union => BitSet::empty(facts),
-                Meet::Intersection => {
-                    if sources.is_empty() {
-                        BitSet::full(facts)
-                    } else {
-                        out[sources[0]].clone()
-                    }
-                }
-            };
-            match meet {
-                Meet::Union => {
-                    for &s in &sources {
-                        acc.union_with(&out[s]);
-                    }
-                }
-                Meet::Intersection => {
-                    for &s in &sources[1.min(sources.len())..] {
-                        acc.intersect_with(&out[s]);
-                    }
-                }
-            }
-            in_[b] = acc;
-        }
-        let mut o = gk.gen[b].clone();
-        let mut pass_through = in_[b].clone();
-        pass_through.subtract(&gk.kill[b]);
-        o.union_with(&pass_through);
-        if o != out[b] {
-            out[b] = o;
-            let dependents: Vec<usize> = match direction {
-                Direction::Forward => cfg.blocks[b].succs.iter().map(|&(s, _)| s).collect(),
-                Direction::Backward => cfg.blocks[b].preds.clone(),
-            };
-            for d in dependents {
-                if !work.contains(&d) {
-                    work.push(d);
-                }
-            }
-        }
-    }
-    Solution { in_, out }
+    solve_domain(
+        cfg,
+        &GenKillDomain {
+            gk,
+            direction,
+            meet,
+            boundary,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -421,6 +537,113 @@ mod tests {
             &BitSet::empty(1),
         );
         assert!(sol.in_[def].contains(0) || sol.out[def].contains(0));
+    }
+
+    // ---- lattice laws, checked against a naive set-model oracle ----
+
+    /// Deterministic pseudo-random bitsets: a tiny xorshift so the law
+    /// tests cover many shapes without depending on a RNG crate.
+    fn sample_sets(len: usize, count: usize) -> Vec<BitSet> {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut sets = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut s = BitSet::empty(len);
+            for i in 0..len {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state & 1 == 1 {
+                    s.insert(i);
+                }
+            }
+            sets.push(s);
+        }
+        sets
+    }
+
+    fn model(s: &BitSet) -> std::collections::BTreeSet<usize> {
+        s.iter().collect()
+    }
+
+    fn subset(a: &BitSet, b: &BitSet) -> bool {
+        a.iter().all(|i| b.contains(i))
+    }
+
+    /// Every BitSet op agrees with the naive set model.
+    #[test]
+    fn bitset_ops_match_set_model_oracle() {
+        let sets = sample_sets(70, 8);
+        for a in &sets {
+            for b in &sets {
+                let (ma, mb) = (model(a), model(b));
+                let mut u = a.clone();
+                u.union_with(b);
+                assert_eq!(model(&u), ma.union(&mb).copied().collect());
+                let mut i = a.clone();
+                i.intersect_with(b);
+                assert_eq!(model(&i), ma.intersection(&mb).copied().collect());
+                let mut d = a.clone();
+                d.subtract(b);
+                assert_eq!(model(&d), ma.difference(&mb).copied().collect());
+            }
+        }
+    }
+
+    /// Join (∪) and meet (∩) are commutative, associative and
+    /// idempotent — the semilattice laws the fixpoint relies on.
+    #[test]
+    fn bitset_join_meet_semilattice_laws() {
+        let sets = sample_sets(70, 6);
+        let join = |a: &BitSet, b: &BitSet| {
+            let mut r = a.clone();
+            r.union_with(b);
+            r
+        };
+        let meet = |a: &BitSet, b: &BitSet| {
+            let mut r = a.clone();
+            r.intersect_with(b);
+            r
+        };
+        for op in [&join as &dyn Fn(&BitSet, &BitSet) -> BitSet, &meet] {
+            for a in &sets {
+                assert_eq!(op(a, a), *a, "idempotence");
+                for b in &sets {
+                    assert_eq!(op(a, b), op(b, a), "commutativity");
+                    for c in &sets {
+                        assert_eq!(op(&op(a, b), c), op(a, &op(b, c)), "associativity");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The gen/kill transfer is monotone: in₁ ⊆ in₂ ⇒ T(in₁) ⊆ T(in₂).
+    #[test]
+    fn genkill_transfer_is_monotone() {
+        let (cfg, _file, _code) = cfg_of("fn f() { a; }");
+        let sets = sample_sets(70, 6);
+        let mut gk = GenKill::new(cfg.blocks.len(), 70);
+        // An arbitrary but fixed gen/kill pair on every block.
+        for b in 0..cfg.blocks.len() {
+            gk.gen[b] = sets[0].clone();
+            gk.kill[b] = sets[1].clone();
+        }
+        let dom = GenKillDomain {
+            gk: &gk,
+            direction: Direction::Forward,
+            meet: Meet::Union,
+            boundary: &BitSet::empty(70),
+        };
+        for a in &sets {
+            for b in &sets {
+                if !subset(a, b) {
+                    continue;
+                }
+                let ta = dom.transfer(&cfg, ENTRY, a);
+                let tb = dom.transfer(&cfg, ENTRY, b);
+                assert!(subset(&ta, &tb), "transfer broke ⊆");
+            }
+        }
     }
 
     /// Boundary facts enter at the entry block in a forward analysis.

@@ -1,0 +1,863 @@
+//! Interval / constant propagation over integer locals, as a
+//! [`Domain`] instance of the generic dataflow engine.
+//!
+//! The abstract state ([`Env`]) maps local identifiers to [`Interval`]s
+//! `[lo, hi]` (with ±∞ endpoints and an extra "excludes zero" bit so
+//! the idiomatic `if n != 0` guard is representable). A variable absent
+//! from the map is unknown (⊤); the special [`Env::Unreachable`] value
+//! is the join identity, so dead branches contribute nothing.
+//!
+//! Facts come from three places:
+//!
+//! * **transfer** — token-level effects inside a block: literal `let`s
+//!   and assignments, `±=` shifts by literals, copies between tracked
+//!   locals, `for i in a..b` range bindings, `assert!`/`debug_assert!`
+//!   constraints, and conservative forgetting on anything else that
+//!   writes the variable (`&mut x`, compound ops, unknown right-hand
+//!   sides);
+//! * **edge refinement** — a `True`/`False` branch edge of an
+//!   `if x != 0` / `while i < 10` style condition sharpens the fact on
+//!   that edge only (the path-sensitivity the hot-transitive downgrades
+//!   in [`crate::passes::value_range`] rely on);
+//! * **widening** — a bound that keeps growing around a loop back edge
+//!   is widened to ±∞ after [`crate::dataflow::WIDEN_AFTER`] rounds,
+//!   which restores termination on the infinite-height lattice.
+//!
+//! The analysis is deliberately untyped: any identifier assigned an
+//! integer literal is tracked, and every unknown construct degrades to
+//! ⊤ rather than guessing — the passes only ever *prove* safety from a
+//! fact, so ⊤ can cost precision but never soundness.
+
+use std::collections::BTreeMap;
+
+use crate::cfg::{Cfg, EdgeKind};
+use crate::dataflow::{Direction, Domain};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// −∞ endpoint sentinel.
+pub const NEG_INF: i128 = i128::MIN;
+/// +∞ endpoint sentinel.
+pub const POS_INF: i128 = i128::MAX;
+
+/// A (possibly unbounded) integer interval, plus an "excludes zero"
+/// refinement so `x != 0` is expressible when the sign is unknown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound ([`NEG_INF`] when unbounded).
+    pub lo: i128,
+    /// Upper bound ([`POS_INF`] when unbounded).
+    pub hi: i128,
+    nonzero: bool,
+}
+
+impl Interval {
+    /// `[lo, hi]`, normalizing the zero-exclusion bit from the bounds.
+    #[must_use]
+    pub fn new(lo: i128, hi: i128) -> Self {
+        Interval {
+            lo,
+            hi,
+            nonzero: lo > 0 || hi < 0,
+        }
+    }
+
+    /// The singleton `[v, v]`.
+    #[must_use]
+    pub fn constant(v: i128) -> Self {
+        Self::new(v, v)
+    }
+
+    /// The unconstrained interval `[−∞, +∞]`.
+    #[must_use]
+    pub fn top() -> Self {
+        Self::new(NEG_INF, POS_INF)
+    }
+
+    /// Is zero provably not a value of this interval?
+    #[must_use]
+    pub fn excludes_zero(&self) -> bool {
+        self.lo > 0 || self.hi < 0 || self.nonzero
+    }
+
+    /// The smallest interval containing both (the lattice join).
+    #[must_use]
+    pub fn hull(self, other: Self) -> Self {
+        let mut r = Self::new(self.lo.min(other.lo), self.hi.max(other.hi));
+        r.nonzero = self.excludes_zero() && other.excludes_zero();
+        r
+    }
+
+    /// Shifts both bounds by `delta`, keeping infinities infinite. The
+    /// zero-exclusion bit is recomputed from the bounds alone (a
+    /// shifted "nonzero" set may now contain zero).
+    #[must_use]
+    pub fn shift(self, delta: i128) -> Self {
+        let lo = if self.lo == NEG_INF {
+            NEG_INF
+        } else {
+            self.lo.saturating_add(delta)
+        };
+        let hi = if self.hi == POS_INF {
+            POS_INF
+        } else {
+            self.hi.saturating_add(delta)
+        };
+        Self::new(lo, hi)
+    }
+
+    /// Intersects with `[−∞, v]`; `None` when empty (unreachable).
+    #[must_use]
+    pub fn clamp_le(self, v: i128) -> Option<Self> {
+        if self.lo > v {
+            return None;
+        }
+        let mut r = Self::new(self.lo, self.hi.min(v));
+        r.nonzero = r.nonzero || self.nonzero;
+        Some(r)
+    }
+
+    /// Intersects with `[v, +∞]`; `None` when empty.
+    #[must_use]
+    pub fn clamp_ge(self, v: i128) -> Option<Self> {
+        if self.hi < v {
+            return None;
+        }
+        let mut r = Self::new(self.lo.max(v), self.hi);
+        r.nonzero = r.nonzero || self.nonzero;
+        Some(r)
+    }
+
+    /// Intersects with `[v, v]`; `None` when empty.
+    #[must_use]
+    pub fn only(self, v: i128) -> Option<Self> {
+        if v < self.lo || v > self.hi || (v == 0 && self.nonzero) {
+            return None;
+        }
+        Some(Self::constant(v))
+    }
+
+    /// Removes the single value `v` (trims an endpoint, or records the
+    /// zero exclusion); `None` when the result is empty.
+    #[must_use]
+    pub fn remove(self, v: i128) -> Option<Self> {
+        if self.lo == v && self.hi == v {
+            return None;
+        }
+        let mut r = self;
+        if r.lo == v {
+            r.lo += 1;
+        } else if r.hi == v {
+            r.hi -= 1;
+        }
+        if v == 0 {
+            r.nonzero = true;
+        }
+        r.nonzero = r.nonzero || r.lo > 0 || r.hi < 0;
+        Some(r)
+    }
+}
+
+/// The abstract state at a program point.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Env {
+    /// No path reaches this point (the join identity).
+    Unreachable,
+    /// Reachable with the recorded per-variable facts; absent
+    /// variables are unknown (⊤). `BTreeMap` keeps iteration — and
+    /// therefore every downstream report — deterministic.
+    Known(BTreeMap<String, Interval>),
+}
+
+impl Env {
+    /// Looks up a variable's interval (⊤ when untracked/unreachable).
+    #[must_use]
+    pub fn get(&self, var: &str) -> Interval {
+        match self {
+            Env::Unreachable => Interval::top(),
+            Env::Known(map) => map.get(var).copied().unwrap_or_else(Interval::top),
+        }
+    }
+}
+
+/// One comparison operator in a guard or assertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator describing the branch where this comparison is
+    /// false.
+    #[must_use]
+    pub fn negate(self) -> Self {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The operator with its operands swapped (`5 < x` ⇒ `x > 5`).
+    #[must_use]
+    pub fn flip(self) -> Self {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+}
+
+/// A parsed `var <op> literal` comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cmp {
+    /// The compared identifier.
+    pub var: String,
+    /// The operator, normalized so the identifier is on the left.
+    pub op: CmpOp,
+    /// The literal operand.
+    pub value: i128,
+}
+
+/// The interval analysis over one function body.
+pub struct IntervalDomain<'a> {
+    file: &'a SourceFile,
+    code: &'a [usize],
+}
+
+impl<'a> IntervalDomain<'a> {
+    /// A domain instance for `file`'s code view.
+    #[must_use]
+    pub fn new(file: &'a SourceFile, code: &'a [usize]) -> Self {
+        IntervalDomain { file, code }
+    }
+
+    /// Text of the token at block-token index `i` of `ts` ("" past the
+    /// end).
+    fn txt(&self, ts: &[usize], i: usize) -> &'a str {
+        ts.get(i).map_or("", |&vp| {
+            self.file.tokens[self.code[vp]].text(&self.file.text)
+        })
+    }
+
+    fn kind(&self, ts: &[usize], i: usize) -> Option<TokenKind> {
+        ts.get(i).map(|&vp| self.file.tokens[self.code[vp]].kind)
+    }
+
+    /// Parses an optionally-negated integer literal at `i`. Returns the
+    /// value and the number of tokens consumed.
+    fn int_at(&self, ts: &[usize], i: usize) -> Option<(i128, usize)> {
+        let (start, sign) = if self.txt(ts, i) == "-" {
+            (i + 1, -1)
+        } else {
+            (i, 1)
+        };
+        if self.kind(ts, start) != Some(TokenKind::Int) {
+            return None;
+        }
+        let text = self.txt(ts, start).replace('_', "");
+        // Strip a type suffix (`10usize`, `3i64`) and reject non-decimal
+        // bases — precision lost, never soundness.
+        let digits: String = text.chars().take_while(char::is_ascii_digit).collect();
+        if digits.is_empty()
+            || text.starts_with("0x")
+            || text.starts_with("0b")
+            || text.starts_with("0o")
+        {
+            return None;
+        }
+        let v: i128 = digits.parse().ok()?;
+        Some((sign * v, start - i + 1))
+    }
+
+    /// Parses `ident <op> lit` or `lit <op> ident` starting at `i`,
+    /// normalized to the identifier on the left. Returns the comparison
+    /// and the index one past its last token.
+    #[must_use]
+    pub fn parse_cmp(&self, ts: &[usize], i: usize) -> Option<(Cmp, usize)> {
+        // Identifier-first form.
+        if self.kind(ts, i) == Some(TokenKind::Ident) {
+            let var = self.txt(ts, i).to_string();
+            let (op, oplen) = self.parse_op(ts, i + 1)?;
+            let (value, consumed) = self.int_at(ts, i + 1 + oplen)?;
+            return Some((Cmp { var, op, value }, i + 1 + oplen + consumed));
+        }
+        // Literal-first form: flip so the identifier leads.
+        let (value, consumed) = self.int_at(ts, i)?;
+        let (op, oplen) = self.parse_op(ts, i + consumed)?;
+        let j = i + consumed + oplen;
+        if self.kind(ts, j) == Some(TokenKind::Ident) {
+            let var = self.txt(ts, j).to_string();
+            return Some((
+                Cmp {
+                    var,
+                    op: op.flip(),
+                    value,
+                },
+                j + 1,
+            ));
+        }
+        None
+    }
+
+    /// Parses a comparison operator at `i` (single-char punct tokens:
+    /// `<=` is `<` `=`). Returns the op and its token count.
+    fn parse_op(&self, ts: &[usize], i: usize) -> Option<(CmpOp, usize)> {
+        match (self.txt(ts, i), self.txt(ts, i + 1)) {
+            ("=", "=") => Some((CmpOp::Eq, 2)),
+            ("!", "=") => Some((CmpOp::Ne, 2)),
+            ("<", "=") => Some((CmpOp::Le, 2)),
+            (">", "=") => Some((CmpOp::Ge, 2)),
+            ("<", _) => Some((CmpOp::Lt, 1)),
+            (">", _) => Some((CmpOp::Gt, 1)),
+            _ => None,
+        }
+    }
+
+    /// Applies one comparison as a constraint to `env`.
+    fn constrain(env: &mut Env, cmp: &Cmp) {
+        let Env::Known(map) = env else { return };
+        let cur = map.get(&cmp.var).copied().unwrap_or_else(Interval::top);
+        let next = match cmp.op {
+            CmpOp::Eq => cur.only(cmp.value),
+            CmpOp::Ne => cur.remove(cmp.value),
+            CmpOp::Lt => cur.clamp_le(cmp.value - 1),
+            CmpOp::Le => cur.clamp_le(cmp.value),
+            CmpOp::Gt => cur.clamp_ge(cmp.value + 1),
+            CmpOp::Ge => cur.clamp_ge(cmp.value),
+        };
+        match next {
+            Some(iv) => {
+                map.insert(cmp.var.clone(), iv);
+            }
+            // Contradiction: this path cannot be taken.
+            None => *env = Env::Unreachable,
+        }
+    }
+
+    /// Applies the effect of the pattern *starting* at block-token
+    /// index `j` to `env`. Patterns that don't start at `j` are
+    /// ignored; the caller sweeps every position.
+    fn step(&self, env: &mut Env, ts: &[usize], j: usize) {
+        let Env::Known(_) = env else { return };
+        let text = self.txt(ts, j);
+        match self.kind(ts, j) {
+            Some(TokenKind::Ident) => {}
+            Some(TokenKind::Punct) if text == "&" && self.txt(ts, j + 1) == "mut" => {
+                // `&mut x` hands out a write path the analysis cannot
+                // see through: forget the variable.
+                if self.kind(ts, j + 2) == Some(TokenKind::Ident) {
+                    if let Env::Known(map) = env {
+                        map.remove(self.txt(ts, j + 2));
+                    }
+                }
+                return;
+            }
+            _ => return,
+        }
+        match text {
+            "assert" | "debug_assert"
+                if self.txt(ts, j + 1) == "!" && self.txt(ts, j + 2) == "(" =>
+            {
+                if let Some((cmp, _)) = self.parse_cmp(ts, j + 3) {
+                    Self::constrain(env, &cmp);
+                }
+            }
+            "assert_ne" | "debug_assert_ne"
+                if self.txt(ts, j + 1) == "!" && self.txt(ts, j + 2) == "(" =>
+            {
+                // `assert_ne!(x, 0)` ⇒ x != 0.
+                if self.kind(ts, j + 3) == Some(TokenKind::Ident) && self.txt(ts, j + 4) == "," {
+                    if let Some((value, _)) = self.int_at(ts, j + 5) {
+                        let cmp = Cmp {
+                            var: self.txt(ts, j + 3).to_string(),
+                            op: CmpOp::Ne,
+                            value,
+                        };
+                        Self::constrain(env, &cmp);
+                    }
+                }
+            }
+            // `for i in a..b`: the CFG may split the `for` keyword from
+            // the binding, so anchor on the `in` keyword (which only
+            // occurs in `for` headers) with the bound ident before it.
+            "in" if j >= 1 && self.kind(ts, j - 1) == Some(TokenKind::Ident) => {
+                let var = self.txt(ts, j - 1).to_string();
+                let Env::Known(map) = env else { return };
+                // Literal `a..b` / `a..=b` endpoints bind a fresh,
+                // bounded variable; anything else makes it unknown.
+                let bound = self.int_at(ts, j + 1).and_then(|(lo, used)| {
+                    let dots = j + 1 + used;
+                    if self.txt(ts, dots) != "." || self.txt(ts, dots + 1) != "." {
+                        return None;
+                    }
+                    let (inclusive, hi_at) = if self.txt(ts, dots + 2) == "=" {
+                        (true, dots + 3)
+                    } else {
+                        (false, dots + 2)
+                    };
+                    let (hi, _) = self.int_at(ts, hi_at)?;
+                    Some(Interval::new(lo, if inclusive { hi } else { hi - 1 }))
+                });
+                match bound {
+                    Some(iv) if iv.lo <= iv.hi => {
+                        map.insert(var, iv);
+                    }
+                    _ => {
+                        map.remove(&var);
+                    }
+                }
+            }
+            _ => {
+                // Assignment forms rooted at a plain identifier. Field
+                // writes (`a.b = …`) and type ascriptions (`x: i32 =`)
+                // are excluded by the previous-token guard.
+                if j > 0 && matches!(self.txt(ts, j - 1), "." | ":") {
+                    return;
+                }
+                let nxt = self.txt(ts, j + 1);
+                if nxt == "="
+                    && self.txt(ts, j + 2) != "="
+                    && !matches!(
+                        if j > 0 { self.txt(ts, j - 1) } else { "" },
+                        "=" | "!" | "<" | ">" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+                    )
+                {
+                    let Env::Known(map) = env else { return };
+                    match self.rhs_value(map, ts, j + 2) {
+                        Some(iv) => {
+                            map.insert(text.to_string(), iv);
+                        }
+                        None => {
+                            map.remove(text);
+                        }
+                    }
+                } else if matches!(nxt, "+" | "-") && self.txt(ts, j + 2) == "=" {
+                    let Env::Known(map) = env else { return };
+                    let delta = self
+                        .int_at(ts, j + 3)
+                        .filter(|&(_, used)| self.txt(ts, j + 3 + used) == ";");
+                    match (map.get(text).copied(), delta) {
+                        (Some(iv), Some((d, _))) => {
+                            let d = if nxt == "-" { -d } else { d };
+                            map.insert(text.to_string(), iv.shift(d));
+                        }
+                        _ => {
+                            map.remove(text);
+                        }
+                    }
+                } else if matches!(nxt, "*" | "/" | "%" | "&" | "|" | "^")
+                    && self.txt(ts, j + 2) == "="
+                {
+                    // Other compound assignments: forget.
+                    if let Env::Known(map) = env {
+                        map.remove(text);
+                    }
+                } else if matches!(nxt, "<" | ">")
+                    && self.txt(ts, j + 2) == nxt
+                    && self.txt(ts, j + 3) == "="
+                {
+                    // `x <<= k` / `x >>= k`.
+                    if let Env::Known(map) = env {
+                        map.remove(text);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluates a right-hand side at `i` (must run to the closing
+    /// `;`): a literal, a tracked local, or `v.len()` (⇒ `[0, +∞]`).
+    fn rhs_value(
+        &self,
+        map: &BTreeMap<String, Interval>,
+        ts: &[usize],
+        i: usize,
+    ) -> Option<Interval> {
+        if let Some((v, used)) = self.int_at(ts, i) {
+            if self.txt(ts, i + used) == ";" {
+                return Some(Interval::constant(v));
+            }
+            return None;
+        }
+        if self.kind(ts, i) == Some(TokenKind::Ident) {
+            if self.txt(ts, i + 1) == ";" {
+                return Some(
+                    map.get(self.txt(ts, i))
+                        .copied()
+                        .unwrap_or_else(Interval::top),
+                );
+            }
+            if self.txt(ts, i + 1) == "."
+                && self.txt(ts, i + 2) == "len"
+                && self.txt(ts, i + 3) == "("
+                && self.txt(ts, i + 4) == ")"
+                && self.txt(ts, i + 5) == ";"
+            {
+                return Some(Interval::new(0, POS_INF));
+            }
+        }
+        None
+    }
+
+    /// The branch condition of `from` (the last `if`/`while`
+    /// comparison in the block), if it is simple enough to refine on:
+    /// a single `ident <op> lit` comparison, optionally part of an
+    /// `&&` conjunction (every comparison conjunct is returned; any
+    /// `||` disables refinement entirely).
+    fn branch_cmps(&self, cfg: &Cfg, from: usize) -> Vec<Cmp> {
+        let ts = &cfg.blocks[from].tokens;
+        let kw = ts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|&(_, &vp)| {
+                matches!(
+                    self.file.tokens[self.code[vp]].text(&self.file.text),
+                    "if" | "while"
+                )
+            })
+            .map(|(i, _)| i);
+        // A `while` head block holds only the condition — the keyword
+        // sits in the predecessor. Its True/False successor pair marks
+        // it as a condition anyway; parse from the top.
+        let start = match kw {
+            Some(i) => i + 1,
+            None => 0,
+        };
+        // `if let` / `while let` bind patterns, not comparisons.
+        if self.txt(ts, start) == "let" {
+            return Vec::new();
+        }
+        if (start.saturating_sub(1)..ts.len()).any(|i| self.txt(ts, i) == "|") {
+            return Vec::new();
+        }
+        let mut cmps = Vec::new();
+        let mut i = start;
+        while i < ts.len() {
+            if let Some((cmp, next)) = self.parse_cmp(ts, i) {
+                cmps.push(cmp);
+                i = next;
+            } else {
+                i += 1;
+            }
+        }
+        cmps
+    }
+}
+
+impl Domain for IntervalDomain<'_> {
+    type Fact = Env;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn init(&self, _cfg: &Cfg) -> Env {
+        Env::Unreachable
+    }
+
+    fn boundary(&self, _cfg: &Cfg) -> Env {
+        Env::Known(BTreeMap::new())
+    }
+
+    fn join(&self, acc: &mut Env, other: &Env) {
+        match (&mut *acc, other) {
+            (_, Env::Unreachable) => {}
+            (Env::Unreachable, known) => *acc = known.clone(),
+            (Env::Known(a), Env::Known(b)) => {
+                // Pointwise hull; a variable missing on either side is
+                // unknown on that path, hence unknown at the join.
+                a.retain(|k, _| b.contains_key(k));
+                for (k, iv) in a.iter_mut() {
+                    *iv = iv.hull(b[k]);
+                }
+            }
+        }
+    }
+
+    fn transfer(&self, cfg: &Cfg, block: usize, fact: &Env) -> Env {
+        let mut env = fact.clone();
+        let ts = &cfg.blocks[block].tokens;
+        for j in 0..ts.len() {
+            self.step(&mut env, ts, j);
+        }
+        env
+    }
+
+    fn refine_edge(&self, cfg: &Cfg, from: usize, kind: EdgeKind, fact: &Env) -> Env {
+        let mut env = fact.clone();
+        match kind {
+            EdgeKind::True => {
+                for cmp in self.branch_cmps(cfg, from) {
+                    Self::constrain(&mut env, &cmp);
+                }
+            }
+            EdgeKind::False => {
+                // ¬(a && b) is a disjunction: only a lone comparison
+                // refines the false edge soundly.
+                let cmps = self.branch_cmps(cfg, from);
+                if let [cmp] = cmps.as_slice() {
+                    let neg = Cmp {
+                        var: cmp.var.clone(),
+                        op: cmp.op.negate(),
+                        value: cmp.value,
+                    };
+                    Self::constrain(&mut env, &neg);
+                }
+            }
+            _ => {}
+        }
+        env
+    }
+
+    fn widen(&self, old: &Env, new: &Env) -> Env {
+        let (Env::Known(o), Env::Known(n)) = (old, new) else {
+            return new.clone();
+        };
+        let mut widened = BTreeMap::new();
+        for (k, niv) in n {
+            let iv = match o.get(k) {
+                Some(oiv) => {
+                    let lo = if niv.lo < oiv.lo { NEG_INF } else { niv.lo };
+                    let hi = if niv.hi > oiv.hi { POS_INF } else { niv.hi };
+                    let mut w = Interval::new(lo, hi);
+                    w.nonzero = niv.excludes_zero() && oiv.excludes_zero();
+                    w
+                }
+                None => *niv,
+            };
+            widened.insert(k.clone(), iv);
+        }
+        Env::Known(widened)
+    }
+}
+
+/// Replays the block prefix `ts[..upto]` on top of `entry`, yielding
+/// the environment *before* the token at block index `upto` — the
+/// query the value-range pass makes at each division site.
+#[must_use]
+pub fn env_before(
+    dom: &IntervalDomain<'_>,
+    cfg: &Cfg,
+    block: usize,
+    upto: usize,
+    entry: &Env,
+) -> Env {
+    let mut env = entry.clone();
+    let ts = &cfg.blocks[block].tokens;
+    for j in 0..upto.min(ts.len()) {
+        dom.step(&mut env, ts, j);
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::solve_domain;
+    use crate::passes::code_indices;
+
+    fn cfg_of(src: &str) -> (Cfg, SourceFile, Vec<usize>) {
+        let file = SourceFile::analyze("t.rs".into(), "hqs-test".into(), src.into());
+        let code = code_indices(&file);
+        let cfgs = crate::cfg::build_all(&file, &code);
+        assert_eq!(cfgs.len(), 1);
+        (cfgs.into_iter().next().expect("cfg"), file, code)
+    }
+
+    fn env_at_marker(src: &str, marker: &str) -> Env {
+        let (cfg, file, code) = cfg_of(src);
+        let dom = IntervalDomain::new(&file, &code);
+        let sol = solve_domain(&cfg, &dom);
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            for (j, &vp) in block.tokens.iter().enumerate() {
+                if file.tokens[code[vp]].text(&file.text) == marker {
+                    return env_before(&dom, &cfg, b, j, &sol.in_[b]);
+                }
+            }
+        }
+        panic!("marker {marker} not found");
+    }
+
+    #[test]
+    fn literal_let_and_shift() {
+        let env = env_at_marker("fn f() { let mut x = 3; x += 2; marker; }", "marker");
+        assert_eq!(env.get("x"), Interval::constant(5));
+    }
+
+    #[test]
+    fn copy_and_reassign_unknown() {
+        let env = env_at_marker(
+            "fn f(n: usize) { let x = 7; let y = x; let z = n; marker; }",
+            "marker",
+        );
+        assert_eq!(env.get("y"), Interval::constant(7));
+        assert_eq!(env.get("z"), Interval::top());
+    }
+
+    #[test]
+    fn true_edge_refines_false_edge_negates() {
+        let src = "fn f(n: i64) { if n != 0 { t_mark; } else { e_mark; } }";
+        let t = env_at_marker(src, "t_mark");
+        assert!(t.get("n").excludes_zero());
+        let e = env_at_marker(src, "e_mark");
+        assert_eq!(e.get("n"), Interval::constant(0));
+    }
+
+    #[test]
+    fn guard_with_conjunction_refines_true_only() {
+        let src = "fn f(n: i64, m: i64) { if n > 0 && m < 4 { t_mark; } else { e_mark; } }";
+        let t = env_at_marker(src, "t_mark");
+        assert_eq!(t.get("n").lo, 1);
+        assert_eq!(t.get("m").hi, 3);
+        // The false edge of a conjunction proves nothing about either.
+        let e = env_at_marker(src, "e_mark");
+        assert_eq!(e.get("n"), Interval::top());
+        assert_eq!(e.get("m"), Interval::top());
+    }
+
+    #[test]
+    fn assert_constrains() {
+        let env = env_at_marker("fn f(n: i64) { assert!(n > 2); marker; }", "marker");
+        assert_eq!(env.get("n").lo, 3);
+    }
+
+    #[test]
+    fn join_hulls_and_drops() {
+        let src = "fn f(c: bool) { let mut x = 1; if c { x = 9; } else { x = 2; } marker; }";
+        let env = env_at_marker(src, "marker");
+        assert_eq!(env.get("x"), Interval::new(2, 9));
+    }
+
+    #[test]
+    fn loop_increment_widens_to_infinity() {
+        let src = "fn f() { let mut x = 0; loop { x += 1; if c { break; } } marker; }";
+        let env = env_at_marker(src, "marker");
+        let iv = env.get("x");
+        assert_eq!(iv.hi, POS_INF, "{iv:?}");
+        assert!(iv.lo <= 1, "{iv:?}"); // lower bound stays finite
+    }
+
+    #[test]
+    fn for_range_binds_bounds() {
+        let env = env_at_marker("fn f() { for i in 0..10 { marker; } }", "marker");
+        assert_eq!(env.get("i"), Interval::new(0, 9));
+    }
+
+    #[test]
+    fn mut_borrow_forgets() {
+        let env = env_at_marker("fn f() { let mut x = 3; touch(&mut x); marker; }", "marker");
+        assert_eq!(env.get("x"), Interval::top());
+    }
+
+    // ---- lattice laws ----
+
+    fn samples() -> Vec<Interval> {
+        vec![
+            Interval::constant(0),
+            Interval::constant(5),
+            Interval::new(-3, 7),
+            Interval::new(1, POS_INF),
+            Interval::new(NEG_INF, -1),
+            Interval::top(),
+            Interval::top().remove(0).expect("nonzero top"),
+        ]
+    }
+
+    fn le(a: Interval, b: Interval) -> bool {
+        // a ⊑ b: every value of a is a value of b.
+        b.lo <= a.lo && a.hi <= b.hi && (a.excludes_zero() || !b.excludes_zero())
+    }
+
+    #[test]
+    fn interval_hull_semilattice_laws() {
+        for a in samples() {
+            assert_eq!(a.hull(a), a, "idempotence {a:?}");
+            for b in samples() {
+                assert_eq!(a.hull(b), b.hull(a), "commutativity");
+                assert!(le(a, a.hull(b)) && le(b, a.hull(b)), "upper bound");
+                for c in samples() {
+                    assert_eq!(a.hull(b).hull(c), a.hull(b.hull(c)), "associativity");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widen_is_an_upper_bound_of_new() {
+        let (cfg, file, code) = cfg_of("fn f() { a; }");
+        let _ = &cfg;
+        let dom = IntervalDomain::new(&file, &code);
+        for o in samples() {
+            for n in samples() {
+                let mut old = BTreeMap::new();
+                old.insert("x".to_string(), o);
+                let mut new = BTreeMap::new();
+                new.insert("x".to_string(), n);
+                let w = dom.widen(&Env::Known(old), &Env::Known(new));
+                assert!(le(n, w.get("x")), "widen({o:?}, {n:?}) = {:?}", w.get("x"));
+            }
+        }
+    }
+
+    /// Transfer monotonicity: a larger entry environment never yields a
+    /// smaller exit environment.
+    #[test]
+    fn interval_transfer_is_monotone() {
+        let (cfg, file, code) = cfg_of("fn f() { x += 1; assert!(x > 0); let y = x; }");
+        let dom = IntervalDomain::new(&file, &code);
+        // Find the single interior block carrying the statements.
+        let block = cfg
+            .blocks
+            .iter()
+            .position(|b| !b.tokens.is_empty())
+            .expect("body block");
+        for a in samples() {
+            for b in samples() {
+                if !le(a, b) {
+                    continue;
+                }
+                let mut ea = BTreeMap::new();
+                ea.insert("x".to_string(), a);
+                let mut eb = BTreeMap::new();
+                eb.insert("x".to_string(), b);
+                let ta = dom.transfer(&cfg, block, &Env::Known(ea));
+                let tb = dom.transfer(&cfg, block, &Env::Known(eb));
+                match (&ta, &tb) {
+                    (Env::Unreachable, _) => {} // ⊥ ⊑ anything
+                    (Env::Known(_), Env::Unreachable) => {
+                        panic!("larger input became unreachable: {a:?} vs {b:?}")
+                    }
+                    (Env::Known(ma), Env::Known(_)) => {
+                        for var in ma.keys() {
+                            assert!(
+                                le(ta.get(var), tb.get(var)),
+                                "{var}: {:?} ⋢ {:?} (inputs {a:?} ⊑ {b:?})",
+                                ta.get(var),
+                                tb.get(var)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -26,16 +26,31 @@
 //! method calls across the workspace, and [`callgraph`] assembles the
 //! resulting edges into a workspace call graph with explicit
 //! conservatism accounting (closures, `dyn` call sites, fn-pointer
-//! types, glob imports). Three passes consume it:
+//! types, glob imports). Several passes consume it:
 //!
 //! * **hot-transitive** — the panic/alloc denies above applied to the
 //!   full callee closure of the hot seeds, with the seed-to-sink call
-//!   chain in every diagnostic;
+//!   chain in every diagnostic; implicit-panic sites (division,
+//!   `split_at`, indexing) that the value-range layer proves safe are
+//!   discharged before they become findings;
+//! * **determinism** — nondeterministic inputs (`HashMap`/`HashSet`
+//!   iteration order, `RandomState`, `Instant::now`/`SystemTime::now`,
+//!   `thread::current`, `env::var`) are denied in the callee closure of
+//!   the `[determinism]` roots, so solver verdicts, certificates and
+//!   logs stay bit-identical across runs;
 //! * **cancel-poll** — every loop in a declared solver-entry function
 //!   must reach a cancellation poll in its body;
 //! * **concurrency** — atomic `Ordering::` sites audited two-way
 //!   against a committed allowlist, and no allocation or solver call
 //!   while a sharded-deque `MutexGuard` is held in a hot-path function.
+//!
+//! Underneath the interprocedural passes sits a lattice-generic
+//! [`dataflow`] engine (any [`dataflow::Domain`] solves on the
+//! per-function CFGs): the bitset gen/kill domains from the
+//! path-sensitive passes, an [`interval`] constant/range domain with
+//! branch refinement and widening, and the bounds-predicate domain in
+//! [`passes::value_range`] that turns the two into panic-freedom proofs
+//! and hot-loop bounds-check advisories.
 //!
 //! Findings are [`diag::Diagnostic`]s, serialized with the built-in
 //! [`json`] support and ratcheted against the committed
@@ -44,9 +59,9 @@
 //! longer matches, so recorded debt can only shrink.
 //!
 //! Justified exceptions are written at the site as
-//! `// analyze::allow(panic|alloc|newtype|cancel|lock): <reason>` —
-//! annotations with a missing reason or unknown kind are findings
-//! themselves.
+//! `// analyze::allow(panic|alloc|newtype|cancel|lock|determinism):
+//! <reason>` — annotations with a missing reason or unknown kind are
+//! findings themselves.
 //!
 //! The driver lives in `xtask` (`cargo run -p xtask -- analyze`); this
 //! crate is pure library so the passes stay unit-testable against the
@@ -60,6 +75,7 @@ pub mod cfg;
 pub mod config;
 pub mod dataflow;
 pub mod diag;
+pub mod interval;
 pub mod json;
 pub mod lexer;
 pub mod manifest;

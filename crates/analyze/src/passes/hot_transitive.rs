@@ -23,6 +23,11 @@
 //! `// analyze::allow(panic|alloc): …` annotations the seeded passes
 //! honor: an allow is a statement about the site, not about who calls
 //! it.
+//!
+//! Sites the value-range dataflow *proves* safe
+//! ([`super::value_range::Proofs`]: divisor nonzero, `split_at`/index
+//! argument in bounds) are not reported at all — a proof beats both a
+//! finding and an annotation.
 
 use std::collections::{HashMap, HashSet};
 
@@ -31,11 +36,18 @@ use crate::config::AnalyzeConfig;
 use crate::diag::Diagnostic;
 use crate::workspace::Workspace;
 
+use super::value_range::Proofs;
 use super::{alloc_finding, code_indices, implicit_panic_finding, is_test_path, panic_finding};
 
-/// Runs the transitive hot-path pass.
+/// Runs the transitive hot-path pass. `proofs` holds the value-range
+/// facts that discharge implicit-panic sites.
 #[must_use]
-pub fn run(ws: &Workspace, cfg: &AnalyzeConfig, graph: &CallGraph) -> Vec<Diagnostic> {
+pub fn run(
+    ws: &Workspace,
+    cfg: &AnalyzeConfig,
+    graph: &CallGraph,
+    proofs: &Proofs,
+) -> Vec<Diagnostic> {
     let mut seeds: Vec<usize> = Vec::new();
     for f in &cfg.hot.functions {
         seeds.extend(graph.seed_ids(&f.crate_name, &f.symbol));
@@ -75,6 +87,10 @@ pub fn run(ws: &Workspace, cfg: &AnalyzeConfig, graph: &CallGraph) -> Vec<Diagno
                 continue;
             };
             let tok = &file.tokens[i];
+            if proofs.is_proven(&file.path, k) {
+                // The value-range dataflow discharged this site.
+                continue;
+            }
             if let Some(message) = implicit_panic_finding(file, &code, k) {
                 if file.allowed("panic", tok.line).is_none() {
                     diags.push(Diagnostic {

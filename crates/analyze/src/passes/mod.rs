@@ -12,6 +12,7 @@
 
 pub mod cancel_poll;
 pub mod concurrency;
+pub mod determinism;
 pub(crate) mod guards;
 pub mod hot_alloc;
 pub mod hot_transitive;
@@ -20,6 +21,7 @@ pub mod lock_order;
 pub mod newtype;
 pub mod panic_path;
 pub mod source_audit;
+pub mod value_range;
 
 use crate::callgraph::CallGraph;
 use crate::config::AnalyzeConfig;
@@ -33,6 +35,9 @@ use crate::workspace::Workspace;
 pub struct Analysis {
     /// All findings, sorted.
     pub diags: Vec<Diagnostic>,
+    /// Non-ratcheted suggestions (value-range hot-loop bounds-check
+    /// advisories): reported, never baselined, never a CI failure.
+    pub advisories: Vec<Diagnostic>,
     /// The workspace call graph.
     pub graph: CallGraph,
     /// The workspace lock-order graph (for `--lock-graph`/`--lock-dot`).
@@ -41,7 +46,8 @@ pub struct Analysis {
 
 /// Runs every ratcheted pass: layering, panic-path, hot-loop
 /// allocation, newtype discipline, annotation validation, transitive
-/// hot-path discipline, cancel-poll coverage and concurrency hygiene.
+/// hot-path discipline (refined by value-range proofs), determinism
+/// taint, cancel-poll coverage and concurrency hygiene.
 /// The source-audit pass is *not* included — it keeps its own allowlist
 /// and exit semantics under `cargo run -p xtask -- audit`.
 #[must_use]
@@ -53,7 +59,11 @@ pub fn analyze(ws: &Workspace, cfg: &AnalyzeConfig) -> Analysis {
     diags.extend(hot_alloc::run(ws, &cfg.hot));
     diags.extend(newtype::run(ws));
     diags.extend(annotations(ws));
-    diags.extend(hot_transitive::run(ws, cfg, &graph));
+    // Value-range proofs first: hot-transitive consults them to drop
+    // implicit-panic findings the dataflow discharges.
+    let vr = value_range::run(ws, cfg, &graph);
+    diags.extend(hot_transitive::run(ws, cfg, &graph, &vr.proofs));
+    diags.extend(determinism::run(ws, cfg, &graph));
     diags.extend(cancel_poll::run(ws, cfg));
     diags.extend(concurrency::run(ws, cfg, &graph));
     let (lock_graph, lock_diags) = lock_order::run(ws, &graph);
@@ -65,6 +75,7 @@ pub fn analyze(ws: &Workspace, cfg: &AnalyzeConfig) -> Analysis {
     diags.sort();
     Analysis {
         diags,
+        advisories: vr.advisories,
         graph,
         lock_graph,
     }
@@ -132,6 +143,8 @@ pub const PASS_NAMES: &[&str] = &[
     "newtype",
     "annotation",
     "hot-transitive",
+    "determinism",
+    "value-range",
     "cancel-poll",
     "concurrency-ordering",
     "concurrency-lock",

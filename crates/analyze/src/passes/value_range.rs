@@ -1,0 +1,597 @@
+//! Value-range refinement: interval and bounds-predicate dataflow
+//! prove implicit-panic sites safe, downgrading hot-transitive
+//! findings, plus a hot-loop advisory for provably monotone indices.
+//!
+//! Two [`crate::dataflow::Domain`] instances run over every production
+//! function's CFG:
+//!
+//! * the **interval domain** ([`crate::interval`]) proves divisors
+//!   nonzero: `x / n` stops being a potential divide-by-zero when `n`'s
+//!   interval excludes zero at the site — established by a guarding
+//!   `if n != 0` / `if n > 0`, an `assert!`, or a literal binding;
+//! * a **bounds-predicate domain** (this module) proves
+//!   `split_at`/index arguments in bounds: facts are predicates
+//!   `k <= v.len()` / `k < v.len()` harvested from the function's
+//!   guards and asserts, gen'd on the `True` edge of their branch (or
+//!   at the assert), killed by any write to `k`, any write to `v`, and
+//!   any `v.<method>` not on a read-only allowlist — a must-analysis
+//!   (intersection meet) over the generic engine.
+//!
+//! The proofs do not silence anything by themselves: the
+//! `hot-transitive` pass consults [`Proofs::is_proven`] before
+//! reporting, so a proven site simply stops being a finding — and an
+//! `analyze::allow(panic)` annotation that only covered a proven site
+//! becomes *stale* and is reported by the two-way ratchet, keeping the
+//! annotation inventory honest.
+//!
+//! Separately, for functions in the hot-path closure the pass emits
+//! **advisories** — non-ratcheted suggestions, reported outside the
+//! baseline: a loop that indexes `v[i]` with an `i` that is only ever
+//! incremented by a literal is a bounds-checked traversal that an
+//! iterator (`v.iter().enumerate()`, `chunks`, `windows`) would do
+//! without the checks.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::callgraph::CallGraph;
+use crate::cfg::{self, Cfg, EdgeKind};
+use crate::config::AnalyzeConfig;
+use crate::dataflow::{solve_domain, BitSet, Direction, Domain};
+use crate::diag::Diagnostic;
+use crate::interval::{env_before, Env, IntervalDomain};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+use super::{code_indices, is_test_path};
+
+/// Sites discharged by a value-range proof, keyed by `(path, view
+/// position)` — the same view position the shared panic matchers
+/// anchor their findings on.
+#[derive(Debug, Default)]
+pub struct Proofs {
+    proven: HashSet<(String, usize)>,
+}
+
+impl Proofs {
+    /// Is the construct at view position `k` of `path` proven safe?
+    #[must_use]
+    pub fn is_proven(&self, path: &str, k: usize) -> bool {
+        self.proven.contains(&(path.to_string(), k))
+    }
+
+    /// Number of proven sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.proven.len()
+    }
+
+    /// True when no site was proven.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.proven.is_empty()
+    }
+}
+
+/// The pass output: proofs for the hot-transitive downgrade, plus the
+/// non-ratcheted advisories.
+#[derive(Debug, Default)]
+pub struct ValueRange {
+    /// Implicit-panic sites proven safe.
+    pub proofs: Proofs,
+    /// Hot-loop bounds-check advisories (reported outside the
+    /// baseline; never a CI failure).
+    pub advisories: Vec<Diagnostic>,
+}
+
+/// One bounds predicate `lhs (<|<=) base.len()`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Pred {
+    lhs: String,
+    base: String,
+    strict: bool,
+}
+
+/// Methods that never change a container's length: calling them does
+/// not kill `… <= v.len()` predicates. Everything else does.
+const LEN_PRESERVING: &[&str] = &[
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "first",
+    "last",
+    "iter",
+    "iter_mut",
+    "split_at",
+    "split_at_mut",
+    "contains",
+    "as_slice",
+    "as_mut_slice",
+    "binary_search",
+    "chunks",
+    "windows",
+    "starts_with",
+    "ends_with",
+];
+
+/// Runs the value-range pass over the workspace: computes proofs for
+/// every production file and advisories for hot-closure functions.
+#[must_use]
+pub fn run(ws: &Workspace, conf: &AnalyzeConfig, graph: &CallGraph) -> ValueRange {
+    // Hot-closure membership, per (path, symbol) — advisories only
+    // apply where the bounds checks actually cost something.
+    let mut hot_seeds: Vec<usize> = Vec::new();
+    for f in &conf.hot.functions {
+        hot_seeds.extend(graph.seed_ids(&f.crate_name, &f.symbol));
+    }
+    let reach = graph.closure(&hot_seeds);
+    let mut hot_fns: HashMap<&str, HashSet<&str>> = HashMap::new();
+    for &id in reach.keys() {
+        let def = &graph.table.defs[id];
+        hot_fns
+            .entry(def.path.as_str())
+            .or_default()
+            .insert(def.symbol.as_str());
+    }
+
+    let mut out = ValueRange::default();
+    for file in &ws.files {
+        if is_test_path(&file.path) {
+            continue;
+        }
+        let code = code_indices(file);
+        let hot_in_file = hot_fns.get(file.path.as_str());
+        for fn_cfg in cfg::build_all(file, &code) {
+            prove_function(file, &code, &fn_cfg, &mut out.proofs);
+            if hot_in_file.is_some_and(|s| s.contains(fn_cfg.symbol.as_str())) {
+                monotone_index_advisories(file, &code, &fn_cfg, &mut out.advisories);
+            }
+        }
+    }
+    out.advisories.sort();
+    out
+}
+
+/// Proves sites within one function: interval facts for divisors,
+/// bounds predicates for `split_at` and `[…]` indexing.
+fn prove_function(file: &SourceFile, code: &[usize], fn_cfg: &Cfg, proofs: &mut Proofs) {
+    let idom = IntervalDomain::new(file, code);
+    let isol = solve_domain(fn_cfg, &idom);
+
+    let preds = collect_preds(file, code, fn_cfg);
+    let pdom = PredDomain {
+        file,
+        code,
+        preds: &preds,
+    };
+    let psol = solve_domain(fn_cfg, &pdom);
+
+    let txt = |vp: usize| file.tokens[code[vp]].text(&file.text);
+    for (b, block) in fn_cfg.blocks.iter().enumerate() {
+        // CFG-unreachable blocks (e.g. the parked tokens of a
+        // `return <expr>`) have vacuous facts in both domains — never
+        // treat vacuity as a proof.
+        if matches!(isol.in_[b], Env::Unreachable) && b != cfg::ENTRY {
+            continue;
+        }
+        let ts = &block.tokens;
+        for j in 0..ts.len() {
+            let vp = ts[j];
+            let tok = &file.tokens[code[vp]];
+            let text = tok.text(&file.text);
+            match (tok.kind, text) {
+                // `x / d` / `x % d` (and `/=`, `%=`) with a plain-ident
+                // divisor whose interval excludes zero.
+                (TokenKind::Punct, "/" | "%") => {
+                    let d_at = if j + 1 < ts.len() && txt(ts[j + 1]) == "=" {
+                        j + 2
+                    } else {
+                        j + 1
+                    };
+                    if d_at >= ts.len() || file.tokens[code[ts[d_at]]].kind != TokenKind::Ident {
+                        continue;
+                    }
+                    // A method/path/macro after the ident means the
+                    // divisor is a larger expression — not tracked.
+                    if d_at + 1 < ts.len()
+                        && matches!(txt(ts[d_at + 1]), "." | "(" | ":" | "!" | "[")
+                    {
+                        continue;
+                    }
+                    let divisor = txt(ts[d_at]);
+                    // `Unreachable` is NOT accepted as a proof: the CFG
+                    // builder parks `return <expr>` tokens in a dead
+                    // block, so unreachability here is an artifact.
+                    let env = env_before(&idom, fn_cfg, b, j, &isol.in_[b]);
+                    if matches!(env, Env::Known(_)) && env.get(divisor).excludes_zero() {
+                        proofs.proven.insert((file.path.clone(), vp));
+                    }
+                }
+                // `v.split_at(k)` / `v.split_at_mut(k)` with a proven
+                // `k <= v.len()` predicate.
+                (TokenKind::Ident, "split_at" | "split_at_mut")
+                    if j >= 2
+                        && txt(ts[j - 1]) == "."
+                        && j + 3 < ts.len()
+                        && txt(ts[j + 1]) == "("
+                        && txt(ts[j + 3]) == ")" =>
+                {
+                    let base = txt(ts[j - 2]);
+                    let arg = txt(ts[j + 2]);
+                    if file.tokens[code[ts[j - 2]]].kind != TokenKind::Ident
+                        || (j >= 3 && txt(ts[j - 3]) == ".")
+                        || file.tokens[code[ts[j + 2]]].kind != TokenKind::Ident
+                    {
+                        continue;
+                    }
+                    let facts = pred_facts_at(&pdom, fn_cfg, b, j, &psol.in_[b]);
+                    // `k < len` implies `k <= len`.
+                    let holds = preds
+                        .iter()
+                        .enumerate()
+                        .any(|(i, p)| facts.contains(i) && p.lhs == arg && p.base == base);
+                    if holds {
+                        proofs.proven.insert((file.path.clone(), vp));
+                    }
+                }
+                // `v[k]` indexing with a proven strict `k < v.len()`.
+                (TokenKind::Punct, "[")
+                    if j >= 1
+                        && j + 2 < ts.len()
+                        && file.tokens[code[ts[j - 1]]].kind == TokenKind::Ident
+                        && (j < 2 || txt(ts[j - 2]) != ".")
+                        && file.tokens[code[ts[j + 1]]].kind == TokenKind::Ident
+                        && txt(ts[j + 2]) == "]" =>
+                {
+                    let base = txt(ts[j - 1]);
+                    let arg = txt(ts[j + 1]);
+                    let facts = pred_facts_at(&pdom, fn_cfg, b, j, &psol.in_[b]);
+                    let holds = preds.iter().enumerate().any(|(i, p)| {
+                        facts.contains(i) && p.strict && p.lhs == arg && p.base == base
+                    });
+                    if holds {
+                        proofs.proven.insert((file.path.clone(), vp));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Harvests the function's bounds predicates: every
+/// `i < v.len()` / `i <= v.len()` comparison (either operand order)
+/// appearing anywhere in the body. The dataflow decides where each
+/// one actually holds.
+fn collect_preds(file: &SourceFile, code: &[usize], fn_cfg: &Cfg) -> Vec<Pred> {
+    let mut preds = Vec::new();
+    let mut seen = HashSet::new();
+    for block in &fn_cfg.blocks {
+        let ts = &block.tokens;
+        for j in 0..ts.len() {
+            if let Some(p) = parse_pred(file, code, ts, j) {
+                // A strict predicate also establishes the non-strict
+                // one; record both so queries stay simple.
+                let weak = Pred {
+                    strict: false,
+                    ..p.clone()
+                };
+                for q in [p, weak] {
+                    if seen.insert(q.clone()) {
+                        preds.push(q);
+                    }
+                }
+            }
+        }
+    }
+    preds
+}
+
+/// Parses `i < v.len()` / `i <= v.len()` / `v.len() > i` /
+/// `v.len() >= i` starting at block-token index `j`.
+fn parse_pred(file: &SourceFile, code: &[usize], ts: &[usize], j: usize) -> Option<Pred> {
+    let txt = |i: usize| -> &str {
+        ts.get(i)
+            .map_or("", |&vp| file.tokens[code[vp]].text(&file.text))
+    };
+    let is_ident = |i: usize| {
+        ts.get(i)
+            .is_some_and(|&vp| file.tokens[code[vp]].kind == TokenKind::Ident)
+    };
+    let len_call = |i: usize| -> Option<&str> {
+        (is_ident(i)
+            && txt(i + 1) == "."
+            && txt(i + 2) == "len"
+            && txt(i + 3) == "("
+            && txt(i + 4) == ")")
+            .then(|| txt(i))
+    };
+    // ident-first: `i <op> v.len()`.
+    if is_ident(j) && (j == 0 || !matches!(txt(j.wrapping_sub(1)), "." | ":")) {
+        let (strict, oplen) = match (txt(j + 1), txt(j + 2)) {
+            ("<", "=") => (false, 2),
+            ("<", _) => (true, 1),
+            _ => (false, 0),
+        };
+        if oplen > 0 {
+            if let Some(base) = len_call(j + 1 + oplen) {
+                return Some(Pred {
+                    lhs: txt(j).to_string(),
+                    base: base.to_string(),
+                    strict,
+                });
+            }
+        }
+    }
+    // len-first: `v.len() <op> i`.
+    if let Some(base) = len_call(j) {
+        let (strict, oplen) = match (txt(j + 5), txt(j + 6)) {
+            (">", "=") => (false, 2),
+            (">", _) => (true, 1),
+            _ => (false, 0),
+        };
+        if oplen > 0 && is_ident(j + 5 + oplen) {
+            return Some(Pred {
+                lhs: txt(j + 5 + oplen).to_string(),
+                base: base.to_string(),
+                strict,
+            });
+        }
+    }
+    None
+}
+
+/// The bounds-predicate must-analysis: facts are indices into the
+/// harvested predicate list.
+struct PredDomain<'a> {
+    file: &'a SourceFile,
+    code: &'a [usize],
+    preds: &'a [Pred],
+}
+
+impl PredDomain<'_> {
+    fn txt(&self, ts: &[usize], i: usize) -> &str {
+        ts.get(i).map_or("", |&vp| {
+            self.file.tokens[self.code[vp]].text(&self.file.text)
+        })
+    }
+
+    fn is_ident(&self, ts: &[usize], i: usize) -> bool {
+        ts.get(i)
+            .is_some_and(|&vp| self.file.tokens[self.code[vp]].kind == TokenKind::Ident)
+    }
+
+    /// Applies the kill/gen effect of the token at `j` to `facts`.
+    fn step(&self, facts: &mut BitSet, ts: &[usize], j: usize) {
+        let text = self.txt(ts, j);
+        // Kills: a write to the index or the container, or any
+        // possibly-length-changing method on the container.
+        if self.is_ident(ts, j) && (j == 0 || !matches!(self.txt(ts, j - 1), "." | ":")) {
+            let nxt = self.txt(ts, j + 1);
+            let writes = (nxt == "="
+                && self.txt(ts, j + 2) != "="
+                && !matches!(
+                    if j > 0 { self.txt(ts, j - 1) } else { "" },
+                    "=" | "!" | "<" | ">" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+                ))
+                || (matches!(nxt, "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^")
+                    && self.txt(ts, j + 2) == "=")
+                || (matches!(nxt, "<" | ">")
+                    && self.txt(ts, j + 2) == nxt
+                    && self.txt(ts, j + 3) == "=");
+            let mutated_by_method = nxt == "."
+                && self.is_ident(ts, j + 2)
+                && self.txt(ts, j + 3) == "("
+                && !LEN_PRESERVING.contains(&self.txt(ts, j + 2));
+            if writes || mutated_by_method {
+                for (i, p) in self.preds.iter().enumerate() {
+                    if p.lhs == text || p.base == text {
+                        facts.remove(i);
+                    }
+                }
+            }
+        }
+        if text == "&" && self.txt(ts, j + 1) == "mut" && self.is_ident(ts, j + 2) {
+            let target = self.txt(ts, j + 2);
+            for (i, p) in self.preds.iter().enumerate() {
+                if p.lhs == target || p.base == target {
+                    facts.remove(i);
+                }
+            }
+        }
+        // Gens: asserts establish their predicate mid-block.
+        if matches!(text, "assert" | "debug_assert")
+            && self.txt(ts, j + 1) == "!"
+            && self.txt(ts, j + 2) == "("
+        {
+            if let Some(p) = parse_pred(self.file, self.code, ts, j + 3) {
+                self.gen_pred(facts, &p);
+            }
+        }
+    }
+
+    /// Sets the fact for `p` and, when `p` is strict, its implied
+    /// non-strict companion.
+    fn gen_pred(&self, facts: &mut BitSet, p: &Pred) {
+        for (i, q) in self.preds.iter().enumerate() {
+            let implied = q.lhs == p.lhs && q.base == p.base && (q == p || (p.strict && !q.strict));
+            if implied {
+                facts.insert(i);
+            }
+        }
+    }
+
+    /// The predicates established by `from`'s branch condition (for
+    /// the `True` edge): the last `if`/`while` comparison chain, with
+    /// `||` disabling refinement as in the interval domain.
+    fn branch_preds(&self, cfg: &Cfg, from: usize) -> Vec<Pred> {
+        let ts = &cfg.blocks[from].tokens;
+        // A `while` head block holds only the condition (the keyword
+        // sits in the predecessor); parse from the top in that case.
+        let start = (0..ts.len())
+            .rev()
+            .find(|&i| matches!(self.txt(ts, i), "if" | "while"))
+            .map_or(0, |kw| kw + 1);
+        if self.txt(ts, start) == "let" {
+            return Vec::new();
+        }
+        if (start.saturating_sub(1)..ts.len()).any(|i| self.txt(ts, i) == "|") {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for i in start..ts.len() {
+            if let Some(p) = parse_pred(self.file, self.code, ts, i) {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+impl Domain for PredDomain<'_> {
+    type Fact = BitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn init(&self, _cfg: &Cfg) -> BitSet {
+        // Must-analysis ⊤: every predicate vacuously holds on the
+        // (empty) set of paths into an unvisited block.
+        BitSet::full(self.preds.len())
+    }
+
+    fn boundary(&self, _cfg: &Cfg) -> BitSet {
+        BitSet::empty(self.preds.len())
+    }
+
+    fn join(&self, acc: &mut BitSet, other: &BitSet) {
+        acc.intersect_with(other);
+    }
+
+    fn transfer(&self, cfg: &Cfg, block: usize, fact: &BitSet) -> BitSet {
+        let mut facts = fact.clone();
+        let ts = &cfg.blocks[block].tokens;
+        for j in 0..ts.len() {
+            self.step(&mut facts, ts, j);
+        }
+        facts
+    }
+
+    fn refine_edge(&self, cfg: &Cfg, from: usize, kind: EdgeKind, fact: &BitSet) -> BitSet {
+        let mut facts = fact.clone();
+        if kind == EdgeKind::True {
+            for p in self.branch_preds(cfg, from) {
+                self.gen_pred(&mut facts, &p);
+            }
+        }
+        facts
+    }
+}
+
+/// Replays the block prefix to get the predicate facts live just
+/// before block-token index `upto`.
+fn pred_facts_at(
+    dom: &PredDomain<'_>,
+    cfg: &Cfg,
+    block: usize,
+    upto: usize,
+    entry: &BitSet,
+) -> BitSet {
+    let mut facts = entry.clone();
+    let ts = &cfg.blocks[block].tokens;
+    for j in 0..upto.min(ts.len()) {
+        dom.step(&mut facts, ts, j);
+    }
+    facts
+}
+
+/// Emits one advisory per hot loop that indexes `v[i]` with an `i`
+/// only ever advanced by a literal increment inside the loop body — a
+/// provably monotone bounds-checked traversal an iterator would do
+/// check-free.
+fn monotone_index_advisories(
+    file: &SourceFile,
+    code: &[usize],
+    fn_cfg: &Cfg,
+    advisories: &mut Vec<Diagnostic>,
+) {
+    let txt = |vp: usize| file.tokens[code[vp]].text(&file.text);
+    for l in &fn_cfg.loops {
+        let body = fn_cfg.loop_body(l);
+        // (index, base) pairs indexed in the body, and the set of
+        // indices written in any non-increment way.
+        let mut indexed: Vec<(String, String, u32)> = Vec::new();
+        let mut incremented: HashSet<String> = HashSet::new();
+        let mut otherwise_written: HashSet<String> = HashSet::new();
+        for &b in &body {
+            let ts = &fn_cfg.blocks[b].tokens;
+            for j in 0..ts.len() {
+                let text = txt(ts[j]);
+                let is_ident = file.tokens[code[ts[j]]].kind == TokenKind::Ident;
+                if is_ident && (j == 0 || !matches!(txt(ts[j - 1]), "." | ":")) {
+                    // `i += <lit>;` is the monotone advance.
+                    if j + 3 < ts.len()
+                        && txt(ts[j + 1]) == "+"
+                        && txt(ts[j + 2]) == "="
+                        && file.tokens[code[ts[j + 3]]].kind == TokenKind::Int
+                    {
+                        incremented.insert(text.to_string());
+                        continue;
+                    }
+                    // Any other write makes it non-monotone.
+                    let nxt = if j + 1 < ts.len() { txt(ts[j + 1]) } else { "" };
+                    let writes = (nxt == "="
+                        && (j + 2 >= ts.len() || txt(ts[j + 2]) != "=")
+                        && !matches!(
+                            if j > 0 { txt(ts[j - 1]) } else { "" },
+                            "=" | "!" | "<" | ">" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+                        ))
+                        || (matches!(nxt, "-" | "*" | "/" | "%" | "&" | "|" | "^")
+                            && j + 2 < ts.len()
+                            && txt(ts[j + 2]) == "=");
+                    if writes {
+                        otherwise_written.insert(text.to_string());
+                    }
+                }
+                // `v[i]` in the body.
+                if text == "["
+                    && j >= 1
+                    && j + 2 < ts.len()
+                    && file.tokens[code[ts[j - 1]]].kind == TokenKind::Ident
+                    && (j < 2 || txt(ts[j - 2]) != ".")
+                    && file.tokens[code[ts[j + 1]]].kind == TokenKind::Ident
+                    && txt(ts[j + 2]) == "]"
+                {
+                    indexed.push((
+                        txt(ts[j + 1]).to_string(),
+                        txt(ts[j - 1]).to_string(),
+                        file.tokens[code[ts[j]]].line,
+                    ));
+                }
+            }
+        }
+        let mut reported: HashSet<(String, String)> = HashSet::new();
+        for (idx, base, line) in indexed {
+            if !incremented.contains(&idx) || otherwise_written.contains(&idx) {
+                continue;
+            }
+            if !reported.insert((idx.clone(), base.clone())) {
+                continue;
+            }
+            advisories.push(Diagnostic {
+                pass: "value-range".into(),
+                path: file.path.clone(),
+                line,
+                symbol: fn_cfg.symbol.clone(),
+                message: format!(
+                    "hot loop at line {} indexes `{base}[{idx}]` with a provably monotone \
+                     index — an iterator (`{base}.iter().enumerate()`, `chunks`, `windows`) \
+                     traverses without per-access bounds checks",
+                    l.line
+                ),
+            });
+        }
+    }
+}

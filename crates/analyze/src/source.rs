@@ -54,7 +54,7 @@ pub struct TokenCtx {
 #[derive(Clone, Debug)]
 pub struct Allow {
     /// The allowed diagnostic kind: `panic`, `alloc`, `newtype`,
-    /// `cancel` or `lock`.
+    /// `cancel`, `lock` or `determinism`.
     pub kind: String,
     /// First source line the annotation covers.
     pub from_line: u32,
@@ -435,12 +435,13 @@ fn scan_allows(src: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<(u32, String)>) 
         let kind = rest[..close].trim().to_string();
         if !matches!(
             kind.as_str(),
-            "panic" | "alloc" | "newtype" | "cancel" | "lock"
+            "panic" | "alloc" | "newtype" | "cancel" | "lock" | "determinism"
         ) {
             bad.push((
                 tok.line,
                 format!(
-                    "unknown allow kind `{kind}` (expected panic, alloc, newtype, cancel or lock)"
+                    "unknown allow kind `{kind}` (expected panic, alloc, newtype, cancel, lock or \
+                     determinism)"
                 ),
             ));
             continue;

@@ -83,6 +83,11 @@ pub enum Resolution {
     External(ExternalKind),
     /// Several workspace candidates; edges go to all of them.
     Ambiguous(Vec<usize>),
+    /// Call to a closure bound (`let f = |…|`) or `fn` nested in the
+    /// same file: no [`FnDef`](crate::symbols::FnDef) node exists, but
+    /// the target is lexically exact, so the site counts as precisely
+    /// resolved rather than as guesswork.
+    LocalClosure,
     /// Closure or function-pointer call — lexically untargetable.
     Unknown,
 }
@@ -775,6 +780,7 @@ pub fn scan_calls(file: &SourceFile, table: &SymbolTable, imports: &Imports) -> 
         .map(|&i| file.tokens[i].text(&file.text))
         .collect();
     let at = |k: usize| -> &str { texts.get(k).copied().unwrap_or("") };
+    let locals = local_callables(&texts);
     let mut sites = Vec::new();
     for k in 0..code.len() {
         let i = code[k];
@@ -830,7 +836,14 @@ pub fn scan_calls(file: &SourceFile, table: &SymbolTable, imports: &Imports) -> 
         } else {
             CallKind::Free(text.to_string())
         };
-        let resolution = table.resolve(&file.crate_name, &ctx.in_fn, imports, &kind);
+        let mut resolution = table.resolve(&file.crate_name, &ctx.in_fn, imports, &kind);
+        // A bare call the table cannot target is still exact when the
+        // file itself binds the name as a closure or nested fn.
+        if matches!(resolution, Resolution::Unknown)
+            && matches!(&kind, CallKind::Free(n) if locals.contains(&n.as_str()))
+        {
+            resolution = Resolution::LocalClosure;
+        }
         sites.push(CallSite {
             path: file.path.clone(),
             line: tok.line,
@@ -841,6 +854,23 @@ pub fn scan_calls(file: &SourceFile, table: &SymbolTable, imports: &Imports) -> 
         });
     }
     sites
+}
+
+/// Names a file binds as callables with no [`FnDef`]: closures
+/// (`name = |…|`, `name = move |…|`) and `fn` items (nested fns are
+/// not in the symbol table; top-level ones resolve earlier anyway, so
+/// over-collecting them is harmless — the set is only consulted for
+/// sites the table already failed to target).
+fn local_callables<'a>(texts: &[&'a str]) -> std::collections::HashSet<&'a str> {
+    let mut names = std::collections::HashSet::new();
+    for w in texts.windows(3) {
+        if w[0] == "fn" {
+            names.insert(w[1]);
+        } else if w[1] == "=" && (w[2] == "|" || w[2] == "move") {
+            names.insert(w[0]);
+        }
+    }
+    names
 }
 
 /// Skips a balanced `<…>` starting at `open` (which must be `<`);

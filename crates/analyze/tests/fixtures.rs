@@ -9,10 +9,15 @@
 
 use std::path::PathBuf;
 
+use hqs_analyze::callgraph::CallGraph;
 use hqs_analyze::config::{AnalyzeConfig, HotFn, HotPaths, OrderingSite};
 use hqs_analyze::diag::{self, Diagnostic};
 use hqs_analyze::manifest::Manifest;
-use hqs_analyze::passes::{self, hot_alloc, layering, newtype, panic_path, source_audit};
+use hqs_analyze::passes::value_range::Proofs;
+use hqs_analyze::passes::{
+    self, determinism, hot_alloc, hot_transitive, layering, newtype, panic_path, source_audit,
+    value_range,
+};
 use hqs_analyze::source::SourceFile;
 use hqs_analyze::workspace::{CrateInfo, Workspace};
 
@@ -32,6 +37,10 @@ const BAD_ANNOTATIONS: &str = include_str!("../fixtures/bad_annotations.rs");
 const BAD_LAYERING: &str = include_str!("../fixtures/bad_layering.rs");
 const CLEAN_HOT: &str = include_str!("../fixtures/clean_hot.rs");
 const CLEAN_STRINGS: &str = include_str!("../fixtures/clean_strings.rs");
+const BAD_DETERMINISM: &str = include_str!("../fixtures/bad_determinism.rs");
+const CLEAN_DETERMINISM: &str = include_str!("../fixtures/clean_determinism.rs");
+const BAD_VALUE_RANGE: &str = include_str!("../fixtures/bad_value_range.rs");
+const CLEAN_VALUE_RANGE: &str = include_str!("../fixtures/clean_value_range.rs");
 
 fn member(name: &str, dir: &str, deps: &[&str], dev_deps: &[&str]) -> CrateInfo {
     CrateInfo {
@@ -483,6 +492,126 @@ fn clean_fixtures_produce_zero_findings() {
         "{:#?}",
         findings.unwrap_sites
     );
+}
+
+fn det_root() -> AnalyzeConfig {
+    AnalyzeConfig {
+        determinism_roots: vec![HotFn {
+            crate_name: "hqs-sat".to_string(),
+            symbol: "Writer::emit".to_string(),
+        }],
+        ..AnalyzeConfig::default()
+    }
+}
+
+#[test]
+fn bad_determinism_flags_every_source_with_chain() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![(
+            "crates/sat/src/bad_determinism.rs",
+            "hqs-sat",
+            BAD_DETERMINISM,
+        )],
+    );
+    let graph = CallGraph::build(&ws);
+    let diags = determinism::run(&ws, &det_root(), &graph);
+    assert_eq!(diags.len(), 4, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.pass == "determinism"));
+    assert_eq!(
+        count_containing(&diags, "`for` over hash-bound `counts`"),
+        1
+    );
+    assert_eq!(count_containing(&diags, "`counts.keys()`"), 1);
+    assert_eq!(count_containing(&diags, "`Instant::now()`"), 1);
+    assert_eq!(count_containing(&diags, "`env::var`"), 1);
+    // The wall-clock finding names the seed-to-sink chain verbatim.
+    let clock = diags
+        .iter()
+        .find(|d| d.message.contains("Instant"))
+        .expect("wall-clock finding");
+    assert_eq!(clock.symbol, "Writer::stamp");
+    assert!(
+        clock
+            .message
+            .contains("[deterministic via hqs-sat::Writer::emit → Writer::stamp]"),
+        "{}",
+        clock.message
+    );
+}
+
+#[test]
+fn clean_determinism_reports_nothing() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![(
+            "crates/sat/src/clean_determinism.rs",
+            "hqs-sat",
+            CLEAN_DETERMINISM,
+        )],
+    );
+    // Through `run_all` so the two-way ratchet also validates the
+    // fixture's allow annotation as *used* (a stale allow would be a
+    // finding of its own).
+    let diags = passes::run_all(&ws, &det_root());
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn bad_value_range_keeps_unprovable_sites_and_advises_hot_loop() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![(
+            "crates/sat/src/bad_value_range.rs",
+            "hqs-sat",
+            BAD_VALUE_RANGE,
+        )],
+    );
+    let analysis = passes::analyze(&ws, &cfg_with(hot_propagate()));
+    // Wrong-variable guard, missing guard, and a bound killed by
+    // `clear()` all stay findings; the loop-guarded `v[i]` does not.
+    assert_eq!(analysis.diags.len(), 3, "{:#?}", analysis.diags);
+    assert!(analysis.diags.iter().all(|d| d.pass == "hot-transitive"));
+    assert_eq!(
+        count_containing(&analysis.diags, "`/` by a non-literal divisor"),
+        1
+    );
+    assert_eq!(count_containing(&analysis.diags, "`.split_at(…)`"), 2);
+    // The monotone-index loop earns exactly one iterator advisory.
+    assert_eq!(analysis.advisories.len(), 1, "{:#?}", analysis.advisories);
+    let adv = &analysis.advisories[0];
+    assert_eq!(adv.pass, "value-range");
+    assert_eq!(adv.symbol, "sum_squares");
+    assert!(
+        adv.message.contains("`v[i]`") && adv.message.contains("iter().enumerate()"),
+        "{}",
+        adv.message
+    );
+}
+
+#[test]
+fn clean_value_range_proofs_discharge_every_site() {
+    let ws = workspace(
+        vec![member("hqs-sat", "crates/sat", &[], &[])],
+        vec![(
+            "crates/sat/src/clean_value_range.rs",
+            "hqs-sat",
+            CLEAN_VALUE_RANGE,
+        )],
+    );
+    let cfg = cfg_with(hot_propagate());
+    let graph = CallGraph::build(&ws);
+    // Before: with no proofs, every guarded site is an implicit-panic
+    // finding — the false-positive class the refinement removes.
+    let before = hot_transitive::run(&ws, &cfg, &graph, &Proofs::default());
+    assert_eq!(before.len(), 4, "{before:#?}");
+    // After: the interval and bounds-predicate dataflow prove all of
+    // them, and nothing else in the analysis fires.
+    let vr = value_range::run(&ws, &cfg, &graph);
+    assert_eq!(vr.proofs.len(), 4);
+    let analysis = passes::analyze(&ws, &cfg);
+    assert!(analysis.diags.is_empty(), "{:#?}", analysis.diags);
+    assert!(analysis.advisories.is_empty(), "{:#?}", analysis.advisories);
 }
 
 #[test]

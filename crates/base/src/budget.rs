@@ -174,6 +174,7 @@ impl Budget {
     /// Returns `true` if the deadline has passed.
     #[must_use]
     pub fn time_exhausted(&self) -> bool {
+        // analyze::allow(determinism): the wall-clock deadline is an explicit, user-requested bound; deterministic runs set no time budget
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 

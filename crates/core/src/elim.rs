@@ -289,6 +289,7 @@ impl AigDqbf {
     fn remove_universal(&mut self, x: Var) {
         self.universals.retain(|&v| v != x);
         self.universal_set.remove(x);
+        // analyze::allow(determinism): each dependency set is mutated independently — visit order cannot affect the result
         for deps in self.deps.values_mut() {
             deps.remove(x);
         }
@@ -307,6 +308,7 @@ impl AigDqbf {
             keep
         });
         // Removed universals must disappear from dependency sets.
+        // analyze::allow(determinism): each dependency set is mutated independently — visit order cannot affect the result
         for deps in self.deps.values_mut() {
             deps.intersect_with(&self.universal_set);
         }

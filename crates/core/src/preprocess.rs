@@ -22,7 +22,7 @@
 use crate::Dqbf;
 use hqs_base::{Assignment, Lit, TruthValue, Var, VarSet};
 use hqs_cnf::{Clause, Cnf};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// The kind of a detected Tseitin gate.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -206,6 +206,7 @@ impl State {
     fn remove_var(&mut self, v: Var) {
         if self.universal_set.remove(v) {
             self.universals.retain(|&x| x != v);
+            // analyze::allow(determinism): each dependency set is mutated independently — visit order cannot affect the result
             for deps in self.deps.values_mut() {
                 deps.remove(v);
             }
@@ -403,7 +404,9 @@ impl State {
     /// the dependency structure allows it (the replacement variable's
     /// dependency set must be contained in the replaced one's).
     fn equivalent_vars(&mut self, stats: &mut PreprocessStats) -> StepOutcome {
-        let binaries: HashSet<(Lit, Lit)> = self
+        // BTreeSet: substitution chains depend on visit order, so
+        // iterate in literal order, not hash order.
+        let binaries: BTreeSet<(Lit, Lit)> = self
             .clauses
             .iter()
             .filter(|c| c.len() == 2)
@@ -530,7 +533,9 @@ impl State {
 
         // XOR gates: 4 ternary clauses over a variable triple with equal
         // positive-literal parity.
-        let mut triples: HashMap<[Var; 3], Vec<usize>> = HashMap::new();
+        // BTreeMap: gate candidates can overlap, so acceptance order
+        // must be the variable-triple order, not hash order.
+        let mut triples: BTreeMap<[Var; 3], Vec<usize>> = BTreeMap::new();
         for (i, clause) in self.clauses.iter().enumerate() {
             if clause.len() == 3 && !clause.is_tautology() {
                 let mut vars: Vec<Var> = clause.iter_vars().collect();
@@ -598,7 +603,7 @@ impl State {
         // inputs is the output of a not-yet-accepted gate; cyclic
         // definitions are dropped. Also drop gates whose defining clauses
         // were consumed by an earlier accepted gate.
-        let mut consumed: HashSet<usize> = HashSet::new();
+        let mut consumed: BTreeSet<usize> = BTreeSet::new();
         let mut accepted: Vec<Gate> = Vec::new();
         let mut pending = candidates;
         let mut accepted_outputs: HashSet<Var> = HashSet::new();

@@ -66,6 +66,7 @@ fn thread_tag() -> u64 {
             return cached;
         }
         let mut hasher = DefaultHasher::new();
+        // analyze::allow(determinism): trace-row labels only — the tag never reaches a verdict or certificate
         std::thread::current().id().hash(&mut hasher);
         // Reserve the sentinel; collisions merely merge two trace rows.
         let fresh = hasher.finish() & (u64::MAX >> 1);
@@ -155,6 +156,7 @@ impl Obs {
                     active: Some(ActiveSpan {
                         observer: Arc::clone(observer),
                         phase,
+                        // analyze::allow(determinism): span timing is observability metadata, never part of solver output
                         start: Instant::now(),
                         tid: thread_tag(),
                         depth,

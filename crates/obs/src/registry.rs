@@ -64,6 +64,7 @@ fn shard_pick() -> usize {
             return cached;
         }
         let mut hasher = DefaultHasher::new();
+        // analyze::allow(determinism): shard choice only spreads contention — counters are summed over all shards at snapshot
         std::thread::current().id().hash(&mut hasher);
         let fresh = (hasher.finish() as usize) & (SHARDS - 1);
         pick.set(fresh);

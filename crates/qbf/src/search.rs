@@ -19,7 +19,7 @@
 use crate::Prefix;
 use hqs_base::{Assignment, Budget, Lit, TruthValue, Var};
 use hqs_cnf::{Clause, Cnf, QdimacsFile, Quantifier};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Counters for one search run.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
@@ -208,8 +208,10 @@ impl SearchSolver {
     /// to satisfy the phase, universals to falsify it (Theorem 5's QBF
     /// specialisation).
     fn assign_pures(&mut self, assignment: &mut Assignment, trail: &mut Vec<Var>) {
-        let mut pos: HashMap<Var, bool> = HashMap::new();
-        let mut neg: HashMap<Var, bool> = HashMap::new();
+        // BTreeMaps so the pure-assignment order is the variable
+        // order, not the per-process hash order.
+        let mut pos: BTreeMap<Var, bool> = BTreeMap::new();
+        let mut neg: BTreeMap<Var, bool> = BTreeMap::new();
         for clause in &self.clauses {
             let mut satisfied = false;
             for &lit in clause.lits() {

@@ -10,6 +10,7 @@
 //! cargo run -p xtask -- analyze --lock-graph <path>  # lock-order graph as JSON
 //! cargo run -p xtask -- analyze --lock-dot <path>    # lock-order graph as Graphviz dot
 //! cargo run -p xtask -- analyze --bench <path>       # timing JSON (BENCH_analyze.json)
+//! cargo run -p xtask -- analyze --sarif <path>       # findings + advisories as SARIF 2.1.0
 //! cargo run -p xtask -- analyze --explain <pass>     # rationale + fix recipe for a pass
 //! cargo run -p xtask -- analyze --check-baseline     # CI gate
 //! cargo run -p xtask -- analyze --write-baseline     # refresh baseline
@@ -53,6 +54,7 @@ pub fn run(args: &[String]) -> ExitCode {
     let mut cfg_dump: Option<String> = None;
     let mut lock_graph: Option<String> = None;
     let mut lock_dot: Option<String> = None;
+    let mut sarif: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -60,7 +62,7 @@ pub fn run(args: &[String]) -> ExitCode {
             "--write-baseline" => write_baseline = true,
             "--summary" => summary = true,
             "--report" | "--callgraph" | "--bench" | "--cfg-dump" | "--lock-graph"
-            | "--lock-dot" => {
+            | "--lock-dot" | "--sarif" => {
                 let flag = arg.clone();
                 match it.next() {
                     Some(path) => match flag.as_str() {
@@ -69,6 +71,7 @@ pub fn run(args: &[String]) -> ExitCode {
                         "--cfg-dump" => cfg_dump = Some(path.clone()),
                         "--lock-graph" => lock_graph = Some(path.clone()),
                         "--lock-dot" => lock_dot = Some(path.clone()),
+                        "--sarif" => sarif = Some(path.clone()),
                         _ => bench = Some(path.clone()),
                     },
                     None => {
@@ -94,7 +97,7 @@ pub fn run(args: &[String]) -> ExitCode {
                     "analyze: unknown flag `{other}` (expected --check-baseline, \
                      --write-baseline, --summary, --report <path>, --callgraph <path>, \
                      --cfg-dump <path>, --lock-graph <path>, --lock-dot <path>, \
-                     --bench <path>, --explain <pass>)"
+                     --bench <path>, --sarif <path>, --explain <pass>)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -127,10 +130,15 @@ pub fn run(args: &[String]) -> ExitCode {
 
     if let Some(path) = &report {
         let obj = Json::Object(vec![
-            ("schema".into(), Json::String("hqs-analyze-report/2".into())),
+            ("schema".into(), Json::String("hqs-analyze-report/3".into())),
             (
                 "findings".into(),
                 json::parse(&diag::to_json_array(diags)).unwrap_or(Json::Array(vec![])),
+            ),
+            (
+                "advisories".into(),
+                json::parse(&diag::to_json_array(&analysis.advisories))
+                    .unwrap_or(Json::Array(vec![])),
             ),
             ("callgraph".into(), graph.stats_json()),
         ]);
@@ -183,10 +191,22 @@ pub fn run(args: &[String]) -> ExitCode {
         }
         println!("analyze: lock-order dot written to {path}");
     }
+    if let Some(path) = &sarif {
+        let doc = sarif_json(diags, &analysis.advisories);
+        if let Err(err) = std::fs::write(root.join(path), json::emit_pretty(&doc)) {
+            eprintln!("analyze: failed to write SARIF {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "analyze: SARIF written to {path} ({} finding(s), {} advisory/ies)",
+            diags.len(),
+            analysis.advisories.len()
+        );
+    }
     if let Some(path) = &bench {
         let (cfg_count, block_count, cfg_build_ms, dataflow_ms) = bench_cfg_dataflow(&ws);
         let obj = Json::Object(vec![
-            ("schema".into(), Json::String("hqs-bench-analyze/2".into())),
+            ("schema".into(), Json::String("hqs-bench-analyze/3".into())),
             ("files".into(), Json::Number(ws.files.len() as f64)),
             ("crates".into(), Json::Number(ws.crates.len() as f64)),
             (
@@ -199,6 +219,10 @@ pub fn run(args: &[String]) -> ExitCode {
                 Json::Number(graph.stats.total_sites as f64),
             ),
             ("findings".into(), Json::Number(diags.len() as f64)),
+            (
+                "advisories".into(),
+                Json::Number(analysis.advisories.len() as f64),
+            ),
             (
                 "resolution_rate_percent".into(),
                 Json::Number((rate * 100.0).round() / 100.0),
@@ -230,24 +254,32 @@ pub fn run(args: &[String]) -> ExitCode {
     }
     if summary {
         println!(
-            "analyze: {} files, {} crates, {} finding(s) in {:.2?}",
+            "analyze: {} files, {} crates, {} finding(s), {} advisory/ies in {:.2?}",
             ws.files.len(),
             ws.crates.len(),
             diags.len(),
+            analysis.advisories.len(),
             load_elapsed + analyze_elapsed
         );
         for pass in passes::PASS_NAMES {
-            let count = diags.iter().filter(|d| d.pass == *pass).count();
+            let count = diags.iter().filter(|d| d.pass == *pass).count()
+                + analysis
+                    .advisories
+                    .iter()
+                    .filter(|d| d.pass == *pass)
+                    .count();
             println!("  {pass:<20} {count}");
         }
         println!(
             "analyze: call graph: {} functions, {} edges, {} sites \
-             ({} resolved, {} external, {} ambiguous, {} unknown) — {rate:.2}% resolved",
+             ({} resolved, {} external, {} local closures, {} ambiguous, {} unknown) \
+             — {rate:.2}% resolved",
             graph.table.defs.len(),
             graph.edges.len(),
             graph.stats.total_sites,
             graph.stats.resolved,
             graph.stats.external,
+            graph.stats.local_closures,
             graph.stats.ambiguous,
             graph.stats.unknown,
         );
@@ -321,11 +353,88 @@ pub fn run(args: &[String]) -> ExitCode {
                 d.message
             );
         }
-        if diags.is_empty() && !summary {
+        // Advisories are suggestions, not ratcheted findings: printed
+        // with a distinct prefix, never failing the run.
+        for d in &analysis.advisories {
+            println!(
+                "[advice:{}] {}:{}{} {}",
+                d.pass,
+                d.path,
+                d.line,
+                symbol_suffix(&d.symbol),
+                d.message
+            );
+        }
+        if diags.is_empty() && analysis.advisories.is_empty() && !summary {
             println!("analyze: no findings");
         }
         ExitCode::SUCCESS
     }
+}
+
+/// Builds the SARIF 2.1.0 document for `--sarif`: ratcheted findings at
+/// `error` level, advisories at `note`, one result per diagnostic with
+/// the pass name as the rule id — the shape PR annotation tooling
+/// ingests directly.
+fn sarif_json(findings: &[diag::Diagnostic], advisories: &[diag::Diagnostic]) -> Json {
+    let result = |d: &diag::Diagnostic, level: &str| {
+        Json::Object(vec![
+            ("ruleId".into(), Json::String(d.pass.clone())),
+            ("level".into(), Json::String(level.to_string())),
+            (
+                "message".into(),
+                Json::Object(vec![("text".into(), Json::String(d.message.clone()))]),
+            ),
+            (
+                "locations".into(),
+                Json::Array(vec![Json::Object(vec![(
+                    "physicalLocation".into(),
+                    Json::Object(vec![
+                        (
+                            "artifactLocation".into(),
+                            Json::Object(vec![("uri".into(), Json::String(d.path.clone()))]),
+                        ),
+                        (
+                            "region".into(),
+                            Json::Object(vec![(
+                                "startLine".into(),
+                                Json::Number(f64::from(d.line.max(1))),
+                            )]),
+                        ),
+                    ]),
+                )])]),
+            ),
+        ])
+    };
+    let mut results: Vec<Json> = findings.iter().map(|d| result(d, "error")).collect();
+    results.extend(advisories.iter().map(|d| result(d, "note")));
+    let rules: Vec<Json> = passes::PASS_NAMES
+        .iter()
+        .map(|name| Json::Object(vec![("id".into(), Json::String((*name).to_string()))]))
+        .collect();
+    Json::Object(vec![
+        (
+            "$schema".into(),
+            Json::String("https://json.schemastore.org/sarif-2.1.0.json".into()),
+        ),
+        ("version".into(), Json::String("2.1.0".into())),
+        (
+            "runs".into(),
+            Json::Array(vec![Json::Object(vec![
+                (
+                    "tool".into(),
+                    Json::Object(vec![(
+                        "driver".into(),
+                        Json::Object(vec![
+                            ("name".into(), Json::String("hqs-analyze".into())),
+                            ("rules".into(), Json::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results".into(), Json::Array(results)),
+            ])]),
+        ),
+    ])
 }
 
 /// Builds the `--cfg-dump` JSON: per-function block/edge/loop counts,
@@ -519,7 +628,7 @@ const EXPLANATIONS: &[(&str, &str)] = &[
         "annotation",
         "Why: a suppression that fails to parse would silently look like an active waiver.\n\
          Fix: write `// analyze::allow(kind) [lines=N]: reason` with kind one of panic,\n\
-         alloc, newtype, cancel, lock and a non-empty reason.",
+         alloc, newtype, cancel, lock, determinism and a non-empty reason.",
     ),
     (
         "hot-transitive",
@@ -579,5 +688,32 @@ const EXPLANATIONS: &[(&str, &str)] = &[
          acquisition site with `// analyze::allow(lock): <reason>`, which suppresses the\n\
          edge. Inspect the graph with --lock-graph <path> (JSON) or --lock-dot <path>\n\
          (Graphviz; cyclic nodes and edges are drawn red).",
+    ),
+    (
+        "determinism",
+        "Why: the solver's verdicts, certificates, and logs must be bit-identical across\n\
+         runs, so CI diffs and incremental certificate checks stay meaningful. Every\n\
+         function reachable from a [determinism] root is denied nondeterministic inputs:\n\
+         HashMap/HashSet iteration (per-process hash order), explicit RandomState,\n\
+         Instant::now/SystemTime::now, thread::current(), and env::var reads. Each\n\
+         finding renders its root-to-sink call chain as evidence.\n\
+         Fix: switch hash-ordered iteration to BTreeMap/BTreeSet (or sort before\n\
+         iterating), thread timestamps and configuration in as explicit arguments; an\n\
+         order-insensitive use (e.g. summation) is justified with\n\
+         `// analyze::allow(determinism): <reason>`.",
+    ),
+    (
+        "value-range",
+        "Why: interval and bounds-predicate dataflow prove divisors nonzero and\n\
+         split_at/index arguments in range, so the hot-transitive pass only reports\n\
+         implicit panics it cannot discharge — guards on the wrong variable, missing\n\
+         guards, or bounds killed by a length-changing call between guard and use.\n\
+         The pass itself emits only advisories: a hot loop indexing with a provably\n\
+         monotone counter is flagged with an iterator rewrite suggestion, because\n\
+         iterators traverse without per-access bounds checks.\n\
+         Fix: for surviving implicit-panic findings, strengthen the guard on the exact\n\
+         divisor/index used (or checked ops); for loop advisories, rewrite with\n\
+         iter().enumerate(), chunks, or windows. Advisories are never baselined and\n\
+         never fail CI.",
     ),
 ];
