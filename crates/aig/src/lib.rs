@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod aiger;
+mod cache;
 mod check;
 mod cnf_conv;
 mod dot;
@@ -47,6 +48,7 @@ mod simulate;
 mod unitpure;
 
 pub use aiger::AigerError;
+pub use cache::{ConeSnapshot, FraigCache};
 pub use edge::AigEdge;
 pub use hqs_base::InvariantViolation;
 pub use manager::{Aig, AigNode};

@@ -34,6 +34,9 @@ pub struct Aig {
     /// [`Aig::compose_many`] so repeated cofactor/compose calls (the
     /// quantification inner loop) do not reallocate it every time.
     compose_memo: HashMap<u32, AigEdge>,
+    /// Cross-session FRAIG cache, consulted by [`Aig::fraig`]; attached
+    /// via [`Aig::set_fraig_cache`].
+    pub(crate) fraig_cache: Option<std::sync::Arc<crate::FraigCache>>,
     pub(crate) obs: Obs,
 }
 
@@ -66,6 +69,7 @@ impl Aig {
             strash: HashMap::new(),
             inputs: HashMap::new(),
             compose_memo: HashMap::new(),
+            fraig_cache: None,
             obs: Obs::disabled(),
         }
     }
@@ -479,8 +483,9 @@ impl Aig {
         let nodes_before = self.nodes.len();
         let mut fresh = Aig::new();
         // The fresh arena replaces `self` wholesale below; the observer
-        // must survive the swap.
+        // and the attached cross-session cache must survive the swap.
         fresh.obs = self.obs.clone();
+        fresh.fraig_cache = self.fraig_cache.clone();
         let mut memo: HashMap<u32, AigEdge> = HashMap::new();
         let new_roots = roots
             .iter()

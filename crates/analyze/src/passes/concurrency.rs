@@ -13,7 +13,7 @@
 //! functions (seeds plus the transitive closure), no allocation and no
 //! solver call may execute while a `MutexGuard` is **live** — where
 //! liveness is the real guard-liveness dataflow from
-//! [`super::guards`] over the function CFG, not a syntactic region
+//! `super::guards` over the function CFG, not a syntactic region
 //! scan. A guard bound before a loop is live across the back edge; a
 //! guard bound inside an `if` arm dies at the join; `drop(guard)`
 //! kills it on that path only, so an allocation reachable on the

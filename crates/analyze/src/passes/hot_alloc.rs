@@ -9,7 +9,7 @@
 //! `std::mem::take`; where an allocation is genuinely once-per-call or
 //! amortized, the site carries `// analyze::allow(alloc): <reason>`.
 //!
-//! The matcher itself lives in [`super::alloc_finding`] and is shared
+//! The matcher itself lives in `super::alloc_finding` and is shared
 //! with the `hot-transitive` pass.
 
 use crate::config::HotPaths;

@@ -10,7 +10,7 @@
 //! passes already cover them, and double-reporting the same token would
 //! make the baseline noisy.
 //!
-//! The *implicit* panic matcher ([`super::implicit_panic_finding`]:
+//! The *implicit* panic matcher (`super::implicit_panic_finding`:
 //! `split_at`, `copy_from_slice`/`clone_from_slice`, `/` and `%` by a
 //! non-literal divisor) applies to the **whole** closure, seeds
 //! included — those shapes carry no panic vocabulary, so no other pass

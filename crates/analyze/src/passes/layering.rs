@@ -2,8 +2,8 @@
 //!
 //! The sanctioned graph follows the paper's pipeline
 //! `base → cnf → {sat, proof} → {maxsat, aig} → qbf → core` with the
-//! application crates (`idq`, `pec`, `bench`, the `hqs` facade and
-//! `xtask`) on top. Three things are enforced:
+//! application crates (`idq`, `pec`, `engine`, `serve`, `bench`, the
+//! `hqs` facade and `xtask`) on top. Three things are enforced:
 //!
 //! 1. every member's `[dependencies]` stay inside its allowed set (and
 //!    every member is registered here — adding a crate is an
@@ -58,6 +58,10 @@ const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         &["hqs-base", "hqs-obs", "hqs-cnf", "hqs-core"],
     ),
     (
+        "hqs-serve",
+        &["hqs-base", "hqs-obs", "hqs-cnf", "hqs-core", "hqs-engine"],
+    ),
+    (
         "hqs-bench",
         &[
             "hqs-base",
@@ -72,6 +76,7 @@ const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "hqs-idq",
             "hqs-pec",
             "hqs-engine",
+            "hqs-serve",
         ],
     ),
     (
@@ -89,6 +94,7 @@ const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "hqs-idq",
             "hqs-pec",
             "hqs-engine",
+            "hqs-serve",
         ],
     ),
     ("xtask", &["hqs-base", "hqs-core", "hqs-pec", "hqs-analyze"]),
@@ -105,9 +111,12 @@ const INTERNAL_MODULES: &[(&str, &[&str])] = &[
             "check", "cnf_conv", "dot", "edge", "fraig", "manager", "simulate", "unitpure",
         ],
     ),
-    ("hqs-base", &["assignment", "budget", "lit", "varset"]),
+    (
+        "hqs-base",
+        &["assignment", "budget", "cache", "lit", "varset"],
+    ),
     ("hqs-cnf", &["clause", "cnf"]),
-    ("hqs-core", &["check", "dqbf"]),
+    ("hqs-core", &["check", "dqbf", "warm"]),
     (
         "hqs-engine",
         &["corpus", "deck", "jsonl", "portfolio", "scheduler"],
@@ -117,6 +126,7 @@ const INTERNAL_MODULES: &[(&str, &[&str])] = &[
     ("hqs-proof", &["checker", "drat"]),
     ("hqs-qbf", &["prefix", "solver"]),
     ("hqs-sat", &["check", "heap", "luby", "proof", "solver"]),
+    ("hqs-serve", &["io", "server"]),
 ];
 
 fn allowed_deps(name: &str) -> Option<&'static [&'static str]> {

@@ -2,7 +2,7 @@
 //! form an acyclic acquisition order.
 //!
 //! For every production function the pass runs the guard-liveness
-//! dataflow from [`super::guards`] and records each lock acquisition
+//! dataflow from `super::guards` and records each lock acquisition
 //! that happens **while another guard is live** — an intra-function
 //! `held → acquired` edge. Holds also compose across the call graph: a
 //! call made while a guard is live contributes `held → c` for every
@@ -14,7 +14,7 @@
 //!
 //! Lock *classes* are crate-qualified receiver names
 //! (`hqs-engine/shard`, `hqs-obs/spans`) — see
-//! [`super::guards::lock_class`]. Class granularity is coarser than
+//! `super::guards::lock_class`. Class granularity is coarser than
 //! lock *instances*: two different shards share the class `shard`, so
 //! a `shard → shard` self-loop is reported too — which is exactly the
 //! work-stealing hazard (worker A holds its shard and locks B's while

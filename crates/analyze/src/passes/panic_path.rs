@@ -8,7 +8,7 @@
 //! `// analyze::allow(panic): <reason>` annotation so the justification
 //! is part of the code.
 //!
-//! The matcher itself lives in [`super::panic_finding`] and is shared
+//! The matcher itself lives in `super::panic_finding` and is shared
 //! with the `hot-transitive` pass, which applies the same rules to
 //! every function *reachable* from a seed.
 

@@ -84,7 +84,7 @@ pub enum Resolution {
     /// Several workspace candidates; edges go to all of them.
     Ambiguous(Vec<usize>),
     /// Call to a closure bound (`let f = |…|`) or `fn` nested in the
-    /// same file: no [`FnDef`](crate::symbols::FnDef) node exists, but
+    /// same file: no `FnDef` node exists, but
     /// the target is lexically exact, so the site counts as precisely
     /// resolved rather than as guesswork.
     LocalClosure,

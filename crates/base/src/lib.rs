@@ -12,6 +12,8 @@
 //!   [`TruthValue`]s.
 //! * [`Budget`] / [`CancelToken`] — resource limits and the shared
 //!   cooperative-cancellation flag observed at every budget poll site.
+//! * [`ByteBudgetLru`] — the byte-budgeted LRU cache behind every
+//!   cross-request warm cache of the serving architecture.
 //! * [`InvariantViolation`] — the shared error type returned by the
 //!   `check_invariants` audits across the solver crates.
 //!
@@ -39,6 +41,7 @@
 
 mod assignment;
 mod budget;
+mod cache;
 pub mod check;
 mod lit;
 pub mod rng;
@@ -46,6 +49,7 @@ mod varset;
 
 pub use assignment::{Assignment, TruthValue};
 pub use budget::{Budget, CancelToken, Exhaustion};
+pub use cache::{ByteBudgetLru, CacheStatsSnapshot};
 pub use check::InvariantViolation;
 pub use lit::{Lit, Var};
 pub use rng::Rng;

@@ -68,6 +68,7 @@ pub mod refute;
 mod session;
 pub mod skolem;
 pub mod solver;
+mod warm;
 
 pub use config::{ConfigError, HqsConfigBuilder};
 pub use dqbf::Dqbf;
@@ -76,7 +77,9 @@ pub use outcome::Outcome;
 pub use refute::{extract_refutation, InstanceBinding, RefutationCertificate};
 pub use session::{Session, SessionBuilder};
 pub use skolem::{extract_skolem, SkolemCertificate, SkolemFunction};
+#[cfg(test)]
+pub(crate) use solver::HqsSolver;
 pub use solver::{
-    CertifiedOutcome, CertifyError, DqbfResult, ElimStrategy, HqsConfig, HqsSolver, HqsStats,
-    QbfBackend,
+    CertifiedOutcome, CertifyError, DqbfResult, ElimStrategy, HqsConfig, HqsStats, QbfBackend,
 };
+pub use warm::{canonical_formula_hash, WarmCache};

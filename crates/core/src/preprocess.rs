@@ -65,7 +65,10 @@ pub struct PreprocessStats {
 }
 
 /// Result of [`preprocess`].
-#[derive(Debug)]
+///
+/// `Clone` so the cross-request preprocessing cache
+/// ([`crate::WarmCache`]) can hand out copies of a stored result.
+#[derive(Clone, Debug)]
 pub enum PreprocessResult {
     /// The preprocessor already decided the formula.
     Decided {

@@ -4,9 +4,9 @@
 //! together anyway — a validated [`HqsConfig`], an optional
 //! [`Observer`] for metrics/tracing, and an optional [`CancelToken`]
 //! for cooperative teardown — behind one builder. The CLI, the engine
-//! (portfolio and batch), the fuzzer and the benchmarks all solve
-//! through it; the old [`HqsSolver`] entry points remain as deprecated
-//! wrappers.
+//! (portfolio and batch), the serve front end, the fuzzer and the
+//! benchmarks all solve through it; the engine struct underneath is
+//! not part of the public API.
 //!
 //! # Examples
 //!
@@ -75,6 +75,7 @@ pub struct SessionBuilder {
     config: HqsConfig,
     observer: Option<Arc<dyn Observer>>,
     cancel: Option<CancelToken>,
+    warm: Option<Arc<crate::WarmCache>>,
 }
 
 impl fmt::Debug for SessionBuilder {
@@ -83,6 +84,7 @@ impl fmt::Debug for SessionBuilder {
             .field("config", &self.config)
             .field("observer", &self.observer.is_some())
             .field("cancel", &self.cancel.is_some())
+            .field("warm", &self.warm.is_some())
             .finish()
     }
 }
@@ -112,6 +114,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a shared [`WarmCache`](crate::WarmCache): preprocessing
+    /// results and FRAIG-reduced cones computed by this session become
+    /// available to every other session holding the same cache, and vice
+    /// versa. Verdicts are unaffected — a cache hit replays exactly what
+    /// the cold computation would have produced.
+    pub fn warm_cache(mut self, warm: Arc<crate::WarmCache>) -> Self {
+        self.warm = Some(warm);
+        self
+    }
+
     /// Validates the configuration and produces the session.
     ///
     /// # Errors
@@ -129,6 +141,7 @@ impl SessionBuilder {
         };
         let mut solver = HqsSolver::with_config(config);
         solver.set_observer(obs.clone());
+        solver.set_warm_cache(self.warm);
         Ok(Session { solver, obs })
     }
 }
@@ -150,8 +163,17 @@ impl Session {
         self.solve(&Dqbf::from_file(file))
     }
 
-    /// Decides `dqbf` and ships a verified certificate with the verdict;
-    /// see [`HqsSolver::solve_certified`] for semantics and limits.
+    /// Decides `dqbf` and ships a machine-checkable certificate with
+    /// the verdict: Skolem function tables for SAT
+    /// ([`crate::skolem::extract_skolem`]), an expansion trace plus
+    /// DRAT proof for UNSAT ([`crate::refute::extract_refutation`]).
+    /// Both certificates are verified before being returned.
+    ///
+    /// Certificate construction expands the universal quantifiers, so
+    /// this entry point is limited to
+    /// [`MAX_EXPANSION_UNIVERSALS`](crate::expand::MAX_EXPANSION_UNIVERSALS)
+    /// universal variables ([`CertifyError::TooLarge`] otherwise); the
+    /// plain [`solve`](Session::solve) has no such limit.
     ///
     /// # Errors
     ///

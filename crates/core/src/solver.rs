@@ -7,7 +7,6 @@ use crate::elimset::minimal_elimination_set_observed;
 use crate::preprocess::{preprocess_full, PreprocessResult, PreprocessStats};
 use crate::Dqbf;
 use hqs_base::{Budget, Exhaustion, Var};
-use hqs_cnf::DqdimacsFile;
 use hqs_obs::{Metric, Obs, Phase};
 use hqs_qbf::{QbfResult, QbfSolver, QbfStats};
 use std::fmt;
@@ -36,7 +35,7 @@ impl DqbfResult {
 }
 
 /// A verdict bundled with its machine-checkable certificate, as returned
-/// by [`HqsSolver::solve_certified`].
+/// by [`Session::solve_certified`](crate::Session::solve_certified).
 #[derive(Clone, Debug)]
 pub enum CertifiedOutcome {
     /// Satisfied; the certificate holds explicit Skolem function tables
@@ -51,7 +50,8 @@ pub enum CertifiedOutcome {
     Limit(Exhaustion),
 }
 
-/// Why [`HqsSolver::solve_certified`] could not certify a verdict.
+/// Why [`Session::solve_certified`](crate::Session::solve_certified)
+/// could not certify a verdict.
 ///
 /// Apart from [`CertifyError::TooLarge`], every variant indicates an
 /// internal soundness bug: the solver's verdict and the independent
@@ -125,7 +125,8 @@ pub enum ElimStrategy {
     AllUniversals,
 }
 
-/// Configuration of [`HqsSolver`].
+/// Configuration of the solver, carried by every
+/// [`Session`](crate::Session).
 ///
 /// `Clone` but not `Copy`: the embedded [`Budget`] may carry a shared
 /// [`hqs_base::CancelToken`], and cloning a config deliberately shares
@@ -166,7 +167,8 @@ pub struct HqsConfig {
     pub paranoid: bool,
     /// Proof-log and independently check the solver's internal SAT calls
     /// (currently the up-front matrix check), and make
-    /// [`HqsSolver::solve_certified`] the intended entry point: verdicts
+    /// [`Session::solve_certified`](crate::Session::solve_certified)
+    /// the intended entry point: verdicts
     /// then ship a Skolem or refutation certificate. An UNSAT answer from
     /// a proof-logged call is only trusted if its DRAT proof passes the
     /// independent `hqs-proof` checker.
@@ -192,7 +194,8 @@ impl Default for HqsConfig {
     }
 }
 
-/// Counters describing one [`HqsSolver::solve`] call.
+/// Counters describing one [`Session::solve`](crate::Session::solve)
+/// call.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct HqsStats {
     /// Preprocessing counters.
@@ -224,31 +227,33 @@ pub struct HqsStats {
 /// The HQS DQBF solver.
 ///
 /// See the [crate docs](crate) for the algorithm. This is the internal
-/// engine behind [`Session`](crate::Session), which is the intended
-/// entry point — it adds config validation, observability and
-/// cancellation wiring. The direct `solve*` methods here remain as
-/// deprecated delegating wrappers.
+/// engine behind [`Session`](crate::Session), the only solve entry
+/// point — the session adds config validation, observability and
+/// cancellation wiring before delegating here.
 #[derive(Debug, Default)]
-pub struct HqsSolver {
+pub(crate) struct HqsSolver {
     config: HqsConfig,
     stats: HqsStats,
     obs: Obs,
+    warm: Option<std::sync::Arc<crate::WarmCache>>,
 }
 
 impl HqsSolver {
     /// A solver with the paper's default configuration.
+    #[cfg(test)]
     #[must_use]
-    pub fn new() -> Self {
+    pub(crate) fn new() -> Self {
         HqsSolver::default()
     }
 
     /// A solver with an explicit configuration.
     #[must_use]
-    pub fn with_config(config: HqsConfig) -> Self {
+    pub(crate) fn with_config(config: HqsConfig) -> Self {
         HqsSolver {
             config,
             stats: HqsStats::default(),
             obs: Obs::disabled(),
+            warm: None,
         }
     }
 
@@ -258,37 +263,27 @@ impl HqsSolver {
         self.obs = obs;
     }
 
+    /// Attaches a shared cross-request warm cache
+    /// ([`SessionBuilder::warm_cache`](crate::SessionBuilder::warm_cache)
+    /// wires this up). Preprocessing results and FRAIG-reduced cones are
+    /// then served from / stored into the cache.
+    pub(crate) fn set_warm_cache(&mut self, warm: Option<std::sync::Arc<crate::WarmCache>>) {
+        self.warm = warm;
+    }
+
     /// Statistics of the most recent solve.
     #[must_use]
-    pub fn stats(&self) -> HqsStats {
+    pub(crate) fn stats(&self) -> HqsStats {
         self.stats
     }
 
     /// The solver's configuration.
     #[must_use]
-    pub fn config(&self) -> &HqsConfig {
+    pub(crate) fn config(&self) -> &HqsConfig {
         &self.config
     }
 
-    /// Solves a parsed DQDIMACS file.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `hqs_core::Session::builder()` and `solve_file`"
-    )]
-    pub fn solve_file(&mut self, file: &DqdimacsFile) -> DqbfResult {
-        self.run(&Dqbf::from_file(file))
-    }
-
-    /// Decides `dqbf`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `hqs_core::Session::builder()` and `solve`"
-    )]
-    pub fn solve(&mut self, dqbf: &Dqbf) -> DqbfResult {
-        self.run(dqbf)
-    }
-
-    /// Decides `dqbf` (the non-deprecated engine entry point behind
+    /// Decides `dqbf` (the engine entry point behind
     /// [`Session::solve`](crate::Session::solve)).
     pub(crate) fn run(&mut self, dqbf: &Dqbf) -> DqbfResult {
         self.stats = HqsStats::default();
@@ -319,7 +314,7 @@ impl HqsSolver {
 
         let (reduced, gates) = if self.config.preprocess {
             let _span = self.obs.span(Phase::Preprocess);
-            match preprocess_full(dqbf, self.config.gate_detection, self.config.subsumption) {
+            match self.preprocess_cached(dqbf) {
                 PreprocessResult::Decided { value, stats } => {
                     self.stats.preprocess = stats;
                     self.stats.decided_by_preprocessing = true;
@@ -360,8 +355,32 @@ impl HqsSolver {
             )
         };
         state.aig.set_observer(self.obs.clone());
+        if let Some(warm) = &self.warm {
+            state.aig.set_fraig_cache(Some(warm.fraig().clone()));
+        }
         let _span = self.obs.span(Phase::ElimLoop);
         self.main_loop(state)
+    }
+
+    /// Runs [`preprocess_full`], consulting the warm cache first when one
+    /// is attached. Both `Decided` and `Reduced` results are cached — the
+    /// key covers the canonical formula hash plus the two preprocessing
+    /// flags, so a hit replays exactly what a cold run would compute.
+    fn preprocess_cached(&self, dqbf: &Dqbf) -> PreprocessResult {
+        let Some(warm) = &self.warm else {
+            return preprocess_full(dqbf, self.config.gate_detection, self.config.subsumption);
+        };
+        let key = crate::warm::PreprocessKey::new(
+            dqbf,
+            self.config.gate_detection,
+            self.config.subsumption,
+        );
+        if let Some(cached) = warm.lookup_preprocess(&key, &self.obs) {
+            return cached;
+        }
+        let result = preprocess_full(dqbf, self.config.gate_detection, self.config.subsumption);
+        warm.store_preprocess(key, &result, &self.obs);
+        result
     }
 
     /// Emits the preprocessing rule-hit counters.
@@ -412,32 +431,9 @@ impl HqsSolver {
         accepted
     }
 
-    /// Decides `dqbf` and ships a machine-checkable certificate with the
-    /// verdict: Skolem function tables for SAT
-    /// ([`crate::skolem::extract_skolem`]), an expansion trace plus DRAT
-    /// proof for UNSAT ([`crate::refute::extract_refutation`]). Both
-    /// certificates are verified before being returned.
-    ///
-    /// Certificate construction expands the universal quantifiers, so this
-    /// entry point is limited to
-    /// [`MAX_EXPANSION_UNIVERSALS`](crate::expand::MAX_EXPANSION_UNIVERSALS)
-    /// universal variables ([`CertifyError::TooLarge`] otherwise); the
-    /// plain [`solve`](HqsSolver::solve) has no such limit.
-    ///
-    /// # Errors
-    ///
-    /// Any [`CertifyError`] signals an internal soundness bug (or the size
-    /// limit), never a property of the formula.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `hqs_core::Session::builder()` and `solve_certified`"
-    )]
-    pub fn solve_certified(&mut self, dqbf: &Dqbf) -> Result<CertifiedOutcome, CertifyError> {
-        self.run_certified(dqbf)
-    }
-
-    /// Certified solve (the non-deprecated engine entry point behind
-    /// [`Session::solve_certified`](crate::Session::solve_certified)).
+    /// Certified solve (the engine entry point behind
+    /// [`Session::solve_certified`](crate::Session::solve_certified),
+    /// which documents the semantics and the expansion size limit).
     pub(crate) fn run_certified(&mut self, dqbf: &Dqbf) -> Result<CertifiedOutcome, CertifyError> {
         let mut bound = dqbf.clone();
         bound.bind_free_vars();

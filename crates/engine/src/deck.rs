@@ -43,7 +43,7 @@ pub const WIDE_DECK_SEED: u64 = 0x4851_5344_4543_4b31; // "HQSDECK1"
 ///
 /// Entry 0 is the solver's default configuration, so a deterministic
 /// portfolio on an instance every variant solves returns exactly what a
-/// plain `HqsSolver` run would.
+/// plain single-session run would.
 #[must_use]
 pub fn standard_deck() -> Vec<DeckEntry> {
     let base = HqsConfig::default;

@@ -28,11 +28,11 @@
 //!
 //! ```
 //! use hqs_pec::{families, Family, Scale};
-//! use hqs_core::{HqsSolver, DqbfResult};
+//! use hqs_core::{Outcome, Session};
 //!
 //! let instance = families::generate(Family::PecXor, 4, 2, 0, false);
-//! let mut solver = HqsSolver::new();
-//! assert_eq!(solver.solve(&instance.dqbf), DqbfResult::Sat);
+//! let mut session = Session::builder().build().expect("defaults are valid");
+//! assert_eq!(session.solve(&instance.dqbf), Outcome::Sat);
 //! ```
 
 #![forbid(unsafe_code)]

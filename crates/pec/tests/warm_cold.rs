@@ -1,0 +1,79 @@
+//! Warm-state soundness on the PEC smoke corpus: sessions solving
+//! through a shared [`WarmCache`] must return exactly the verdicts a
+//! cold session returns. A poisoned cache entry — a preprocessing
+//! result or FRAIG cone keyed to the wrong formula — would surface
+//! here as a verdict flip between the cold and warm runs.
+
+use std::sync::Arc;
+
+use hqs_core::{HqsConfig, Outcome, Session, WarmCache};
+use hqs_pec::{families, Family, PecInstance};
+
+/// The smallest instance of every family, faulted and fault-free, with
+/// one and two black boxes — small enough for debug-mode solving while
+/// still covering all seven encodings.
+fn corpus() -> Vec<PecInstance> {
+    let smallest = [
+        (Family::Adder, 2),
+        (Family::Bitcell, 3),
+        (Family::Lookahead, 4),
+        (Family::PecXor, 4),
+        (Family::Z4, 2),
+        (Family::Comp, 2),
+        (Family::C432, 3),
+    ];
+    let mut instances = Vec::new();
+    for (family, size) in smallest {
+        for (seed, fault) in [(0, false), (1, true)] {
+            let num_boxes = 1 + seed as u32;
+            instances.push(families::generate(family, size, num_boxes, seed, fault));
+        }
+    }
+    instances
+}
+
+#[test]
+fn warm_verdicts_match_cold_on_the_smoke_corpus() {
+    let config = HqsConfig {
+        // Exercise the FRAIG cone cache alongside the preprocessing
+        // cache (the default threshold of 0 leaves sweeping off).
+        fraig_threshold: 8,
+        ..HqsConfig::default()
+    };
+    let warm = Arc::new(WarmCache::new());
+    for instance in corpus() {
+        let mut cold = Session::builder()
+            .config(config.clone())
+            .build()
+            .expect("valid config");
+        let expected = cold.solve(&instance.dqbf);
+        assert!(
+            !matches!(expected, Outcome::Unknown(_)),
+            "{}: cold solve exhausted without a verdict",
+            instance.name
+        );
+        // Two warm passes: the first fills the shared cache, the second
+        // replays from it (identical canonical formula hash).
+        for pass in 0..2 {
+            let mut session = Session::builder()
+                .config(config.clone())
+                .warm_cache(Arc::clone(&warm))
+                .build()
+                .expect("valid config");
+            assert_eq!(
+                session.solve(&instance.dqbf),
+                expected,
+                "{} diverged from the cold verdict on warm pass {pass}",
+                instance.name
+            );
+        }
+    }
+    // The second warm passes replay identical formulas, so the run is
+    // only meaningful if the cache actually served hits.
+    let stats = warm.preprocess_stats();
+    assert!(
+        stats.hits > 0,
+        "second warm passes must hit the preprocess cache: {stats:?}"
+    );
+    assert!(stats.misses > 0, "first warm passes must miss: {stats:?}");
+}

@@ -505,6 +505,34 @@ impl Solver {
         self.solve_rounds(assumptions)
     }
 
+    /// Solves under assumptions as one query of a long-lived incremental
+    /// session — the MiniSat-lineage `solve_limited` idiom the serving
+    /// architecture is built on.
+    ///
+    /// Semantically identical to [`Solver::solve_with_assumptions`]; the
+    /// name marks the incremental contract, documented here once:
+    ///
+    /// * **Warm state.** Learned clauses, variable activities and saved
+    ///   phases survive the call, so a closely related follow-up query
+    ///   spends fewer conflicts than a cold solver on the same formula.
+    /// * **Mutation between queries.** [`Solver::add_clause`] may be
+    ///   called between queries (every query exits at decision level 0);
+    ///   previously learned clauses stay sound because adding clauses
+    ///   only strengthens the formula. To *retract* clauses later, guard
+    ///   them with a fresh selector literal and assume it here.
+    /// * **Assumption-scoped verdicts.** [`SolveResult::Unsat`] means
+    ///   "unsatisfiable *under these assumptions*"; the solver stays
+    ///   usable and [`Solver::failed_assumptions`] names a responsible
+    ///   subset of the assumptions.
+    /// * **Proofs and cancellation.** An attached [`ProofLogger`] keeps
+    ///   accumulating DRAT steps across queries (the proof stream covers
+    ///   the conjunction of every clause ever added), and an attached
+    ///   [`CancelToken`] is polled inside each query exactly as in a
+    ///   one-shot solve.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_with_assumptions(assumptions)
+    }
+
     /// The CDCL run itself; [`Solver::solve_with_assumptions`] counts a
     /// call around it, [`Solver::solve_interruptible`] counts one call
     /// around *all* its conflict-bounded rounds.

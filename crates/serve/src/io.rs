@@ -1,0 +1,175 @@
+//! Transports: the stdio and Unix-socket front ends of [`Server`].
+//!
+//! Both speak the same line protocol ([`crate::proto`]); the transport
+//! only owns connection plumbing. Responses can arrive out of request
+//! order (workers race), so clients must correlate by `id`.
+//!
+//! There is no signal handling here (the crate is `std`-only, and a
+//! portable SIGTERM hook is not): graceful drain is reached through
+//! `{"cmd":"shutdown"}` or — on stdio — closing the input. A killed
+//! process loses only in-flight answers; the caches are process-local
+//! by design.
+
+use crate::server::{drain_summary, Control, ResponseSink, ServeOptions, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Locks a mutex, recovering from poisoning (output streams hold no
+/// invariants a panic could tear).
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Serves one client over stdin/stdout until EOF or a shutdown
+/// request; returns the process exit code (0 on a clean drain).
+///
+/// One response line per request, flushed immediately; diagnostics go
+/// to stderr as `c`-prefixed comment lines so stdout stays pure JSONL.
+#[must_use]
+pub fn run_stdio(opts: ServeOptions) -> i32 {
+    let server = Server::start(opts, None);
+    let stdout = Arc::new(Mutex::new(std::io::stdout()));
+    let sink: ResponseSink = Arc::new(move |line: &str| {
+        let mut out = lock(&stdout);
+        // A closed pipe must not take the worker down; the job already
+        // completed and warmed the caches.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    });
+    let stdin = std::io::stdin();
+    let mut requested: Option<(Option<String>, bool)> = None;
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else {
+            break;
+        };
+        match server.handle_line(&line, &sink) {
+            Control::Continue => {}
+            Control::Shutdown { id, hard } => {
+                requested = Some((id, hard));
+                break;
+            }
+        }
+    }
+    let explicit = requested.is_some();
+    let (id, hard) = requested.unwrap_or((None, false));
+    server.shutdown(hard);
+    if explicit {
+        sink(&Server::shutdown_ack(id.as_deref(), hard));
+    }
+    eprintln!("c serve: drained; {}", drain_summary(&server.stats()));
+    0
+}
+
+/// Serves concurrent clients over a Unix domain socket at `path` until
+/// some client sends `{"cmd":"shutdown"}`; returns the process exit
+/// code.
+///
+/// A stale socket file from a previous run is removed before binding.
+/// On shutdown the server drains, acknowledges to the requesting
+/// client, closes every connection and removes the socket file.
+#[must_use]
+pub fn run_socket(path: &str, opts: ServeOptions) -> i32 {
+    if std::path::Path::new(path).exists() {
+        let _ = std::fs::remove_file(path);
+    }
+    let listener = match UnixListener::bind(path) {
+        Ok(listener) => listener,
+        Err(err) => {
+            eprintln!("error: cannot bind {path}: {err}");
+            return 1;
+        }
+    };
+    if let Err(err) = listener.set_nonblocking(true) {
+        eprintln!("error: cannot configure {path}: {err}");
+        return 1;
+    }
+    let server = Arc::new(Server::start(opts, None));
+    // Set once by the connection that carried the shutdown request:
+    // (id, hard, that client's sink for the acknowledgement).
+    type ShutdownRequest = (Option<String>, bool, ResponseSink);
+    let pending: Arc<Mutex<Option<ShutdownRequest>>> = Arc::new(Mutex::new(None));
+    let stop = Arc::new(AtomicBool::new(false));
+    let streams: Arc<Mutex<Vec<UnixStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handlers = Vec::new();
+
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                if let Ok(clone) = stream.try_clone() {
+                    lock(&streams).push(clone);
+                }
+                let server = Arc::clone(&server);
+                let pending = Arc::clone(&pending);
+                let stop = Arc::clone(&stop);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(&server, stream, &pending, &stop);
+                }));
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(err) => {
+                eprintln!("error: accept on {path} failed: {err}");
+                break;
+            }
+        }
+    }
+
+    let (id, hard, ack_sink) = match lock(&pending).take() {
+        Some((id, hard, sink)) => (id, hard, Some(sink)),
+        None => (None, false, None),
+    };
+    server.shutdown(hard);
+    if let Some(sink) = ack_sink {
+        sink(&Server::shutdown_ack(id.as_deref(), hard));
+    }
+    // Unblock every reader still parked on its connection, then reap.
+    for stream in lock(&streams).drain(..) {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    let _ = std::fs::remove_file(path);
+    eprintln!("c serve: drained; {}", drain_summary(&server.stats()));
+    0
+}
+
+/// Reads one client's request lines until EOF, a read error or a
+/// shutdown request (which is recorded for the accept loop to act on).
+fn handle_connection(
+    server: &Server,
+    stream: UnixStream,
+    pending: &Mutex<Option<(Option<String>, bool, ResponseSink)>>,
+    stop: &AtomicBool,
+) {
+    let writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(writer));
+    let sink: ResponseSink = Arc::new(move |line: &str| {
+        // Disconnected clients are tolerated: the job still completes
+        // and its work stays in the warm caches.
+        let _ = writeln!(lock(&writer), "{line}");
+    });
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else {
+            break;
+        };
+        match server.handle_line(&line, &sink) {
+            Control::Continue => {}
+            Control::Shutdown { id, hard } => {
+                *lock(pending) = Some((id, hard, Arc::clone(&sink)));
+                stop.store(true, Ordering::Release);
+                return;
+            }
+        }
+    }
+}

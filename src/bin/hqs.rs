@@ -3,6 +3,10 @@
 //! ```text
 //! hqs [OPTIONS] <file.dqdimacs>          solve one instance
 //! hqs batch [OPTIONS] <dir>              solve a corpus of .dqdimacs files
+//! hqs serve [--stdio | --socket PATH]    long-lived solver service (JSONL
+//!                                        requests in, JSONL responses out,
+//!                                        warm caches shared across requests;
+//!                                        see `hqs serve --help`)
 //!
 //! OPTIONS:
 //!   --solver hqs|idq|expansion   decision procedure (default: hqs)
@@ -253,6 +257,10 @@ fn main() -> ExitCode {
     if raw.peek().map(String::as_str) == Some("batch") {
         raw.next();
         return run_batch_command(raw);
+    }
+    if raw.peek().map(String::as_str) == Some("serve") {
+        raw.next();
+        return run_serve_command(raw);
     }
     let options = parse_options(raw);
     let Some(path) = options.file.clone() else {
@@ -531,6 +539,72 @@ fn run_portfolio(
             Err(ExitCode::FAILURE)
         }
     }
+}
+
+/// The `hqs serve` subcommand: a long-lived solver service speaking the
+/// batch JSONL record schema over stdio (single client) or a Unix
+/// domain socket (concurrent clients), with preprocessing results,
+/// FRAIG-reduced cones and verdicts cached across requests.
+fn run_serve_command(args: impl Iterator<Item = String>) -> ExitCode {
+    fn serve_usage() -> ! {
+        eprintln!(
+            "usage: hqs serve [--stdio | --socket PATH] [--jobs N] [--queue N] \
+             [--timeout S] [--node-limit N] [--certify] [solver flags]\n\
+             \x20      requests: one JSON object per line —\n\
+             \x20        {{\"id\":\"r1\",\"file\":\"inst.dqdimacs\"}}\n\
+             \x20        {{\"id\":\"r2\",\"dqdimacs\":\"p cnf 1 1\\n1 0\\n\",\
+             \"timeout_ms\":500}}\n\
+             \x20        {{\"cmd\":\"stats\"}} | {{\"cmd\":\"shutdown\"}}"
+        );
+        std::process::exit(2);
+    }
+    let mut socket: Option<String> = None;
+    let mut stdio = false;
+    let mut opts = hqs::serve::ServeOptions {
+        workers: default_jobs(),
+        ..hqs::serve::ServeOptions::default()
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if apply_config_flag(&arg, &mut args, &mut opts.config) {
+            continue;
+        }
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--socket" => match args.next() {
+                Some(path) => socket = Some(path),
+                None => serve_usage(),
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.workers = n,
+                _ => serve_usage(),
+            },
+            "--queue" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.queue_capacity = n,
+                None => serve_usage(),
+            },
+            "--timeout" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(secs) => opts.default_timeout = Some(Duration::from_secs(secs)),
+                None => serve_usage(),
+            },
+            "--node-limit" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.default_node_limit = Some(n),
+                None => serve_usage(),
+            },
+            "--certify" => opts.certify = true,
+            "--help" | "-h" => serve_usage(),
+            _ => serve_usage(),
+        }
+    }
+    if stdio == socket.is_some() {
+        // Exactly one transport must be chosen.
+        serve_usage();
+    }
+    let code = match socket {
+        Some(path) => hqs::serve::run_socket(&path, opts),
+        None => hqs::serve::run_stdio(opts),
+    };
+    ExitCode::from(u8::try_from(code).unwrap_or(1))
 }
 
 /// The `hqs batch <dir>` subcommand: solve every `.dqdimacs` file in a

@@ -51,6 +51,7 @@
 //! | [`idq`] | `hqs-idq` | instantiation-based baseline (iDQ role) |
 //! | [`pec`] | `hqs-pec` | PEC benchmark circuits and encoding |
 //! | [`engine`] | `hqs-engine` | parallel portfolio racing + batch scheduler |
+//! | [`serve`] | `hqs-serve` | long-lived solver service with warm-state reuse |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,10 +68,11 @@ pub use hqs_pec as pec;
 pub use hqs_proof as proof;
 pub use hqs_qbf as qbf;
 pub use hqs_sat as sat;
+pub use hqs_serve as serve;
 
 pub use hqs_core::{
     CertifiedOutcome, CertifyError, ConfigError, Dqbf, DqbfResult, ElimStrategy, HqsConfig,
-    HqsConfigBuilder, HqsSolver, HqsStats, Outcome, QbfBackend, RefutationCertificate, Session,
+    HqsConfigBuilder, HqsStats, Outcome, QbfBackend, RefutationCertificate, Session,
     SessionBuilder, SkolemCertificate,
 };
 pub use hqs_idq::InstantiationSolver;
