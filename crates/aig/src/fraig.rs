@@ -164,14 +164,17 @@ impl Aig {
             return false;
         }
         let (cnf, out) = self.to_cnf(miter, first_aux);
-        let mut solver = hqs_sat::Solver::new();
-        solver.set_observer(self.obs.clone());
+        let config = hqs_sat::SatConfig::builder()
+            .conflict_budget(Some(conflict_budget))
+            .build()
+            .expect("FRAIG SAT configuration is valid");
+        let mut solver = hqs_sat::Solver::builder()
+            .config(config)
+            .observer(self.obs.clone())
+            .build()
+            .expect("FRAIG SAT configuration is valid");
         solver.add_cnf(&cnf);
-        solver.set_conflict_budget(Some(conflict_budget));
-        matches!(
-            solver.solve_with_assumptions(&[out]),
-            hqs_sat::SolveResult::Unsat
-        )
+        matches!(solver.solve(&[out]), hqs_sat::SolveResult::Unsat)
     }
 }
 

@@ -10,9 +10,9 @@
 //! loop head back to the loop head (a back edge or a `continue`) — that
 //! crosses no poll-shaped call. Poll shapes: `is_cancelled`,
 //! `stop_requested`, `cancelled`, `cancel_requested`, `should_stop`,
-//! `.check(…)` (the `Budget` poll), `solve_interruptible`,
-//! `solve_budgeted`, or a call to another declared entry function
-//! (recursion polls at its own entry).
+//! `.check(…)` (the `Budget` poll), `solve_budgeted`, or a call to
+//! another declared entry function (recursion polls at its own entry;
+//! the budget-polling `hqs-sat::Solver::solve` is itself an entry).
 //!
 //! This is strictly stronger than the old "loop body contains a poll
 //! token" span check: a fast-path `if cheap { continue; }` branch that
@@ -44,7 +44,6 @@ const POLLS: &[&str] = &[
     "cancelled",
     "cancel_requested",
     "should_stop",
-    "solve_interruptible",
     "solve_budgeted",
 ];
 

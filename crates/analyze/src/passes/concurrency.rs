@@ -40,11 +40,8 @@ const ATOMIC_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "S
 /// Calls that must never run under a held shard guard.
 const SOLVER_CALLS: &[&str] = &[
     "solve",
-    "solve_with_assumptions",
-    "solve_interruptible",
     "solve_certified",
     "solve_budgeted",
-    "solve_rounds",
     "main_loop",
     "solve_inner",
 ];

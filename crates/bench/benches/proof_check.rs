@@ -32,27 +32,30 @@ fn pigeonhole(pigeons: i64, holes: i64) -> Cnf {
 /// Solves `cnf` with proof logging and returns the emitted refutation.
 fn refute(cnf: &Cnf) -> Proof {
     let buffer = ProofBuffer::new();
-    let mut solver = Solver::new();
-    solver.set_proof_logger(Box::new(TextDratLogger::new(buffer.clone())));
+    let mut solver = Solver::builder()
+        .proof_logger(Box::new(TextDratLogger::new(buffer.clone())))
+        .build()
+        .expect("valid");
     solver.ensure_vars(cnf.num_vars());
     for clause in cnf.clauses() {
         solver.add_clause(clause.lits().iter().copied());
     }
-    assert_eq!(solver.solve(), SolveResult::Unsat);
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
     let text = String::from_utf8(buffer.contents()).expect("utf-8 proof");
     parse_text_drat(&text).expect("well-formed proof")
 }
 
 fn solve_logged(cnf: &Cnf, logged: bool) -> SolveResult {
-    let mut solver = Solver::new();
+    let mut builder = Solver::builder();
     if logged {
-        solver.set_proof_logger(Box::new(TextDratLogger::new(ProofBuffer::new())));
+        builder = builder.proof_logger(Box::new(TextDratLogger::new(ProofBuffer::new())));
     }
+    let mut solver = builder.build().expect("valid");
     solver.ensure_vars(cnf.num_vars());
     for clause in cnf.clauses() {
         solver.add_clause(clause.lits().iter().copied());
     }
-    solver.solve()
+    solver.solve(&[])
 }
 
 fn bench_emission(c: &mut Criterion) {

@@ -49,7 +49,7 @@ fn solve(clauses: &[Vec<i64>]) -> hqs_sat::SolveResult {
     for clause in clauses {
         solver.add_clause(clause.iter().map(|&v| Lit::from_dimacs(v).unwrap()));
     }
-    solver.solve()
+    solver.solve(&[])
 }
 
 fn bench_cdcl(c: &mut Criterion) {

@@ -96,7 +96,7 @@ pub fn is_satisfiable_by_expansion(dqbf: &Dqbf) -> bool {
     }
     let mut solver = hqs_sat::Solver::new();
     solver.add_cnf(&cnf);
-    solver.solve() == hqs_sat::SolveResult::Sat
+    solver.solve(&[]) == hqs_sat::SolveResult::Sat
 }
 
 #[cfg(test)]

@@ -105,11 +105,13 @@ pub fn extract_refutation(dqbf: &Dqbf) -> Option<RefutationCertificate> {
     bound.bind_free_vars();
     let (cnf, instances) = expand_to_cnf(&bound);
     let buffer = ProofBuffer::new();
-    let mut solver = Solver::new();
-    solver.set_proof_logger(Box::new(TextDratLogger::new(buffer.clone())));
+    let mut solver = Solver::builder()
+        .proof_logger(Box::new(TextDratLogger::new(buffer.clone())))
+        .build()
+        .expect("default SAT configuration is valid");
     solver.ensure_vars(cnf.num_vars());
     solver.add_cnf(&cnf);
-    if solver.solve() != SolveResult::Unsat || solver.proof_had_error() {
+    if solver.solve(&[]) != SolveResult::Unsat || solver.proof_had_error() {
         return None;
     }
     let drat = String::from_utf8(buffer.contents()).ok()?;

@@ -116,7 +116,7 @@ impl SkolemCertificate {
         let mut solver = Solver::new();
         solver.ensure_vars(cnf.num_vars());
         solver.add_cnf(&cnf);
-        solver.solve() == SolveResult::Unsat
+        solver.solve(&[]) == SolveResult::Unsat
     }
 
     /// Like [`verify`](SkolemCertificate::verify), but the verifying SAT
@@ -130,11 +130,13 @@ impl SkolemCertificate {
             Err(trivial) => return trivial,
         };
         let buffer = ProofBuffer::new();
-        let mut solver = Solver::new();
-        solver.set_proof_logger(Box::new(TextDratLogger::new(buffer.clone())));
+        let mut solver = Solver::builder()
+            .proof_logger(Box::new(TextDratLogger::new(buffer.clone())))
+            .build()
+            .expect("default SAT configuration is valid");
         solver.ensure_vars(cnf.num_vars());
         solver.add_cnf(&cnf);
-        if solver.solve() != SolveResult::Unsat || solver.proof_had_error() {
+        if solver.solve(&[]) != SolveResult::Unsat || solver.proof_had_error() {
             return false;
         }
         String::from_utf8(buffer.contents())
@@ -165,7 +167,7 @@ pub fn extract_skolem(dqbf: &Dqbf) -> Option<SkolemCertificate> {
     let mut solver = Solver::new();
     solver.ensure_vars(cnf.num_vars());
     solver.add_cnf(&cnf);
-    if solver.solve() != SolveResult::Sat {
+    if solver.solve(&[]) != SolveResult::Sat {
         return None;
     }
     let mut functions = Vec::with_capacity(bound.existentials().len());

@@ -293,12 +293,14 @@ impl HqsSolver {
             let matrix_unsat = if self.config.certify {
                 self.certified_matrix_unsat(dqbf.matrix())
             } else {
-                let mut sat = hqs_sat::Solver::new();
-                sat.set_observer(self.obs.clone());
-                sat.set_cancel_token(self.config.budget.cancel_token().cloned());
-                sat.add_cnf(dqbf.matrix());
                 let budget = self.config.budget.clone();
-                match sat.solve_interruptible(&[], || budget.stop_requested()) {
+                let mut sat = hqs_sat::Solver::builder()
+                    .observer(self.obs.clone())
+                    .budget(budget.clone())
+                    .build()
+                    .expect("default SAT configuration is valid");
+                sat.add_cnf(dqbf.matrix());
+                match sat.solve(&[]) {
                     hqs_sat::SolveResult::Unsat => true,
                     hqs_sat::SolveResult::Sat => false,
                     hqs_sat::SolveResult::Unknown => {
@@ -406,15 +408,14 @@ impl HqsSolver {
     /// only believed if the proof survives the independent checker.
     fn certified_matrix_unsat(&mut self, matrix: &hqs_cnf::Cnf) -> bool {
         let buffer = hqs_sat::ProofBuffer::new();
-        let mut sat = hqs_sat::Solver::new();
-        sat.set_proof_logger(Box::new(hqs_sat::TextDratLogger::new(buffer.clone())));
-        sat.set_cancel_token(self.config.budget.cancel_token().cloned());
+        let mut sat = hqs_sat::Solver::builder()
+            .proof_logger(Box::new(hqs_sat::TextDratLogger::new(buffer.clone())))
+            .budget(self.config.budget.clone())
+            .build()
+            .expect("default SAT configuration is valid");
         sat.ensure_vars(matrix.num_vars());
         sat.add_cnf(matrix);
-        let budget = self.config.budget.clone();
-        if sat.solve_interruptible(&[], || budget.stop_requested()) != hqs_sat::SolveResult::Unsat
-            || sat.proof_had_error()
-        {
+        if sat.solve(&[]) != hqs_sat::SolveResult::Unsat || sat.proof_had_error() {
             return false;
         }
         let contents = buffer.contents();

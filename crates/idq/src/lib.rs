@@ -107,8 +107,10 @@ impl InstantiationSolver {
         let universals: Vec<Var> = dqbf.universals().to_vec();
 
         // Abstraction state.
-        let mut abstraction = Solver::new();
-        abstraction.set_cancel_token(self.budget.cancel_token().cloned());
+        let mut abstraction = Solver::builder()
+            .budget(self.budget.clone())
+            .build()
+            .expect("default SAT configuration is valid");
         let mut instances: HashMap<(Var, RestrictionKey), Var> = HashMap::new();
         let mut seed = vec![false; universals.len()];
         loop {
@@ -120,11 +122,10 @@ impl InstantiationSolver {
                 return DqbfResult::Limit(e);
             }
             self.stats.sat_calls += 1;
-            let budget = self.budget.clone();
-            match abstraction.solve_interruptible(&[], || budget.stop_requested()) {
+            match abstraction.solve(&[]) {
                 SolveResult::Unsat => return DqbfResult::Unsat,
                 SolveResult::Sat => {}
-                SolveResult::Unknown => return DqbfResult::Limit(budget.stop_reason()),
+                SolveResult::Unknown => return DqbfResult::Limit(self.budget.stop_reason()),
             }
             let model = abstraction.model();
 
@@ -194,7 +195,10 @@ impl InstantiationSolver {
         instances: &HashMap<(Var, RestrictionKey), Var>,
         model: &hqs_base::Assignment,
     ) -> Result<Option<Vec<bool>>, hqs_base::Exhaustion> {
-        let mut query = Solver::new();
+        let mut query = Solver::builder()
+            .budget(self.budget.clone())
+            .build()
+            .expect("default SAT configuration is valid");
         // Variable space: reuse the DQBF's own variables; selectors
         // appended after.
         query.ensure_vars(dqbf.num_vars());
@@ -226,9 +230,7 @@ impl InstantiationSolver {
             query.add_clause(clause);
         }
 
-        query.set_cancel_token(self.budget.cancel_token().cloned());
-        let budget = self.budget.clone();
-        match query.solve_interruptible(&[], || budget.stop_requested()) {
+        match query.solve(&[]) {
             SolveResult::Sat => Ok(Some(
                 universals
                     .iter()
@@ -236,7 +238,7 @@ impl InstantiationSolver {
                     .collect(),
             )),
             SolveResult::Unsat => Ok(None),
-            SolveResult::Unknown => Err(budget.stop_reason()),
+            SolveResult::Unknown => Err(self.budget.stop_reason()),
         }
     }
 }

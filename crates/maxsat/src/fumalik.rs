@@ -93,7 +93,7 @@ impl FuMalikSolver {
         let mut cost = 0usize;
         loop {
             let assumptions: Vec<Lit> = self.softs.iter().map(|s| !s.blocker).collect();
-            match self.sat.solve_with_assumptions(&assumptions) {
+            match self.sat.solve(&assumptions) {
                 SolveResult::Sat => {
                     let model = self.sat.model();
                     return MaxSatResult::Optimum { cost, model };

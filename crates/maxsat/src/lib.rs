@@ -83,8 +83,23 @@ impl MaxSatSolver {
     /// Attaches an observability handle: each [`solve`](MaxSatSolver::solve)
     /// then counts itself and its soft-clause load, and the inner CDCL
     /// solver reports its own conflict/propagation counters.
+    ///
+    /// Call this before adding variables or clauses — the inner CDCL
+    /// solver is rebuilt with the observer installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variables have already been allocated.
     pub fn set_observer(&mut self, obs: Obs) {
-        self.sat.set_observer(obs.clone());
+        assert_eq!(
+            self.sat.num_vars(),
+            0,
+            "attach the observer before adding variables or clauses"
+        );
+        self.sat = Solver::builder()
+            .observer(obs.clone())
+            .build()
+            .expect("default SAT configuration is valid");
         self.obs = obs;
     }
 
@@ -153,7 +168,7 @@ impl MaxSatSolver {
         self.obs.add(Metric::MaxSatCalls, 1);
         self.obs
             .add(Metric::MaxSatSoftClauses, self.relaxers.len() as u64);
-        match self.sat.solve() {
+        match self.sat.solve(&[]) {
             SolveResult::Unsat => return MaxSatResult::Unsatisfiable,
             SolveResult::Sat => {}
             SolveResult::Unknown => unreachable!("no budget set on MaxSAT's SAT backend"),
@@ -170,7 +185,7 @@ impl MaxSatSolver {
         while best_cost > 0 {
             // Forbid `best_cost` or more violated softs: ¬output[best_cost].
             let bound_lit = !totalizer.at_least(best_cost);
-            match self.sat.solve_with_assumptions(&[bound_lit]) {
+            match self.sat.solve(&[bound_lit]) {
                 SolveResult::Sat => {
                     best_model = self.sat.model();
                     let cost = self.current_cost(&best_model);

@@ -122,7 +122,7 @@ mod tests {
                     SolveResult::Unsat
                 };
                 assert_eq!(
-                    solver.solve_with_assumptions(&assumptions),
+                    solver.solve(&assumptions),
                     expected,
                     "bound {bound}, pattern {pattern:05b}"
                 );
@@ -138,10 +138,9 @@ mod tests {
         let inputs = [Lit::negative(a), Lit::negative(b)];
         let tot = Totalizer::encode(&mut solver, &inputs);
         // Forbid 2 false: at most one of a, b may be false.
-        let result =
-            solver.solve_with_assumptions(&[!tot.at_least(2), Lit::negative(a), Lit::negative(b)]);
+        let result = solver.solve(&[!tot.at_least(2), Lit::negative(a), Lit::negative(b)]);
         assert_eq!(result, SolveResult::Unsat);
-        let result = solver.solve_with_assumptions(&[!tot.at_least(2), Lit::negative(a)]);
+        let result = solver.solve(&[!tot.at_least(2), Lit::negative(a)]);
         assert_eq!(result, SolveResult::Sat);
         assert_eq!(solver.model_value(b), Some(true));
     }
@@ -153,10 +152,7 @@ mod tests {
         let tot = Totalizer::encode(&mut solver, &[a]);
         assert_eq!(tot.len(), 1);
         assert_eq!(tot.at_least(1), a);
-        assert_eq!(
-            solver.solve_with_assumptions(&[!tot.at_least(1), a]),
-            SolveResult::Unsat
-        );
+        assert_eq!(solver.solve(&[!tot.at_least(1), a]), SolveResult::Unsat);
     }
 
     #[test]

@@ -68,6 +68,19 @@ metrics! {
     (SatPropagations, "sat_propagations", Counter, "CDCL unit propagations."),
     (SatDecisions, "sat_decisions", Counter, "CDCL decisions."),
     (SatRestarts, "sat_restarts", Counter, "CDCL restarts."),
+    (SatRestartSwitches, "sat_restart_switches", Counter,
+        "Hybrid restart EMA↔Luby direction changes."),
+    (SatChronoBacktracks, "sat_chrono_backtracks", Counter,
+        "Conflicts resolved by chronological (one-level) backtracking."),
+    (SatArenaGcs, "sat_arena_gcs", Counter, "Clause-arena garbage collections."),
+    (SatArenaReclaimedWords, "sat_arena_reclaimed_words", Counter,
+        "Arena words reclaimed by garbage collection."),
+    (SatCoreClausesPeak, "sat_core_clauses_peak", Gauge,
+        "Largest core (glue) learnt-clause tier observed."),
+    (SatTier2ClausesPeak, "sat_tier2_clauses_peak", Gauge,
+        "Largest tier2 learnt-clause tier observed."),
+    (SatLocalClausesPeak, "sat_local_clauses_peak", Gauge,
+        "Largest local learnt-clause tier observed."),
     // MaxSAT elimination-set selection.
     (MaxSatCalls, "maxsat_calls", Counter, "Partial-MaxSAT optimisations solved."),
     (MaxSatSoftClauses, "maxsat_soft_clauses", Counter, "Soft clauses across all MaxSAT calls."),

@@ -253,16 +253,17 @@ impl QbfSolver {
             .max()
             .unwrap_or(0);
         let (cnf, out) = aig.to_cnf(root, first_aux);
-        let mut solver = hqs_sat::Solver::new();
-        solver.set_observer(self.obs.clone());
-        solver.set_cancel_token(self.budget.cancel_token().cloned());
+        let mut solver = hqs_sat::Solver::builder()
+            .observer(self.obs.clone())
+            .budget(self.budget.clone())
+            .build()
+            .expect("default SAT configuration is valid");
         solver.add_cnf(&cnf);
         solver.add_clause([out]);
-        let budget = self.budget.clone();
-        match solver.solve_interruptible(&[], || budget.stop_requested()) {
+        match solver.solve(&[]) {
             hqs_sat::SolveResult::Sat => QbfResult::Sat,
             hqs_sat::SolveResult::Unsat => QbfResult::Unsat,
-            hqs_sat::SolveResult::Unknown => QbfResult::Limit(budget.stop_reason()),
+            hqs_sat::SolveResult::Unknown => QbfResult::Limit(self.budget.stop_reason()),
         }
     }
 

@@ -1,0 +1,321 @@
+//! The clause arena: one contiguous `Vec<u32>` holding every clause.
+//!
+//! Each clause is a 3-word header followed by its literal codes:
+//!
+//! ```text
+//!  word 0   len << 5 | tier << 3 | used << 2 | deleted << 1 | learnt
+//!  word 1   f32 activity bits
+//!  word 2   LBD at learn time (0 for problem clauses)
+//!  word 3…  literal codes (Lit::code), len of them
+//! ```
+//!
+//! A [`ClauseRef`] is the word offset of the header, so dereferencing a
+//! clause is one add instead of the double indirection of a
+//! `Vec<ClauseData>` of heap-allocated literal vectors — the propagation
+//! loop touches one contiguous cache line per clause. Deleting a clause
+//! only sets the `deleted` bit (watch lists drop stale entries lazily);
+//! [`ClauseArena::collect_garbage`] compacts the arena once the wasted
+//! share grows, returning an offset remap the solver applies to watch
+//! lists, reason references and tier lists.
+
+use hqs_base::Lit;
+
+/// Word offset of a clause header inside the arena.
+pub(crate) type ClauseRef = u32;
+
+/// Sentinel for "no reason clause" in the per-variable reason array.
+pub(crate) const NO_REASON: ClauseRef = ClauseRef::MAX;
+
+/// Words of header before the literals of each clause.
+pub(crate) const HEADER_WORDS: usize = 3;
+
+const FLAG_LEARNT: u32 = 1;
+const FLAG_DELETED: u32 = 1 << 1;
+const FLAG_USED: u32 = 1 << 2;
+const TIER_SHIFT: u32 = 3;
+const TIER_MASK: u32 = 0b11 << TIER_SHIFT;
+const LEN_SHIFT: u32 = 5;
+
+/// Learnt-clause quality tier (Chanseok Oh's three-tier scheme).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub(crate) enum Tier {
+    /// Glue clauses (LBD ≤ core cutoff): kept forever.
+    Core = 0,
+    /// Mid-quality clauses: demoted to local when unused for a sweep.
+    Tier2 = 1,
+    /// Everything else: candidates for deletion at every reduction.
+    Local = 2,
+}
+
+impl Tier {
+    fn from_bits(bits: u32) -> Tier {
+        match bits {
+            0 => Tier::Core,
+            1 => Tier::Tier2,
+            _ => Tier::Local,
+        }
+    }
+}
+
+/// The contiguous clause store. See the module docs for the layout.
+pub(crate) struct ClauseArena {
+    /// Raw storage; `pub(crate)` so the propagation and analysis hot
+    /// loops index it directly under split borrows.
+    pub(crate) words: Vec<u32>,
+    /// Words occupied by deleted clauses (headers included).
+    wasted: usize,
+}
+
+impl ClauseArena {
+    pub(crate) fn new() -> Self {
+        ClauseArena {
+            words: Vec::new(),
+            wasted: 0,
+        }
+    }
+
+    /// Appends a clause and returns its reference.
+    pub(crate) fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        let cref = self.words.len() as u32;
+        let flags = ((lits.len() as u32) << LEN_SHIFT)
+            | ((Tier::Local as u32) << TIER_SHIFT)
+            | (u32::from(learnt) * FLAG_LEARNT);
+        self.words.reserve(HEADER_WORDS + lits.len());
+        self.words.push(flags);
+        self.words.push(0.0f32.to_bits());
+        self.words.push(0);
+        self.words.extend(lits.iter().map(|l| l.code()));
+        cref
+    }
+
+    #[inline]
+    pub(crate) fn len(&self, c: ClauseRef) -> usize {
+        // analyze::allow(panic): a ClauseRef is an in-bounds header offset by construction
+        (self.words[c as usize] >> LEN_SHIFT) as usize
+    }
+
+    /// Index of the first literal word of `c`.
+    #[inline]
+    pub(crate) fn lits_start(c: ClauseRef) -> usize {
+        c as usize + HEADER_WORDS
+    }
+
+    /// The literal codes of `c` as a slice.
+    #[inline]
+    pub(crate) fn lit_codes(&self, c: ClauseRef) -> &[u32] {
+        let start = Self::lits_start(c);
+        &self.words[start..start + self.len(c)]
+    }
+
+    #[inline]
+    pub(crate) fn lit(&self, c: ClauseRef, k: usize) -> Lit {
+        Lit::from_code(self.words[Self::lits_start(c) + k])
+    }
+
+    /// The literals of `c`, collected (for proof logging and tests).
+    pub(crate) fn lits_vec(&self, c: ClauseRef) -> Vec<Lit> {
+        self.lit_codes(c)
+            .iter()
+            .map(|&w| Lit::from_code(w))
+            .collect()
+    }
+
+    #[inline]
+    pub(crate) fn swap_lits(&mut self, c: ClauseRef, i: usize, j: usize) {
+        let start = Self::lits_start(c);
+        self.words.swap(start + i, start + j);
+    }
+
+    #[inline]
+    pub(crate) fn is_learnt(&self, c: ClauseRef) -> bool {
+        // analyze::allow(panic): a ClauseRef is an in-bounds header offset by construction
+        self.words[c as usize] & FLAG_LEARNT != 0
+    }
+
+    #[inline]
+    pub(crate) fn is_deleted(&self, c: ClauseRef) -> bool {
+        // analyze::allow(panic): a ClauseRef is an in-bounds header offset by construction
+        self.words[c as usize] & FLAG_DELETED != 0
+    }
+
+    /// Marks `c` deleted; its words count as wasted until the next GC.
+    pub(crate) fn mark_deleted(&mut self, c: ClauseRef) {
+        debug_assert!(!self.is_deleted(c));
+        self.words[c as usize] |= FLAG_DELETED;
+        self.wasted += HEADER_WORDS + self.len(c);
+    }
+
+    #[inline]
+    pub(crate) fn is_used(&self, c: ClauseRef) -> bool {
+        // analyze::allow(panic): a ClauseRef is an in-bounds header offset by construction
+        self.words[c as usize] & FLAG_USED != 0
+    }
+
+    #[inline]
+    pub(crate) fn set_used(&mut self, c: ClauseRef, used: bool) {
+        // analyze::allow(panic) lines=5: a ClauseRef is an in-bounds header offset by construction
+        if used {
+            self.words[c as usize] |= FLAG_USED;
+        } else {
+            self.words[c as usize] &= !FLAG_USED;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn tier(&self, c: ClauseRef) -> Tier {
+        // analyze::allow(panic): a ClauseRef is an in-bounds header offset by construction
+        Tier::from_bits((self.words[c as usize] & TIER_MASK) >> TIER_SHIFT)
+    }
+
+    pub(crate) fn set_tier(&mut self, c: ClauseRef, tier: Tier) {
+        // analyze::allow(panic) lines=2: a ClauseRef is an in-bounds header offset by construction
+        let w = self.words[c as usize];
+        self.words[c as usize] = (w & !TIER_MASK) | (tier as u32) << TIER_SHIFT;
+    }
+
+    #[inline]
+    pub(crate) fn activity(&self, c: ClauseRef) -> f32 {
+        // analyze::allow(panic): the three header words always exist at a ClauseRef
+        f32::from_bits(self.words[c as usize + 1])
+    }
+
+    #[inline]
+    pub(crate) fn set_activity(&mut self, c: ClauseRef, activity: f32) {
+        // analyze::allow(panic): the three header words always exist at a ClauseRef
+        self.words[c as usize + 1] = activity.to_bits();
+    }
+
+    #[inline]
+    pub(crate) fn lbd(&self, c: ClauseRef) -> u32 {
+        // analyze::allow(panic): the three header words always exist at a ClauseRef
+        self.words[c as usize + 2]
+    }
+
+    #[inline]
+    pub(crate) fn set_lbd(&mut self, c: ClauseRef, lbd: u32) {
+        // analyze::allow(panic): the three header words always exist at a ClauseRef
+        self.words[c as usize + 2] = lbd;
+    }
+
+    /// Words currently occupied by deleted clauses.
+    pub(crate) fn wasted_words(&self) -> usize {
+        self.wasted
+    }
+
+    /// Iterates all clause references, deleted ones included.
+    pub(crate) fn refs(&self) -> ArenaRefs<'_> {
+        ArenaRefs {
+            arena: self,
+            off: 0,
+        }
+    }
+
+    /// Compacts the arena, dropping deleted clauses. Returns the offset
+    /// remap as `(old, new)` pairs sorted by `old` — look up survivors
+    /// with a binary search; a miss means the clause was deleted.
+    pub(crate) fn collect_garbage(&mut self) -> Vec<(ClauseRef, ClauseRef)> {
+        let mut compacted = Vec::with_capacity(self.words.len() - self.wasted);
+        let mut remap = Vec::new();
+        let mut off = 0usize;
+        while off < self.words.len() {
+            let total = HEADER_WORDS + self.len(off as u32);
+            if !self.is_deleted(off as u32) {
+                remap.push((off as u32, compacted.len() as u32));
+                compacted.extend_from_slice(&self.words[off..off + total]);
+            }
+            off += total;
+        }
+        self.words = compacted;
+        self.wasted = 0;
+        remap
+    }
+}
+
+pub(crate) struct ArenaRefs<'a> {
+    arena: &'a ClauseArena,
+    off: usize,
+}
+
+impl Iterator for ArenaRefs<'_> {
+    type Item = ClauseRef;
+
+    fn next(&mut self) -> Option<ClauseRef> {
+        if self.off >= self.arena.words.len() {
+            return None;
+        }
+        let c = self.off as u32;
+        self.off += HEADER_WORDS + self.arena.len(c);
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hqs_base::Var;
+
+    fn lits(codes: &[u32]) -> Vec<Lit> {
+        codes.iter().map(|&c| Lit::from_code(c)).collect()
+    }
+
+    #[test]
+    fn roundtrip_header_and_literals() {
+        let mut arena = ClauseArena::new();
+        let a = arena.alloc(&lits(&[0, 3, 4]), false);
+        let b = arena.alloc(&lits(&[5, 7]), true);
+        assert_eq!(arena.len(a), 3);
+        assert_eq!(arena.len(b), 2);
+        assert!(!arena.is_learnt(a));
+        assert!(arena.is_learnt(b));
+        assert_eq!(arena.lit(a, 1), Lit::negative(Var::new(1)));
+        assert_eq!(arena.lit_codes(b), &[5, 7]);
+        arena.set_lbd(b, 2);
+        arena.set_activity(b, 1.5);
+        assert_eq!(arena.lbd(b), 2);
+        assert!((arena.activity(b) - 1.5).abs() < f32::EPSILON);
+        arena.set_tier(b, Tier::Core);
+        assert_eq!(arena.tier(b), Tier::Core);
+        assert_eq!(arena.tier(a), Tier::Local);
+        arena.set_used(b, true);
+        assert!(arena.is_used(b));
+        arena.set_used(b, false);
+        assert!(!arena.is_used(b));
+        assert_eq!(arena.refs().collect::<Vec<_>>(), vec![a, b]);
+    }
+
+    #[test]
+    fn swap_moves_literals_in_place() {
+        let mut arena = ClauseArena::new();
+        let c = arena.alloc(&lits(&[2, 4, 6]), false);
+        arena.swap_lits(c, 0, 2);
+        assert_eq!(arena.lit_codes(c), &[6, 4, 2]);
+    }
+
+    #[test]
+    fn gc_drops_deleted_and_remaps_survivors() {
+        let mut arena = ClauseArena::new();
+        let a = arena.alloc(&lits(&[0, 2]), false);
+        let b = arena.alloc(&lits(&[4, 6, 8]), true);
+        let c = arena.alloc(&lits(&[1, 3]), true);
+        arena.set_lbd(b, 3);
+        arena.mark_deleted(a);
+        assert_eq!(arena.wasted_words(), HEADER_WORDS + 2);
+        let remap = arena.collect_garbage();
+        assert_eq!(arena.wasted_words(), 0);
+        // `a` is gone; `b` and `c` survive with their payloads intact.
+        assert!(remap.binary_search_by_key(&a, |&(o, _)| o).is_err());
+        let new_b = remap[remap
+            .binary_search_by_key(&b, |&(o, _)| o)
+            .expect("b survives")]
+        .1;
+        let new_c = remap[remap
+            .binary_search_by_key(&c, |&(o, _)| o)
+            .expect("c survives")]
+        .1;
+        assert_eq!(arena.lit_codes(new_b), &[4, 6, 8]);
+        assert_eq!(arena.lbd(new_b), 3);
+        assert_eq!(arena.lit_codes(new_c), &[1, 3]);
+        assert_eq!(arena.refs().collect::<Vec<_>>(), vec![new_b, new_c]);
+    }
+}

@@ -9,42 +9,51 @@
 //! rules out fully falsified clauses going unnoticed).
 //!
 //! [`Solver::check_invariants`] audits all of this in one pass; the
-//! mutating operations (backtracking, database reduction, the end of
-//! every `solve` call) re-run it under `debug_assert!`, so corruption is
-//! caught at the mutation site in debug and `-C debug-assertions`
-//! builds.
+//! mutating operations (backtracking, database reduction, arena garbage
+//! collection, the end of every `solve` call) re-run it under
+//! `debug_assert!`, so corruption is caught at the mutation site in
+//! debug and `-C debug-assertions` builds.
 
-use crate::solver::{Lbool, Solver, NO_REASON};
+use crate::arena::{ClauseRef, NO_REASON};
+use crate::solver::{Lbool, Solver};
 use hqs_base::InvariantViolation;
 
 impl Solver {
     /// Audits every structural invariant of the solver.
     ///
-    /// Checked, in one pass over the trail, the clause database and the
-    /// watch lists:
+    /// Checked, in one pass over the trail, the clause arena and the
+    /// watch store:
     ///
     /// 1. **trail** — decision-level boundaries are monotone and in
     ///    bounds; every trail literal is assigned true, carries the
     ///    decision level of its trail segment, and appears once; the
     ///    number of assigned variables equals the trail length;
     ///    unassigned variables have no reason clause.
-    /// 2. **reason** — the reason clause of a propagated literal is
-    ///    live and has that literal in first position.
+    /// 2. **reason** — the reason clause of a propagated literal is a
+    ///    valid arena reference, live, and has that literal in first
+    ///    position.
     /// 3. **clauses** — live clauses have at least two literals and no
     ///    repeated variable.
-    /// 4. **watches** — every live clause is watched exactly twice, on
-    ///    its first two literals, and each watch's blocker is a literal
-    ///    of the clause (stale entries for deleted clauses are
-    ///    tolerated: the propagation loop drops them lazily).
+    /// 4. **watches** — every bucket range lies inside its watch store;
+    ///    every live clause is watched exactly twice, on its first two
+    ///    literals, and each watch's blocker is a literal of the clause;
+    ///    binary clauses are watched in the dedicated binary store and
+    ///    longer clauses in the general one, never vice versa (stale
+    ///    entries for deleted clauses are tolerated: the propagation
+    ///    loop drops them lazily).
     /// 5. **propagation** — when the queue is drained (`qhead` at the
     ///    trail end) and no top-level conflict is recorded, no live
     ///    clause has both watched literals false.
     ///
     /// Returns the first violation found. Runs in
-    /// `O(vars + clause literals + watch entries)`.
+    /// `O(vars + arena words + watch entries)`.
     pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
         let err = |component, detail| Err(InvariantViolation::new(component, detail));
         let num_vars = self.assigns.len();
+        // Every valid clause reference, ascending (the arena iterates in
+        // offset order); membership below is a binary search.
+        let refs: Vec<ClauseRef> = self.arena.refs().collect();
+        let ref_index = |c: ClauseRef| refs.binary_search(&c).ok();
 
         // Trail structure: monotone level boundaries, queue head in range.
         if self.qhead > self.trail.len() {
@@ -115,22 +124,40 @@ impl Solver {
             }
             let reason = self.reason[var];
             if reason != NO_REASON {
-                let Some(clause) = self.clauses.get(reason as usize) else {
+                if ref_index(reason).is_none() {
                     return err(
                         "reason",
-                        format!("{lit:?} has out-of-range reason clause {reason}"),
+                        format!("{lit:?} has reason {reason}, not a clause reference"),
                     );
-                };
-                if clause.deleted {
+                }
+                if self.arena.is_deleted(reason) {
                     return err(
                         "reason",
                         format!("{lit:?} has a deleted reason clause {reason}"),
                     );
                 }
-                if clause.lits.first() != Some(&lit) {
+                if self.arena.lit(reason, 0) != lit {
                     return err(
                         "reason",
                         format!("reason clause {reason} of {lit:?} does not lead with it"),
+                    );
+                }
+            }
+        }
+        // The per-literal assignment mirror must agree with `assigns`.
+        for (var, &a) in self.assigns.iter().enumerate() {
+            for sign in 0..2usize {
+                let expect = match a {
+                    Lbool::Undef => Lbool::Undef,
+                    Lbool::True if sign == 0 => Lbool::True,
+                    Lbool::False if sign == 0 => Lbool::False,
+                    Lbool::True => Lbool::False,
+                    Lbool::False => Lbool::True,
+                };
+                if self.lit_vals[var * 2 + sign] != expect {
+                    return err(
+                        "trail",
+                        format!("literal-value mirror of variable {var} disagrees with assigns"),
                     );
                 }
             }
@@ -159,65 +186,84 @@ impl Solver {
 
         // Clause shape, then watch coverage: two watches per live clause,
         // on its first two literals.
-        for (idx, clause) in self.clauses.iter().enumerate() {
-            if clause.deleted {
+        for &c in &refs {
+            if self.arena.is_deleted(c) {
                 continue;
             }
-            if clause.lits.len() < 2 {
+            if self.arena.len(c) < 2 {
                 return err(
                     "clauses",
-                    format!("live clause {idx} has fewer than two literals"),
+                    format!("live clause {c} has fewer than two literals"),
                 );
             }
-            let mut vars: Vec<u32> = clause.lits.iter().map(|l| l.var().index()).collect();
+            let mut vars: Vec<u32> = self.arena.lit_codes(c).iter().map(|w| w >> 1).collect();
             vars.sort_unstable();
             if vars.windows(2).any(|w| w[0] == w[1]) {
-                return err("clauses", format!("live clause {idx} repeats a variable"));
+                return err("clauses", format!("live clause {c} repeats a variable"));
             }
         }
-        let mut watch_count = vec![0u32; self.clauses.len()];
-        for (code, list) in self.watches.iter().enumerate() {
-            for watch in list {
-                let Some(clause) = self.clauses.get(watch.clause as usize) else {
+        let mut watch_count = vec![0u32; refs.len()];
+        for (store, name, binary) in [
+            (&self.watches, "watches", false),
+            (&self.bin_watches, "binary watches", true),
+        ] {
+            for code in 0..store.num_codes() {
+                let range = store.ranges[code];
+                if (range.start as usize + range.len as usize) > store.data.len() {
                     return err(
                         "watches",
-                        format!(
-                            "watch entry references out-of-range clause {}",
-                            watch.clause
-                        ),
-                    );
-                };
-                if clause.deleted {
-                    continue; // lazily dropped by the propagation loop
-                }
-                let watched_lit = clause.lits[..2].iter().any(|l| l.uidx() == code);
-                if !watched_lit {
-                    return err(
-                        "watches",
-                        format!(
-                            "clause {} watched on a literal outside its first two positions",
-                            watch.clause
-                        ),
+                        format!("bucket of code {code} runs past the {name} store"),
                     );
                 }
-                if !clause.lits.contains(&watch.blocker) {
-                    return err(
-                        "watches",
-                        format!(
-                            "blocker {:?} is not a literal of clause {}",
-                            watch.blocker, watch.clause
-                        ),
-                    );
+                for watch in store.bucket(code) {
+                    let Some(idx) = ref_index(watch.cref) else {
+                        return err(
+                            "watches",
+                            format!("{name} entry references non-clause offset {}", watch.cref),
+                        );
+                    };
+                    if self.arena.is_deleted(watch.cref) {
+                        continue; // lazily dropped by the propagation loop
+                    }
+                    if binary != (self.arena.len(watch.cref) == 2) {
+                        return err(
+                            "watches",
+                            format!(
+                                "clause {} of length {} is watched in the {name} store",
+                                watch.cref,
+                                self.arena.len(watch.cref)
+                            ),
+                        );
+                    }
+                    let codes = self.arena.lit_codes(watch.cref);
+                    if !codes[..2].iter().any(|&w| w as usize == code) {
+                        return err(
+                            "watches",
+                            format!(
+                                "clause {} watched on a literal outside its first two positions",
+                                watch.cref
+                            ),
+                        );
+                    }
+                    if !codes.contains(&watch.blocker.code()) {
+                        return err(
+                            "watches",
+                            format!(
+                                "blocker {:?} is not a literal of clause {}",
+                                watch.blocker, watch.cref
+                            ),
+                        );
+                    }
+                    watch_count[idx] += 1;
                 }
-                watch_count[watch.clause as usize] += 1;
             }
         }
-        for (idx, clause) in self.clauses.iter().enumerate() {
-            if !clause.deleted && watch_count[idx] != 2 {
+        for (idx, &c) in refs.iter().enumerate() {
+            if !self.arena.is_deleted(c) && watch_count[idx] != 2 {
                 return err(
                     "watches",
                     format!(
-                        "live clause {idx} has {} watch entries, expected 2",
+                        "live clause {c} has {} watch entries, expected 2",
                         watch_count[idx]
                     ),
                 );
@@ -228,16 +274,16 @@ impl Solver {
         // conflict, a clause whose two watched literals are both false is
         // a conflict propagation failed to notice.
         if self.ok && self.qhead == self.trail.len() {
-            for (idx, clause) in self.clauses.iter().enumerate() {
-                if clause.deleted {
+            for &c in &refs {
+                if self.arena.is_deleted(c) {
                     continue;
                 }
-                if self.value(clause.lits[0]) == Lbool::False
-                    && self.value(clause.lits[1]) == Lbool::False
+                if self.value(self.arena.lit(c, 0)) == Lbool::False
+                    && self.value(self.arena.lit(c, 1)) == Lbool::False
                 {
                     return err(
                         "propagation",
-                        format!("clause {idx} has both watched literals false after propagation"),
+                        format!("clause {c} has both watched literals false after propagation"),
                     );
                 }
             }
@@ -254,7 +300,8 @@ impl Solver {
     }
 
     /// Full audit compiled to a no-op unless debug assertions are on;
-    /// called after backtracking, database reduction and every solve.
+    /// called after backtracking, database reduction, arena GC and every
+    /// solve.
     pub(crate) fn debug_audit(&self, context: &str) {
         if cfg!(debug_assertions) {
             self.assert_invariants(context);
@@ -264,7 +311,9 @@ impl Solver {
 
 #[cfg(test)]
 mod tests {
-    use crate::solver::{Lbool, NO_REASON};
+    use crate::arena::NO_REASON;
+    use crate::solver::Lbool;
+    use crate::watch::Watch;
     use crate::{SolveResult, Solver};
     use hqs_base::Lit;
 
@@ -278,6 +327,19 @@ mod tests {
         s.add_clause([lit(-1), lit(2)]);
         s.add_clause([lit(-2), lit(3)]);
         s
+    }
+
+    /// Hand-assigns `l` true in both `assigns` and its `lit_vals` mirror,
+    /// so corruption tests can target a *single* invariant without also
+    /// tripping the mirror-consistency audit.
+    fn force_assign(s: &mut Solver, l: Lit) {
+        s.assigns[l.var().uidx()] = if l.is_positive() {
+            Lbool::True
+        } else {
+            Lbool::False
+        };
+        s.lit_vals[l.uidx()] = Lbool::True;
+        s.lit_vals[l.uidx() ^ 1] = Lbool::False;
     }
 
     #[test]
@@ -305,19 +367,18 @@ mod tests {
                 }
             }
         }
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
         assert_eq!(s.check_invariants(), Ok(()));
     }
 
     #[test]
     fn missing_watch_entry_is_caught() {
         let mut s = sample();
-        let list = s
-            .watches
-            .iter_mut()
-            .find(|l| !l.is_empty())
+        let code = (0..s.watches.num_codes())
+            .find(|&c| !s.watches.bucket(c).is_empty())
             .expect("sample has watches");
-        list.pop();
+        let len = s.watches.bucket(code).len();
+        s.watches.truncate(code, len - 1);
         let violation = s.check_invariants().expect_err("missing watch undetected");
         assert_eq!(violation.component(), "watches");
     }
@@ -325,15 +386,28 @@ mod tests {
     #[test]
     fn watch_on_wrong_literal_is_caught() {
         let mut s = sample();
-        // Move one watch entry to a list none of the clause's first two
-        // literals index.
-        let entry = s
+        // Move the ternary clause's watch to a list none of the clause's
+        // first two literals index.
+        let code = lit(1).uidx();
+        let entry = *s
             .watches
-            .iter_mut()
-            .find_map(|l| l.pop())
-            .expect("sample has watches");
-        let wrong = s.clauses[entry.clause as usize].lits[2].uidx() ^ 1;
-        s.watches[wrong].push(entry);
+            .bucket(code)
+            .iter()
+            .find(|w| s.arena.len(w.cref) == 3)
+            .expect("the ternary clause watches literal 1");
+        let keep: Vec<Watch> = s
+            .watches
+            .bucket(code)
+            .iter()
+            .copied()
+            .filter(|w| w.cref != entry.cref)
+            .collect();
+        s.watches.truncate(code, 0);
+        for w in keep {
+            s.watches.push(code, w);
+        }
+        let wrong = s.arena.lit(entry.cref, 2).uidx() ^ 1;
+        s.watches.push(wrong, entry);
         let violation = s
             .check_invariants()
             .expect_err("misplaced watch undetected");
@@ -345,7 +419,7 @@ mod tests {
         let mut s = sample();
         // Hand-enqueue a level-0 literal, then corrupt its level.
         let l = lit(1);
-        s.assigns[0] = Lbool::True;
+        force_assign(&mut s, l);
         s.trail.push(l);
         s.qhead = s.trail.len();
         assert_eq!(s.check_invariants(), Ok(()));
@@ -357,10 +431,23 @@ mod tests {
     #[test]
     fn assigned_variable_off_trail_is_caught() {
         let mut s = sample();
-        s.assigns[2] = Lbool::True; // assigned but never enqueued
+        force_assign(&mut s, lit(3)); // assigned but never enqueued
         let violation = s
             .check_invariants()
             .expect_err("ghost assignment undetected");
+        assert_eq!(violation.component(), "trail");
+    }
+
+    #[test]
+    fn literal_value_mirror_drift_is_caught() {
+        let mut s = sample();
+        let l = lit(1);
+        force_assign(&mut s, l);
+        s.trail.push(l);
+        s.qhead = s.trail.len();
+        assert_eq!(s.check_invariants(), Ok(()));
+        s.lit_vals[l.uidx()] = Lbool::False; // desync the mirror only
+        let violation = s.check_invariants().expect_err("mirror drift undetected");
         assert_eq!(violation.component(), "trail");
     }
 
@@ -375,15 +462,10 @@ mod tests {
     #[test]
     fn falsified_watched_pair_is_caught() {
         let mut s = sample();
-        // Falsify both watched literals of clause 0 by hand-building a
-        // consistent level-0 trail, bypassing propagation.
+        // Falsify both watched literals of the ternary clause by
+        // hand-building a consistent level-0 trail, bypassing propagation.
         for l in [lit(-1), lit(-2)] {
-            let var = l.var().uidx();
-            s.assigns[var] = if l.is_positive() {
-                Lbool::True
-            } else {
-                Lbool::False
-            };
+            force_assign(&mut s, l);
             s.trail.push(l);
         }
         s.qhead = s.trail.len();
@@ -396,8 +478,8 @@ mod tests {
     #[test]
     fn deleted_clause_watches_are_tolerated() {
         let mut s = sample();
-        s.clauses[0].deleted = true;
-        s.clauses[0].lits.clear();
+        let c = s.arena.refs().next().expect("sample has clauses");
+        s.arena.mark_deleted(c);
         // Watch entries for the deleted clause linger; the propagation
         // loop drops them lazily, so the audit must accept them.
         assert_eq!(s.check_invariants(), Ok(()));
@@ -410,7 +492,7 @@ mod tests {
         let mut s = sample();
         s.reason[0] = NO_REASON - 1;
         s.level[0] = 0;
-        s.assigns[0] = Lbool::True;
+        force_assign(&mut s, lit(1));
         s.trail.push(lit(1));
         s.qhead = s.trail.len();
         s.assert_invariants("in test");

@@ -3,14 +3,21 @@
 //! This crate reimplements the SAT substrate the HQS paper relies on
 //! (the authors used *antom*): a MiniSat-style CDCL solver with
 //!
-//! * two-watched-literal propagation,
+//! * a contiguous clause arena (one `Vec<u32>` of headers + literals,
+//!   compacted by garbage collection) and flat two-watched-literal
+//!   propagation,
 //! * first-UIP conflict analysis with clause minimisation,
 //! * VSIDS variable activities with phase saving,
-//! * Luby-sequence restarts,
-//! * activity/LBD-driven learnt-clause database reduction,
+//! * selectable restarts ([`RestartMode`]): Luby, Glucose-style LBD-EMA,
+//!   or the hybrid of the two (the default),
+//! * chronological backtracking for distant backjumps (on by default,
+//!   [`SatConfig::chrono_backtrack`]),
+//! * three-tier learnt-clause database reduction (core / tier2 / local,
+//!   with glue protection and used-recently second chances),
 //! * incremental solving under assumptions with failed-assumption
 //!   extraction (used by the MaxSAT layer),
-//! * an optional conflict budget for any-time use by the DQBF harness, and
+//! * a typed, validated configuration ([`SatConfig`]) with a per-call
+//!   conflict budget for any-time use by the DQBF harness, and
 //! * optional DRAT proof logging (text or binary) through
 //!   [`ProofLogger`], so UNSAT verdicts can be validated by the
 //!   independent checker in `hqs-proof`.
@@ -26,20 +33,25 @@
 //! let y = solver.new_var();
 //! solver.add_clause([Lit::positive(x), Lit::positive(y)]);
 //! solver.add_clause([Lit::negative(x)]);
-//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.solve(&[]), SolveResult::Sat);
 //! assert_eq!(solver.model_value(y), Some(true));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod check;
+mod config;
 mod heap;
 mod luby;
 mod proof;
 pub mod reference;
+mod restart;
 mod solver;
+mod watch;
 
+pub use config::{RestartMode, SatConfig, SatConfigBuilder, SatConfigError};
 pub use hqs_base::InvariantViolation;
 pub use proof::{BinaryDratLogger, ProofBuffer, ProofLogger, TextDratLogger};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{SolveResult, Solver, SolverBuilder, SolverStats};

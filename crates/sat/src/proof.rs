@@ -143,10 +143,11 @@ impl<W: Write> ProofLogger for BinaryDratLogger<W> {
 
 /// A shared in-memory byte sink.
 ///
-/// [`Solver::set_proof_logger`](crate::Solver::set_proof_logger) takes a
-/// boxed trait object, which cannot be downcast to recover the bytes
-/// afterwards; a `ProofBuffer` solves this by being cheaply cloneable
-/// with shared contents — keep one clone, hand the other to the logger.
+/// [`SolverBuilder::proof_logger`](crate::SolverBuilder::proof_logger)
+/// takes a boxed trait object, which cannot be downcast to recover the
+/// bytes afterwards; a `ProofBuffer` solves this by being cheaply
+/// cloneable with shared contents — keep one clone, hand the other to
+/// the logger.
 ///
 /// # Examples
 ///
@@ -155,8 +156,10 @@ impl<W: Write> ProofLogger for BinaryDratLogger<W> {
 /// use hqs_base::Lit;
 ///
 /// let buffer = ProofBuffer::new();
-/// let mut solver = Solver::new();
-/// solver.set_proof_logger(Box::new(TextDratLogger::new(buffer.clone())));
+/// let mut solver = Solver::builder()
+///     .proof_logger(Box::new(TextDratLogger::new(buffer.clone())))
+///     .build()
+///     .unwrap();
 /// let x = solver.new_var();
 /// solver.add_clause([Lit::positive(x)]);
 /// solver.add_clause([Lit::negative(x)]);

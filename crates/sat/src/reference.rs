@@ -44,6 +44,35 @@ pub fn is_satisfiable(cnf: &Cnf) -> bool {
     dpll(cnf).is_some()
 }
 
+/// Solves `cnf` with a CDCL [`Solver`](crate::Solver) built from
+/// `config` and checks the verdict against the DPLL oracle; a `Sat`
+/// answer must additionally come with a model that evaluates the formula
+/// to true. Property tests call this across the whole configuration
+/// matrix (restart modes × chronological backtracking), so every search
+/// policy is held to the same oracle.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation — the test matrix only contains
+/// valid configurations, so an invalid one is a bug in the test itself.
+#[must_use]
+pub fn agrees_with_reference(cnf: &Cnf, config: &crate::SatConfig) -> bool {
+    let mut solver = crate::Solver::builder()
+        .config(config.clone())
+        .build()
+        .expect("test configurations are valid");
+    solver.add_cnf(cnf);
+    match solver.solve(&[]) {
+        crate::SolveResult::Sat => {
+            is_satisfiable(cnf) && cnf.evaluate(&solver.model()) == TruthValue::True
+        }
+        crate::SolveResult::Unsat => !is_satisfiable(cnf),
+        // The matrix runs without conflict budgets; `Unknown` means the
+        // solver gave up on an instance the oracle can settle.
+        crate::SolveResult::Unknown => false,
+    }
+}
+
 fn solve_rec(cnf: &Cnf, assignment: &mut Assignment) -> bool {
     // Unit propagation to fixpoint; remember what we assigned for undo.
     let mut propagated: Vec<Var> = Vec::new();

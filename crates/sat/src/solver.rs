@@ -1,9 +1,12 @@
 //! The CDCL solver proper.
 
+use crate::arena::{ClauseArena, ClauseRef, Tier, HEADER_WORDS, NO_REASON};
+use crate::config::{SatConfig, SatConfigError};
 use crate::heap::VarOrder;
-use crate::luby::Luby;
 use crate::proof::ProofLogger;
-use hqs_base::{Assignment, CancelToken, Lit, Var};
+use crate::restart::RestartSched;
+use crate::watch::{FlatWatches, Watch};
+use hqs_base::{Assignment, Budget, CancelToken, Lit, Var};
 use hqs_cnf::Cnf;
 use hqs_obs::{Metric, Obs};
 use std::fmt;
@@ -17,7 +20,8 @@ pub enum SolveResult {
     /// The formula is unsatisfiable under the given assumptions; query
     /// [`Solver::failed_assumptions`].
     Unsat,
-    /// The conflict budget was exhausted before a verdict.
+    /// The conflict budget was exhausted or the [`Budget`] asked to stop
+    /// before a verdict.
     Unknown,
 }
 
@@ -34,6 +38,25 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses deleted by database reduction.
     pub deleted_clauses: u64,
+    /// Number of database reductions performed.
+    pub reductions: u64,
+    /// Number of conflicts resolved by chronological backtracking (one
+    /// level) instead of a full backjump.
+    pub chrono_backtracks: u64,
+    /// Hybrid restart EMA↔Luby direction changes (always 0 in the pure
+    /// [`Luby`](crate::RestartMode::Luby) and
+    /// [`Ema`](crate::RestartMode::Ema) modes).
+    pub restart_mode_switches: u64,
+    /// Clause-arena garbage collections performed.
+    pub arena_gcs: u64,
+    /// Arena words reclaimed by garbage collection, cumulatively.
+    pub arena_words_reclaimed: u64,
+    /// Live learnt clauses currently in the core (glue) tier.
+    pub core_clauses: u64,
+    /// Live learnt clauses currently in tier2.
+    pub tier2_clauses: u64,
+    /// Live learnt clauses currently in the local tier.
+    pub local_clauses: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -55,28 +78,13 @@ impl Lbool {
     }
 }
 
-#[derive(Clone, Debug)]
-pub(crate) struct ClauseData {
-    pub(crate) lits: Vec<Lit>,
-    learnt: bool,
-    pub(crate) deleted: bool,
-    activity: f64,
-    lbd: u32,
-}
-
-#[derive(Clone, Copy, Debug)]
-pub(crate) struct Watch {
-    pub(crate) clause: u32,
-    pub(crate) blocker: Lit,
-}
-
-pub(crate) const NO_REASON: u32 = u32::MAX;
-
-/// A CDCL SAT solver.
+/// A CDCL SAT solver over a contiguous clause arena.
 ///
 /// See the [crate docs](crate) for the feature list. The solver is
-/// incremental: clauses may be added between `solve` calls, and each call may
-/// carry assumptions.
+/// incremental: clauses may be added between [`solve`](Solver::solve)
+/// calls, and each call may carry assumptions. Construction goes through
+/// [`Solver::builder`], which fixes the [`SatConfig`], observer, proof
+/// logger and [`Budget`] for the solver's lifetime.
 ///
 /// # Examples
 ///
@@ -88,38 +96,54 @@ pub(crate) const NO_REASON: u32 = u32::MAX;
 /// let a = s.new_var();
 /// let b = s.new_var();
 /// s.add_clause([Lit::positive(a), Lit::positive(b)]);
-/// assert_eq!(s.solve_with_assumptions(&[Lit::negative(a), Lit::negative(b)]), SolveResult::Unsat);
+/// assert_eq!(s.solve(&[Lit::negative(a), Lit::negative(b)]), SolveResult::Unsat);
 /// assert!(!s.failed_assumptions().is_empty());
-/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert_eq!(s.solve(&[]), SolveResult::Sat);
 /// ```
 pub struct Solver {
-    pub(crate) clauses: Vec<ClauseData>,
-    learnt_indices: Vec<u32>,
-    pub(crate) watches: Vec<Vec<Watch>>,
+    pub(crate) arena: ClauseArena,
+    /// Watch lists of clauses with three or more literals.
+    pub(crate) watches: FlatWatches,
+    /// Watch lists of binary clauses, kept separate so propagation over
+    /// them never touches the arena: the blocker *is* the other literal,
+    /// and binary clauses are never deleted (`reduce_db` skips
+    /// `len <= 2`), so the buckets need no lazy-drop compaction either.
+    pub(crate) bin_watches: FlatWatches,
     pub(crate) assigns: Vec<Lbool>,
+    /// Per-literal mirror of `assigns` (indexed by literal code), so the
+    /// propagation loop answers "value of this literal" with a single
+    /// load instead of a variable lookup plus sign fix-up. Kept in sync
+    /// by `unchecked_enqueue` and `cancel_until`; audited against
+    /// `assigns` by `check_invariants`.
+    pub(crate) lit_vals: Vec<Lbool>,
     pub(crate) level: Vec<u32>,
-    pub(crate) reason: Vec<u32>,
+    pub(crate) reason: Vec<ClauseRef>,
     pub(crate) trail: Vec<Lit>,
     pub(crate) trail_lim: Vec<usize>,
     pub(crate) qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
-    clause_inc: f64,
+    clause_inc: f32,
     order: VarOrder,
     phase: Vec<bool>,
     seen: Vec<bool>,
     pub(crate) ok: bool,
     model: Vec<Lbool>,
     failed: Vec<Lit>,
-    conflict_budget: Option<u64>,
-    cancel: Option<CancelToken>,
-    max_learnts: f64,
+    config: SatConfig,
+    budget: Budget,
+    restart: RestartSched,
+    /// Number of original (non-learnt) clauses attached, so the
+    /// effective local cap can scale with formula size.
+    num_originals: usize,
+    /// Conflict count at which the next tier2 demotion sweep runs.
+    next_tier2_sweep: u64,
     stats: SolverStats,
     analyze_clear: Vec<Var>,
     /// Scratch buffer of [`Solver::minimize`], reused across conflicts so
     /// the analysis loop stays allocation-free.
     minimize_keep: Vec<bool>,
-    /// Scratch buffer of [`Solver::compute_lbd`], reused across conflicts.
+    /// Scratch buffer of the LBD computations, reused across conflicts.
     lbd_levels: Vec<u32>,
     proof: Option<Box<dyn ProofLogger>>,
     obs: Obs,
@@ -135,29 +159,107 @@ impl fmt::Debug for Solver {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Solver")
             .field("vars", &self.num_vars())
-            .field("clauses", &self.clauses.len())
             .field("stats", &self.stats)
+            .field("config", &self.config)
             .finish_non_exhaustive()
     }
 }
 
-impl Solver {
-    /// Conflict interval between cancellation polls inside the CDCL
-    /// loop — small enough that a fired [`CancelToken`] is observed
-    /// within a few milliseconds of propagation work.
-    pub const CANCEL_POLL_CONFLICTS: u64 = 256;
-    /// Decision interval between cancellation polls on conflict-free
-    /// stretches.
-    pub const CANCEL_POLL_DECISIONS: u64 = 1024;
+/// Builder for a [`Solver`]; obtain via [`Solver::builder`].
+///
+/// Mirrors `hqs_core::Session::builder()`: configuration, observer,
+/// proof logger and budget are supplied once, validated together, and
+/// immutable afterwards — a configured solver never changes behaviour
+/// mid-flight.
+///
+/// # Examples
+///
+/// ```
+/// use hqs_base::Budget;
+/// use hqs_sat::{SatConfig, Solver};
+///
+/// let solver = Solver::builder()
+///     .config(SatConfig::default())
+///     .budget(Budget::new())
+///     .build()
+///     .expect("default config is valid");
+/// assert_eq!(solver.num_vars(), 0);
+/// ```
+#[derive(Default)]
+#[must_use]
+pub struct SolverBuilder {
+    config: SatConfig,
+    obs: Option<Obs>,
+    proof: Option<Box<dyn ProofLogger>>,
+    budget: Budget,
+    cancel: Option<CancelToken>,
+}
 
-    /// Creates an empty solver.
-    #[must_use]
-    pub fn new() -> Self {
-        Solver {
-            clauses: Vec::new(),
-            learnt_indices: Vec::new(),
-            watches: Vec::new(),
+impl SolverBuilder {
+    /// Sets the search configuration (default [`SatConfig::default`]).
+    pub fn config(mut self, config: SatConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches an observability handle: each solve call then reports
+    /// its call count and its stats deltas through it. Counters are
+    /// flushed once per solve call — the CDCL inner loops stay untouched.
+    pub fn observer(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Attaches a proof logger; every derived or deleted clause is
+    /// emitted as a DRAT step.
+    ///
+    /// The proof refutes the conjunction of exactly the clauses passed to
+    /// [`Solver::add_clause`] (before simplification): give an independent
+    /// checker that clause set as the original formula. Because the logger
+    /// is attached at construction, it necessarily precedes every
+    /// `add_clause` call, so strengthening steps are never missing from
+    /// the proof.
+    pub fn proof_logger(mut self, logger: Box<dyn ProofLogger>) -> Self {
+        self.proof = Some(logger);
+        self
+    }
+
+    /// Attaches a [`Budget`] polled inside the CDCL loop (every
+    /// [`Solver::CANCEL_POLL_CONFLICTS`] conflicts and every
+    /// [`Solver::CANCEL_POLL_DECISIONS`] decisions): a passed deadline or
+    /// fired cancellation token turns the running
+    /// [`solve`](Solver::solve) into [`SolveResult::Unknown`] within a
+    /// bounded amount of work.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cancellation token; shorthand for wrapping it into the
+    /// [`budget`](Self::budget). The portfolio engine relies on this to
+    /// tear down losing workers without waiting out a long CDCL run.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Validates the configuration and produces the solver.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SatConfigError`] found in the configuration.
+    pub fn build(self) -> Result<Solver, SatConfigError> {
+        self.config.validate()?;
+        let budget = match self.cancel {
+            Some(token) => self.budget.with_cancel_token(token),
+            None => self.budget,
+        };
+        Ok(Solver {
+            arena: ClauseArena::new(),
+            watches: FlatWatches::new(),
+            bin_watches: FlatWatches::new(),
             assigns: Vec::new(),
+            lit_vals: Vec::new(),
             level: Vec::new(),
             reason: Vec::new(),
             trail: Vec::new(),
@@ -172,36 +274,49 @@ impl Solver {
             ok: true,
             model: Vec::new(),
             failed: Vec::new(),
-            conflict_budget: None,
-            cancel: None,
-            max_learnts: 4000.0,
+            restart: RestartSched::new(self.config.restart_mode),
+            num_originals: 0,
+            next_tier2_sweep: self.config.tier2_interval,
+            config: self.config,
+            budget,
             stats: SolverStats::default(),
             analyze_clear: Vec::new(),
             minimize_keep: Vec::new(),
             lbd_levels: Vec::new(),
-            proof: None,
-            obs: Obs::disabled(),
-        }
+            proof: self.proof,
+            obs: self.obs.unwrap_or_else(Obs::disabled),
+        })
+    }
+}
+
+impl Solver {
+    /// Conflict interval between budget/cancellation polls inside the
+    /// CDCL loop — small enough that a fired [`CancelToken`] or passed
+    /// deadline is observed within a few milliseconds of propagation
+    /// work.
+    pub const CANCEL_POLL_CONFLICTS: u64 = 256;
+    /// Decision interval between budget/cancellation polls on
+    /// conflict-free stretches.
+    pub const CANCEL_POLL_DECISIONS: u64 = 1024;
+
+    /// Creates a solver with the default configuration, no observer, no
+    /// proof logger and an unlimited budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Solver::builder()
+            .build()
+            .expect("default SatConfig is valid")
     }
 
-    /// Attaches an observability handle: each solve call then reports
-    /// its call count and its conflict/propagation/decision/restart
-    /// deltas through it. Counters are flushed once per solve call —
-    /// the CDCL inner loops stay untouched.
-    pub fn set_observer(&mut self, obs: Obs) {
-        self.obs = obs;
+    /// A builder for a configured solver.
+    pub fn builder() -> SolverBuilder {
+        SolverBuilder::default()
     }
 
-    /// Attaches a proof logger; every subsequently derived or deleted
-    /// clause is emitted as a DRAT step.
-    ///
-    /// The proof refutes the conjunction of exactly the clauses passed to
-    /// [`Solver::add_clause`] (before simplification): give an independent
-    /// checker that clause set as the original formula. Attach the logger
-    /// **before** adding clauses, otherwise strengthening steps performed
-    /// during earlier `add_clause` calls are missing from the proof.
-    pub fn set_proof_logger(&mut self, logger: Box<dyn ProofLogger>) {
-        self.proof = Some(logger);
+    /// The search configuration the solver was built with.
+    #[must_use]
+    pub fn config(&self) -> &SatConfig {
+        &self.config
     }
 
     /// Detaches and returns the proof logger, if any.
@@ -214,13 +329,6 @@ impl Solver {
     #[must_use]
     pub fn proof_had_error(&self) -> bool {
         self.proof.as_ref().is_some_and(|p| p.had_error())
-    }
-
-    /// Overrides the learnt-clause limit that triggers database
-    /// reduction (default 4000). Exposed so tests can force aggressive
-    /// clause deletion and exercise the DRAT deletion path.
-    pub fn set_max_learnts(&mut self, limit: f64) {
-        self.max_learnts = limit;
     }
 
     #[inline]
@@ -247,13 +355,15 @@ impl Solver {
     pub fn new_var(&mut self) -> Var {
         let var = Var::new(self.num_vars());
         self.assigns.push(Lbool::Undef);
+        self.lit_vals.push(Lbool::Undef);
+        self.lit_vals.push(Lbool::Undef);
         self.level.push(0);
         self.reason.push(NO_REASON);
         self.activity.push(0.0);
         self.phase.push(false);
         self.seen.push(false);
-        self.watches.push(Vec::new());
-        self.watches.push(Vec::new());
+        self.watches.add_var();
+        self.bin_watches.add_var();
         self.order.insert(var, &self.activity);
         var
     }
@@ -269,29 +379,6 @@ impl Solver {
     #[must_use]
     pub fn stats(&self) -> SolverStats {
         self.stats
-    }
-
-    /// Limits the next `solve` calls to roughly `budget` conflicts
-    /// (cumulative); `None` removes the limit.
-    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
-        self.conflict_budget = budget.map(|b| self.stats.conflicts + b);
-    }
-
-    /// Attaches a shared cancellation token, polled inside the CDCL loop
-    /// (every [`Solver::CANCEL_POLL_CONFLICTS`] conflicts and every
-    /// [`Solver::CANCEL_POLL_DECISIONS`] decisions) so a fired token
-    /// turns the current `solve` call into [`SolveResult::Unknown`]
-    /// within a bounded amount of work — the portfolio engine relies on
-    /// this to tear down losing workers without waiting out a long CDCL
-    /// run. `None` detaches.
-    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
-        self.cancel = token;
-    }
-
-    /// `true` when an attached cancellation token has fired.
-    #[inline]
-    fn cancel_requested(&self) -> bool {
-        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Adds a clause; returns `false` if the solver became trivially
@@ -350,7 +437,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_new_clause(lits, false);
+                self.attach_new_clause(&lits, false);
                 true
             }
         }
@@ -366,35 +453,37 @@ impl Solver {
         ok
     }
 
-    fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    fn attach_new_clause(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let idx = self.clauses.len() as u32;
-        let w0 = lits[0];
-        let w1 = lits[1];
-        self.clauses.push(ClauseData {
-            lits,
-            learnt,
-            deleted: false,
-            activity: 0.0,
-            lbd: 0,
-        });
-        if learnt {
-            self.learnt_indices.push(idx);
-        }
-        self.watches[w0.uidx()].push(Watch {
-            clause: idx,
-            blocker: w1,
-        });
-        self.watches[w1.uidx()].push(Watch {
-            clause: idx,
-            blocker: w0,
-        });
-        idx
+        let cref = self.arena.alloc(lits, learnt);
+        self.num_originals += usize::from(!learnt);
+        // Binary clauses go to the dedicated store where the blocker is
+        // the whole remainder of the clause; longer clauses watch their
+        // first two positions in the general store.
+        let store = if lits.len() == 2 {
+            &mut self.bin_watches
+        } else {
+            &mut self.watches
+        };
+        store.push(
+            lits[0].uidx(),
+            Watch {
+                cref,
+                blocker: lits[1],
+            },
+        );
+        store.push(
+            lits[1].uidx(),
+            Watch {
+                cref,
+                blocker: lits[0],
+            },
+        );
+        cref
     }
 
     #[inline]
     pub(crate) fn value(&self, lit: Lit) -> Lbool {
-        // analyze::allow(panic): every Lit reaching here went through ensure_vars
         let v = self.assigns[lit.var().uidx()];
         if v == Lbool::Undef {
             Lbool::Undef
@@ -439,11 +528,6 @@ impl Solver {
         &self.failed
     }
 
-    /// Solves without assumptions.
-    pub fn solve(&mut self) -> SolveResult {
-        self.solve_with_assumptions(&[])
-    }
-
     /// Emits the stats delta accumulated since `before` (one solve
     /// call's worth of work) to the attached observer, if any.
     fn flush_obs(&self, before: SolverStats) {
@@ -467,76 +551,58 @@ impl Solver {
             Metric::SatRestarts,
             now.restarts.saturating_sub(before.restarts),
         );
+        self.obs.add(
+            Metric::SatRestartSwitches,
+            now.restart_mode_switches
+                .saturating_sub(before.restart_mode_switches),
+        );
+        self.obs.add(
+            Metric::SatChronoBacktracks,
+            now.chrono_backtracks
+                .saturating_sub(before.chrono_backtracks),
+        );
+        self.obs.add(
+            Metric::SatArenaGcs,
+            now.arena_gcs.saturating_sub(before.arena_gcs),
+        );
+        self.obs.add(
+            Metric::SatArenaReclaimedWords,
+            now.arena_words_reclaimed
+                .saturating_sub(before.arena_words_reclaimed),
+        );
+        self.obs
+            .gauge_max(Metric::SatCoreClausesPeak, now.core_clauses);
+        self.obs
+            .gauge_max(Metric::SatTier2ClausesPeak, now.tier2_clauses);
+        self.obs
+            .gauge_max(Metric::SatLocalClausesPeak, now.local_clauses);
     }
 
-    /// Solves in conflict-bounded rounds, calling `should_stop` between
-    /// rounds; returns [`SolveResult::Unknown`] once it yields `true`.
+    /// Solves under the given assumptions (pass `&[]` for none) as one
+    /// query of a long-lived incremental session — the MiniSat-lineage
+    /// `solve_limited` idiom the serving architecture is built on.
     ///
-    /// This is how the DQBF harness keeps wall-clock deadlines honest: a
-    /// single long CDCL run cannot overshoot the budget by more than one
-    /// round (~10⁴ conflicts).
-    pub fn solve_interruptible(
-        &mut self,
-        assumptions: &[Lit],
-        mut should_stop: impl FnMut() -> bool,
-    ) -> SolveResult {
-        const ROUND: u64 = 10_000;
-        self.obs.add(Metric::SatCalls, 1);
-        loop {
-            self.set_conflict_budget(Some(ROUND));
-            match self.solve_rounds(assumptions) {
-                SolveResult::Unknown => {
-                    if should_stop() {
-                        self.set_conflict_budget(None);
-                        return SolveResult::Unknown;
-                    }
-                }
-                verdict => {
-                    self.set_conflict_budget(None);
-                    return verdict;
-                }
-            }
-        }
-    }
-
-    /// Solves under the given assumptions.
-    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
-        self.obs.add(Metric::SatCalls, 1);
-        self.solve_rounds(assumptions)
-    }
-
-    /// Solves under assumptions as one query of a long-lived incremental
-    /// session — the MiniSat-lineage `solve_limited` idiom the serving
-    /// architecture is built on.
-    ///
-    /// Semantically identical to [`Solver::solve_with_assumptions`]; the
-    /// name marks the incremental contract, documented here once:
-    ///
-    /// * **Warm state.** Learned clauses, variable activities and saved
-    ///   phases survive the call, so a closely related follow-up query
-    ///   spends fewer conflicts than a cold solver on the same formula.
+    /// * **Warm state.** Learnt clauses (and their tiers), variable
+    ///   activities and saved phases survive the call, so a closely
+    ///   related follow-up query spends fewer conflicts than a cold
+    ///   solver on the same formula.
     /// * **Mutation between queries.** [`Solver::add_clause`] may be
     ///   called between queries (every query exits at decision level 0);
-    ///   previously learned clauses stay sound because adding clauses
+    ///   previously learnt clauses stay sound because adding clauses
     ///   only strengthens the formula. To *retract* clauses later, guard
     ///   them with a fresh selector literal and assume it here.
     /// * **Assumption-scoped verdicts.** [`SolveResult::Unsat`] means
     ///   "unsatisfiable *under these assumptions*"; the solver stays
     ///   usable and [`Solver::failed_assumptions`] names a responsible
     ///   subset of the assumptions.
-    /// * **Proofs and cancellation.** An attached [`ProofLogger`] keeps
-    ///   accumulating DRAT steps across queries (the proof stream covers
-    ///   the conjunction of every clause ever added), and an attached
-    ///   [`CancelToken`] is polled inside each query exactly as in a
-    ///   one-shot solve.
-    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
-        self.solve_with_assumptions(assumptions)
-    }
-
-    /// The CDCL run itself; [`Solver::solve_with_assumptions`] counts a
-    /// call around it, [`Solver::solve_interruptible`] counts one call
-    /// around *all* its conflict-bounded rounds.
-    fn solve_rounds(&mut self, assumptions: &[Lit]) -> SolveResult {
+    /// * **Budgets, proofs and cancellation.** The configured per-call
+    ///   conflict budget ([`SatConfig::conflict_budget`]) applies to each
+    ///   call separately; an attached [`ProofLogger`] keeps accumulating
+    ///   DRAT steps across queries (the proof stream covers the
+    ///   conjunction of every clause ever added), and the attached
+    ///   [`Budget`] is polled inside each query.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.obs.add(Metric::SatCalls, 1);
         let stats_before = self.stats;
         self.failed.clear();
         self.model.clear();
@@ -547,14 +613,14 @@ impl Solver {
             // analyze::allow(cancel): bounded by the caller's assumption list
             self.ensure_vars(a.var().bound());
         }
-        let mut restarts = Luby::new(100);
-        let mut budget_this_restart = restarts.next_interval();
-        let mut conflicts_this_restart = 0u64;
+        let conflict_limit = self
+            .config
+            .conflict_budget
+            .map(|b| self.stats.conflicts + b);
         let result = loop {
             match self.propagate() {
                 Some(confl) => {
                     self.stats.conflicts += 1;
-                    conflicts_this_restart += 1;
                     if self.decision_level() == 0 {
                         self.ok = false;
                         self.proof_add(&[]);
@@ -565,13 +631,30 @@ impl Solver {
                         self.analyze_final_conflict(confl, assumptions);
                         break SolveResult::Unsat;
                     }
-                    let (learnt, backtrack_level, lbd) = self.analyze(confl);
+                    let (learnt, backjump_level, lbd) = self.analyze(confl);
+                    self.restart.on_conflict(lbd);
+                    // Chronological backtracking: when the backjump would
+                    // throw away a deep trail, step back one level instead
+                    // and let the asserting literal propagate there. Unit
+                    // learnts always go to level 0, and the target level
+                    // stays strictly above the assumption levels.
+                    let target = if self.config.chrono_backtrack
+                        && learnt.len() > 1
+                        && self.decision_level() > assumptions.len() + 1
+                        && self.decision_level()
+                            >= backjump_level + 1 + self.config.chrono_threshold as usize
+                    {
+                        self.stats.chrono_backtracks += 1;
+                        self.decision_level() - 1
+                    } else {
+                        backjump_level
+                    };
                     // May backjump below assumption levels; `pick_branch`
                     // re-assumes them on the next decision.
-                    self.cancel_until(backtrack_level);
+                    self.cancel_until(target);
                     self.learn(learnt, lbd);
                     self.decay_activities();
-                    if let Some(limit) = self.conflict_budget {
+                    if let Some(limit) = conflict_limit {
                         if self.stats.conflicts >= limit {
                             break SolveResult::Unknown;
                         }
@@ -580,38 +663,38 @@ impl Solver {
                         .stats
                         .conflicts
                         .is_multiple_of(Self::CANCEL_POLL_CONFLICTS)
-                        && self.cancel_requested()
+                        && self.budget.stop_requested()
                     {
                         break SolveResult::Unknown;
                     }
                 }
                 None => {
-                    if conflicts_this_restart >= budget_this_restart
-                        && self.decision_level() > assumptions.len()
-                    {
+                    if self.decision_level() > assumptions.len() && self.restart.should_restart() {
                         self.stats.restarts += 1;
-                        conflicts_this_restart = 0;
-                        budget_this_restart = restarts.next_interval();
+                        self.restart.on_restart();
                         self.cancel_until(self.assumption_level(assumptions.len()));
                         // The restart `continue` skips the decision-count
-                        // poll below; restarts happen at Luby intervals of
-                        // ≥ 100 conflicts, so an unconditional poll here
-                        // is cheap and keeps every iterating path covered.
-                        if self.cancel_requested() {
+                        // poll below; restarts are many conflicts apart, so
+                        // an unconditional poll here is cheap and keeps
+                        // every iterating path covered.
+                        if self.budget.stop_requested() {
                             break SolveResult::Unknown;
                         }
                         continue;
                     }
-                    if self.learnt_indices.len() as f64 > self.max_learnts {
+                    if self.stats.conflicts >= self.next_tier2_sweep {
+                        self.sweep_tier2();
+                    }
+                    if self.stats.local_clauses as usize > self.local_cap() {
                         self.reduce_db();
                     }
                     // Conflict-free stretches (large satisfiable
-                    // instances) must observe cancellation too.
+                    // instances) must observe the budget too.
                     if self
                         .stats
                         .decisions
                         .is_multiple_of(Self::CANCEL_POLL_DECISIONS)
-                        && self.cancel_requested()
+                        && self.budget.stop_requested()
                     {
                         break SolveResult::Unknown;
                     }
@@ -631,6 +714,7 @@ impl Solver {
             }
         };
         self.cancel_until(0);
+        self.stats.restart_mode_switches = self.restart.switches();
         self.debug_audit("after solve");
         self.flush_obs(stats_before);
         result
@@ -679,91 +763,127 @@ impl Solver {
         }
     }
 
-    fn unchecked_enqueue(&mut self, lit: Lit, reason: u32) {
-        // analyze::allow(panic) lines=6: assigns/level/reason are sized by ensure_vars
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: ClauseRef) {
+        // analyze::allow(panic) lines=8: assigns/lit_vals/level/reason are sized by ensure_vars
         let var = lit.var().uidx();
         debug_assert_eq!(self.assigns[var], Lbool::Undef);
         self.assigns[var] = Lbool::from_bool(lit.is_positive());
+        self.lit_vals[lit.uidx()] = Lbool::True;
+        self.lit_vals[lit.uidx() ^ 1] = Lbool::False;
         self.level[var] = self.decision_level() as u32;
         self.reason[var] = reason;
         self.trail.push(lit);
     }
 
-    fn propagate(&mut self) -> Option<u32> {
-        // Indexing in this loop is invariant-backed: `watches`, `assigns`,
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        // Indexing in this loop is invariant-backed: `ranges`, `assigns`,
         // `level` and `reason` are sized by `ensure_vars` before any
         // literal is minted, crefs index the solver's own clause arena,
         // and watched positions 0/1 exist because clauses of length < 2
-        // never enter the watch lists.
-        // analyze::allow(panic) lines=75: bounds established by ensure_vars and the watch invariant
+        // never enter the watch lists. Pushing a new watch for another
+        // literal can never move the bucket being scanned: the falsified
+        // literal's own bucket only shrinks here.
+        // analyze::allow(panic) lines=110: bounds established by ensure_vars and the watch invariant
         while let Some(&p) = self.trail.get(self.qhead) {
             self.qhead += 1;
             self.stats.propagations += 1;
             let false_lit = !p;
-            let mut watch_list = std::mem::take(&mut self.watches[false_lit.uidx()]);
-            let mut kept = 0;
+            let code = false_lit.uidx();
+            // Binary clauses first: the blocker is the entire rest of the
+            // clause, so each visit is a single assignment lookup — no
+            // arena access, no watch relocation, and (because binary
+            // clauses are never deleted) no lazy-drop compaction.
+            let bin_start = self.bin_watches.ranges[code].start as usize;
+            let bin_len = self.bin_watches.ranges[code].len as usize;
+            for j in 0..bin_len {
+                let watch = self.bin_watches.data[bin_start + j];
+                match self.lit_vals[watch.blocker.uidx()] {
+                    Lbool::True => {}
+                    Lbool::Undef => {
+                        // A propagated literal must lead its reason
+                        // clause (conflict analysis and the audit skip
+                        // position 0 of reasons), so order the pair now.
+                        let lits_at = ClauseArena::lits_start(watch.cref);
+                        if self.arena.words[lits_at] != watch.blocker.code() {
+                            self.arena.swap_lits(watch.cref, 0, 1);
+                        }
+                        self.unchecked_enqueue(watch.blocker, watch.cref);
+                    }
+                    Lbool::False => {
+                        self.qhead = self.trail.len();
+                        return Some(watch.cref);
+                    }
+                }
+            }
+            let start = self.watches.ranges[code].start as usize;
+            let len = self.watches.ranges[code].len as usize;
+            let mut kept = 0usize;
             let mut conflict = None;
-            let mut i = 0;
-            'watches: while i < watch_list.len() {
-                let watch = watch_list[i];
+            let mut i = 0usize;
+            'watches: while i < len {
+                let watch = self.watches.data[start + i];
                 i += 1;
-                if self.value(watch.blocker) == Lbool::True {
-                    watch_list[kept] = watch;
+                if self.lit_vals[watch.blocker.uidx()] == Lbool::True {
+                    self.watches.data[start + kept] = watch;
                     kept += 1;
                     continue;
                 }
-                let cref = watch.clause as usize;
+                let cref = watch.cref;
                 // Deleted clauses may linger in watch lists; drop lazily.
-                if self.clauses[cref].deleted {
+                if self.arena.is_deleted(cref) {
                     continue;
                 }
+                let lits_at = ClauseArena::lits_start(cref);
                 // Make sure the false literal is at position 1.
-                if self.clauses[cref].lits[0] == false_lit {
-                    self.clauses[cref].lits.swap(0, 1);
+                if self.arena.words[lits_at] == false_lit.code() {
+                    self.arena.swap_lits(cref, 0, 1);
                 }
-                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
-                let first = self.clauses[cref].lits[0];
-                if first != watch.blocker && self.value(first) == Lbool::True {
-                    watch_list[kept] = Watch {
-                        clause: watch.clause,
+                debug_assert_eq!(self.arena.words[lits_at + 1], false_lit.code());
+                let first = Lit::from_code(self.arena.words[lits_at]);
+                if first != watch.blocker && self.lit_vals[first.uidx()] == Lbool::True {
+                    self.watches.data[start + kept] = Watch {
+                        cref,
                         blocker: first,
                     };
                     kept += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                for k in 2..self.clauses[cref].lits.len() {
-                    let candidate = self.clauses[cref].lits[k];
-                    if self.value(candidate) != Lbool::False {
-                        self.clauses[cref].lits.swap(1, k);
-                        self.watches[candidate.uidx()].push(Watch {
-                            clause: watch.clause,
-                            blocker: first,
-                        });
+                let clen = self.arena.len(cref);
+                for k in 2..clen {
+                    let candidate = Lit::from_code(self.arena.words[lits_at + k]);
+                    if self.lit_vals[candidate.uidx()] != Lbool::False {
+                        self.arena.swap_lits(cref, 1, k);
+                        self.watches.push(
+                            candidate.uidx(),
+                            Watch {
+                                cref,
+                                blocker: first,
+                            },
+                        );
                         continue 'watches;
                     }
                 }
                 // No new watch: unit or conflict.
-                watch_list[kept] = Watch {
-                    clause: watch.clause,
+                self.watches.data[start + kept] = Watch {
+                    cref,
                     blocker: first,
                 };
                 kept += 1;
-                if self.value(first) == Lbool::False {
-                    conflict = Some(watch.clause);
+                if self.lit_vals[first.uidx()] == Lbool::False {
+                    conflict = Some(cref);
                     // Copy remaining watches back before bailing out.
-                    while i < watch_list.len() {
-                        watch_list[kept] = watch_list[i];
+                    while i < len {
+                        self.watches.data[start + kept] = self.watches.data[start + i];
                         kept += 1;
                         i += 1;
                     }
                     self.qhead = self.trail.len();
                     break;
                 }
-                self.unchecked_enqueue(first, watch.clause);
+                self.unchecked_enqueue(first, cref);
             }
-            watch_list.truncate(kept);
-            self.watches[false_lit.uidx()] = watch_list;
+            self.watches.truncate(code, kept);
             if conflict.is_some() {
                 return conflict;
             }
@@ -773,7 +893,7 @@ impl Solver {
 
     /// First-UIP conflict analysis; returns (learnt clause with asserting
     /// literal first, backtrack level, LBD).
-    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, usize, u32) {
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, usize, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // placeholder for UIP
         let mut path_count = 0u32;
         let mut first_clause = true;
@@ -791,9 +911,10 @@ impl Solver {
             // clauses skip the propagated literal at position 0.
             let start = usize::from(!first_clause);
             first_clause = false;
+            let lits_at = ClauseArena::lits_start(confl);
             // Iterate over the conflict/reason clause literals.
-            for k in start..self.clauses[confl as usize].lits.len() {
-                let q = self.clauses[confl as usize].lits[k];
+            for k in start..self.arena.len(confl) {
+                let q = Lit::from_code(self.arena.words[lits_at + k]);
                 let var = q.var().uidx();
                 if !self.seen[var] && self.level[var] > 0 {
                     self.seen[var] = true;
@@ -873,8 +994,9 @@ impl Solver {
                 continue;
             }
             let mut redundant = true;
-            for k in 1..self.clauses[reason as usize].lits.len() {
-                let q = self.clauses[reason as usize].lits[k];
+            let lits_at = ClauseArena::lits_start(reason);
+            for k in 1..self.arena.len(reason) {
+                let q = Lit::from_code(self.arena.words[lits_at + k]);
                 let var = q.var().uidx();
                 if !self.seen[var] && self.level[var] > 0 {
                     redundant = false;
@@ -906,16 +1028,68 @@ impl Solver {
         lbd
     }
 
+    /// Recomputes the LBD of a stored clause from the current trail. Only
+    /// called from conflict analysis, where every literal of the clause
+    /// is assigned, so the levels are meaningful.
+    fn clause_lbd(&mut self, cref: ClauseRef) -> u32 {
+        let mut levels = std::mem::take(&mut self.lbd_levels);
+        levels.clear();
+        let lits_at = ClauseArena::lits_start(cref);
+        // analyze::allow(panic) lines=4: clause literals were assigned, so level is in bounds
+        for k in 0..self.arena.len(cref) {
+            let var = Lit::from_code(self.arena.words[lits_at + k]).var();
+            levels.push(self.level[var.uidx()]);
+        }
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+        self.lbd_levels = levels;
+        lbd
+    }
+
+    fn tier_for_lbd(&self, lbd: u32) -> Tier {
+        if lbd <= self.config.core_lbd_cutoff {
+            Tier::Core
+        } else if lbd <= self.config.tier2_lbd_cutoff {
+            Tier::Tier2
+        } else {
+            Tier::Local
+        }
+    }
+
+    fn tier_count(&mut self, tier: Tier) -> &mut u64 {
+        match tier {
+            Tier::Core => &mut self.stats.core_clauses,
+            Tier::Tier2 => &mut self.stats.tier2_clauses,
+            Tier::Local => &mut self.stats.local_clauses,
+        }
+    }
+
+    /// Moves `cref` to the tier its (tightened) LBD calls for, if that is
+    /// a promotion. Demotion only happens through the tier2 sweep.
+    fn maybe_promote(&mut self, cref: ClauseRef, lbd: u32) {
+        let target = self.tier_for_lbd(lbd);
+        let current = self.arena.tier(cref);
+        if (target as u8) < (current as u8) {
+            self.arena.set_tier(cref, target);
+            *self.tier_count(current) -= 1;
+            *self.tier_count(target) += 1;
+        }
+    }
+
     fn learn(&mut self, learnt: Vec<Lit>, lbd: u32) {
         self.proof_add(&learnt);
         let asserting = learnt[0];
         if learnt.len() == 1 {
             self.unchecked_enqueue(asserting, NO_REASON);
         } else {
-            let idx = self.attach_new_clause(learnt, true);
-            self.clauses[idx as usize].lbd = lbd;
-            self.clauses[idx as usize].activity = self.clause_inc;
-            self.unchecked_enqueue(asserting, idx);
+            let cref = self.attach_new_clause(&learnt, true);
+            self.arena.set_lbd(cref, lbd);
+            self.arena.set_activity(cref, self.clause_inc);
+            let tier = self.tier_for_lbd(lbd);
+            self.arena.set_tier(cref, tier);
+            *self.tier_count(tier) += 1;
+            self.unchecked_enqueue(asserting, cref);
         }
     }
 
@@ -929,6 +1103,8 @@ impl Solver {
             let var = lit.var();
             self.phase[var.uidx()] = lit.is_positive();
             self.assigns[var.uidx()] = Lbool::Undef;
+            self.lit_vals[lit.uidx()] = Lbool::Undef;
+            self.lit_vals[lit.uidx() ^ 1] = Lbool::Undef;
             self.reason[var.uidx()] = NO_REASON;
             self.order.insert(var, &self.activity);
         }
@@ -951,16 +1127,34 @@ impl Solver {
         self.order.update(var, &self.activity);
     }
 
-    fn bump_clause(&mut self, cref: u32) {
-        // analyze::allow(panic) lines=10: crefs and learnt_indices are minted by add_clause
-        let clause = &mut self.clauses[cref as usize];
-        if !clause.learnt {
+    /// Bumps a clause met during conflict analysis: activity, the
+    /// used-recently flag (consumed by the tier2 sweep and the reduction
+    /// second chance), and — on the first use in the current window — an
+    /// LBD tightening with possible tier promotion.
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        if !self.arena.is_learnt(cref) {
             return;
         }
-        clause.activity += self.clause_inc;
-        if clause.activity > 1e20 {
-            for &idx in &self.learnt_indices {
-                self.clauses[idx as usize].activity *= 1e-20;
+        if !self.arena.is_used(cref) {
+            self.arena.set_used(cref, true);
+            let tightened = self.clause_lbd(cref);
+            if tightened < self.arena.lbd(cref) {
+                self.arena.set_lbd(cref, tightened);
+                self.maybe_promote(cref, tightened);
+            }
+        }
+        let activity = self.arena.activity(cref) + self.clause_inc;
+        self.arena.set_activity(cref, activity);
+        if activity > 1e20 {
+            // Rescale every learnt clause's activity; one arena sweep,
+            // and rare (the increment grows 0.1% per conflict).
+            let mut off = 0u32;
+            while (off as usize) < self.arena.words.len() {
+                if self.arena.is_learnt(off) {
+                    let a = self.arena.activity(off);
+                    self.arena.set_activity(off, a * 1e-20);
+                }
+                off += (HEADER_WORDS + self.arena.len(off)) as u32;
             }
             self.clause_inc *= 1e-20;
         }
@@ -971,46 +1165,129 @@ impl Solver {
         self.clause_inc /= 0.999;
     }
 
+    /// Demotes tier2 clauses that were not used in any conflict since the
+    /// last sweep to the local tier, and re-arms every survivor's
+    /// used-flag for the next window.
+    fn sweep_tier2(&mut self) {
+        let mut off = 0u32;
+        while (off as usize) < self.arena.words.len() {
+            let c = off;
+            off += (HEADER_WORDS + self.arena.len(c)) as u32;
+            if self.arena.is_deleted(c)
+                || !self.arena.is_learnt(c)
+                || self.arena.tier(c) != Tier::Tier2
+            {
+                continue;
+            }
+            if self.arena.is_used(c) {
+                self.arena.set_used(c, false);
+            } else {
+                self.arena.set_tier(c, Tier::Local);
+                self.stats.tier2_clauses -= 1;
+                self.stats.local_clauses += 1;
+            }
+        }
+        self.next_tier2_sweep = self.stats.conflicts + self.config.tier2_interval;
+    }
+
+    /// Halves the local tier: unused, unlocked local clauses are deleted
+    /// worst-first (high LBD, then low activity); recently used ones get
+    /// a second chance (their used-flag is spent instead). Core and
+    /// tier2 clauses are never touched here.
     fn reduce_db(&mut self) {
-        let mut candidates: Vec<u32> = self
-            .learnt_indices
-            .iter()
-            .copied()
-            .filter(|&idx| {
-                let c = &self.clauses[idx as usize];
-                !c.deleted && c.lits.len() > 2 && !self.is_locked(idx)
-            })
-            .collect();
+        let mut candidates: Vec<ClauseRef> = Vec::new();
+        let mut off = 0u32;
+        while (off as usize) < self.arena.words.len() {
+            let c = off;
+            off += (HEADER_WORDS + self.arena.len(c)) as u32;
+            if self.arena.is_deleted(c)
+                || !self.arena.is_learnt(c)
+                || self.arena.tier(c) != Tier::Local
+                || self.arena.len(c) <= 2
+                || self.is_locked(c)
+            {
+                continue;
+            }
+            if self.arena.is_used(c) {
+                // Second chance: spend the used-flag instead of deleting.
+                self.arena.set_used(c, false);
+                continue;
+            }
+            candidates.push(c);
+        }
         // Worst first: high LBD, then low activity.
         candidates.sort_by(|&a, &b| {
-            let ca = &self.clauses[a as usize];
-            let cb = &self.clauses[b as usize];
-            cb.lbd.cmp(&ca.lbd).then(
-                ca.activity
-                    .partial_cmp(&cb.activity)
+            self.arena.lbd(b).cmp(&self.arena.lbd(a)).then(
+                self.arena
+                    .activity(a)
+                    .partial_cmp(&self.arena.activity(b))
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
         let to_delete = candidates.len() / 2;
-        for &idx in candidates.iter().take(to_delete) {
-            self.clauses[idx as usize].deleted = true;
-            let lits = std::mem::take(&mut self.clauses[idx as usize].lits);
-            self.proof_delete(&lits);
+        for &c in candidates.iter().take(to_delete) {
+            if self.proof.is_some() {
+                let lits = self.arena.lits_vec(c);
+                self.proof_delete(&lits);
+            }
+            self.arena.mark_deleted(c);
+            self.stats.local_clauses -= 1;
             self.stats.deleted_clauses += 1;
         }
-        self.learnt_indices
-            .retain(|&idx| !self.clauses[idx as usize].deleted);
-        self.max_learnts *= 1.3;
+        self.stats.reductions += 1;
+        self.maybe_gc();
         self.debug_audit("after reduce_db");
     }
 
-    fn is_locked(&self, cref: u32) -> bool {
-        let clause = &self.clauses[cref as usize];
-        if clause.lits.is_empty() {
-            return false;
-        }
-        let first = clause.lits[0];
+    /// The local-tier size that triggers the next database reduction:
+    /// the configured cap, additionally bounded by half the original
+    /// formula (small instances keep proportionally small learnt
+    /// databases, the MiniSat `max_learnts` lineage), growing by the
+    /// configured amount after every reduction.
+    fn local_cap(&self) -> usize {
+        self.config.local_cap.min((self.num_originals / 2).max(128))
+            + self.stats.reductions as usize * self.config.local_cap_growth
+    }
+
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.arena.lit(cref, 0);
         self.value(first) == Lbool::True && self.reason[first.var().uidx()] == cref
+    }
+
+    /// Compacts the clause arena once the deleted share grows past a
+    /// quarter of the store (and at least 1 KiW), remapping reason
+    /// references and rebuilding the watch store.
+    fn maybe_gc(&mut self) {
+        let wasted = self.arena.wasted_words();
+        if wasted >= 1024 && wasted * 4 >= self.arena.words.len() {
+            self.collect_garbage();
+        }
+    }
+
+    fn collect_garbage(&mut self) {
+        let reclaimed = self.arena.wasted_words();
+        let remap = self.arena.collect_garbage();
+        let lookup = |c: ClauseRef| -> Option<ClauseRef> {
+            remap
+                .binary_search_by_key(&c, |&(old, _)| old)
+                .ok()
+                .map(|i| remap[i].1)
+        };
+        // Reason clauses are locked and never deleted, so every live
+        // reason reference survives the compaction.
+        for r in &mut self.reason {
+            if *r != NO_REASON {
+                *r = lookup(*r).expect("reason clause survives GC");
+            }
+        }
+        // Watch entries for deleted clauses are dropped here; the stores
+        // compact their relocation waste in the same pass. Binary clauses
+        // are never deleted, so their remap always succeeds.
+        self.watches.remap_and_compact(lookup);
+        self.bin_watches.remap_and_compact(lookup);
+        self.stats.arena_gcs += 1;
+        self.stats.arena_words_reclaimed += reclaimed as u64;
+        self.debug_audit("after arena gc");
     }
 
     /// An assumption literal was already false when it was to be assumed:
@@ -1037,7 +1314,8 @@ impl Solver {
                     self.failed.push(t);
                 }
             } else {
-                for &q in &self.clauses[reason as usize].lits[1..] {
+                for k in 1..self.arena.len(reason) {
+                    let q = self.arena.lit(reason, k);
                     if self.level[q.var().uidx()] > 0 {
                         seen[q.var().uidx()] = true;
                     }
@@ -1047,10 +1325,11 @@ impl Solver {
     }
 
     /// A conflict occurred with only assumption levels on the trail.
-    fn analyze_final_conflict(&mut self, confl: u32, assumptions: &[Lit]) {
+    fn analyze_final_conflict(&mut self, confl: ClauseRef, assumptions: &[Lit]) {
         self.failed.clear();
         let mut seen = vec![false; self.num_vars() as usize];
-        for &q in &self.clauses[confl as usize].lits {
+        for k in 0..self.arena.len(confl) {
+            let q = self.arena.lit(confl, k);
             if self.level[q.var().uidx()] > 0 {
                 seen[q.var().uidx()] = true;
             }
@@ -1067,7 +1346,8 @@ impl Solver {
                     self.failed.push(t);
                 }
             } else {
-                for &q in &self.clauses[reason as usize].lits[1..] {
+                for k in 1..self.arena.len(reason) {
+                    let q = self.arena.lit(reason, k);
                     if self.level[q.var().uidx()] > 0 {
                         seen[q.var().uidx()] = true;
                     }
@@ -1087,6 +1367,7 @@ enum BranchOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RestartMode;
 
     fn lit(value: i64) -> Lit {
         Lit::from_dimacs(value).unwrap()
@@ -1100,24 +1381,38 @@ mod tests {
         s
     }
 
+    fn add_pigeonhole(s: &mut Solver, pigeons: i64, holes: i64) {
+        let var = |p: i64, h: i64| (p - 1) * holes + h;
+        for p in 1..=pigeons {
+            s.add_clause((1..=holes).map(|h| lit(var(p, h))));
+        }
+        for h in 1..=holes {
+            for p1 in 1..=pigeons {
+                for p2 in (p1 + 1)..=pigeons {
+                    s.add_clause([lit(-var(p1, h)), lit(-var(p2, h))]);
+                }
+            }
+        }
+    }
+
     #[test]
     fn empty_formula_is_sat() {
         let mut s = Solver::new();
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
     }
 
     #[test]
     fn unit_conflict_is_unsat() {
         let mut s = solver_with(&[&[1], &[-1]]);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
         // Stays UNSAT on repeated calls.
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
     }
 
     #[test]
     fn simple_sat_with_model() {
         let mut s = solver_with(&[&[1, 2], &[-1, 2], &[1, -2]]);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
         let a = s.model_value(Var::new(0)).unwrap();
         let b = s.model_value(Var::new(1)).unwrap();
         // The clause set (a∨b)(¬a∨b)(a∨¬b) forces a = b = true.
@@ -1126,21 +1421,9 @@ mod tests {
 
     #[test]
     fn pigeonhole_3_into_2_is_unsat() {
-        // p(i,j): pigeon i in hole j. vars 1..=6 as (i-1)*2 + j.
-        let mut clauses: Vec<Vec<i64>> = Vec::new();
-        for i in 0..3i64 {
-            clauses.push(vec![i * 2 + 1, i * 2 + 2]);
-        }
-        for j in 1..=2i64 {
-            for i in 0..3i64 {
-                for k in (i + 1)..3 {
-                    clauses.push(vec![-(i * 2 + j), -(k * 2 + j)]);
-                }
-            }
-        }
-        let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
-        let mut s = solver_with(&refs);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        let mut s = Solver::new();
+        add_pigeonhole(&mut s, 3, 2);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
     }
 
     #[test]
@@ -1151,32 +1434,29 @@ mod tests {
         for i in 1..50i64 {
             s.add_clause([lit(-i), lit(i + 1)]);
         }
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
         assert_eq!(s.model_value(Var::new(49)), Some(true));
     }
 
     #[test]
     fn assumptions_sat_and_unsat() {
         let mut s = solver_with(&[&[1, 2]]);
-        assert_eq!(s.solve_with_assumptions(&[lit(-1)]), SolveResult::Sat);
+        assert_eq!(s.solve(&[lit(-1)]), SolveResult::Sat);
         assert_eq!(s.model_value(Var::new(1)), Some(true));
-        assert_eq!(
-            s.solve_with_assumptions(&[lit(-1), lit(-2)]),
-            SolveResult::Unsat
-        );
+        assert_eq!(s.solve(&[lit(-1), lit(-2)]), SolveResult::Unsat);
         let failed = s.failed_assumptions().to_vec();
         assert!(!failed.is_empty());
         // Solver is still usable and SAT without assumptions.
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
     }
 
     #[test]
     fn incremental_clause_addition() {
         let mut s = solver_with(&[&[1, 2]]);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
         s.add_clause([lit(-1)]);
         s.add_clause([lit(-2)]);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
     }
 
     #[test]
@@ -1184,44 +1464,117 @@ mod tests {
         let mut s = Solver::new();
         assert!(s.add_clause([lit(1), lit(-1)]));
         assert!(s.add_clause([lit(2)]));
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
     }
 
     #[test]
     fn duplicate_literals_collapse() {
         let mut s = Solver::new();
         s.add_clause([lit(1), lit(1), lit(1)]);
-        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
         assert_eq!(s.model_value(Var::new(0)), Some(true));
     }
 
     #[test]
-    fn budget_returns_unknown_on_hard_instance() {
-        // A random-ish hard instance: pigeonhole 6 into 5.
-        let n = 6i64;
-        let holes = 5i64;
-        let var = |p: i64, h: i64| (p - 1) * holes + h;
-        let mut s = Solver::new();
-        for p in 1..=n {
-            s.add_clause((1..=holes).map(|h| lit(var(p, h))));
-        }
-        for h in 1..=holes {
-            for p1 in 1..=n {
-                for p2 in (p1 + 1)..=n {
-                    s.add_clause([lit(-var(p1, h)), lit(-var(p2, h))]);
-                }
-            }
-        }
-        s.set_conflict_budget(Some(5));
-        assert_eq!(s.solve(), SolveResult::Unknown);
-        s.set_conflict_budget(None);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+    fn conflict_budget_returns_unknown() {
+        let config = SatConfig::builder()
+            .conflict_budget(Some(5))
+            .build()
+            .expect("valid");
+        let mut s = Solver::builder().config(config).build().expect("valid");
+        add_pigeonhole(&mut s, 6, 5);
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        // The budget is per call: an unbudgeted solver settles the instance.
+        let mut unlimited = Solver::new();
+        add_pigeonhole(&mut unlimited, 6, 5);
+        assert_eq!(unlimited.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn budget_cancellation_returns_unknown() {
+        let token = CancelToken::new();
+        token.cancel("pre-fired in test");
+        let mut s = Solver::builder()
+            .cancel_token(token)
+            .build()
+            .expect("valid");
+        add_pigeonhole(&mut s, 7, 6);
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
     }
 
     #[test]
     fn stats_move() {
         let mut s = solver_with(&[&[1, 2], &[-1, -2], &[1, -2], &[-1, 2]]);
-        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
         assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn every_restart_mode_agrees_on_verdicts() {
+        for mode in [RestartMode::Luby, RestartMode::Ema, RestartMode::Hybrid] {
+            for chrono in [false, true] {
+                let config = SatConfig::builder()
+                    .restart_mode(mode)
+                    .chrono_backtrack(chrono)
+                    .build()
+                    .expect("valid");
+                let mut unsat = Solver::builder()
+                    .config(config.clone())
+                    .build()
+                    .expect("valid");
+                add_pigeonhole(&mut unsat, 6, 5);
+                assert_eq!(unsat.solve(&[]), SolveResult::Unsat, "{mode:?}/{chrono}");
+                let mut sat = Solver::builder().config(config).build().expect("valid");
+                sat.add_clause([lit(1), lit(2)]);
+                sat.add_clause([lit(-1), lit(3)]);
+                assert_eq!(sat.solve(&[]), SolveResult::Sat, "{mode:?}/{chrono}");
+            }
+        }
+    }
+
+    #[test]
+    fn chrono_backtracking_fires_on_deep_jumps() {
+        // A low threshold plus a conflict-heavy instance makes distant
+        // backjumps common enough to take the chronological path.
+        let config = SatConfig::builder()
+            .chrono_threshold(2)
+            .build()
+            .expect("valid");
+        let mut s = Solver::builder().config(config).build().expect("valid");
+        add_pigeonhole(&mut s, 7, 6);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(
+            s.stats().chrono_backtracks > 0,
+            "expected chronological backtracks on PHP with threshold 2"
+        );
+    }
+
+    #[test]
+    fn tier_counters_track_learnts() {
+        let mut s = Solver::new();
+        add_pigeonhole(&mut s, 7, 6);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let stats = s.stats();
+        assert!(
+            stats.core_clauses + stats.tier2_clauses + stats.local_clauses > 0,
+            "UNSAT proof must have learnt clauses"
+        );
+    }
+
+    #[test]
+    fn reduction_and_gc_fire_under_small_caps() {
+        let config = SatConfig::builder()
+            .local_cap(20)
+            .local_cap_growth(5)
+            .tier2_interval(100)
+            .build()
+            .expect("valid");
+        let mut s = Solver::builder().config(config).build().expect("valid");
+        add_pigeonhole(&mut s, 8, 7);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let stats = s.stats();
+        assert!(stats.deleted_clauses > 0, "reduction must delete clauses");
+        assert!(stats.arena_gcs > 0, "deletions this heavy must trigger GC");
+        assert!(stats.arena_words_reclaimed > 0);
     }
 }

@@ -1,0 +1,211 @@
+//! Flat two-watched-literal storage.
+//!
+//! All watch lists live in one `Vec<Watch>`; each literal owns a
+//! `{start, len, cap}` range into it. Appending to a full range
+//! relocates that one bucket to the end of the vector with doubled
+//! capacity (amortised O(1), like `Vec` itself), abandoning the old
+//! slots; the abandoned share is tracked and reclaimed when the solver
+//! compacts the store during arena garbage collection.
+//!
+//! Compared to the previous `Vec<Vec<Watch>>`, this removes one pointer
+//! chase per visited list, keeps hot lists adjacent in memory, and
+//! frees the propagation loop from the `mem::take` dance it needed to
+//! appease the borrow checker — the loop indexes `data` directly, and
+//! pushes for *other* literals can never move the bucket it is
+//! currently scanning (a new watch is only ever pushed onto a literal
+//! that is not the falsified one being propagated).
+
+use crate::arena::ClauseRef;
+use hqs_base::Lit;
+
+/// One watcher: the clause and a blocker literal whose truth makes
+/// visiting the clause unnecessary.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Watch {
+    pub(crate) cref: ClauseRef,
+    pub(crate) blocker: Lit,
+}
+
+impl Watch {
+    /// Filler for unoccupied capacity slots; never read.
+    fn vacant() -> Watch {
+        Watch {
+            cref: ClauseRef::MAX,
+            blocker: Lit::from_code(0),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+pub(crate) struct Range {
+    pub(crate) start: u32,
+    pub(crate) len: u32,
+    cap: u32,
+}
+
+/// The flat watch store; one [`Range`] per literal code.
+pub(crate) struct FlatWatches {
+    /// `pub(crate)` so the propagation loop indexes slots directly.
+    pub(crate) data: Vec<Watch>,
+    pub(crate) ranges: Vec<Range>,
+    /// Slots abandoned by bucket relocation.
+    wasted: usize,
+}
+
+impl FlatWatches {
+    pub(crate) fn new() -> Self {
+        FlatWatches {
+            data: Vec::new(),
+            ranges: Vec::new(),
+            wasted: 0,
+        }
+    }
+
+    /// Registers one more variable (two literal codes).
+    pub(crate) fn add_var(&mut self) {
+        self.ranges.push(Range::default());
+        self.ranges.push(Range::default());
+    }
+
+    /// The number of literal codes with a (possibly empty) bucket.
+    pub(crate) fn num_codes(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Appends `watch` to the bucket of literal code `code`.
+    pub(crate) fn push(&mut self, code: usize, watch: Watch) {
+        // analyze::allow(panic) lines=22: code < ranges.len() by add_var; bucket ranges index data by invariant
+        let r = self.ranges[code];
+        if r.len == r.cap {
+            let new_cap = (r.cap * 2).max(4);
+            let new_start = self.data.len() as u32;
+            self.data.reserve(new_cap as usize);
+            for i in 0..r.len {
+                let entry = self.data[(r.start + i) as usize];
+                self.data.push(entry);
+            }
+            self.data
+                .resize(new_start as usize + new_cap as usize, Watch::vacant());
+            self.wasted += r.cap as usize;
+            self.ranges[code] = Range {
+                start: new_start,
+                len: r.len,
+                cap: new_cap,
+            };
+        }
+        let r = self.ranges[code];
+        self.data[(r.start + r.len) as usize] = watch;
+        self.ranges[code].len += 1;
+    }
+
+    /// Shrinks the bucket of `code` to `len` entries (capacity kept).
+    pub(crate) fn truncate(&mut self, code: usize, len: usize) {
+        // analyze::allow(panic) lines=2: code < ranges.len() by add_var
+        debug_assert!(len as u32 <= self.ranges[code].len);
+        self.ranges[code].len = len as u32;
+    }
+
+    /// The bucket of `code` as a slice (for audits and tests).
+    pub(crate) fn bucket(&self, code: usize) -> &[Watch] {
+        let r = self.ranges[code];
+        &self.data[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// Slots abandoned by relocation, still held in `data`.
+    #[cfg(test)]
+    pub(crate) fn wasted_slots(&self) -> usize {
+        self.wasted
+    }
+
+    /// Rewrites every entry through `map` (dropping entries it maps to
+    /// `None`) and compacts the store. Used after arena GC: `map`
+    /// translates old clause offsets to new ones and drops watchers of
+    /// deleted clauses.
+    pub(crate) fn remap_and_compact(
+        &mut self,
+        mut map: impl FnMut(ClauseRef) -> Option<ClauseRef>,
+    ) {
+        let mut compacted: Vec<Watch> = Vec::with_capacity(self.data.len() - self.wasted);
+        for range in &mut self.ranges {
+            let start = compacted.len() as u32;
+            for i in 0..range.len {
+                let entry = self.data[(range.start + i) as usize];
+                if let Some(cref) = map(entry.cref) {
+                    compacted.push(Watch {
+                        cref,
+                        blocker: entry.blocker,
+                    });
+                }
+            }
+            let len = compacted.len() as u32 - start;
+            *range = Range {
+                start,
+                len,
+                cap: len,
+            };
+        }
+        self.data = compacted;
+        self.wasted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(cref: u32) -> Watch {
+        Watch {
+            cref,
+            blocker: Lit::from_code(0),
+        }
+    }
+
+    fn crefs(watches: &FlatWatches, code: usize) -> Vec<u32> {
+        watches.bucket(code).iter().map(|e| e.cref).collect()
+    }
+
+    #[test]
+    fn push_and_grow_keeps_buckets_independent() {
+        let mut fw = FlatWatches::new();
+        fw.add_var();
+        fw.add_var();
+        for i in 0..10 {
+            fw.push(0, w(i));
+            fw.push(3, w(100 + i));
+        }
+        assert_eq!(crefs(&fw, 0), (0..10).collect::<Vec<_>>());
+        assert_eq!(crefs(&fw, 3), (100..110).collect::<Vec<_>>());
+        assert!(crefs(&fw, 1).is_empty());
+        assert!(fw.wasted_slots() > 0, "relocations abandon old slots");
+    }
+
+    #[test]
+    fn truncate_shrinks_in_place() {
+        let mut fw = FlatWatches::new();
+        fw.add_var();
+        for i in 0..5 {
+            fw.push(1, w(i));
+        }
+        fw.truncate(1, 2);
+        assert_eq!(crefs(&fw, 1), vec![0, 1]);
+        // Capacity survives: the next push reuses the freed slot.
+        fw.push(1, w(9));
+        assert_eq!(crefs(&fw, 1), vec![0, 1, 9]);
+    }
+
+    #[test]
+    fn remap_and_compact_drops_and_translates() {
+        let mut fw = FlatWatches::new();
+        fw.add_var();
+        fw.add_var();
+        for i in 0..6 {
+            fw.push(0, w(i));
+        }
+        fw.push(2, w(6));
+        fw.remap_and_compact(|c| if c % 2 == 0 { Some(c * 10) } else { None });
+        assert_eq!(crefs(&fw, 0), vec![0, 20, 40]);
+        assert_eq!(crefs(&fw, 2), vec![60]);
+        assert_eq!(fw.wasted_slots(), 0);
+        assert_eq!(fw.data.len(), 4);
+    }
+}

@@ -1,6 +1,6 @@
 //! Incremental-session semantics: warm-state reuse across
-//! [`Solver::solve_under_assumptions`] queries, failed-assumption
-//! soundness, and DRAT proofs that span a whole session.
+//! [`Solver::solve`] queries, failed-assumption soundness, learnt-tier
+//! retention, and DRAT proofs that span a whole session.
 //!
 //! These are the substrate guarantees the `hqs serve` architecture (and
 //! the query-hungry DQBF backends it anticipates) rely on.
@@ -8,7 +8,7 @@
 use hqs_base::Lit;
 use hqs_cnf::Cnf;
 use hqs_proof::{check_proof, parse_text_drat, CheckMode};
-use hqs_sat::{ProofBuffer, SolveResult, Solver, TextDratLogger};
+use hqs_sat::{ProofBuffer, SatConfig, SolveResult, Solver, TextDratLogger};
 
 fn lit(v: i64) -> Lit {
     Lit::from_dimacs(v).unwrap()
@@ -59,10 +59,7 @@ fn warm_second_solve_of_mutated_instance_beats_cold() {
     for c in &base {
         warm.add_clause(c.iter().map(|&v| lit(v)).chain([lit(-selector)]));
     }
-    assert_eq!(
-        warm.solve_under_assumptions(&[lit(selector)]),
-        SolveResult::Unsat
-    );
+    assert_eq!(warm.solve(&[lit(selector)]), SolveResult::Unsat);
     let first_query_conflicts = warm.stats().conflicts;
     assert!(first_query_conflicts > 0, "PHP(6,5) needs real search");
 
@@ -70,10 +67,7 @@ fn warm_second_solve_of_mutated_instance_beats_cold() {
     for c in mutation(5, 0) {
         warm.add_clause(c.iter().map(|&v| lit(v)).chain([lit(-selector)]));
     }
-    assert_eq!(
-        warm.solve_under_assumptions(&[lit(selector)]),
-        SolveResult::Unsat
-    );
+    assert_eq!(warm.solve(&[lit(selector)]), SolveResult::Unsat);
     let warm_conflicts = warm.stats().conflicts - first_query_conflicts;
 
     // Cold solver on exactly the mutated instance.
@@ -81,10 +75,7 @@ fn warm_second_solve_of_mutated_instance_beats_cold() {
     for c in base.iter().chain(mutation(5, 0).iter()) {
         cold.add_clause(c.iter().map(|&v| lit(v)).chain([lit(-selector)]));
     }
-    assert_eq!(
-        cold.solve_under_assumptions(&[lit(selector)]),
-        SolveResult::Unsat
-    );
+    assert_eq!(cold.solve(&[lit(selector)]), SolveResult::Unsat);
     let cold_conflicts = cold.stats().conflicts;
 
     assert!(
@@ -99,7 +90,7 @@ fn failed_assumption_set_is_sound_and_excludes_irrelevant_assumptions() {
     let mut s = Solver::new();
     s.add_clause([lit(-1), lit(-2)]);
     let assumptions = [lit(3), lit(1), lit(2), lit(4)];
-    assert_eq!(s.solve_under_assumptions(&assumptions), SolveResult::Unsat);
+    assert_eq!(s.solve(&assumptions), SolveResult::Unsat);
     let failed = s.failed_assumptions().to_vec();
     assert!(!failed.is_empty());
     // Every failed literal is one of the assumptions (soundness of the
@@ -111,26 +102,23 @@ fn failed_assumption_set_is_sound_and_excludes_irrelevant_assumptions() {
     assert!(!failed.contains(&lit(4)), "{failed:?}");
     // Soundness of the core itself: the failed subset alone is already
     // contradictory.
-    assert_eq!(s.solve_under_assumptions(&failed), SolveResult::Unsat);
+    assert_eq!(s.solve(&failed), SolveResult::Unsat);
     // And the session survives: dropping the core gives SAT.
-    assert_eq!(
-        s.solve_under_assumptions(&[lit(3), lit(4)]),
-        SolveResult::Sat
-    );
+    assert_eq!(s.solve(&[lit(3), lit(4)]), SolveResult::Sat);
 }
 
 #[test]
 fn assumptions_round_trip_polarity_and_retention() {
     let mut s = Solver::new();
     s.add_clause([lit(1), lit(2)]);
-    assert_eq!(s.solve_under_assumptions(&[lit(-1)]), SolveResult::Sat);
+    assert_eq!(s.solve(&[lit(-1)]), SolveResult::Sat);
     assert_eq!(s.model_value(lit(2).var()), Some(true));
-    assert_eq!(s.solve_under_assumptions(&[lit(-2)]), SolveResult::Sat);
+    assert_eq!(s.solve(&[lit(-2)]), SolveResult::Sat);
     assert_eq!(s.model_value(lit(1).var()), Some(true));
     // Clauses added between queries take effect.
     s.add_clause([lit(-1)]);
-    assert_eq!(s.solve_under_assumptions(&[lit(-2)]), SolveResult::Unsat);
-    assert_eq!(s.solve_under_assumptions(&[]), SolveResult::Sat);
+    assert_eq!(s.solve(&[lit(-2)]), SolveResult::Unsat);
+    assert_eq!(s.solve(&[]), SolveResult::Sat);
 }
 
 /// DRAT emitted across a whole incremental session — queries under
@@ -141,11 +129,20 @@ fn assumptions_round_trip_polarity_and_retention() {
 fn drat_from_incremental_session_passes_the_checker() {
     let mut cnf = Cnf::new(0);
     let buffer = ProofBuffer::new();
-    let mut solver = Solver::new();
-    solver.set_proof_logger(Box::new(TextDratLogger::new(buffer.clone())));
-    // Tiny learnt limit so reduce_db fires mid-session and its deletions
-    // land in the proof stream too.
-    solver.set_max_learnts(8.0);
+    // Zero tier cutoffs plus a tiny local cap force database reduction
+    // to fire mid-session, so its deletions land in the proof stream too.
+    let config = SatConfig::builder()
+        .core_lbd_cutoff(0)
+        .tier2_lbd_cutoff(0)
+        .local_cap(8)
+        .local_cap_growth(1)
+        .build()
+        .expect("valid");
+    let mut solver = Solver::builder()
+        .config(config)
+        .proof_logger(Box::new(TextDratLogger::new(buffer.clone())))
+        .build()
+        .expect("valid");
 
     let add = |solver: &mut Solver, cnf: &mut Cnf, c: &[i64]| {
         let lits: Vec<Lit> = c.iter().map(|&v| lit(v)).collect();
@@ -163,18 +160,15 @@ fn drat_from_incremental_session_passes_the_checker() {
         guarded.push(-selector);
         add(&mut solver, &mut cnf, &guarded);
     }
-    assert_eq!(
-        solver.solve_under_assumptions(&[lit(selector)]),
-        SolveResult::Unsat
-    );
+    assert_eq!(solver.solve(&[lit(selector)]), SolveResult::Unsat);
     // Query 2: without the selector the formula is SAT.
-    assert_eq!(solver.solve_under_assumptions(&[]), SolveResult::Sat);
+    assert_eq!(solver.solve(&[]), SolveResult::Sat);
     // Mutation: a second, unguarded pigeonhole over fresh variables
     // closes the formula outright.
     for c in pigeonhole(4, 3, 70) {
         add(&mut solver, &mut cnf, &c);
     }
-    assert_eq!(solver.solve_under_assumptions(&[]), SolveResult::Unsat);
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
     assert!(!solver.proof_had_error());
 
     let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();

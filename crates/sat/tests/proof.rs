@@ -8,7 +8,7 @@
 use hqs_base::Lit;
 use hqs_cnf::Cnf;
 use hqs_proof::{check_proof, parse_binary_drat, parse_text_drat, CheckMode, Proof, ProofStep};
-use hqs_sat::{BinaryDratLogger, ProofBuffer, SolveResult, Solver, TextDratLogger};
+use hqs_sat::{BinaryDratLogger, ProofBuffer, SatConfig, SolveResult, Solver, TextDratLogger};
 
 fn lit(v: i64) -> Lit {
     Lit::from_dimacs(v).unwrap()
@@ -19,8 +19,10 @@ fn lit(v: i64) -> Lit {
 fn logged_solver(clauses: &[&[i64]]) -> (Cnf, Solver, ProofBuffer) {
     let mut cnf = Cnf::new(0);
     let buffer = ProofBuffer::new();
-    let mut solver = Solver::new();
-    solver.set_proof_logger(Box::new(TextDratLogger::new(buffer.clone())));
+    let mut solver = Solver::builder()
+        .proof_logger(Box::new(TextDratLogger::new(buffer.clone())))
+        .build()
+        .expect("valid");
     for c in clauses {
         let lits: Vec<Lit> = c.iter().map(|&v| lit(v)).collect();
         for &l in &lits {
@@ -52,7 +54,7 @@ fn pigeonhole(pigeons: i64, holes: i64) -> Vec<Vec<i64>> {
 fn hand_built_unsat_proof_checks() {
     // (a∨b)(¬a∨b)(a∨¬b)(¬a∨¬b): the smallest real CDCL refutation.
     let (cnf, mut solver, buffer) = logged_solver(&[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
-    assert_eq!(solver.solve(), SolveResult::Unsat);
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
     assert!(!solver.proof_had_error());
     let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();
     assert!(proof.additions() > 0);
@@ -66,7 +68,7 @@ fn pigeonhole_proof_checks_and_has_a_full_core() {
     let clauses = pigeonhole(4, 3);
     let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
     let (cnf, mut solver, buffer) = logged_solver(&refs);
-    assert_eq!(solver.solve(), SolveResult::Unsat);
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
     let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();
     check_proof(&cnf, &proof, CheckMode::Forward).unwrap();
     let report = check_proof(&cnf, &proof, CheckMode::Backward).unwrap();
@@ -79,7 +81,7 @@ fn pigeonhole_proof_checks_and_has_a_full_core() {
 fn strengthened_and_satisfied_clauses_emit_deletions() {
     // Unit 1 makes (−1 2 3) strengthen to (2 3) and satisfies (1 4).
     let (cnf, mut solver, buffer) = logged_solver(&[&[1], &[-1, 2, 3], &[1, 4], &[-2], &[-3]]);
-    assert_eq!(solver.solve(), SolveResult::Unsat);
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
     let text = String::from_utf8(buffer.contents()).unwrap();
     let proof = parse_text_drat(&text).unwrap();
     assert!(
@@ -95,7 +97,7 @@ fn conflict_during_clause_addition_emits_the_empty_clause() {
     // Adding -2 after 1, (−1 2) closes the formula by unit propagation
     // inside add_clause; the proof must still end in the empty clause.
     let (cnf, mut solver, buffer) = logged_solver(&[&[1], &[-1, 2], &[-2]]);
-    assert_eq!(solver.solve(), SolveResult::Unsat);
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
     let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();
     assert!(proof
         .steps
@@ -113,9 +115,20 @@ fn aggressive_database_reduction_keeps_the_proof_valid() {
     let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
     let mut cnf = Cnf::new(0);
     let buffer = ProofBuffer::new();
-    let mut solver = Solver::new();
-    solver.set_proof_logger(Box::new(TextDratLogger::new(buffer.clone())));
-    solver.set_max_learnts(8.0);
+    // Zero tier cutoffs push every learnt into the Local tier, so the
+    // tiny cap actually bites on a low-LBD instance like pigeonhole.
+    let config = SatConfig::builder()
+        .core_lbd_cutoff(0)
+        .tier2_lbd_cutoff(0)
+        .local_cap(8)
+        .local_cap_growth(1)
+        .build()
+        .expect("valid");
+    let mut solver = Solver::builder()
+        .config(config)
+        .proof_logger(Box::new(TextDratLogger::new(buffer.clone())))
+        .build()
+        .expect("valid");
     for c in &refs {
         let lits: Vec<Lit> = c.iter().map(|&v| lit(v)).collect();
         for &l in &lits {
@@ -124,7 +137,7 @@ fn aggressive_database_reduction_keeps_the_proof_valid() {
         cnf.add_lits(lits.iter().copied());
         solver.add_clause(lits);
     }
-    assert_eq!(solver.solve(), SolveResult::Unsat);
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
     assert!(solver.stats().deleted_clauses > 0, "reduce_db never fired");
     let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();
     assert!(proof.deletions() > 0);
@@ -138,8 +151,10 @@ fn binary_proof_round_trips_through_the_checker() {
     let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
     let mut cnf = Cnf::new(0);
     let buffer = ProofBuffer::new();
-    let mut solver = Solver::new();
-    solver.set_proof_logger(Box::new(BinaryDratLogger::new(buffer.clone())));
+    let mut solver = Solver::builder()
+        .proof_logger(Box::new(BinaryDratLogger::new(buffer.clone())))
+        .build()
+        .expect("valid");
     for c in &refs {
         let lits: Vec<Lit> = c.iter().map(|&v| lit(v)).collect();
         for &l in &lits {
@@ -148,7 +163,7 @@ fn binary_proof_round_trips_through_the_checker() {
         cnf.add_lits(lits.iter().copied());
         solver.add_clause(lits);
     }
-    assert_eq!(solver.solve(), SolveResult::Unsat);
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
     let proof = parse_binary_drat(&buffer.contents()).unwrap();
     assert!(proof.additions() > 0);
     check_proof(&cnf, &proof, CheckMode::Forward).unwrap();
@@ -160,7 +175,7 @@ fn corrupted_proof_is_rejected() {
     let clauses = pigeonhole(4, 3);
     let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
     let (cnf, mut solver, buffer) = logged_solver(&refs);
-    assert_eq!(solver.solve(), SolveResult::Unsat);
+    assert_eq!(solver.solve(&[]), SolveResult::Unsat);
     let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();
     // Strip every addition: the gutted proof must not check (pigeonhole
     // needs real lemmas — plain unit propagation cannot refute it).
@@ -195,7 +210,7 @@ fn corrupted_proof_is_rejected() {
 #[test]
 fn sat_outcome_leaves_proof_without_contradiction() {
     let (cnf, mut solver, buffer) = logged_solver(&[&[1, 2], &[-1, 2]]);
-    assert_eq!(solver.solve(), SolveResult::Sat);
+    assert_eq!(solver.solve(&[]), SolveResult::Sat);
     let proof = parse_text_drat(std::str::from_utf8(&buffer.contents()).unwrap()).unwrap();
     assert!(check_proof(&cnf, &proof, CheckMode::Forward).is_err());
 }

@@ -3,7 +3,7 @@
 
 use hqs_base::{Lit, Rng, TruthValue, Var};
 use hqs_cnf::{Clause, Cnf};
-use hqs_sat::{reference, SolveResult, Solver};
+use hqs_sat::{reference, RestartMode, SatConfig, SolveResult, Solver};
 
 fn random_cnf(rng: &mut Rng, max_var: u32, max_clauses: usize) -> Cnf {
     let mut cnf = Cnf::new(max_var);
@@ -25,7 +25,7 @@ fn cdcl_agrees_with_dpll() {
         let expected = reference::is_satisfiable(&cnf);
         let mut solver = Solver::new();
         solver.add_cnf(&cnf);
-        match solver.solve() {
+        match solver.solve(&[]) {
             SolveResult::Sat => {
                 assert!(expected, "seed {seed}: CDCL sat, DPLL unsat");
                 let model = solver.model();
@@ -33,6 +33,39 @@ fn cdcl_agrees_with_dpll() {
             }
             SolveResult::Unsat => assert!(!expected, "seed {seed}: CDCL unsat, DPLL sat"),
             SolveResult::Unknown => panic!("seed {seed}: no budget was set"),
+        }
+    }
+}
+
+/// Every point of the search-policy matrix — restart mode crossed with
+/// chronological backtracking — agrees with the DPLL oracle, and `Sat`
+/// verdicts come with genuine models. The chrono threshold is forced
+/// down so the chronological path actually runs on these tiny formulas.
+#[test]
+fn every_search_policy_agrees_with_dpll() {
+    let mut configs = Vec::new();
+    for mode in [RestartMode::Luby, RestartMode::Ema, RestartMode::Hybrid] {
+        for chrono in [false, true] {
+            configs.push(
+                SatConfig::builder()
+                    .restart_mode(mode)
+                    .chrono_backtrack(chrono)
+                    .chrono_threshold(1)
+                    .build()
+                    .expect("valid test config"),
+            );
+        }
+    }
+    for seed in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(0x4000 + seed);
+        let cnf = random_cnf(&mut rng, 8, 24);
+        for config in &configs {
+            assert!(
+                reference::agrees_with_reference(&cnf, config),
+                "seed {seed}: policy {:?}/chrono={} disagrees with the oracle",
+                config.restart_mode,
+                config.chrono_backtrack
+            );
         }
     }
 }
@@ -57,11 +90,11 @@ fn assumptions_equal_units() {
         let expected = reference::is_satisfiable(&strengthened);
         let mut solver = Solver::new();
         solver.add_cnf(&cnf);
-        let result = solver.solve_with_assumptions(&assumptions);
+        let result = solver.solve(&assumptions);
         assert_eq!(result == SolveResult::Sat, expected, "seed {seed}");
         // And the solver stays reusable afterwards:
         let alone = reference::is_satisfiable(&cnf);
-        assert_eq!(solver.solve() == SolveResult::Sat, alone, "seed {seed}");
+        assert_eq!(solver.solve(&[]) == SolveResult::Sat, alone, "seed {seed}");
     }
 }
 
@@ -77,7 +110,7 @@ fn failed_assumptions_form_a_core() {
             .collect();
         let mut solver = Solver::new();
         solver.add_cnf(&cnf);
-        if solver.solve_with_assumptions(&assumptions) == SolveResult::Unsat {
+        if solver.solve(&assumptions) == SolveResult::Unsat {
             let failed: Vec<Lit> = solver.failed_assumptions().to_vec();
             for lit in &failed {
                 assert!(
@@ -110,7 +143,11 @@ fn incremental_matches_monolithic() {
             solver.add_clause(clause.lits().iter().copied());
             so_far.add_clause(clause.clone());
             let expected = reference::is_satisfiable(&so_far);
-            assert_eq!(solver.solve() == SolveResult::Sat, expected, "seed {seed}");
+            assert_eq!(
+                solver.solve(&[]) == SolveResult::Sat,
+                expected,
+                "seed {seed}"
+            );
         }
     }
 }
